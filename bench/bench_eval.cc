@@ -1,0 +1,86 @@
+// E7 — query evaluation tractability (Section 2.1 / Libkin–Vrgoč).
+//
+// Paper claim: RPQ and RDPQ_= evaluation are polynomial; RDPQ_mem
+// evaluation is polynomial for a fixed register count but exponential in
+// the number of registers (the assignment space (δ+1)^k). Series:
+//   * BM_EvalRpq/BM_EvalRee/BM_EvalRem over graph size n — all polynomial;
+//   * BM_EvalRemRegisters over k at fixed n — the (δ+1)^k blow-up.
+
+#include <benchmark/benchmark.h>
+
+#include "eval/rem_eval.h"
+#include "eval/ree_eval.h"
+#include "eval/rpq_eval.h"
+#include "graph/generators.h"
+#include "rem/parser.h"
+#include "ree/parser.h"
+#include "regex/parser.h"
+
+namespace gqd {
+namespace {
+
+DataGraph Graph(std::size_t n, std::uint64_t seed = 7) {
+  return RandomDataGraph({.num_nodes = n,
+                          .num_labels = 2,
+                          .num_data_values = 4,
+                          .edge_percent = 15,
+                          .seed = seed});
+}
+
+void BM_EvalRpq(benchmark::State& state) {
+  DataGraph g = Graph(static_cast<std::size_t>(state.range(0)));
+  RegexPtr e = ParseRegex("a (a | b)* b").ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateRpq(g, e));
+  }
+  state.counters["nodes"] = static_cast<double>(g.NumNodes());
+}
+BENCHMARK(BM_EvalRpq)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_EvalRee(benchmark::State& state) {
+  DataGraph g = Graph(static_cast<std::size_t>(state.range(0)));
+  ReePtr e = ParseRee("((a | b)+)= (a)!=").ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateRee(g, e));
+  }
+  state.counters["nodes"] = static_cast<double>(g.NumNodes());
+}
+BENCHMARK(BM_EvalRee)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_EvalRem(benchmark::State& state) {
+  DataGraph g = Graph(static_cast<std::size_t>(state.range(0)));
+  RemPtr e = ParseRem("$r1. (a | b)+ (a)[r1=]").ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateRem(g, e));
+  }
+  state.counters["nodes"] = static_cast<double>(g.NumNodes());
+}
+BENCHMARK(BM_EvalRem)->RangeMultiplier(2)->Range(8, 64);
+
+/// REM evaluation cost versus register count k at fixed n: the query
+/// stores k values along a prefix and re-checks them along a suffix, so
+/// the reachable assignment space grows like (δ+1)^k.
+void BM_EvalRemRegisters(benchmark::State& state) {
+  DataGraph g = Graph(16);
+  std::size_t k = static_cast<std::size_t>(state.range(0));
+  // ↓r1.a ↓r2.a ... ↓rk.a then a[r1=] a[r2=] ... a[rk=].
+  RemPtr e;
+  {
+    std::vector<RemPtr> parts;
+    for (std::size_t i = 0; i < k; i++) {
+      parts.push_back(rem::Bind({i}, rem::Letter("a")));
+    }
+    for (std::size_t i = 0; i < k; i++) {
+      parts.push_back(rem::Test(rem::Letter("a"), cond::RegisterEq(i)));
+    }
+    e = rem::Concat(std::move(parts));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateRem(g, e));
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_EvalRemRegisters)->DenseRange(1, 5);
+
+}  // namespace
+}  // namespace gqd

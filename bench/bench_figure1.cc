@@ -1,0 +1,135 @@
+// E1 — Figure 1 + Example 12, as a benchmark.
+//
+// Regenerates the paper's definability matrix for S1/S2/S3 on the Figure-1
+// graph (who can define what) and measures the cost of each check. The
+// "row" each benchmark emits is the verdict (counter `definable`: 1/0) and
+// the checker-specific cost counter (macro tuples, monoid size, or
+// homomorphism seeds).
+
+#include <benchmark/benchmark.h>
+
+#include "definability/krem_definability.h"
+#include "definability/ree_definability.h"
+#include "definability/rpq_definability.h"
+#include "definability/ucrdpq_definability.h"
+#include "eval/rem_eval.h"
+#include "eval/ree_eval.h"
+#include "eval/rpq_eval.h"
+#include "graph/examples.h"
+#include "rem/parser.h"
+#include "ree/parser.h"
+#include "regex/parser.h"
+
+namespace gqd {
+namespace {
+
+BinaryRelation RelationByIndex(const DataGraph& g, int index) {
+  switch (index) {
+    case 1:
+      return Figure1S1(g);
+    case 2:
+      return Figure1S2(g);
+    default:
+      return Figure1S3(g);
+  }
+}
+
+void BM_Figure1_RpqDefinability(benchmark::State& state) {
+  DataGraph g = Figure1Graph();
+  BinaryRelation s = RelationByIndex(g, static_cast<int>(state.range(0)));
+  std::size_t tuples = 0;
+  bool definable = false;
+  for (auto _ : state) {
+    auto result = CheckRpqDefinability(g, s);
+    benchmark::DoNotOptimize(result);
+    tuples = result.ValueOrDie().tuples_explored;
+    definable =
+        result.ValueOrDie().verdict == DefinabilityVerdict::kDefinable;
+  }
+  state.counters["definable"] = definable ? 1 : 0;
+  state.counters["macro_tuples"] = static_cast<double>(tuples);
+}
+BENCHMARK(BM_Figure1_RpqDefinability)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Figure1_KRemDefinability(benchmark::State& state) {
+  DataGraph g = Figure1Graph();
+  BinaryRelation s = RelationByIndex(g, static_cast<int>(state.range(0)));
+  std::size_t k = static_cast<std::size_t>(state.range(1));
+  std::size_t tuples = 0;
+  bool definable = false;
+  for (auto _ : state) {
+    auto result = CheckKRemDefinability(g, s, k);
+    benchmark::DoNotOptimize(result);
+    tuples = result.ValueOrDie().tuples_explored;
+    definable =
+        result.ValueOrDie().verdict == DefinabilityVerdict::kDefinable;
+  }
+  state.counters["definable"] = definable ? 1 : 0;
+  state.counters["macro_tuples"] = static_cast<double>(tuples);
+}
+BENCHMARK(BM_Figure1_KRemDefinability)
+    ->ArgsProduct({{1, 2, 3}, {0, 1, 2}});
+
+void BM_Figure1_ReeDefinability(benchmark::State& state) {
+  DataGraph g = Figure1Graph();
+  BinaryRelation s = RelationByIndex(g, static_cast<int>(state.range(0)));
+  std::size_t monoid = 0;
+  bool definable = false;
+  for (auto _ : state) {
+    auto result = CheckReeDefinability(g, s);
+    benchmark::DoNotOptimize(result);
+    monoid = result.ValueOrDie().monoid_size;
+    definable =
+        result.ValueOrDie().verdict == DefinabilityVerdict::kDefinable;
+  }
+  state.counters["definable"] = definable ? 1 : 0;
+  state.counters["monoid_size"] = static_cast<double>(monoid);
+}
+BENCHMARK(BM_Figure1_ReeDefinability)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Figure1_UcrdpqDefinability(benchmark::State& state) {
+  DataGraph g = Figure1Graph();
+  BinaryRelation s = RelationByIndex(g, static_cast<int>(state.range(0)));
+  std::size_t seeds = 0;
+  bool definable = false;
+  for (auto _ : state) {
+    auto result = CheckUcrdpqDefinability(g, s);
+    benchmark::DoNotOptimize(result);
+    seeds = result.ValueOrDie().seeds_tried;
+    definable =
+        result.ValueOrDie().verdict == DefinabilityVerdict::kDefinable;
+  }
+  state.counters["definable"] = definable ? 1 : 0;
+  state.counters["hom_seeds"] = static_cast<double>(seeds);
+}
+BENCHMARK(BM_Figure1_UcrdpqDefinability)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Figure1_EvaluateQ1(benchmark::State& state) {
+  DataGraph g = Figure1Graph();
+  RegexPtr q1 = ParseRegex("a a a").ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateRpq(g, q1));
+  }
+}
+BENCHMARK(BM_Figure1_EvaluateQ1);
+
+void BM_Figure1_EvaluateQ2(benchmark::State& state) {
+  DataGraph g = Figure1Graph();
+  RemPtr q2 = ParseRem("$r1. a $r2. a[r1=] a[r2=]").ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateRem(g, q2));
+  }
+}
+BENCHMARK(BM_Figure1_EvaluateQ2);
+
+void BM_Figure1_EvaluateQ3(benchmark::State& state) {
+  DataGraph g = Figure1Graph();
+  ReePtr q3 = ParseRee("(a (a)= a)=").ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateRee(g, q3));
+  }
+}
+BENCHMARK(BM_Figure1_EvaluateQ3);
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,146 @@
+// E5 + E6 — the lower-bound constructions as measurable artifacts.
+//
+// Paper claims exercised:
+//   * the Theorem-25 tiling reduction is polynomial in the instance:
+//     counters `graph_nodes`/`graph_edges` versus width bits n and |T|;
+//   * the forward direction runs end-to-end in polynomial time: solver →
+//     REM (3) → evaluation = {⟨p2,q2⟩} (BM_TilingForwardDirection);
+//   * the Theorem-35 CNF reduction is linear-size in the formula
+//     (BM_SatReductionSize).
+
+#include <benchmark/benchmark.h>
+
+#include "eval/rem_eval.h"
+#include "reductions/cnf.h"
+#include "reductions/sat_reduction.h"
+#include "reductions/tiling.h"
+#include "reductions/tiling_reduction.h"
+
+namespace gqd {
+namespace {
+
+TilingInstance MakeInstance(std::size_t width_bits, std::size_t tiles) {
+  TilingInstance instance;
+  instance.num_tile_types = tiles;
+  // Horizontally: t -> t and t -> t+1; vertically: identical tiles.
+  for (TileType t = 0; t < tiles; t++) {
+    instance.horizontal.insert({t, t});
+    if (t + 1 < tiles) {
+      instance.horizontal.insert({t, static_cast<TileType>(t + 1)});
+    }
+    instance.vertical.insert({t, t});
+  }
+  instance.initial_tile = 0;
+  instance.final_tile = static_cast<TileType>(tiles - 1);
+  instance.width_bits = width_bits;
+  return instance;
+}
+
+void BM_TilingReductionSize_SweepWidth(benchmark::State& state) {
+  TilingInstance instance =
+      MakeInstance(static_cast<std::size_t>(state.range(0)), 2);
+  std::size_t nodes = 0, edges = 0;
+  for (auto _ : state) {
+    auto reduction = BuildTilingReduction(instance);
+    benchmark::DoNotOptimize(reduction);
+    nodes = reduction.ValueOrDie().graph.NumNodes();
+    edges = reduction.ValueOrDie().graph.NumEdges();
+  }
+  state.counters["width_bits"] = static_cast<double>(state.range(0));
+  state.counters["graph_nodes"] = static_cast<double>(nodes);
+  state.counters["graph_edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_TilingReductionSize_SweepWidth)->DenseRange(1, 4);
+
+void BM_TilingReductionSize_SweepTiles(benchmark::State& state) {
+  TilingInstance instance =
+      MakeInstance(1, static_cast<std::size_t>(state.range(0)));
+  std::size_t nodes = 0, edges = 0;
+  for (auto _ : state) {
+    auto reduction = BuildTilingReduction(instance);
+    benchmark::DoNotOptimize(reduction);
+    nodes = reduction.ValueOrDie().graph.NumNodes();
+    edges = reduction.ValueOrDie().graph.NumEdges();
+  }
+  state.counters["tile_types"] = static_cast<double>(state.range(0));
+  state.counters["graph_nodes"] = static_cast<double>(nodes);
+  state.counters["graph_edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_TilingReductionSize_SweepTiles)->DenseRange(2, 5);
+
+/// The full forward pipeline: solve the tiling, build REM (3), evaluate it
+/// on the reduction graph and verify it defines exactly {⟨p2, q2⟩}.
+void BM_TilingForwardDirection(benchmark::State& state) {
+  TilingInstance instance =
+      MakeInstance(static_cast<std::size_t>(state.range(0)), 2);
+  auto reduction = BuildTilingReduction(instance);
+  if (!reduction.ok()) {
+    state.SkipWithError("reduction failed");
+    return;
+  }
+  bool holds = false;
+  for (auto _ : state) {
+    auto solution = SolveCorridorTiling(instance);
+    auto rem = TilingEncodingRem(instance, *solution.ValueOrDie());
+    BinaryRelation result =
+        EvaluateRem(reduction.value().graph, rem.ValueOrDie());
+    BinaryRelation expected(reduction.value().graph.NumNodes());
+    expected.Set(reduction.value().p2, reduction.value().q2);
+    holds = result == expected;
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["width_bits"] = static_cast<double>(state.range(0));
+  state.counters["defines_p2q2"] = holds ? 1 : 0;
+}
+BENCHMARK(BM_TilingForwardDirection)->DenseRange(1, 2);
+
+void BM_TilingSolver(benchmark::State& state) {
+  TilingInstance instance =
+      MakeInstance(static_cast<std::size_t>(state.range(0)), 3);
+  bool solvable = false;
+  for (auto _ : state) {
+    auto solution = SolveCorridorTiling(instance);
+    benchmark::DoNotOptimize(solution);
+    solvable = solution.ValueOrDie().has_value();
+  }
+  state.counters["width_bits"] = static_cast<double>(state.range(0));
+  state.counters["solvable"] = solvable ? 1 : 0;
+}
+BENCHMARK(BM_TilingSolver)->DenseRange(1, 3);
+
+void BM_SatReductionSize(benchmark::State& state) {
+  CnfFormula f = RandomThreeCnf(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)),
+                                31337);
+  std::size_t nodes = 0, edges = 0;
+  for (auto _ : state) {
+    auto reduction = BuildSatReduction(f);
+    benchmark::DoNotOptimize(reduction);
+    nodes = reduction.ValueOrDie().graph.NumNodes();
+    edges = reduction.ValueOrDie().graph.NumEdges();
+  }
+  state.counters["variables"] = static_cast<double>(state.range(0));
+  state.counters["clauses"] = static_cast<double>(state.range(1));
+  state.counters["graph_nodes"] = static_cast<double>(nodes);
+  state.counters["graph_edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_SatReductionSize)
+    ->ArgsProduct({{3, 6, 12}, {4, 8, 16}});
+
+void BM_DpllSolver(benchmark::State& state) {
+  CnfFormula f = RandomThreeCnf(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(0)) * 4,
+                                424242);
+  bool sat = false;
+  for (auto _ : state) {
+    auto result = SolveCnf(f);
+    benchmark::DoNotOptimize(result);
+    sat = result.ValueOrDie().has_value();
+  }
+  state.counters["variables"] = static_cast<double>(state.range(0));
+  state.counters["satisfiable"] = sat ? 1 : 0;
+}
+BENCHMARK(BM_DpllSolver)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,142 @@
+// E2 + E3 — the k-RDPQ_mem definability space bound (Theorem 22) and the
+// unbounded-REM wall (Theorem 24 / Lemma 23).
+//
+// Theorem 22 puts k-RDPQ_mem-definability in NSPACE(O(n²δ^k)); the
+// macro-tuple BFS's state space is 2^(n²(δ+1)^k). The series sweep n, δ
+// and k on random graphs and report `macro_tuples` (tuples explored) —
+// the measured shape should grow explosively in k and δ and stay moderate
+// in n at fixed k. BM_RemDefinability (k = δ, Lemma 23) demonstrates the
+// doubly-exponential wall the paper's EXPSPACE-completeness predicts:
+// already at δ = 3 most instances exhaust the budget.
+//
+// All runs use *non-definable-leaning* random relations: refuting
+// definability requires exhausting the reachable macro space, which is the
+// honest cost (definable instances exit early).
+
+#include <benchmark/benchmark.h>
+
+#include "definability/krem_definability.h"
+#include "graph/generators.h"
+
+namespace gqd {
+namespace {
+
+void RunKRem(benchmark::State& state, std::size_t n, std::size_t delta,
+             std::size_t k) {
+  DataGraph g = RandomDataGraph({.num_nodes = n,
+                                 .num_labels = 1,
+                                 .num_data_values = delta,
+                                 .edge_percent = 30,
+                                 .seed = 99});
+  BinaryRelation s = RandomRelation(n, 20, 1234);
+  KRemDefinabilityOptions options;
+  options.max_tuples = 50'000;
+  std::size_t tuples = 0;
+  int verdict = 0;
+  for (auto _ : state) {
+    auto result = CheckKRemDefinability(g, s, k, options);
+    benchmark::DoNotOptimize(result);
+    tuples = result.ValueOrDie().tuples_explored;
+    verdict = static_cast<int>(result.ValueOrDie().verdict);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["delta"] = static_cast<double>(delta);
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["macro_tuples"] = static_cast<double>(tuples);
+  state.counters["verdict"] = verdict;  // 0 def, 1 not, 2 exhausted
+}
+
+void BM_KRemDefinability_SweepN(benchmark::State& state) {
+  RunKRem(state, static_cast<std::size_t>(state.range(0)), 2, 1);
+}
+BENCHMARK(BM_KRemDefinability_SweepN)->DenseRange(3, 7);
+
+void BM_KRemDefinability_SweepK(benchmark::State& state) {
+  RunKRem(state, 4, 2, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_KRemDefinability_SweepK)->DenseRange(0, 3);
+
+void BM_KRemDefinability_SweepDelta(benchmark::State& state) {
+  RunKRem(state, 4, static_cast<std::size_t>(state.range(0)), 1);
+}
+BENCHMARK(BM_KRemDefinability_SweepDelta)->DenseRange(1, 4);
+
+/// E12 — the Discussion-§6 structural question: definability on graphs
+/// with few cycles. On a DAG every data path is bounded by the longest
+/// path, so the reachable macro-tuple space collapses; a single back edge
+/// reopens unbounded witnesses. Same n, δ, k and edge count — only the
+/// cycle structure differs.
+void RunDagVersusCycle(benchmark::State& state, bool add_back_edge) {
+  // A layered DAG: 6 nodes in 3 layers, forward edges only.
+  DataGraph g;
+  g.AddLabel("a");
+  g.AddDataValue("0");
+  g.AddDataValue("1");
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; i++) {
+    nodes.push_back(
+        g.AddNodeWithValue(i % 2 == 0 ? "0" : "1", "n" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; i++) {
+    g.AddEdgeByName(nodes[i], "a", nodes[i + 1]);
+    if (i + 2 < 6) {
+      g.AddEdgeByName(nodes[i], "a", nodes[i + 2]);
+    }
+  }
+  if (add_back_edge) {
+    g.AddEdgeByName(nodes[5], "a", nodes[0]);
+  }
+  BinaryRelation s(g.NumNodes());
+  s.Set(nodes[0], nodes[5]);
+  KRemDefinabilityOptions options;
+  options.max_tuples = 50'000;
+  std::size_t tuples = 0;
+  int verdict = 0;
+  for (auto _ : state) {
+    auto result = CheckKRemDefinability(g, s, 1, options);
+    benchmark::DoNotOptimize(result);
+    tuples = result.ValueOrDie().tuples_explored;
+    verdict = static_cast<int>(result.ValueOrDie().verdict);
+  }
+  state.counters["back_edge"] = add_back_edge ? 1 : 0;
+  state.counters["macro_tuples"] = static_cast<double>(tuples);
+  state.counters["verdict"] = verdict;
+}
+
+void BM_KRemDefinability_Dag(benchmark::State& state) {
+  RunDagVersusCycle(state, false);
+}
+BENCHMARK(BM_KRemDefinability_Dag);
+
+void BM_KRemDefinability_WithCycle(benchmark::State& state) {
+  RunDagVersusCycle(state, true);
+}
+BENCHMARK(BM_KRemDefinability_WithCycle);
+
+/// Lemma 23: unbounded-REM definability at k = δ — the EXPSPACE wall.
+void BM_RemDefinability_Unbounded(benchmark::State& state) {
+  std::size_t delta = static_cast<std::size_t>(state.range(0));
+  DataGraph g = RandomDataGraph({.num_nodes = 4,
+                                 .num_labels = 1,
+                                 .num_data_values = delta,
+                                 .edge_percent = 30,
+                                 .seed = 99});
+  BinaryRelation s = RandomRelation(4, 20, 1234);
+  KRemDefinabilityOptions options;
+  options.max_tuples = 20'000;
+  std::size_t tuples = 0;
+  int verdict = 0;
+  for (auto _ : state) {
+    auto result = CheckRemDefinability(g, s, options);
+    benchmark::DoNotOptimize(result);
+    tuples = result.ValueOrDie().tuples_explored;
+    verdict = static_cast<int>(result.ValueOrDie().verdict);
+  }
+  state.counters["delta_eq_k"] = static_cast<double>(delta);
+  state.counters["macro_tuples"] = static_cast<double>(tuples);
+  state.counters["verdict"] = verdict;
+}
+BENCHMARK(BM_RemDefinability_Unbounded)->DenseRange(1, 3);
+
+}  // namespace
+}  // namespace gqd

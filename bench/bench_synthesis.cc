@@ -1,0 +1,124 @@
+// E8 — synthesized-query growth (Discussion, Section 6).
+//
+// Paper claim: the synthesized defining queries are star-free and blow up —
+// worst case doubly exponential for REM and exponential for REE. The
+// series synthesize defining queries for relations whose shortest
+// witnesses get longer (paths in line graphs of growing length) and report
+// the printed query size (`query_chars`) and witness sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "synthesis/synthesis.h"
+
+namespace gqd {
+namespace {
+
+/// A line graph 0→1→...→L with alternating data values, and the singleton
+/// relation {(0, L)}: its only witness is the full-length path, so the
+/// synthesized query must spell out all L blocks.
+void BM_SynthesizeRem_GrowingWitness(benchmark::State& state) {
+  std::size_t length = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> values;
+  for (std::size_t i = 0; i <= length; i++) {
+    values.push_back(static_cast<std::uint32_t>(i % 2));
+  }
+  DataGraph g = LineGraph(values);
+  BinaryRelation s(g.NumNodes());
+  s.Set(0, static_cast<NodeId>(length));
+  std::size_t query_chars = 0;
+  for (auto _ : state) {
+    auto query = SynthesizeKRemQuery(g, s, 1);
+    benchmark::DoNotOptimize(query);
+    if (query.ok() && query.value().has_value()) {
+      query_chars = RemToString(*query.value()).size();
+    }
+  }
+  state.counters["witness_length"] = static_cast<double>(length);
+  state.counters["query_chars"] = static_cast<double>(query_chars);
+}
+BENCHMARK(BM_SynthesizeRem_GrowingWitness)->DenseRange(2, 12, 2);
+
+void BM_SynthesizeRee_GrowingWitness(benchmark::State& state) {
+  std::size_t length = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> values;
+  for (std::size_t i = 0; i <= length; i++) {
+    values.push_back(static_cast<std::uint32_t>(i % 2));
+  }
+  DataGraph g = LineGraph(values);
+  BinaryRelation s(g.NumNodes());
+  s.Set(0, static_cast<NodeId>(length));
+  std::size_t query_chars = 0;
+  for (auto _ : state) {
+    auto query = SynthesizeReeQuery(g, s);
+    benchmark::DoNotOptimize(query);
+    if (query.ok() && query.value().has_value()) {
+      query_chars = ReeToString(*query.value()).size();
+    }
+  }
+  state.counters["witness_length"] = static_cast<double>(length);
+  state.counters["query_chars"] = static_cast<double>(query_chars);
+}
+BENCHMARK(BM_SynthesizeRee_GrowingWitness)->DenseRange(2, 12, 2);
+
+/// Relation size drives the number of union branches: random definable
+/// relations obtained by evaluating a fixed query on growing graphs.
+void BM_SynthesizeRpq_GrowingRelation(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  DataGraph g = RandomDataGraph({.num_nodes = n,
+                                 .num_labels = 2,
+                                 .num_data_values = 2,
+                                 .edge_percent = 20,
+                                 .seed = 3});
+  // Definable by construction: all pairs connected by "a b".
+  BinaryRelation s(g.NumNodes());
+  for (const Edge& e1 : g.edges()) {
+    for (const Edge& e2 : g.edges()) {
+      if (e1.to == e2.from && g.labels().NameOf(e1.label) == "a" &&
+          g.labels().NameOf(e2.label) == "b") {
+        s.Set(e1.from, e2.to);
+      }
+    }
+  }
+  std::size_t query_chars = 0;
+  for (auto _ : state) {
+    auto query = SynthesizeRpqQuery(g, s);
+    benchmark::DoNotOptimize(query);
+    if (query.ok() && query.value().has_value()) {
+      query_chars = RegexToString(*query.value()).size();
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["relation_size"] = static_cast<double>(s.Count());
+  state.counters["query_chars"] = static_cast<double>(query_chars);
+}
+BENCHMARK(BM_SynthesizeRpq_GrowingRelation)->DenseRange(4, 10, 2);
+
+/// The canonical UCRDPQ's size is Θ(|S| · (|E| + reachable pairs)).
+void BM_SynthesizeCanonicalUcrdpq(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  DataGraph g = RandomDataGraph({.num_nodes = n,
+                                 .num_labels = 2,
+                                 .num_data_values = 2,
+                                 .edge_percent = 20,
+                                 .seed = 3});
+  TupleRelation s(2);
+  s.Insert({0, static_cast<NodeId>(n - 1)});
+  std::size_t atoms = 0;
+  for (auto _ : state) {
+    auto query = SynthesizeCanonicalUcrdpq(g, s);
+    benchmark::DoNotOptimize(query);
+    if (query.ok()) {
+      atoms = 0;
+      for (const Crdpq& d : query.value().disjuncts) {
+        atoms += d.atoms.size();
+      }
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["total_atoms"] = static_cast<double>(atoms);
+}
+BENCHMARK(BM_SynthesizeCanonicalUcrdpq)->DenseRange(4, 12, 2);
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,94 @@
+// E5 — UCRDPQ-definability via homomorphism search (Theorem 35).
+//
+// Paper claims exercised:
+//   * definability reduces to the absence of a violating homomorphism
+//     (Lemma 34) — the checker's cost is |S| · n^r seeded CSP searches;
+//   * coNP flavor: cost grows with graph size and relation size, and the
+//     Figure-3 graphs built from random 3-CNF formulas get harder with
+//     more clauses (series BM_UcrdpqOnSatReduction).
+
+#include <benchmark/benchmark.h>
+
+#include "definability/ucrdpq_definability.h"
+#include "graph/generators.h"
+#include "reductions/cnf.h"
+#include "reductions/sat_reduction.h"
+
+namespace gqd {
+namespace {
+
+void BM_UcrdpqDefinability_SweepN(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  DataGraph g = RandomDataGraph({.num_nodes = n,
+                                 .num_labels = 2,
+                                 .num_data_values = 2,
+                                 .edge_percent = 25,
+                                 .seed = 5});
+  BinaryRelation s = RandomRelation(n, 15, 55);
+  std::size_t seeds = 0;
+  int verdict = 0;
+  CspStats stats;
+  for (auto _ : state) {
+    auto result = CheckUcrdpqDefinability(g, s);
+    benchmark::DoNotOptimize(result);
+    seeds = result.ValueOrDie().seeds_tried;
+    verdict = static_cast<int>(result.ValueOrDie().verdict);
+    stats = result.ValueOrDie().csp_stats;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["hom_seeds"] = static_cast<double>(seeds);
+  state.counters["csp_nodes"] = static_cast<double>(stats.nodes_expanded);
+  state.counters["verdict"] = verdict;
+}
+BENCHMARK(BM_UcrdpqDefinability_SweepN)->DenseRange(4, 12, 2);
+
+void BM_UcrdpqDefinability_SweepRelationSize(benchmark::State& state) {
+  DataGraph g = RandomDataGraph({.num_nodes = 8,
+                                 .num_labels = 2,
+                                 .num_data_values = 2,
+                                 .edge_percent = 25,
+                                 .seed = 5});
+  BinaryRelation s = RandomRelation(
+      8, static_cast<std::uint32_t>(state.range(0)), 55);
+  std::size_t seeds = 0;
+  for (auto _ : state) {
+    auto result = CheckUcrdpqDefinability(g, s);
+    benchmark::DoNotOptimize(result);
+    seeds = result.ValueOrDie().seeds_tried;
+  }
+  state.counters["pair_percent"] = static_cast<double>(state.range(0));
+  state.counters["relation_size"] = static_cast<double>(s.Count());
+  state.counters["hom_seeds"] = static_cast<double>(seeds);
+}
+BENCHMARK(BM_UcrdpqDefinability_SweepRelationSize)
+    ->Arg(5)->Arg(15)->Arg(30)->Arg(50);
+
+/// Theorem 35 end-to-end: definability checks on Figure-3 graphs built
+/// from random 3-CNF formulas, sweeping clause count.
+void BM_UcrdpqOnSatReduction(benchmark::State& state) {
+  std::size_t clauses = static_cast<std::size_t>(state.range(0));
+  CnfFormula f = RandomThreeCnf(3, clauses, 271828);
+  auto reduction = BuildSatReduction(f);
+  if (!reduction.ok()) {
+    state.SkipWithError("reduction failed");
+    return;
+  }
+  int verdict = 0;
+  std::size_t seeds = 0;
+  for (auto _ : state) {
+    auto result = CheckUcrdpqDefinability(reduction.value().graph,
+                                          reduction.value().relation);
+    benchmark::DoNotOptimize(result);
+    verdict = static_cast<int>(result.ValueOrDie().verdict);
+    seeds = result.ValueOrDie().seeds_tried;
+  }
+  state.counters["clauses"] = static_cast<double>(clauses);
+  state.counters["graph_nodes"] =
+      static_cast<double>(reduction.value().graph.NumNodes());
+  state.counters["hom_seeds"] = static_cast<double>(seeds);
+  state.counters["definable_ie_unsat"] = verdict == 0 ? 1 : 0;
+}
+BENCHMARK(BM_UcrdpqOnSatReduction)->DenseRange(1, 4);
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,157 @@
+// definability_explorer: a command-line front end for the whole library.
+//
+// Usage:
+//   definability_explorer <graph-file> <relation-file> [--k <max-registers>]
+//
+// The graph file uses the `node`/`edge` text format, the relation file the
+// `pair` format (see graph/serialization.h). The tool evaluates every
+// definability checker against the relation, prints verdicts, and
+// synthesizes defining queries where they exist.
+//
+// With no arguments it runs on the built-in Figure-1 graph and S2.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "definability/krem_definability.h"
+#include "definability/ree_definability.h"
+#include "definability/rpq_definability.h"
+#include "definability/ucrdpq_definability.h"
+#include "graph/examples.h"
+#include "graph/serialization.h"
+#include "synthesis/synthesis.h"
+
+int main(int argc, char** argv) {
+  using namespace gqd;
+
+  DataGraph graph;
+  BinaryRelation relation;
+  std::size_t max_k = 2;
+
+  if (argc >= 3) {
+    auto graph_text = ReadFileToString(argv[1]);
+    if (!graph_text.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   graph_text.status().ToString().c_str());
+      return 1;
+    }
+    auto parsed_graph = ReadGraphText(graph_text.value());
+    if (!parsed_graph.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed_graph.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(parsed_graph).value();
+    auto relation_text = ReadFileToString(argv[2]);
+    if (!relation_text.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   relation_text.status().ToString().c_str());
+      return 1;
+    }
+    auto parsed_relation = ReadRelationText(graph, relation_text.value());
+    if (!parsed_relation.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed_relation.status().ToString().c_str());
+      return 1;
+    }
+    relation = std::move(parsed_relation).value();
+    for (int i = 3; i + 1 < argc; i++) {
+      if (std::strcmp(argv[i], "--k") == 0) {
+        max_k = static_cast<std::size_t>(std::stoul(argv[i + 1]));
+      }
+    }
+  } else {
+    std::printf("(no arguments: using the built-in Figure-1 graph and S2)\n");
+    graph = Figure1Graph();
+    relation = Figure1S2(graph);
+  }
+
+  std::printf("graph: %zu nodes, %zu edges, |Σ| = %zu, δ = %zu\n",
+              graph.NumNodes(), graph.NumEdges(), graph.NumLabels(),
+              graph.NumDataValues());
+  std::printf("relation: %s\n\n", relation.ToString(graph).c_str());
+
+  // RPQ.
+  auto rpq = CheckRpqDefinability(graph, relation);
+  if (!rpq.ok()) {
+    std::fprintf(stderr, "RPQ checker error: %s\n",
+                 rpq.status().ToString().c_str());
+  } else {
+    std::printf("RPQ:                 %s",
+                DefinabilityVerdictToString(rpq.value().verdict));
+    if (rpq.value().verdict == DefinabilityVerdict::kDefinable) {
+      std::printf("   query: %s",
+                  RegexToString(RegexFromWitnesses(rpq.value(),
+                                                   graph.labels()))
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  // k-REM for k = 0..max_k.
+  for (std::size_t k = 0; k <= max_k; k++) {
+    auto krem = CheckKRemDefinability(graph, relation, k);
+    if (!krem.ok()) {
+      std::fprintf(stderr, "%zu-REM checker error: %s\n", k,
+                   krem.status().ToString().c_str());
+      continue;
+    }
+    std::printf("RDPQ_mem (k = %zu):    %s", k,
+                DefinabilityVerdictToString(krem.value().verdict));
+    if (krem.value().verdict == DefinabilityVerdict::kDefinable) {
+      auto query = SynthesizeKRemQuery(graph, relation, k);
+      if (query.ok() && query.value().has_value()) {
+        std::printf("   query: %s", RemToString(*query.value()).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  // REE.
+  auto ree = CheckReeDefinability(graph, relation);
+  if (!ree.ok()) {
+    std::fprintf(stderr, "REE checker error: %s\n",
+                 ree.status().ToString().c_str());
+  } else {
+    std::printf("RDPQ_= (REE):        %s",
+                DefinabilityVerdictToString(ree.value().verdict));
+    if (ree.value().verdict == DefinabilityVerdict::kDefinable &&
+        ree.value().defining_expression != nullptr) {
+      std::printf("   query: %s",
+                  ReeToString(ree.value().defining_expression).c_str());
+    }
+    std::printf("   (monoid: %zu relations, %zu levels)",
+                ree.value().monoid_size, ree.value().levels_used);
+    std::printf("\n");
+  }
+
+  // UCRDPQ.
+  auto ucrdpq = CheckUcrdpqDefinability(graph, relation);
+  if (!ucrdpq.ok()) {
+    std::fprintf(stderr, "UCRDPQ checker error: %s\n",
+                 ucrdpq.status().ToString().c_str());
+  } else {
+    std::printf("UCRDPQ:              %s   (%zu homomorphism searches)\n",
+                DefinabilityVerdictToString(ucrdpq.value().verdict),
+                ucrdpq.value().seeds_tried);
+    if (ucrdpq.value().violating_homomorphism.has_value()) {
+      std::printf("  violating homomorphism maps");
+      const NodeTuple& t = *ucrdpq.value().violated_tuple;
+      std::printf(" (");
+      for (std::size_t i = 0; i < t.size(); i++) {
+        std::printf("%s%s", i ? "," : "", graph.NodeName(t[i]).c_str());
+      }
+      std::printf(") to (");
+      for (std::size_t i = 0; i < t.size(); i++) {
+        std::printf(
+            "%s%s", i ? "," : "",
+            graph.NodeName(
+                     (*ucrdpq.value().violating_homomorphism)[t[i]])
+                .c_str());
+      }
+      std::printf(") ∉ S\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Schema-mapping extraction: the paper's motivating scenario (Section 1).
+//
+// A social-network data graph labels each member node with their favourite
+// movie and links members by `friend` edges. A target relation `movieLink`
+// should relate members with the same favourite movie who are connected by
+// a chain of friends. Given only the graph and the example relation, this
+// program *derives* the mapping: it checks which query language can define
+// movieLink and synthesizes the defining query — exactly the definability
+// workflow the paper motivates.
+//
+//   $ ./schema_mapping
+
+#include <cstdio>
+
+#include "definability/krem_definability.h"
+#include "definability/ree_definability.h"
+#include "definability/rpq_definability.h"
+#include "eval/rem_eval.h"
+#include "eval/ree_eval.h"
+#include "graph/data_graph.h"
+#include "graph/serialization.h"
+#include "synthesis/simplify.h"
+#include "synthesis/synthesis.h"
+
+int main() {
+  using namespace gqd;
+
+  // The social network: nodes carry favourite movies as data values.
+  DataGraph network;
+  network.AddLabel("friend");
+  struct Member {
+    const char* name;
+    const char* movie;
+  };
+  Member members[] = {
+      {"ann", "Alien"},   {"bob", "Brazil"}, {"cam", "Alien"},
+      {"dee", "Casablanca"}, {"eve", "Brazil"}, {"fin", "Alien"},
+  };
+  for (const Member& m : members) {
+    network.AddNodeWithValue(m.movie, m.name);
+  }
+  auto node = [&](const char* name) {
+    return network.FindNode(name).ValueOrDie();
+  };
+  // Friendship chains: ann-bob-cam-dee and eve-fin.
+  network.AddEdgeByName(node("ann"), "friend", node("bob"));
+  network.AddEdgeByName(node("bob"), "friend", node("cam"));
+  network.AddEdgeByName(node("cam"), "friend", node("dee"));
+  network.AddEdgeByName(node("eve"), "friend", node("fin"));
+  network.AddEdgeByName(node("fin"), "friend", node("ann"));
+
+  std::printf("== Social network ==\n%s\n",
+              WriteGraphText(network).c_str());
+
+  // The example target relation, as a user would supply it: members with
+  // the same favourite movie linked by a chain of friends. (Here we list
+  // the pairs explicitly — ann→bob→cam shares Alien, eve→fin→ann→bob
+  // shares Brazil, fin→ann shares Alien, and so on around the cycle.)
+  BinaryRelation movie_link(network.NumNodes());
+  ValueId alien = *network.data_values().Find("Alien");
+  (void)alien;
+  {
+    // Enumerate same-movie pairs connected by ≥1 friend edges.
+    BinaryRelation friends(network.NumNodes());
+    for (const Edge& e : network.edges()) {
+      friends.Set(e.from, e.to);
+    }
+    BinaryRelation chain = TransitivePlus(friends);
+    for (const auto& [u, v] : chain.Pairs()) {
+      if (network.DataValueOf(u) == network.DataValueOf(v)) {
+        movie_link.Set(u, v);
+      }
+    }
+  }
+  std::printf("== Example relation movieLink ==\n%s\n\n",
+              movie_link.ToString(network).c_str());
+
+  // Which language defines it?
+  std::printf("== Deriving the schema mapping ==\n");
+  auto rpq = CheckRpqDefinability(network, movie_link);
+  std::printf("RPQ-definable:      %s\n",
+              DefinabilityVerdictToString(rpq.ValueOrDie().verdict));
+  auto ree = SynthesizeReeQuery(network, movie_link);
+  if (ree.ok() && ree.value().has_value()) {
+    std::printf("RDPQ_=-definable:   yes\n");
+    std::printf("  raw synthesis:    x -[%s]-> y\n",
+                ReeToString(*ree.value()).c_str());
+    auto simplified =
+        SimplifyReeOnGraph(network, *ree.value(), movie_link);
+    if (simplified.ok()) {
+      std::printf("  simplified:       x -[%s]-> y\n",
+                  ReeToString(simplified.value()).c_str());
+    }
+    BinaryRelation check = EvaluateRee(network, *ree.value());
+    std::printf("  re-evaluated:     %s\n",
+                check.ToString(network).c_str());
+  } else {
+    std::printf("RDPQ_=-definable:   no\n");
+  }
+  auto rem = SynthesizeKRemQuery(network, movie_link, 1);
+  if (rem.ok() && rem.value().has_value()) {
+    std::printf("1-REM-definable:    yes\n");
+    std::printf("  movieLink(x, y) := x -[%s]-> y\n",
+                RemToString(*rem.value()).c_str());
+  } else {
+    std::printf("1-REM-definable:    no\n");
+  }
+
+  // The idiomatic hand-written mapping for comparison.
+  std::printf(
+      "\nThe intended hand-written mapping is x -[$r1. friend+ [r1=]]-> y\n"
+      "(store the favourite movie, follow friends, compare at the end).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "common/bitset.h"
+
+#include <bit>
+#include <cassert>
+
+namespace gqd {
+
+void DynamicBitset::Clear() {
+  for (auto& w : words_) {
+    w = 0;
+  }
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+bool DynamicBitset::None() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t DynamicBitset::FindNext(std::size_t from) const {
+  if (from >= size_) {
+    return size_;
+  }
+  std::size_t word_index = from >> 6;
+  std::uint64_t word = words_[word_index] >> (from & 63);
+  if (word != 0) {
+    return from + static_cast<std::size_t>(std::countr_zero(word));
+  }
+  for (word_index++; word_index < words_.size(); word_index++) {
+    if (words_[word_index] != 0) {
+      return (word_index << 6) +
+             static_cast<std::size_t>(std::countr_zero(words_[word_index]));
+    }
+  }
+  return size_;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); i++) {
+    words_[i] |= other.words_[i];
+  }
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); i++) {
+    words_[i] &= other.words_[i];
+  }
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); i++) {
+    words_[i] &= ~other.words_[i];
+  }
+  return *this;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); i++) {
+    if ((words_[i] & ~other.words_[i]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); i++) {
+    if ((words_[i] & other.words_[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DynamicBitset::operator<(const DynamicBitset& other) const {
+  if (size_ != other.size_) {
+    return size_ < other.size_;
+  }
+  return words_ < other.words_;
+}
+
+std::size_t DynamicBitset::Hash() const {
+  std::size_t seed = size_;
+  for (std::uint64_t w : words_) {
+    seed = HashCombine(seed, static_cast<std::size_t>(w * 0xff51afd7ed558ccdULL));
+  }
+  return seed;
+}
+
+}  // namespace gqd

@@ -1,0 +1,117 @@
+// A compact dynamically-sized bitset.
+//
+// DynamicBitset backs gqd::BinaryRelation (an n×n boolean matrix) and the
+// macro-state sets of the definability checkers. The operations that the
+// REE level-closure algorithm spends its time in — union, intersection,
+// subset test, hashing — are all word-parallel here.
+
+#ifndef GQD_COMMON_BITSET_H_
+#define GQD_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace gqd {
+
+/// Fixed-size-at-construction bitset with word-parallel set algebra.
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+
+  /// Creates a bitset of `size` bits, all clear.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+  void Reset(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void Assign(std::size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  /// Clears all bits.
+  void Clear();
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// True iff no bit is set.
+  bool None() const;
+
+  /// True iff at least one bit is set.
+  bool Any() const { return !None(); }
+
+  /// Index of the first set bit at position >= `from`, or `size()` if none.
+  std::size_t FindNext(std::size_t from) const;
+
+  /// Word-parallel in-place union; requires equal sizes.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  /// Word-parallel in-place intersection; requires equal sizes.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  /// Word-parallel in-place difference (this \ other); requires equal sizes.
+  DynamicBitset& operator-=(const DynamicBitset& other);
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+
+  /// True iff every set bit of this is set in `other`.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  /// True iff this and `other` share at least one set bit.
+  bool Intersects(const DynamicBitset& other) const;
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+  bool operator!=(const DynamicBitset& other) const {
+    return !(*this == other);
+  }
+
+  /// Total order (lexicographic on words); lets bitsets key std::map.
+  bool operator<(const DynamicBitset& other) const;
+
+  /// 64-bit mixing hash over the words; suitable for unordered containers.
+  std::size_t Hash() const;
+
+  /// Direct read access to the packed words (for word-level algorithms such
+  /// as boolean matrix multiplication in BinaryRelation::Compose).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t>& mutable_words() { return words_; }
+
+ private:
+  std::size_t size_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// std::hash adapter for DynamicBitset.
+struct DynamicBitsetHash {
+  std::size_t operator()(const DynamicBitset& b) const { return b.Hash(); }
+};
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline std::size_t HashCombine(std::size_t seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+}  // namespace gqd
+
+#endif  // GQD_COMMON_BITSET_H_

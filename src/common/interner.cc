@@ -1,0 +1,31 @@
+#include "common/interner.h"
+
+#include <cassert>
+
+namespace gqd {
+
+std::uint32_t StringInterner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  std::uint32_t id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<std::uint32_t> StringInterner::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& StringInterner::NameOf(std::uint32_t id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace gqd

@@ -1,0 +1,41 @@
+// String interning: maps symbol names (edge labels, data-value names) to
+// dense integer ids so the rest of the library works on small ints.
+
+#ifndef GQD_COMMON_INTERNER_H_
+#define GQD_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gqd {
+
+/// Bidirectional string <-> dense id map. Ids are assigned in insertion
+/// order starting at 0 and never change.
+class StringInterner {
+ public:
+  /// Returns the id of `name`, interning it if new.
+  std::uint32_t Intern(std::string_view name);
+
+  /// Returns the id of `name` if already interned.
+  std::optional<std::uint32_t> Find(std::string_view name) const;
+
+  /// Returns the name for `id`; `id` must be < size().
+  const std::string& NameOf(std::uint32_t id) const;
+
+  std::size_t size() const { return names_.size(); }
+
+  /// All interned names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_COMMON_INTERNER_H_

@@ -1,0 +1,162 @@
+// Status / Result error handling for the gqd library.
+//
+// The public API does not throw exceptions (see DESIGN.md, error-handling
+// policy): fallible operations return gqd::Status, and fallible producers
+// return gqd::Result<T>. The idiom follows Apache Arrow / RocksDB.
+
+#ifndef GQD_COMMON_STATUS_H_
+#define GQD_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gqd {
+
+/// Machine-readable classification of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Caller passed malformed input (bad parse, bad index).
+  kNotFound,         ///< A named entity (label, node, file) does not exist.
+  kOutOfRange,       ///< A numeric parameter is outside the supported range.
+  kResourceExhausted,///< A configured search/size budget was exceeded.
+  kInternal,         ///< Invariant violation inside the library (a bug).
+  kIOError,          ///< Filesystem / stream failure.
+  kUnimplemented,    ///< Feature intentionally not supported.
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+///
+/// Status is cheap to copy in the OK case (single enum); error details are
+/// stored inline. Use the factory functions (Status::InvalidArgument(...))
+/// rather than the raw constructor.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status.
+///
+/// Access the value with ValueOrDie() (asserts OK) or value() after checking
+/// ok(). Mirrors arrow::Result / absl::StatusOr at the small scale this
+/// library needs.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the success path).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (the failure path).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, aborting the process if this Result holds an error.
+  /// Intended for examples and tests, not library internals.
+  const T& ValueOrDie() const& {
+    if (!ok()) {
+      assert(false && "ValueOrDie on error Result");
+    }
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie on error Result");
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define GQD_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::gqd::Status _gqd_status = (expr);    \
+    if (!_gqd_status.ok()) {               \
+      return _gqd_status;                  \
+    }                                      \
+  } while (false)
+
+/// Evaluates a Result expression; on success binds the value to `lhs`,
+/// on failure propagates the Status out of the enclosing function.
+#define GQD_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto GQD_CONCAT_(_gqd_result_, __LINE__) = (expr); \
+  if (!GQD_CONCAT_(_gqd_result_, __LINE__).ok()) {   \
+    return GQD_CONCAT_(_gqd_result_, __LINE__).status(); \
+  }                                            \
+  lhs = std::move(GQD_CONCAT_(_gqd_result_, __LINE__)).value()
+
+#define GQD_CONCAT_INNER_(a, b) a##b
+#define GQD_CONCAT_(a, b) GQD_CONCAT_INNER_(a, b)
+
+}  // namespace gqd
+
+#endif  // GQD_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+// Shared concrete-syntax helpers for the expression printers.
+
+#ifndef GQD_COMMON_SYNTAX_H_
+#define GQD_COMMON_SYNTAX_H_
+
+#include <cctype>
+#include <ostream>
+#include <string>
+
+namespace gqd {
+
+/// True iff `name` can appear unquoted in expression syntax: a non-empty
+/// run of [A-Za-z0-9_] that doesn't collide with a keyword.
+inline bool IsPlainLabelName(const std::string& name) {
+  if (name.empty() || name == "eps" || name == "T") {
+    return false;
+  }
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Prints `name`, quoting it ('...') when it is not a plain identifier, so
+/// the parsers can read it back.
+inline void RenderLabelName(const std::string& name, std::ostream& os) {
+  if (IsPlainLabelName(name)) {
+    os << name;
+  } else {
+    os << "'" << name << "'";
+  }
+}
+
+}  // namespace gqd
+
+#endif  // GQD_COMMON_SYNTAX_H_

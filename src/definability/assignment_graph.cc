@@ -1,0 +1,101 @@
+#include "definability/assignment_graph.h"
+
+#include <cassert>
+
+namespace gqd {
+
+namespace {
+
+/// Encodes an assignment as a base-(δ+1) number; digit δ is ⊥.
+std::uint64_t EncodeAssignment(const RegisterAssignment& assignment,
+                               std::size_t num_values) {
+  std::uint64_t base = num_values + 1;
+  std::uint64_t code = 0;
+  for (std::size_t i = assignment.size(); i-- > 0;) {
+    std::uint64_t digit =
+        (assignment[i] == kEmptyRegister) ? num_values : assignment[i];
+    code = code * base + digit;
+  }
+  return code;
+}
+
+RegisterAssignment DecodeAssignment(std::uint64_t code, std::size_t k,
+                                    std::size_t num_values) {
+  std::uint64_t base = num_values + 1;
+  RegisterAssignment assignment(k);
+  for (std::size_t i = 0; i < k; i++) {
+    std::uint64_t digit = code % base;
+    assignment[i] = (digit == num_values)
+                        ? kEmptyRegister
+                        : static_cast<std::uint32_t>(digit);
+    code /= base;
+  }
+  return assignment;
+}
+
+}  // namespace
+
+Result<AssignmentGraph> AssignmentGraph::Build(const DataGraph& graph,
+                                               std::size_t k) {
+  if (k > 4) {
+    return Status::OutOfRange(
+        "assignment graphs support at most k = 4 registers (got k = " +
+        std::to_string(k) + ")");
+  }
+  AssignmentGraph ag;
+  ag.k_ = k;
+  ag.num_nodes_ = graph.NumNodes();
+  ag.num_labels_ = graph.NumLabels();
+  ag.num_values_ = graph.NumDataValues();
+  ag.assignment_codes_ = 1;
+  for (std::size_t i = 0; i < k; i++) {
+    ag.assignment_codes_ *= (ag.num_values_ + 1);
+  }
+  ag.num_states_ = ag.num_nodes_ * ag.assignment_codes_;
+  if (ag.num_states_ > (std::size_t{1} << 24)) {
+    return Status::OutOfRange("assignment graph too large: " +
+                              std::to_string(ag.num_states_) + " states");
+  }
+
+  std::size_t masks = std::size_t{1} << k;
+  ag.adjacency_.assign(masks * ag.num_labels_ * ag.num_states_, {});
+
+  for (AgState s = 0; s < ag.num_states_; s++) {
+    NodeId v = ag.NodeOf(s);
+    RegisterAssignment sigma =
+        DecodeAssignment(s % ag.assignment_codes_, k, ag.num_values_);
+    std::uint32_t stored_value = graph.DataValueOf(v);
+    for (std::uint32_t mask = 0; mask < masks; mask++) {
+      // σ' = σ[r̄ → ρ(v)].
+      RegisterAssignment sigma_prime = sigma;
+      for (std::size_t r = 0; r < k; r++) {
+        if (mask & (1u << r)) {
+          sigma_prime[r] = stored_value;
+        }
+      }
+      std::uint64_t sigma_prime_code =
+          EncodeAssignment(sigma_prime, ag.num_values_);
+      for (const auto& [label, v_prime] : graph.OutEdges(v)) {
+        AgState target = static_cast<AgState>(
+            v_prime * ag.assignment_codes_ + sigma_prime_code);
+        std::uint8_t pattern = static_cast<std::uint8_t>(
+            EqualityPattern(graph.DataValueOf(v_prime), sigma_prime));
+        ag.adjacency_[(mask * ag.num_labels_ + label) * ag.num_states_ + s]
+            .push_back(Successor{target, pattern});
+      }
+    }
+  }
+  return ag;
+}
+
+AgState AssignmentGraph::InitialState(NodeId v) const {
+  RegisterAssignment bottom(k_, kEmptyRegister);
+  return static_cast<AgState>(v * assignment_codes_ +
+                              EncodeAssignment(bottom, num_values_));
+}
+
+RegisterAssignment AssignmentGraph::AssignmentOf(AgState state) const {
+  return DecodeAssignment(state % assignment_codes_, k_, num_values_);
+}
+
+}  // namespace gqd

@@ -1,0 +1,94 @@
+// The k-assignment graph T_G (Definition 19 of the paper).
+//
+// States are pairs (v, σ) of a graph node and a register assignment over
+// D_G ∪ {⊥}. A transition (v, σ) —↓r̄.a[c]→ (v', σ') exists when
+// (v, a, v') ∈ E, σ' = σ[r̄ → ρ(v)], and ρ(v'), σ' ⊨ c.
+//
+// For the definability search the transition alphabet is finite: store sets
+// r̄ range over the 2^k register subsets and conditions over the 2^(2^k)
+// semantically distinct minterm masks. This class pre-computes, for every
+// (r̄, a) pair and every state, the successor states *annotated with the
+// equality pattern of the target value against σ'* — a condition mask then
+// selects successors by pattern membership without re-deriving anything.
+
+#ifndef GQD_DEFINABILITY_ASSIGNMENT_GRAPH_H_
+#define GQD_DEFINABILITY_ASSIGNMENT_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "rem/condition.h"
+
+namespace gqd {
+
+/// Dense index of an assignment-graph state (v, σ).
+using AgState = std::uint32_t;
+
+/// One transition block label ↓r̄.a[c] of a basic k-REM (Definition 16).
+struct BasicRemBlock {
+  std::uint32_t store_mask;  ///< bit i set ⟺ r_{i+1} ∈ r̄
+  LabelId label;             ///< a
+  MintermMask condition;     ///< c as a minterm set (see rem/condition.h)
+};
+
+/// The assignment graph of a data graph for a fixed register count k.
+class AssignmentGraph {
+ public:
+  /// Requires k <= 4 (the transition alphabet has 2^k · |Σ| · 2^(2^k)
+  /// letters; beyond k = 4 the construction is pointless in practice).
+  static Result<AssignmentGraph> Build(const DataGraph& graph, std::size_t k);
+
+  std::size_t k() const { return k_; }
+  /// n · (δ+1)^k.
+  std::size_t num_states() const { return num_states_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_labels() const { return num_labels_; }
+  std::size_t num_store_masks() const { return std::size_t{1} << k_; }
+  std::size_t num_patterns() const { return std::size_t{1} << k_; }
+
+  /// The state (v, ⊥^k).
+  AgState InitialState(NodeId v) const;
+
+  /// The node component of a state.
+  NodeId NodeOf(AgState state) const {
+    return static_cast<NodeId>(state / assignment_codes_);
+  }
+
+  /// Decodes the assignment component of a state.
+  RegisterAssignment AssignmentOf(AgState state) const;
+
+  /// A successor under a fixed (store set, letter), annotated with the
+  /// equality pattern of the target node's value against the post-store
+  /// assignment σ'. A block ↓r̄.a[c] admits the successor iff c's minterm
+  /// mask contains `pattern`.
+  struct Successor {
+    AgState state;
+    std::uint8_t pattern;
+  };
+
+  /// Successors of `state` under store set `store_mask` and letter `label`.
+  const std::vector<Successor>& SuccessorsOf(std::uint32_t store_mask,
+                                             LabelId label,
+                                             AgState state) const {
+    return adjacency_[(store_mask * num_labels_ + label) * num_states_ +
+                      state];
+  }
+
+ private:
+  AssignmentGraph() = default;
+
+  std::size_t k_ = 0;
+  std::size_t num_nodes_ = 0;
+  std::size_t num_labels_ = 0;
+  std::size_t num_values_ = 0;
+  std::uint64_t assignment_codes_ = 1;  // (δ+1)^k
+  std::size_t num_states_ = 0;
+  /// adjacency_[(mask·|Σ| + a)·|Q| + s] = successors of s under (mask, a).
+  std::vector<std::vector<Successor>> adjacency_;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_DEFINABILITY_ASSIGNMENT_GRAPH_H_

@@ -1,0 +1,264 @@
+#include "definability/krem_definability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace gqd {
+
+namespace {
+
+/// A macro tuple ⟨Q_1, ..., Q_n⟩ packed as one flat word vector for
+/// hashing/equality (n consecutive bitsets over assignment-graph states).
+struct MacroTuple {
+  std::vector<DynamicBitset> sets;
+
+  std::vector<std::uint64_t> Key() const {
+    std::vector<std::uint64_t> key;
+    for (const DynamicBitset& s : sets) {
+      key.insert(key.end(), s.words().begin(), s.words().end());
+    }
+    return key;
+  }
+};
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& key) const {
+    std::size_t seed = key.size();
+    for (std::uint64_t w : key) {
+      seed = HashCombine(seed,
+                         static_cast<std::size_t>(w * 0xff51afd7ed558ccdULL));
+    }
+    return seed;
+  }
+};
+
+}  // namespace
+
+Result<KRemDefinabilityResult> CheckKRemDefinability(
+    const DataGraph& graph, const BinaryRelation& relation, std::size_t k,
+    const KRemDefinabilityOptions& options) {
+  if (relation.num_nodes() != graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "relation is over a different node count than the graph");
+  }
+  KRemDefinabilityResult result;
+  std::vector<std::pair<NodeId, NodeId>> pairs = relation.Pairs();
+  if (pairs.empty()) {
+    // The empty relation is definable (e.g. by a[¬⊤], or by any REM whose
+    // language contains no data path of the graph).
+    result.verdict = DefinabilityVerdict::kDefinable;
+    return result;
+  }
+
+  GQD_ASSIGN_OR_RETURN(AssignmentGraph ag, AssignmentGraph::Build(graph, k));
+  std::size_t n = graph.NumNodes();
+  std::size_t num_states = ag.num_states();
+  std::size_t num_patterns = ag.num_patterns();
+
+  // BFS bookkeeping: tuple storage, parent links, and the incoming block of
+  // each tuple for witness reconstruction.
+  std::vector<MacroTuple> tuples;
+  std::vector<std::size_t> parent;
+  std::vector<BasicRemBlock> incoming;
+  std::unordered_map<std::vector<std::uint64_t>, std::size_t, KeyHash> seen;
+
+  auto intern = [&](MacroTuple tuple, std::size_t parent_index,
+                    BasicRemBlock block) -> std::size_t {
+    auto key = tuple.Key();
+    auto it = seen.find(key);
+    if (it != seen.end()) {
+      return it->second;
+    }
+    std::size_t index = tuples.size();
+    seen.emplace(std::move(key), index);
+    tuples.push_back(std::move(tuple));
+    parent.push_back(parent_index);
+    incoming.push_back(block);
+    return index;
+  };
+
+  // Pair bookkeeping: which pairs of S still need a witness, and the tuple
+  // index at which each pair was first accepted.
+  constexpr std::size_t kUnsolved = static_cast<std::size_t>(-1);
+  std::unordered_map<std::uint64_t, std::size_t> pair_solution;
+  for (const auto& [p, q] : pairs) {
+    pair_solution[static_cast<std::uint64_t>(p) * n + q] = kUnsolved;
+  }
+  std::size_t unsolved = pairs.size();
+
+  // Safety and acceptance of one tuple.
+  auto process_tuple = [&](std::size_t index) {
+    const MacroTuple& tuple = tuples[index];
+    // Project each Q_i to its node set and check safety:
+    // every (v', σ) ∈ Q_i must have ⟨v_i, v'⟩ ∈ S.
+    std::vector<DynamicBitset> projections(n, DynamicBitset(n));
+    for (std::size_t i = 0; i < n; i++) {
+      const DynamicBitset& q_i = tuple.sets[i];
+      for (std::size_t s = q_i.FindNext(0); s < num_states;
+           s = q_i.FindNext(s + 1)) {
+        NodeId v = ag.NodeOf(static_cast<AgState>(s));
+        if (!relation.Test(static_cast<NodeId>(i), v)) {
+          return;  // unsafe: this tuple accepts no pair
+        }
+        projections[i].Set(v);
+      }
+    }
+    // Safe: it accepts ⟨v_p, v_q⟩ iff v_q ∈ nodes(Q_p).
+    for (const auto& [p, q] : pairs) {
+      std::uint64_t key = static_cast<std::uint64_t>(p) * n + q;
+      auto it = pair_solution.find(key);
+      if (it->second == kUnsolved && projections[p].Test(q)) {
+        it->second = index;
+        unsolved--;
+      }
+    }
+  };
+
+  // Initial tuple: Q_i = {(v_i, ⊥^k)} — the ε expression (zero blocks).
+  {
+    MacroTuple initial;
+    initial.sets.assign(n, DynamicBitset(num_states));
+    for (NodeId v = 0; v < n; v++) {
+      initial.sets[v].Set(ag.InitialState(v));
+    }
+    intern(std::move(initial), kUnsolved, BasicRemBlock{});
+    process_tuple(0);
+  }
+
+  for (std::size_t head = 0; head < tuples.size() && unsolved > 0; head++) {
+    if (tuples.size() > options.max_tuples) {
+      result.verdict = DefinabilityVerdict::kBudgetExhausted;
+      result.tuples_explored = tuples.size();
+      return result;
+    }
+    for (std::uint32_t mask = 0; mask < ag.num_store_masks(); mask++) {
+      for (LabelId label = 0; label < ag.num_labels(); label++) {
+        // Successors of every Q_i grouped by equality pattern, so each
+        // condition evaluates as a union of pre-computed pattern parts.
+        std::vector<std::vector<DynamicBitset>> parts(
+            n, std::vector<DynamicBitset>(num_patterns,
+                                          DynamicBitset(num_states)));
+        std::uint32_t achieved = 0;
+        {
+          // Copy: `tuples` may reallocate inside intern() below.
+          const MacroTuple current = tuples[head];
+          for (std::size_t i = 0; i < n; i++) {
+            const DynamicBitset& q_i = current.sets[i];
+            for (std::size_t s = q_i.FindNext(0); s < num_states;
+                 s = q_i.FindNext(s + 1)) {
+              for (const auto& successor :
+                   ag.SuccessorsOf(mask, label, static_cast<AgState>(s))) {
+                parts[i][successor.pattern].Set(successor.state);
+                achieved |= (1u << successor.pattern);
+              }
+            }
+          }
+        }
+        if (achieved == 0) {
+          continue;  // no successors under (mask, label) at all
+        }
+        // Enumerate conditions as non-empty subsets of achieved patterns
+        // (patterns outside `achieved` cannot change the successor tuple).
+        std::vector<std::uint8_t> achieved_patterns;
+        for (std::uint32_t p = 0; p < num_patterns; p++) {
+          if (achieved & (1u << p)) {
+            achieved_patterns.push_back(static_cast<std::uint8_t>(p));
+          }
+        }
+        std::uint32_t subset_count = 1u << achieved_patterns.size();
+        for (std::uint32_t subset = 1; subset < subset_count; subset++) {
+          MintermMask condition = 0;
+          MacroTuple successor;
+          successor.sets.assign(n, DynamicBitset(num_states));
+          for (std::size_t bit = 0; bit < achieved_patterns.size(); bit++) {
+            if (!(subset & (1u << bit))) {
+              continue;
+            }
+            std::uint8_t pattern = achieved_patterns[bit];
+            condition |= (MintermMask{1} << pattern);
+            for (std::size_t i = 0; i < n; i++) {
+              successor.sets[i] |= parts[i][pattern];
+            }
+          }
+          std::size_t before = tuples.size();
+          std::size_t index = intern(
+              std::move(successor), head,
+              BasicRemBlock{mask, label, condition});
+          if (index == before) {
+            process_tuple(index);
+            if (unsolved == 0) {
+              break;
+            }
+          }
+        }
+        if (unsolved == 0) {
+          break;
+        }
+      }
+      if (unsolved == 0) {
+        break;
+      }
+    }
+  }
+
+  result.tuples_explored = tuples.size();
+  if (unsolved > 0) {
+    result.verdict = DefinabilityVerdict::kNotDefinable;
+    return result;
+  }
+
+  // Reconstruct one witness per pair by walking parent links.
+  result.verdict = DefinabilityVerdict::kDefinable;
+  for (const auto& [p, q] : pairs) {
+    std::size_t index =
+        pair_solution[static_cast<std::uint64_t>(p) * n + q];
+    KRemWitness witness;
+    witness.from = p;
+    witness.to = q;
+    for (std::size_t at = index; at != 0; at = parent[at]) {
+      witness.blocks.push_back(incoming[at]);
+    }
+    std::reverse(witness.blocks.begin(), witness.blocks.end());
+    result.witnesses.push_back(std::move(witness));
+  }
+  return result;
+}
+
+Result<KRemDefinabilityResult> CheckRemDefinability(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const KRemDefinabilityOptions& options) {
+  return CheckKRemDefinability(graph, relation, graph.NumDataValues(),
+                               options);
+}
+
+RemPtr BasicRemFromBlocks(const std::vector<BasicRemBlock>& blocks,
+                          std::size_t k, const StringInterner& labels) {
+  if (blocks.empty()) {
+    return rem::Epsilon();
+  }
+  MintermMask full = (NumMinterms(k) == 64)
+                         ? ~MintermMask{0}
+                         : ((MintermMask{1} << NumMinterms(k)) - 1);
+  std::vector<RemPtr> parts;
+  for (const BasicRemBlock& block : blocks) {
+    RemPtr step = rem::Letter(labels.NameOf(block.label));
+    if ((block.condition & full) != full) {
+      step = rem::Test(std::move(step),
+                       ConditionFromMinterms(block.condition, k));
+    }
+    if (block.store_mask != 0) {
+      std::vector<std::size_t> registers;
+      for (std::size_t r = 0; r < k; r++) {
+        if (block.store_mask & (1u << r)) {
+          registers.push_back(r);
+        }
+      }
+      step = rem::Bind(std::move(registers), std::move(step));
+    }
+    parts.push_back(std::move(step));
+  }
+  return rem::Concat(std::move(parts));
+}
+
+}  // namespace gqd

@@ -1,0 +1,78 @@
+// k-RDPQ_mem-definability (Section 3.1, Theorem 22) and, at k = 0,
+// RPQ-definability (the baseline of Antonopoulos–Neven–Servais).
+//
+// By Lemmas 18/20/21, S is definable by a k-register REM iff every pair
+// ⟨v_p, v_q⟩ ∈ S has a *k-REM witness*: a basic k-REM e (a block sequence
+// ↓r̄_1.a_1[c_1] ··· ↓r̄_m.a_m[c_m]) such that
+//   (1) some run (v_p, ⊥^k) —e→ (v_q, ·) exists in the assignment graph, and
+//   (2) every run (v_i, ⊥^k) —e→ (v', ·) has ⟨v_i, v'⟩ ∈ S.
+//
+// The checker runs BFS over the deterministic *macro-tuple* system: a tuple
+// ⟨Q_1, ..., Q_n⟩ of assignment-graph state sets, Q_i = states reachable
+// from (v_i, ⊥^k) along the block prefix read so far (sequence (2) in the
+// proof of Lemma 21). A tuple is *safe* when condition (2) holds of it, and
+// accepts ⟨v_p, v_q⟩ when it is safe and v_q appears in Q_p. The paper's
+// pigeonhole bound 2^(n²(δ+1)^k) on witness length is exactly the number of
+// distinct tuples, i.e. the BFS's worst-case frontier — hence the explicit
+// tuple budget.
+
+#ifndef GQD_DEFINABILITY_KREM_DEFINABILITY_H_
+#define GQD_DEFINABILITY_KREM_DEFINABILITY_H_
+
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "definability/assignment_graph.h"
+#include "definability/verdict.h"
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+#include "rem/ast.h"
+
+namespace gqd {
+
+/// A k-REM witness for one pair of S: the block sequence of a basic k-REM
+/// (empty sequence = the ε expression, witnessing diagonal pairs).
+struct KRemWitness {
+  NodeId from;
+  NodeId to;
+  std::vector<BasicRemBlock> blocks;
+};
+
+struct KRemDefinabilityOptions {
+  /// Maximum number of distinct macro tuples to explore before giving up.
+  std::size_t max_tuples = 200'000;
+};
+
+struct KRemDefinabilityResult {
+  DefinabilityVerdict verdict = DefinabilityVerdict::kBudgetExhausted;
+  /// One witness per pair of S (populated iff verdict == kDefinable).
+  std::vector<KRemWitness> witnesses;
+  /// Macro tuples explored (the E2 bench's cost measure).
+  std::size_t tuples_explored = 0;
+};
+
+/// Decides whether S is definable by an RDPQ_mem using at most k registers.
+/// Requires k <= 4 (see AssignmentGraph::Build).
+Result<KRemDefinabilityResult> CheckKRemDefinability(
+    const DataGraph& graph, const BinaryRelation& relation, std::size_t k,
+    const KRemDefinabilityOptions& options = {});
+
+/// RDPQ_mem-definability with unbounded registers: by Lemma 23 this equals
+/// δ-RDPQ_mem-definability, so this calls CheckKRemDefinability with
+/// k = min(δ, needed) — δ registers always suffice, and fewer than δ are
+/// never *required* to exceed (the call still fails with OutOfRange when
+/// δ > 4, the practical wall the E3 bench demonstrates).
+Result<KRemDefinabilityResult> CheckRemDefinability(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const KRemDefinabilityOptions& options = {});
+
+/// Materializes a witness's block sequence as a basic k-REM AST
+/// (Definition 16); the empty sequence yields ε. Conditions equal to the
+/// full minterm set and empty store sets are omitted for readability.
+RemPtr BasicRemFromBlocks(const std::vector<BasicRemBlock>& blocks,
+                          std::size_t k, const StringInterner& labels);
+
+}  // namespace gqd
+
+#endif  // GQD_DEFINABILITY_KREM_DEFINABILITY_H_

@@ -1,0 +1,56 @@
+// RDPQ_=-definability (Section 4 of the paper): PSPACE algorithm via the
+// level hierarchy of Definition 27.
+//
+// Key algebra (Lemma 29 + distributivity): ∘ distributes over +, and the
+// =/≠ restrictions distribute over + as well:
+//   (S1 + S2) ∘ T = S1∘T + S2∘T,   (S1 + S2)= = S1= + S2=.
+// Hence every level L_i is exactly the set of unions of elements of a
+// finite ∘-monoid M_i, where
+//   M_0 = ∘-closure({S_ε} ∪ {S_a : a ∈ Σ})
+//   M_i = ∘-closure(M_{i-1} ∪ {m=, m≠ : m ∈ M_{i-1}})
+// and the hierarchy stabilizes within n² rounds (Lemma 28). By Lemma 30,
+// S is RDPQ_=-definable iff S ∈ L_∞, i.e. iff S equals the union of all
+// monoid elements contained in S.
+//
+// Every monoid element carries its REE derivation, so a defining REE is
+// synthesized directly from a greedy cover of S (and round-trip-verified by
+// tests through EvaluateRee).
+
+#ifndef GQD_DEFINABILITY_REE_DEFINABILITY_H_
+#define GQD_DEFINABILITY_REE_DEFINABILITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "definability/verdict.h"
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+#include "ree/ast.h"
+
+namespace gqd {
+
+struct ReeDefinabilityOptions {
+  /// Maximum number of distinct relations to materialize in the monoid.
+  std::size_t max_monoid_size = 200'000;
+  /// Maximum restriction levels; 0 means the paper's bound n².
+  std::size_t max_levels = 0;
+};
+
+struct ReeDefinabilityResult {
+  DefinabilityVerdict verdict = DefinabilityVerdict::kBudgetExhausted;
+  /// Number of restriction levels applied before the monoid stabilized.
+  std::size_t levels_used = 0;
+  /// Final monoid size (the E4 bench's cost measure).
+  std::size_t monoid_size = 0;
+  /// A defining REE (populated iff verdict == kDefinable and S non-empty).
+  ReePtr defining_expression;
+};
+
+/// Decides whether `relation` is definable by an RDPQ_= on `graph`.
+Result<ReeDefinabilityResult> CheckReeDefinability(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const ReeDefinabilityOptions& options = {});
+
+}  // namespace gqd
+
+#endif  // GQD_DEFINABILITY_REE_DEFINABILITY_H_

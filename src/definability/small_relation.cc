@@ -1,0 +1,52 @@
+#include "definability/small_relation.h"
+
+#include <cassert>
+
+namespace gqd {
+
+SmallRelationSpace::SmallRelationSpace(const DataGraph& graph)
+    : n_(graph.NumNodes()) {
+  assert(n_ <= 8 && "SmallRelationSpace requires at most 8 nodes");
+  row_mask_ = (n_ == 0) ? 0 : ((std::uint64_t{1} << n_) - 1);
+  full_mask_ =
+      (n_ * n_ == 64) ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << (n_ * n_)) - 1);
+  identity_ = 0;
+  eq_mask_ = 0;
+  for (std::size_t u = 0; u < n_; u++) {
+    identity_ |= std::uint64_t{1} << (u * n_ + u);
+    for (std::size_t v = 0; v < n_; v++) {
+      if (graph.DataValueOf(static_cast<NodeId>(u)) ==
+          graph.DataValueOf(static_cast<NodeId>(v))) {
+        eq_mask_ |= std::uint64_t{1} << (u * n_ + v);
+      }
+    }
+  }
+  labels_.assign(graph.NumLabels(), 0);
+  for (const Edge& e : graph.edges()) {
+    labels_[e.label] |= std::uint64_t{1} << (e.from * n_ + e.to);
+  }
+}
+
+SmallRelation SmallRelationSpace::Pack(const BinaryRelation& rel) const {
+  assert(rel.num_nodes() == n_);
+  SmallRelation out = 0;
+  for (const auto& [u, v] : rel.Pairs()) {
+    out |= std::uint64_t{1} << (u * n_ + v);
+  }
+  return out;
+}
+
+BinaryRelation SmallRelationSpace::Unpack(SmallRelation rel) const {
+  BinaryRelation out(n_);
+  for (std::size_t u = 0; u < n_; u++) {
+    for (std::size_t v = 0; v < n_; v++) {
+      if (rel & (std::uint64_t{1} << (u * n_ + v))) {
+        out.Set(static_cast<NodeId>(u), static_cast<NodeId>(v));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gqd

@@ -1,0 +1,74 @@
+// A binary relation over n ≤ 8 nodes packed into one 64-bit word
+// (row-major: bit u·n + v ⟺ (u, v) ∈ R).
+//
+// The REE definability checker materializes tens of thousands of relations
+// during the level closure; on small graphs — which is where definability
+// checking is feasible at all — the packed form makes composition,
+// restriction, hashing and dedup almost free. CheckReeDefinability
+// dispatches to this representation automatically (see the E9 ablation).
+
+#ifndef GQD_DEFINABILITY_SMALL_RELATION_H_
+#define GQD_DEFINABILITY_SMALL_RELATION_H_
+
+#include <cstdint>
+
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+
+namespace gqd {
+
+/// Packed relation value; operations live in SmallRelationSpace.
+using SmallRelation = std::uint64_t;
+
+/// Context for packed-relation operations over a fixed small graph.
+class SmallRelationSpace {
+ public:
+  /// Requires graph.NumNodes() <= 8.
+  explicit SmallRelationSpace(const DataGraph& graph);
+
+  std::size_t n() const { return n_; }
+
+  SmallRelation Empty() const { return 0; }
+  SmallRelation Identity() const { return identity_; }
+  SmallRelation FromLabel(LabelId label) const { return labels_[label]; }
+
+  SmallRelation Pack(const BinaryRelation& rel) const;
+  BinaryRelation Unpack(SmallRelation rel) const;
+
+  /// R1 ∘ R2 via per-row bit gathering.
+  SmallRelation Compose(SmallRelation a, SmallRelation b) const {
+    SmallRelation out = 0;
+    for (std::size_t u = 0; u < n_; u++) {
+      std::uint64_t row = (a >> (u * n_)) & row_mask_;
+      std::uint64_t reachable = 0;
+      while (row != 0) {
+        std::size_t z = static_cast<std::size_t>(__builtin_ctzll(row));
+        row &= row - 1;
+        reachable |= (b >> (z * n_)) & row_mask_;
+      }
+      out |= reachable << (u * n_);
+    }
+    return out;
+  }
+
+  SmallRelation EqRestrict(SmallRelation rel) const { return rel & eq_mask_; }
+  SmallRelation NeqRestrict(SmallRelation rel) const {
+    return rel & ~eq_mask_ & full_mask_;
+  }
+
+  bool IsSubsetOf(SmallRelation a, SmallRelation b) const {
+    return (a & ~b) == 0;
+  }
+
+ private:
+  std::size_t n_;
+  std::uint64_t row_mask_;   // low n bits
+  std::uint64_t full_mask_;  // low n² bits
+  std::uint64_t eq_mask_;    // pairs with equal data values
+  SmallRelation identity_;
+  std::vector<SmallRelation> labels_;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_DEFINABILITY_SMALL_RELATION_H_

@@ -1,0 +1,105 @@
+#include "definability/ucrdpq_definability.h"
+
+#include <cassert>
+
+namespace gqd {
+
+namespace {
+
+/// Enumerates tuples of V^arity in lexicographic order via an odometer.
+bool NextTuple(NodeTuple* tuple, std::size_t n) {
+  for (std::size_t i = tuple->size(); i-- > 0;) {
+    if (++(*tuple)[i] < n) {
+      return true;
+    }
+    (*tuple)[i] = 0;
+  }
+  return false;
+}
+
+/// Pins consistent with the tuple pattern: positions of t with equal nodes
+/// must receive equal images (they pin the same CSP variable).
+bool BuildPins(const NodeTuple& source, const NodeTuple& image,
+               std::vector<std::pair<NodeId, NodeId>>* pins) {
+  pins->clear();
+  for (std::size_t i = 0; i < source.size(); i++) {
+    for (const auto& [node, pinned] : *pins) {
+      if (node == source[i] && pinned != image[i]) {
+        return false;  // contradictory pin: h(v) can't be two nodes
+      }
+    }
+    pins->emplace_back(source[i], image[i]);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
+    const DataGraph& graph, const TupleRelation& relation,
+    const UcrdpqDefinabilityOptions& options) {
+  std::size_t n = graph.NumNodes();
+  UcrdpqDefinabilityResult result;
+  if (relation.empty()) {
+    // Vacuously preserved by every homomorphism; definable (e.g. by a
+    // CRDPQ with an unsatisfiable atom such as x -(eps)≠-> x... any query
+    // with empty answer works).
+    result.verdict = DefinabilityVerdict::kDefinable;
+    return result;
+  }
+
+  // Build the homomorphism CSP once; each seed re-pins a copy.
+  Csp base_csp = BuildHomomorphismCsp(graph);
+  std::vector<std::pair<NodeId, NodeId>> pins;
+  for (const NodeTuple& source : relation.tuples()) {
+    NodeTuple image(relation.arity(), 0);
+    do {
+      if (relation.Contains(image)) {
+        continue;  // h(t) ∈ S is not a violation
+      }
+      if (!BuildPins(source, image, &pins)) {
+        continue;  // incompatible with h being a function
+      }
+      result.seeds_tried++;
+      Csp csp = base_csp;
+      bool wiped = false;
+      for (const auto& [node, pinned] : pins) {
+        csp.Pin(node, pinned);
+        if (csp.domains[node].None()) {
+          wiped = true;
+          break;
+        }
+      }
+      if (wiped) {
+        continue;
+      }
+      auto solved = SolveCsp(csp, options.csp, &result.csp_stats);
+      if (!solved.ok()) {
+        if (solved.status().code() == StatusCode::kResourceExhausted) {
+          result.verdict = DefinabilityVerdict::kBudgetExhausted;
+          return result;
+        }
+        return solved.status();
+      }
+      if (solved.value().has_value()) {
+        NodeMapping mapping(solved.value()->begin(), solved.value()->end());
+        assert(IsDataGraphHomomorphism(graph, mapping));
+        result.verdict = DefinabilityVerdict::kNotDefinable;
+        result.violating_homomorphism = std::move(mapping);
+        result.violated_tuple = source;
+        return result;
+      }
+    } while (NextTuple(&image, n));
+  }
+  result.verdict = DefinabilityVerdict::kDefinable;
+  return result;
+}
+
+Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const UcrdpqDefinabilityOptions& options) {
+  return CheckUcrdpqDefinability(graph, TupleRelation::FromBinary(relation),
+                                 options);
+}
+
+}  // namespace gqd

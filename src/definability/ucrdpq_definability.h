@@ -1,0 +1,51 @@
+// UCRDPQ-definability (Section 5, Theorem 35): coNP algorithm via
+// data-graph homomorphisms.
+//
+// Lemma 34: a relation S (of any arity) is UCRDPQ-definable iff every
+// data-graph homomorphism h maps every tuple of S back into S. The checker
+// searches for a *violating* homomorphism: for each t ∈ S and each
+// candidate image t' ∉ S it pins h(t) = t' and runs the CSP engine
+// (homomorphism/); a solution is a certificate of non-definability.
+
+#ifndef GQD_DEFINABILITY_UCRDPQ_DEFINABILITY_H_
+#define GQD_DEFINABILITY_UCRDPQ_DEFINABILITY_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "definability/verdict.h"
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+#include "homomorphism/csp.h"
+#include "homomorphism/data_graph_hom.h"
+
+namespace gqd {
+
+struct UcrdpqDefinabilityOptions {
+  /// Passed through to the CSP engine for every seeded search.
+  CspOptions csp;
+};
+
+struct UcrdpqDefinabilityResult {
+  DefinabilityVerdict verdict = DefinabilityVerdict::kBudgetExhausted;
+  /// When not definable: a homomorphism h and a tuple t ∈ S with h(t) ∉ S.
+  std::optional<NodeMapping> violating_homomorphism;
+  std::optional<NodeTuple> violated_tuple;
+  /// Number of seeded CSP searches attempted (the E5 bench's measure).
+  std::size_t seeds_tried = 0;
+  CspStats csp_stats;
+};
+
+/// Decides whether `relation` is UCRDPQ-definable on `graph` (Lemma 34).
+Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
+    const DataGraph& graph, const TupleRelation& relation,
+    const UcrdpqDefinabilityOptions& options = {});
+
+/// Convenience overload for binary relations.
+Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const UcrdpqDefinabilityOptions& options = {});
+
+}  // namespace gqd
+
+#endif  // GQD_DEFINABILITY_UCRDPQ_DEFINABILITY_H_

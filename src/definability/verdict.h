@@ -1,0 +1,32 @@
+// Shared three-valued outcome for the definability checkers.
+
+#ifndef GQD_DEFINABILITY_VERDICT_H_
+#define GQD_DEFINABILITY_VERDICT_H_
+
+namespace gqd {
+
+/// Outcome of a definability check. The decision problems are complete for
+/// EXPSPACE / PSPACE / coNP, so every checker carries an explicit search
+/// budget; kBudgetExhausted means "gave up", not "no".
+enum class DefinabilityVerdict {
+  kDefinable,
+  kNotDefinable,
+  kBudgetExhausted,
+};
+
+/// Human-readable verdict name.
+inline const char* DefinabilityVerdictToString(DefinabilityVerdict verdict) {
+  switch (verdict) {
+    case DefinabilityVerdict::kDefinable:
+      return "definable";
+    case DefinabilityVerdict::kNotDefinable:
+      return "not definable";
+    case DefinabilityVerdict::kBudgetExhausted:
+      return "budget exhausted";
+  }
+  return "unknown";
+}
+
+}  // namespace gqd
+
+#endif  // GQD_DEFINABILITY_VERDICT_H_

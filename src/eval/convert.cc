@@ -1,0 +1,94 @@
+#include "eval/convert.h"
+
+#include <cassert>
+
+namespace gqd {
+
+RemPtr RegexToRem(const RegexPtr& expression) {
+  switch (expression->kind) {
+    case RegexKind::kEpsilon:
+      return rem::Epsilon();
+    case RegexKind::kLetter:
+      return rem::Letter(expression->letter);
+    case RegexKind::kUnion: {
+      std::vector<RemPtr> children;
+      for (const RegexPtr& child : expression->children) {
+        children.push_back(RegexToRem(child));
+      }
+      return rem::Union(std::move(children));
+    }
+    case RegexKind::kConcat: {
+      std::vector<RemPtr> children;
+      for (const RegexPtr& child : expression->children) {
+        children.push_back(RegexToRem(child));
+      }
+      return rem::Concat(std::move(children));
+    }
+    case RegexKind::kStar:
+      return rem::Star(RegexToRem(expression->children[0]));
+    case RegexKind::kPlus:
+      return rem::Plus(RegexToRem(expression->children[0]));
+  }
+  assert(false && "unreachable");
+  return rem::Epsilon();
+}
+
+std::size_t ReeRestrictionDepth(const ReePtr& expression) {
+  std::size_t depth = 0;
+  for (const ReePtr& child : expression->children) {
+    depth = std::max(depth, ReeRestrictionDepth(child));
+  }
+  if (expression->kind == ReeKind::kEq ||
+      expression->kind == ReeKind::kNeq) {
+    depth += 1;
+  }
+  return depth;
+}
+
+namespace {
+
+/// `depth` is the register index reserved for the innermost enclosing
+/// restriction-in-progress; the next restriction below uses `depth`.
+RemPtr Convert(const ReePtr& node, std::size_t depth) {
+  switch (node->kind) {
+    case ReeKind::kEpsilon:
+      return rem::Epsilon();
+    case ReeKind::kLetter:
+      return rem::Letter(node->letter);
+    case ReeKind::kUnion: {
+      std::vector<RemPtr> children;
+      for (const ReePtr& child : node->children) {
+        children.push_back(Convert(child, depth));
+      }
+      return rem::Union(std::move(children));
+    }
+    case ReeKind::kConcat: {
+      std::vector<RemPtr> children;
+      for (const ReePtr& child : node->children) {
+        children.push_back(Convert(child, depth));
+      }
+      return rem::Concat(std::move(children));
+    }
+    case ReeKind::kPlus:
+      return rem::Plus(Convert(node->children[0], depth));
+    case ReeKind::kEq:
+      // e= ↦ ↓r.ẽ[r=]: store the first value into register `depth`, run
+      // the body (whose own restrictions use deeper registers), test the
+      // last value for equality.
+      return rem::Bind({depth},
+                       rem::Test(Convert(node->children[0], depth + 1),
+                                 cond::RegisterEq(depth)));
+    case ReeKind::kNeq:
+      return rem::Bind({depth},
+                       rem::Test(Convert(node->children[0], depth + 1),
+                                 cond::RegisterNeq(depth)));
+  }
+  assert(false && "unreachable");
+  return rem::Epsilon();
+}
+
+}  // namespace
+
+RemPtr ReeToRem(const ReePtr& expression) { return Convert(expression, 0); }
+
+}  // namespace gqd

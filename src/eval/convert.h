@@ -1,0 +1,37 @@
+// Expressiveness inclusions, executable: RPQ ⊆ RDPQ_= ⊆ RDPQ_mem
+// (Section 2.2 of the paper — "RDPQ_mem can define more relations than
+// RDPQ_=", and both subsume RPQs).
+//
+// * A standard regex is a register-free REM (structural embedding).
+// * An REE embeds into REM by spending one register per restriction
+//   *nesting level*: e= becomes ↓r.ẽ[r=] — store the first value, test
+//   the last. Sequential restrictions at the same depth reuse the same
+//   register (each ↓ re-stores on entry), so the register count is the
+//   restriction nesting depth, not the restriction count.
+//
+// These conversions power witness extraction (eval/explain.h) and are
+// property-tested: evaluation before and after conversion must agree on
+// every graph.
+
+#ifndef GQD_EVAL_CONVERT_H_
+#define GQD_EVAL_CONVERT_H_
+
+#include "regex/ast.h"
+#include "ree/ast.h"
+#include "rem/ast.h"
+
+namespace gqd {
+
+/// Embeds a standard regex as a register-free REM.
+RemPtr RegexToRem(const RegexPtr& expression);
+
+/// Embeds an REE as an REM with ReeRestrictionDepth(e) registers.
+RemPtr ReeToRem(const ReePtr& expression);
+
+/// Maximum nesting depth of =/≠ restrictions (the register budget of
+/// ReeToRem).
+std::size_t ReeRestrictionDepth(const ReePtr& expression);
+
+}  // namespace gqd
+
+#endif  // GQD_EVAL_CONVERT_H_

@@ -1,0 +1,45 @@
+#include "eval/ree_eval.h"
+
+#include <cassert>
+
+namespace gqd {
+
+BinaryRelation EvaluateRee(const DataGraph& graph, const ReePtr& expression) {
+  std::size_t n = graph.NumNodes();
+  switch (expression->kind) {
+    case ReeKind::kEpsilon:
+      return BinaryRelation::Identity(n);
+    case ReeKind::kLetter: {
+      auto id = graph.labels().Find(expression->letter);
+      if (!id.has_value()) {
+        return BinaryRelation(n);
+      }
+      return BinaryRelation::FromEdges(graph, *id);
+    }
+    case ReeKind::kUnion: {
+      BinaryRelation out(n);
+      for (const ReePtr& child : expression->children) {
+        out.UnionWith(EvaluateRee(graph, child));
+      }
+      return out;
+    }
+    case ReeKind::kConcat: {
+      assert(!expression->children.empty());
+      BinaryRelation out = EvaluateRee(graph, expression->children[0]);
+      for (std::size_t i = 1; i < expression->children.size(); i++) {
+        out = out.Compose(EvaluateRee(graph, expression->children[i]));
+      }
+      return out;
+    }
+    case ReeKind::kPlus:
+      return TransitivePlus(EvaluateRee(graph, expression->children[0]));
+    case ReeKind::kEq:
+      return EvaluateRee(graph, expression->children[0]).EqRestrict(graph);
+    case ReeKind::kNeq:
+      return EvaluateRee(graph, expression->children[0]).NeqRestrict(graph);
+  }
+  assert(false && "unreachable");
+  return BinaryRelation(n);
+}
+
+}  // namespace gqd

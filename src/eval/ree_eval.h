@@ -1,0 +1,24 @@
+// RDPQ_= evaluation: Q = x -e-> y for an REE e.
+//
+// Unlike REM, REE subexpressions compose through their endpoint relations
+// alone (Lemma 29 of the paper): S_{e+f} = S_e + S_f, S_{ef} = S_e ∘ S_f,
+// S_{e=} = (S_e)=, S_{e≠} = (S_e)≠, and S_{e⁺} is the transitive closure
+// of S_e. Evaluation is therefore a bottom-up pass over the AST using the
+// BinaryRelation algebra — polynomial time, and the key structural fact
+// behind the PSPACE definability algorithm.
+
+#ifndef GQD_EVAL_REE_EVAL_H_
+#define GQD_EVAL_REE_EVAL_H_
+
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+#include "ree/ast.h"
+
+namespace gqd {
+
+/// Evaluates the RDPQ_= x -e-> y on `graph`; returns all satisfying pairs.
+BinaryRelation EvaluateRee(const DataGraph& graph, const ReePtr& expression);
+
+}  // namespace gqd
+
+#endif  // GQD_EVAL_REE_EVAL_H_

@@ -1,0 +1,120 @@
+#include "eval/rem_eval.h"
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "rem/register_automaton.h"
+
+namespace gqd {
+
+namespace {
+
+/// Dense encoding of register assignments over D_G ∪ {⊥}: each register
+/// takes one of δ+1 codes (δ = the ⊥ code).
+class AssignmentCodec {
+ public:
+  AssignmentCodec(std::size_t num_registers, std::size_t num_values)
+      : num_registers_(num_registers), base_(num_values + 1) {}
+
+  std::uint64_t Encode(const RegisterAssignment& assignment) const {
+    std::uint64_t code = 0;
+    for (std::size_t i = num_registers_; i-- > 0;) {
+      std::uint64_t digit = (assignment[i] == kEmptyRegister)
+                                ? (base_ - 1)
+                                : assignment[i];
+      code = code * base_ + digit;
+    }
+    return code;
+  }
+
+  RegisterAssignment Decode(std::uint64_t code) const {
+    RegisterAssignment assignment(num_registers_);
+    for (std::size_t i = 0; i < num_registers_; i++) {
+      std::uint64_t digit = code % base_;
+      assignment[i] = (digit == base_ - 1)
+                          ? kEmptyRegister
+                          : static_cast<std::uint32_t>(digit);
+      code /= base_;
+    }
+    return assignment;
+  }
+
+  std::uint64_t NumCodes() const {
+    std::uint64_t total = 1;
+    for (std::size_t i = 0; i < num_registers_; i++) {
+      total *= base_;
+    }
+    return total;
+  }
+
+ private:
+  std::size_t num_registers_;
+  std::uint64_t base_;
+};
+
+}  // namespace
+
+BinaryRelation EvaluateRem(const DataGraph& graph, const RemPtr& expression) {
+  StringInterner labels = graph.labels();
+  RegisterAutomaton ra =
+      CompileRem(expression, &labels, /*intern_new_labels=*/false);
+  std::size_t n = graph.NumNodes();
+  AssignmentCodec codec(ra.num_registers, graph.NumDataValues());
+  BinaryRelation result(n);
+
+  struct Config {
+    NodeId node;
+    RaState state;
+    std::uint64_t assignment_code;
+  };
+
+  std::uint64_t assignment_codes = codec.NumCodes();
+  for (NodeId u = 0; u < n; u++) {
+    std::unordered_set<std::uint64_t> seen;
+    std::queue<Config> frontier;
+    auto visit = [&](NodeId v, RaState q, std::uint64_t code) {
+      std::uint64_t key =
+          (static_cast<std::uint64_t>(v) * ra.num_states + q) *
+              assignment_codes +
+          code;
+      if (seen.insert(key).second) {
+        frontier.push(Config{v, q, code});
+      }
+    };
+    visit(u, ra.start,
+          codec.Encode(RegisterAssignment(ra.num_registers, kEmptyRegister)));
+    while (!frontier.empty()) {
+      Config c = frontier.front();
+      frontier.pop();
+      if (c.state == ra.accept) {
+        result.Set(u, c.node);
+      }
+      std::uint32_t value = graph.DataValueOf(c.node);
+      RegisterAssignment assignment = codec.Decode(c.assignment_code);
+      for (const auto& edge : ra.store_edges[c.state]) {
+        RegisterAssignment next = assignment;
+        for (std::size_t r : edge.registers) {
+          next[r] = value;
+        }
+        visit(c.node, edge.to, codec.Encode(next));
+      }
+      for (const auto& edge : ra.check_edges[c.state]) {
+        if (ConditionSatisfied(edge.condition, value, assignment)) {
+          visit(c.node, edge.to, c.assignment_code);
+        }
+      }
+      for (const auto& edge : ra.letter_edges[c.state]) {
+        for (const auto& [edge_label, w] : graph.OutEdges(c.node)) {
+          if (edge_label == edge.label) {
+            visit(w, edge.to, c.assignment_code);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gqd

@@ -1,0 +1,25 @@
+// RDPQ_mem evaluation: Q = x -e-> y for an REM e.
+//
+// Q(G) = all pairs (u, v) connected by a data path in L(e). Evaluated by
+// BFS over the product (node, automaton state, register assignment), where
+// assignments range over D_G ∪ {⊥} — registers can only ever hold values
+// seen along the path. Polynomial for fixed k, exponential in k; this is
+// the tractability result of Libkin & Vrgoč the paper builds on.
+
+#ifndef GQD_EVAL_REM_EVAL_H_
+#define GQD_EVAL_REM_EVAL_H_
+
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+#include "rem/ast.h"
+
+namespace gqd {
+
+/// Evaluates the RDPQ_mem x -e-> y on `graph`; returns all satisfying
+/// pairs. Letters of `expression` absent from the graph's alphabet match
+/// nothing.
+BinaryRelation EvaluateRem(const DataGraph& graph, const RemPtr& expression);
+
+}  // namespace gqd
+
+#endif  // GQD_EVAL_REM_EVAL_H_

@@ -1,0 +1,52 @@
+#include "eval/rpq_eval.h"
+
+#include <queue>
+#include <vector>
+
+#include "regex/nfa.h"
+
+namespace gqd {
+
+BinaryRelation EvaluateRpq(const DataGraph& graph, const RegexPtr& regex) {
+  // The graph's interner is const; compile against a copy so unknown regex
+  // letters stay unknown (dead) without mutating the graph.
+  StringInterner labels = graph.labels();
+  Nfa nfa = CompileRegex(regex, &labels, /*intern_new_labels=*/false);
+
+  std::size_t n = graph.NumNodes();
+  BinaryRelation result(n);
+
+  // One BFS over (node, nfa-state) per start node.
+  for (NodeId u = 0; u < n; u++) {
+    std::vector<bool> seen(n * nfa.num_states, false);
+    std::queue<std::pair<NodeId, NfaState>> frontier;
+    auto visit = [&](NodeId v, NfaState s) {
+      std::size_t key = v * nfa.num_states + s;
+      if (!seen[key]) {
+        seen[key] = true;
+        frontier.emplace(v, s);
+      }
+    };
+    visit(u, nfa.start);
+    while (!frontier.empty()) {
+      auto [v, s] = frontier.front();
+      frontier.pop();
+      if (s == nfa.accept) {
+        result.Set(u, v);
+      }
+      for (NfaState t : nfa.eps_edges[s]) {
+        visit(v, t);
+      }
+      for (const auto& [label, t] : nfa.letter_edges[s]) {
+        for (const auto& [edge_label, w] : graph.OutEdges(v)) {
+          if (edge_label == label) {
+            visit(w, t);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gqd

@@ -1,0 +1,22 @@
+// Regular path query (RPQ) evaluation: Q = x -e-> y for a standard regex e.
+//
+// Q(G) = all pairs (u, v) with a path from u to v whose label word is in
+// L(e). Evaluated by BFS over the product of the graph with e's Thompson
+// NFA — the classical PTIME algorithm.
+
+#ifndef GQD_EVAL_RPQ_EVAL_H_
+#define GQD_EVAL_RPQ_EVAL_H_
+
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+#include "regex/ast.h"
+
+namespace gqd {
+
+/// Evaluates the RPQ x -e-> y on `graph`; returns all satisfying pairs.
+/// Letters of `regex` not in the graph's alphabet match nothing.
+BinaryRelation EvaluateRpq(const DataGraph& graph, const RegexPtr& regex);
+
+}  // namespace gqd
+
+#endif  // GQD_EVAL_RPQ_EVAL_H_

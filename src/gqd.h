@@ -1,0 +1,67 @@
+// Umbrella header: the whole gqd public API in one include.
+//
+//   #include "gqd.h"
+//
+// Fine-grained headers remain the preferred include style inside the
+// library itself; this header exists for downstream convenience.
+
+#ifndef GQD_GQD_H_
+#define GQD_GQD_H_
+
+// Common substrate.
+#include "common/bitset.h"      // IWYU pragma: export
+#include "common/interner.h"    // IWYU pragma: export
+#include "common/status.h"      // IWYU pragma: export
+
+// Data graphs and relations.
+#include "graph/data_graph.h"     // IWYU pragma: export
+#include "graph/data_path.h"      // IWYU pragma: export
+#include "graph/examples.h"       // IWYU pragma: export
+#include "graph/generators.h"     // IWYU pragma: export
+#include "graph/relation.h"       // IWYU pragma: export
+#include "graph/serialization.h"  // IWYU pragma: export
+
+// Expression families.
+#include "regex/ast.h"     // IWYU pragma: export
+#include "regex/nfa.h"     // IWYU pragma: export
+#include "regex/parser.h"  // IWYU pragma: export
+#include "rem/ast.h"                 // IWYU pragma: export
+#include "rem/condition.h"           // IWYU pragma: export
+#include "rem/naive_semantics.h"     // IWYU pragma: export
+#include "rem/parser.h"              // IWYU pragma: export
+#include "rem/register_automaton.h"  // IWYU pragma: export
+#include "ree/ast.h"         // IWYU pragma: export
+#include "ree/membership.h"  // IWYU pragma: export
+#include "ree/parser.h"      // IWYU pragma: export
+
+// Evaluation.
+#include "eval/convert.h"   // IWYU pragma: export
+#include "eval/explain.h"   // IWYU pragma: export
+#include "eval/query.h"     // IWYU pragma: export
+#include "eval/rem_eval.h"  // IWYU pragma: export
+#include "eval/ree_eval.h"  // IWYU pragma: export
+#include "eval/rpq_eval.h"  // IWYU pragma: export
+
+// Homomorphisms and definability.
+#include "homomorphism/csp.h"             // IWYU pragma: export
+#include "homomorphism/data_graph_hom.h"  // IWYU pragma: export
+#include "definability/assignment_graph.h"     // IWYU pragma: export
+#include "definability/krem_definability.h"    // IWYU pragma: export
+#include "definability/ree_definability.h"     // IWYU pragma: export
+#include "definability/rem_via_rpq.h"          // IWYU pragma: export
+#include "definability/rpq_definability.h"     // IWYU pragma: export
+#include "definability/ucrdpq_definability.h"  // IWYU pragma: export
+#include "definability/verdict.h"              // IWYU pragma: export
+
+// Lower-bound constructions.
+#include "reductions/cnf.h"               // IWYU pragma: export
+#include "reductions/sat_reduction.h"     // IWYU pragma: export
+#include "reductions/theorem32.h"         // IWYU pragma: export
+#include "reductions/tiling.h"            // IWYU pragma: export
+#include "reductions/tiling_reduction.h"  // IWYU pragma: export
+
+// Synthesis.
+#include "synthesis/simplify.h"   // IWYU pragma: export
+#include "synthesis/synthesis.h"  // IWYU pragma: export
+
+#endif  // GQD_GQD_H_

@@ -1,0 +1,82 @@
+#include "graph/data_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gqd {
+
+NodeId DataGraph::AddNode(ValueId value, std::string_view name) {
+  assert(value < values_.size() && "intern the data value first");
+  NodeId id = static_cast<NodeId>(node_values_.size());
+  node_values_.push_back(value);
+  node_names_.emplace_back(name);
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return id;
+}
+
+void DataGraph::AddEdge(NodeId from, LabelId label, NodeId to) {
+  assert(from < NumNodes() && to < NumNodes() && label < NumLabels());
+  if (HasEdge(from, label, to)) {
+    return;
+  }
+  edges_.push_back(Edge{from, label, to});
+  out_edges_[from].emplace_back(label, to);
+  in_edges_[to].emplace_back(label, from);
+}
+
+bool DataGraph::HasEdge(NodeId from, LabelId label, NodeId to) const {
+  if (from >= NumNodes()) {
+    return false;
+  }
+  const auto& out = out_edges_[from];
+  return std::find(out.begin(), out.end(), std::make_pair(label, to)) !=
+         out.end();
+}
+
+std::string DataGraph::NodeName(NodeId v) const {
+  if (v < node_names_.size() && !node_names_[v].empty()) {
+    return node_names_[v];
+  }
+  return "#" + std::to_string(v);
+}
+
+Result<NodeId> DataGraph::FindNode(std::string_view name) const {
+  for (NodeId v = 0; v < node_names_.size(); v++) {
+    if (node_names_[v] == name) {
+      return v;
+    }
+  }
+  return Status::NotFound("no node named '" + std::string(name) + "'");
+}
+
+Status DataGraph::Validate() const {
+  for (const Edge& e : edges_) {
+    if (e.from >= NumNodes() || e.to >= NumNodes()) {
+      return Status::Internal("edge endpoint out of range");
+    }
+    if (e.label >= NumLabels()) {
+      return Status::Internal("edge label out of range");
+    }
+  }
+  for (ValueId value : node_values_) {
+    if (value >= NumDataValues()) {
+      return Status::Internal("node data value out of range");
+    }
+  }
+  // Node names, where present, must be unique.
+  for (std::size_t i = 0; i < node_names_.size(); i++) {
+    if (node_names_[i].empty()) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < node_names_.size(); j++) {
+      if (node_names_[i] == node_names_[j]) {
+        return Status::Internal("duplicate node name '" + node_names_[i] +
+                                "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gqd

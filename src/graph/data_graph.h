@@ -1,0 +1,125 @@
+// The data-graph model of Libkin & Vrgoč, as used by the paper.
+//
+// A data graph over a finite alphabet Σ and an infinite value domain D is
+// G = (V, E, ρ): finitely many nodes, Σ-labelled directed edges, and a data
+// value ρ(v) on every node (Definition 1 of the paper). Only the equality
+// partition induced by ρ is observable to the query languages (Fact 10), so
+// data values are interned to dense ids; δ denotes how many distinct values
+// the graph actually uses.
+
+#ifndef GQD_GRAPH_DATA_GRAPH_H_
+#define GQD_GRAPH_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+
+namespace gqd {
+
+/// Dense node index within one DataGraph.
+using NodeId = std::uint32_t;
+/// Dense edge-label index within one DataGraph's alphabet Σ.
+using LabelId = std::uint32_t;
+/// Dense data-value index within one DataGraph (the partition class of ρ).
+using ValueId = std::uint32_t;
+
+/// A directed labelled edge (source, label, target).
+struct Edge {
+  NodeId from;
+  LabelId label;
+  NodeId to;
+
+  bool operator==(const Edge& other) const = default;
+};
+
+/// A finite directed graph with Σ-labelled edges and data-valued nodes.
+///
+/// Construction is additive: AddLabel / AddNode / AddEdge. Nodes carry an
+/// optional display name (used by serialization and the examples); names are
+/// unique when present.
+class DataGraph {
+ public:
+  DataGraph() = default;
+
+  // --- Construction -------------------------------------------------------
+
+  /// Interns an edge label; idempotent.
+  LabelId AddLabel(std::string_view name) { return labels_.Intern(name); }
+
+  /// Interns a data value by name (e.g. "0", "movie:Alien"); idempotent.
+  ValueId AddDataValue(std::string_view name) { return values_.Intern(name); }
+
+  /// Adds a node with the given data value; returns its id.
+  /// `name` may be empty (anonymous node).
+  NodeId AddNode(ValueId value, std::string_view name = "");
+
+  /// Adds a node whose data value is interned from `value_name`.
+  NodeId AddNodeWithValue(std::string_view value_name,
+                          std::string_view name = "") {
+    return AddNode(AddDataValue(value_name), name);
+  }
+
+  /// Adds the edge (from, label, to); duplicate edges are ignored.
+  void AddEdge(NodeId from, LabelId label, NodeId to);
+
+  /// Adds an edge by label name, interning the label if new.
+  void AddEdgeByName(NodeId from, std::string_view label, NodeId to) {
+    AddEdge(from, AddLabel(label), to);
+  }
+
+  // --- Shape --------------------------------------------------------------
+
+  std::size_t NumNodes() const { return node_values_.size(); }
+  std::size_t NumLabels() const { return labels_.size(); }
+  /// δ: the number of distinct data values used by the graph.
+  std::size_t NumDataValues() const { return values_.size(); }
+  std::size_t NumEdges() const { return edges_.size(); }
+
+  /// ρ(v): the data value of node v.
+  ValueId DataValueOf(NodeId v) const { return node_values_[v]; }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Out-edges of `v` as (label, target) pairs, in insertion order.
+  const std::vector<std::pair<LabelId, NodeId>>& OutEdges(NodeId v) const {
+    return out_edges_[v];
+  }
+  /// In-edges of `v` as (label, source) pairs, in insertion order.
+  const std::vector<std::pair<LabelId, NodeId>>& InEdges(NodeId v) const {
+    return in_edges_[v];
+  }
+
+  /// True iff the edge (from, label, to) exists.
+  bool HasEdge(NodeId from, LabelId label, NodeId to) const;
+
+  // --- Names --------------------------------------------------------------
+
+  const StringInterner& labels() const { return labels_; }
+  const StringInterner& data_values() const { return values_; }
+
+  /// Display name of node `v` ("#<id>" if anonymous).
+  std::string NodeName(NodeId v) const;
+
+  /// Finds a node by display name.
+  Result<NodeId> FindNode(std::string_view name) const;
+
+  /// Validates internal invariants (edge endpoints in range, etc.).
+  Status Validate() const;
+
+ private:
+  StringInterner labels_;
+  StringInterner values_;
+  std::vector<ValueId> node_values_;
+  std::vector<std::string> node_names_;  // "" when anonymous
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::pair<LabelId, NodeId>>> out_edges_;
+  std::vector<std::vector<std::pair<LabelId, NodeId>>> in_edges_;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_GRAPH_DATA_GRAPH_H_

@@ -1,0 +1,110 @@
+#include "graph/data_path.h"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+namespace gqd {
+
+Result<DataPath> DataPath::Concat(const DataPath& other) const {
+  assert(!values.empty() && !other.values.empty());
+  if (values.back() != other.values.front()) {
+    return Status::InvalidArgument(
+        "concatenation requires matching boundary data values");
+  }
+  DataPath out = *this;
+  out.letters.insert(out.letters.end(), other.letters.begin(),
+                     other.letters.end());
+  out.values.insert(out.values.end(), other.values.begin() + 1,
+                    other.values.end());
+  return out;
+}
+
+DataPath DataPath::CanonicalForm() const {
+  DataPath out;
+  out.letters = letters;
+  out.values.reserve(values.size());
+  std::unordered_map<ValueId, ValueId> rename;
+  for (ValueId d : values) {
+    auto [it, inserted] =
+        rename.emplace(d, static_cast<ValueId>(rename.size()));
+    out.values.push_back(it->second);
+    (void)inserted;
+  }
+  return out;
+}
+
+std::string DataPath::ToString(const DataGraph& graph) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values.size(); i++) {
+    if (i > 0) {
+      os << " " << graph.labels().NameOf(letters[i - 1]) << " ";
+    }
+    os << graph.data_values().NameOf(values[i]);
+  }
+  return os.str();
+}
+
+Result<DataPath> DataPathOfNodePath(const DataGraph& graph,
+                                    const std::vector<NodeId>& nodes,
+                                    const std::vector<LabelId>& labels) {
+  if (nodes.empty() || nodes.size() != labels.size() + 1) {
+    return Status::InvalidArgument("node path shape mismatch");
+  }
+  for (std::size_t i = 0; i < labels.size(); i++) {
+    if (!graph.HasEdge(nodes[i], labels[i], nodes[i + 1])) {
+      return Status::InvalidArgument("node path uses a missing edge");
+    }
+  }
+  DataPath out;
+  out.letters = labels;
+  out.values.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    out.values.push_back(graph.DataValueOf(v));
+  }
+  return out;
+}
+
+std::vector<NodePath> EnumerateNodePaths(const DataGraph& graph, NodeId from,
+                                         std::size_t max_length) {
+  std::vector<NodePath> result;
+  // Iterative DFS over partial paths; exponential by design (oracle use).
+  std::vector<NodePath> frontier;
+  frontier.push_back(NodePath{{from}, {}});
+  result.push_back(frontier.back());
+  for (std::size_t len = 0; len < max_length; len++) {
+    std::vector<NodePath> next;
+    for (const NodePath& p : frontier) {
+      NodeId tail = p.nodes.back();
+      for (const auto& [label, to] : graph.OutEdges(tail)) {
+        NodePath extended = p;
+        extended.nodes.push_back(to);
+        extended.labels.push_back(label);
+        result.push_back(extended);
+        next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) {
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<DataPath> EnumerateConnectingPaths(const DataGraph& graph,
+                                               NodeId from, NodeId to,
+                                               std::size_t max_length) {
+  std::vector<DataPath> out;
+  for (const NodePath& p : EnumerateNodePaths(graph, from, max_length)) {
+    if (p.nodes.back() != to) {
+      continue;
+    }
+    auto dp = DataPathOfNodePath(graph, p.nodes, p.labels);
+    assert(dp.ok());
+    out.push_back(std::move(dp).value());
+  }
+  return out;
+}
+
+}  // namespace gqd

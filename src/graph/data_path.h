@@ -1,0 +1,83 @@
+// Data paths (Section 2 of the paper).
+//
+// A data path over Σ[D]* alternates data values and letters:
+// d0 a0 d1 a1 ... a{m-1} dm. Two data paths are automorphic when a bijection
+// of D maps one onto the other; REM/REE cannot distinguish automorphic paths
+// (Fact 10), so CanonicalForm — first-occurrence renaming of values — is the
+// library's normal form for the equivalence class [w].
+
+#ifndef GQD_GRAPH_DATA_PATH_H_
+#define GQD_GRAPH_DATA_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+
+namespace gqd {
+
+/// A data path: values.size() == letters.size() + 1, always non-empty.
+/// The one-value, zero-letter path is the unit ("d" in the paper).
+struct DataPath {
+  std::vector<ValueId> values;
+  std::vector<LabelId> letters;
+
+  /// The single-value data path `d`.
+  static DataPath Unit(ValueId d) { return DataPath{{d}, {}}; }
+
+  /// Number of letters (edges traversed); 0 for the unit path.
+  std::size_t Length() const { return letters.size(); }
+
+  bool operator==(const DataPath& other) const = default;
+
+  /// Appends one step (letter, value).
+  void Append(LabelId letter, ValueId value) {
+    letters.push_back(letter);
+    values.push_back(value);
+  }
+
+  /// Concatenation w1 · w2; requires last value of this == first of `other`
+  /// (the paper's concatenation overlaps the shared value).
+  Result<DataPath> Concat(const DataPath& other) const;
+
+  /// Renames data values in order of first occurrence: the canonical
+  /// representative of the automorphism class [w].
+  DataPath CanonicalForm() const;
+
+  /// True iff `other` is an automorphic image of this path (Definition 9).
+  bool IsAutomorphicTo(const DataPath& other) const {
+    return CanonicalForm() == other.CanonicalForm();
+  }
+
+  /// Renders e.g. "0 a 1 a 0" using the graph's label/value names.
+  std::string ToString(const DataGraph& graph) const;
+};
+
+/// The data path w_ξ of a node path ξ = v0 a0 v1 ... (values read off ρ).
+/// Returns an error if some edge (v_i, a_i, v_{i+1}) is missing.
+Result<DataPath> DataPathOfNodePath(const DataGraph& graph,
+                                    const std::vector<NodeId>& nodes,
+                                    const std::vector<LabelId>& labels);
+
+/// Enumerates all data paths of length <= max_length that connect `from`
+/// to `to` in `graph` (used by tests and brute-force oracles; exponential).
+std::vector<DataPath> EnumerateConnectingPaths(const DataGraph& graph,
+                                               NodeId from, NodeId to,
+                                               std::size_t max_length);
+
+/// All node paths (as node sequences with labels) from `from` of exactly
+/// the lengths 0..max_length, paired with endpoints; helper for oracles.
+struct NodePath {
+  std::vector<NodeId> nodes;    ///< nodes.size() == labels.size() + 1
+  std::vector<LabelId> labels;
+};
+
+/// Enumerates node paths starting at `from` with length <= max_length.
+std::vector<NodePath> EnumerateNodePaths(const DataGraph& graph, NodeId from,
+                                         std::size_t max_length);
+
+}  // namespace gqd
+
+#endif  // GQD_GRAPH_DATA_PATH_H_

@@ -1,0 +1,82 @@
+#include "graph/examples.h"
+
+namespace gqd {
+
+DataGraph Figure1Graph() {
+  DataGraph g;
+  g.AddLabel("a");
+  for (const char* d : {"0", "1", "2", "3"}) {
+    g.AddDataValue(d);
+  }
+  auto value = [&](const char* name) {
+    return *g.data_values().Find(name);
+  };
+  NodeId v1 = g.AddNode(value("0"), "v1");
+  NodeId v2 = g.AddNode(value("1"), "v2");
+  NodeId v3 = g.AddNode(value("0"), "v3");
+  NodeId v4 = g.AddNode(value("1"), "v4");
+  NodeId z1 = g.AddNode(value("3"), "z1");
+  NodeId z2 = g.AddNode(value("1"), "z2");
+  NodeId w1 = g.AddNode(value("2"), "v'1");
+  NodeId w2 = g.AddNode(value("3"), "v'2");
+  NodeId w3 = g.AddNode(value("2"), "v'3");
+  NodeId w4 = g.AddNode(value("3"), "v'4");
+  LabelId a = *g.labels().Find("a");
+  g.AddEdge(v1, a, v2);
+  g.AddEdge(v2, a, v3);
+  g.AddEdge(v3, a, v4);
+  g.AddEdge(v3, a, w3);
+  g.AddEdge(v1, a, z2);
+  g.AddEdge(z2, a, v2);
+  g.AddEdge(z1, a, z2);
+  g.AddEdge(z2, a, w1);
+  g.AddEdge(w1, a, w2);
+  g.AddEdge(w2, a, w3);
+  g.AddEdge(w3, a, w4);
+  g.AddEdge(w2, a, v4);
+  return g;
+}
+
+Figure1Nodes Figure1NodeIds(const DataGraph& graph) {
+  Figure1Nodes n;
+  n.v1 = graph.FindNode("v1").ValueOrDie();
+  n.v2 = graph.FindNode("v2").ValueOrDie();
+  n.v3 = graph.FindNode("v3").ValueOrDie();
+  n.v4 = graph.FindNode("v4").ValueOrDie();
+  n.z1 = graph.FindNode("z1").ValueOrDie();
+  n.z2 = graph.FindNode("z2").ValueOrDie();
+  n.w1 = graph.FindNode("v'1").ValueOrDie();
+  n.w2 = graph.FindNode("v'2").ValueOrDie();
+  n.w3 = graph.FindNode("v'3").ValueOrDie();
+  n.w4 = graph.FindNode("v'4").ValueOrDie();
+  return n;
+}
+
+BinaryRelation Figure1S1(const DataGraph& graph) {
+  Figure1Nodes n = Figure1NodeIds(graph);
+  return BinaryRelation::FromPairs(
+      graph.NumNodes(),
+      {{n.v1, n.v4},
+       {n.v1, n.w3},
+       {n.v1, n.v3},
+       {n.v1, n.w2},
+       {n.v2, n.w4},
+       {n.z1, n.v3},
+       {n.z1, n.w2},
+       {n.z2, n.v4},
+       {n.z2, n.w3},
+       {n.w1, n.w4}});
+}
+
+BinaryRelation Figure1S2(const DataGraph& graph) {
+  Figure1Nodes n = Figure1NodeIds(graph);
+  return BinaryRelation::FromPairs(graph.NumNodes(),
+                                   {{n.v1, n.v4}, {n.w1, n.w4}});
+}
+
+BinaryRelation Figure1S3(const DataGraph& graph) {
+  Figure1Nodes n = Figure1NodeIds(graph);
+  return BinaryRelation::FromPairs(graph.NumNodes(), {{n.v1, n.v3}});
+}
+
+}  // namespace gqd

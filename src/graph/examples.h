@@ -1,0 +1,44 @@
+// The paper's running example (Figure 1) and its relations S1, S2, S3.
+//
+// The edge set is reconstructed from every concrete fact the paper states
+// about the graph: the S1 listing of Example 12, the data paths w1..w7, and
+// the unique valuation of Q4 in Example 14. The reconstruction is exact —
+// tests verify all of those facts against this graph.
+
+#ifndef GQD_GRAPH_EXAMPLES_H_
+#define GQD_GRAPH_EXAMPLES_H_
+
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+
+namespace gqd {
+
+/// Figure 1: ten nodes over Σ = {a}, data values {0, 1, 2, 3}.
+///
+/// Nodes (name : value): v1:0 v2:1 v3:0 v4:1 z1:3 z2:1 v'1:2 v'2:3 v'3:2
+/// v'4:3. Twelve a-edges:
+///   v1→v2, v2→v3, v3→v4, v3→v'3, v1→z2, z2→v2, z1→z2, z2→v'1,
+///   v'1→v'2, v'2→v'3, v'3→v'4, v'2→v4.
+DataGraph Figure1Graph();
+
+/// Node ids of the Figure-1 graph, for readable test/example code.
+struct Figure1Nodes {
+  NodeId v1, v2, v3, v4, z1, z2, w1, w2, w3, w4;  // w_i = v'_i
+};
+
+/// Looks up the named nodes of Figure1Graph().
+Figure1Nodes Figure1NodeIds(const DataGraph& graph);
+
+/// S1 of Example 12: all pairs connected by the RPQ `aaa`.
+BinaryRelation Figure1S1(const DataGraph& graph);
+
+/// S2 of Example 12: {(v1,v4), (v'1,v'4)} — 2-REM-definable, neither
+/// 1-REM- nor REE-definable.
+BinaryRelation Figure1S2(const DataGraph& graph);
+
+/// S3 of Example 12: {(v1,v3)} — REE-definable, not 1-REM-definable.
+BinaryRelation Figure1S3(const DataGraph& graph);
+
+}  // namespace gqd
+
+#endif  // GQD_GRAPH_EXAMPLES_H_

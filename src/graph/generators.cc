@@ -1,0 +1,92 @@
+#include "graph/generators.h"
+
+#include <cassert>
+#include <string>
+
+namespace gqd {
+
+std::uint64_t SplitMix64::Next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t SplitMix64::NextBelow(std::uint64_t bound) {
+  assert(bound >= 1);
+  return Next() % bound;
+}
+
+bool SplitMix64::NextBool(std::uint32_t numerator, std::uint32_t denominator) {
+  assert(denominator > 0);
+  return NextBelow(denominator) < numerator;
+}
+
+DataGraph RandomDataGraph(const RandomGraphOptions& options) {
+  SplitMix64 rng(options.seed);
+  DataGraph graph;
+  for (std::size_t a = 0; a < options.num_labels; a++) {
+    graph.AddLabel(std::string(1, static_cast<char>('a' + a % 26)) +
+                   (a >= 26 ? std::to_string(a / 26) : ""));
+  }
+  for (std::size_t d = 0; d < options.num_data_values; d++) {
+    graph.AddDataValue(std::to_string(d));
+  }
+  for (std::size_t v = 0; v < options.num_nodes; v++) {
+    graph.AddNode(
+        static_cast<ValueId>(rng.NextBelow(options.num_data_values)),
+        "v" + std::to_string(v));
+  }
+  for (NodeId u = 0; u < options.num_nodes; u++) {
+    for (LabelId a = 0; a < options.num_labels; a++) {
+      for (NodeId v = 0; v < options.num_nodes; v++) {
+        if (rng.NextBool(options.edge_percent, 100)) {
+          graph.AddEdge(u, a, v);
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+DataGraph LineGraph(const std::vector<std::uint32_t>& values,
+                    const char* label) {
+  DataGraph graph;
+  LabelId a = graph.AddLabel(label);
+  for (std::size_t i = 0; i < values.size(); i++) {
+    ValueId d = graph.AddDataValue(std::to_string(values[i]));
+    graph.AddNode(d, "v" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i + 1 < values.size(); i++) {
+    graph.AddEdge(static_cast<NodeId>(i), a, static_cast<NodeId>(i + 1));
+  }
+  return graph;
+}
+
+DataGraph CycleGraph(const std::vector<std::uint32_t>& values,
+                     const char* label) {
+  DataGraph graph = LineGraph(values, label);
+  if (values.size() > 1) {
+    graph.AddEdge(static_cast<NodeId>(values.size() - 1), 0, 0);
+  } else if (values.size() == 1) {
+    graph.AddEdge(0, 0, 0);
+  }
+  return graph;
+}
+
+BinaryRelation RandomRelation(std::size_t num_nodes,
+                              std::uint32_t pair_percent, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  BinaryRelation rel(num_nodes);
+  for (NodeId u = 0; u < num_nodes; u++) {
+    for (NodeId v = 0; v < num_nodes; v++) {
+      if (rng.NextBool(pair_percent, 100)) {
+        rel.Set(u, v);
+      }
+    }
+  }
+  return rel;
+}
+
+}  // namespace gqd

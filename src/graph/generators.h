@@ -1,0 +1,66 @@
+// Synthetic data-graph generators for tests and benchmarks.
+//
+// All generators are deterministic given their seed (a SplitMix64 stream),
+// so every benchmark row and property sweep is reproducible.
+
+#ifndef GQD_GRAPH_GENERATORS_H_
+#define GQD_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+
+namespace gqd {
+
+/// Deterministic 64-bit PRNG (SplitMix64); tiny, fast, seedable.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next();
+
+  /// Uniform value in [0, bound) for bound >= 1.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Bernoulli draw with probability numerator/denominator.
+  bool NextBool(std::uint32_t numerator, std::uint32_t denominator);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Parameters for RandomDataGraph.
+struct RandomGraphOptions {
+  std::size_t num_nodes = 8;
+  std::size_t num_labels = 2;       ///< |Σ|
+  std::size_t num_data_values = 3;  ///< δ (values drawn uniformly)
+  /// Independent edge probability per (u, label, v), as percent [0, 100].
+  std::uint32_t edge_percent = 20;
+  std::uint64_t seed = 1;
+};
+
+/// Erdős–Rényi-style random data graph: each directed (u, a, v) edge is
+/// present independently with probability edge_percent/100; node values
+/// are uniform over {0, ..., δ-1}. Labels are named "a", "b", ...; values
+/// "0", "1", ....
+DataGraph RandomDataGraph(const RandomGraphOptions& options);
+
+/// A directed line v0 -a-> v1 -a-> ... -a-> v_{n-1} with the given
+/// per-node data values (values.size() == n).
+DataGraph LineGraph(const std::vector<std::uint32_t>& values,
+                    const char* label = "a");
+
+/// A directed cycle over n nodes labelled `label`, values as given.
+DataGraph CycleGraph(const std::vector<std::uint32_t>& values,
+                     const char* label = "a");
+
+/// A random subrelation of V×V where each pair joins with the given
+/// percent probability.
+BinaryRelation RandomRelation(std::size_t num_nodes,
+                              std::uint32_t pair_percent, std::uint64_t seed);
+
+}  // namespace gqd
+
+#endif  // GQD_GRAPH_GENERATORS_H_

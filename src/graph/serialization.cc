@@ -1,0 +1,193 @@
+#include "graph/serialization.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace gqd {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool IsCommentOrBlank(const std::vector<std::string>& tokens) {
+  return tokens.empty() || tokens[0][0] == '#';
+}
+
+}  // namespace
+
+std::string WriteGraphText(const DataGraph& graph) {
+  std::ostringstream os;
+  os << "# gqd data graph: " << graph.NumNodes() << " nodes, "
+     << graph.NumEdges() << " edges, delta=" << graph.NumDataValues() << "\n";
+  for (NodeId v = 0; v < graph.NumNodes(); v++) {
+    os << "node " << graph.NodeName(v) << " "
+       << graph.data_values().NameOf(graph.DataValueOf(v)) << "\n";
+  }
+  for (const Edge& e : graph.edges()) {
+    os << "edge " << graph.NodeName(e.from) << " "
+       << graph.labels().NameOf(e.label) << " " << graph.NodeName(e.to)
+       << "\n";
+  }
+  return os.str();
+}
+
+Result<DataGraph> ReadGraphText(const std::string& text) {
+  DataGraph graph;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    line_number++;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (IsCommentOrBlank(tokens)) {
+      continue;
+    }
+    auto error = [&](const std::string& msg) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + msg);
+    };
+    if (tokens[0] == "node") {
+      if (tokens.size() != 3) {
+        return error("expected: node <name> <data-value>");
+      }
+      if (graph.FindNode(tokens[1]).ok()) {
+        return error("duplicate node '" + tokens[1] + "'");
+      }
+      graph.AddNodeWithValue(tokens[2], tokens[1]);
+    } else if (tokens[0] == "edge") {
+      if (tokens.size() != 4) {
+        return error("expected: edge <from> <label> <to>");
+      }
+      auto from = graph.FindNode(tokens[1]);
+      if (!from.ok()) {
+        return error("unknown node '" + tokens[1] + "'");
+      }
+      auto to = graph.FindNode(tokens[3]);
+      if (!to.ok()) {
+        return error("unknown node '" + tokens[3] + "'");
+      }
+      graph.AddEdgeByName(from.value(), tokens[2], to.value());
+    } else {
+      return error("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  GQD_RETURN_NOT_OK(graph.Validate());
+  return graph;
+}
+
+std::string WriteGraphDot(const DataGraph& graph) {
+  std::ostringstream os;
+  os << "digraph gqd {\n";
+  for (NodeId v = 0; v < graph.NumNodes(); v++) {
+    os << "  n" << v << " [label=\"" << graph.NodeName(v) << "\\n"
+       << graph.data_values().NameOf(graph.DataValueOf(v)) << "\"];\n";
+  }
+  for (const Edge& e : graph.edges()) {
+    os << "  n" << e.from << " -> n" << e.to << " [label=\""
+       << graph.labels().NameOf(e.label) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string WriteRelationText(const DataGraph& graph,
+                              const BinaryRelation& rel) {
+  std::ostringstream os;
+  for (const auto& [u, v] : rel.Pairs()) {
+    os << "pair " << graph.NodeName(u) << " " << graph.NodeName(v) << "\n";
+  }
+  return os.str();
+}
+
+Result<BinaryRelation> ReadRelationText(const DataGraph& graph,
+                                        const std::string& text) {
+  BinaryRelation rel(graph.NumNodes());
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    line_number++;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (IsCommentOrBlank(tokens)) {
+      continue;
+    }
+    if (tokens[0] != "pair" || tokens.size() != 3) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": expected: pair <u> <v>");
+    }
+    auto u = graph.FindNode(tokens[1]);
+    auto v = graph.FindNode(tokens[2]);
+    if (!u.ok() || !v.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": unknown node name");
+    }
+    rel.Set(u.value(), v.value());
+  }
+  return rel;
+}
+
+Result<TupleRelation> ReadTupleRelationText(const DataGraph& graph,
+                                            const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_number = 0;
+  std::vector<NodeTuple> tuples;
+  std::size_t arity = 0;
+  while (std::getline(is, line)) {
+    line_number++;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (IsCommentOrBlank(tokens)) {
+      continue;
+    }
+    if (tokens[0] != "tuple" || tokens.size() < 2) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": expected: tuple <n1> ... <nr>");
+    }
+    NodeTuple tuple;
+    for (std::size_t i = 1; i < tokens.size(); i++) {
+      auto v = graph.FindNode(tokens[i]);
+      if (!v.ok()) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": unknown node '" + tokens[i] + "'");
+      }
+      tuple.push_back(v.value());
+    }
+    if (arity == 0) {
+      arity = tuple.size();
+    } else if (tuple.size() != arity) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": inconsistent tuple arity");
+    }
+    tuples.push_back(std::move(tuple));
+  }
+  if (arity == 0) {
+    return Status::InvalidArgument("relation file contains no tuples");
+  }
+  TupleRelation rel(arity);
+  for (NodeTuple& t : tuples) {
+    rel.Insert(std::move(t));
+  }
+  return rel;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace gqd

@@ -1,0 +1,52 @@
+// Text and DOT serialization for data graphs and relations.
+//
+// The text format is line-oriented and diff-friendly:
+//
+//   # comment
+//   node <name> <data-value-name>
+//   edge <from-name> <label> <to-name>
+//
+// Relation files list one tuple per line, nodes by name:
+//
+//   pair <u> <v>            (binary relations)
+//   tuple <n1> <n2> ... <nr> (any arity; all lines must agree on arity)
+
+#ifndef GQD_GRAPH_SERIALIZATION_H_
+#define GQD_GRAPH_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+
+namespace gqd {
+
+/// Renders the graph in the `node`/`edge` text format.
+std::string WriteGraphText(const DataGraph& graph);
+
+/// Parses the `node`/`edge` text format.
+Result<DataGraph> ReadGraphText(const std::string& text);
+
+/// Renders a Graphviz DOT view (data values as node labels).
+std::string WriteGraphDot(const DataGraph& graph);
+
+/// Renders a binary relation in the `pair` text format (node names).
+std::string WriteRelationText(const DataGraph& graph,
+                              const BinaryRelation& rel);
+
+/// Parses the `pair` text format against `graph`'s node names.
+Result<BinaryRelation> ReadRelationText(const DataGraph& graph,
+                                        const std::string& text);
+
+/// Parses the `tuple` text format against `graph`'s node names.
+Result<TupleRelation> ReadTupleRelationText(const DataGraph& graph,
+                                            const std::string& text);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace gqd
+
+#endif  // GQD_GRAPH_SERIALIZATION_H_

@@ -1,0 +1,268 @@
+#include "homomorphism/csp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace gqd {
+
+Csp Csp::Full(std::size_t num_variables, std::size_t domain_size) {
+  Csp csp;
+  csp.num_variables = num_variables;
+  csp.domain_size = domain_size;
+  DynamicBitset full(domain_size);
+  for (std::size_t v = 0; v < domain_size; v++) {
+    full.Set(v);
+  }
+  csp.domains.assign(num_variables, full);
+  return csp;
+}
+
+void Csp::AddConstraint(std::size_t var_a, std::size_t var_b,
+                        DynamicBitset allowed) {
+  assert(allowed.size() == domain_size * domain_size);
+  constraints.push_back(BinaryConstraint{var_a, var_b, std::move(allowed)});
+}
+
+void Csp::Pin(std::size_t var, std::uint32_t value) {
+  DynamicBitset single(domain_size);
+  single.Set(value);
+  domains[var] &= single;
+}
+
+namespace {
+
+/// Per-variable incident constraint indices, for AC-3 arc scheduling.
+std::vector<std::vector<std::size_t>> BuildIncidence(const Csp& csp) {
+  std::vector<std::vector<std::size_t>> incidence(csp.num_variables);
+  for (std::size_t i = 0; i < csp.constraints.size(); i++) {
+    incidence[csp.constraints[i].var_a].push_back(i);
+    incidence[csp.constraints[i].var_b].push_back(i);
+  }
+  return incidence;
+}
+
+/// Removes from dom(var_a) values with no support in dom(var_b) under
+/// `constraint` (oriented as written). Returns true if dom(var_a) changed.
+bool Revise(const Csp& csp, const BinaryConstraint& constraint,
+            std::vector<DynamicBitset>* domains, CspStats* stats) {
+  bool changed = false;
+  DynamicBitset& dom_a = (*domains)[constraint.var_a];
+  const DynamicBitset& dom_b = (*domains)[constraint.var_b];
+  for (std::size_t a = dom_a.FindNext(0); a < csp.domain_size;
+       a = dom_a.FindNext(a + 1)) {
+    bool supported = false;
+    for (std::size_t b = dom_b.FindNext(0); b < csp.domain_size;
+         b = dom_b.FindNext(b + 1)) {
+      if (constraint.Allows(static_cast<std::uint32_t>(a),
+                            static_cast<std::uint32_t>(b),
+                            csp.domain_size)) {
+        supported = true;
+        break;
+      }
+    }
+    if (!supported) {
+      dom_a.Reset(a);
+      changed = true;
+    }
+  }
+  if (stats != nullptr) {
+    stats->propagations++;
+  }
+  return changed;
+}
+
+/// Reverse-oriented Revise: prunes dom(var_b) against dom(var_a).
+bool ReviseReverse(const Csp& csp, const BinaryConstraint& constraint,
+                   std::vector<DynamicBitset>* domains, CspStats* stats) {
+  bool changed = false;
+  const DynamicBitset& dom_a = (*domains)[constraint.var_a];
+  DynamicBitset& dom_b = (*domains)[constraint.var_b];
+  for (std::size_t b = dom_b.FindNext(0); b < csp.domain_size;
+       b = dom_b.FindNext(b + 1)) {
+    bool supported = false;
+    for (std::size_t a = dom_a.FindNext(0); a < csp.domain_size;
+         a = dom_a.FindNext(a + 1)) {
+      if (constraint.Allows(static_cast<std::uint32_t>(a),
+                            static_cast<std::uint32_t>(b),
+                            csp.domain_size)) {
+        supported = true;
+        break;
+      }
+    }
+    if (!supported) {
+      dom_b.Reset(b);
+      changed = true;
+    }
+  }
+  if (stats != nullptr) {
+    stats->propagations++;
+  }
+  return changed;
+}
+
+/// AC-3 to a fixpoint. Returns false if some domain wiped out.
+bool Ac3(const Csp& csp,
+         const std::vector<std::vector<std::size_t>>& incidence,
+         std::vector<DynamicBitset>* domains, CspStats* stats) {
+  std::queue<std::size_t> work;
+  std::vector<bool> queued(csp.constraints.size(), false);
+  for (std::size_t i = 0; i < csp.constraints.size(); i++) {
+    work.push(i);
+    queued[i] = true;
+  }
+  while (!work.empty()) {
+    std::size_t index = work.front();
+    work.pop();
+    queued[index] = false;
+    const BinaryConstraint& constraint = csp.constraints[index];
+    bool changed_a = Revise(csp, constraint, domains, stats);
+    bool changed_b = ReviseReverse(csp, constraint, domains, stats);
+    if ((*domains)[constraint.var_a].None() ||
+        (*domains)[constraint.var_b].None()) {
+      return false;
+    }
+    if (changed_a || changed_b) {
+      for (std::size_t var : {constraint.var_a, constraint.var_b}) {
+        for (std::size_t other : incidence[var]) {
+          if (!queued[other]) {
+            work.push(other);
+            queued[other] = true;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Checks constraints among singleton domains only (used when AC-3 is off).
+bool SingletonsConsistent(const Csp& csp,
+                          const std::vector<DynamicBitset>& domains) {
+  for (const BinaryConstraint& constraint : csp.constraints) {
+    const DynamicBitset& dom_a = domains[constraint.var_a];
+    const DynamicBitset& dom_b = domains[constraint.var_b];
+    if (dom_a.Count() == 1 && dom_b.Count() == 1) {
+      std::uint32_t a = static_cast<std::uint32_t>(dom_a.FindNext(0));
+      std::uint32_t b = static_cast<std::uint32_t>(dom_b.FindNext(0));
+      if (!constraint.Allows(a, b, csp.domain_size)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct Searcher {
+  const Csp& csp;
+  const CspOptions& options;
+  std::vector<std::vector<std::size_t>> incidence;
+  CspStats* stats;
+  std::vector<std::vector<std::uint32_t>>* all_solutions = nullptr;
+  std::size_t max_solutions = 1;
+  bool budget_exhausted = false;
+
+  Searcher(const Csp& c, const CspOptions& o, CspStats* s)
+      : csp(c), options(o), incidence(BuildIncidence(c)), stats(s) {}
+
+  /// Returns true when the search should stop (enough solutions found).
+  bool Search(std::vector<DynamicBitset> domains) {
+    if (stats != nullptr) {
+      if (++stats->nodes_expanded > options.max_nodes) {
+        budget_exhausted = true;
+        return true;
+      }
+    }
+    // MRV: smallest non-singleton domain.
+    std::size_t best_var = csp.num_variables;
+    std::size_t best_size = 0;
+    for (std::size_t v = 0; v < csp.num_variables; v++) {
+      std::size_t size = domains[v].Count();
+      if (size == 0) {
+        return false;
+      }
+      if (size > 1 && (best_var == csp.num_variables || size < best_size)) {
+        best_var = v;
+        best_size = size;
+      }
+    }
+    if (best_var == csp.num_variables) {
+      // All singletons: a candidate solution.
+      if (!options.use_ac3 && !SingletonsConsistent(csp, domains)) {
+        return false;
+      }
+      std::vector<std::uint32_t> solution(csp.num_variables);
+      for (std::size_t v = 0; v < csp.num_variables; v++) {
+        solution[v] = static_cast<std::uint32_t>(domains[v].FindNext(0));
+      }
+      all_solutions->push_back(std::move(solution));
+      return all_solutions->size() >= max_solutions;
+    }
+    const DynamicBitset values = domains[best_var];
+    for (std::size_t value = values.FindNext(0); value < csp.domain_size;
+         value = values.FindNext(value + 1)) {
+      std::vector<DynamicBitset> child = domains;
+      child[best_var].Clear();
+      child[best_var].Set(value);
+      if (options.use_ac3) {
+        if (!Ac3(csp, incidence, &child, stats)) {
+          continue;
+        }
+      } else if (!SingletonsConsistent(csp, child)) {
+        continue;
+      }
+      if (Search(std::move(child))) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+Result<std::optional<std::vector<std::uint32_t>>> SolveCsp(
+    const Csp& csp, const CspOptions& options, CspStats* stats) {
+  CspStats local_stats;
+  if (stats == nullptr) {
+    stats = &local_stats;
+  }
+  Searcher searcher(csp, options, stats);
+  std::vector<std::vector<std::uint32_t>> solutions;
+  searcher.all_solutions = &solutions;
+  searcher.max_solutions = 1;
+  std::vector<DynamicBitset> domains = csp.domains;
+  if (options.use_ac3 &&
+      !Ac3(csp, searcher.incidence, &domains, stats)) {
+    return std::optional<std::vector<std::uint32_t>>();
+  }
+  searcher.Search(std::move(domains));
+  if (searcher.budget_exhausted && solutions.empty()) {
+    return Status::ResourceExhausted("CSP node budget exhausted");
+  }
+  if (solutions.empty()) {
+    return std::optional<std::vector<std::uint32_t>>();
+  }
+  return std::optional<std::vector<std::uint32_t>>(std::move(solutions[0]));
+}
+
+Result<std::vector<std::vector<std::uint32_t>>> EnumerateCspSolutions(
+    const Csp& csp, std::size_t max_solutions) {
+  CspStats stats;
+  CspOptions options;
+  Searcher searcher(csp, options, &stats);
+  std::vector<std::vector<std::uint32_t>> solutions;
+  searcher.all_solutions = &solutions;
+  searcher.max_solutions = max_solutions;
+  std::vector<DynamicBitset> domains = csp.domains;
+  if (!Ac3(csp, searcher.incidence, &domains, &stats)) {
+    return solutions;
+  }
+  searcher.Search(std::move(domains));
+  if (searcher.budget_exhausted) {
+    return Status::ResourceExhausted("CSP node budget exhausted");
+  }
+  return solutions;
+}
+
+}  // namespace gqd

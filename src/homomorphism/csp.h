@@ -1,0 +1,76 @@
+// A small binary-CSP engine: backtracking search with AC-3 propagation and
+// minimum-remaining-values ordering.
+//
+// This is the decision procedure behind UCRDPQ-definability (Theorem 35):
+// finding a data-graph homomorphism is an instance of a binary CSP whose
+// variables are the graph's nodes and whose domain is also the node set.
+// The engine is generic so tests can exercise it on plain CSPs too.
+
+#ifndef GQD_HOMOMORPHISM_CSP_H_
+#define GQD_HOMOMORPHISM_CSP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+
+namespace gqd {
+
+/// A binary constraint between two variables: the set of allowed value
+/// pairs, stored row-major (allowed[x * domain + y]).
+struct BinaryConstraint {
+  std::size_t var_a;
+  std::size_t var_b;
+  DynamicBitset allowed;  ///< size = domain_size², bit (a_val*D + b_val).
+
+  bool Allows(std::uint32_t a_value, std::uint32_t b_value,
+              std::size_t domain_size) const {
+    return allowed.Test(a_value * domain_size + b_value);
+  }
+};
+
+/// A binary CSP over `num_variables` variables sharing one value domain.
+struct Csp {
+  std::size_t num_variables = 0;
+  std::size_t domain_size = 0;
+  /// Initial per-variable domains (callers may pre-restrict, e.g. seeds).
+  std::vector<DynamicBitset> domains;
+  std::vector<BinaryConstraint> constraints;
+
+  /// Creates a CSP with full domains.
+  static Csp Full(std::size_t num_variables, std::size_t domain_size);
+
+  /// Adds a constraint; `allowed` must have domain_size² bits.
+  void AddConstraint(std::size_t var_a, std::size_t var_b,
+                     DynamicBitset allowed);
+
+  /// Restricts variable `var` to exactly `value`.
+  void Pin(std::size_t var, std::uint32_t value);
+};
+
+/// Search statistics (exposed for the E9 ablation bench).
+struct CspStats {
+  std::size_t nodes_expanded = 0;   ///< backtracking tree nodes visited
+  std::size_t propagations = 0;     ///< AC-3 arc revisions
+};
+
+/// Options controlling the solver.
+struct CspOptions {
+  bool use_ac3 = true;             ///< propagate with AC-3 at every node
+  std::size_t max_nodes = 10'000'000;  ///< search budget
+};
+
+/// Finds one solution, or nullopt if none (or OutOfRange if the node budget
+/// is exhausted — reported via Status to distinguish "no" from "gave up").
+Result<std::optional<std::vector<std::uint32_t>>> SolveCsp(
+    const Csp& csp, const CspOptions& options = {}, CspStats* stats = nullptr);
+
+/// Enumerates all solutions (tests/oracles only; exponential).
+Result<std::vector<std::vector<std::uint32_t>>> EnumerateCspSolutions(
+    const Csp& csp, std::size_t max_solutions = 1'000'000);
+
+}  // namespace gqd
+
+#endif  // GQD_HOMOMORPHISM_CSP_H_

@@ -1,0 +1,287 @@
+#include "reductions/cnf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace gqd {
+
+Status CnfFormula::Validate() const {
+  for (const auto& clause : clauses) {
+    if (clause.empty()) {
+      return Status::InvalidArgument("empty clause");
+    }
+    for (Literal lit : clause) {
+      if (lit == 0 ||
+          static_cast<std::size_t>(std::abs(lit)) > num_variables) {
+        return Status::InvalidArgument("literal out of range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool CnfFormula::IsThreeCnf() const {
+  for (const auto& clause : clauses) {
+    if (clause.size() != 3) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<CnfFormula> CnfFormula::ToThreeCnf() const {
+  GQD_RETURN_NOT_OK(Validate());
+  CnfFormula out;
+  out.num_variables = num_variables;
+  for (const auto& clause : clauses) {
+    if (clause.size() > 3) {
+      return Status::Unimplemented("clauses longer than 3 are not supported");
+    }
+    std::vector<Literal> padded = clause;
+    while (padded.size() < 3) {
+      padded.push_back(padded.back());
+    }
+    out.clauses.push_back(std::move(padded));
+  }
+  return out;
+}
+
+Result<CnfFormula> ParseDimacs(const std::string& text) {
+  CnfFormula formula;
+  std::istringstream is(text);
+  std::string line;
+  bool header_seen = false;
+  std::vector<Literal> current;
+  std::size_t declared_clauses = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') {
+      continue;
+    }
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, cnf;
+      if (!(header >> p >> cnf >> formula.num_variables >>
+            declared_clauses) ||
+          cnf != "cnf") {
+        return Status::InvalidArgument("malformed DIMACS header");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) {
+      return Status::InvalidArgument("clause before DIMACS header");
+    }
+    std::istringstream body(line);
+    Literal lit;
+    while (body >> lit) {
+      if (lit == 0) {
+        if (current.empty()) {
+          return Status::InvalidArgument("empty clause in DIMACS input");
+        }
+        formula.clauses.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(lit);
+      }
+    }
+  }
+  if (!current.empty()) {
+    return Status::InvalidArgument("unterminated clause (missing 0)");
+  }
+  if (declared_clauses != formula.clauses.size()) {
+    return Status::InvalidArgument("clause count mismatch with header");
+  }
+  GQD_RETURN_NOT_OK(formula.Validate());
+  return formula;
+}
+
+std::string WriteDimacs(const CnfFormula& formula) {
+  std::ostringstream os;
+  os << "p cnf " << formula.num_variables << " " << formula.clauses.size()
+     << "\n";
+  for (const auto& clause : formula.clauses) {
+    for (Literal lit : clause) {
+      os << lit << " ";
+    }
+    os << "0\n";
+  }
+  return os.str();
+}
+
+bool Satisfies(const CnfFormula& formula, const Assignment& assignment) {
+  for (const auto& clause : formula.clauses) {
+    bool satisfied = false;
+    for (Literal lit : clause) {
+      std::size_t v = static_cast<std::size_t>(std::abs(lit));
+      if (assignment[v] == (lit > 0)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+enum class TruthValue : std::uint8_t { kUnset, kTrue, kFalse };
+
+struct DpllState {
+  const CnfFormula& formula;
+  std::vector<TruthValue> values;  // index = variable
+  std::size_t decisions = 0;
+  std::size_t max_decisions;
+  bool exhausted = false;
+
+  bool LiteralTrue(Literal lit) const {
+    TruthValue v = values[static_cast<std::size_t>(std::abs(lit))];
+    return v == (lit > 0 ? TruthValue::kTrue : TruthValue::kFalse);
+  }
+  bool LiteralFalse(Literal lit) const {
+    TruthValue v = values[static_cast<std::size_t>(std::abs(lit))];
+    return v == (lit > 0 ? TruthValue::kFalse : TruthValue::kTrue);
+  }
+
+  /// Unit propagation to fixpoint; returns false on conflict. Appends
+  /// assigned variables to `trail`.
+  bool Propagate(std::vector<std::size_t>* trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& clause : formula.clauses) {
+        Literal unit = 0;
+        std::size_t unassigned = 0;
+        bool satisfied = false;
+        for (Literal lit : clause) {
+          if (LiteralTrue(lit)) {
+            satisfied = true;
+            break;
+          }
+          if (!LiteralFalse(lit)) {
+            unassigned++;
+            unit = lit;
+          }
+        }
+        if (satisfied) {
+          continue;
+        }
+        if (unassigned == 0) {
+          return false;  // conflict
+        }
+        if (unassigned == 1) {
+          std::size_t v = static_cast<std::size_t>(std::abs(unit));
+          values[v] = unit > 0 ? TruthValue::kTrue : TruthValue::kFalse;
+          trail->push_back(v);
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool Search() {
+    if (++decisions > max_decisions) {
+      exhausted = true;
+      return false;
+    }
+    std::vector<std::size_t> trail;
+    if (!Propagate(&trail)) {
+      Undo(trail);
+      return false;
+    }
+    // Pick the first unset variable appearing in an unsatisfied clause.
+    std::size_t branch = 0;
+    for (const auto& clause : formula.clauses) {
+      bool satisfied = false;
+      for (Literal lit : clause) {
+        if (LiteralTrue(lit)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) {
+        continue;
+      }
+      for (Literal lit : clause) {
+        std::size_t v = static_cast<std::size_t>(std::abs(lit));
+        if (values[v] == TruthValue::kUnset) {
+          branch = v;
+          break;
+        }
+      }
+      if (branch != 0) {
+        break;
+      }
+    }
+    if (branch == 0) {
+      return true;  // every clause satisfied
+    }
+    for (TruthValue choice : {TruthValue::kTrue, TruthValue::kFalse}) {
+      values[branch] = choice;
+      if (Search()) {
+        return true;
+      }
+      if (exhausted) {
+        break;
+      }
+    }
+    values[branch] = TruthValue::kUnset;
+    Undo(trail);
+    return false;
+  }
+
+  void Undo(const std::vector<std::size_t>& trail) {
+    for (std::size_t v : trail) {
+      values[v] = TruthValue::kUnset;
+    }
+  }
+};
+
+}  // namespace
+
+Result<std::optional<Assignment>> SolveCnf(const CnfFormula& formula,
+                                           std::size_t max_decisions) {
+  GQD_RETURN_NOT_OK(formula.Validate());
+  DpllState state{formula,
+                  std::vector<TruthValue>(formula.num_variables + 1,
+                                          TruthValue::kUnset),
+                  0, max_decisions, false};
+  if (state.Search()) {
+    Assignment assignment(formula.num_variables + 1, false);
+    for (std::size_t v = 1; v <= formula.num_variables; v++) {
+      assignment[v] = state.values[v] == TruthValue::kTrue;
+    }
+    assert(Satisfies(formula, assignment));
+    return std::optional<Assignment>(std::move(assignment));
+  }
+  if (state.exhausted) {
+    return Status::ResourceExhausted("DPLL decision budget exhausted");
+  }
+  return std::optional<Assignment>();
+}
+
+CnfFormula RandomThreeCnf(std::size_t num_variables, std::size_t num_clauses,
+                          std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  CnfFormula formula;
+  formula.num_variables = num_variables;
+  for (std::size_t c = 0; c < num_clauses; c++) {
+    std::vector<Literal> clause;
+    for (int i = 0; i < 3; i++) {
+      Literal v =
+          static_cast<Literal>(rng.NextBelow(num_variables)) + 1;
+      clause.push_back(rng.NextBool(1, 2) ? v : -v);
+    }
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+}  // namespace gqd

@@ -1,0 +1,62 @@
+// CNF formulas, a DIMACS parser, and a DPLL solver — the coNP-complete
+// source problem of Theorem 35 (UCRDPQ-definability): the paper reduces
+// *unsatisfiability* of 3-CNF to definability, so the SAT solver is the
+// oracle that validates the reduction.
+
+#ifndef GQD_REDUCTIONS_CNF_H_
+#define GQD_REDUCTIONS_CNF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gqd {
+
+/// A literal: +v for variable v, -v for its negation (v >= 1, DIMACS-style).
+using Literal = std::int32_t;
+
+/// A CNF formula over variables 1..num_variables.
+struct CnfFormula {
+  std::size_t num_variables = 0;
+  std::vector<std::vector<Literal>> clauses;
+
+  Status Validate() const;
+
+  /// True iff every clause has exactly three literals.
+  bool IsThreeCnf() const;
+
+  /// Pads/splits clauses into exactly-3-literal form over the same
+  /// variables (repeating literals to pad; splitting is not needed for the
+  /// reduction tests, so clauses longer than 3 are rejected).
+  Result<CnfFormula> ToThreeCnf() const;
+};
+
+/// Parses DIMACS cnf ("p cnf <vars> <clauses>" header, clauses terminated
+/// by 0, "c" comment lines).
+Result<CnfFormula> ParseDimacs(const std::string& text);
+
+/// Renders DIMACS text.
+std::string WriteDimacs(const CnfFormula& formula);
+
+/// An assignment: index v holds the value of variable v (index 0 unused).
+using Assignment = std::vector<bool>;
+
+/// True iff `assignment` satisfies the formula.
+bool Satisfies(const CnfFormula& formula, const Assignment& assignment);
+
+/// DPLL with unit propagation. Returns a satisfying assignment or nullopt
+/// (UNSAT). `max_decisions` bounds the branching effort.
+Result<std::optional<Assignment>> SolveCnf(const CnfFormula& formula,
+                                           std::size_t max_decisions =
+                                               10'000'000);
+
+/// Deterministic random 3-CNF generator (benchmark workloads).
+CnfFormula RandomThreeCnf(std::size_t num_variables, std::size_t num_clauses,
+                          std::uint64_t seed);
+
+}  // namespace gqd
+
+#endif  // GQD_REDUCTIONS_CNF_H_

@@ -1,0 +1,174 @@
+#include "reductions/sat_reduction.h"
+
+#include <cassert>
+#include <string>
+
+namespace gqd {
+
+namespace {
+
+std::string VarNodeName(std::size_t v) { return "p" + std::to_string(v); }
+std::string NegNodeName(std::size_t v) { return "np" + std::to_string(v); }
+std::string ClauseNodeName(std::size_t i) { return "C" + std::to_string(i); }
+std::string RNodeName(std::size_t i, std::size_t j) {
+  return "R" + std::to_string(i) + "_" + std::to_string(j);
+}
+std::string LNodeName(std::size_t i, std::size_t j) {
+  return "L" + std::to_string(i) + "_" + std::to_string(j);
+}
+
+}  // namespace
+
+Result<SatReduction> BuildSatReduction(const CnfFormula& formula) {
+  GQD_RETURN_NOT_OK(formula.Validate());
+  if (!formula.IsThreeCnf()) {
+    return Status::InvalidArgument(
+        "the Figure-3 reduction needs an exactly-3-CNF formula "
+        "(use CnfFormula::ToThreeCnf)");
+  }
+  std::size_t n = formula.num_variables;
+  std::size_t m = formula.clauses.size();
+
+  SatReduction out;
+  DataGraph& g = out.graph;
+  for (const char* label :
+       {"al", "be", "ga", "top", "bot", "l", "l1", "l2", "l3"}) {
+    g.AddLabel(label);
+  }
+  ValueId value = g.AddDataValue("0");  // every node shares one value
+
+  NodeId one = g.AddNode(value, "one");
+  NodeId zero = g.AddNode(value, "zero");
+  for (const char* label : {"be", "ga"}) {
+    g.AddEdgeByName(one, label, one);
+    g.AddEdgeByName(zero, label, zero);
+  }
+  g.AddEdgeByName(one, "top", one);
+  g.AddEdgeByName(zero, "bot", zero);
+  g.AddEdgeByName(one, "al", zero);
+  g.AddEdgeByName(zero, "al", one);
+  g.AddEdgeByName(one, "be", zero);
+  g.AddEdgeByName(zero, "be", one);
+
+  // Variable and negated-variable nodes.
+  std::vector<NodeId> pos(n + 1), neg(n + 1);
+  for (std::size_t v = 1; v <= n; v++) {
+    pos[v] = g.AddNode(value, VarNodeName(v));
+    neg[v] = g.AddNode(value, NegNodeName(v));
+  }
+  for (std::size_t v = 1; v <= n; v++) {
+    g.AddEdgeByName(pos[v], "ga", pos[v]);
+    g.AddEdgeByName(neg[v], "ga", neg[v]);
+    g.AddEdgeByName(pos[v], "al", neg[v]);
+    g.AddEdgeByName(neg[v], "al", pos[v]);
+    if (v < n) {
+      g.AddEdgeByName(pos[v], "be", pos[v + 1]);
+      g.AddEdgeByName(neg[v], "be", neg[v + 1]);
+    }
+  }
+
+  auto literal_node = [&](Literal lit) {
+    std::size_t v = static_cast<std::size_t>(std::abs(lit));
+    return lit > 0 ? pos[v] : neg[v];
+  };
+
+  // Clause nodes with l1/l2/l3 edges to their literal nodes.
+  std::vector<NodeId> clause_nodes(m);
+  for (std::size_t i = 0; i < m; i++) {
+    clause_nodes[i] = g.AddNode(value, ClauseNodeName(i));
+    const char* edge_labels[3] = {"l1", "l2", "l3"};
+    for (int k = 0; k < 3; k++) {
+      g.AddEdgeByName(clause_nodes[i], edge_labels[k],
+                      literal_node(formula.clauses[i][k]));
+    }
+    if (i > 0) {
+      g.AddEdgeByName(clause_nodes[i - 1], "ga", clause_nodes[i]);
+    }
+  }
+
+  // Pattern nodes: R^j_i for j = 1..7, L^j_i for j = 0..7. Bit k (MSB = l1)
+  // of j selects the one/zero target of edge l_k.
+  std::vector<std::vector<NodeId>> r_nodes(m, std::vector<NodeId>(8, 0));
+  std::vector<std::vector<NodeId>> l_nodes(m, std::vector<NodeId>(8, 0));
+  auto add_bit_edges = [&](NodeId node, std::size_t j) {
+    const char* edge_labels[3] = {"l1", "l2", "l3"};
+    for (int k = 0; k < 3; k++) {
+      bool bit = (j >> (2 - k)) & 1;  // l1 = most significant bit
+      g.AddEdgeByName(node, edge_labels[k], bit ? one : zero);
+    }
+  };
+  for (std::size_t i = 0; i < m; i++) {
+    for (std::size_t j = 1; j < 8; j++) {
+      r_nodes[i][j] = g.AddNode(value, RNodeName(i, j));
+      add_bit_edges(r_nodes[i][j], j);
+    }
+    for (std::size_t j = 0; j < 8; j++) {
+      l_nodes[i][j] = g.AddNode(value, LNodeName(i, j));
+      add_bit_edges(l_nodes[i][j], j);
+      g.AddEdgeByName(l_nodes[i][j], "l", l_nodes[i][j]);
+    }
+  }
+  // Complete-bipartite ga edges within each family between consecutive
+  // clause indices.
+  for (std::size_t i = 0; i + 1 < m; i++) {
+    for (std::size_t j = 1; j < 8; j++) {
+      for (std::size_t k = 1; k < 8; k++) {
+        g.AddEdgeByName(r_nodes[i][j], "ga", r_nodes[i + 1][k]);
+      }
+    }
+    for (std::size_t j = 0; j < 8; j++) {
+      for (std::size_t k = 0; k < 8; k++) {
+        g.AddEdgeByName(l_nodes[i][j], "ga", l_nodes[i + 1][k]);
+      }
+    }
+  }
+
+  // S = {⟨C_i⟩} ∪ {⟨L^j_i⟩}.
+  for (std::size_t i = 0; i < m; i++) {
+    out.relation.Insert({clause_nodes[i]});
+    for (std::size_t j = 0; j < 8; j++) {
+      out.relation.Insert({l_nodes[i][j]});
+    }
+  }
+  GQD_RETURN_NOT_OK(g.Validate());
+  return out;
+}
+
+Result<NodeMapping> HomomorphismFromAssignment(const CnfFormula& formula,
+                                               const SatReduction& reduction,
+                                               const Assignment& assignment) {
+  if (!Satisfies(formula, assignment)) {
+    return Status::InvalidArgument("assignment does not satisfy the formula");
+  }
+  const DataGraph& g = reduction.graph;
+  NodeMapping mapping(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); v++) {
+    mapping[v] = v;  // default: identity
+  }
+  GQD_ASSIGN_OR_RETURN(NodeId one, g.FindNode("one"));
+  GQD_ASSIGN_OR_RETURN(NodeId zero, g.FindNode("zero"));
+  for (std::size_t v = 1; v <= formula.num_variables; v++) {
+    GQD_ASSIGN_OR_RETURN(NodeId p, g.FindNode(VarNodeName(v)));
+    GQD_ASSIGN_OR_RETURN(NodeId np, g.FindNode(NegNodeName(v)));
+    mapping[p] = assignment[v] ? one : zero;
+    mapping[np] = assignment[v] ? zero : one;
+  }
+  for (std::size_t i = 0; i < formula.clauses.size(); i++) {
+    std::size_t pattern = 0;
+    for (int k = 0; k < 3; k++) {
+      Literal lit = formula.clauses[i][k];
+      bool literal_value =
+          (lit > 0) == assignment[static_cast<std::size_t>(std::abs(lit))];
+      if (literal_value) {
+        pattern |= (std::size_t{1} << (2 - k));
+      }
+    }
+    assert(pattern >= 1);  // the assignment satisfies every clause
+    GQD_ASSIGN_OR_RETURN(NodeId c, g.FindNode(ClauseNodeName(i)));
+    GQD_ASSIGN_OR_RETURN(NodeId r, g.FindNode(RNodeName(i, pattern)));
+    mapping[c] = r;
+  }
+  return mapping;
+}
+
+}  // namespace gqd

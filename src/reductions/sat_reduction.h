@@ -1,0 +1,54 @@
+// The Theorem 35 reduction (Figure 3): 3-CNF unsatisfiability →
+// UCRDPQ-definability.
+//
+// Given a 3-CNF formula F over p_1..p_n with clauses C_1..C_m, the
+// reduction builds a data graph (all nodes share one data value) and a
+// unary relation S = {C_i} ∪ {L^j_i} such that
+//     F is unsatisfiable  ⟺  S is UCRDPQ-definable.
+// A satisfying assignment yields a data-graph homomorphism mapping the
+// variable nodes to the truth nodes 1/0 and each clause node C_i to the
+// "satisfied pattern" node R^{j_i}_i ∉ S — a violation of Lemma 34. The R
+// family deliberately lacks R^0 (the all-false pattern), so an
+// unsatisfiable F leaves every homomorphism trapped in S.
+//
+// Node/edge conventions (names used in the built graph):
+//   one/zero          truth nodes: self loops {be, ga, top} / {be, ga, bot},
+//                     mutual al and be edges
+//   p<i> / np<i>      variable and negated-variable nodes: ga self loops,
+//                     mutual al edges, be chains p<i> → p<i+1>
+//   C<i>              clause nodes: ga chain, l1/l2/l3 to literal nodes
+//   R<i>_<j>, L<i>_<j> pattern nodes (j = 3-bit literal pattern, MSB = l1):
+//                     l1/l2/l3 to one/zero per bit of j, complete-bipartite
+//                     ga edges to the next index's family, l self loop on L
+//                     nodes only; R exists for j ≥ 1, L for j ≥ 0
+
+#ifndef GQD_REDUCTIONS_SAT_REDUCTION_H_
+#define GQD_REDUCTIONS_SAT_REDUCTION_H_
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+#include "homomorphism/data_graph_hom.h"
+#include "reductions/cnf.h"
+
+namespace gqd {
+
+struct SatReduction {
+  DataGraph graph;
+  /// The unary target relation S = {C_i} ∪ {L^j_i}.
+  TupleRelation relation{1};
+};
+
+/// Builds the Figure-3 reduction graph for an exactly-3-CNF formula.
+Result<SatReduction> BuildSatReduction(const CnfFormula& formula);
+
+/// The violating homomorphism induced by a satisfying assignment
+/// (variables → one/zero, clauses → R^{j_i}_i, everything else identity).
+/// Used by tests to exhibit Lemma 34's certificate constructively.
+Result<NodeMapping> HomomorphismFromAssignment(const CnfFormula& formula,
+                                               const SatReduction& reduction,
+                                               const Assignment& assignment);
+
+}  // namespace gqd
+
+#endif  // GQD_REDUCTIONS_SAT_REDUCTION_H_

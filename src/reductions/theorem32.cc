@@ -1,0 +1,20 @@
+#include "reductions/theorem32.h"
+
+namespace gqd {
+
+DataGraph WithConstantDataValue(const DataGraph& graph) {
+  DataGraph out;
+  for (std::uint32_t a = 0; a < graph.NumLabels(); a++) {
+    out.AddLabel(graph.labels().NameOf(a));
+  }
+  ValueId value = out.AddDataValue("0");
+  for (NodeId v = 0; v < graph.NumNodes(); v++) {
+    out.AddNode(value, graph.NodeName(v));
+  }
+  for (const Edge& e : graph.edges()) {
+    out.AddEdge(e.from, e.label, e.to);
+  }
+  return out;
+}
+
+}  // namespace gqd

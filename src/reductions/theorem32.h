@@ -1,0 +1,22 @@
+// The Theorem 32 reduction: RPQ-definability → RDPQ_=-definability.
+//
+// Given a graph H (any data graph; its values are discarded), the
+// reduction attaches the same data value to every node. On the resulting
+// H', a non-empty relation is RDPQ_=-definable iff it is RPQ-definable on
+// H: every ≠-restriction is empty and every =-restriction is the identity
+// on H', so REE collapse to plain regexes.
+
+#ifndef GQD_REDUCTIONS_THEOREM32_H_
+#define GQD_REDUCTIONS_THEOREM32_H_
+
+#include "graph/data_graph.h"
+
+namespace gqd {
+
+/// H → H': same nodes, names and edges; every node carries the data value
+/// "0".
+DataGraph WithConstantDataValue(const DataGraph& graph);
+
+}  // namespace gqd
+
+#endif  // GQD_REDUCTIONS_THEOREM32_H_

@@ -1,0 +1,149 @@
+#include "reductions/tiling.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace gqd {
+
+Status TilingInstance::Validate() const {
+  if (num_tile_types == 0) {
+    return Status::InvalidArgument("no tile types");
+  }
+  if (initial_tile >= num_tile_types || final_tile >= num_tile_types) {
+    return Status::InvalidArgument("initial/final tile out of range");
+  }
+  for (const auto& [a, b] : horizontal) {
+    if (a >= num_tile_types || b >= num_tile_types) {
+      return Status::InvalidArgument("horizontal pair out of range");
+    }
+  }
+  for (const auto& [a, b] : vertical) {
+    if (a >= num_tile_types || b >= num_tile_types) {
+      return Status::InvalidArgument("vertical pair out of range");
+    }
+  }
+  if (width_bits == 0 || width_bits > 4) {
+    return Status::OutOfRange("width_bits must be in [1, 4] for this solver");
+  }
+  return Status::OK();
+}
+
+bool IsLegalTiling(const TilingInstance& instance,
+                   const TilingSolution& solution) {
+  std::size_t width = instance.Width();
+  if (solution.rows.empty()) {
+    return false;
+  }
+  for (const auto& row : solution.rows) {
+    if (row.size() != width) {
+      return false;
+    }
+    for (TileType t : row) {
+      if (t >= instance.num_tile_types) {
+        return false;
+      }
+    }
+    for (std::size_t j = 0; j + 1 < width; j++) {
+      if (!instance.horizontal.count({row[j], row[j + 1]})) {
+        return false;
+      }
+    }
+  }
+  for (std::size_t i = 0; i + 1 < solution.rows.size(); i++) {
+    for (std::size_t j = 0; j < width; j++) {
+      if (!instance.vertical.count(
+              {solution.rows[i][j], solution.rows[i + 1][j]})) {
+        return false;
+      }
+    }
+  }
+  return solution.rows.front()[0] == instance.initial_tile &&
+         solution.rows.back()[width - 1] == instance.final_tile;
+}
+
+Result<std::optional<TilingSolution>> SolveCorridorTiling(
+    const TilingInstance& instance, std::size_t max_rows_enumerated) {
+  GQD_RETURN_NOT_OK(instance.Validate());
+  std::size_t width = instance.Width();
+
+  // Enumerate horizontally-valid rows by DFS.
+  std::vector<std::vector<TileType>> rows;
+  {
+    std::vector<std::pair<std::vector<TileType>, TileType>> work;
+    for (TileType t = instance.num_tile_types; t-- > 0;) {
+      work.push_back({{}, t});
+    }
+    while (!work.empty()) {
+      auto [prefix, next] = std::move(work.back());
+      work.pop_back();
+      if (!prefix.empty() &&
+          !instance.horizontal.count({prefix.back(), next})) {
+        continue;
+      }
+      prefix.push_back(next);
+      if (prefix.size() == width) {
+        rows.push_back(std::move(prefix));
+        if (rows.size() > max_rows_enumerated) {
+          return Status::ResourceExhausted("too many horizontally-valid rows");
+        }
+        continue;
+      }
+      for (TileType t = instance.num_tile_types; t-- > 0;) {
+        work.push_back({prefix, t});
+      }
+    }
+  }
+
+  // Row-compatibility BFS: start rows have row[0] = t_i; accepting rows
+  // have row[width-1] = t_f (a single row may be both).
+  auto vertically_compatible = [&](const std::vector<TileType>& below,
+                                   const std::vector<TileType>& above) {
+    for (std::size_t j = 0; j < width; j++) {
+      if (!instance.vertical.count({below[j], above[j]})) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<std::size_t> parent(rows.size(), rows.size());
+  std::vector<bool> visited(rows.size(), false);
+  std::queue<std::size_t> frontier;
+  for (std::size_t i = 0; i < rows.size(); i++) {
+    if (rows[i][0] == instance.initial_tile) {
+      visited[i] = true;
+      frontier.push(i);
+    }
+  }
+  std::optional<std::size_t> accepting;
+  while (!frontier.empty() && !accepting.has_value()) {
+    std::size_t current = frontier.front();
+    frontier.pop();
+    if (rows[current][width - 1] == instance.final_tile) {
+      accepting = current;
+      break;
+    }
+    for (std::size_t next = 0; next < rows.size(); next++) {
+      if (!visited[next] && vertically_compatible(rows[current], rows[next])) {
+        visited[next] = true;
+        parent[next] = current;
+        frontier.push(next);
+      }
+    }
+  }
+  if (!accepting.has_value()) {
+    return std::optional<TilingSolution>();
+  }
+  TilingSolution solution;
+  for (std::size_t at = *accepting;; at = parent[at]) {
+    solution.rows.push_back(rows[at]);
+    if (parent[at] == rows.size()) {
+      break;
+    }
+  }
+  std::reverse(solution.rows.begin(), solution.rows.end());
+  return std::optional<TilingSolution>(std::move(solution));
+}
+
+}  // namespace gqd

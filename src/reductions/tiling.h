@@ -1,0 +1,61 @@
+// The exponential-width corridor tiling problem — the EXPSPACE-complete
+// source problem of the paper's Theorem 25 lower bound.
+//
+// An instance is (T, C_h, C_v, t_i, t_f, n): tile types, horizontal and
+// vertical compatibility relations, an initial and final tile type, and a
+// width exponent (the corridor has 2^n columns). The question: is there an
+// R and a tiling τ : [R] × [2^n − 1] → T with τ(0,0) = t_i,
+// τ(R, 2^n − 1) = t_f, horizontally and vertically compatible throughout?
+//
+// The brute-force solver (usable only for tiny instances, by design)
+// enumerates horizontally-valid rows and searches the row-compatibility
+// graph; it is the oracle that validates the Theorem-25 reduction.
+
+#ifndef GQD_REDUCTIONS_TILING_H_
+#define GQD_REDUCTIONS_TILING_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gqd {
+
+/// Tile types are dense indices 0 .. num_tile_types-1.
+using TileType = std::uint32_t;
+
+struct TilingInstance {
+  std::size_t num_tile_types = 0;
+  /// (left, right) pairs allowed horizontally adjacent.
+  std::set<std::pair<TileType, TileType>> horizontal;
+  /// (below, above) pairs allowed vertically adjacent.
+  std::set<std::pair<TileType, TileType>> vertical;
+  TileType initial_tile = 0;  ///< t_i at row 0, column 0
+  TileType final_tile = 0;    ///< t_f at row R, column 2^n − 1
+  std::size_t width_bits = 1; ///< n; corridor width = 2^n
+
+  std::size_t Width() const { return std::size_t{1} << width_bits; }
+
+  Status Validate() const;
+};
+
+/// A solution: rows bottom-up, each of width 2^n.
+struct TilingSolution {
+  std::vector<std::vector<TileType>> rows;
+};
+
+/// Verifies a candidate solution against the instance.
+bool IsLegalTiling(const TilingInstance& instance,
+                   const TilingSolution& solution);
+
+/// Brute-force decision + witness. Enumerates horizontally-valid rows
+/// (≤ |T|^(2^n), hence tiny instances only) and BFS's the vertical
+/// row-compatibility graph. Returns nullopt when no tiling exists.
+Result<std::optional<TilingSolution>> SolveCorridorTiling(
+    const TilingInstance& instance, std::size_t max_rows_enumerated = 200'000);
+
+}  // namespace gqd
+
+#endif  // GQD_REDUCTIONS_TILING_H_

@@ -1,0 +1,664 @@
+#include "reductions/tiling_reduction.h"
+
+#include <cassert>
+#include <map>
+
+#include "regex/ast.h"
+#include "regex/nfa.h"
+#include "rem/condition.h"
+
+namespace gqd {
+
+std::string TileLabelName(TileType t) { return "t" + std::to_string(t); }
+std::string BarLabelName(TileType t) { return "u" + std::to_string(t); }
+std::string DValueName(std::size_t k) { return "d" + std::to_string(k); }
+std::string EValueName(std::size_t k) { return "e" + std::to_string(k); }
+
+namespace {
+
+/// A group of graph nodes treated as one "position" of a gadget chain: an
+/// edge into the group targets every member (the paper's grey D-boxes).
+using Box = std::vector<NodeId>;
+
+class ReductionBuilder {
+ public:
+  explicit ReductionBuilder(const TilingInstance& instance)
+      : instance_(instance), n_(instance.width_bits) {}
+
+  Result<TilingReduction> Build() {
+    GQD_RETURN_NOT_OK(instance_.Validate());
+    SetUpAlphabetAndValues();
+    BuildP2Side();
+    BuildGadgets();
+    GQD_RETURN_NOT_OK(graph_.Validate());
+    TilingReduction out;
+    out.graph = std::move(graph_);
+    out.p1 = p1_;
+    out.q1 = q1_;
+    out.p2 = p2_;
+    out.q2 = q2_;
+    out.width_bits = n_;
+    return out;
+  }
+
+ private:
+  // --- Vocabulary ----------------------------------------------------------
+
+  void SetUpAlphabetAndValues() {
+    for (TileType t = 0; t < instance_.num_tile_types; t++) {
+      tiles_.push_back(TileLabelName(t));
+      bars_.push_back(BarLabelName(t));
+    }
+    all_tiles_ = tiles_;
+    all_tiles_.insert(all_tiles_.end(), bars_.begin(), bars_.end());
+    any_ = all_tiles_;
+    any_.push_back(kAlphaLabel);
+    t_or_alpha_ = tiles_;
+    t_or_alpha_.push_back(kAlphaLabel);
+    for (const std::string& name : any_) {
+      graph_.AddLabel(name);
+    }
+    graph_.AddLabel(kDollarLabel);
+
+    for (std::size_t k = 1; k <= n_; k++) {
+      d_values_.push_back(graph_.AddDataValue(DValueName(k)));
+    }
+    for (std::size_t k = 1; k <= n_; k++) {
+      e_values_.push_back(graph_.AddDataValue(EValueName(k)));
+    }
+    pool_ = d_values_;
+    pool_.insert(pool_.end(), e_values_.begin(), e_values_.end());
+
+    p1_ = graph_.AddNode(graph_.AddDataValue("xp1"), "p1");
+    q1_ = graph_.AddNode(graph_.AddDataValue("xq1"), "q1");
+    p2_ = graph_.AddNode(graph_.AddDataValue("xp2"), "p2");
+    q2_ = graph_.AddNode(graph_.AddDataValue("xq2"), "q2");
+  }
+
+  ValueId DVal(std::size_t k) const { return d_values_[k - 1]; }
+  ValueId EVal(std::size_t k) const { return e_values_[k - 1]; }
+
+  // --- Graph primitives ----------------------------------------------------
+
+  Box MakeBox() {
+    Box box;
+    box.reserve(pool_.size());
+    for (ValueId v : pool_) {
+      box.push_back(graph_.AddNode(v));
+    }
+    return box;
+  }
+
+  NodeId MakeFixed(ValueId value) { return graph_.AddNode(value); }
+
+  void Connect(const Box& from, const std::vector<std::string>& letters,
+               const Box& to) {
+    for (NodeId u : from) {
+      for (const std::string& letter : letters) {
+        LabelId id = *graph_.labels().Find(letter);
+        for (NodeId v : to) {
+          graph_.AddEdge(u, id, v);
+        }
+      }
+    }
+  }
+
+  /// Expands a regex segment after `entry`: NFA states become value-
+  /// complete boxes; returns the exit box (including entry nodes when the
+  /// regex accepts ε).
+  Box ExpandRegex(const Box& entry, const RegexPtr& regex) {
+    StringInterner labels = graph_.labels();
+    Nfa nfa = CompileRegex(regex, &labels, /*intern_new_labels=*/false);
+    std::map<NfaState, Box> boxes;
+    std::map<NfaState, std::vector<NfaState>> closures;
+    auto closure_of = [&](NfaState s) -> const std::vector<NfaState>& {
+      auto it = closures.find(s);
+      if (it == closures.end()) {
+        it = closures.emplace(s, nfa.EpsilonClosure({s})).first;
+      }
+      return it->second;
+    };
+    auto box_of = [&](NfaState s) -> Box& {
+      auto it = boxes.find(s);
+      if (it == boxes.end()) {
+        it = boxes.emplace(s, MakeBox()).first;
+      }
+      return it->second;
+    };
+    // Worklist of (source box, nfa state whose closure we fan out from).
+    std::vector<NfaState> work;
+    std::map<NfaState, bool> expanded;
+    auto fan_out = [&](const Box& from, NfaState state) {
+      for (NfaState p : closure_of(state)) {
+        for (const auto& [label, target] : nfa.letter_edges[p]) {
+          bool fresh = boxes.find(target) == boxes.end();
+          Box& target_box = box_of(target);
+          Connect(from, {labels.NameOf(label)}, target_box);
+          if (fresh) {
+            work.push_back(target);
+          }
+        }
+      }
+    };
+    fan_out(entry, nfa.start);
+    while (!work.empty()) {
+      NfaState s = work.back();
+      work.pop_back();
+      if (expanded[s]) {
+        continue;
+      }
+      expanded[s] = true;
+      fan_out(boxes[s], s);
+    }
+    Box exits;
+    auto accepts = [&](NfaState s) {
+      for (NfaState p : closure_of(s)) {
+        if (p == nfa.accept) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (accepts(nfa.start)) {
+      exits = entry;
+    }
+    for (auto& [state, box] : boxes) {
+      if (accepts(state)) {
+        exits.insert(exits.end(), box.begin(), box.end());
+      }
+    }
+    return exits;
+  }
+
+  // --- Gadget chains -------------------------------------------------------
+
+  struct Chain {
+    ReductionBuilder* builder;
+    Box exits;
+
+    void StepFixed(const std::vector<std::string>& letters, ValueId value) {
+      Box next = {builder->MakeFixed(value)};
+      builder->Connect(exits, letters, next);
+      exits = std::move(next);
+    }
+    void StepBox(const std::vector<std::string>& letters) {
+      Box next = builder->MakeBox();
+      builder->Connect(exits, letters, next);
+      exits = std::move(next);
+    }
+    void StepRegex(const RegexPtr& regex) {
+      exits = builder->ExpandRegex(exits, regex);
+    }
+    /// Final $ into q1.
+    void Finish() {
+      builder->Connect(exits, {kDollarLabel}, {builder->q1_});
+    }
+  };
+
+  Chain StartGadget() { return Chain{this, {p1_}}; }
+
+  /// First address pinned to d_n .. d_1 (the reference the register trick
+  /// stores), entered by $.
+  void FixedFirstAddress(Chain* chain) {
+    chain->StepFixed({kDollarLabel}, DVal(n_));
+    for (std::size_t k = n_ - 1; k >= 1; k--) {
+      chain->StepFixed({kAlphaLabel}, DVal(k));
+      if (k == 1) {
+        break;
+      }
+    }
+  }
+
+  /// An address of D-boxes with some positions pinned; entered via
+  /// `entry_letters`. Positions run k = n .. 1.
+  void Address(Chain* chain, const std::vector<std::string>& entry_letters,
+               const std::map<std::size_t, ValueId>& pins) {
+    for (std::size_t k = n_; k >= 1; k--) {
+      const std::vector<std::string>& letters =
+          (k == n_) ? entry_letters : std::vector<std::string>{kAlphaLabel};
+      auto pin = pins.find(k);
+      if (pin != pins.end()) {
+        chain->StepFixed(letters, pin->second);
+      } else {
+        chain->StepBox(letters);
+      }
+      if (k == 1) {
+        break;
+      }
+    }
+  }
+
+  RegexPtr AnyStar() const { return re::Star(re::AnyOf(any_)); }
+  /// A tile letter (any) followed by anything — the generic suffix after a
+  /// checked address, ending just before the final $.
+  RegexPtr TileThenAnyStar() const {
+    return re::Concat({re::AnyOf(all_tiles_), AnyStar()});
+  }
+
+  // --- The p2 side ---------------------------------------------------------
+
+  void BuildP2Side() {
+    // Bit boxes: position k offers the choice {d_k, e_k}.
+    std::vector<Box> bits(n_ + 1);
+    for (std::size_t k = 1; k <= n_; k++) {
+      bits[k] = Box{graph_.AddNode(DVal(k)), graph_.AddNode(EVal(k))};
+    }
+    Connect({p2_}, {kDollarLabel}, bits[n_]);
+    for (std::size_t k = n_; k >= 2; k--) {
+      Connect(bits[k], {kAlphaLabel}, bits[k - 1]);
+    }
+    // Any tile letter starts the next address.
+    Connect(bits[1], all_tiles_, bits[n_]);
+    // A bar may instead end the encoding: F is a value-complete box (see
+    // header comment), then $ to q2.
+    Box f_box = MakeBox();
+    Connect(bits[1], bars_, f_box);
+    Connect(f_box, {kDollarLabel}, {q2_});
+  }
+
+  // --- The p1 gadget bank --------------------------------------------------
+
+  void BuildGadgets() {
+    BuildSecondAddressGadgets();     // G-a
+    BuildSuccessorGadgets();         // G-b
+    BuildBarColumnGadgets();         // G-c (+ bar right after first address)
+    BuildTileAtLastColumnGadget();   // G-d
+    BuildInitialTileGadget();        // G-e
+    BuildFinalTileGadget();          // G-f
+    BuildHorizontalGadgets();        // G-g
+    BuildVerticalGadgets();          // G-h, G-i
+  }
+
+  /// G-a: the second address must encode 1 (bit 1 set, bits n..2 clear).
+  /// One gadget per bit k pinning the *wrong* value at position k.
+  void BuildSecondAddressGadgets() {
+    for (std::size_t k = 1; k <= n_; k++) {
+      bool expected_bit = (k == 1);
+      ValueId wrong = expected_bit ? DVal(k) : EVal(k);
+      Chain chain = StartGadget();
+      FixedFirstAddress(&chain);
+      Address(&chain, all_tiles_, {{k, wrong}});
+      chain.StepRegex(TileThenAnyStar());
+      chain.Finish();
+    }
+  }
+
+  /// G-b: consecutive addresses (A, B), both at position ≥ 2, that are not
+  /// binary increments. Complete error basis:
+  ///  (i)  A's bits below k all 1 and B_k = A_k (carry should flip bit k);
+  ///  (ii) some j < k with A_j = 0 and B_k ≠ A_k (no carry, bit k flipped).
+  void BuildSuccessorGadgets() {
+    for (std::size_t k = 1; k <= n_; k++) {
+      // (i): pin A's positions k-1..1 to e (bit 1) and A_k = B_k = v.
+      for (ValueId v : {DVal(k), EVal(k)}) {
+        Chain chain = StartGadget();
+        FixedFirstAddress(&chain);
+        chain.StepRegex(AnyStar());
+        std::map<std::size_t, ValueId> pins_a = {{k, v}};
+        for (std::size_t lower = 1; lower < k; lower++) {
+          pins_a[lower] = EVal(lower);
+        }
+        Address(&chain, all_tiles_, pins_a);
+        Address(&chain, all_tiles_, {{k, v}});
+        chain.StepRegex(TileThenAnyStar());
+        chain.Finish();
+      }
+      // (ii): pin A_j = d_j (bit 0) for some j < k, and B_k ≠ A_k.
+      for (std::size_t j = 1; j < k; j++) {
+        for (bool a_bit : {false, true}) {
+          ValueId a_val = a_bit ? EVal(k) : DVal(k);
+          ValueId b_val = a_bit ? DVal(k) : EVal(k);
+          Chain chain = StartGadget();
+          FixedFirstAddress(&chain);
+          chain.StepRegex(AnyStar());
+          Address(&chain, all_tiles_, {{k, a_val}, {j, DVal(j)}});
+          Address(&chain, all_tiles_, {{k, b_val}});
+          chain.StepRegex(TileThenAnyStar());
+          chain.Finish();
+        }
+      }
+    }
+  }
+
+  /// G-c: an address immediately followed by a T̄ letter has some bit k = 0
+  /// (bars must sit at column 2^n − 1 = all ones). Variants for the checked
+  /// address being the first one or a later one.
+  void BuildBarColumnGadgets() {
+    for (std::size_t k = 1; k <= n_; k++) {
+      Chain chain = StartGadget();
+      FixedFirstAddress(&chain);
+      chain.StepRegex(AnyStar());
+      Address(&chain, all_tiles_, {{k, DVal(k)}});
+      chain.StepRegex(re::Concat({re::AnyOf(bars_), AnyStar()}));
+      chain.Finish();
+    }
+    // Bar right after the first address (column 0 is never the last).
+    Chain chain = StartGadget();
+    FixedFirstAddress(&chain);
+    chain.StepRegex(re::Concat({re::AnyOf(bars_), AnyStar()}));
+    chain.Finish();
+  }
+
+  /// G-d: an address of all ones followed by a plain-T letter (column
+  /// 2^n − 1 must use the T̄ copy).
+  void BuildTileAtLastColumnGadget() {
+    Chain chain = StartGadget();
+    FixedFirstAddress(&chain);
+    chain.StepRegex(AnyStar());
+    std::map<std::size_t, ValueId> pins;
+    for (std::size_t k = 1; k <= n_; k++) {
+      pins[k] = EVal(k);
+    }
+    Address(&chain, all_tiles_, pins);
+    chain.StepRegex(re::Concat({re::AnyOf(tiles_), AnyStar()}));
+    chain.Finish();
+  }
+
+  /// G-e: the first tile letter is not t_i.
+  void BuildInitialTileGadget() {
+    std::vector<std::string> wrong;
+    for (const std::string& letter : all_tiles_) {
+      if (letter != TileLabelName(instance_.initial_tile)) {
+        wrong.push_back(letter);
+      }
+    }
+    Chain chain = StartGadget();
+    Address(&chain, {kDollarLabel}, {});
+    chain.StepRegex(re::Concat({re::AnyOf(wrong), AnyStar()}));
+    chain.Finish();
+  }
+
+  /// G-f: the last tile letter (right before the final $) is not t̄_f.
+  void BuildFinalTileGadget() {
+    std::vector<std::string> wrong;
+    for (const std::string& letter : all_tiles_) {
+      if (letter != BarLabelName(instance_.final_tile)) {
+        wrong.push_back(letter);
+      }
+    }
+    Chain chain = StartGadget();
+    chain.StepBox({kDollarLabel});
+    chain.StepRegex(re::Concat({AnyStar(), re::AnyOf(wrong)}));
+    chain.Finish();
+  }
+
+  /// G-g: horizontally adjacent incompatible tiles: t_a at a non-last
+  /// column, the next tile (either copy) incompatible with it.
+  void BuildHorizontalGadgets() {
+    for (TileType a = 0; a < instance_.num_tile_types; a++) {
+      for (TileType b = 0; b < instance_.num_tile_types; b++) {
+        if (instance_.horizontal.count({a, b})) {
+          continue;
+        }
+        Chain chain = StartGadget();
+        chain.StepBox({kDollarLabel});
+        chain.StepRegex(AnyStar());
+        Address(&chain, {TileLabelName(a)}, {});
+        chain.StepRegex(re::Concat(
+            {re::AnyOf({TileLabelName(b), BarLabelName(b)}), AnyStar()}));
+        chain.Finish();
+      }
+    }
+  }
+
+  /// G-h/G-i: vertically adjacent incompatible tiles. Two addresses with
+  /// pairwise-equal values = same column; exactly one row boundary (T̄)
+  /// between them = consecutive rows.
+  void BuildVerticalGadgets() {
+    RegexPtr t_alpha_star = re::Star(re::AnyOf(t_or_alpha_));
+    for (TileType a = 0; a < instance_.num_tile_types; a++) {
+      for (TileType b = 0; b < instance_.num_tile_types; b++) {
+        if (instance_.vertical.count({a, b})) {
+          continue;
+        }
+        // G-h: both at the last column (letters are the T̄ copies; the row
+        // boundary is t̄_a itself).
+        {
+          Chain chain = StartGadget();
+          chain.StepBox({kDollarLabel});
+          chain.StepRegex(AnyStar());
+          std::map<std::size_t, ValueId> pins;
+          for (std::size_t k = 1; k <= n_; k++) {
+            pins[k] = EVal(k);
+          }
+          Address(&chain, all_tiles_, pins);
+          chain.StepRegex(
+              re::Concat({re::Letter(BarLabelName(a)), t_alpha_star}));
+          Address(&chain, tiles_, pins);
+          chain.StepRegex(
+              re::Concat({re::Letter(BarLabelName(b)), AnyStar()}));
+          chain.Finish();
+        }
+        // G-i-a: both at a column c ≥ 1 (plain letters; one T̄ strictly
+        // between; the second address is entered by a plain T letter).
+        {
+          Chain chain = StartGadget();
+          chain.StepBox({kDollarLabel});
+          chain.StepRegex(AnyStar());
+          std::map<std::size_t, ValueId> pins;
+          for (std::size_t k = 1; k <= n_; k++) {
+            pins[k] = DVal(k);
+          }
+          Address(&chain, all_tiles_, pins);
+          chain.StepRegex(re::Concat({re::Letter(TileLabelName(a)),
+                                      t_alpha_star, re::AnyOf(bars_),
+                                      t_alpha_star}));
+          Address(&chain, tiles_, pins);
+          chain.StepRegex(
+              re::Concat({re::Letter(TileLabelName(b)), AnyStar()}));
+          chain.Finish();
+        }
+        // G-i-b: both at column 0 (the row boundary T̄ is the letter
+        // entering the second address).
+        {
+          Chain chain = StartGadget();
+          chain.StepBox({kDollarLabel});
+          chain.StepRegex(AnyStar());
+          std::map<std::size_t, ValueId> pins;
+          for (std::size_t k = 1; k <= n_; k++) {
+            pins[k] = DVal(k);
+          }
+          Address(&chain, all_tiles_, pins);
+          chain.StepRegex(
+              re::Concat({re::Letter(TileLabelName(a)), t_alpha_star}));
+          Address(&chain, bars_, pins);
+          chain.StepRegex(
+              re::Concat({re::Letter(TileLabelName(b)), AnyStar()}));
+          chain.Finish();
+        }
+      }
+    }
+  }
+
+  const TilingInstance& instance_;
+  std::size_t n_;
+  DataGraph graph_;
+  NodeId p1_ = 0, q1_ = 0, p2_ = 0, q2_ = 0;
+  std::vector<std::string> tiles_, bars_, all_tiles_, any_, t_or_alpha_;
+  std::vector<ValueId> d_values_, e_values_, pool_;
+};
+
+}  // namespace
+
+Result<TilingReduction> BuildTilingReduction(const TilingInstance& instance) {
+  ReductionBuilder builder(instance);
+  return builder.Build();
+}
+
+Result<RemPtr> TilingEncodingRem(const TilingInstance& instance,
+                                 const TilingSolution& solution) {
+  GQD_RETURN_NOT_OK(instance.Validate());
+  if (!IsLegalTiling(instance, solution) &&
+      (solution.rows.empty() ||
+       solution.rows[0].size() != instance.Width())) {
+    return Status::InvalidArgument("solution has the wrong shape");
+  }
+  std::size_t n = instance.width_bits;
+  std::size_t width = instance.Width();
+  auto reg = [](std::size_t k) { return k - 1; };  // r_k ↔ index k-1
+
+  // Everything after τ(0,0): per position (i, j) ≠ (0, 0), the address
+  // conditions then the tile letter; then the final $.
+  auto tile_letter = [&](std::size_t i, std::size_t j) {
+    TileType t = solution.rows[i][j];
+    return (j == width - 1) ? BarLabelName(t) : TileLabelName(t);
+  };
+
+  RemPtr e = rem::Letter(tile_letter(0, 0));
+  // Build left-to-right from τ(0,0) onwards.
+  for (std::size_t i = 0; i < solution.rows.size(); i++) {
+    for (std::size_t j = 0; j < width; j++) {
+      if (i == 0 && j == 0) {
+        continue;
+      }
+      for (std::size_t k = n; k >= 1; k--) {
+        bool bit = (j >> (k - 1)) & 1;
+        ConditionPtr c = bit ? cond::RegisterNeq(reg(k))
+                             : cond::RegisterEq(reg(k));
+        e = rem::Test(std::move(e), std::move(c));
+        if (k > 1) {
+          e = rem::Concat({std::move(e), rem::Letter(kAlphaLabel)});
+        }
+      }
+      e = rem::Concat({std::move(e), rem::Letter(tile_letter(i, j))});
+    }
+  }
+  e = rem::Concat({std::move(e), rem::Letter(kDollarLabel)});
+
+  // Prefix: $ then the first address with binds ↓r_n α ↓r_{n-1} ... ↓r_1,
+  // nested so each bind scopes over the whole remainder.
+  for (std::size_t k = 1; k <= n; k++) {
+    e = rem::Bind({reg(k)}, std::move(e));
+    if (k < n) {
+      e = rem::Concat({rem::Letter(kAlphaLabel), std::move(e)});
+    }
+  }
+  e = rem::Concat({rem::Letter(kDollarLabel), std::move(e)});
+  return e;
+}
+
+std::optional<TilingSolution> DecodeTilingPath(const TilingInstance& instance,
+                                               const DataPath& path,
+                                               const StringInterner& labels) {
+  std::size_t n = instance.width_bits;
+  std::size_t width = instance.Width();
+  auto dollar = labels.Find(kDollarLabel);
+  auto alpha = labels.Find(kAlphaLabel);
+  if (!dollar || !alpha) {
+    return std::nullopt;
+  }
+  // Letter classification.
+  enum class Kind { kDollar, kAlpha, kTile, kBar, kOther };
+  auto classify = [&](LabelId id) {
+    if (id == *dollar) {
+      return Kind::kDollar;
+    }
+    if (id == *alpha) {
+      return Kind::kAlpha;
+    }
+    const std::string& name = labels.NameOf(id);
+    if (!name.empty() && name[0] == 't') {
+      return Kind::kTile;
+    }
+    if (!name.empty() && name[0] == 'u') {
+      return Kind::kBar;
+    }
+    return Kind::kOther;
+  };
+  auto tile_of = [&](LabelId id) {
+    return static_cast<TileType>(std::stoul(labels.NameOf(id).substr(1)));
+  };
+
+  std::size_t m = path.letters.size();
+  if (m < 2 + n || classify(path.letters[0]) != Kind::kDollar ||
+      classify(path.letters[m - 1]) != Kind::kDollar) {
+    return std::nullopt;
+  }
+  // Parse: ($) [addr of n values α-separated] tile ... bar ($).
+  // Value positions: index 1 .. m-1 between the dollars.
+  // Invariant at the top of the loop: `pos` is the value index of the
+  // current address's first value (letters[pos-1] entered it).
+  std::size_t pos = 1;  // value index after the opening $
+  std::vector<std::vector<ValueId>> addresses;
+  std::vector<std::pair<Kind, TileType>> tile_sequence;
+  while (true) {
+    // Read one address: n values separated by α. After reading, `pos` is
+    // the value index of the address's last value.
+    std::vector<ValueId> address;
+    for (std::size_t k = 0; k < n; k++) {
+      if (k > 0) {
+        if (pos >= m || classify(path.letters[pos]) != Kind::kAlpha) {
+          return std::nullopt;
+        }
+        pos++;
+      }
+      address.push_back(path.values[pos]);
+    }
+    addresses.push_back(std::move(address));
+    // The letter after the address must be a tile or bar.
+    if (pos >= m) {
+      return std::nullopt;
+    }
+    Kind kind = classify(path.letters[pos]);
+    if (kind != Kind::kTile && kind != Kind::kBar) {
+      return std::nullopt;
+    }
+    tile_sequence.emplace_back(kind, tile_of(path.letters[pos]));
+    pos++;  // value index after the tile letter (next address or F slot)
+    if (pos >= m) {
+      return std::nullopt;  // the path must still have the closing $
+    }
+    if (classify(path.letters[pos]) == Kind::kDollar) {
+      if (pos != m - 1) {
+        return std::nullopt;  // interior $ — not an encoding
+      }
+      break;  // values[pos] is the F-slot value; decoding complete
+    }
+  }
+  if (tile_sequence.empty()) {
+    return std::nullopt;
+  }
+
+  // Column indices relative to the first address.
+  const std::vector<ValueId>& reference = addresses[0];
+  if (addresses.size() != tile_sequence.size()) {
+    return std::nullopt;
+  }
+  std::vector<std::size_t> columns;
+  for (const auto& address : addresses) {
+    std::size_t column = 0;
+    for (std::size_t k = 1; k <= n; k++) {
+      // Position k is stored at vector index n - k (addresses run n..1).
+      bool bit = address[n - k] != reference[n - k];
+      if (bit) {
+        column |= (std::size_t{1} << (k - 1));
+      }
+    }
+    columns.push_back(column);
+  }
+  // Structural checks: columns cycle 0,1,...,W-1,0,...; bars exactly at
+  // column W-1; count a multiple of W.
+  if (tile_sequence.size() % width != 0) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < tile_sequence.size(); i++) {
+    if (columns[i] != i % width) {
+      return std::nullopt;
+    }
+    bool is_bar = tile_sequence[i].first == Kind::kBar;
+    if (is_bar != (columns[i] == width - 1)) {
+      return std::nullopt;
+    }
+  }
+  TilingSolution solution;
+  for (std::size_t i = 0; i < tile_sequence.size(); i += width) {
+    std::vector<TileType> row;
+    for (std::size_t j = 0; j < width; j++) {
+      row.push_back(tile_sequence[i + j].second);
+    }
+    solution.rows.push_back(std::move(row));
+  }
+  return solution;
+}
+
+}  // namespace gqd

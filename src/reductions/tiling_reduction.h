@@ -1,0 +1,81 @@
+// The Theorem 25 reduction: exponential-width corridor tiling →
+// RDPQ_mem-definability.
+//
+// Given a tiling instance with width 2^n, the reduction builds a data graph
+// with distinguished nodes p1, q1, p2, q2 such that a legal tiling exists
+// iff {⟨p2, q2⟩} is RDPQ_mem-definable. Encodings of tilings are data paths
+//   $ b_n α b_{n-1} α ... α b_1 t  b_n' α ... α b_1' t' ... t̄_final $
+// where each address block of n values encodes a column index in binary
+// *relative to the first address*: bit k is 0 when the value equals the
+// first address's k-th value and 1 otherwise (the register trick of
+// REM (3) in the paper).
+//
+// Components:
+//  * the p2 side admits every well-shaped path (each bit position offers a
+//    {d_k, e_k} choice box);
+//  * the p1 side is a bank of error gadgets, one per way a path can fail
+//    to encode a legal tiling; D-boxes (value-complete node groups) make an
+//    automorphic copy of every erroneous p2-path pass through some gadget
+//    (condition 4 of the paper's proof).
+//
+// Deviations from the paper's sketch, recorded here and in DESIGN.md:
+//  * the pre-final node F is a value-complete box (a single fresh-valued F
+//    would break automorphic copying into the gadgets, whose corresponding
+//    positions carry pool values);
+//  * binary-increment errors use O(n²) gadget instances (pairs j < k plus
+//    full-carry cases) rather than the paper's O(n) sketch — still
+//    polynomial, and verifiably complete;
+//  * Lemma-15 expressions e[w] + REM evaluation validate conditions 2–4
+//    empirically in the test suite (see test_reductions.cc).
+
+#ifndef GQD_REDUCTIONS_TILING_REDUCTION_H_
+#define GQD_REDUCTIONS_TILING_REDUCTION_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "graph/data_path.h"
+#include "reductions/tiling.h"
+#include "rem/ast.h"
+
+namespace gqd {
+
+/// Label-name conventions of the reduction alphabet
+/// Σ = T ∪ T̄ ∪ {$, α}.
+std::string TileLabelName(TileType t);  ///< "t<i>" — tiles in T
+std::string BarLabelName(TileType t);   ///< "u<i>" — the T̄ copy
+inline constexpr const char* kDollarLabel = "$";
+inline constexpr const char* kAlphaLabel = "al";
+
+/// Data-value name of the k-th d/e pool value (k = 1..n).
+std::string DValueName(std::size_t k);  ///< "d<k>"
+std::string EValueName(std::size_t k);  ///< "e<k>"
+
+struct TilingReduction {
+  DataGraph graph;
+  NodeId p1, q1, p2, q2;
+  std::size_t width_bits;
+};
+
+/// Builds the reduction graph (polynomial in the instance size).
+Result<TilingReduction> BuildTilingReduction(const TilingInstance& instance);
+
+/// Expression (3) of the paper: the REM (n registers) whose language is
+/// exactly the encodings of the given tiling. Evaluating it on the
+/// reduction graph of a *legal* tiling yields {⟨p2, q2⟩}.
+Result<RemPtr> TilingEncodingRem(const TilingInstance& instance,
+                                 const TilingSolution& solution);
+
+/// Decodes a data path (letters named per the conventions above, resolved
+/// against `labels`) as a tiling encoding. Returns nullopt when the path is
+/// not even well-shaped; a returned solution may still be an *illegal*
+/// tiling — test with IsLegalTiling.
+std::optional<TilingSolution> DecodeTilingPath(const TilingInstance& instance,
+                                               const DataPath& path,
+                                               const StringInterner& labels);
+
+}  // namespace gqd
+
+#endif  // GQD_REDUCTIONS_TILING_REDUCTION_H_

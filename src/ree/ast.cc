@@ -1,0 +1,148 @@
+#include "ree/ast.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/syntax.h"
+
+namespace gqd {
+
+namespace ree {
+
+ReePtr Epsilon() {
+  auto node = std::make_shared<ReeNode>();
+  node->kind = ReeKind::kEpsilon;
+  return node;
+}
+
+ReePtr Letter(std::string name) {
+  auto node = std::make_shared<ReeNode>();
+  node->kind = ReeKind::kLetter;
+  node->letter = std::move(name);
+  return node;
+}
+
+ReePtr Union(std::vector<ReePtr> operands) {
+  assert(!operands.empty());
+  if (operands.size() == 1) {
+    return operands[0];
+  }
+  auto node = std::make_shared<ReeNode>();
+  node->kind = ReeKind::kUnion;
+  node->children = std::move(operands);
+  return node;
+}
+
+ReePtr Concat(std::vector<ReePtr> operands) {
+  if (operands.empty()) {
+    return Epsilon();
+  }
+  if (operands.size() == 1) {
+    return operands[0];
+  }
+  auto node = std::make_shared<ReeNode>();
+  node->kind = ReeKind::kConcat;
+  node->children = std::move(operands);
+  return node;
+}
+
+ReePtr Plus(ReePtr operand) {
+  auto node = std::make_shared<ReeNode>();
+  node->kind = ReeKind::kPlus;
+  node->children = {std::move(operand)};
+  return node;
+}
+
+ReePtr Star(ReePtr operand) {
+  return Union({Epsilon(), Plus(std::move(operand))});
+}
+
+ReePtr Eq(ReePtr operand) {
+  auto node = std::make_shared<ReeNode>();
+  node->kind = ReeKind::kEq;
+  node->children = {std::move(operand)};
+  return node;
+}
+
+ReePtr Neq(ReePtr operand) {
+  auto node = std::make_shared<ReeNode>();
+  node->kind = ReeKind::kNeq;
+  node->children = {std::move(operand)};
+  return node;
+}
+
+}  // namespace ree
+
+namespace {
+
+// Precedence: union (1) < concat (2) < postfix (3) < atoms (4).
+int Precedence(ReeKind kind) {
+  switch (kind) {
+    case ReeKind::kUnion:
+      return 1;
+    case ReeKind::kConcat:
+      return 2;
+    case ReeKind::kEpsilon:
+    case ReeKind::kLetter:
+      return 4;
+    default:
+      return 3;
+  }
+}
+
+void Render(const ReePtr& node, int parent_precedence, std::ostream& os) {
+  int self = Precedence(node->kind);
+  bool parens = self < parent_precedence;
+  if (parens) {
+    os << "(";
+  }
+  switch (node->kind) {
+    case ReeKind::kEpsilon:
+      os << "eps";
+      break;
+    case ReeKind::kLetter:
+      RenderLabelName(node->letter, os);
+      break;
+    case ReeKind::kUnion:
+      for (std::size_t i = 0; i < node->children.size(); i++) {
+        if (i > 0) {
+          os << " | ";
+        }
+        Render(node->children[i], self, os);
+      }
+      break;
+    case ReeKind::kConcat:
+      for (std::size_t i = 0; i < node->children.size(); i++) {
+        if (i > 0) {
+          os << " ";
+        }
+        Render(node->children[i], self, os);
+      }
+      break;
+    case ReeKind::kPlus:
+      Render(node->children[0], 4, os);
+      os << "+";
+      break;
+    case ReeKind::kEq:
+      Render(node->children[0], 4, os);
+      os << "=";
+      break;
+    case ReeKind::kNeq:
+      Render(node->children[0], 4, os);
+      os << "!=";
+      break;
+  }
+  if (parens) {
+    os << ")";
+  }
+}
+
+}  // namespace
+
+std::string ReeToString(const ReePtr& expression) {
+  std::ostringstream os;
+  Render(expression, 0, os);
+  return os.str();
+}
+
+}  // namespace gqd

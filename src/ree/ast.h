@@ -1,0 +1,68 @@
+// Regular expressions with equality — REE (Definition 7 of the paper).
+//
+//   e := ε | a | e + e | e · e | e⁺ | e= | e≠
+//
+// e= keeps only the data paths of e whose first and last data values are
+// equal; e≠ keeps those whose first and last differ.
+//
+// Concrete syntax accepted by the parser (ree/parser.h):
+//   union      e | f
+//   concat     e f      (juxtaposition; also `e . f`)
+//   plus       e+       (postfix)
+//   star       e*       (sugar: eps | e+)
+//   eq         e=       (postfix)
+//   neq        e!=      (postfix)
+//   epsilon    eps
+//   letters    identifiers or quoted '...'
+//
+// Example 8 of the paper: `((a)!= (b)!=)!=`.
+
+#ifndef GQD_REE_AST_H_
+#define GQD_REE_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gqd {
+
+enum class ReeKind {
+  kEpsilon,
+  kLetter,
+  kUnion,
+  kConcat,
+  kPlus,
+  kEq,   ///< e=
+  kNeq,  ///< e≠
+};
+
+struct ReeNode;
+using ReePtr = std::shared_ptr<const ReeNode>;
+
+/// Immutable REE AST node.
+struct ReeNode {
+  ReeKind kind;
+  std::string letter;
+  std::vector<ReePtr> children;
+};
+
+namespace ree {
+
+ReePtr Epsilon();
+ReePtr Letter(std::string name);
+ReePtr Union(std::vector<ReePtr> operands);
+ReePtr Concat(std::vector<ReePtr> operands);
+ReePtr Plus(ReePtr operand);
+/// e* desugared as eps | e+.
+ReePtr Star(ReePtr operand);
+ReePtr Eq(ReePtr operand);
+ReePtr Neq(ReePtr operand);
+
+}  // namespace ree
+
+/// Renders the concrete syntax.
+std::string ReeToString(const ReePtr& expression);
+
+}  // namespace gqd
+
+#endif  // GQD_REE_AST_H_

@@ -1,0 +1,133 @@
+#include "ree/membership.h"
+
+#include <cassert>
+#include <vector>
+
+namespace gqd {
+
+namespace {
+
+/// Square boolean matrix over path positions 0..m.
+class PositionMatrix {
+ public:
+  explicit PositionMatrix(std::size_t size)
+      : size_(size), bits_(size * size, false) {}
+
+  bool Get(std::size_t i, std::size_t j) const { return bits_[i * size_ + j]; }
+  void Set(std::size_t i, std::size_t j) { bits_[i * size_ + j] = true; }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::size_t size_;
+  std::vector<bool> bits_;
+};
+
+PositionMatrix Evaluate(const ReePtr& node, const DataPath& path,
+                        const StringInterner& labels) {
+  std::size_t positions = path.values.size();
+  PositionMatrix out(positions);
+  switch (node->kind) {
+    case ReeKind::kEpsilon:
+      for (std::size_t i = 0; i < positions; i++) {
+        out.Set(i, i);
+      }
+      break;
+    case ReeKind::kLetter: {
+      auto id = labels.Find(node->letter);
+      if (!id.has_value()) {
+        break;
+      }
+      for (std::size_t i = 0; i + 1 < positions; i++) {
+        if (path.letters[i] == *id) {
+          out.Set(i, i + 1);
+        }
+      }
+      break;
+    }
+    case ReeKind::kUnion:
+      for (const ReePtr& child : node->children) {
+        PositionMatrix m = Evaluate(child, path, labels);
+        for (std::size_t i = 0; i < positions; i++) {
+          for (std::size_t j = 0; j < positions; j++) {
+            if (m.Get(i, j)) {
+              out.Set(i, j);
+            }
+          }
+        }
+      }
+      break;
+    case ReeKind::kConcat: {
+      assert(!node->children.empty());
+      out = Evaluate(node->children[0], path, labels);
+      for (std::size_t c = 1; c < node->children.size(); c++) {
+        PositionMatrix rhs = Evaluate(node->children[c], path, labels);
+        PositionMatrix next(positions);
+        for (std::size_t i = 0; i < positions; i++) {
+          for (std::size_t k = 0; k < positions; k++) {
+            if (!out.Get(i, k)) {
+              continue;
+            }
+            for (std::size_t j = 0; j < positions; j++) {
+              if (rhs.Get(k, j)) {
+                next.Set(i, j);
+              }
+            }
+          }
+        }
+        out = next;
+      }
+      break;
+    }
+    case ReeKind::kPlus: {
+      PositionMatrix base = Evaluate(node->children[0], path, labels);
+      // Transitive closure (Floyd–Warshall style).
+      out = base;
+      for (std::size_t k = 0; k < positions; k++) {
+        for (std::size_t i = 0; i < positions; i++) {
+          if (!out.Get(i, k)) {
+            continue;
+          }
+          for (std::size_t j = 0; j < positions; j++) {
+            if (out.Get(k, j)) {
+              out.Set(i, j);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case ReeKind::kEq: {
+      PositionMatrix m = Evaluate(node->children[0], path, labels);
+      for (std::size_t i = 0; i < positions; i++) {
+        for (std::size_t j = 0; j < positions; j++) {
+          if (m.Get(i, j) && path.values[i] == path.values[j]) {
+            out.Set(i, j);
+          }
+        }
+      }
+      break;
+    }
+    case ReeKind::kNeq: {
+      PositionMatrix m = Evaluate(node->children[0], path, labels);
+      for (std::size_t i = 0; i < positions; i++) {
+        for (std::size_t j = 0; j < positions; j++) {
+          if (m.Get(i, j) && path.values[i] != path.values[j]) {
+            out.Set(i, j);
+          }
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ReeMatches(const ReePtr& expression, const DataPath& path,
+                const StringInterner& labels) {
+  PositionMatrix m = Evaluate(expression, path, labels);
+  return m.Get(0, path.values.size() - 1);
+}
+
+}  // namespace gqd

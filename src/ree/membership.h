@@ -1,0 +1,24 @@
+// Data-path membership for REE (the language semantics of Definition 7).
+
+#ifndef GQD_REE_MEMBERSHIP_H_
+#define GQD_REE_MEMBERSHIP_H_
+
+#include "common/interner.h"
+#include "graph/data_path.h"
+#include "ree/ast.h"
+
+namespace gqd {
+
+/// Does `path` belong to L(expression)?
+///
+/// Bottom-up dynamic programming: for every AST node, a boolean matrix over
+/// (start position, end position) of the path; e⁺ is the transitive closure
+/// of e's matrix. O(|e| · m³) worst case for a path with m letters.
+/// Letters resolve by name via `labels` (letters unknown to the interner
+/// match nothing).
+bool ReeMatches(const ReePtr& expression, const DataPath& path,
+                const StringInterner& labels);
+
+}  // namespace gqd
+
+#endif  // GQD_REE_MEMBERSHIP_H_

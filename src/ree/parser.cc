@@ -1,0 +1,210 @@
+#include "ree/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace gqd {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kPipe,
+  kStar,
+  kPlus,
+  kDot,
+  kEq,
+  kNeq,
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t position;
+};
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  auto error = [&](std::size_t at, const std::string& msg) {
+    return Status::InvalidArgument("REE at offset " + std::to_string(at) +
+                                   ": " + msg);
+  };
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pos++;
+      continue;
+    }
+    std::size_t start = pos;
+    auto single = [&](TokenKind kind) {
+      tokens.push_back({kind, "", start});
+      pos++;
+    };
+    switch (c) {
+      case '|': single(TokenKind::kPipe); continue;
+      case '*': single(TokenKind::kStar); continue;
+      case '+': single(TokenKind::kPlus); continue;
+      case '.': single(TokenKind::kDot); continue;
+      case '=': single(TokenKind::kEq); continue;
+      case '(': single(TokenKind::kLParen); continue;
+      case ')': single(TokenKind::kRParen); continue;
+      case '!':
+        if (pos + 1 < text.size() && text[pos + 1] == '=') {
+          tokens.push_back({TokenKind::kNeq, "", start});
+          pos += 2;
+          continue;
+        }
+        return error(start, "expected '=' after '!'");
+      case '\'': {
+        pos++;
+        std::string name;
+        while (pos < text.size() && text[pos] != '\'') {
+          name += text[pos++];
+        }
+        if (pos >= text.size()) {
+          return error(start, "unterminated quoted label");
+        }
+        pos++;
+        if (name.empty()) {
+          return error(start, "empty quoted label");
+        }
+        tokens.push_back({TokenKind::kIdent, std::move(name), start});
+        continue;
+      }
+      default:
+        break;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '_')) {
+        name += text[pos++];
+      }
+      tokens.push_back({TokenKind::kIdent, std::move(name), start});
+      continue;
+    }
+    return error(start, std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back({TokenKind::kEnd, "", text.size()});
+  return tokens;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ReePtr> Run() {
+    GQD_ASSIGN_OR_RETURN(ReePtr result, ParseUnion());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input");
+    }
+    return result;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  void Advance() { index_++; }
+
+  Status Error(const std::string& msg) {
+    return Status::InvalidArgument("REE at offset " +
+                                   std::to_string(Peek().position) + ": " +
+                                   msg);
+  }
+
+  Result<ReePtr> ParseUnion() {
+    GQD_ASSIGN_OR_RETURN(ReePtr first, ParseConcat());
+    std::vector<ReePtr> operands = {first};
+    while (Peek().kind == TokenKind::kPipe) {
+      Advance();
+      GQD_ASSIGN_OR_RETURN(ReePtr next, ParseConcat());
+      operands.push_back(next);
+    }
+    return ree::Union(std::move(operands));
+  }
+
+  Result<ReePtr> ParseConcat() {
+    GQD_ASSIGN_OR_RETURN(ReePtr first, ParsePostfix());
+    std::vector<ReePtr> operands = {first};
+    while (true) {
+      TokenKind k = Peek().kind;
+      if (k == TokenKind::kDot) {
+        Advance();
+        GQD_ASSIGN_OR_RETURN(ReePtr next, ParsePostfix());
+        operands.push_back(next);
+      } else if (k == TokenKind::kIdent || k == TokenKind::kLParen) {
+        GQD_ASSIGN_OR_RETURN(ReePtr next, ParsePostfix());
+        operands.push_back(next);
+      } else {
+        break;
+      }
+    }
+    return ree::Concat(std::move(operands));
+  }
+
+  Result<ReePtr> ParsePostfix() {
+    GQD_ASSIGN_OR_RETURN(ReePtr node, ParseAtom());
+    while (true) {
+      TokenKind k = Peek().kind;
+      if (k == TokenKind::kStar) {
+        Advance();
+        node = ree::Star(node);
+      } else if (k == TokenKind::kPlus) {
+        Advance();
+        node = ree::Plus(node);
+      } else if (k == TokenKind::kEq) {
+        Advance();
+        node = ree::Eq(node);
+      } else if (k == TokenKind::kNeq) {
+        Advance();
+        node = ree::Neq(node);
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  Result<ReePtr> ParseAtom() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIdent: {
+        std::string name = token.text;
+        Advance();
+        if (name == "eps") {
+          return ree::Epsilon();
+        }
+        return ree::Letter(std::move(name));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        GQD_ASSIGN_OR_RETURN(ReePtr inner, ParseUnion());
+        if (Peek().kind != TokenKind::kRParen) {
+          return Error("expected ')'");
+        }
+        Advance();
+        return inner;
+      }
+      default:
+        return Error("expected a letter, 'eps' or '('");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<ReePtr> ParseRee(std::string_view text) {
+  GQD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace gqd

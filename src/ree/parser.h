@@ -1,0 +1,18 @@
+// Parser for REE concrete syntax (documented in ree/ast.h).
+
+#ifndef GQD_REE_PARSER_H_
+#define GQD_REE_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "ree/ast.h"
+
+namespace gqd {
+
+/// Parses an REE. Returns InvalidArgument with offsets on bad input.
+Result<ReePtr> ParseRee(std::string_view text);
+
+}  // namespace gqd
+
+#endif  // GQD_REE_PARSER_H_

@@ -1,0 +1,144 @@
+#include "regex/ast.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/syntax.h"
+
+namespace gqd {
+
+namespace re {
+
+RegexPtr Epsilon() {
+  auto node = std::make_shared<RegexNode>();
+  node->kind = RegexKind::kEpsilon;
+  return node;
+}
+
+RegexPtr Letter(std::string name) {
+  auto node = std::make_shared<RegexNode>();
+  node->kind = RegexKind::kLetter;
+  node->letter = std::move(name);
+  return node;
+}
+
+RegexPtr Union(std::vector<RegexPtr> operands) {
+  assert(!operands.empty());
+  if (operands.size() == 1) {
+    return operands[0];
+  }
+  auto node = std::make_shared<RegexNode>();
+  node->kind = RegexKind::kUnion;
+  node->children = std::move(operands);
+  return node;
+}
+
+RegexPtr Concat(std::vector<RegexPtr> operands) {
+  if (operands.empty()) {
+    return Epsilon();
+  }
+  if (operands.size() == 1) {
+    return operands[0];
+  }
+  auto node = std::make_shared<RegexNode>();
+  node->kind = RegexKind::kConcat;
+  node->children = std::move(operands);
+  return node;
+}
+
+RegexPtr Star(RegexPtr operand) {
+  auto node = std::make_shared<RegexNode>();
+  node->kind = RegexKind::kStar;
+  node->children = {std::move(operand)};
+  return node;
+}
+
+RegexPtr Plus(RegexPtr operand) {
+  auto node = std::make_shared<RegexNode>();
+  node->kind = RegexKind::kPlus;
+  node->children = {std::move(operand)};
+  return node;
+}
+
+RegexPtr AnyOf(const std::vector<std::string>& names) {
+  std::vector<RegexPtr> letters;
+  letters.reserve(names.size());
+  for (const std::string& name : names) {
+    letters.push_back(Letter(name));
+  }
+  return Union(std::move(letters));
+}
+
+}  // namespace re
+
+namespace {
+
+// Precedence: union (1) < concat (2) < postfix (3) < atoms (4).
+int Precedence(RegexKind kind) {
+  switch (kind) {
+    case RegexKind::kUnion:
+      return 1;
+    case RegexKind::kConcat:
+      return 2;
+    case RegexKind::kEpsilon:
+    case RegexKind::kLetter:
+      return 4;
+    default:
+      return 3;
+  }
+}
+
+void Render(const RegexPtr& node, int parent_precedence, std::ostream& os) {
+  int self = Precedence(node->kind);
+  bool parens = self < parent_precedence;
+  if (parens) {
+    os << "(";
+  }
+  switch (node->kind) {
+    case RegexKind::kEpsilon:
+      os << "eps";
+      break;
+    case RegexKind::kLetter:
+      RenderLabelName(node->letter, os);
+      break;
+    case RegexKind::kUnion:
+      for (std::size_t i = 0; i < node->children.size(); i++) {
+        if (i > 0) {
+          os << " | ";
+        }
+        Render(node->children[i], self, os);
+      }
+      break;
+    case RegexKind::kConcat:
+      for (std::size_t i = 0; i < node->children.size(); i++) {
+        if (i > 0) {
+          os << " ";
+        }
+        // Right operands of concat at equal precedence still need no parens
+        // (concat is associative), but unions inside do.
+        Render(node->children[i], self, os);
+      }
+      break;
+    case RegexKind::kStar:
+      Render(node->children[0], 4, os);
+      os << "*";
+      break;
+    case RegexKind::kPlus:
+      Render(node->children[0], 4, os);
+      os << "+";
+      break;
+  }
+  if (parens) {
+    os << ")";
+  }
+}
+
+}  // namespace
+
+std::string RegexToString(const RegexPtr& node) {
+  std::ostringstream os;
+  Render(node, 0, os);
+  return os.str();
+}
+
+}  // namespace gqd

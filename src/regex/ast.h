@@ -1,0 +1,68 @@
+// Standard regular expressions over a finite alphabet of edge labels.
+//
+// Grammar (paper Definition preliminaries / RPQ syntax):
+//   e := ε | a | e + e | e · e | e* | e⁺
+// Concrete syntax accepted by the parser (see parser.h):
+//   union   e | f
+//   concat  e f        (juxtaposition; also `e . f`)
+//   star    e*
+//   plus    e+         (postfix; binds like *; `+` is never infix)
+//   epsilon eps
+//   atoms   identifiers ([A-Za-z0-9_][A-Za-z0-9_']*), or arbitrary label
+//           names quoted like '$'
+//
+// Nodes are immutable and shared (RegexPtr = shared_ptr<const RegexNode>),
+// so gadget builders can reuse subexpressions freely.
+
+#ifndef GQD_REGEX_AST_H_
+#define GQD_REGEX_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gqd {
+
+enum class RegexKind {
+  kEpsilon,  ///< ε — the empty word.
+  kLetter,   ///< a single alphabet letter, by name.
+  kUnion,    ///< e + f
+  kConcat,   ///< e · f
+  kStar,     ///< e*
+  kPlus,     ///< e⁺ (one or more)
+};
+
+struct RegexNode;
+using RegexPtr = std::shared_ptr<const RegexNode>;
+
+/// Immutable regex AST node.
+struct RegexNode {
+  RegexKind kind;
+  std::string letter;           ///< kLetter only.
+  std::vector<RegexPtr> children;  ///< operands (2 for Union/Concat via
+                                   ///< builder flattening, 1 for Star/Plus).
+};
+
+/// Builder helpers (namespace-style factory, used by the reduction gadgets).
+namespace re {
+
+RegexPtr Epsilon();
+RegexPtr Letter(std::string name);
+/// Union of any number of operands; returns ε-free simplifications where
+/// trivial (0 operands is invalid, 1 operand returns it unchanged).
+RegexPtr Union(std::vector<RegexPtr> operands);
+/// Concatenation of any number of operands (0 operands yields ε).
+RegexPtr Concat(std::vector<RegexPtr> operands);
+RegexPtr Star(RegexPtr operand);
+RegexPtr Plus(RegexPtr operand);
+/// Union of single letters, one per name — e.g. AnyOf({"t1","t2","α"}).
+RegexPtr AnyOf(const std::vector<std::string>& names);
+
+}  // namespace re
+
+/// Renders the regex with minimal parentheses, letters by name.
+std::string RegexToString(const RegexPtr& node);
+
+}  // namespace gqd
+
+#endif  // GQD_REGEX_AST_H_

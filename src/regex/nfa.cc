@@ -1,0 +1,268 @@
+#include "regex/nfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace gqd {
+
+namespace {
+
+/// Incremental Thompson builder.
+class NfaBuilder {
+ public:
+  NfaBuilder(StringInterner* labels, bool intern_new)
+      : labels_(labels), intern_new_(intern_new) {}
+
+  NfaState NewState() {
+    letter_edges_.emplace_back();
+    eps_edges_.emplace_back();
+    return static_cast<NfaState>(letter_edges_.size() - 1);
+  }
+
+  void AddEps(NfaState from, NfaState to) { eps_edges_[from].push_back(to); }
+
+  void AddLetter(NfaState from, const std::string& letter, NfaState to) {
+    std::optional<std::uint32_t> id;
+    if (intern_new_) {
+      id = labels_->Intern(letter);
+    } else {
+      id = labels_->Find(letter);
+    }
+    if (id.has_value()) {
+      letter_edges_[from].emplace_back(*id, to);
+    }
+    // Unknown letter + no interning: dead fragment, no transition added.
+  }
+
+  /// Builds the fragment for `node`; returns (entry, exit).
+  std::pair<NfaState, NfaState> Build(const RegexPtr& node) {
+    switch (node->kind) {
+      case RegexKind::kEpsilon: {
+        NfaState s = NewState();
+        NfaState t = NewState();
+        AddEps(s, t);
+        return {s, t};
+      }
+      case RegexKind::kLetter: {
+        NfaState s = NewState();
+        NfaState t = NewState();
+        AddLetter(s, node->letter, t);
+        return {s, t};
+      }
+      case RegexKind::kUnion: {
+        NfaState s = NewState();
+        NfaState t = NewState();
+        for (const RegexPtr& child : node->children) {
+          auto [cs, ct] = Build(child);
+          AddEps(s, cs);
+          AddEps(ct, t);
+        }
+        return {s, t};
+      }
+      case RegexKind::kConcat: {
+        assert(!node->children.empty());
+        auto [entry, exit] = Build(node->children[0]);
+        for (std::size_t i = 1; i < node->children.size(); i++) {
+          auto [cs, ct] = Build(node->children[i]);
+          AddEps(exit, cs);
+          exit = ct;
+        }
+        return {entry, exit};
+      }
+      case RegexKind::kStar: {
+        auto [cs, ct] = Build(node->children[0]);
+        NfaState s = NewState();
+        NfaState t = NewState();
+        AddEps(s, cs);
+        AddEps(ct, t);
+        AddEps(s, t);
+        AddEps(ct, cs);
+        return {s, t};
+      }
+      case RegexKind::kPlus: {
+        auto [cs, ct] = Build(node->children[0]);
+        NfaState s = NewState();
+        NfaState t = NewState();
+        AddEps(s, cs);
+        AddEps(ct, t);
+        AddEps(ct, cs);
+        return {s, t};
+      }
+    }
+    assert(false && "unreachable");
+    return {0, 0};
+  }
+
+  Nfa Finish(NfaState start, NfaState accept) {
+    Nfa nfa;
+    nfa.num_states = letter_edges_.size();
+    nfa.start = start;
+    nfa.accept = accept;
+    nfa.letter_edges = std::move(letter_edges_);
+    nfa.eps_edges = std::move(eps_edges_);
+    return nfa;
+  }
+
+ private:
+  StringInterner* labels_;
+  bool intern_new_;
+  std::vector<std::vector<std::pair<std::uint32_t, NfaState>>> letter_edges_;
+  std::vector<std::vector<NfaState>> eps_edges_;
+};
+
+}  // namespace
+
+std::vector<NfaState> Nfa::EpsilonClosure(std::vector<NfaState> states) const {
+  std::vector<bool> seen(num_states, false);
+  std::queue<NfaState> frontier;
+  for (NfaState s : states) {
+    if (!seen[s]) {
+      seen[s] = true;
+      frontier.push(s);
+    }
+  }
+  while (!frontier.empty()) {
+    NfaState s = frontier.front();
+    frontier.pop();
+    for (NfaState t : eps_edges[s]) {
+      if (!seen[t]) {
+        seen[t] = true;
+        frontier.push(t);
+      }
+    }
+  }
+  std::vector<NfaState> closure;
+  for (NfaState s = 0; s < num_states; s++) {
+    if (seen[s]) {
+      closure.push_back(s);
+    }
+  }
+  return closure;
+}
+
+bool Nfa::Accepts(const std::vector<std::uint32_t>& word) const {
+  std::vector<NfaState> current = EpsilonClosure({start});
+  for (std::uint32_t letter : word) {
+    std::vector<NfaState> next;
+    for (NfaState s : current) {
+      for (const auto& [label, target] : letter_edges[s]) {
+        if (label == letter) {
+          next.push_back(target);
+        }
+      }
+    }
+    current = EpsilonClosure(std::move(next));
+    if (current.empty()) {
+      return false;
+    }
+  }
+  return std::binary_search(current.begin(), current.end(), accept);
+}
+
+Nfa CompileRegex(const RegexPtr& regex, StringInterner* labels,
+                 bool intern_new_labels) {
+  NfaBuilder builder(labels, intern_new_labels);
+  auto [start, accept] = builder.Build(regex);
+  return builder.Finish(start, accept);
+}
+
+bool Dfa::Accepts(const std::vector<std::uint32_t>& word) const {
+  std::uint32_t state = start;
+  for (std::uint32_t letter : word) {
+    assert(letter < num_labels);
+    state = next[state * num_labels + letter];
+    if (state == kNoTransition) {
+      return false;
+    }
+  }
+  return accepting[state];
+}
+
+Dfa Determinize(const Nfa& nfa, std::size_t num_labels) {
+  Dfa dfa;
+  dfa.num_labels = num_labels;
+  std::map<std::vector<NfaState>, std::uint32_t> ids;
+  std::vector<std::vector<NfaState>> subsets;
+
+  auto intern = [&](std::vector<NfaState> subset) {
+    auto [it, inserted] =
+        ids.emplace(subset, static_cast<std::uint32_t>(subsets.size()));
+    if (inserted) {
+      subsets.push_back(std::move(subset));
+    }
+    return it->second;
+  };
+
+  dfa.start = intern(nfa.EpsilonClosure({nfa.start}));
+  for (std::uint32_t i = 0; i < subsets.size(); i++) {
+    const std::vector<NfaState> subset = subsets[i];  // copy: vector grows
+    dfa.accepting.push_back(
+        std::binary_search(subset.begin(), subset.end(), nfa.accept));
+    for (std::uint32_t label = 0; label < num_labels; label++) {
+      std::vector<NfaState> moved;
+      for (NfaState s : subset) {
+        for (const auto& [edge_label, target] : nfa.letter_edges[s]) {
+          if (edge_label == label) {
+            moved.push_back(target);
+          }
+        }
+      }
+      std::uint32_t target_id;
+      if (moved.empty()) {
+        target_id = Dfa::kNoTransition;
+      } else {
+        target_id = intern(nfa.EpsilonClosure(std::move(moved)));
+      }
+      dfa.next.push_back(target_id);
+    }
+  }
+  dfa.num_states = subsets.size();
+  return dfa;
+}
+
+bool DfaEquivalent(const Dfa& a, const Dfa& b) {
+  assert(a.num_labels == b.num_labels);
+  // BFS over the product, treating kNoTransition as an explicit dead state.
+  auto encode = [&](std::uint32_t sa, std::uint32_t sb) {
+    std::uint64_t da = (sa == Dfa::kNoTransition) ? a.num_states : sa;
+    std::uint64_t db = (sb == Dfa::kNoTransition) ? b.num_states : sb;
+    return da * (b.num_states + 1) + db;
+  };
+  auto accepts_a = [&](std::uint32_t s) {
+    return s != Dfa::kNoTransition && a.accepting[s];
+  };
+  auto accepts_b = [&](std::uint32_t s) {
+    return s != Dfa::kNoTransition && b.accepting[s];
+  };
+  std::set<std::uint64_t> seen;
+  std::queue<std::pair<std::uint32_t, std::uint32_t>> frontier;
+  frontier.emplace(a.start, b.start);
+  seen.insert(encode(a.start, b.start));
+  while (!frontier.empty()) {
+    auto [sa, sb] = frontier.front();
+    frontier.pop();
+    if (accepts_a(sa) != accepts_b(sb)) {
+      return false;
+    }
+    for (std::uint32_t label = 0; label < a.num_labels; label++) {
+      std::uint32_t ta = (sa == Dfa::kNoTransition)
+                             ? Dfa::kNoTransition
+                             : a.next[sa * a.num_labels + label];
+      std::uint32_t tb = (sb == Dfa::kNoTransition)
+                             ? Dfa::kNoTransition
+                             : b.next[sb * b.num_labels + label];
+      if (ta == Dfa::kNoTransition && tb == Dfa::kNoTransition) {
+        continue;
+      }
+      if (seen.insert(encode(ta, tb)).second) {
+        frontier.emplace(ta, tb);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace gqd

@@ -1,0 +1,76 @@
+// Thompson NFA construction and basic automaton algorithms.
+//
+// NFAs serve three roles in the library: RPQ evaluation (product with the
+// graph), word membership for tests, and — unusually — *graph gadget
+// expansion* in the Theorem 25 reduction, where a regex-labelled edge is
+// replaced by the NFA's states as fresh graph nodes.
+
+#ifndef GQD_REGEX_NFA_H_
+#define GQD_REGEX_NFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "regex/ast.h"
+
+namespace gqd {
+
+/// NFA state index.
+using NfaState = std::uint32_t;
+
+/// A Thompson-constructed NFA with a single start and single accept state.
+///
+/// Letter transitions use label ids resolved against the interner passed to
+/// CompileRegex; a letter unknown to the interner yields a fragment with no
+/// transition (its language relative to that alphabet is empty), which is
+/// the right semantics for RPQ evaluation.
+struct Nfa {
+  std::size_t num_states = 0;
+  NfaState start = 0;
+  NfaState accept = 0;
+  /// letter_edges[s] = (label, target) pairs.
+  std::vector<std::vector<std::pair<std::uint32_t, NfaState>>> letter_edges;
+  /// eps_edges[s] = ε-successor states.
+  std::vector<std::vector<NfaState>> eps_edges;
+
+  /// ε-closure of a state set (in place, as a sorted unique vector).
+  std::vector<NfaState> EpsilonClosure(std::vector<NfaState> states) const;
+
+  /// True iff the NFA accepts the given word of label ids.
+  bool Accepts(const std::vector<std::uint32_t>& word) const;
+};
+
+/// Compiles `regex` to a Thompson NFA, resolving letters via `labels`.
+///
+/// When `intern_new_labels` is true, letters not yet in the interner are
+/// added (used when the regex drives graph construction); otherwise unknown
+/// letters produce dead fragments.
+Nfa CompileRegex(const RegexPtr& regex, StringInterner* labels,
+                 bool intern_new_labels = false);
+
+/// Deterministic automaton produced by subset construction.
+struct Dfa {
+  std::size_t num_states = 0;
+  std::size_t num_labels = 0;
+  std::uint32_t start = 0;
+  std::vector<bool> accepting;
+  /// next[state * num_labels + label]; num_states acts as the dead state
+  /// marker (kNoTransition).
+  std::vector<std::uint32_t> next;
+
+  static constexpr std::uint32_t kNoTransition = 0xffffffffu;
+
+  bool Accepts(const std::vector<std::uint32_t>& word) const;
+};
+
+/// Subset construction over an alphabet of `num_labels` labels.
+Dfa Determinize(const Nfa& nfa, std::size_t num_labels);
+
+/// Language equivalence of two DFAs over the same alphabet (product walk).
+bool DfaEquivalent(const Dfa& a, const Dfa& b);
+
+}  // namespace gqd
+
+#endif  // GQD_REGEX_NFA_H_

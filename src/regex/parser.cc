@@ -1,0 +1,226 @@
+#include "regex/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace gqd {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kPipe,
+  kStar,
+  kPlus,
+  kDot,
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;     // identifiers only
+  std::size_t position; // byte offset, for diagnostics
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        pos_++;
+        continue;
+      }
+      std::size_t start = pos_;
+      switch (c) {
+        case '|':
+          tokens.push_back({TokenKind::kPipe, "", start});
+          pos_++;
+          continue;
+        case '*':
+          tokens.push_back({TokenKind::kStar, "", start});
+          pos_++;
+          continue;
+        case '+':
+          tokens.push_back({TokenKind::kPlus, "", start});
+          pos_++;
+          continue;
+        case '.':
+          tokens.push_back({TokenKind::kDot, "", start});
+          pos_++;
+          continue;
+        case '(':
+          tokens.push_back({TokenKind::kLParen, "", start});
+          pos_++;
+          continue;
+        case ')':
+          tokens.push_back({TokenKind::kRParen, "", start});
+          pos_++;
+          continue;
+        case '\'': {
+          // Quoted label name: '...'; the quotes are not part of the name.
+          pos_++;
+          std::string name;
+          while (pos_ < text_.size() && text_[pos_] != '\'') {
+            name += text_[pos_++];
+          }
+          if (pos_ >= text_.size()) {
+            return Error(start, "unterminated quoted label");
+          }
+          pos_++;  // closing quote
+          if (name.empty()) {
+            return Error(start, "empty quoted label");
+          }
+          tokens.push_back({TokenKind::kIdent, std::move(name), start});
+          continue;
+        }
+        default:
+          break;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        std::string name;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '\'')) {
+          // Allow primes inside identifiers (v'1), but a leading quote was
+          // handled above as a quoted label.
+          if (text_[pos_] == '\'' &&
+              (pos_ + 1 >= text_.size() ||
+               !(std::isalnum(static_cast<unsigned char>(text_[pos_ + 1])) ||
+                 text_[pos_ + 1] == '_'))) {
+            break;
+          }
+          name += text_[pos_++];
+        }
+        tokens.push_back({TokenKind::kIdent, std::move(name), start});
+        continue;
+      }
+      return Error(start, std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back({TokenKind::kEnd, "", text_.size()});
+    return tokens;
+  }
+
+ private:
+  Status Error(std::size_t position, const std::string& msg) {
+    return Status::InvalidArgument("regex at offset " +
+                                   std::to_string(position) + ": " + msg);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<RegexPtr> Run() {
+    GQD_ASSIGN_OR_RETURN(RegexPtr result, ParseUnion());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input");
+    }
+    return result;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  void Advance() { index_++; }
+
+  Status Error(const std::string& msg) {
+    return Status::InvalidArgument("regex at offset " +
+                                   std::to_string(Peek().position) + ": " +
+                                   msg);
+  }
+
+  Result<RegexPtr> ParseUnion() {
+    GQD_ASSIGN_OR_RETURN(RegexPtr first, ParseConcat());
+    std::vector<RegexPtr> operands = {first};
+    while (Peek().kind == TokenKind::kPipe) {
+      Advance();
+      GQD_ASSIGN_OR_RETURN(RegexPtr next, ParseConcat());
+      operands.push_back(next);
+    }
+    return re::Union(std::move(operands));
+  }
+
+  Result<RegexPtr> ParseConcat() {
+    GQD_ASSIGN_OR_RETURN(RegexPtr first, ParsePostfix());
+    std::vector<RegexPtr> operands = {first};
+    while (true) {
+      TokenKind k = Peek().kind;
+      if (k == TokenKind::kDot) {
+        Advance();
+        GQD_ASSIGN_OR_RETURN(RegexPtr next, ParsePostfix());
+        operands.push_back(next);
+      } else if (k == TokenKind::kIdent || k == TokenKind::kLParen) {
+        GQD_ASSIGN_OR_RETURN(RegexPtr next, ParsePostfix());
+        operands.push_back(next);
+      } else {
+        break;
+      }
+    }
+    return re::Concat(std::move(operands));
+  }
+
+  Result<RegexPtr> ParsePostfix() {
+    GQD_ASSIGN_OR_RETURN(RegexPtr node, ParseAtom());
+    while (true) {
+      if (Peek().kind == TokenKind::kStar) {
+        Advance();
+        node = re::Star(node);
+      } else if (Peek().kind == TokenKind::kPlus) {
+        Advance();
+        node = re::Plus(node);
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIdent: {
+        std::string name = token.text;
+        Advance();
+        if (name == "eps") {
+          return re::Epsilon();
+        }
+        return re::Letter(std::move(name));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        GQD_ASSIGN_OR_RETURN(RegexPtr inner, ParseUnion());
+        if (Peek().kind != TokenKind::kRParen) {
+          return Error("expected ')'");
+        }
+        Advance();
+        return inner;
+      }
+      default:
+        return Error("expected a letter, 'eps' or '('");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(std::string_view text) {
+  Lexer lexer(text);
+  GQD_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace gqd

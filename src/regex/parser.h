@@ -1,0 +1,19 @@
+// Recursive-descent parser for standard regular expressions.
+
+#ifndef GQD_REGEX_PARSER_H_
+#define GQD_REGEX_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "regex/ast.h"
+
+namespace gqd {
+
+/// Parses the concrete syntax documented in regex/ast.h.
+/// Returns InvalidArgument with position information on malformed input.
+Result<RegexPtr> ParseRegex(std::string_view text);
+
+}  // namespace gqd
+
+#endif  // GQD_REGEX_PARSER_H_

@@ -1,0 +1,191 @@
+#include "rem/ast.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/syntax.h"
+
+namespace gqd {
+
+namespace rem {
+
+RemPtr Epsilon() {
+  auto node = std::make_shared<RemNode>();
+  node->kind = RemKind::kEpsilon;
+  return node;
+}
+
+RemPtr Letter(std::string name) {
+  auto node = std::make_shared<RemNode>();
+  node->kind = RemKind::kLetter;
+  node->letter = std::move(name);
+  return node;
+}
+
+RemPtr Union(std::vector<RemPtr> operands) {
+  assert(!operands.empty());
+  if (operands.size() == 1) {
+    return operands[0];
+  }
+  auto node = std::make_shared<RemNode>();
+  node->kind = RemKind::kUnion;
+  node->children = std::move(operands);
+  return node;
+}
+
+RemPtr Concat(std::vector<RemPtr> operands) {
+  if (operands.empty()) {
+    return Epsilon();
+  }
+  if (operands.size() == 1) {
+    return operands[0];
+  }
+  auto node = std::make_shared<RemNode>();
+  node->kind = RemKind::kConcat;
+  node->children = std::move(operands);
+  return node;
+}
+
+RemPtr Plus(RemPtr operand) {
+  auto node = std::make_shared<RemNode>();
+  node->kind = RemKind::kPlus;
+  node->children = {std::move(operand)};
+  return node;
+}
+
+RemPtr Star(RemPtr operand) {
+  return Union({Epsilon(), Plus(std::move(operand))});
+}
+
+RemPtr Test(RemPtr operand, ConditionPtr condition) {
+  auto node = std::make_shared<RemNode>();
+  node->kind = RemKind::kCondition;
+  node->children = {std::move(operand)};
+  node->condition = std::move(condition);
+  return node;
+}
+
+RemPtr Bind(std::vector<std::size_t> registers, RemPtr operand) {
+  assert(!registers.empty());
+  auto node = std::make_shared<RemNode>();
+  node->kind = RemKind::kBind;
+  node->children = {std::move(operand)};
+  node->registers = std::move(registers);
+  return node;
+}
+
+}  // namespace rem
+
+std::size_t RemNumRegisters(const RemPtr& expression) {
+  std::size_t k = 0;
+  switch (expression->kind) {
+    case RemKind::kCondition:
+      k = ConditionNumRegisters(expression->condition);
+      break;
+    case RemKind::kBind:
+      for (std::size_t r : expression->registers) {
+        k = std::max(k, r + 1);
+      }
+      break;
+    default:
+      break;
+  }
+  for (const RemPtr& child : expression->children) {
+    k = std::max(k, RemNumRegisters(child));
+  }
+  return k;
+}
+
+namespace {
+
+// Precedence: union (1) < concat/bind (2) < postfix (3) < atoms (4).
+int Precedence(RemKind kind) {
+  switch (kind) {
+    case RemKind::kUnion:
+      return 1;
+    case RemKind::kConcat:
+      return 2;
+    case RemKind::kBind:
+      return 2;  // $r1. e extends as far right as possible, like concat.
+    case RemKind::kEpsilon:
+    case RemKind::kLetter:
+      return 4;
+    default:
+      return 3;
+  }
+}
+
+void Render(const RemPtr& node, int parent_precedence, std::ostream& os) {
+  int self = Precedence(node->kind);
+  bool parens = self < parent_precedence;
+  if (parens) {
+    os << "(";
+  }
+  switch (node->kind) {
+    case RemKind::kEpsilon:
+      os << "eps";
+      break;
+    case RemKind::kLetter:
+      RenderLabelName(node->letter, os);
+      break;
+    case RemKind::kUnion:
+      for (std::size_t i = 0; i < node->children.size(); i++) {
+        if (i > 0) {
+          os << " | ";
+        }
+        Render(node->children[i], self, os);
+      }
+      break;
+    case RemKind::kConcat:
+      for (std::size_t i = 0; i < node->children.size(); i++) {
+        if (i > 0) {
+          os << " ";
+        }
+        // Children that are themselves binds need parens except in tail
+        // position (a bind extends to the end of the expression).
+        int child_min = (i + 1 < node->children.size() &&
+                         node->children[i]->kind == RemKind::kBind)
+                            ? 3
+                            : self;
+        Render(node->children[i], child_min, os);
+      }
+      break;
+    case RemKind::kPlus:
+      Render(node->children[0], 4, os);
+      os << "+";
+      break;
+    case RemKind::kCondition:
+      Render(node->children[0], 4, os);
+      os << "[" << ConditionToString(node->condition) << "]";
+      break;
+    case RemKind::kBind:
+      if (node->registers.size() == 1) {
+        os << "$r" << (node->registers[0] + 1) << ". ";
+      } else {
+        os << "$(";
+        for (std::size_t i = 0; i < node->registers.size(); i++) {
+          if (i > 0) {
+            os << ",";
+          }
+          os << "r" << (node->registers[i] + 1);
+        }
+        os << "). ";
+      }
+      Render(node->children[0], 2, os);
+      break;
+  }
+  if (parens) {
+    os << ")";
+  }
+}
+
+}  // namespace
+
+std::string RemToString(const RemPtr& expression) {
+  std::ostringstream os;
+  Render(expression, 0, os);
+  return os.str();
+}
+
+}  // namespace gqd

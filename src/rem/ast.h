@@ -1,0 +1,75 @@
+// Regular expressions with memory — REM (Definition 4 of the paper).
+//
+//   e := ε | a | e + e | e · e | e⁺ | e[c] | ↓r̄.e
+//
+// Concrete syntax accepted by the parser (rem/parser.h):
+//   bind       $r1. e        and multi-register  $(r1,r3). e
+//   condition  e[c]          with c per rem/condition.h syntax
+//   union      e | f
+//   concat     e f           (juxtaposition; also `e . f` — the dot after a
+//                             bind prefix belongs to the bind)
+//   plus       e+            (postfix)
+//   star       e*            (sugar: e* ≡ eps | e+)
+//   epsilon    eps
+//   letters    identifiers or quoted '...'
+//
+// Example 6 of the paper: `$r1. a [r1=]` and
+// `$r1. a $r2. b a[r1=] b[r2!=]`.
+
+#ifndef GQD_REM_AST_H_
+#define GQD_REM_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rem/condition.h"
+
+namespace gqd {
+
+enum class RemKind {
+  kEpsilon,
+  kLetter,
+  kUnion,
+  kConcat,
+  kPlus,
+  kCondition,  ///< e[c]
+  kBind,       ///< ↓r̄.e
+};
+
+struct RemNode;
+using RemPtr = std::shared_ptr<const RemNode>;
+
+/// Immutable REM AST node.
+struct RemNode {
+  RemKind kind;
+  std::string letter;                   ///< kLetter.
+  std::vector<RemPtr> children;         ///< operands.
+  ConditionPtr condition;               ///< kCondition.
+  std::vector<std::size_t> registers;   ///< kBind: indices stored into.
+};
+
+namespace rem {
+
+RemPtr Epsilon();
+RemPtr Letter(std::string name);
+RemPtr Union(std::vector<RemPtr> operands);
+RemPtr Concat(std::vector<RemPtr> operands);
+RemPtr Plus(RemPtr operand);
+/// e* desugared as eps | e+.
+RemPtr Star(RemPtr operand);
+RemPtr Test(RemPtr operand, ConditionPtr condition);  ///< e[c]
+RemPtr Bind(std::vector<std::size_t> registers, RemPtr operand);  ///< ↓r̄.e
+
+}  // namespace rem
+
+/// Number of registers used: one past the highest register index mentioned
+/// in any bind or condition (the k of "k-REM").
+std::size_t RemNumRegisters(const RemPtr& expression);
+
+/// Renders the concrete syntax.
+std::string RemToString(const RemPtr& expression);
+
+}  // namespace gqd
+
+#endif  // GQD_REM_AST_H_

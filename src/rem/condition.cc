@@ -1,0 +1,226 @@
+#include "rem/condition.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace gqd {
+
+namespace cond {
+
+ConditionPtr True() {
+  auto node = std::make_shared<ConditionNode>();
+  node->kind = ConditionKind::kTrue;
+  return node;
+}
+
+ConditionPtr False() { return Not(True()); }
+
+ConditionPtr RegisterEq(std::size_t index) {
+  auto node = std::make_shared<ConditionNode>();
+  node->kind = ConditionKind::kRegisterEq;
+  node->register_index = index;
+  return node;
+}
+
+ConditionPtr RegisterNeq(std::size_t index) {
+  auto node = std::make_shared<ConditionNode>();
+  node->kind = ConditionKind::kRegisterNeq;
+  node->register_index = index;
+  return node;
+}
+
+ConditionPtr And(ConditionPtr a, ConditionPtr b) {
+  auto node = std::make_shared<ConditionNode>();
+  node->kind = ConditionKind::kAnd;
+  node->children = {std::move(a), std::move(b)};
+  return node;
+}
+
+ConditionPtr Or(ConditionPtr a, ConditionPtr b) {
+  auto node = std::make_shared<ConditionNode>();
+  node->kind = ConditionKind::kOr;
+  node->children = {std::move(a), std::move(b)};
+  return node;
+}
+
+ConditionPtr Not(ConditionPtr a) {
+  auto node = std::make_shared<ConditionNode>();
+  node->kind = ConditionKind::kNot;
+  node->children = {std::move(a)};
+  return node;
+}
+
+}  // namespace cond
+
+bool ConditionSatisfied(const ConditionPtr& condition, std::uint32_t value,
+                        const RegisterAssignment& assignment) {
+  switch (condition->kind) {
+    case ConditionKind::kTrue:
+      return true;
+    case ConditionKind::kRegisterEq:
+      assert(condition->register_index < assignment.size());
+      return assignment[condition->register_index] != kEmptyRegister &&
+             assignment[condition->register_index] == value;
+    case ConditionKind::kRegisterNeq:
+      assert(condition->register_index < assignment.size());
+      // ⊥ ≠ d for every data value d (Definition 3).
+      return assignment[condition->register_index] == kEmptyRegister ||
+             assignment[condition->register_index] != value;
+    case ConditionKind::kAnd:
+      return ConditionSatisfied(condition->children[0], value, assignment) &&
+             ConditionSatisfied(condition->children[1], value, assignment);
+    case ConditionKind::kOr:
+      return ConditionSatisfied(condition->children[0], value, assignment) ||
+             ConditionSatisfied(condition->children[1], value, assignment);
+    case ConditionKind::kNot:
+      return !ConditionSatisfied(condition->children[0], value, assignment);
+  }
+  assert(false && "unreachable");
+  return false;
+}
+
+std::size_t ConditionNumRegisters(const ConditionPtr& condition) {
+  switch (condition->kind) {
+    case ConditionKind::kTrue:
+      return 0;
+    case ConditionKind::kRegisterEq:
+    case ConditionKind::kRegisterNeq:
+      return condition->register_index + 1;
+    default: {
+      std::size_t max_k = 0;
+      for (const ConditionPtr& child : condition->children) {
+        max_k = std::max(max_k, ConditionNumRegisters(child));
+      }
+      return max_k;
+    }
+  }
+}
+
+namespace {
+
+// Precedence: or (1) < and (2) < not/atoms (3).
+int Precedence(ConditionKind kind) {
+  switch (kind) {
+    case ConditionKind::kOr:
+      return 1;
+    case ConditionKind::kAnd:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+void Render(const ConditionPtr& node, int parent_precedence,
+            std::ostream& os) {
+  int self = Precedence(node->kind);
+  bool parens = self < parent_precedence;
+  if (parens) {
+    os << "(";
+  }
+  switch (node->kind) {
+    case ConditionKind::kTrue:
+      os << "T";
+      break;
+    case ConditionKind::kRegisterEq:
+      os << "r" << (node->register_index + 1) << "=";
+      break;
+    case ConditionKind::kRegisterNeq:
+      os << "r" << (node->register_index + 1) << "!=";
+      break;
+    case ConditionKind::kAnd:
+      Render(node->children[0], self, os);
+      os << " & ";
+      Render(node->children[1], self, os);
+      break;
+    case ConditionKind::kOr:
+      Render(node->children[0], self, os);
+      os << " | ";
+      Render(node->children[1], self, os);
+      break;
+    case ConditionKind::kNot:
+      os << "~";
+      Render(node->children[0], 3, os);
+      break;
+  }
+  if (parens) {
+    os << ")";
+  }
+}
+
+}  // namespace
+
+std::string ConditionToString(const ConditionPtr& condition) {
+  std::ostringstream os;
+  Render(condition, 0, os);
+  return os.str();
+}
+
+std::size_t NumMinterms(std::size_t k) {
+  assert(k <= 6);
+  return std::size_t{1} << k;
+}
+
+std::uint32_t EqualityPattern(std::uint32_t value,
+                              const RegisterAssignment& assignment) {
+  std::uint32_t pattern = 0;
+  for (std::size_t i = 0; i < assignment.size(); i++) {
+    if (assignment[i] != kEmptyRegister && assignment[i] == value) {
+      pattern |= (1u << i);
+    }
+  }
+  return pattern;
+}
+
+MintermMask ConditionToMinterms(const ConditionPtr& condition,
+                                std::size_t k) {
+  assert(ConditionNumRegisters(condition) <= k && k <= 6);
+  std::size_t count = NumMinterms(k);
+  MintermMask mask = 0;
+  for (std::uint32_t pattern = 0; pattern < count; pattern++) {
+    // Simulate a (d, τ) realizing this pattern: value 0, register i holds 0
+    // when bit i is set and a distinct value otherwise.
+    RegisterAssignment assignment(k);
+    for (std::size_t i = 0; i < k; i++) {
+      assignment[i] = (pattern & (1u << i)) ? 0u : static_cast<std::uint32_t>(
+                                                       i + 1);
+    }
+    if (ConditionSatisfied(condition, 0u, assignment)) {
+      mask |= (MintermMask{1} << pattern);
+    }
+  }
+  return mask;
+}
+
+ConditionPtr ConditionFromMinterms(MintermMask mask, std::size_t k) {
+  std::size_t count = NumMinterms(k);
+  MintermMask full = (count == 64) ? ~MintermMask{0}
+                                   : ((MintermMask{1} << count) - 1);
+  if (mask == full) {
+    return cond::True();
+  }
+  if (mask == 0) {
+    return cond::False();
+  }
+  ConditionPtr result;
+  for (std::uint32_t pattern = 0; pattern < count; pattern++) {
+    if (!(mask & (MintermMask{1} << pattern))) {
+      continue;
+    }
+    ConditionPtr term;
+    for (std::size_t i = 0; i < k; i++) {
+      ConditionPtr atom = (pattern & (1u << i))
+                              ? cond::RegisterEq(i)
+                              : cond::RegisterNeq(i);
+      term = term ? cond::And(std::move(term), std::move(atom))
+                  : std::move(atom);
+    }
+    if (!term) {
+      term = cond::True();  // k == 0: the single minterm is ⊤.
+    }
+    result = result ? cond::Or(std::move(result), std::move(term))
+                    : std::move(term);
+  }
+  return result;
+}
+
+}  // namespace gqd

@@ -1,0 +1,102 @@
+// Register conditions C_k (Definition 3 of the paper).
+//
+//   c := ⊤ | r_i= | r_i≠ | c ∨ c | c ∧ c | ¬c
+//
+// Satisfaction is relative to a data value d and an assignment
+// τ ∈ (D ∪ ⊥)^k:  d,τ ⊨ r_i=  iff τ_i = d, and  d,τ ⊨ r_i≠  iff τ_i ≠ d
+// (an empty register ⊥ differs from every value, so r_i≠ holds on ⊥).
+//
+// Semantically a condition over k registers is determined by the k-bit
+// vector b where b_i = (τ_i = d): it denotes a set of such vectors — a
+// *minterm set*, here a bitmask over 2^k minterms. The definability
+// machinery enumerates conditions by minterm set (there are exactly
+// 2^(2^k) semantically distinct conditions), and synthesis converts a
+// minterm set back to a small AST.
+//
+// Concrete syntax: `T`, `r1=`, `r1!=`, `c & c`, `c | c`, `~c`, `(c)`.
+
+#ifndef GQD_REM_CONDITION_H_
+#define GQD_REM_CONDITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gqd {
+
+/// Sentinel for an empty register (⊥) in assignments.
+inline constexpr std::uint32_t kEmptyRegister = 0xffffffffu;
+
+/// A register assignment τ ∈ (D ∪ ⊥)^k; entries are value ids or ⊥.
+using RegisterAssignment = std::vector<std::uint32_t>;
+
+enum class ConditionKind {
+  kTrue,
+  kRegisterEq,   ///< r_i=
+  kRegisterNeq,  ///< r_i≠
+  kAnd,
+  kOr,
+  kNot,
+};
+
+struct ConditionNode;
+using ConditionPtr = std::shared_ptr<const ConditionNode>;
+
+/// Immutable condition AST node.
+struct ConditionNode {
+  ConditionKind kind;
+  std::size_t register_index = 0;      ///< kRegisterEq / kRegisterNeq.
+  std::vector<ConditionPtr> children;  ///< 2 for And/Or, 1 for Not.
+};
+
+namespace cond {
+
+ConditionPtr True();
+ConditionPtr False();  ///< sugar: ¬⊤
+ConditionPtr RegisterEq(std::size_t index);
+ConditionPtr RegisterNeq(std::size_t index);
+ConditionPtr And(ConditionPtr a, ConditionPtr b);
+ConditionPtr Or(ConditionPtr a, ConditionPtr b);
+ConditionPtr Not(ConditionPtr a);
+
+}  // namespace cond
+
+/// d,τ ⊨ c (Definition 3).
+bool ConditionSatisfied(const ConditionPtr& condition, std::uint32_t value,
+                        const RegisterAssignment& assignment);
+
+/// Highest register index mentioned, plus one (0 if none).
+std::size_t ConditionNumRegisters(const ConditionPtr& condition);
+
+/// Renders the concrete syntax (registers as r1, r2, ...).
+std::string ConditionToString(const ConditionPtr& condition);
+
+// --- Minterm view ----------------------------------------------------------
+
+/// A set of minterms over k registers packed into a 64-bit mask
+/// (bit m set ⟺ the condition holds when the equality pattern is m,
+/// where pattern bit i = "τ_i equals the current value"). Requires k <= 6.
+using MintermMask = std::uint64_t;
+
+/// Number of minterms for k registers (2^k). Requires k <= 6.
+std::size_t NumMinterms(std::size_t k);
+
+/// The equality pattern of (d, τ): bit i set iff τ_i = d.
+std::uint32_t EqualityPattern(std::uint32_t value,
+                              const RegisterAssignment& assignment);
+
+/// Semantic compilation of a condition into its minterm mask over k
+/// registers. Requires ConditionNumRegisters(c) <= k <= 6.
+MintermMask ConditionToMinterms(const ConditionPtr& condition, std::size_t k);
+
+/// Canonical small AST for a minterm set (disjunction of full conjunctions;
+/// ⊤ and ¬⊤ when the set is full/empty). Inverse of ConditionToMinterms up
+/// to semantic equivalence.
+ConditionPtr ConditionFromMinterms(MintermMask mask, std::size_t k);
+
+}  // namespace gqd
+
+#endif  // GQD_REM_CONDITION_H_

@@ -1,0 +1,374 @@
+#include "rem/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace gqd {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,    // letters, eps, T, r<k> (disambiguated by the parser)
+  kPipe,     // |
+  kStar,     // *
+  kPlus,     // +
+  kDot,      // .
+  kLParen,   // (
+  kRParen,   // )
+  kLBracket, // [
+  kRBracket, // ]
+  kDollar,   // $
+  kComma,    // ,
+  kAmp,      // &
+  kTilde,    // ~
+  kEq,       // =
+  kNeq,      // !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t position;
+};
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  auto error = [&](std::size_t at, const std::string& msg) {
+    return Status::InvalidArgument("REM at offset " + std::to_string(at) +
+                                   ": " + msg);
+  };
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pos++;
+      continue;
+    }
+    std::size_t start = pos;
+    auto single = [&](TokenKind kind) {
+      tokens.push_back({kind, "", start});
+      pos++;
+    };
+    switch (c) {
+      case '|': single(TokenKind::kPipe); continue;
+      case '*': single(TokenKind::kStar); continue;
+      case '+': single(TokenKind::kPlus); continue;
+      case '.': single(TokenKind::kDot); continue;
+      case '(': single(TokenKind::kLParen); continue;
+      case ')': single(TokenKind::kRParen); continue;
+      case '[': single(TokenKind::kLBracket); continue;
+      case ']': single(TokenKind::kRBracket); continue;
+      case '$': single(TokenKind::kDollar); continue;
+      case ',': single(TokenKind::kComma); continue;
+      case '&': single(TokenKind::kAmp); continue;
+      case '~': single(TokenKind::kTilde); continue;
+      case '=': single(TokenKind::kEq); continue;
+      case '!':
+        if (pos + 1 < text.size() && text[pos + 1] == '=') {
+          tokens.push_back({TokenKind::kNeq, "", start});
+          pos += 2;
+          continue;
+        }
+        return error(start, "expected '=' after '!'");
+      case '\'': {
+        pos++;
+        std::string name;
+        while (pos < text.size() && text[pos] != '\'') {
+          name += text[pos++];
+        }
+        if (pos >= text.size()) {
+          return error(start, "unterminated quoted label");
+        }
+        pos++;
+        if (name.empty()) {
+          return error(start, "empty quoted label");
+        }
+        tokens.push_back({TokenKind::kIdent, std::move(name), start});
+        continue;
+      }
+      default:
+        break;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '_')) {
+        name += text[pos++];
+      }
+      tokens.push_back({TokenKind::kIdent, std::move(name), start});
+      continue;
+    }
+    return error(start, std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back({TokenKind::kEnd, "", text.size()});
+  return tokens;
+}
+
+/// Parses "r<digits>" into a 0-based register index.
+bool ParseRegisterName(const std::string& name, std::size_t* index) {
+  if (name.size() < 2 || name[0] != 'r') {
+    return false;
+  }
+  std::size_t value = 0;
+  for (std::size_t i = 1; i < name.size(); i++) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+      return false;
+    }
+    value = value * 10 + static_cast<std::size_t>(name[i] - '0');
+  }
+  if (value == 0) {
+    return false;  // registers are 1-based in the syntax
+  }
+  *index = value - 1;
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<RemPtr> ParseExpression() {
+    GQD_ASSIGN_OR_RETURN(RemPtr result, ParseUnion());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input");
+    }
+    return result;
+  }
+
+  Result<ConditionPtr> ParseBareCondition() {
+    GQD_ASSIGN_OR_RETURN(ConditionPtr result, ParseConditionOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input");
+    }
+    return result;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  void Advance() { index_++; }
+
+  Status Error(const std::string& msg) {
+    return Status::InvalidArgument("REM at offset " +
+                                   std::to_string(Peek().position) + ": " +
+                                   msg);
+  }
+
+  Result<RemPtr> ParseUnion() {
+    GQD_ASSIGN_OR_RETURN(RemPtr first, ParseConcat());
+    std::vector<RemPtr> operands = {first};
+    while (Peek().kind == TokenKind::kPipe) {
+      Advance();
+      GQD_ASSIGN_OR_RETURN(RemPtr next, ParseConcat());
+      operands.push_back(next);
+    }
+    return rem::Union(std::move(operands));
+  }
+
+  Result<RemPtr> ParseConcat() {
+    std::vector<RemPtr> operands;
+    while (true) {
+      TokenKind k = Peek().kind;
+      if (k == TokenKind::kDollar) {
+        // A bind swallows the rest of this concatenation:
+        // `$r1. a b` parses as $r1.(a b).
+        GQD_ASSIGN_OR_RETURN(RemPtr bind, ParseBind());
+        operands.push_back(bind);
+        break;
+      }
+      if (k == TokenKind::kIdent || k == TokenKind::kLParen) {
+        GQD_ASSIGN_OR_RETURN(RemPtr next, ParsePostfix());
+        operands.push_back(next);
+        continue;
+      }
+      if (k == TokenKind::kDot) {
+        Advance();
+        continue;  // explicit concat separator
+      }
+      break;
+    }
+    if (operands.empty()) {
+      return Error("expected an expression");
+    }
+    return rem::Concat(std::move(operands));
+  }
+
+  Result<RemPtr> ParseBind() {
+    Advance();  // consume $
+    std::vector<std::size_t> registers;
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      while (true) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Error("expected a register name");
+        }
+        std::size_t index;
+        if (!ParseRegisterName(Peek().text, &index)) {
+          return Error("bad register name '" + Peek().text + "'");
+        }
+        registers.push_back(index);
+        Advance();
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Peek().kind != TokenKind::kRParen) {
+        return Error("expected ')' after register list");
+      }
+      Advance();
+    } else if (Peek().kind == TokenKind::kIdent) {
+      std::size_t index;
+      if (!ParseRegisterName(Peek().text, &index)) {
+        return Error("bad register name '" + Peek().text + "'");
+      }
+      registers.push_back(index);
+      Advance();
+    } else {
+      return Error("expected a register name after '$'");
+    }
+    if (Peek().kind != TokenKind::kDot) {
+      return Error("expected '.' after bind registers");
+    }
+    Advance();
+    GQD_ASSIGN_OR_RETURN(RemPtr body, ParseConcat());
+    return rem::Bind(std::move(registers), std::move(body));
+  }
+
+  Result<RemPtr> ParsePostfix() {
+    GQD_ASSIGN_OR_RETURN(RemPtr node, ParseAtom());
+    while (true) {
+      TokenKind k = Peek().kind;
+      if (k == TokenKind::kStar) {
+        Advance();
+        node = rem::Star(node);
+      } else if (k == TokenKind::kPlus) {
+        Advance();
+        node = rem::Plus(node);
+      } else if (k == TokenKind::kLBracket) {
+        Advance();
+        GQD_ASSIGN_OR_RETURN(ConditionPtr c, ParseConditionOr());
+        if (Peek().kind != TokenKind::kRBracket) {
+          return Error("expected ']'");
+        }
+        Advance();
+        node = rem::Test(node, std::move(c));
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  Result<RemPtr> ParseAtom() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIdent: {
+        std::string name = token.text;
+        Advance();
+        if (name == "eps") {
+          return rem::Epsilon();
+        }
+        return rem::Letter(std::move(name));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        GQD_ASSIGN_OR_RETURN(RemPtr inner, ParseUnion());
+        if (Peek().kind != TokenKind::kRParen) {
+          return Error("expected ')'");
+        }
+        Advance();
+        return inner;
+      }
+      default:
+        return Error("expected a letter, 'eps', '$' or '('");
+    }
+  }
+
+  // --- Conditions ---------------------------------------------------------
+
+  Result<ConditionPtr> ParseConditionOr() {
+    GQD_ASSIGN_OR_RETURN(ConditionPtr left, ParseConditionAnd());
+    while (Peek().kind == TokenKind::kPipe) {
+      Advance();
+      GQD_ASSIGN_OR_RETURN(ConditionPtr right, ParseConditionAnd());
+      left = cond::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ConditionPtr> ParseConditionAnd() {
+    GQD_ASSIGN_OR_RETURN(ConditionPtr left, ParseConditionNot());
+    while (Peek().kind == TokenKind::kAmp) {
+      Advance();
+      GQD_ASSIGN_OR_RETURN(ConditionPtr right, ParseConditionNot());
+      left = cond::And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ConditionPtr> ParseConditionNot() {
+    if (Peek().kind == TokenKind::kTilde) {
+      Advance();
+      GQD_ASSIGN_OR_RETURN(ConditionPtr inner, ParseConditionNot());
+      return cond::Not(std::move(inner));
+    }
+    return ParseConditionAtom();
+  }
+
+  Result<ConditionPtr> ParseConditionAtom() {
+    const Token& token = Peek();
+    if (token.kind == TokenKind::kLParen) {
+      Advance();
+      GQD_ASSIGN_OR_RETURN(ConditionPtr inner, ParseConditionOr());
+      if (Peek().kind != TokenKind::kRParen) {
+        return Error("expected ')'");
+      }
+      Advance();
+      return inner;
+    }
+    if (token.kind == TokenKind::kIdent) {
+      if (token.text == "T") {
+        Advance();
+        return cond::True();
+      }
+      std::size_t index;
+      if (!ParseRegisterName(token.text, &index)) {
+        return Error("bad register name '" + token.text + "'");
+      }
+      Advance();
+      if (Peek().kind == TokenKind::kEq) {
+        Advance();
+        return cond::RegisterEq(index);
+      }
+      if (Peek().kind == TokenKind::kNeq) {
+        Advance();
+        return cond::RegisterNeq(index);
+      }
+      return Error("expected '=' or '!=' after register");
+    }
+    return Error("expected a condition");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<RemPtr> ParseRem(std::string_view text) {
+  GQD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseExpression();
+}
+
+Result<ConditionPtr> ParseCondition(std::string_view text) {
+  GQD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseBareCondition();
+}
+
+}  // namespace gqd

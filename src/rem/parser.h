@@ -1,0 +1,22 @@
+// Parser for REM concrete syntax (documented in rem/ast.h).
+
+#ifndef GQD_REM_PARSER_H_
+#define GQD_REM_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "rem/ast.h"
+
+namespace gqd {
+
+/// Parses an REM. Registers are written r1, r2, ... (1-based in the syntax,
+/// 0-based in the AST). Returns InvalidArgument with offsets on bad input.
+Result<RemPtr> ParseRem(std::string_view text);
+
+/// Parses a bare register condition (the `c` of `e[c]`).
+Result<ConditionPtr> ParseCondition(std::string_view text);
+
+}  // namespace gqd
+
+#endif  // GQD_REM_PARSER_H_

@@ -1,0 +1,241 @@
+#include "rem/register_automaton.h"
+
+#include <cassert>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+namespace gqd {
+
+namespace {
+
+/// Thompson-style builder over the three transition kinds.
+class RaBuilder {
+ public:
+  RaBuilder(StringInterner* labels, bool intern_new)
+      : labels_(labels), intern_new_(intern_new) {}
+
+  RaState NewState() {
+    store_edges_.emplace_back();
+    check_edges_.emplace_back();
+    letter_edges_.emplace_back();
+    return static_cast<RaState>(store_edges_.size() - 1);
+  }
+
+  void AddEps(RaState from, RaState to) {
+    // A plain ε-move is a Check(⊤).
+    check_edges_[from].push_back({cond::True(), to});
+  }
+
+  std::pair<RaState, RaState> Build(const RemPtr& node) {
+    switch (node->kind) {
+      case RemKind::kEpsilon: {
+        RaState s = NewState();
+        RaState t = NewState();
+        AddEps(s, t);
+        return {s, t};
+      }
+      case RemKind::kLetter: {
+        RaState s = NewState();
+        RaState t = NewState();
+        std::optional<std::uint32_t> id;
+        if (intern_new_) {
+          id = labels_->Intern(node->letter);
+        } else {
+          id = labels_->Find(node->letter);
+        }
+        if (id.has_value()) {
+          letter_edges_[s].push_back({*id, t});
+        }
+        return {s, t};
+      }
+      case RemKind::kUnion: {
+        RaState s = NewState();
+        RaState t = NewState();
+        for (const RemPtr& child : node->children) {
+          auto [cs, ct] = Build(child);
+          AddEps(s, cs);
+          AddEps(ct, t);
+        }
+        return {s, t};
+      }
+      case RemKind::kConcat: {
+        assert(!node->children.empty());
+        auto [entry, exit] = Build(node->children[0]);
+        for (std::size_t i = 1; i < node->children.size(); i++) {
+          auto [cs, ct] = Build(node->children[i]);
+          AddEps(exit, cs);
+          exit = ct;
+        }
+        return {entry, exit};
+      }
+      case RemKind::kPlus: {
+        auto [cs, ct] = Build(node->children[0]);
+        RaState s = NewState();
+        RaState t = NewState();
+        AddEps(s, cs);
+        AddEps(ct, t);
+        AddEps(ct, cs);
+        return {s, t};
+      }
+      case RemKind::kCondition: {
+        auto [cs, ct] = Build(node->children[0]);
+        RaState t = NewState();
+        check_edges_[ct].push_back({node->condition, t});
+        return {cs, t};
+      }
+      case RemKind::kBind: {
+        auto [cs, ct] = Build(node->children[0]);
+        RaState s = NewState();
+        store_edges_[s].push_back({node->registers, cs});
+        return {s, ct};
+      }
+    }
+    assert(false && "unreachable");
+    return {0, 0};
+  }
+
+  RegisterAutomaton Finish(RaState start, RaState accept,
+                           std::size_t num_registers) {
+    RegisterAutomaton ra;
+    ra.num_states = store_edges_.size();
+    ra.num_registers = num_registers;
+    ra.start = start;
+    ra.accept = accept;
+    ra.store_edges = std::move(store_edges_);
+    ra.check_edges = std::move(check_edges_);
+    ra.letter_edges = std::move(letter_edges_);
+    return ra;
+  }
+
+ private:
+  StringInterner* labels_;
+  bool intern_new_;
+  std::vector<std::vector<RegisterAutomaton::StoreEdge>> store_edges_;
+  std::vector<std::vector<RegisterAutomaton::CheckEdge>> check_edges_;
+  std::vector<std::vector<RegisterAutomaton::LetterEdge>> letter_edges_;
+};
+
+using Config = std::pair<RaState, RegisterAssignment>;
+
+/// Saturates a configuration set under Store/Check moves at a position
+/// whose data value is `value`.
+std::set<Config> EpsilonSaturate(const RegisterAutomaton& ra,
+                                 std::set<Config> configs,
+                                 std::uint32_t value) {
+  std::queue<Config> frontier;
+  for (const Config& c : configs) {
+    frontier.push(c);
+  }
+  while (!frontier.empty()) {
+    Config current = frontier.front();
+    frontier.pop();
+    const auto& [state, assignment] = current;
+    for (const auto& edge : ra.store_edges[state]) {
+      RegisterAssignment next = assignment;
+      for (std::size_t r : edge.registers) {
+        next[r] = value;
+      }
+      Config successor{edge.to, std::move(next)};
+      if (configs.insert(successor).second) {
+        frontier.push(std::move(successor));
+      }
+    }
+    for (const auto& edge : ra.check_edges[state]) {
+      if (ConditionSatisfied(edge.condition, value, assignment)) {
+        Config successor{edge.to, assignment};
+        if (configs.insert(successor).second) {
+          frontier.push(std::move(successor));
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+}  // namespace
+
+bool RegisterAutomaton::AcceptsDataPath(const DataPath& path) const {
+  std::set<Config> configs;
+  configs.insert(
+      {start, RegisterAssignment(num_registers, kEmptyRegister)});
+  configs = EpsilonSaturate(*this, std::move(configs), path.values[0]);
+  for (std::size_t i = 0; i < path.letters.size(); i++) {
+    std::set<Config> next;
+    for (const auto& [state, assignment] : configs) {
+      for (const auto& edge : letter_edges[state]) {
+        if (edge.label == path.letters[i]) {
+          next.insert({edge.to, assignment});
+        }
+      }
+    }
+    if (next.empty()) {
+      return false;
+    }
+    configs = EpsilonSaturate(*this, std::move(next), path.values[i + 1]);
+  }
+  for (const auto& [state, assignment] : configs) {
+    if (state == accept) {
+      return true;
+    }
+  }
+  return false;
+}
+
+RegisterAutomaton CompileRem(const RemPtr& expression, StringInterner* labels,
+                             bool intern_new_labels) {
+  RaBuilder builder(labels, intern_new_labels);
+  auto [start, accept] = builder.Build(expression);
+  return builder.Finish(start, accept, RemNumRegisters(expression));
+}
+
+bool RemMatches(const RemPtr& expression, const DataPath& path,
+                StringInterner* labels) {
+  RegisterAutomaton ra = CompileRem(expression, labels);
+  return ra.AcceptsDataPath(path);
+}
+
+RemPtr BuildPathRem(const DataPath& path, const StringInterner& label_names) {
+  // Registers in first-occurrence order of the path's data values.
+  std::map<std::uint32_t, std::size_t> register_of;
+  // e[d1] = ↓r1.ε
+  std::size_t first_register = register_of
+      .emplace(path.values[0], register_of.size())
+      .first->second;
+  RemPtr expr = rem::Bind({first_register}, rem::Epsilon());
+  for (std::size_t i = 0; i < path.letters.size(); i++) {
+    const std::string& letter =
+        label_names.NameOf(path.letters[i]);
+    std::uint32_t value = path.values[i + 1];
+    auto it = register_of.find(value);
+    if (it != register_of.end()) {
+      // e[w]·a[r_i=]. Registers hold pairwise distinct values, so equality
+      // with r_i already implies inequality with every other register.
+      expr = rem::Concat(
+          {expr, rem::Test(rem::Letter(letter),
+                           cond::RegisterEq(it->second))});
+    } else {
+      // Fresh value: the paper's "e[w]·a·↓r_i.ε" alone would also admit
+      // paths whose new value repeats an old one (e.g. 0a0 for w = 0a1),
+      // which are not automorphic to w. Guard the position with
+      // a[r_1≠ ∧ ... ∧ r_{i-1}≠] before binding the new register.
+      ConditionPtr all_fresh;
+      for (std::size_t j = 0; j < register_of.size(); j++) {
+        ConditionPtr atom = cond::RegisterNeq(j);
+        all_fresh = all_fresh ? cond::And(std::move(all_fresh), std::move(atom))
+                              : std::move(atom);
+      }
+      std::size_t reg = register_of.emplace(value, register_of.size())
+                            .first->second;
+      RemPtr step = all_fresh
+                        ? rem::Test(rem::Letter(letter), std::move(all_fresh))
+                        : rem::Letter(letter);
+      expr = rem::Concat(
+          {expr, std::move(step), rem::Bind({reg}, rem::Epsilon())});
+    }
+  }
+  return expr;
+}
+
+}  // namespace gqd

@@ -1,0 +1,82 @@
+// Register automata over data paths, and the REM → automaton compiler.
+//
+// REM are expressively equivalent to register automata (Libkin & Vrgoč,
+// "Regular expressions for data words"); the library uses the automaton as
+// REM's operational model for both data-path membership and query
+// evaluation on graphs (eval/rem_eval.h).
+//
+// The automaton walks the positions of a data path d0 a0 d1 ... dm. Three
+// transition kinds:
+//   Store(r̄)  — ε-move: writes the *current* data value into registers r̄
+//               (the compilation of ↓r̄.e, which stores the first value);
+//   Check(c)  — ε-move: requires d_cur, σ ⊨ c (the compilation of e[c],
+//               which tests the last value);
+//   Letter(a) — advances one position, consuming letter a.
+// A data path is accepted iff some run starting at (start, ⊥^k) on position
+// 0 reaches (accept, ·) at the final position.
+
+#ifndef GQD_REM_REGISTER_AUTOMATON_H_
+#define GQD_REM_REGISTER_AUTOMATON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interner.h"
+#include "graph/data_path.h"
+#include "rem/ast.h"
+#include "rem/condition.h"
+
+namespace gqd {
+
+/// Register automaton state index.
+using RaState = std::uint32_t;
+
+/// A compiled register automaton (single start / single accept).
+struct RegisterAutomaton {
+  std::size_t num_states = 0;
+  std::size_t num_registers = 0;
+  RaState start = 0;
+  RaState accept = 0;
+
+  struct StoreEdge {
+    std::vector<std::size_t> registers;
+    RaState to;
+  };
+  struct CheckEdge {
+    ConditionPtr condition;
+    RaState to;
+  };
+  struct LetterEdge {
+    std::uint32_t label;
+    RaState to;
+  };
+
+  std::vector<std::vector<StoreEdge>> store_edges;
+  std::vector<std::vector<CheckEdge>> check_edges;
+  std::vector<std::vector<LetterEdge>> letter_edges;
+
+  /// Membership test for a data path (letters as label ids resolved by the
+  /// same interner used at compile time). Runs the standard configuration-
+  /// set simulation; assignments range over values appearing in the path.
+  bool AcceptsDataPath(const DataPath& path) const;
+};
+
+/// Compiles an REM to a register automaton. Letters resolve via `labels`;
+/// with intern_new_labels == false, letters unknown to the interner become
+/// dead fragments (they can never fire), matching query-evaluation
+/// semantics against a graph whose alphabet lacks them.
+RegisterAutomaton CompileRem(const RemPtr& expression, StringInterner* labels,
+                             bool intern_new_labels = false);
+
+/// Convenience: does `expression` (compiled against `labels`) accept `path`?
+bool RemMatches(const RemPtr& expression, const DataPath& path,
+                StringInterner* labels);
+
+/// Lemma 15: the REM e[w] whose language is exactly the automorphism class
+/// [w]. Uses one register per distinct data value of w, in first-occurrence
+/// order; labels are emitted by name via `label_names`.
+RemPtr BuildPathRem(const DataPath& path, const StringInterner& label_names);
+
+}  // namespace gqd
+
+#endif  // GQD_REM_REGISTER_AUTOMATON_H_

@@ -1,0 +1,355 @@
+#include "synthesis/simplify.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/ree_eval.h"
+#include "eval/rpq_eval.h"
+
+namespace gqd {
+
+namespace {
+
+/// Canonical empty-language REE: (ε)≠.
+ReePtr EmptyRee() { return ree::Neq(ree::Epsilon()); }
+
+bool IsEmptyRee(const ReePtr& e) {
+  return e->kind == ReeKind::kNeq &&
+         e->children[0]->kind == ReeKind::kEpsilon;
+}
+
+}  // namespace
+
+ReePtr NormalizeRee(const ReePtr& expression) {
+  switch (expression->kind) {
+    case ReeKind::kEpsilon:
+    case ReeKind::kLetter:
+      return expression;
+    case ReeKind::kUnion: {
+      std::vector<ReePtr> flat;
+      std::vector<std::string> seen;
+      for (const ReePtr& child : expression->children) {
+        ReePtr c = NormalizeRee(child);
+        std::vector<ReePtr> parts =
+            (c->kind == ReeKind::kUnion) ? c->children
+                                         : std::vector<ReePtr>{c};
+        for (const ReePtr& part : parts) {
+          if (IsEmptyRee(part)) {
+            continue;  // ∅ is the unit of union
+          }
+          std::string key = ReeToString(part);
+          if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+            seen.push_back(std::move(key));
+            flat.push_back(part);
+          }
+        }
+      }
+      if (flat.empty()) {
+        return EmptyRee();
+      }
+      return ree::Union(std::move(flat));
+    }
+    case ReeKind::kConcat: {
+      std::vector<ReePtr> flat;
+      for (const ReePtr& child : expression->children) {
+        ReePtr c = NormalizeRee(child);
+        if (IsEmptyRee(c)) {
+          return EmptyRee();  // ∅ annihilates concatenation
+        }
+        if (c->kind == ReeKind::kEpsilon) {
+          continue;  // L(e·ε) = L(e) under data-path concatenation
+        }
+        if (c->kind == ReeKind::kConcat) {
+          flat.insert(flat.end(), c->children.begin(), c->children.end());
+        } else {
+          flat.push_back(c);
+        }
+      }
+      if (flat.empty()) {
+        return ree::Epsilon();
+      }
+      return ree::Concat(std::move(flat));
+    }
+    case ReeKind::kPlus: {
+      ReePtr c = NormalizeRee(expression->children[0]);
+      if (c->kind == ReeKind::kPlus || c->kind == ReeKind::kEpsilon) {
+        return c;  // (e⁺)⁺ = e⁺; ε⁺ = ε (boundary-sharing concatenation)
+      }
+      if (IsEmptyRee(c)) {
+        return EmptyRee();
+      }
+      return ree::Plus(std::move(c));
+    }
+    case ReeKind::kEq: {
+      ReePtr c = NormalizeRee(expression->children[0]);
+      if (c->kind == ReeKind::kEpsilon || c->kind == ReeKind::kEq) {
+        return c;  // single values have equal endpoints; (e=)= = e=
+      }
+      if (c->kind == ReeKind::kNeq || IsEmptyRee(c)) {
+        return EmptyRee();  // (e≠)= = ∅
+      }
+      return ree::Eq(std::move(c));
+    }
+    case ReeKind::kNeq: {
+      ReePtr c = NormalizeRee(expression->children[0]);
+      if (c->kind == ReeKind::kNeq) {
+        return c;  // (e≠)≠ = e≠
+      }
+      if (c->kind == ReeKind::kEq || c->kind == ReeKind::kEpsilon ||
+          IsEmptyRee(c)) {
+        return EmptyRee();  // (e=)≠ = ε≠ = ∅
+      }
+      return ree::Neq(std::move(c));
+    }
+  }
+  return expression;
+}
+
+RegexPtr NormalizeRegex(const RegexPtr& expression) {
+  switch (expression->kind) {
+    case RegexKind::kEpsilon:
+    case RegexKind::kLetter:
+      return expression;
+    case RegexKind::kUnion: {
+      std::vector<RegexPtr> flat;
+      std::vector<std::string> seen;
+      for (const RegexPtr& child : expression->children) {
+        RegexPtr c = NormalizeRegex(child);
+        std::vector<RegexPtr> parts =
+            (c->kind == RegexKind::kUnion) ? c->children
+                                           : std::vector<RegexPtr>{c};
+        for (const RegexPtr& part : parts) {
+          std::string key = RegexToString(part);
+          if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+            seen.push_back(std::move(key));
+            flat.push_back(part);
+          }
+        }
+      }
+      return re::Union(std::move(flat));
+    }
+    case RegexKind::kConcat: {
+      std::vector<RegexPtr> flat;
+      for (const RegexPtr& child : expression->children) {
+        RegexPtr c = NormalizeRegex(child);
+        if (c->kind == RegexKind::kEpsilon) {
+          continue;
+        }
+        if (c->kind == RegexKind::kConcat) {
+          flat.insert(flat.end(), c->children.begin(), c->children.end());
+        } else {
+          flat.push_back(c);
+        }
+      }
+      if (flat.empty()) {
+        return re::Epsilon();
+      }
+      return re::Concat(std::move(flat));
+    }
+    case RegexKind::kStar: {
+      RegexPtr c = NormalizeRegex(expression->children[0]);
+      if (c->kind == RegexKind::kStar || c->kind == RegexKind::kPlus) {
+        return re::Star(c->children[0]);
+      }
+      if (c->kind == RegexKind::kEpsilon) {
+        return c;
+      }
+      return re::Star(std::move(c));
+    }
+    case RegexKind::kPlus: {
+      RegexPtr c = NormalizeRegex(expression->children[0]);
+      if (c->kind == RegexKind::kPlus) {
+        return c;
+      }
+      if (c->kind == RegexKind::kEpsilon) {
+        return c;
+      }
+      if (c->kind == RegexKind::kStar) {
+        return c;  // (e*)⁺ = e*
+      }
+      return re::Plus(std::move(c));
+    }
+  }
+  return expression;
+}
+
+namespace {
+
+/// Decomposes e as base^count (count maximal). Concat children must all be
+/// structurally equal (compared by printed form).
+template <typename Ptr, typename KindT, KindT kConcatKind,
+          std::string (*Print)(const Ptr&)>
+std::pair<Ptr, std::size_t> SplitPower(const Ptr& e) {
+  if (e->kind != kConcatKind || e->children.empty()) {
+    return {e, 1};
+  }
+  std::string first = Print(e->children[0]);
+  for (std::size_t i = 1; i < e->children.size(); i++) {
+    if (Print(e->children[i]) != first) {
+      return {e, 1};
+    }
+  }
+  return {e->children[0], e->children.size()};
+}
+
+/// The wrapper shape of an REE branch for power grouping.
+enum class Wrapper { kNone, kEq, kNeq };
+
+struct ReeBranchShape {
+  Wrapper wrapper;
+  ReePtr base;
+  std::size_t power;
+};
+
+ReeBranchShape AnalyzeReeBranch(const ReePtr& branch) {
+  ReePtr inner = branch;
+  Wrapper wrapper = Wrapper::kNone;
+  if (branch->kind == ReeKind::kEq) {
+    wrapper = Wrapper::kEq;
+    inner = branch->children[0];
+  } else if (branch->kind == ReeKind::kNeq) {
+    wrapper = Wrapper::kNeq;
+    inner = branch->children[0];
+  }
+  auto [base, power] =
+      SplitPower<ReePtr, ReeKind, ReeKind::kConcat, ReeToString>(inner);
+  return {wrapper, base, power};
+}
+
+ReePtr RebuildReeBranch(Wrapper wrapper, ReePtr body) {
+  switch (wrapper) {
+    case Wrapper::kNone:
+      return body;
+    case Wrapper::kEq:
+      return ree::Eq(std::move(body));
+    case Wrapper::kNeq:
+      return ree::Neq(std::move(body));
+  }
+  return body;
+}
+
+}  // namespace
+
+Result<ReePtr> SimplifyReeOnGraph(const DataGraph& graph,
+                                  const ReePtr& expression,
+                                  const BinaryRelation& relation) {
+  ReePtr normalized = NormalizeRee(expression);
+  if (!(EvaluateRee(graph, normalized) == relation)) {
+    return Status::Internal(
+        "normalization changed the evaluation — please report this bug");
+  }
+  // Group union branches by (wrapper, base) and propose wrapper(base⁺) for
+  // any group with more than one power (or a single power > 1).
+  std::vector<ReePtr> branches =
+      (normalized->kind == ReeKind::kUnion) ? normalized->children
+                                            : std::vector<ReePtr>{normalized};
+  struct Group {
+    Wrapper wrapper;
+    ReePtr base;
+    std::vector<std::size_t> branch_indices;
+    std::size_t distinct_powers = 0;
+    std::size_t max_power = 0;
+  };
+  std::map<std::pair<int, std::string>, Group> groups;
+  std::vector<ReeBranchShape> shapes;
+  for (std::size_t i = 0; i < branches.size(); i++) {
+    ReeBranchShape shape = AnalyzeReeBranch(branches[i]);
+    shapes.push_back(shape);
+    auto key = std::make_pair(static_cast<int>(shape.wrapper),
+                              ReeToString(shape.base));
+    Group& group = groups.try_emplace(key, Group{shape.wrapper, shape.base,
+                                                 {}, 0, 0})
+                       .first->second;
+    group.branch_indices.push_back(i);
+    group.max_power = std::max(group.max_power, shape.power);
+  }
+
+  ReePtr best = normalized;
+  std::size_t best_size = ReeToString(best).size();
+  // Greedily try generalizing each group; keep a rewrite when it verifies
+  // and shortens the query.
+  for (auto& [key, group] : groups) {
+    if (group.branch_indices.size() < 2 && group.max_power < 2) {
+      continue;
+    }
+    std::vector<ReePtr> candidate_branches;
+    bool replaced = false;
+    for (std::size_t i = 0; i < branches.size(); i++) {
+      bool in_group =
+          std::find(group.branch_indices.begin(), group.branch_indices.end(),
+                    i) != group.branch_indices.end();
+      if (!in_group) {
+        candidate_branches.push_back(branches[i]);
+      } else if (!replaced) {
+        candidate_branches.push_back(
+            RebuildReeBranch(group.wrapper, ree::Plus(group.base)));
+        replaced = true;
+      }
+    }
+    ReePtr candidate = ree::Union(std::move(candidate_branches));
+    if (EvaluateRee(graph, candidate) == relation &&
+        ReeToString(candidate).size() < best_size) {
+      // Restart the greedy pass on the rewritten query (group indices
+      // refer to the pre-rewrite branch list; queries are small, so the
+      // simple restart policy is fine). Terminates: size decreases.
+      return SimplifyReeOnGraph(graph, candidate, relation);
+    }
+  }
+  return best;
+}
+
+Result<RegexPtr> SimplifyRegexOnGraph(const DataGraph& graph,
+                                      const RegexPtr& expression,
+                                      const BinaryRelation& relation) {
+  RegexPtr normalized = NormalizeRegex(expression);
+  if (!(EvaluateRpq(graph, normalized) == relation)) {
+    return Status::Internal(
+        "normalization changed the evaluation — please report this bug");
+  }
+  std::vector<RegexPtr> branches =
+      (normalized->kind == RegexKind::kUnion)
+          ? normalized->children
+          : std::vector<RegexPtr>{normalized};
+  std::map<std::string, std::vector<std::size_t>> groups;
+  std::vector<std::pair<RegexPtr, std::size_t>> shapes;
+  for (std::size_t i = 0; i < branches.size(); i++) {
+    auto shape =
+        SplitPower<RegexPtr, RegexKind, RegexKind::kConcat, RegexToString>(
+            branches[i]);
+    shapes.push_back(shape);
+    groups[RegexToString(shape.first)].push_back(i);
+  }
+  RegexPtr best = normalized;
+  std::size_t best_size = RegexToString(best).size();
+  for (const auto& [base_key, indices] : groups) {
+    std::size_t max_power = 0;
+    for (std::size_t i : indices) {
+      max_power = std::max(max_power, shapes[i].second);
+    }
+    if (indices.size() < 2 && max_power < 2) {
+      continue;
+    }
+    std::vector<RegexPtr> candidate_branches;
+    bool replaced = false;
+    for (std::size_t i = 0; i < branches.size(); i++) {
+      bool in_group = std::find(indices.begin(), indices.end(), i) !=
+                      indices.end();
+      if (!in_group) {
+        candidate_branches.push_back(branches[i]);
+      } else if (!replaced) {
+        candidate_branches.push_back(re::Plus(shapes[indices[0]].first));
+        replaced = true;
+      }
+    }
+    RegexPtr candidate = re::Union(std::move(candidate_branches));
+    if (EvaluateRpq(graph, candidate) == relation &&
+        RegexToString(candidate).size() < best_size) {
+      return SimplifyRegexOnGraph(graph, candidate, relation);
+    }
+  }
+  return best;
+}
+
+}  // namespace gqd

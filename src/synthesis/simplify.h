@@ -1,0 +1,51 @@
+// Graph-relative query simplification — the paper's Discussion (§6) asks
+// for "good" defining queries; the raw synthesized ones are star-free
+// unions of witnesses ("do not have an interesting structure").
+//
+// Two layers:
+//
+//  * *Structural normalization* (sound on every graph): flatten unions and
+//    concatenations, drop ε units of concatenation (w·d = w in data-path
+//    concatenation, so L(e·ε) = L(e)), deduplicate union branches,
+//    collapse (e=)= to e= and (e≠)= / (e=)≠ to the empty expression, drop
+//    ⊤ condition tests.
+//
+//  * *Generalization with verification* (sound relative to one graph):
+//    propose candidate rewrites that may change the language — e.g. a
+//    union of powers b, b·b, b·b·b generalizes to b⁺, and a union of
+//    =-restricted powers to (b⁺)= — and accept a candidate only when
+//    re-evaluating it on the graph reproduces the original relation
+//    exactly. This turns the synthesized movieLink query
+//    (friend)= | (friend friend)= | (friend friend friend)=
+//    back into the idiomatic (friend⁺)=.
+
+#ifndef GQD_SYNTHESIS_SIMPLIFY_H_
+#define GQD_SYNTHESIS_SIMPLIFY_H_
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+#include "ree/ast.h"
+#include "regex/ast.h"
+
+namespace gqd {
+
+/// Structural normalization only (graph-independent, language-preserving).
+ReePtr NormalizeRee(const ReePtr& expression);
+RegexPtr NormalizeRegex(const RegexPtr& expression);
+
+/// Normalizes, then tries star-generalizations of union-of-powers shapes;
+/// each candidate is verified by evaluation against `relation` (which must
+/// equal the evaluation of `expression` — callers pass the synthesized
+/// pair). Returns the simplest verified equivalent.
+Result<ReePtr> SimplifyReeOnGraph(const DataGraph& graph,
+                                  const ReePtr& expression,
+                                  const BinaryRelation& relation);
+
+Result<RegexPtr> SimplifyRegexOnGraph(const DataGraph& graph,
+                                      const RegexPtr& expression,
+                                      const BinaryRelation& relation);
+
+}  // namespace gqd
+
+#endif  // GQD_SYNTHESIS_SIMPLIFY_H_

@@ -1,0 +1,58 @@
+// Defining-query synthesis (Discussion, Section 6 of the paper).
+//
+// The decision procedures are constructive: each "definable" verdict
+// carries witnesses from which a defining query can be assembled. This
+// module packages them behind one API, returning queries that are
+// guaranteed (and test-verified) to evaluate back to exactly S:
+//   * RPQ:      union of witness words (or a killing word for S = ∅);
+//   * RDPQ_mem: union of basic k-REM witnesses (Lemma 18);
+//   * RDPQ_=:   union of monoid derivations covering S (Lemma 30);
+//   * UCRDPQ:   the canonical φ_G query of Lemma 34 — one CRDPQ per tuple
+//               of S, each with a variable per node, an atom per edge, and
+//               (Σ⁺)=/(Σ⁺)≠ atoms per reachable node pair.
+//
+// As the paper notes, these synthesized queries are star-free and can be
+// worst-case huge (doubly exponential for REM); the E8 bench measures that
+// growth. They are *correct*, not pretty.
+
+#ifndef GQD_SYNTHESIS_SYNTHESIS_H_
+#define GQD_SYNTHESIS_SYNTHESIS_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "definability/krem_definability.h"
+#include "definability/ree_definability.h"
+#include "definability/rpq_definability.h"
+#include "eval/query.h"
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+
+namespace gqd {
+
+/// Synthesizes a regex Q with Q(G) = S, or nullopt if S is not
+/// RPQ-definable (budget exhaustion surfaces as ResourceExhausted).
+Result<std::optional<RegexPtr>> SynthesizeRpqQuery(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const KRemDefinabilityOptions& options = {});
+
+/// Synthesizes a k-register REM Q with Q(G) = S, or nullopt.
+Result<std::optional<RemPtr>> SynthesizeKRemQuery(
+    const DataGraph& graph, const BinaryRelation& relation, std::size_t k,
+    const KRemDefinabilityOptions& options = {});
+
+/// Synthesizes an REE Q with Q(G) = S, or nullopt.
+Result<std::optional<ReePtr>> SynthesizeReeQuery(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const ReeDefinabilityOptions& options = {});
+
+/// The canonical UCRDPQ of Lemma 34 for any-arity S. This query defines S
+/// whenever S is UCRDPQ-definable at all (and otherwise defines the closure
+/// of S under data-graph homomorphisms); callers wanting a definability
+/// guarantee should check CheckUcrdpqDefinability first.
+Result<Ucrdpq> SynthesizeCanonicalUcrdpq(const DataGraph& graph,
+                                         const TupleRelation& relation);
+
+}  // namespace gqd
+
+#endif  // GQD_SYNTHESIS_SYNTHESIS_H_

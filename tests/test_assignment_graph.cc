@@ -1,0 +1,117 @@
+// Unit tests for the k-assignment graph T_G (Definition 19).
+
+#include <gtest/gtest.h>
+
+#include "definability/assignment_graph.h"
+#include "graph/examples.h"
+#include "graph/generators.h"
+
+namespace gqd {
+namespace {
+
+TEST(AssignmentGraph, StateCountIsNTimesDeltaPlusOnePowK) {
+  DataGraph g = Figure1Graph();  // n = 10, δ = 4
+  for (std::size_t k = 0; k <= 2; k++) {
+    auto ag = AssignmentGraph::Build(g, k);
+    ASSERT_TRUE(ag.ok()) << ag.status();
+    std::size_t expected = 10;
+    for (std::size_t i = 0; i < k; i++) {
+      expected *= 5;  // δ + 1
+    }
+    EXPECT_EQ(ag.value().num_states(), expected) << "k = " << k;
+  }
+}
+
+TEST(AssignmentGraph, InitialStateHasBottomAssignment) {
+  DataGraph g = Figure1Graph();
+  auto ag = AssignmentGraph::Build(g, 2).ValueOrDie();
+  for (NodeId v = 0; v < g.NumNodes(); v++) {
+    AgState s = ag.InitialState(v);
+    EXPECT_EQ(ag.NodeOf(s), v);
+    RegisterAssignment sigma = ag.AssignmentOf(s);
+    ASSERT_EQ(sigma.size(), 2u);
+    EXPECT_EQ(sigma[0], kEmptyRegister);
+    EXPECT_EQ(sigma[1], kEmptyRegister);
+  }
+}
+
+TEST(AssignmentGraph, SuccessorsFollowEdgesAndStoreSemantics) {
+  // Line v0(7) -a-> v1(7) -a-> v2(9): storing at v0 then moving to v1
+  // (same value) yields pattern bit set; moving on to v2 (different) does
+  // not.
+  DataGraph g;
+  g.AddLabel("a");
+  g.AddDataValue("7");
+  g.AddDataValue("9");
+  NodeId v0 = g.AddNodeWithValue("7", "v0");
+  NodeId v1 = g.AddNodeWithValue("7", "v1");
+  NodeId v2 = g.AddNodeWithValue("9", "v2");
+  g.AddEdgeByName(v0, "a", v1);
+  g.AddEdgeByName(v1, "a", v2);
+
+  auto ag = AssignmentGraph::Build(g, 1).ValueOrDie();
+  AgState start = ag.InitialState(v0);
+
+  // Store into r1 (mask 1) and read the a-edge.
+  const auto& successors = ag.SuccessorsOf(/*store_mask=*/1, /*label=*/0,
+                                           start);
+  ASSERT_EQ(successors.size(), 1u);
+  EXPECT_EQ(ag.NodeOf(successors[0].state), v1);
+  // σ' holds ρ(v0) = "7"; target v1 also has "7": pattern bit 0 set.
+  EXPECT_EQ(successors[0].pattern, 1);
+  RegisterAssignment sigma = ag.AssignmentOf(successors[0].state);
+  EXPECT_EQ(sigma[0], g.DataValueOf(v0));
+
+  // Continue without storing: v1 -> v2, register still "7", v2 is "9".
+  const auto& next = ag.SuccessorsOf(/*store_mask=*/0, /*label=*/0,
+                                     successors[0].state);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(ag.NodeOf(next[0].state), v2);
+  EXPECT_EQ(next[0].pattern, 0);
+
+  // Without storing at v0: register stays ⊥, pattern 0 at v1.
+  const auto& unstored = ag.SuccessorsOf(/*store_mask=*/0, /*label=*/0,
+                                         start);
+  ASSERT_EQ(unstored.size(), 1u);
+  EXPECT_EQ(unstored[0].pattern, 0);
+  EXPECT_EQ(ag.AssignmentOf(unstored[0].state)[0], kEmptyRegister);
+}
+
+TEST(AssignmentGraph, NoEdgesMeansNoSuccessors) {
+  DataGraph g;
+  g.AddLabel("a");
+  g.AddDataValue("0");
+  g.AddNodeWithValue("0", "only");
+  auto ag = AssignmentGraph::Build(g, 1).ValueOrDie();
+  EXPECT_TRUE(ag.SuccessorsOf(0, 0, ag.InitialState(0)).empty());
+  EXPECT_TRUE(ag.SuccessorsOf(1, 0, ag.InitialState(0)).empty());
+}
+
+TEST(AssignmentGraph, RejectsTooManyRegisters) {
+  DataGraph g = Figure1Graph();
+  auto ag = AssignmentGraph::Build(g, 5);
+  EXPECT_FALSE(ag.ok());
+  EXPECT_EQ(ag.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(AssignmentGraph, RejectsHugeStateSpaces) {
+  DataGraph g = RandomDataGraph({.num_nodes = 200,
+                                 .num_labels = 1,
+                                 .num_data_values = 30,
+                                 .edge_percent = 5,
+                                 .seed = 1});
+  auto ag = AssignmentGraph::Build(g, 4);
+  EXPECT_FALSE(ag.ok());
+}
+
+TEST(AssignmentGraph, KZeroHasSingletonAssignment) {
+  DataGraph g = Figure1Graph();
+  auto ag = AssignmentGraph::Build(g, 0).ValueOrDie();
+  EXPECT_EQ(ag.num_states(), g.NumNodes());
+  EXPECT_EQ(ag.num_patterns(), 1u);
+  EXPECT_EQ(ag.num_store_masks(), 1u);
+  EXPECT_TRUE(ag.AssignmentOf(ag.InitialState(3)).empty());
+}
+
+}  // namespace
+}  // namespace gqd

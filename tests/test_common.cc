@@ -1,0 +1,170 @@
+// Unit tests for the common substrate: Status/Result, DynamicBitset,
+// StringInterner.
+
+#include <gtest/gtest.h>
+
+#include "common/bitset.h"
+#include "common/interner.h"
+#include "common/status.h"
+
+namespace gqd {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return Status::InvalidArgument("odd");
+  }
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  GQD_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(3).ok());
+}
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(DynamicBitset, FindNextWalksSetBits) {
+  DynamicBitset b(200);
+  for (std::size_t i : {3u, 63u, 64u, 150u}) {
+    b.Set(i);
+  }
+  std::vector<std::size_t> seen;
+  for (std::size_t i = b.FindNext(0); i < b.size(); i = b.FindNext(i + 1)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, (std::vector<std::size_t>{3, 63, 64, 150}));
+}
+
+TEST(DynamicBitset, SetAlgebra) {
+  DynamicBitset a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  b.Set(50);
+  b.Set(99);
+  DynamicBitset u = a | b;
+  EXPECT_EQ(u.Count(), 3u);
+  DynamicBitset i = a & b;
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(50));
+  EXPECT_TRUE(i.IsSubsetOf(a));
+  EXPECT_TRUE(i.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsSubsetOf(u));
+  EXPECT_FALSE(u.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  DynamicBitset d = a;
+  d -= b;
+  EXPECT_TRUE(d.Test(1));
+  EXPECT_FALSE(d.Test(50));
+}
+
+TEST(DynamicBitset, NoneAnyClear) {
+  DynamicBitset b(10);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  b.Set(7);
+  EXPECT_TRUE(b.Any());
+  b.Clear();
+  EXPECT_TRUE(b.None());
+}
+
+TEST(DynamicBitset, HashDistinguishesAndAgrees) {
+  DynamicBitset a(100), b(100);
+  a.Set(10);
+  b.Set(10);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a, b);
+  b.Set(11);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.Hash(), b.Hash());  // not guaranteed in general, holds here
+}
+
+TEST(DynamicBitset, OrderIsTotal) {
+  DynamicBitset a(10), b(10);
+  a.Set(1);
+  b.Set(2);
+  EXPECT_TRUE((a < b) != (b < a));
+  EXPECT_FALSE(a < a);
+}
+
+TEST(StringInterner, RoundTrips) {
+  StringInterner interner;
+  std::uint32_t a = interner.Intern("alpha");
+  std::uint32_t b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.NameOf(a), "alpha");
+  EXPECT_EQ(interner.NameOf(b), "beta");
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.Find("alpha"), std::optional<std::uint32_t>(a));
+  EXPECT_EQ(interner.Find("gamma"), std::nullopt);
+}
+
+TEST(StringInterner, IdsAreDense) {
+  StringInterner interner;
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(interner.Intern("s" + std::to_string(i)),
+              static_cast<std::uint32_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,180 @@
+// Tests for the expressiveness-inclusion converters (regex → REM,
+// REE → REM) and witness-path extraction.
+
+#include <gtest/gtest.h>
+
+#include "eval/convert.h"
+#include "eval/explain.h"
+#include "eval/rem_eval.h"
+#include "eval/ree_eval.h"
+#include "eval/rpq_eval.h"
+#include "graph/examples.h"
+#include "graph/generators.h"
+#include "ree/membership.h"
+#include "ree/parser.h"
+#include "regex/parser.h"
+#include "rem/parser.h"
+#include "rem/register_automaton.h"
+
+namespace gqd {
+namespace {
+
+TEST(Convert, RegexToRemIsRegisterFree) {
+  RegexPtr e = ParseRegex("a (b | c)* a+").ValueOrDie();
+  RemPtr rem = RegexToRem(e);
+  EXPECT_EQ(RemNumRegisters(rem), 0u);
+}
+
+TEST(Convert, ReeRestrictionDepthCountsNestingNotOccurrences) {
+  EXPECT_EQ(ReeRestrictionDepth(ParseRee("a").ValueOrDie()), 0u);
+  EXPECT_EQ(ReeRestrictionDepth(ParseRee("(a)=").ValueOrDie()), 1u);
+  // Two sequential restrictions share a depth level.
+  EXPECT_EQ(ReeRestrictionDepth(ParseRee("(a)= (b)!=").ValueOrDie()), 1u);
+  // Example 8 nests one level deep.
+  EXPECT_EQ(ReeRestrictionDepth(
+                ParseRee("((a)!= (b)!=)!=").ValueOrDie()),
+            2u);
+  EXPECT_EQ(ReeRestrictionDepth(
+                ParseRee("(((a)= b)= c)=").ValueOrDie()),
+            3u);
+}
+
+TEST(Convert, ReeToRemRegisterBudgetIsDepth) {
+  ReePtr e = ParseRee("((a)!= (b)!=)!=").ValueOrDie();
+  EXPECT_EQ(RemNumRegisters(ReeToRem(e)), 2u);
+  ReePtr sequential = ParseRee("(a)= (b)= (a b)=").ValueOrDie();
+  EXPECT_EQ(RemNumRegisters(ReeToRem(sequential)), 1u);
+}
+
+class ConvertEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConvertEquivalence, RegexToRemPreservesEvaluation) {
+  DataGraph g = RandomDataGraph({.num_nodes = 6,
+                                 .num_labels = 2,
+                                 .num_data_values = 3,
+                                 .edge_percent = 25,
+                                 .seed = GetParam()});
+  for (const char* text : {"a", "a b", "(a | b)+", "a* b", "a+ | b a"}) {
+    RegexPtr e = ParseRegex(text).ValueOrDie();
+    EXPECT_EQ(EvaluateRpq(g, e), EvaluateRem(g, RegexToRem(e)))
+        << text << " seed " << GetParam();
+  }
+}
+
+TEST_P(ConvertEquivalence, ReeToRemPreservesEvaluation) {
+  DataGraph g = RandomDataGraph({.num_nodes = 6,
+                                 .num_labels = 2,
+                                 .num_data_values = 3,
+                                 .edge_percent = 25,
+                                 .seed = GetParam()});
+  for (const char* text :
+       {"(a)=", "(a)!=", "(a b)= | (b)!=", "((a)!= (b)!=)!=",
+        "(a (a)= a)=", "((a)=)+", "(a+)=", "(a)= (b)= (a)!="}) {
+    ReePtr e = ParseRee(text).ValueOrDie();
+    EXPECT_EQ(EvaluateRee(g, e), EvaluateRem(g, ReeToRem(e)))
+        << text << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ConvertEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Convert, ReeToRemPreservesMembershipOnPaths) {
+  StringInterner labels;
+  labels.Intern("a");
+  labels.Intern("b");
+  ReePtr e = ParseRee("((a)!= (b)!=)!=").ValueOrDie();
+  RemPtr converted = ReeToRem(e);
+  // Enumerate all two-letter paths over values {0,1,2}.
+  for (ValueId d0 = 0; d0 < 3; d0++) {
+    for (ValueId d1 = 0; d1 < 3; d1++) {
+      for (ValueId d2 = 0; d2 < 3; d2++) {
+        for (LabelId l0 = 0; l0 < 2; l0++) {
+          for (LabelId l1 = 0; l1 < 2; l1++) {
+            DataPath w{{d0, d1, d2}, {l0, l1}};
+            EXPECT_EQ(ReeMatches(e, w, labels),
+                      RemMatches(converted, w, &labels));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Explain, RemWitnessOnFigure1) {
+  DataGraph g = Figure1Graph();
+  Figure1Nodes n = Figure1NodeIds(g);
+  // Example 12's e2 = ↓r1·a·↓r2·a[r1=]·a[r2=].
+  RemPtr e2 = ParseRem("$r1. a $r2. a[r1=] a[r2=]").ValueOrDie();
+  auto witness = ExplainRemPair(g, e2, n.v1, n.v4);
+  ASSERT_TRUE(witness.has_value());
+  // The witness is v1 → v2 → v3 → v4 with data path 0a1a0a1.
+  EXPECT_EQ(witness->nodes,
+            (std::vector<NodeId>{n.v1, n.v2, n.v3, n.v4}));
+  EXPECT_EQ(witness->data_path.values,
+            (std::vector<ValueId>{0, 1, 0, 1}));
+}
+
+TEST(Explain, ReturnsNulloptForUnconnectedPair) {
+  DataGraph g = Figure1Graph();
+  Figure1Nodes n = Figure1NodeIds(g);
+  auto witness = ExplainRpqPair(g, ParseRegex("a a a").ValueOrDie(),
+                                n.v4, n.v1);  // v4 is a sink
+  EXPECT_FALSE(witness.has_value());
+}
+
+TEST(Explain, RpqWitnessIsShortest) {
+  DataGraph g = Figure1Graph();
+  Figure1Nodes n = Figure1NodeIds(g);
+  // v1 reaches v2 by paths of length 1 and 2; a+ must be explained by the
+  // length-1 path.
+  auto witness = ExplainRpqPair(g, ParseRegex("a+").ValueOrDie(),
+                                n.v1, n.v2);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->labels.size(), 1u);
+}
+
+TEST(Explain, ReeWitnessMatchesExpression) {
+  DataGraph g = Figure1Graph();
+  Figure1Nodes n = Figure1NodeIds(g);
+  ReePtr e3 = ParseRee("(a (a)= a)=").ValueOrDie();
+  auto witness = ExplainReePair(g, e3, n.v1, n.v3);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->data_path.values, (std::vector<ValueId>{0, 1, 1, 0}));
+  EXPECT_TRUE(ReeMatches(e3, witness->data_path, g.labels()));
+}
+
+class ExplainConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExplainConsistency, EveryEvaluatedPairIsExplainable) {
+  DataGraph g = RandomDataGraph({.num_nodes = 5,
+                                 .num_labels = 2,
+                                 .num_data_values = 2,
+                                 .edge_percent = 25,
+                                 .seed = GetParam()});
+  StringInterner labels = g.labels();
+  for (const char* text : {"$r1. a[r1=]", "$r1. (a | b)+ [r1!=]"}) {
+    RemPtr e = ParseRem(text).ValueOrDie();
+    BinaryRelation result = EvaluateRem(g, e);
+    for (NodeId u = 0; u < g.NumNodes(); u++) {
+      for (NodeId v = 0; v < g.NumNodes(); v++) {
+        auto witness = ExplainRemPair(g, e, u, v);
+        EXPECT_EQ(witness.has_value(), result.Test(u, v))
+            << text << " (" << u << "," << v << ") seed " << GetParam();
+        if (witness.has_value()) {
+          // The witness is a real path, connects the right endpoints, and
+          // its data path is in L(e).
+          EXPECT_EQ(witness->nodes.front(), u);
+          EXPECT_EQ(witness->nodes.back(), v);
+          EXPECT_TRUE(RemMatches(e, witness->data_path, &labels));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ExplainConsistency,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,150 @@
+// End-to-end pipelines that thread several subsystems together:
+//   * tiling → reduction → REM (3) → witness extraction → decode → the
+//     same tiling (a full round trip through five modules);
+//   * k-REM witnesses satisfy Definition 17 directly on random graphs;
+//   * the simplifier is idempotent and composes with synthesis.
+
+#include <gtest/gtest.h>
+
+#include "definability/krem_definability.h"
+#include "eval/explain.h"
+#include "eval/rem_eval.h"
+#include "eval/ree_eval.h"
+#include "graph/generators.h"
+#include "reductions/tiling.h"
+#include "reductions/tiling_reduction.h"
+#include "ree/parser.h"
+#include "synthesis/simplify.h"
+#include "synthesis/synthesis.h"
+
+namespace gqd {
+namespace {
+
+TEST(EndToEnd, TilingSurvivesTheFullPipeline) {
+  // Solve a tiling; encode it as REM (3); ask the explainer for the
+  // witness data path on the reduction graph; decode that path back into
+  // a tiling. The decoded tiling must be legal — and for this instance,
+  // identical to the solver's solution.
+  TilingInstance instance;
+  instance.num_tile_types = 2;
+  instance.horizontal = {{0, 1}, {1, 0}};
+  instance.vertical = {{0, 0}, {1, 1}};
+  instance.initial_tile = 0;
+  instance.final_tile = 1;
+  instance.width_bits = 1;
+
+  auto solution = SolveCorridorTiling(instance);
+  ASSERT_TRUE(solution.ok());
+  ASSERT_TRUE(solution.value().has_value());
+
+  auto reduction = BuildTilingReduction(instance);
+  ASSERT_TRUE(reduction.ok());
+
+  auto rem = TilingEncodingRem(instance, *solution.value());
+  ASSERT_TRUE(rem.ok());
+
+  auto witness = ExplainRemPair(reduction.value().graph, rem.value(),
+                                reduction.value().p2, reduction.value().q2);
+  ASSERT_TRUE(witness.has_value());
+
+  auto decoded = DecodeTilingPath(instance, witness->data_path,
+                                  reduction.value().graph.labels());
+  ASSERT_TRUE(decoded.has_value())
+      << witness->data_path.ToString(reduction.value().graph);
+  EXPECT_TRUE(IsLegalTiling(instance, *decoded));
+  EXPECT_EQ(decoded->rows, solution.value()->rows);
+}
+
+TEST(EndToEnd, WideTilingSurvivesTheFullPipeline) {
+  TilingInstance instance;
+  instance.num_tile_types = 2;
+  instance.horizontal = {{0, 0}, {0, 1}, {1, 1}};
+  instance.vertical = {{0, 0}, {1, 1}};
+  instance.initial_tile = 0;
+  instance.final_tile = 1;
+  instance.width_bits = 2;
+
+  auto solution = SolveCorridorTiling(instance);
+  ASSERT_TRUE(solution.ok() && solution.value().has_value());
+  auto reduction = BuildTilingReduction(instance);
+  ASSERT_TRUE(reduction.ok());
+  auto rem = TilingEncodingRem(instance, *solution.value());
+  ASSERT_TRUE(rem.ok());
+  auto witness = ExplainRemPair(reduction.value().graph, rem.value(),
+                                reduction.value().p2, reduction.value().q2);
+  ASSERT_TRUE(witness.has_value());
+  auto decoded = DecodeTilingPath(instance, witness->data_path,
+                                  reduction.value().graph.labels());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(IsLegalTiling(instance, *decoded));
+}
+
+class WitnessProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WitnessProperty, WitnessesSatisfyDefinition17) {
+  // Definition 17, verified semantically: each returned witness's basic
+  // k-REM (1) connects its pair and (2) adds no extraneous pairs.
+  DataGraph g = RandomDataGraph({.num_nodes = 4,
+                                 .num_labels = 2,
+                                 .num_data_values = 2,
+                                 .edge_percent = 30,
+                                 .seed = GetParam()});
+  BinaryRelation s = EvaluateRem(
+      g, rem::Bind({0}, rem::Concat({rem::Letter("a"),
+                                     rem::Test(rem::Letter("a"),
+                                               cond::RegisterEq(0))})));
+  auto result = CheckKRemDefinability(g, s, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().verdict, DefinabilityVerdict::kDefinable)
+      << "seed " << GetParam();
+  for (const KRemWitness& witness : result.value().witnesses) {
+    RemPtr e = BasicRemFromBlocks(witness.blocks, 1, g.labels());
+    BinaryRelation defined = EvaluateRem(g, e);
+    EXPECT_TRUE(defined.Test(witness.from, witness.to))
+        << RemToString(e);  // condition 1: connecting path
+    EXPECT_TRUE(defined.IsSubsetOf(s))
+        << RemToString(e);  // condition 2: no extraneous pairs
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, WitnessProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(EndToEnd, SimplifierIsIdempotent) {
+  for (std::uint64_t seed = 1; seed <= 6; seed++) {
+    DataGraph g = RandomDataGraph({.num_nodes = 4,
+                                   .num_labels = 2,
+                                   .num_data_values = 2,
+                                   .edge_percent = 30,
+                                   .seed = seed});
+    BinaryRelation s = EvaluateRee(g, ParseRee("(a+)= | (b)!=").ValueOrDie());
+    auto synthesized = SynthesizeReeQuery(g, s);
+    ASSERT_TRUE(synthesized.ok());
+    if (!synthesized.value().has_value()) {
+      continue;
+    }
+    auto once = SimplifyReeOnGraph(g, *synthesized.value(), s);
+    ASSERT_TRUE(once.ok());
+    auto twice = SimplifyReeOnGraph(g, once.value(), s);
+    ASSERT_TRUE(twice.ok());
+    EXPECT_EQ(ReeToString(once.value()), ReeToString(twice.value()))
+        << "seed " << seed;
+  }
+}
+
+TEST(EndToEnd, SynthesizedReeNormalizesWithoutChangingTheRelation) {
+  DataGraph g = RandomDataGraph({.num_nodes = 5,
+                                 .num_labels = 2,
+                                 .num_data_values = 2,
+                                 .edge_percent = 25,
+                                 .seed = 21});
+  BinaryRelation s = EvaluateRee(g, ParseRee("(a (b)= | b)=").ValueOrDie());
+  auto synthesized = SynthesizeReeQuery(g, s);
+  ASSERT_TRUE(synthesized.ok());
+  ASSERT_TRUE(synthesized.value().has_value());
+  ReePtr normalized = NormalizeRee(*synthesized.value());
+  EXPECT_EQ(EvaluateRee(g, normalized), s);
+}
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,314 @@
+// Unit tests for the graph substrate: DataGraph, BinaryRelation,
+// TupleRelation, data paths, generators, serialization, and the Figure-1
+// running example.
+
+#include <gtest/gtest.h>
+
+#include "graph/data_graph.h"
+#include "graph/data_path.h"
+#include "graph/examples.h"
+#include "graph/generators.h"
+#include "graph/relation.h"
+#include "graph/serialization.h"
+
+namespace gqd {
+namespace {
+
+DataGraph TinyGraph() {
+  // u(0) -a-> v(1) -b-> w(0), v -a-> v
+  DataGraph g;
+  g.AddLabel("a");
+  g.AddLabel("b");
+  g.AddDataValue("0");
+  g.AddDataValue("1");
+  NodeId u = g.AddNodeWithValue("0", "u");
+  NodeId v = g.AddNodeWithValue("1", "v");
+  NodeId w = g.AddNodeWithValue("0", "w");
+  g.AddEdgeByName(u, "a", v);
+  g.AddEdgeByName(v, "b", w);
+  g.AddEdgeByName(v, "a", v);
+  return g;
+}
+
+TEST(DataGraph, BasicShape) {
+  DataGraph g = TinyGraph();
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumLabels(), 2u);
+  EXPECT_EQ(g.NumDataValues(), 2u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(DataGraph, EdgesAndAdjacency) {
+  DataGraph g = TinyGraph();
+  NodeId u = g.FindNode("u").ValueOrDie();
+  NodeId v = g.FindNode("v").ValueOrDie();
+  NodeId w = g.FindNode("w").ValueOrDie();
+  LabelId a = *g.labels().Find("a");
+  LabelId b = *g.labels().Find("b");
+  EXPECT_TRUE(g.HasEdge(u, a, v));
+  EXPECT_TRUE(g.HasEdge(v, b, w));
+  EXPECT_TRUE(g.HasEdge(v, a, v));
+  EXPECT_FALSE(g.HasEdge(u, b, v));
+  EXPECT_EQ(g.OutEdges(u).size(), 1u);
+  EXPECT_EQ(g.OutEdges(v).size(), 2u);
+  EXPECT_EQ(g.InEdges(v).size(), 2u);  // from u and the self-loop
+}
+
+TEST(DataGraph, DuplicateEdgesIgnored) {
+  DataGraph g = TinyGraph();
+  std::size_t before = g.NumEdges();
+  g.AddEdgeByName(g.FindNode("u").ValueOrDie(), "a",
+                  g.FindNode("v").ValueOrDie());
+  EXPECT_EQ(g.NumEdges(), before);
+}
+
+TEST(DataGraph, FindNodeErrors) {
+  DataGraph g = TinyGraph();
+  EXPECT_FALSE(g.FindNode("nope").ok());
+  EXPECT_EQ(g.FindNode("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DataGraph, DataValues) {
+  DataGraph g = TinyGraph();
+  NodeId u = g.FindNode("u").ValueOrDie();
+  NodeId v = g.FindNode("v").ValueOrDie();
+  NodeId w = g.FindNode("w").ValueOrDie();
+  EXPECT_EQ(g.DataValueOf(u), g.DataValueOf(w));
+  EXPECT_NE(g.DataValueOf(u), g.DataValueOf(v));
+}
+
+TEST(BinaryRelation, BasicOps) {
+  BinaryRelation r(4);
+  EXPECT_TRUE(r.Empty());
+  r.Set(0, 1);
+  r.Set(1, 2);
+  EXPECT_EQ(r.Count(), 2u);
+  EXPECT_TRUE(r.Test(0, 1));
+  EXPECT_FALSE(r.Test(1, 0));
+  auto pairs = r.Pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], std::make_pair(NodeId{0}, NodeId{1}));
+}
+
+TEST(BinaryRelation, Compose) {
+  BinaryRelation r(4), s(4);
+  r.Set(0, 1);
+  r.Set(0, 2);
+  s.Set(1, 3);
+  s.Set(2, 0);
+  BinaryRelation c = r.Compose(s);
+  EXPECT_TRUE(c.Test(0, 3));
+  EXPECT_TRUE(c.Test(0, 0));
+  EXPECT_EQ(c.Count(), 2u);
+}
+
+TEST(BinaryRelation, ComposeWithIdentityIsNoop) {
+  BinaryRelation r = RandomRelation(10, 30, 7);
+  BinaryRelation id = BinaryRelation::Identity(10);
+  EXPECT_EQ(r.Compose(id), r);
+  EXPECT_EQ(id.Compose(r), r);
+}
+
+TEST(BinaryRelation, ComposeAssociative) {
+  BinaryRelation a = RandomRelation(12, 20, 1);
+  BinaryRelation b = RandomRelation(12, 20, 2);
+  BinaryRelation c = RandomRelation(12, 20, 3);
+  EXPECT_EQ(a.Compose(b).Compose(c), a.Compose(b.Compose(c)));
+}
+
+TEST(BinaryRelation, ComposeDistributesOverUnion) {
+  BinaryRelation a = RandomRelation(10, 25, 4);
+  BinaryRelation b = RandomRelation(10, 25, 5);
+  BinaryRelation c = RandomRelation(10, 25, 6);
+  BinaryRelation lhs = (a | b).Compose(c);
+  BinaryRelation rhs = a.Compose(c) | b.Compose(c);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(BinaryRelation, Restrictions) {
+  DataGraph g = TinyGraph();  // values: u=0, v=1, w=0
+  BinaryRelation full = BinaryRelation::Full(3);
+  BinaryRelation eq = full.EqRestrict(g);
+  BinaryRelation neq = full.NeqRestrict(g);
+  NodeId u = g.FindNode("u").ValueOrDie();
+  NodeId v = g.FindNode("v").ValueOrDie();
+  NodeId w = g.FindNode("w").ValueOrDie();
+  EXPECT_TRUE(eq.Test(u, w));
+  EXPECT_TRUE(eq.Test(u, u));
+  EXPECT_FALSE(eq.Test(u, v));
+  EXPECT_TRUE(neq.Test(u, v));
+  EXPECT_FALSE(neq.Test(u, w));
+  // The restrictions partition the relation.
+  EXPECT_EQ(eq.Count() + neq.Count(), full.Count());
+  BinaryRelation merged = eq | neq;
+  EXPECT_EQ(merged, full);
+}
+
+TEST(BinaryRelation, RestrictionDistributesOverUnion) {
+  DataGraph g = RandomDataGraph({.num_nodes = 9,
+                                 .num_labels = 1,
+                                 .num_data_values = 3,
+                                 .edge_percent = 20,
+                                 .seed = 11});
+  BinaryRelation a = RandomRelation(9, 30, 8);
+  BinaryRelation b = RandomRelation(9, 30, 9);
+  EXPECT_EQ((a | b).EqRestrict(g), a.EqRestrict(g) | b.EqRestrict(g));
+  EXPECT_EQ((a | b).NeqRestrict(g), a.NeqRestrict(g) | b.NeqRestrict(g));
+}
+
+TEST(BinaryRelation, SubsetAndHash) {
+  BinaryRelation a(5), b(5);
+  a.Set(0, 1);
+  b.Set(0, 1);
+  b.Set(2, 3);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_NE(a.Hash(), b.Hash());
+  b.Reset(2, 3);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BinaryRelation, TransitivePlus) {
+  // 0 -> 1 -> 2 -> 3 chain.
+  BinaryRelation r(4);
+  r.Set(0, 1);
+  r.Set(1, 2);
+  r.Set(2, 3);
+  BinaryRelation closure = TransitivePlus(r);
+  EXPECT_TRUE(closure.Test(0, 3));
+  EXPECT_TRUE(closure.Test(1, 3));
+  EXPECT_FALSE(closure.Test(0, 0));
+  EXPECT_EQ(closure.Count(), 6u);
+}
+
+TEST(BinaryRelation, TransitivePlusOnCycleIsFullAmongCycleNodes) {
+  BinaryRelation r(3);
+  r.Set(0, 1);
+  r.Set(1, 2);
+  r.Set(2, 0);
+  BinaryRelation closure = TransitivePlus(r);
+  EXPECT_EQ(closure, BinaryRelation::Full(3));
+}
+
+TEST(TupleRelation, InsertContains) {
+  TupleRelation r(3);
+  r.Insert({0, 1, 2});
+  r.Insert({0, 1, 2});
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({0, 1, 2}));
+  EXPECT_FALSE(r.Contains({2, 1, 0}));
+}
+
+TEST(DataPath, ConcatRequiresSharedBoundary) {
+  DataPath w1{{0, 1}, {0}};
+  DataPath w2{{1, 2}, {0}};
+  DataPath w3{{5, 2}, {0}};
+  auto ok = w1.Concat(w2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().values, (std::vector<ValueId>{0, 1, 2}));
+  EXPECT_EQ(ok.value().letters, (std::vector<LabelId>{0, 0}));
+  EXPECT_FALSE(w1.Concat(w3).ok());
+}
+
+TEST(DataPath, CanonicalFormAndAutomorphism) {
+  DataPath w1{{5, 9, 5, 9}, {0, 0, 0}};
+  DataPath w2{{2, 3, 2, 3}, {0, 0, 0}};
+  DataPath w3{{2, 3, 2, 2}, {0, 0, 0}};
+  EXPECT_TRUE(w1.IsAutomorphicTo(w2));
+  EXPECT_FALSE(w1.IsAutomorphicTo(w3));
+  EXPECT_EQ(w1.CanonicalForm().values, (std::vector<ValueId>{0, 1, 0, 1}));
+}
+
+TEST(DataPath, EnumerateConnectingPaths) {
+  DataGraph g = TinyGraph();
+  NodeId u = g.FindNode("u").ValueOrDie();
+  NodeId w = g.FindNode("w").ValueOrDie();
+  // u -a-> v (-a-> v)* -b-> w; lengths 2 and 3 within bound 3.
+  auto paths = EnumerateConnectingPaths(g, u, w, 3);
+  EXPECT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.values.front(), g.DataValueOf(u));
+    EXPECT_EQ(p.values.back(), g.DataValueOf(w));
+  }
+}
+
+TEST(Generators, RandomGraphIsValidAndDeterministic) {
+  RandomGraphOptions options{.num_nodes = 12,
+                             .num_labels = 2,
+                             .num_data_values = 4,
+                             .edge_percent = 25,
+                             .seed = 42};
+  DataGraph g1 = RandomDataGraph(options);
+  DataGraph g2 = RandomDataGraph(options);
+  EXPECT_TRUE(g1.Validate().ok());
+  EXPECT_EQ(g1.NumNodes(), 12u);
+  EXPECT_EQ(g1.NumEdges(), g2.NumEdges());
+  EXPECT_EQ(WriteGraphText(g1), WriteGraphText(g2));
+}
+
+TEST(Generators, LineAndCycle) {
+  DataGraph line = LineGraph({0, 1, 0});
+  EXPECT_EQ(line.NumNodes(), 3u);
+  EXPECT_EQ(line.NumEdges(), 2u);
+  DataGraph cycle = CycleGraph({0, 1, 0});
+  EXPECT_EQ(cycle.NumEdges(), 3u);
+}
+
+TEST(Serialization, GraphRoundTrip) {
+  DataGraph g = Figure1Graph();
+  std::string text = WriteGraphText(g);
+  auto parsed = ReadGraphText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(WriteGraphText(parsed.value()), text);
+}
+
+TEST(Serialization, RelationRoundTrip) {
+  DataGraph g = Figure1Graph();
+  BinaryRelation s1 = Figure1S1(g);
+  std::string text = WriteRelationText(g, s1);
+  auto parsed = ReadRelationText(g, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value(), s1);
+}
+
+TEST(Serialization, RejectsMalformedInput) {
+  EXPECT_FALSE(ReadGraphText("node x").ok());
+  EXPECT_FALSE(ReadGraphText("edge a b c").ok());
+  EXPECT_FALSE(ReadGraphText("node x 0\nnode x 1").ok());
+  EXPECT_FALSE(ReadGraphText("bogus line here").ok());
+  DataGraph g = Figure1Graph();
+  EXPECT_FALSE(ReadRelationText(g, "pair v1 nosuch").ok());
+  EXPECT_FALSE(ReadTupleRelationText(g, "tuple v1 v2\ntuple v1 v2 v3").ok());
+}
+
+TEST(Serialization, DotOutputMentionsAllNodes) {
+  DataGraph g = TinyGraph();
+  std::string dot = WriteGraphDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"u\\n0\""), std::string::npos);
+}
+
+TEST(Figure1, MatchesPaperFacts) {
+  DataGraph g = Figure1Graph();
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.NumNodes(), 10u);
+  EXPECT_EQ(g.NumEdges(), 12u);
+  EXPECT_EQ(g.NumDataValues(), 4u);
+  Figure1Nodes n = Figure1NodeIds(g);
+  // The only data paths connecting v1 to v2 are 0a1 and 0a1a1 (Example 14).
+  auto paths = EnumerateConnectingPaths(g, n.v1, n.v2, 4);
+  ASSERT_EQ(paths.size(), 2u);
+  // w5 = 0a1a1a0 connects v1 to v3 (Example 12).
+  bool found_w5 = false;
+  for (const auto& p : EnumerateConnectingPaths(g, n.v1, n.v3, 3)) {
+    if (p.values == std::vector<ValueId>{0, 1, 1, 0}) {
+      found_w5 = true;
+    }
+  }
+  EXPECT_TRUE(found_w5);
+}
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,201 @@
+// Parser robustness: random garbage and adversarial near-miss inputs must
+// produce InvalidArgument statuses — never crashes or accepts — and every
+// valid expression the generators produce must round-trip.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/generators.h"
+#include "ree/parser.h"
+#include "regex/parser.h"
+#include "rem/parser.h"
+
+namespace gqd {
+namespace {
+
+std::string RandomGarbage(SplitMix64* rng, std::size_t length) {
+  static const char kChars[] =
+      "ab|+*()[]$.,=!~ \trT123'&#%{}";
+  std::string out;
+  for (std::size_t i = 0; i < length; i++) {
+    out += kChars[rng->NextBelow(sizeof(kChars) - 1)];
+  }
+  return out;
+}
+
+TEST(ParserRobustness, RandomGarbageNeverCrashes) {
+  SplitMix64 rng(2024);
+  int regex_accepted = 0, rem_accepted = 0, ree_accepted = 0;
+  for (int trial = 0; trial < 3000; trial++) {
+    std::string input = RandomGarbage(&rng, 1 + rng.NextBelow(24));
+    auto regex = ParseRegex(input);
+    auto rem = ParseRem(input);
+    auto ree = ParseRee(input);
+    // A parse either succeeds (and the result prints and re-parses) or
+    // fails with InvalidArgument.
+    if (regex.ok()) {
+      regex_accepted++;
+      EXPECT_TRUE(ParseRegex(RegexToString(regex.value())).ok()) << input;
+    } else {
+      EXPECT_EQ(regex.status().code(), StatusCode::kInvalidArgument);
+    }
+    if (rem.ok()) {
+      rem_accepted++;
+      EXPECT_TRUE(ParseRem(RemToString(rem.value())).ok()) << input;
+    } else {
+      EXPECT_EQ(rem.status().code(), StatusCode::kInvalidArgument);
+    }
+    if (ree.ok()) {
+      ree_accepted++;
+      EXPECT_TRUE(ParseRee(ReeToString(ree.value())).ok()) << input;
+    } else {
+      EXPECT_EQ(ree.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  // Sanity: the garbage alphabet does produce some valid expressions.
+  EXPECT_GT(regex_accepted, 0);
+  EXPECT_GT(rem_accepted, 0);
+  EXPECT_GT(ree_accepted, 0);
+}
+
+/// Random well-formed expression generators (structural fuzzing).
+RegexPtr RandomRegex(SplitMix64* rng, int depth) {
+  if (depth == 0 || rng->NextBool(1, 3)) {
+    switch (rng->NextBelow(3)) {
+      case 0:
+        return re::Epsilon();
+      case 1:
+        return re::Letter("a");
+      default:
+        return re::Letter("b");
+    }
+  }
+  switch (rng->NextBelow(4)) {
+    case 0:
+      return re::Union(
+          {RandomRegex(rng, depth - 1), RandomRegex(rng, depth - 1)});
+    case 1:
+      return re::Concat(
+          {RandomRegex(rng, depth - 1), RandomRegex(rng, depth - 1)});
+    case 2:
+      return re::Star(RandomRegex(rng, depth - 1));
+    default:
+      return re::Plus(RandomRegex(rng, depth - 1));
+  }
+}
+
+ReePtr RandomRee(SplitMix64* rng, int depth) {
+  if (depth == 0 || rng->NextBool(1, 3)) {
+    switch (rng->NextBelow(3)) {
+      case 0:
+        return ree::Epsilon();
+      case 1:
+        return ree::Letter("a");
+      default:
+        return ree::Letter("b");
+    }
+  }
+  switch (rng->NextBelow(5)) {
+    case 0:
+      return ree::Union(
+          {RandomRee(rng, depth - 1), RandomRee(rng, depth - 1)});
+    case 1:
+      return ree::Concat(
+          {RandomRee(rng, depth - 1), RandomRee(rng, depth - 1)});
+    case 2:
+      return ree::Plus(RandomRee(rng, depth - 1));
+    case 3:
+      return ree::Eq(RandomRee(rng, depth - 1));
+    default:
+      return ree::Neq(RandomRee(rng, depth - 1));
+  }
+}
+
+RemPtr RandomRem(SplitMix64* rng, int depth) {
+  if (depth == 0 || rng->NextBool(1, 3)) {
+    switch (rng->NextBelow(3)) {
+      case 0:
+        return rem::Epsilon();
+      case 1:
+        return rem::Letter("a");
+      default:
+        return rem::Letter("b");
+    }
+  }
+  switch (rng->NextBelow(6)) {
+    case 0:
+      return rem::Union(
+          {RandomRem(rng, depth - 1), RandomRem(rng, depth - 1)});
+    case 1:
+      return rem::Concat(
+          {RandomRem(rng, depth - 1), RandomRem(rng, depth - 1)});
+    case 2:
+      return rem::Plus(RandomRem(rng, depth - 1));
+    case 3:
+      return rem::Bind({rng->NextBelow(2)}, RandomRem(rng, depth - 1));
+    case 4: {
+      ConditionPtr c = rng->NextBool(1, 2)
+                           ? cond::RegisterEq(rng->NextBelow(2))
+                           : cond::RegisterNeq(rng->NextBelow(2));
+      if (rng->NextBool(1, 3)) {
+        c = cond::Not(std::move(c));
+      }
+      return rem::Test(RandomRem(rng, depth - 1), std::move(c));
+    }
+    default:
+      return rem::Concat(
+          {RandomRem(rng, depth - 1), RandomRem(rng, depth - 1)});
+  }
+}
+
+TEST(ParserRobustness, GeneratedRegexesRoundTripExactly) {
+  SplitMix64 rng(7);
+  for (int trial = 0; trial < 500; trial++) {
+    RegexPtr e = RandomRegex(&rng, 4);
+    std::string printed = RegexToString(e);
+    auto reparsed = ParseRegex(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    // Printing is a normal form: print(parse(print(e))) == print(e).
+    EXPECT_EQ(RegexToString(reparsed.value()), printed);
+  }
+}
+
+TEST(ParserRobustness, GeneratedReesRoundTripExactly) {
+  SplitMix64 rng(11);
+  for (int trial = 0; trial < 500; trial++) {
+    ReePtr e = RandomRee(&rng, 4);
+    std::string printed = ReeToString(e);
+    auto reparsed = ParseRee(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(ReeToString(reparsed.value()), printed);
+  }
+}
+
+TEST(ParserRobustness, GeneratedRemsRoundTripExactly) {
+  SplitMix64 rng(13);
+  for (int trial = 0; trial < 500; trial++) {
+    RemPtr e = RandomRem(&rng, 4);
+    std::string printed = RemToString(e);
+    auto reparsed = ParseRem(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(RemToString(reparsed.value()), printed);
+  }
+}
+
+TEST(ParserRobustness, DeepNestingParses) {
+  std::string deep;
+  for (int i = 0; i < 200; i++) {
+    deep += "(";
+  }
+  deep += "a";
+  for (int i = 0; i < 200; i++) {
+    deep += ")";
+  }
+  EXPECT_TRUE(ParseRegex(deep).ok());
+  EXPECT_TRUE(ParseRee(deep).ok());
+  EXPECT_TRUE(ParseRem(deep).ok());
+}
+
+}  // namespace
+}  // namespace gqd

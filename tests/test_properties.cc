@@ -1,0 +1,220 @@
+// Cross-cutting property sweeps: algebraic laws of the relation algebra,
+// data-path invariants, automorphism invariance (Fact 10) of all three
+// expression families, and exhaustive minterm round-trips.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/ree_eval.h"
+#include "eval/rpq_eval.h"
+#include "graph/data_path.h"
+#include "graph/generators.h"
+#include "rem/condition.h"
+#include "rem/parser.h"
+#include "rem/register_automaton.h"
+#include "ree/membership.h"
+#include "ree/parser.h"
+#include "regex/parser.h"
+
+namespace gqd {
+namespace {
+
+// --- Relation-algebra laws (Definition 26 + the claims below it) ------------
+
+class RelationAlgebra : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  BinaryRelation A() { return RandomRelation(9, 25, GetParam() * 3 + 1); }
+  BinaryRelation B() { return RandomRelation(9, 25, GetParam() * 3 + 2); }
+  BinaryRelation C() { return RandomRelation(9, 25, GetParam() * 3 + 3); }
+  DataGraph G() {
+    return RandomDataGraph({.num_nodes = 9,
+                            .num_labels = 1,
+                            .num_data_values = 3,
+                            .edge_percent = 20,
+                            .seed = GetParam()});
+  }
+};
+
+TEST_P(RelationAlgebra, UnionCommutativeAssociative) {
+  EXPECT_EQ(A() | B(), B() | A());
+  EXPECT_EQ((A() | B()) | C(), A() | (B() | C()));
+}
+
+TEST_P(RelationAlgebra, CompositionAssociative) {
+  EXPECT_EQ(A().Compose(B()).Compose(C()), A().Compose(B().Compose(C())));
+}
+
+TEST_P(RelationAlgebra, CompositionDistributesOverUnionBothSides) {
+  EXPECT_EQ((A() | B()).Compose(C()), A().Compose(C()) | B().Compose(C()));
+  EXPECT_EQ(C().Compose(A() | B()), C().Compose(A()) | C().Compose(B()));
+}
+
+TEST_P(RelationAlgebra, RestrictionsPartitionAndAreIdempotent) {
+  DataGraph g = G();
+  BinaryRelation a = A();
+  BinaryRelation eq = a.EqRestrict(g);
+  BinaryRelation neq = a.NeqRestrict(g);
+  EXPECT_EQ(eq | neq, a);
+  EXPECT_EQ(eq.EqRestrict(g), eq);  // idempotent
+  EXPECT_EQ(neq.NeqRestrict(g), neq);
+  EXPECT_TRUE(eq.NeqRestrict(g).Empty());
+  EXPECT_TRUE(neq.EqRestrict(g).Empty());
+}
+
+TEST_P(RelationAlgebra, RestrictionDistributesOverUnion) {
+  DataGraph g = G();
+  EXPECT_EQ((A() | B()).EqRestrict(g),
+            A().EqRestrict(g) | B().EqRestrict(g));
+  EXPECT_EQ((A() | B()).NeqRestrict(g),
+            A().NeqRestrict(g) | B().NeqRestrict(g));
+}
+
+TEST_P(RelationAlgebra, TransitivePlusIsIdempotentAndMonotone) {
+  BinaryRelation a = A();
+  BinaryRelation plus = TransitivePlus(a);
+  EXPECT_TRUE(a.IsSubsetOf(plus));
+  EXPECT_EQ(TransitivePlus(plus), plus);
+  EXPECT_TRUE(plus.Compose(plus).IsSubsetOf(plus));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationAlgebra,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --- Data-path invariants ----------------------------------------------------
+
+TEST(DataPathProperties, ConcatIsAssociative) {
+  DataPath w1{{0, 1}, {0}};
+  DataPath w2{{1, 2, 1}, {0, 1}};
+  DataPath w3{{1, 0}, {1}};
+  DataPath left =
+      w1.Concat(w2).ValueOrDie().Concat(w3).ValueOrDie();
+  DataPath right =
+      w1.Concat(w2.Concat(w3).ValueOrDie()).ValueOrDie();
+  EXPECT_EQ(left, right);
+}
+
+TEST(DataPathProperties, CanonicalFormIsIdempotent) {
+  SplitMix64 rng(42);
+  for (int trial = 0; trial < 50; trial++) {
+    DataPath w;
+    std::size_t len = 1 + rng.NextBelow(6);
+    w.values.push_back(static_cast<ValueId>(rng.NextBelow(5)));
+    for (std::size_t i = 1; i < len; i++) {
+      w.Append(static_cast<LabelId>(rng.NextBelow(2)),
+               static_cast<ValueId>(rng.NextBelow(5)));
+    }
+    DataPath canonical = w.CanonicalForm();
+    EXPECT_EQ(canonical.CanonicalForm(), canonical);
+    EXPECT_TRUE(w.IsAutomorphicTo(canonical));
+  }
+}
+
+TEST(DataPathProperties, AutomorphismIsEquivalenceRelation) {
+  DataPath a{{0, 1, 0}, {0, 0}};
+  DataPath b{{5, 2, 5}, {0, 0}};
+  DataPath c{{9, 3, 9}, {0, 0}};
+  DataPath different{{5, 2, 2}, {0, 0}};
+  EXPECT_TRUE(a.IsAutomorphicTo(a));
+  EXPECT_TRUE(a.IsAutomorphicTo(b));
+  EXPECT_TRUE(b.IsAutomorphicTo(a));
+  EXPECT_TRUE(a.IsAutomorphicTo(c));
+  EXPECT_TRUE(b.IsAutomorphicTo(c));  // transitivity instance
+  EXPECT_FALSE(a.IsAutomorphicTo(different));
+}
+
+// --- Fact 10: automorphism invariance across all three families --------------
+
+/// Applies a value permutation to a path.
+DataPath Permute(const DataPath& w, const std::vector<ValueId>& pi) {
+  DataPath out = w;
+  for (ValueId& v : out.values) {
+    v = pi[v];
+  }
+  return out;
+}
+
+class Fact10 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fact10, MembershipInvariantUnderValuePermutations) {
+  StringInterner labels;
+  labels.Intern("a");
+  labels.Intern("b");
+  SplitMix64 rng(GetParam());
+  // Random path over values {0,1,2}.
+  DataPath w;
+  w.values.push_back(static_cast<ValueId>(rng.NextBelow(3)));
+  std::size_t len = 2 + rng.NextBelow(4);
+  for (std::size_t i = 0; i < len; i++) {
+    w.Append(static_cast<LabelId>(rng.NextBelow(2)),
+             static_cast<ValueId>(rng.NextBelow(3)));
+  }
+  std::vector<ValueId> pi = {0, 1, 2};
+  do {
+    DataPath pw = Permute(w, pi);
+    for (const char* rem_text :
+         {"$r1. a[r1=]", "$r1. (a | b)+ [r1!=]", "$(r1,r2). a b[r2=]"}) {
+      RemPtr e = ParseRem(rem_text).ValueOrDie();
+      EXPECT_EQ(RemMatches(e, w, &labels), RemMatches(e, pw, &labels))
+          << rem_text;
+    }
+    for (const char* ree_text : {"(a)=", "((a)!= (b)!=)!=", "(a+)= b"}) {
+      ReePtr e = ParseRee(ree_text).ValueOrDie();
+      EXPECT_EQ(ReeMatches(e, w, labels), ReeMatches(e, pw, labels))
+          << ree_text;
+    }
+  } while (std::next_permutation(pi.begin(), pi.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fact10,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// --- Minterm exhaustive round-trips ------------------------------------------
+
+class MintermSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MintermSweep, FromMintermsIsRightInverseOfToMinterms) {
+  std::size_t k = GetParam();
+  std::size_t count = NumMinterms(k);
+  MintermMask full =
+      (count == 64) ? ~MintermMask{0} : ((MintermMask{1} << count) - 1);
+  for (MintermMask mask = 0; mask <= full; mask++) {
+    ConditionPtr c = ConditionFromMinterms(mask, k);
+    EXPECT_EQ(ConditionToMinterms(c, k), mask) << "k=" << k;
+    // The rendered syntax parses back to the same semantics.
+    auto reparsed = ParseCondition(ConditionToString(c));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(ConditionToMinterms(reparsed.value(), k), mask);
+    if (full == ~MintermMask{0}) {
+      break;  // avoid overflow on the k = 6 boundary (not used here)
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RegisterCounts, MintermSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+// --- Data-free expression families agree --------------------------------------
+
+TEST(DataFreeAgreement, RegexAndReeEvaluateIdentically) {
+  // On expressions without =/≠, REE semantics coincide with regex
+  // semantics; the two evaluators must produce the same relation.
+  for (std::uint64_t seed = 1; seed <= 6; seed++) {
+    DataGraph g = RandomDataGraph({.num_nodes = 8,
+                                   .num_labels = 2,
+                                   .num_data_values = 3,
+                                   .edge_percent = 20,
+                                   .seed = seed});
+    for (const char* text :
+         {"a", "a b", "(a | b)+", "a* b a*", "a+ | b+"}) {
+      BinaryRelation via_rpq =
+          EvaluateRpq(g, ParseRegex(text).ValueOrDie());
+      BinaryRelation via_ree =
+          EvaluateRee(g, ParseRee(text).ValueOrDie());
+      EXPECT_EQ(via_rpq, via_ree) << text << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gqd

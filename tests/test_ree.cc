@@ -1,0 +1,156 @@
+// Unit tests for REE: parser, printer, membership — including the paper's
+// Example 8 and the e3 expression of Example 12.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/interner.h"
+#include "graph/data_path.h"
+#include "ree/ast.h"
+#include "ree/membership.h"
+#include "ree/parser.h"
+
+namespace gqd {
+namespace {
+
+StringInterner AbLabels() {
+  StringInterner labels;
+  labels.Intern("a");
+  labels.Intern("b");
+  return labels;
+}
+
+DataPath Path(const StringInterner& labels, const std::string& text) {
+  DataPath p;
+  std::istringstream is(text);
+  std::string token;
+  bool expect_value = true;
+  while (is >> token) {
+    if (expect_value) {
+      p.values.push_back(static_cast<ValueId>(std::stoul(token)));
+    } else {
+      p.letters.push_back(*labels.Find(token));
+    }
+    expect_value = !expect_value;
+  }
+  return p;
+}
+
+TEST(ReeParser, ParsesPaperExpressions) {
+  // Example 8: ((a)≠ · (b)≠)≠
+  EXPECT_TRUE(ParseRee("((a)!= (b)!=)!=").ok());
+  // Example 12: e3 = (a · (a)= · a)=
+  EXPECT_TRUE(ParseRee("(a (a)= a)=").ok());
+}
+
+TEST(ReeParser, RejectsMalformed) {
+  EXPECT_FALSE(ParseRee("").ok());
+  EXPECT_FALSE(ParseRee("(a").ok());
+  EXPECT_FALSE(ParseRee("a !").ok());
+  EXPECT_FALSE(ParseRee("| a").ok());
+}
+
+TEST(ReePrinter, RoundTrip) {
+  StringInterner labels = AbLabels();
+  std::vector<DataPath> probes = {
+      DataPath::Unit(0),
+      Path(labels, "0 a 0"),
+      Path(labels, "0 a 1"),
+      Path(labels, "0 a 1 b 0"),
+      Path(labels, "0 a 1 b 2"),
+      Path(labels, "0 a 1 a 1 a 0"),
+  };
+  for (const char* text : {"((a)!= (b)!=)!=", "(a (a)= a)=", "a+ | b",
+                           "(a | b)= (a)=", "a* b="}) {
+    auto e1 = ParseRee(text);
+    ASSERT_TRUE(e1.ok()) << text << ": " << e1.status();
+    std::string printed = ReeToString(e1.value());
+    auto e2 = ParseRee(printed);
+    ASSERT_TRUE(e2.ok()) << text << " -> " << printed;
+    for (const DataPath& p : probes) {
+      EXPECT_EQ(ReeMatches(e1.value(), p, labels),
+                ReeMatches(e2.value(), p, labels))
+          << text << " vs " << printed;
+    }
+  }
+}
+
+TEST(ReeMembership, EpsilonAndLetter) {
+  StringInterner labels = AbLabels();
+  ReePtr eps = ParseRee("eps").ValueOrDie();
+  EXPECT_TRUE(ReeMatches(eps, DataPath::Unit(5), labels));
+  EXPECT_FALSE(ReeMatches(eps, Path(labels, "5 a 5"), labels));
+  ReePtr a = ParseRee("a").ValueOrDie();
+  EXPECT_TRUE(ReeMatches(a, Path(labels, "1 a 2"), labels));
+  EXPECT_FALSE(ReeMatches(a, Path(labels, "1 b 2"), labels));
+  EXPECT_FALSE(ReeMatches(a, DataPath::Unit(1), labels));
+}
+
+TEST(ReeMembership, EqAndNeqRestrictEndpoints) {
+  StringInterner labels = AbLabels();
+  ReePtr eq = ParseRee("(a a)=").ValueOrDie();
+  EXPECT_TRUE(ReeMatches(eq, Path(labels, "3 a 9 a 3"), labels));
+  EXPECT_FALSE(ReeMatches(eq, Path(labels, "3 a 9 a 4"), labels));
+  ReePtr neq = ParseRee("(a a)!=").ValueOrDie();
+  EXPECT_FALSE(ReeMatches(neq, Path(labels, "3 a 9 a 3"), labels));
+  EXPECT_TRUE(ReeMatches(neq, Path(labels, "3 a 9 a 4"), labels));
+}
+
+TEST(ReeMembership, Example8AllThreeDistinct) {
+  // ((a)≠ (b)≠)≠ : d1 a d2 b d3 with d1≠d2, d2≠d3, d1≠d3.
+  StringInterner labels = AbLabels();
+  ReePtr e = ParseRee("((a)!= (b)!=)!=").ValueOrDie();
+  EXPECT_TRUE(ReeMatches(e, Path(labels, "1 a 2 b 3"), labels));
+  EXPECT_FALSE(ReeMatches(e, Path(labels, "1 a 1 b 3"), labels));
+  EXPECT_FALSE(ReeMatches(e, Path(labels, "1 a 2 b 2"), labels));
+  EXPECT_FALSE(ReeMatches(e, Path(labels, "1 a 2 b 1"), labels));
+}
+
+TEST(ReeMembership, Example12E3) {
+  // e3 = (a (a)= a)= matches w5 = 0a1a1a0, rejects w6 = 3a1a1a0 and
+  // w7 = 1a2a3a1 (Example 12).
+  StringInterner labels = AbLabels();
+  ReePtr e3 = ParseRee("(a (a)= a)=").ValueOrDie();
+  EXPECT_TRUE(ReeMatches(e3, Path(labels, "0 a 1 a 1 a 0"), labels));
+  EXPECT_FALSE(ReeMatches(e3, Path(labels, "3 a 1 a 1 a 0"), labels));
+  EXPECT_FALSE(ReeMatches(e3, Path(labels, "1 a 2 a 3 a 1"), labels));
+}
+
+TEST(ReeMembership, PlusIterates) {
+  StringInterner labels = AbLabels();
+  ReePtr e = ParseRee("((a)=)+").ValueOrDie();
+  // Each a-step must repeat its start value.
+  EXPECT_TRUE(ReeMatches(e, Path(labels, "2 a 2 a 2"), labels));
+  EXPECT_FALSE(ReeMatches(e, Path(labels, "2 a 2 a 3"), labels));
+  EXPECT_FALSE(ReeMatches(e, DataPath::Unit(2), labels));
+}
+
+TEST(ReeMembership, StarSugar) {
+  StringInterner labels = AbLabels();
+  ReePtr e = ParseRee("a*").ValueOrDie();
+  EXPECT_TRUE(ReeMatches(e, DataPath::Unit(0), labels));
+  EXPECT_TRUE(ReeMatches(e, Path(labels, "0 a 1 a 2"), labels));
+  EXPECT_FALSE(ReeMatches(e, Path(labels, "0 b 1"), labels));
+}
+
+TEST(ReeMembership, AutomorphismInvariance) {
+  // Fact 10 instance: REE cannot distinguish automorphic paths.
+  StringInterner labels = AbLabels();
+  for (const char* text :
+       {"((a)!= (b)!=)!=", "(a (a)= a)=", "(a a)= | (a b)!=", "a+"}) {
+    ReePtr e = ParseRee(text).ValueOrDie();
+    DataPath w1 = Path(labels, "0 a 1 b 0 a 2");
+    DataPath w2 = Path(labels, "7 a 3 b 7 a 9");  // automorphic image
+    EXPECT_EQ(ReeMatches(e, w1, labels), ReeMatches(e, w2, labels)) << text;
+  }
+}
+
+TEST(ReeMembership, UnknownLetterMatchesNothing) {
+  StringInterner labels = AbLabels();
+  ReePtr e = ParseRee("zz").ValueOrDie();
+  EXPECT_FALSE(ReeMatches(e, Path(labels, "0 a 1"), labels));
+}
+
+}  // namespace
+}  // namespace gqd

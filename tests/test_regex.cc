@@ -1,0 +1,184 @@
+// Unit tests for the regex substrate: parser, printer, NFA, DFA.
+
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "regex/ast.h"
+#include "regex/nfa.h"
+#include "regex/parser.h"
+
+namespace gqd {
+namespace {
+
+/// Compiles `text` over alphabet {a, b, c} and returns (nfa, interner).
+struct Compiled {
+  StringInterner labels;
+  Nfa nfa;
+};
+
+Compiled Compile(const std::string& text) {
+  Compiled out;
+  out.labels.Intern("a");
+  out.labels.Intern("b");
+  out.labels.Intern("c");
+  auto regex = ParseRegex(text);
+  EXPECT_TRUE(regex.ok()) << regex.status();
+  out.nfa = CompileRegex(regex.value(), &out.labels);
+  return out;
+}
+
+std::vector<std::uint32_t> Word(const Compiled& c, const std::string& letters) {
+  std::vector<std::uint32_t> word;
+  for (char ch : letters) {
+    word.push_back(*c.labels.Find(std::string(1, ch)));
+  }
+  return word;
+}
+
+TEST(RegexParser, ParsesAtoms) {
+  EXPECT_TRUE(ParseRegex("a").ok());
+  EXPECT_TRUE(ParseRegex("eps").ok());
+  EXPECT_TRUE(ParseRegex("'$'").ok());
+  EXPECT_TRUE(ParseRegex("(a)").ok());
+}
+
+TEST(RegexParser, RejectsMalformed) {
+  EXPECT_FALSE(ParseRegex("").ok());
+  EXPECT_FALSE(ParseRegex("(a").ok());
+  EXPECT_FALSE(ParseRegex("a)").ok());
+  EXPECT_FALSE(ParseRegex("|a").ok());
+  EXPECT_FALSE(ParseRegex("*").ok());
+  EXPECT_FALSE(ParseRegex("'unterminated").ok());
+}
+
+TEST(RegexParser, PrecedenceUnionBelowConcat) {
+  auto e = ParseRegex("a b | c").ValueOrDie();
+  EXPECT_EQ(e->kind, RegexKind::kUnion);
+  auto f = ParseRegex("a (b | c)").ValueOrDie();
+  EXPECT_EQ(f->kind, RegexKind::kConcat);
+}
+
+TEST(RegexParser, PostfixBindsTightest) {
+  auto e = ParseRegex("a b*").ValueOrDie();
+  ASSERT_EQ(e->kind, RegexKind::kConcat);
+  EXPECT_EQ(e->children[1]->kind, RegexKind::kStar);
+}
+
+TEST(RegexPrinter, RoundTripsThroughParser) {
+  for (const char* text :
+       {"a", "a b", "a | b", "(a | b) c*", "a+ (b | eps)", "'$' a* '$'"}) {
+    auto e1 = ParseRegex(text).ValueOrDie();
+    auto e2 = ParseRegex(RegexToString(e1));
+    ASSERT_TRUE(e2.ok()) << text << " -> " << RegexToString(e1);
+    // Compare languages on a small alphabet via DFA equivalence.
+    StringInterner labels;
+    labels.Intern("a");
+    labels.Intern("b");
+    labels.Intern("c");
+    labels.Intern("$");
+    Nfa n1 = CompileRegex(e1, &labels);
+    Nfa n2 = CompileRegex(e2.value(), &labels);
+    EXPECT_TRUE(DfaEquivalent(Determinize(n1, labels.size()),
+                              Determinize(n2, labels.size())))
+        << text;
+  }
+}
+
+TEST(Nfa, LetterAndConcat) {
+  Compiled c = Compile("a b");
+  EXPECT_TRUE(c.nfa.Accepts(Word(c, "ab")));
+  EXPECT_FALSE(c.nfa.Accepts(Word(c, "a")));
+  EXPECT_FALSE(c.nfa.Accepts(Word(c, "ba")));
+  EXPECT_FALSE(c.nfa.Accepts(Word(c, "abb")));
+}
+
+TEST(Nfa, Union) {
+  Compiled c = Compile("a | b c");
+  EXPECT_TRUE(c.nfa.Accepts(Word(c, "a")));
+  EXPECT_TRUE(c.nfa.Accepts(Word(c, "bc")));
+  EXPECT_FALSE(c.nfa.Accepts(Word(c, "b")));
+}
+
+TEST(Nfa, StarAcceptsEmpty) {
+  Compiled c = Compile("a*");
+  EXPECT_TRUE(c.nfa.Accepts({}));
+  EXPECT_TRUE(c.nfa.Accepts(Word(c, "aaa")));
+  EXPECT_FALSE(c.nfa.Accepts(Word(c, "ab")));
+}
+
+TEST(Nfa, PlusRejectsEmpty) {
+  Compiled c = Compile("a+");
+  EXPECT_FALSE(c.nfa.Accepts({}));
+  EXPECT_TRUE(c.nfa.Accepts(Word(c, "a")));
+  EXPECT_TRUE(c.nfa.Accepts(Word(c, "aaaa")));
+}
+
+TEST(Nfa, Epsilon) {
+  Compiled c = Compile("eps");
+  EXPECT_TRUE(c.nfa.Accepts({}));
+  EXPECT_FALSE(c.nfa.Accepts(Word(c, "a")));
+}
+
+TEST(Nfa, UnknownLetterIsDead) {
+  Compiled c = Compile("z");
+  EXPECT_FALSE(c.nfa.Accepts({}));
+  EXPECT_FALSE(c.nfa.Accepts(Word(c, "a")));
+}
+
+TEST(Nfa, GadgetShapedExpression) {
+  // The Theorem 25 edge label (a | b)* c — "anything then a terminator".
+  Compiled c = Compile("(a | b)* c");
+  EXPECT_TRUE(c.nfa.Accepts(Word(c, "c")));
+  EXPECT_TRUE(c.nfa.Accepts(Word(c, "ababbac")));
+  EXPECT_FALSE(c.nfa.Accepts(Word(c, "abcb")));
+}
+
+TEST(Dfa, MatchesNfaOnEnumeratedWords) {
+  Compiled c = Compile("(a b | c)* a");
+  Dfa dfa = Determinize(c.nfa, c.labels.size());
+  // Exhaustively compare on all words of length <= 6 over {a, b, c}.
+  std::vector<std::vector<std::uint32_t>> words = {{}};
+  for (int len = 0; len < 6; len++) {
+    std::size_t start = 0, end = words.size();
+    std::vector<std::vector<std::uint32_t>> next;
+    for (std::size_t i = start; i < end; i++) {
+      if (words[i].size() != static_cast<std::size_t>(len)) {
+        continue;
+      }
+      for (std::uint32_t l = 0; l < 3; l++) {
+        auto w = words[i];
+        w.push_back(l);
+        next.push_back(w);
+      }
+    }
+    words.insert(words.end(), next.begin(), next.end());
+  }
+  for (const auto& w : words) {
+    EXPECT_EQ(c.nfa.Accepts(w), dfa.Accepts(w));
+  }
+}
+
+TEST(Dfa, EquivalenceDetectsDifference) {
+  Compiled c1 = Compile("a*");
+  Compiled c2 = Compile("a+");
+  Dfa d1 = Determinize(c1.nfa, 3);
+  Dfa d2 = Determinize(c2.nfa, 3);
+  EXPECT_FALSE(DfaEquivalent(d1, d2));
+  EXPECT_TRUE(DfaEquivalent(d1, d1));
+}
+
+TEST(ReBuilders, AnyOfBuildsUnion) {
+  RegexPtr e = re::AnyOf({"a", "b", "c"});
+  StringInterner labels;
+  labels.Intern("a");
+  labels.Intern("b");
+  labels.Intern("c");
+  Nfa nfa = CompileRegex(e, &labels);
+  for (std::uint32_t l = 0; l < 3; l++) {
+    EXPECT_TRUE(nfa.Accepts({l}));
+  }
+  EXPECT_FALSE(nfa.Accepts({0, 1}));
+}
+
+}  // namespace
+}  // namespace gqd

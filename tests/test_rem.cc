@@ -1,0 +1,270 @@
+// Unit tests for REM: conditions, parser, printer, register automata,
+// the Lemma-15 path expression, and the paper's Example 6.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/interner.h"
+#include "graph/data_path.h"
+#include "rem/ast.h"
+#include "rem/condition.h"
+#include "rem/parser.h"
+#include "rem/register_automaton.h"
+
+namespace gqd {
+namespace {
+
+StringInterner AbLabels() {
+  StringInterner labels;
+  labels.Intern("a");
+  labels.Intern("b");
+  return labels;
+}
+
+/// Builds a data path from strings like "0 a 1 b 0" (values are numbers,
+/// letters resolve against `labels`).
+DataPath Path(const StringInterner& labels, const std::string& text) {
+  DataPath p;
+  std::istringstream is(text);
+  std::string token;
+  bool expect_value = true;
+  while (is >> token) {
+    if (expect_value) {
+      p.values.push_back(static_cast<ValueId>(std::stoul(token)));
+    } else {
+      p.letters.push_back(*labels.Find(token));
+    }
+    expect_value = !expect_value;
+  }
+  return p;
+}
+
+TEST(Condition, Satisfaction) {
+  // τ = (5, ⊥)
+  RegisterAssignment tau = {5, kEmptyRegister};
+  EXPECT_TRUE(ConditionSatisfied(cond::True(), 9, tau));
+  EXPECT_TRUE(ConditionSatisfied(cond::RegisterEq(0), 5, tau));
+  EXPECT_FALSE(ConditionSatisfied(cond::RegisterEq(0), 9, tau));
+  // ⊥ differs from every value (Definition 3).
+  EXPECT_TRUE(ConditionSatisfied(cond::RegisterNeq(1), 5, tau));
+  EXPECT_FALSE(ConditionSatisfied(cond::RegisterEq(1), 5, tau));
+  EXPECT_TRUE(ConditionSatisfied(
+      cond::And(cond::RegisterEq(0), cond::RegisterNeq(1)), 5, tau));
+  EXPECT_TRUE(ConditionSatisfied(
+      cond::Or(cond::RegisterEq(0), cond::RegisterEq(1)), 5, tau));
+  EXPECT_FALSE(ConditionSatisfied(cond::Not(cond::True()), 5, tau));
+}
+
+TEST(Condition, ParseAndPrintRoundTrip) {
+  for (const char* text :
+       {"T", "r1=", "r2!=", "r1= & r2!=", "r1= | ~(r2= & r3!=)", "~T"}) {
+    auto c1 = ParseCondition(text);
+    ASSERT_TRUE(c1.ok()) << c1.status();
+    auto c2 = ParseCondition(ConditionToString(c1.value()));
+    ASSERT_TRUE(c2.ok());
+    std::size_t k = std::max<std::size_t>(
+        ConditionNumRegisters(c1.value()), 1);
+    EXPECT_EQ(ConditionToMinterms(c1.value(), k),
+              ConditionToMinterms(c2.value(), k))
+        << text;
+  }
+}
+
+TEST(Condition, MintermRoundTrip) {
+  // Every minterm set over k=2 registers converts to an AST and back.
+  for (MintermMask mask = 0; mask < 16; mask++) {
+    ConditionPtr c = ConditionFromMinterms(mask, 2);
+    EXPECT_EQ(ConditionToMinterms(c, 2), mask) << "mask=" << mask;
+  }
+}
+
+TEST(Condition, MintermsOfAtoms) {
+  // Over k=1: patterns are {0 (r1 != d), 1 (r1 = d)}.
+  EXPECT_EQ(ConditionToMinterms(cond::RegisterEq(0), 1), MintermMask{0b10});
+  EXPECT_EQ(ConditionToMinterms(cond::RegisterNeq(0), 1), MintermMask{0b01});
+  EXPECT_EQ(ConditionToMinterms(cond::True(), 1), MintermMask{0b11});
+  EXPECT_EQ(ConditionToMinterms(cond::False(), 1), MintermMask{0b00});
+}
+
+TEST(Condition, EqualityPattern) {
+  RegisterAssignment tau = {7, kEmptyRegister, 3};
+  EXPECT_EQ(EqualityPattern(7, tau), 0b001u);
+  EXPECT_EQ(EqualityPattern(3, tau), 0b100u);
+  EXPECT_EQ(EqualityPattern(9, tau), 0b000u);
+}
+
+TEST(RemParser, ParsesExample6) {
+  // Example 6: ↓r1 · a · [r1=], written here as `$r1. a[r1=]`.
+  auto e = ParseRem("$r1. a[r1=]");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ(RemNumRegisters(e.value()), 1u);
+  auto f = ParseRem("$r1. a $r2. b a[r1=] b[r2!=]");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(RemNumRegisters(f.value()), 2u);
+}
+
+TEST(RemParser, MultiRegisterBind) {
+  auto e = ParseRem("$(r1,r3). a");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ(RemNumRegisters(e.value()), 3u);
+}
+
+TEST(RemParser, RejectsMalformed) {
+  EXPECT_FALSE(ParseRem("").ok());
+  EXPECT_FALSE(ParseRem("$x. a").ok());
+  EXPECT_FALSE(ParseRem("$r0. a").ok());
+  EXPECT_FALSE(ParseRem("a[r1]").ok());
+  EXPECT_FALSE(ParseRem("a[r1=").ok());
+  EXPECT_FALSE(ParseRem("$r1 a").ok());
+  EXPECT_FALSE(ParseRem("(a").ok());
+}
+
+TEST(RemPrinter, RoundTrip) {
+  StringInterner labels = AbLabels();
+  std::vector<DataPath> probes = {
+      Path(labels, "0 a 0"),     Path(labels, "0 a 1"),
+      Path(labels, "0 a 1 a 0"), Path(labels, "0 a 1 b 1"),
+      Path(labels, "0 a 0 a 0 a 0"), Path(labels, "1 a 2 b 3 a 2 b 3"),
+  };
+  for (const char* text :
+       {"$r1. a[r1=]", "$r1. a $r2. b a[r1=] b[r2!=]", "a | b+",
+        "($r1. a[r1=]) | b", "$(r1,r2). (a | b)[r1= & r2=]",
+        "a ($r1. b[r1!=])"}) {
+    auto e1 = ParseRem(text);
+    ASSERT_TRUE(e1.ok()) << text << ": " << e1.status();
+    std::string printed = RemToString(e1.value());
+    auto e2 = ParseRem(printed);
+    ASSERT_TRUE(e2.ok()) << text << " -> " << printed;
+    for (const DataPath& p : probes) {
+      EXPECT_EQ(RemMatches(e1.value(), p, &labels),
+                RemMatches(e2.value(), p, &labels))
+          << text << " vs " << printed;
+    }
+  }
+}
+
+TEST(RegisterAutomaton, Example6FirstExpression) {
+  // L(↓r1·a·[r1=]) = { d a d }.
+  StringInterner labels = AbLabels();
+  RemPtr e = ParseRem("$r1. a[r1=]").ValueOrDie();
+  EXPECT_TRUE(RemMatches(e, Path(labels, "4 a 4"), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "4 a 5"), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "4 b 4"), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "4 a 4 a 4"), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "4"), &labels));
+}
+
+TEST(RegisterAutomaton, Example6SecondExpression) {
+  // L(↓r1·a·↓r2·b·a[r1=]·b[r2≠]) = { d1 a d2 b d3 a d4 b d5 :
+  //                                   d1 = d4, d2 ≠ d5 }.
+  StringInterner labels = AbLabels();
+  RemPtr e = ParseRem("$r1. a $r2. b a[r1=] b[r2!=]").ValueOrDie();
+  EXPECT_TRUE(RemMatches(e, Path(labels, "1 a 2 b 3 a 1 b 5"), &labels));
+  EXPECT_TRUE(RemMatches(e, Path(labels, "1 a 2 b 1 a 1 b 3"), &labels));
+  // d1 != d4:
+  EXPECT_FALSE(RemMatches(e, Path(labels, "1 a 2 b 3 a 9 b 5"), &labels));
+  // d2 == d5:
+  EXPECT_FALSE(RemMatches(e, Path(labels, "1 a 2 b 3 a 1 b 2"), &labels));
+}
+
+TEST(RegisterAutomaton, EpsilonMatchesSingleValueOnly) {
+  StringInterner labels = AbLabels();
+  RemPtr e = ParseRem("eps").ValueOrDie();
+  EXPECT_TRUE(RemMatches(e, DataPath::Unit(3), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "3 a 3"), &labels));
+}
+
+TEST(RegisterAutomaton, PlusIteratesWithSharedBoundary) {
+  // ($r1. a[r1=])+ : every a-step repeats its own start value: d a d a d...
+  StringInterner labels = AbLabels();
+  RemPtr e = ParseRem("($r1. a[r1=])+").ValueOrDie();
+  EXPECT_TRUE(RemMatches(e, Path(labels, "2 a 2"), &labels));
+  EXPECT_TRUE(RemMatches(e, Path(labels, "2 a 2 a 2"), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "2 a 2 a 3"), &labels));
+  EXPECT_FALSE(RemMatches(e, DataPath::Unit(2), &labels));
+}
+
+TEST(RegisterAutomaton, StarSugarAcceptsUnit) {
+  StringInterner labels = AbLabels();
+  RemPtr e = ParseRem("($r1. a[r1=])*").ValueOrDie();
+  EXPECT_TRUE(RemMatches(e, DataPath::Unit(2), &labels));
+  EXPECT_TRUE(RemMatches(e, Path(labels, "2 a 2"), &labels));
+}
+
+TEST(RegisterAutomaton, RegisterPersistsAcrossConcat) {
+  // ($r1. a) b[r1=] — the register bound in the left factor is visible in
+  // the right factor. This is exactly what REE cannot express.
+  StringInterner labels = AbLabels();
+  RemPtr e = ParseRem("$r1. a b[r1=]").ValueOrDie();
+  EXPECT_TRUE(RemMatches(e, Path(labels, "7 a 8 b 7"), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "7 a 8 b 8"), &labels));
+}
+
+TEST(RegisterAutomaton, FreshValueConditionUsesBottomSemantics) {
+  // a[r1!=] with r1 never bound: ⊥ ≠ d always holds, so any a-step works.
+  StringInterner labels = AbLabels();
+  RemPtr e = ParseRem("a[r1!=]").ValueOrDie();
+  EXPECT_TRUE(RemMatches(e, Path(labels, "0 a 1"), &labels));
+  EXPECT_TRUE(RemMatches(e, Path(labels, "0 a 0"), &labels));
+  // a[r1=] with r1 never bound is unsatisfiable.
+  RemPtr f = ParseRem("a[r1=]").ValueOrDie();
+  EXPECT_FALSE(RemMatches(f, Path(labels, "0 a 0"), &labels));
+}
+
+TEST(BuildPathRem, LanguageIsAutomorphismClass) {
+  StringInterner labels = AbLabels();
+  DataPath w = Path(labels, "0 a 1 b 0 a 2");
+  RemPtr e = BuildPathRem(w, labels);
+  // w itself and automorphic copies match.
+  EXPECT_TRUE(RemMatches(e, w, &labels));
+  EXPECT_TRUE(RemMatches(e, Path(labels, "5 a 9 b 5 a 7"), &labels));
+  // Non-automorphic variants do not.
+  EXPECT_FALSE(RemMatches(e, Path(labels, "5 a 9 b 5 a 5"), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "5 a 9 b 9 a 7"), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "5 a 9 b 5 a 9"), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "5 a 9 a 5 a 7"), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "5 a 9 b 5"), &labels));
+}
+
+TEST(BuildPathRem, ExhaustiveAutomorphismCheck) {
+  // Property check (Lemma 15): over all data paths with values in {0,1,2}
+  // and letters a/b of length 3, membership in L(e[w]) coincides with
+  // automorphism to w.
+  StringInterner labels = AbLabels();
+  DataPath w = Path(labels, "0 a 1 a 1 b 2");
+  RemPtr e = BuildPathRem(w, labels);
+  for (ValueId d0 = 0; d0 < 3; d0++) {
+    for (ValueId d1 = 0; d1 < 3; d1++) {
+      for (ValueId d2 = 0; d2 < 3; d2++) {
+        for (ValueId d3 = 0; d3 < 3; d3++) {
+          for (LabelId l0 = 0; l0 < 2; l0++) {
+            for (LabelId l1 = 0; l1 < 2; l1++) {
+              for (LabelId l2 = 0; l2 < 2; l2++) {
+                DataPath candidate{{d0, d1, d2, d3}, {l0, l1, l2}};
+                EXPECT_EQ(RemMatches(e, candidate, &labels),
+                          candidate.IsAutomorphicTo(w));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BuildPathRem, UnitPath) {
+  StringInterner labels = AbLabels();
+  RemPtr e = BuildPathRem(DataPath::Unit(7), labels);
+  EXPECT_TRUE(RemMatches(e, DataPath::Unit(0), &labels));
+  EXPECT_FALSE(RemMatches(e, Path(labels, "0 a 0"), &labels));
+}
+
+TEST(RemNumRegisters, CountsConditionsAndBinds) {
+  EXPECT_EQ(RemNumRegisters(ParseRem("a").ValueOrDie()), 0u);
+  EXPECT_EQ(RemNumRegisters(ParseRem("a[r3=]").ValueOrDie()), 3u);
+  EXPECT_EQ(RemNumRegisters(ParseRem("$r2. a").ValueOrDie()), 2u);
+}
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,178 @@
+// Tests for graph-relative query simplification (Discussion §6).
+
+#include <gtest/gtest.h>
+
+#include "eval/ree_eval.h"
+#include "eval/rpq_eval.h"
+#include "graph/examples.h"
+#include "graph/generators.h"
+#include "ree/parser.h"
+#include "regex/parser.h"
+#include "synthesis/simplify.h"
+#include "synthesis/synthesis.h"
+
+namespace gqd {
+namespace {
+
+TEST(NormalizeRee, FlattensAndDeduplicates) {
+  ReePtr e = ParseRee("(a | (a | b)) | b").ValueOrDie();
+  ReePtr n = NormalizeRee(e);
+  EXPECT_EQ(ReeToString(n), "a | b");
+}
+
+TEST(NormalizeRee, DropsEpsilonInConcat) {
+  ReePtr e = ParseRee("eps a eps b eps").ValueOrDie();
+  EXPECT_EQ(ReeToString(NormalizeRee(e)), "a b");
+}
+
+TEST(NormalizeRee, CollapsesNestedRestrictions) {
+  EXPECT_EQ(ReeToString(NormalizeRee(ParseRee("((a b)=)=").ValueOrDie())),
+            "(a b)=");
+  EXPECT_EQ(ReeToString(NormalizeRee(ParseRee("((a)=)!=").ValueOrDie())),
+            "eps!=");  // (e=)≠ = ∅
+  EXPECT_EQ(ReeToString(NormalizeRee(ParseRee("((a)!=)=").ValueOrDie())),
+            "eps!=");  // (e≠)= = ∅
+  EXPECT_EQ(ReeToString(NormalizeRee(ParseRee("((a)!=)!=").ValueOrDie())),
+            "a!=");
+}
+
+TEST(NormalizeRee, EmptyAnnihilatesConcatAndDropsFromUnion) {
+  EXPECT_EQ(ReeToString(NormalizeRee(
+                ParseRee("a (eps)!= b").ValueOrDie())),
+            "eps!=");
+  EXPECT_EQ(ReeToString(NormalizeRee(
+                ParseRee("a | (eps)!=").ValueOrDie())),
+            "a");
+}
+
+TEST(NormalizeRee, PlusIdempotent) {
+  EXPECT_EQ(ReeToString(NormalizeRee(ParseRee("(a+)+").ValueOrDie())),
+            "a+");
+  EXPECT_EQ(ReeToString(NormalizeRee(ParseRee("eps+").ValueOrDie())),
+            "eps");
+}
+
+TEST(NormalizeRee, PreservesLanguageOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 6; seed++) {
+    DataGraph g = RandomDataGraph({.num_nodes = 6,
+                                   .num_labels = 2,
+                                   .num_data_values = 2,
+                                   .edge_percent = 25,
+                                   .seed = seed});
+    for (const char* text :
+         {"(a | (a | b))", "eps a", "((a)=)=", "a ((b)=)!=",
+          "(a b a b)= | eps+", "(a | b) eps (a | b)"}) {
+      ReePtr e = ParseRee(text).ValueOrDie();
+      EXPECT_EQ(EvaluateRee(g, e), EvaluateRee(g, NormalizeRee(e)))
+          << text << " seed " << seed;
+    }
+  }
+}
+
+TEST(NormalizeRegex, StarPlusInteraction) {
+  EXPECT_EQ(RegexToString(NormalizeRegex(ParseRegex("(a+)+").ValueOrDie())),
+            "a+");
+  EXPECT_EQ(RegexToString(NormalizeRegex(ParseRegex("(a*)+").ValueOrDie())),
+            "a*");
+  EXPECT_EQ(RegexToString(NormalizeRegex(ParseRegex("(a+)*").ValueOrDie())),
+            "a*");
+}
+
+TEST(SimplifyRee, RediscoversMovieLinkPlus) {
+  // The schema-mapping scenario: the synthesized union of =-restricted
+  // friend-powers must simplify to (friend⁺)=.
+  DataGraph g;
+  g.AddLabel("friend");
+  for (const char* movie : {"Alien", "Brazil", "Casablanca"}) {
+    g.AddDataValue(movie);
+  }
+  NodeId ann = g.AddNodeWithValue("Alien", "ann");
+  NodeId bob = g.AddNodeWithValue("Brazil", "bob");
+  NodeId cam = g.AddNodeWithValue("Alien", "cam");
+  NodeId dee = g.AddNodeWithValue("Casablanca", "dee");
+  NodeId eve = g.AddNodeWithValue("Brazil", "eve");
+  g.AddEdgeByName(ann, "friend", bob);
+  g.AddEdgeByName(bob, "friend", cam);
+  g.AddEdgeByName(cam, "friend", dee);
+  g.AddEdgeByName(dee, "friend", eve);
+
+  BinaryRelation movie_link =
+      EvaluateRee(g, ParseRee("(friend+)=").ValueOrDie());
+  ASSERT_GE(movie_link.Count(), 2u);  // ann→cam (Alien), bob→eve (Brazil)
+
+  auto synthesized = SynthesizeReeQuery(g, movie_link);
+  ASSERT_TRUE(synthesized.ok());
+  ASSERT_TRUE(synthesized.value().has_value());
+  auto simplified = SimplifyReeOnGraph(g, *synthesized.value(), movie_link);
+  ASSERT_TRUE(simplified.ok()) << simplified.status();
+  EXPECT_EQ(ReeToString(simplified.value()), "(friend+)=")
+      << "from " << ReeToString(*synthesized.value());
+  EXPECT_EQ(EvaluateRee(g, simplified.value()), movie_link);
+}
+
+TEST(SimplifyRee, LeavesNonGeneralizableQueriesAlone) {
+  DataGraph g = Figure1Graph();
+  BinaryRelation s3 = Figure1S3(g);
+  ReePtr e = ParseRee("(a (a)= a)=").ValueOrDie();
+  auto simplified = SimplifyReeOnGraph(g, e, s3);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_EQ(EvaluateRee(g, simplified.value()), s3);
+  // No shorter generalization exists; the query survives unchanged.
+  EXPECT_EQ(ReeToString(simplified.value()), "(a a= a)=");
+}
+
+TEST(SimplifyRee, RejectsMismatchedRelation) {
+  DataGraph g = Figure1Graph();
+  ReePtr e = ParseRee("a").ValueOrDie();
+  BinaryRelation wrong(g.NumNodes());  // not the evaluation of `a`
+  auto simplified = SimplifyReeOnGraph(g, e, wrong);
+  EXPECT_FALSE(simplified.ok());
+}
+
+TEST(SimplifyRegex, UnionOfPowersBecomesPlus) {
+  // A 4-cycle where every node reaches every node by a-paths of length
+  // 1..4: the relation of a | aa | aaa | aaaa equals the relation of a+.
+  DataGraph g = CycleGraph({0, 0, 0, 0});
+  RegexPtr e = ParseRegex("a | a a | a a a | a a a a").ValueOrDie();
+  BinaryRelation s = EvaluateRpq(g, e);
+  auto simplified = SimplifyRegexOnGraph(g, e, s);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_EQ(RegexToString(simplified.value()), "a+");
+  EXPECT_EQ(EvaluateRpq(g, simplified.value()), s);
+}
+
+TEST(SimplifyRegex, KeepsUnionWhenPlusOvershoots) {
+  // On a 5-node line, a | aa reaches strictly less than a+; the rewrite
+  // must be rejected by verification.
+  DataGraph g = LineGraph({0, 0, 0, 0, 0});
+  RegexPtr e = ParseRegex("a | a a").ValueOrDie();
+  BinaryRelation s = EvaluateRpq(g, e);
+  auto simplified = SimplifyRegexOnGraph(g, e, s);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_EQ(EvaluateRpq(g, simplified.value()), s);
+  EXPECT_NE(RegexToString(simplified.value()), "a+");
+}
+
+TEST(SimplifyRee, VerifiedOnRandomSynthesizedQueries) {
+  // End to end: synthesize a defining REE for a definable relation, then
+  // simplify; the result must still define the relation exactly.
+  for (std::uint64_t seed = 1; seed <= 8; seed++) {
+    DataGraph g = RandomDataGraph({.num_nodes = 4,
+                                   .num_labels = 2,
+                                   .num_data_values = 2,
+                                   .edge_percent = 30,
+                                   .seed = seed});
+    BinaryRelation s = EvaluateRee(g, ParseRee("(a+)=").ValueOrDie());
+    auto synthesized = SynthesizeReeQuery(g, s);
+    ASSERT_TRUE(synthesized.ok());
+    ASSERT_TRUE(synthesized.value().has_value());
+    auto simplified = SimplifyReeOnGraph(g, *synthesized.value(), s);
+    ASSERT_TRUE(simplified.ok()) << simplified.status();
+    EXPECT_EQ(EvaluateRee(g, simplified.value()), s) << "seed " << seed;
+    EXPECT_LE(ReeToString(simplified.value()).size(),
+              ReeToString(*synthesized.value()).size());
+  }
+}
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,103 @@
+// Tests for the packed 64-bit relation representation used by the REE
+// definability fast path: every operation must agree with BinaryRelation.
+
+#include <gtest/gtest.h>
+
+#include "definability/ree_definability.h"
+#include "definability/small_relation.h"
+#include "graph/generators.h"
+
+namespace gqd {
+namespace {
+
+DataGraph SmallGraph(std::uint64_t seed, std::size_t n = 7) {
+  return RandomDataGraph({.num_nodes = n,
+                          .num_labels = 2,
+                          .num_data_values = 3,
+                          .edge_percent = 30,
+                          .seed = seed});
+}
+
+TEST(SmallRelation, PackUnpackRoundTrip) {
+  DataGraph g = SmallGraph(1);
+  SmallRelationSpace space(g);
+  for (std::uint64_t seed = 1; seed <= 20; seed++) {
+    BinaryRelation r = RandomRelation(g.NumNodes(), 30, seed);
+    EXPECT_EQ(space.Unpack(space.Pack(r)), r);
+  }
+}
+
+TEST(SmallRelation, IdentityAndLabels) {
+  DataGraph g = SmallGraph(2);
+  SmallRelationSpace space(g);
+  EXPECT_EQ(space.Unpack(space.Identity()),
+            BinaryRelation::Identity(g.NumNodes()));
+  for (LabelId a = 0; a < g.NumLabels(); a++) {
+    EXPECT_EQ(space.Unpack(space.FromLabel(a)),
+              BinaryRelation::FromEdges(g, a));
+  }
+  EXPECT_EQ(space.Unpack(space.Empty()), BinaryRelation(g.NumNodes()));
+}
+
+class SmallRelationAgreement
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmallRelationAgreement, ComposeMatchesBinaryRelation) {
+  DataGraph g = SmallGraph(GetParam());
+  SmallRelationSpace space(g);
+  BinaryRelation a = RandomRelation(g.NumNodes(), 25, GetParam() * 2 + 1);
+  BinaryRelation b = RandomRelation(g.NumNodes(), 25, GetParam() * 2 + 2);
+  EXPECT_EQ(space.Unpack(space.Compose(space.Pack(a), space.Pack(b))),
+            a.Compose(b));
+}
+
+TEST_P(SmallRelationAgreement, RestrictionsMatchBinaryRelation) {
+  DataGraph g = SmallGraph(GetParam());
+  SmallRelationSpace space(g);
+  BinaryRelation a = RandomRelation(g.NumNodes(), 35, GetParam() * 5 + 3);
+  EXPECT_EQ(space.Unpack(space.EqRestrict(space.Pack(a))),
+            a.EqRestrict(g));
+  EXPECT_EQ(space.Unpack(space.NeqRestrict(space.Pack(a))),
+            a.NeqRestrict(g));
+}
+
+TEST_P(SmallRelationAgreement, SubsetMatchesBinaryRelation) {
+  DataGraph g = SmallGraph(GetParam());
+  SmallRelationSpace space(g);
+  BinaryRelation a = RandomRelation(g.NumNodes(), 20, GetParam() * 7 + 1);
+  BinaryRelation b = RandomRelation(g.NumNodes(), 50, GetParam() * 7 + 2);
+  EXPECT_EQ(space.IsSubsetOf(space.Pack(a), space.Pack(b)),
+            a.IsSubsetOf(b));
+  BinaryRelation superset = a;
+  superset.UnionWith(b);
+  EXPECT_TRUE(space.IsSubsetOf(space.Pack(a), space.Pack(superset)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallRelationAgreement,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(SmallRelation, EightNodeBoundary) {
+  // n = 8 uses all 64 bits; masks must not overflow.
+  DataGraph g = SmallGraph(9, 8);
+  SmallRelationSpace space(g);
+  BinaryRelation full = BinaryRelation::Full(8);
+  EXPECT_EQ(space.Unpack(space.Pack(full)), full);
+  EXPECT_EQ(space.Unpack(space.Compose(space.Pack(full), space.Pack(full))),
+            full.Compose(full));
+}
+
+TEST(SmallRelation, ReeCheckerAgreesAcrossRepresentations) {
+  // n = 9 forces the BinaryRelation path; an isomorphic-by-construction
+  // n = 8 instance uses the packed path. Rather than comparing across
+  // different graphs, verify the checker's verdicts on an 8-node graph
+  // against independently computed definable relations.
+  DataGraph g = LineGraph({0, 1, 0, 1, 2, 0, 2, 1});  // 8 nodes, acyclic
+  BinaryRelation definable =
+      BinaryRelation::FromEdges(g, 0).EqRestrict(g);  // S_{(a)=}
+  auto result = CheckReeDefinability(g, definable);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().verdict, DefinabilityVerdict::kDefinable);
+}
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,45 @@
+// Compile-and-touch test for the umbrella header: `#include "gqd.h"` must
+// pull in every public module, and one symbol from each must link.
+
+#include "gqd.h"
+
+#include <gtest/gtest.h>
+
+namespace gqd {
+namespace {
+
+TEST(Umbrella, OneSymbolFromEveryModuleLinks) {
+  // common
+  Status status = Status::OK();
+  EXPECT_TRUE(status.ok());
+  DynamicBitset bits(8);
+  bits.Set(3);
+  StringInterner interner;
+  interner.Intern("x");
+  // graph
+  DataGraph g = Figure1Graph();
+  BinaryRelation s1 = Figure1S1(g);
+  EXPECT_EQ(s1.Count(), 10u);
+  // regex / rem / ree
+  EXPECT_TRUE(ParseRegex("a a a").ok());
+  EXPECT_TRUE(ParseRem("$r1. a[r1=]").ok());
+  EXPECT_TRUE(ParseRee("(a)=").ok());
+  // eval
+  EXPECT_EQ(EvaluateRpq(g, ParseRegex("a a a").ValueOrDie()), s1);
+  // homomorphism
+  EXPECT_TRUE(Reachability(g).Test(0, 0));
+  // definability
+  auto check = CheckRpqDefinability(g, s1);
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check.value().verdict, DefinabilityVerdict::kDefinable);
+  // reductions
+  CnfFormula f;
+  f.num_variables = 1;
+  f.clauses = {{1, 1, 1}};
+  EXPECT_TRUE(BuildSatReduction(f).ok());
+  // synthesis
+  EXPECT_TRUE(SynthesizeRpqQuery(g, s1).ok());
+}
+
+}  // namespace
+}  // namespace gqd

@@ -1,0 +1,355 @@
+// gqd — the command-line interface to the library.
+//
+//   gqd eval <graph> <regex|rem|ree> <expression> [--explain <u> <v>]
+//   gqd check <graph> <relation> [--language all|rpq|rem|ree|ucrdpq] [--k N]
+//   gqd synth <graph> <relation> --language rpq|rem|ree [--k N] [--simplify]
+//   gqd convert <regex|ree> <expression>        # embed into REM
+//   gqd info <graph> [--dot]
+//
+// Graph files use the `node`/`edge` text format, relation files the `pair`
+// format (see graph/serialization.h and examples/data/).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gqd.h"
+
+namespace {
+
+using namespace gqd;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  gqd eval <graph> <regex|rem|ree> <expression> [--explain u v]\n"
+      "  gqd check <graph> <relation> [--language all|rpq|rem|ree|ucrdpq]"
+      " [--k N]\n"
+      "  gqd synth <graph> <relation> --language rpq|rem|ree [--k N]"
+      " [--simplify]\n"
+      "  gqd convert <regex|ree> <expression>\n"
+      "  gqd info <graph> [--dot]\n");
+  return 2;
+}
+
+Result<DataGraph> LoadGraph(const char* path) {
+  GQD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ReadGraphText(text);
+}
+
+Result<BinaryRelation> LoadRelation(const DataGraph& graph,
+                                    const char* path) {
+  GQD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ReadRelationText(graph, text);
+}
+
+/// Finds `--flag value` in argv; returns nullptr when absent.
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; i++) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int CmdEval(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  auto graph = LoadGraph(argv[0]);
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  std::string language = argv[1];
+  std::string text = argv[2];
+  BinaryRelation result(graph.value().NumNodes());
+  if (language == "regex") {
+    auto e = ParseRegex(text);
+    if (!e.ok()) {
+      return Fail(e.status());
+    }
+    result = EvaluateRpq(graph.value(), e.value());
+  } else if (language == "rem") {
+    auto e = ParseRem(text);
+    if (!e.ok()) {
+      return Fail(e.status());
+    }
+    result = EvaluateRem(graph.value(), e.value());
+  } else if (language == "ree") {
+    auto e = ParseRee(text);
+    if (!e.ok()) {
+      return Fail(e.status());
+    }
+    result = EvaluateRee(graph.value(), e.value());
+  } else {
+    return Usage();
+  }
+  std::printf("%s\n", result.ToString(graph.value()).c_str());
+
+  const char* explain_at = FlagValue(argc - 3, argv + 3, "--explain");
+  if (explain_at != nullptr) {
+    // --explain u v: the two node names follow the flag.
+    int index = -1;
+    for (int i = 3; i < argc; i++) {
+      if (std::strcmp(argv[i], "--explain") == 0) {
+        index = i;
+        break;
+      }
+    }
+    if (index < 0 || index + 2 >= argc) {
+      return Usage();
+    }
+    auto u = graph.value().FindNode(argv[index + 1]);
+    auto v = graph.value().FindNode(argv[index + 2]);
+    if (!u.ok()) {
+      return Fail(u.status());
+    }
+    if (!v.ok()) {
+      return Fail(v.status());
+    }
+    std::optional<ExplainedPath> witness;
+    if (language == "regex") {
+      witness = ExplainRpqPair(graph.value(),
+                               ParseRegex(text).ValueOrDie(), u.value(),
+                               v.value());
+    } else if (language == "rem") {
+      witness = ExplainRemPair(graph.value(), ParseRem(text).ValueOrDie(),
+                               u.value(), v.value());
+    } else {
+      witness = ExplainReePair(graph.value(), ParseRee(text).ValueOrDie(),
+                               u.value(), v.value());
+    }
+    if (!witness.has_value()) {
+      std::printf("(%s, %s): not in the result\n", argv[index + 1],
+                  argv[index + 2]);
+    } else {
+      std::printf("(%s, %s) via nodes:", argv[index + 1], argv[index + 2]);
+      for (NodeId node : witness->nodes) {
+        std::printf(" %s", graph.value().NodeName(node).c_str());
+      }
+      std::printf("\n              data path: %s\n",
+                  witness->data_path.ToString(graph.value()).c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdCheck(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  auto graph = LoadGraph(argv[0]);
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  auto relation = LoadRelation(graph.value(), argv[1]);
+  if (!relation.ok()) {
+    return Fail(relation.status());
+  }
+  const char* language_flag = FlagValue(argc, argv, "--language");
+  std::string language = language_flag != nullptr ? language_flag : "all";
+  const char* k_flag = FlagValue(argc, argv, "--k");
+  std::size_t k = k_flag != nullptr ? std::strtoul(k_flag, nullptr, 10) : 2;
+
+  auto print = [](const char* name, DefinabilityVerdict verdict) {
+    std::printf("%-10s %s\n", name, DefinabilityVerdictToString(verdict));
+  };
+  if (language == "all" || language == "rpq") {
+    auto r = CheckRpqDefinability(graph.value(), relation.value());
+    if (!r.ok()) {
+      return Fail(r.status());
+    }
+    print("rpq", r.value().verdict);
+  }
+  if (language == "all" || language == "rem") {
+    auto r = CheckKRemDefinability(graph.value(), relation.value(), k);
+    if (!r.ok()) {
+      return Fail(r.status());
+    }
+    std::printf("rem(k=%zu) %s\n", k,
+                DefinabilityVerdictToString(r.value().verdict));
+  }
+  if (language == "all" || language == "ree") {
+    auto r = CheckReeDefinability(graph.value(), relation.value());
+    if (!r.ok()) {
+      return Fail(r.status());
+    }
+    print("ree", r.value().verdict);
+  }
+  if (language == "all" || language == "ucrdpq") {
+    auto r = CheckUcrdpqDefinability(graph.value(), relation.value());
+    if (!r.ok()) {
+      return Fail(r.status());
+    }
+    print("ucrdpq", r.value().verdict);
+  }
+  return 0;
+}
+
+int CmdSynth(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  auto graph = LoadGraph(argv[0]);
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  auto relation = LoadRelation(graph.value(), argv[1]);
+  if (!relation.ok()) {
+    return Fail(relation.status());
+  }
+  const char* language_flag = FlagValue(argc, argv, "--language");
+  if (language_flag == nullptr) {
+    return Usage();
+  }
+  std::string language = language_flag;
+  const char* k_flag = FlagValue(argc, argv, "--k");
+  std::size_t k = k_flag != nullptr ? std::strtoul(k_flag, nullptr, 10) : 2;
+  bool simplify = HasFlag(argc, argv, "--simplify");
+
+  if (language == "rpq") {
+    auto q = SynthesizeRpqQuery(graph.value(), relation.value());
+    if (!q.ok()) {
+      return Fail(q.status());
+    }
+    if (!q.value().has_value()) {
+      std::printf("not definable\n");
+      return 3;
+    }
+    RegexPtr e = *q.value();
+    if (simplify) {
+      auto s = SimplifyRegexOnGraph(graph.value(), e, relation.value());
+      if (s.ok()) {
+        e = s.value();
+      }
+    }
+    std::printf("%s\n", RegexToString(e).c_str());
+    return 0;
+  }
+  if (language == "rem") {
+    auto q = SynthesizeKRemQuery(graph.value(), relation.value(), k);
+    if (!q.ok()) {
+      return Fail(q.status());
+    }
+    if (!q.value().has_value()) {
+      std::printf("not definable with %zu registers\n", k);
+      return 3;
+    }
+    std::printf("%s\n", RemToString(*q.value()).c_str());
+    return 0;
+  }
+  if (language == "ree") {
+    auto q = SynthesizeReeQuery(graph.value(), relation.value());
+    if (!q.ok()) {
+      return Fail(q.status());
+    }
+    if (!q.value().has_value()) {
+      std::printf("not definable\n");
+      return 3;
+    }
+    ReePtr e = *q.value();
+    if (simplify) {
+      auto s = SimplifyReeOnGraph(graph.value(), e, relation.value());
+      if (s.ok()) {
+        e = s.value();
+      }
+    }
+    std::printf("%s\n", ReeToString(e).c_str());
+    return 0;
+  }
+  return Usage();
+}
+
+int CmdConvert(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string language = argv[0];
+  if (language == "regex") {
+    auto e = ParseRegex(argv[1]);
+    if (!e.ok()) {
+      return Fail(e.status());
+    }
+    std::printf("%s\n", RemToString(RegexToRem(e.value())).c_str());
+    return 0;
+  }
+  if (language == "ree") {
+    auto e = ParseRee(argv[1]);
+    if (!e.ok()) {
+      return Fail(e.status());
+    }
+    RemPtr rem = ReeToRem(e.value());
+    std::printf("%s\n", RemToString(rem).c_str());
+    std::fprintf(stderr, "registers: %zu\n", RemNumRegisters(rem));
+    return 0;
+  }
+  return Usage();
+}
+
+int CmdInfo(int argc, char** argv) {
+  if (argc < 1) {
+    return Usage();
+  }
+  auto graph = LoadGraph(argv[0]);
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  if (HasFlag(argc, argv, "--dot")) {
+    std::printf("%s", WriteGraphDot(graph.value()).c_str());
+    return 0;
+  }
+  const DataGraph& g = graph.value();
+  std::printf("nodes: %zu\nedges: %zu\nalphabet (%zu):", g.NumNodes(),
+              g.NumEdges(), g.NumLabels());
+  for (const std::string& name : g.labels().names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\ndata values (δ = %zu):", g.NumDataValues());
+  for (const std::string& name : g.data_values().names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  if (command == "eval") {
+    return CmdEval(argc - 2, argv + 2);
+  }
+  if (command == "check") {
+    return CmdCheck(argc - 2, argv + 2);
+  }
+  if (command == "synth") {
+    return CmdSynth(argc - 2, argv + 2);
+  }
+  if (command == "convert") {
+    return CmdConvert(argc - 2, argv + 2);
+  }
+  if (command == "info") {
+    return CmdInfo(argc - 2, argv + 2);
+  }
+  return Usage();
+}
