@@ -1,0 +1,85 @@
+#include "analysis/condition_analysis.h"
+
+namespace gqd {
+
+namespace {
+
+MintermMask FullMask(std::size_t k) {
+  std::size_t count = NumMinterms(k);
+  return count == 64 ? ~MintermMask{0} : ((MintermMask{1} << count) - 1);
+}
+
+/// Recursive dead-branch walk. Reports a child of ∨ whose minterm set is
+/// empty (the disjunct can never fire) and a child of ∧ whose minterm set is
+/// full (the conjunct never filters anything).
+void FindDeadBranches(const ConditionPtr& condition, std::size_t k,
+                      const std::string& context,
+                      std::vector<Diagnostic>* diagnostics) {
+  if (condition->kind != ConditionKind::kAnd &&
+      condition->kind != ConditionKind::kOr &&
+      condition->kind != ConditionKind::kNot) {
+    return;
+  }
+  MintermMask full = FullMask(k);
+  for (const ConditionPtr& child : condition->children) {
+    MintermMask child_mask = ConditionToMinterms(child, k);
+    if (condition->kind == ConditionKind::kOr && child_mask == 0) {
+      diagnostics->push_back(Diagnostic{
+          DiagnosticSeverity::kWarning, "GQD-COND-002",
+          "disjunct `" + ConditionToString(child) +
+              "` is unsatisfiable; the branch is dead",
+          context});
+    }
+    if (condition->kind == ConditionKind::kAnd && child_mask == full) {
+      diagnostics->push_back(Diagnostic{
+          DiagnosticSeverity::kWarning, "GQD-COND-002",
+          "conjunct `" + ConditionToString(child) +
+              "` is a tautology; the branch filters nothing",
+          context});
+    }
+    FindDeadBranches(child, k, context, diagnostics);
+  }
+}
+
+void WalkTests(const RemPtr& node, std::vector<Diagnostic>* diagnostics) {
+  if (node->kind == RemKind::kCondition) {
+    AnalyzeCondition(node->condition, RemToString(node), diagnostics);
+  }
+  for (const RemPtr& child : node->children) {
+    WalkTests(child, diagnostics);
+  }
+}
+
+}  // namespace
+
+void AnalyzeCondition(const ConditionPtr& condition,
+                      const std::string& context,
+                      std::vector<Diagnostic>* diagnostics) {
+  std::size_t k = ConditionNumRegisters(condition);
+  if (k > kMaxAnalyzableRegisters) {
+    return;  // wider than the minterm machinery supports
+  }
+  MintermMask mask = ConditionToMinterms(condition, k);
+  if (mask == 0) {
+    diagnostics->push_back(Diagnostic{
+        DiagnosticSeverity::kError, "GQD-COND-001",
+        "condition `" + ConditionToString(condition) +
+            "` is unsatisfiable; the enclosing test matches nothing",
+        context});
+  } else if (mask == FullMask(k) && condition->kind != ConditionKind::kTrue) {
+    diagnostics->push_back(Diagnostic{
+        DiagnosticSeverity::kNote, "GQD-COND-003",
+        "condition `" + ConditionToString(condition) +
+            "` is a tautology; the test can be dropped (write T if the "
+            "emphasis is intended)",
+        context});
+  }
+  FindDeadBranches(condition, k, context, diagnostics);
+}
+
+void RunConditionAnalysisPass(const RemPtr& expression,
+                              std::vector<Diagnostic>* diagnostics) {
+  WalkTests(expression, diagnostics);
+}
+
+}  // namespace gqd

@@ -1,0 +1,45 @@
+// Condition analysis for C_k conditions (GQD-COND-001/-002/-003).
+//
+// A condition over k registers denotes a set of minterms (rem/condition.h):
+// equality patterns b ∈ {0,1}^k with b_i = "τ_i equals the current value".
+// Compiling a condition to its minterm mask decides satisfiability exactly:
+//   * empty mask      → the condition (and hence the enclosing e[c] test) is
+//                       unsatisfiable — GQD-COND-001, error;
+//   * a disjunct with empty mask, or a conjunct with full mask, contributes
+//     nothing — GQD-COND-002, warning (dead branch);
+//   * full mask on a condition not literally ⊤ — GQD-COND-003, note
+//     (tautology written non-trivially).
+//
+// Conditions mentioning more than kMaxAnalyzableRegisters (6) registers are
+// skipped — the minterm machinery itself caps k at 6 (MintermMask is 64-bit).
+
+#ifndef GQD_ANALYSIS_CONDITION_ANALYSIS_H_
+#define GQD_ANALYSIS_CONDITION_ANALYSIS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "rem/ast.h"
+#include "rem/condition.h"
+
+namespace gqd {
+
+/// The widest condition (registers mentioned) the minterm analysis covers.
+inline constexpr std::size_t kMaxAnalyzableRegisters = 6;
+
+/// Analyzes one condition; `context` is the pretty-printed enclosing test
+/// (used as the diagnostics' subexpression anchor). No-op when the condition
+/// mentions more than kMaxAnalyzableRegisters registers.
+void AnalyzeCondition(const ConditionPtr& condition,
+                      const std::string& context,
+                      std::vector<Diagnostic>* diagnostics);
+
+/// The pass: analyzes the condition of every e[c] node in `expression`.
+void RunConditionAnalysisPass(const RemPtr& expression,
+                              std::vector<Diagnostic>* diagnostics);
+
+}  // namespace gqd
+
+#endif  // GQD_ANALYSIS_CONDITION_ANALYSIS_H_

@@ -1,0 +1,143 @@
+#include "analysis/diagnostic.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gqd {
+
+const char* DiagnosticSeverityToString(DiagnosticSeverity severity) {
+  switch (severity) {
+    case DiagnosticSeverity::kError:
+      return "error";
+    case DiagnosticSeverity::kWarning:
+      return "warning";
+    case DiagnosticSeverity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagnosticSeverity::kError) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t CountSeverity(const std::vector<Diagnostic>& diagnostics,
+                          DiagnosticSeverity severity) {
+  std::size_t count = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) {
+      count++;
+    }
+  }
+  return count;
+}
+
+std::string DiagnosticsToText(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diagnostics) {
+    out << DiagnosticSeverityToString(d.severity) << " " << d.code << ": "
+        << d.message << "\n";
+    if (!d.subexpression.empty()) {
+      out << "    in: " << d.subexpression << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream out;
+  out << "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics.size(); i++) {
+    const Diagnostic& d = diagnostics[i];
+    if (i > 0) {
+      out << ",";
+    }
+    out << "{\"severity\":\"" << DiagnosticSeverityToString(d.severity)
+        << "\",\"code\":\"" << JsonEscape(d.code) << "\",\"message\":\""
+        << JsonEscape(d.message) << "\",\"subexpression\":\""
+        << JsonEscape(d.subexpression) << "\"}";
+  }
+  out << "],\"errors\":" << CountSeverity(diagnostics,
+                                          DiagnosticSeverity::kError)
+      << ",\"warnings\":"
+      << CountSeverity(diagnostics, DiagnosticSeverity::kWarning)
+      << ",\"notes\":" << CountSeverity(diagnostics, DiagnosticSeverity::kNote)
+      << "}";
+  return out.str();
+}
+
+const std::vector<DiagnosticCodeInfo>& AllDiagnosticCodes() {
+  static const std::vector<DiagnosticCodeInfo> kCodes = {
+      {"GQD-PARSE-001", DiagnosticSeverity::kError,
+       "expression failed to parse"},
+      {"GQD-REG-001", DiagnosticSeverity::kError,
+       "register equality test before any possible store (constantly false)"},
+      {"GQD-REG-002", DiagnosticSeverity::kWarning,
+       "register inequality test before any possible store (constantly "
+       "true)"},
+      {"GQD-REG-003", DiagnosticSeverity::kWarning,
+       "register stored but never read by any condition"},
+      {"GQD-COND-001", DiagnosticSeverity::kError,
+       "unsatisfiable condition (empty minterm set)"},
+      {"GQD-COND-002", DiagnosticSeverity::kWarning,
+       "dead branch inside a condition (unsatisfiable disjunct or "
+       "tautological conjunct)"},
+      {"GQD-COND-003", DiagnosticSeverity::kNote,
+       "condition is a tautology written non-trivially"},
+      {"GQD-AUT-001", DiagnosticSeverity::kWarning,
+       "unreachable register-automaton states"},
+      {"GQD-AUT-002", DiagnosticSeverity::kWarning,
+       "dead (non-coaccessible) register-automaton states"},
+      {"GQD-AUT-003", DiagnosticSeverity::kError,
+       "subexpression has a provably empty language"},
+      {"GQD-AUT-004", DiagnosticSeverity::kNote,
+       "redundant epsilon/star nesting or duplicate union branch"},
+      {"GQD-GRF-001", DiagnosticSeverity::kError,
+       "edge label does not occur in the target graph's alphabet"},
+      {"GQD-GRF-002", DiagnosticSeverity::kWarning,
+       "more registers than the graph has data values (Lemma 23: extra "
+       "registers are useless)"},
+  };
+  return kCodes;
+}
+
+}  // namespace gqd

@@ -1,0 +1,72 @@
+// Diagnostics for the query static-analysis subsystem.
+//
+// A Diagnostic is one finding of a lint pass (analysis/pass_manager.h):
+// a severity, a stable machine-readable code like "GQD-REG-001", a
+// human-readable message, and — when the finding anchors to a specific
+// subexpression — that subexpression pretty-printed in concrete syntax.
+//
+// Codes are stable across releases and documented in docs/analysis.md with
+// their paper grounding; AllDiagnosticCodes() is the in-code registry the
+// docs and tests cross-check against.
+
+#ifndef GQD_ANALYSIS_DIAGNOSTIC_H_
+#define GQD_ANALYSIS_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gqd {
+
+enum class DiagnosticSeverity {
+  kError,    ///< The query provably contains vacuous/dead structure.
+  kWarning,  ///< Suspicious structure (semantically constant, or useless).
+  kNote,     ///< Style-level redundancy; rewriting would simplify the query.
+};
+
+/// "error", "warning" or "note".
+const char* DiagnosticSeverityToString(DiagnosticSeverity severity);
+
+/// One lint finding.
+struct Diagnostic {
+  DiagnosticSeverity severity = DiagnosticSeverity::kWarning;
+  std::string code;           ///< Stable code, e.g. "GQD-REG-001".
+  std::string message;        ///< Human-readable explanation.
+  std::string subexpression;  ///< Offending subexpression, "" when n/a.
+
+  bool operator==(const Diagnostic& other) const = default;
+};
+
+/// True iff any diagnostic has error severity.
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+
+/// Number of diagnostics at exactly `severity`.
+std::size_t CountSeverity(const std::vector<Diagnostic>& diagnostics,
+                          DiagnosticSeverity severity);
+
+/// Compiler-style text rendering:
+///   error GQD-REG-001: register r1 is read ... [newline]
+///       in: $r1. a [r1=]
+std::string DiagnosticsToText(const std::vector<Diagnostic>& diagnostics);
+
+/// JSON rendering:
+///   {"diagnostics":[{"severity":"error","code":...,"message":...,
+///    "subexpression":...}],"errors":N,"warnings":N,"notes":N}
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& text);
+
+/// Registry entry for one stable diagnostic code.
+struct DiagnosticCodeInfo {
+  const char* code;
+  DiagnosticSeverity severity;
+  const char* summary;
+};
+
+/// All diagnostic codes the passes can emit, in code order.
+const std::vector<DiagnosticCodeInfo>& AllDiagnosticCodes();
+
+}  // namespace gqd
+
+#endif  // GQD_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,73 @@
+#include "analysis/graph_checks.h"
+
+#include <set>
+#include <string>
+
+namespace gqd {
+
+namespace {
+
+/// Collects the distinct letter names of an AST, generic over the families
+/// (all three expose `kind` plus a letter kind, `letter`, and `children`).
+template <typename Ptr, typename Kind>
+void CollectLetters(const Ptr& node, Kind letter_kind,
+                    std::set<std::string>* out) {
+  if (node->kind == letter_kind) {
+    out->insert(node->letter);
+  }
+  for (const Ptr& child : node->children) {
+    CollectLetters(child, letter_kind, out);
+  }
+}
+
+void ReportMissingLetters(const std::set<std::string>& letters,
+                          const DataGraph& graph,
+                          std::vector<Diagnostic>* diagnostics) {
+  for (const std::string& letter : letters) {
+    if (!graph.labels().Find(letter).has_value()) {
+      diagnostics->push_back(Diagnostic{
+          DiagnosticSeverity::kError, "GQD-GRF-001",
+          "letter `" + letter +
+              "` does not occur in the graph's alphabet; the atom matches "
+              "no edge",
+          letter});
+    }
+  }
+}
+
+}  // namespace
+
+void RunRemGraphChecksPass(const RemPtr& expression, const DataGraph& graph,
+                           std::vector<Diagnostic>* diagnostics) {
+  std::set<std::string> letters;
+  CollectLetters(expression, RemKind::kLetter, &letters);
+  ReportMissingLetters(letters, graph, diagnostics);
+  std::size_t k = RemNumRegisters(expression);
+  std::size_t delta = graph.NumDataValues();
+  if (k > delta) {
+    diagnostics->push_back(Diagnostic{
+        DiagnosticSeverity::kWarning, "GQD-GRF-002",
+        "expression uses " + std::to_string(k) +
+            " registers but the graph has only " + std::to_string(delta) +
+            " distinct data values; by Lemma 23 at most " +
+            std::to_string(delta) + " registers are useful here",
+        ""});
+  }
+}
+
+void RunReeGraphChecksPass(const ReePtr& expression, const DataGraph& graph,
+                           std::vector<Diagnostic>* diagnostics) {
+  std::set<std::string> letters;
+  CollectLetters(expression, ReeKind::kLetter, &letters);
+  ReportMissingLetters(letters, graph, diagnostics);
+}
+
+void RunRegexGraphChecksPass(const RegexPtr& expression,
+                             const DataGraph& graph,
+                             std::vector<Diagnostic>* diagnostics) {
+  std::set<std::string> letters;
+  CollectLetters(expression, RegexKind::kLetter, &letters);
+  ReportMissingLetters(letters, graph, diagnostics);
+}
+
+}  // namespace gqd

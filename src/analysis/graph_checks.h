@@ -1,0 +1,35 @@
+// Graph-relative checks (GQD-GRF-001/-002).
+//
+// A query is evaluated against a concrete data graph G = (V, E, ρ) over a
+// finite alphabet Σ and data values with δ distinct classes:
+//   * a letter of the expression outside Σ labels no edge of G, so the atom
+//     matches nothing — GQD-GRF-001, error (the classic silently-vacuous
+//     query this subsystem exists to catch);
+//   * an REM using k > δ registers cannot distinguish more than δ values —
+//     by Lemma 23 the extra registers are provably useless on G —
+//     GQD-GRF-002, warning.
+
+#ifndef GQD_ANALYSIS_GRAPH_CHECKS_H_
+#define GQD_ANALYSIS_GRAPH_CHECKS_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "graph/data_graph.h"
+#include "regex/ast.h"
+#include "rem/ast.h"
+#include "ree/ast.h"
+
+namespace gqd {
+
+void RunRemGraphChecksPass(const RemPtr& expression, const DataGraph& graph,
+                           std::vector<Diagnostic>* diagnostics);
+void RunReeGraphChecksPass(const ReePtr& expression, const DataGraph& graph,
+                           std::vector<Diagnostic>* diagnostics);
+void RunRegexGraphChecksPass(const RegexPtr& expression,
+                             const DataGraph& graph,
+                             std::vector<Diagnostic>* diagnostics);
+
+}  // namespace gqd
+
+#endif  // GQD_ANALYSIS_GRAPH_CHECKS_H_

@@ -1,0 +1,518 @@
+#include "analysis/hygiene.h"
+
+#include <set>
+#include <string>
+
+#include "analysis/condition_analysis.h"
+#include "rem/condition.h"
+
+namespace gqd {
+
+namespace {
+
+bool LetterMissing(const std::string& letter, const DataGraph* graph) {
+  return graph != nullptr && !graph->labels().Find(letter).has_value();
+}
+
+bool ConditionUnsatisfiable(const ConditionPtr& condition) {
+  std::size_t k = ConditionNumRegisters(condition);
+  if (k > kMaxAnalyzableRegisters) {
+    return false;  // too wide to decide; assume satisfiable
+  }
+  return ConditionToMinterms(condition, k) == 0;
+}
+
+// --- REE first/last-value invariants ---------------------------------------
+//
+// Data-path concatenation shares the boundary value (w·d·w'), so a
+// concatenation of subpaths each having first = last is itself first = last;
+// no such closure holds for first ≠ last. The predicates are vacuously true
+// on empty languages, which keeps the mutual recursion monotone.
+
+bool ReeEmpty(const ReePtr& node, const DataGraph* graph);
+
+/// Every data path of L(e) has first value = last value.
+bool ReeAlwaysEq(const ReePtr& node, const DataGraph* graph) {
+  switch (node->kind) {
+    case ReeKind::kEpsilon:
+      return true;
+    case ReeKind::kLetter:
+      return LetterMissing(node->letter, graph);  // vacuous when empty
+    case ReeKind::kUnion:
+    case ReeKind::kConcat: {
+      for (const ReePtr& child : node->children) {
+        if (!ReeAlwaysEq(child, graph)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ReeKind::kPlus:
+      return ReeAlwaysEq(node->children[0], graph);
+    case ReeKind::kEq:
+      return true;
+    case ReeKind::kNeq:
+      return ReeEmpty(node, graph);
+  }
+  return false;
+}
+
+/// Every data path of L(e) has first value ≠ last value.
+bool ReeAlwaysNeq(const ReePtr& node, const DataGraph* graph) {
+  switch (node->kind) {
+    case ReeKind::kEpsilon:
+      return false;  // the one-value path has first = last
+    case ReeKind::kLetter:
+      return LetterMissing(node->letter, graph);  // vacuous when empty
+    case ReeKind::kUnion: {
+      for (const ReePtr& child : node->children) {
+        if (!ReeAlwaysNeq(child, graph)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ReeKind::kConcat:
+    case ReeKind::kPlus:
+      // Inequality does not compose across shared boundaries; only vacuous.
+      return ReeEmpty(node, graph);
+    case ReeKind::kEq:
+      return ReeEmpty(node, graph);
+    case ReeKind::kNeq:
+      return true;
+  }
+  return false;
+}
+
+bool ReeEmpty(const ReePtr& node, const DataGraph* graph) {
+  switch (node->kind) {
+    case ReeKind::kEpsilon:
+      return false;
+    case ReeKind::kLetter:
+      return LetterMissing(node->letter, graph);
+    case ReeKind::kUnion: {
+      for (const ReePtr& child : node->children) {
+        if (!ReeEmpty(child, graph)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ReeKind::kConcat: {
+      for (const ReePtr& child : node->children) {
+        if (ReeEmpty(child, graph)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case ReeKind::kPlus:
+      return ReeEmpty(node->children[0], graph);
+    case ReeKind::kEq:
+      return ReeEmpty(node->children[0], graph) ||
+             ReeAlwaysNeq(node->children[0], graph);
+    case ReeKind::kNeq:
+      return ReeEmpty(node->children[0], graph) ||
+             ReeAlwaysEq(node->children[0], graph);
+  }
+  return false;
+}
+
+bool RemEmpty(const RemPtr& node, const DataGraph* graph) {
+  switch (node->kind) {
+    case RemKind::kEpsilon:
+      return false;
+    case RemKind::kLetter:
+      return LetterMissing(node->letter, graph);
+    case RemKind::kUnion: {
+      for (const RemPtr& child : node->children) {
+        if (!RemEmpty(child, graph)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case RemKind::kConcat: {
+      for (const RemPtr& child : node->children) {
+        if (RemEmpty(child, graph)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case RemKind::kPlus:
+    case RemKind::kBind:
+      return RemEmpty(node->children[0], graph);
+    case RemKind::kCondition:
+      return RemEmpty(node->children[0], graph) ||
+             ConditionUnsatisfiable(node->condition);
+  }
+  return false;
+}
+
+bool RegexEmpty(const RegexPtr& node, const DataGraph* graph) {
+  switch (node->kind) {
+    case RegexKind::kEpsilon:
+      return false;
+    case RegexKind::kLetter:
+      return LetterMissing(node->letter, graph);
+    case RegexKind::kUnion: {
+      for (const RegexPtr& child : node->children) {
+        if (!RegexEmpty(child, graph)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case RegexKind::kConcat: {
+      for (const RegexPtr& child : node->children) {
+        if (RegexEmpty(child, graph)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case RegexKind::kStar:
+      return false;  // always contains ε
+    case RegexKind::kPlus:
+      return RegexEmpty(node->children[0], graph);
+  }
+  return false;
+}
+
+void EmptyDiagnostic(const std::string& printed,
+                     std::vector<Diagnostic>* diagnostics) {
+  diagnostics->push_back(Diagnostic{
+      DiagnosticSeverity::kError, "GQD-AUT-003",
+      "subexpression has a provably empty language; it matches no data path",
+      printed});
+}
+
+/// Reports the topmost empty subexpressions of a tree, generic over the
+/// three AST families via the per-family emptiness predicate.
+template <typename Ptr, typename EmptyFn, typename PrintFn>
+void ReportTopmostEmpty(const Ptr& node, const EmptyFn& empty,
+                        const PrintFn& print,
+                        std::vector<Diagnostic>* diagnostics) {
+  if (empty(node)) {
+    EmptyDiagnostic(print(node), diagnostics);
+    return;
+  }
+  for (const Ptr& child : node->children) {
+    ReportTopmostEmpty(child, empty, print, diagnostics);
+  }
+}
+
+void Redundancy(const std::string& what, const std::string& printed,
+                std::vector<Diagnostic>* diagnostics) {
+  diagnostics->push_back(Diagnostic{DiagnosticSeverity::kNote, "GQD-AUT-004",
+                                    what, printed});
+}
+
+/// A desugared star: ε | e⁺ (rem::Star / ree::Star emit exactly this shape).
+template <typename Node, typename Kind>
+bool IsStarShape(const std::shared_ptr<const Node>& node, Kind epsilon,
+                 Kind union_kind, Kind plus) {
+  if (node->kind != union_kind || node->children.size() != 2) {
+    return false;
+  }
+  const auto& a = node->children[0];
+  const auto& b = node->children[1];
+  return (a->kind == epsilon && b->kind == plus) ||
+         (b->kind == epsilon && a->kind == plus);
+}
+
+template <typename Ptr, typename PrintFn>
+void ReportDuplicateUnionBranches(const Ptr& node, const PrintFn& print,
+                                  std::vector<Diagnostic>* diagnostics) {
+  std::set<std::string> seen;
+  for (const Ptr& child : node->children) {
+    std::string printed = print(child);
+    if (!seen.insert(printed).second) {
+      Redundancy("duplicate union branch `" + printed + "`", print(node),
+                 diagnostics);
+    }
+  }
+}
+
+void RemRedundancy(const RemPtr& node, std::vector<Diagnostic>* diagnostics) {
+  auto star_shape = [](const RemPtr& n) {
+    return IsStarShape(n, RemKind::kEpsilon, RemKind::kUnion, RemKind::kPlus);
+  };
+  switch (node->kind) {
+    case RemKind::kPlus: {
+      const RemPtr& body = node->children[0];
+      if (body->kind == RemKind::kPlus) {
+        Redundancy("nested e++ is equivalent to e+", RemToString(node),
+                   diagnostics);
+      } else if (star_shape(body)) {
+        Redundancy("(e*)+ is equivalent to e*", RemToString(node),
+                   diagnostics);
+      } else if (body->kind == RemKind::kEpsilon) {
+        Redundancy("eps+ is equivalent to eps", RemToString(node),
+                   diagnostics);
+      }
+      break;
+    }
+    case RemKind::kConcat: {
+      for (const RemPtr& child : node->children) {
+        if (child->kind == RemKind::kEpsilon) {
+          Redundancy("eps unit inside a concatenation can be dropped",
+                     RemToString(node), diagnostics);
+          break;
+        }
+      }
+      break;
+    }
+    case RemKind::kUnion:
+      ReportDuplicateUnionBranches(node, RemToString, diagnostics);
+      break;
+    case RemKind::kCondition:
+      if (node->condition != nullptr &&
+          node->condition->kind == ConditionKind::kTrue) {
+        Redundancy("[T] test is a no-op", RemToString(node), diagnostics);
+      }
+      break;
+    case RemKind::kBind:
+      if (node->registers.empty()) {
+        Redundancy("bind with no registers is a no-op", RemToString(node),
+                   diagnostics);
+      }
+      break;
+    default:
+      break;
+  }
+  for (const RemPtr& child : node->children) {
+    RemRedundancy(child, diagnostics);
+  }
+}
+
+void ReeRedundancy(const ReePtr& node, std::vector<Diagnostic>* diagnostics) {
+  auto star_shape = [](const ReePtr& n) {
+    return IsStarShape(n, ReeKind::kEpsilon, ReeKind::kUnion, ReeKind::kPlus);
+  };
+  switch (node->kind) {
+    case ReeKind::kPlus: {
+      const ReePtr& body = node->children[0];
+      if (body->kind == ReeKind::kPlus) {
+        Redundancy("nested e++ is equivalent to e+", ReeToString(node),
+                   diagnostics);
+      } else if (star_shape(body)) {
+        Redundancy("(e*)+ is equivalent to e*", ReeToString(node),
+                   diagnostics);
+      } else if (body->kind == ReeKind::kEpsilon) {
+        Redundancy("eps+ is equivalent to eps", ReeToString(node),
+                   diagnostics);
+      }
+      break;
+    }
+    case ReeKind::kConcat: {
+      for (const ReePtr& child : node->children) {
+        if (child->kind == ReeKind::kEpsilon) {
+          Redundancy("eps unit inside a concatenation can be dropped",
+                     ReeToString(node), diagnostics);
+          break;
+        }
+      }
+      break;
+    }
+    case ReeKind::kUnion:
+      ReportDuplicateUnionBranches(node, ReeToString, diagnostics);
+      break;
+    case ReeKind::kEq:
+      if (node->children[0]->kind == ReeKind::kEq) {
+        Redundancy("(e=)= is equivalent to e=", ReeToString(node),
+                   diagnostics);
+      }
+      break;
+    case ReeKind::kNeq:
+      if (node->children[0]->kind == ReeKind::kNeq) {
+        Redundancy("(e!=)!= is equivalent to e!=", ReeToString(node),
+                   diagnostics);
+      }
+      break;
+    default:
+      break;
+  }
+  for (const ReePtr& child : node->children) {
+    ReeRedundancy(child, diagnostics);
+  }
+}
+
+void RegexRedundancy(const RegexPtr& node,
+                     std::vector<Diagnostic>* diagnostics) {
+  switch (node->kind) {
+    case RegexKind::kStar:
+    case RegexKind::kPlus: {
+      const RegexPtr& body = node->children[0];
+      bool outer_star = node->kind == RegexKind::kStar;
+      if (body->kind == RegexKind::kStar || body->kind == RegexKind::kPlus) {
+        bool inner_star = body->kind == RegexKind::kStar;
+        if (outer_star || inner_star) {
+          Redundancy("nested repetition collapses to a single star",
+                     RegexToString(node), diagnostics);
+        } else {
+          Redundancy("nested e++ is equivalent to e+", RegexToString(node),
+                     diagnostics);
+        }
+      } else if (body->kind == RegexKind::kEpsilon) {
+        Redundancy("repetition of eps is equivalent to eps",
+                   RegexToString(node), diagnostics);
+      }
+      break;
+    }
+    case RegexKind::kConcat: {
+      for (const RegexPtr& child : node->children) {
+        if (child->kind == RegexKind::kEpsilon) {
+          Redundancy("eps unit inside a concatenation can be dropped",
+                     RegexToString(node), diagnostics);
+          break;
+        }
+      }
+      break;
+    }
+    case RegexKind::kUnion:
+      ReportDuplicateUnionBranches(node, RegexToString, diagnostics);
+      break;
+    default:
+      break;
+  }
+  for (const RegexPtr& child : node->children) {
+    RegexRedundancy(child, diagnostics);
+  }
+}
+
+/// Forward reachability over every transition kind, ignoring condition
+/// satisfiability. `forward == false` walks edges backwards from `from`.
+std::vector<bool> Reach(const RegisterAutomaton& ra, RaState from,
+                        bool forward) {
+  std::vector<std::vector<RaState>> adjacency(ra.num_states);
+  for (RaState s = 0; s < ra.num_states; s++) {
+    auto add = [&](RaState to) {
+      if (forward) {
+        adjacency[s].push_back(to);
+      } else {
+        adjacency[to].push_back(s);
+      }
+    };
+    for (const auto& e : ra.store_edges[s]) {
+      add(e.to);
+    }
+    for (const auto& e : ra.check_edges[s]) {
+      add(e.to);
+    }
+    for (const auto& e : ra.letter_edges[s]) {
+      add(e.to);
+    }
+  }
+  std::vector<bool> seen(ra.num_states, false);
+  std::vector<RaState> stack = {from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    RaState s = stack.back();
+    stack.pop_back();
+    for (RaState t : adjacency[s]) {
+      if (!seen[t]) {
+        seen[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+std::string StateList(const std::vector<RaState>& states) {
+  std::string out;
+  for (std::size_t i = 0; i < states.size(); i++) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(states[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool RemDefinitelyEmpty(const RemPtr& expression, const DataGraph* graph) {
+  return RemEmpty(expression, graph);
+}
+
+bool ReeDefinitelyEmpty(const ReePtr& expression, const DataGraph* graph) {
+  return ReeEmpty(expression, graph);
+}
+
+bool RegexDefinitelyEmpty(const RegexPtr& expression, const DataGraph* graph) {
+  return RegexEmpty(expression, graph);
+}
+
+void RunRemEmptinessPass(const RemPtr& expression, const DataGraph* graph,
+                         std::vector<Diagnostic>* diagnostics) {
+  ReportTopmostEmpty(
+      expression, [&](const RemPtr& n) { return RemEmpty(n, graph); },
+      [](const RemPtr& n) { return RemToString(n); }, diagnostics);
+}
+
+void RunReeEmptinessPass(const ReePtr& expression, const DataGraph* graph,
+                         std::vector<Diagnostic>* diagnostics) {
+  ReportTopmostEmpty(
+      expression, [&](const ReePtr& n) { return ReeEmpty(n, graph); },
+      [](const ReePtr& n) { return ReeToString(n); }, diagnostics);
+}
+
+void RunRegexEmptinessPass(const RegexPtr& expression, const DataGraph* graph,
+                           std::vector<Diagnostic>* diagnostics) {
+  ReportTopmostEmpty(
+      expression, [&](const RegexPtr& n) { return RegexEmpty(n, graph); },
+      [](const RegexPtr& n) { return RegexToString(n); }, diagnostics);
+}
+
+void RunRemRedundancyPass(const RemPtr& expression,
+                          std::vector<Diagnostic>* diagnostics) {
+  RemRedundancy(expression, diagnostics);
+}
+
+void RunReeRedundancyPass(const ReePtr& expression,
+                          std::vector<Diagnostic>* diagnostics) {
+  ReeRedundancy(expression, diagnostics);
+}
+
+void RunRegexRedundancyPass(const RegexPtr& expression,
+                            std::vector<Diagnostic>* diagnostics) {
+  RegexRedundancy(expression, diagnostics);
+}
+
+void RunAutomatonHygienePass(const RegisterAutomaton& automaton,
+                             std::vector<Diagnostic>* diagnostics) {
+  if (automaton.num_states == 0) {
+    return;
+  }
+  std::vector<bool> reachable = Reach(automaton, automaton.start, true);
+  std::vector<bool> coreachable = Reach(automaton, automaton.accept, false);
+  std::vector<RaState> unreachable;
+  std::vector<RaState> dead;
+  for (RaState s = 0; s < automaton.num_states; s++) {
+    if (!reachable[s]) {
+      unreachable.push_back(s);
+    } else if (!coreachable[s]) {
+      dead.push_back(s);
+    }
+  }
+  if (!unreachable.empty()) {
+    diagnostics->push_back(Diagnostic{
+        DiagnosticSeverity::kWarning, "GQD-AUT-001",
+        std::to_string(unreachable.size()) +
+            " unreachable automaton state(s): {" + StateList(unreachable) +
+            "}; typically a letter outside the target alphabet",
+        ""});
+  }
+  if (!dead.empty()) {
+    diagnostics->push_back(Diagnostic{
+        DiagnosticSeverity::kWarning, "GQD-AUT-002",
+        std::to_string(dead.size()) + " dead automaton state(s): {" +
+            StateList(dead) + "}; no run through them can reach acceptance",
+        ""});
+  }
+}
+
+}  // namespace gqd

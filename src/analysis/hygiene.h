@@ -1,0 +1,67 @@
+// Expression and automaton hygiene (GQD-AUT-001/-002/-003/-004).
+//
+// Emptiness (GQD-AUT-003, error): a bottom-up "definitely empty language"
+// computation per family. Structural sources of emptiness: an e[c] test
+// with an unsatisfiable condition (REM), the (e=)≠ / (e≠)= collapses and
+// (ε)≠ (REE, using first-value/last-value invariants), and — when a target
+// graph is supplied — letters outside its alphabet Σ, which match nothing
+// (the compiler's dead-fragment semantics, rem/register_automaton.h). The
+// topmost empty subexpression is reported, not every node under it.
+//
+// Redundant ε/star nesting and duplicate union branches (GQD-AUT-004,
+// note): e⁺⁺, (e*)⁺ (star is ε|e⁺ after desugaring), ε⁺, ε units inside
+// concatenations, [⊤] tests, (e=)=, (e≠)≠, and union branches that print
+// identically.
+//
+// Automaton hygiene (GQD-AUT-001/-002, warnings): unreachable and dead
+// (non-coaccessible) states of a compiled register automaton. On an
+// automaton compiled against a graph's alphabet, dead letter fragments
+// (labels outside Σ) surface here as unreachable/dead state clusters —
+// the automaton-level manifestation of GQD-GRF-001.
+
+#ifndef GQD_ANALYSIS_HYGIENE_H_
+#define GQD_ANALYSIS_HYGIENE_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "graph/data_graph.h"
+#include "regex/ast.h"
+#include "rem/ast.h"
+#include "rem/register_automaton.h"
+#include "ree/ast.h"
+
+namespace gqd {
+
+/// Definitely-empty-language predicates ("definitely": false negatives are
+/// possible, reported emptiness is exact). `graph` may be null; when given,
+/// letters outside its alphabet are empty.
+bool RemDefinitelyEmpty(const RemPtr& expression, const DataGraph* graph);
+bool ReeDefinitelyEmpty(const ReePtr& expression, const DataGraph* graph);
+bool RegexDefinitelyEmpty(const RegexPtr& expression, const DataGraph* graph);
+
+/// Emptiness passes: GQD-AUT-003 on each topmost empty subexpression.
+void RunRemEmptinessPass(const RemPtr& expression, const DataGraph* graph,
+                         std::vector<Diagnostic>* diagnostics);
+void RunReeEmptinessPass(const ReePtr& expression, const DataGraph* graph,
+                         std::vector<Diagnostic>* diagnostics);
+void RunRegexEmptinessPass(const RegexPtr& expression, const DataGraph* graph,
+                           std::vector<Diagnostic>* diagnostics);
+
+/// Redundancy passes: GQD-AUT-004 notes.
+void RunRemRedundancyPass(const RemPtr& expression,
+                          std::vector<Diagnostic>* diagnostics);
+void RunReeRedundancyPass(const ReePtr& expression,
+                          std::vector<Diagnostic>* diagnostics);
+void RunRegexRedundancyPass(const RegexPtr& expression,
+                            std::vector<Diagnostic>* diagnostics);
+
+/// Automaton hygiene: GQD-AUT-001 (unreachable states) and GQD-AUT-002
+/// (dead states) over the transition graph, ignoring condition
+/// satisfiability.
+void RunAutomatonHygienePass(const RegisterAutomaton& automaton,
+                             std::vector<Diagnostic>* diagnostics);
+
+}  // namespace gqd
+
+#endif  // GQD_ANALYSIS_HYGIENE_H_

@@ -1,0 +1,129 @@
+#include "analysis/lint_suite.h"
+
+#include <sstream>
+
+#include "regex/parser.h"
+#include "rem/parser.h"
+#include "ree/parser.h"
+
+namespace gqd {
+
+namespace {
+
+std::vector<Diagnostic> LintOne(const std::string& language,
+                                const std::string& text,
+                                const AnalysisOptions& options) {
+  Status parse_status = Status::OK();
+  if (language == "regex") {
+    Result<RegexPtr> parsed = ParseRegex(text);
+    if (parsed.ok()) {
+      return LintRegex(parsed.value(), options);
+    }
+    parse_status = parsed.status();
+  } else if (language == "rem") {
+    Result<RemPtr> parsed = ParseRem(text);
+    if (parsed.ok()) {
+      return LintRem(parsed.value(), options);
+    }
+    parse_status = parsed.status();
+  } else {
+    Result<ReePtr> parsed = ParseRee(text);
+    if (parsed.ok()) {
+      return LintRee(parsed.value(), options);
+    }
+    parse_status = parsed.status();
+  }
+  return {Diagnostic{DiagnosticSeverity::kError, "GQD-PARSE-001",
+                     parse_status.ToString(), text}};
+}
+
+}  // namespace
+
+Result<std::vector<LintSuiteEntry>> RunLintSuite(
+    const std::string& suite_text, const AnalysisOptions& options) {
+  std::vector<LintSuiteEntry> entries;
+  std::istringstream in(suite_text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    line_number++;
+    std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') {
+      continue;
+    }
+    std::size_t space = line.find_first_of(" \t", start);
+    if (space == std::string::npos) {
+      return Status::InvalidArgument(
+          "suite line " + std::to_string(line_number) +
+          ": expected `<language> <expression>`");
+    }
+    std::string language = line.substr(start, space - start);
+    if (language != "regex" && language != "rem" && language != "ree") {
+      return Status::InvalidArgument(
+          "suite line " + std::to_string(line_number) +
+          ": unknown language `" + language + "` (want regex|rem|ree)");
+    }
+    std::size_t expr_start = line.find_first_not_of(" \t", space);
+    if (expr_start == std::string::npos) {
+      return Status::InvalidArgument("suite line " +
+                                     std::to_string(line_number) +
+                                     ": missing expression");
+    }
+    std::string expression = line.substr(expr_start);
+    while (!expression.empty() &&
+           (expression.back() == '\r' || expression.back() == ' ' ||
+            expression.back() == '\t')) {
+      expression.pop_back();
+    }
+    LintSuiteEntry entry;
+    entry.language = language;
+    entry.expression_text = expression;
+    entry.diagnostics = LintOne(language, expression, options);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string LintSuiteToText(const std::vector<LintSuiteEntry>& entries) {
+  std::ostringstream out;
+  for (const LintSuiteEntry& entry : entries) {
+    out << entry.language << " `" << entry.expression_text << "`:\n";
+    if (entry.diagnostics.empty()) {
+      out << "  clean\n";
+      continue;
+    }
+    std::istringstream lines(DiagnosticsToText(entry.diagnostics));
+    std::string line;
+    while (std::getline(lines, line)) {
+      out << "  " << line << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string LintSuiteToJson(const std::vector<LintSuiteEntry>& entries) {
+  std::ostringstream out;
+  out << "{\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); i++) {
+    const LintSuiteEntry& entry = entries[i];
+    if (i > 0) {
+      out << ",";
+    }
+    out << "{\"language\":\"" << JsonEscape(entry.language)
+        << "\",\"expression\":\"" << JsonEscape(entry.expression_text)
+        << "\",\"report\":" << DiagnosticsToJson(entry.diagnostics) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool SuiteHasErrors(const std::vector<LintSuiteEntry>& entries) {
+  for (const LintSuiteEntry& entry : entries) {
+    if (HasErrors(entry.diagnostics)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gqd

@@ -1,0 +1,48 @@
+// Lint suites: a tiny text format for linting many queries in one run.
+//
+// Suite files (see examples/data/lint_defects.suite) contain one entry per
+// line:
+//   <language> <expression>
+// where <language> is regex | rem | ree and the expression is that
+// family's concrete syntax. Blank lines and `#` comments are skipped.
+// Expressions that fail to parse become GQD-PARSE-001 error diagnostics on
+// their entry rather than aborting the run.
+
+#ifndef GQD_ANALYSIS_LINT_SUITE_H_
+#define GQD_ANALYSIS_LINT_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/pass_manager.h"
+#include "common/status.h"
+
+namespace gqd {
+
+/// One linted suite entry.
+struct LintSuiteEntry {
+  std::string language;         ///< "regex", "rem" or "ree".
+  std::string expression_text;  ///< Raw concrete syntax from the file.
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Parses and lints every entry of a suite. Fails only on malformed suite
+/// structure (unknown language, missing expression); per-expression parse
+/// errors surface as GQD-PARSE-001 diagnostics.
+Result<std::vector<LintSuiteEntry>> RunLintSuite(
+    const std::string& suite_text, const AnalysisOptions& options = {});
+
+/// Text report: per entry, a header line plus DiagnosticsToText (or "clean").
+std::string LintSuiteToText(const std::vector<LintSuiteEntry>& entries);
+
+/// JSON report: {"entries":[{"language":...,"expression":...,
+/// "diagnostics":[...],...}]}.
+std::string LintSuiteToJson(const std::vector<LintSuiteEntry>& entries);
+
+/// True iff any entry carries an error-severity diagnostic.
+bool SuiteHasErrors(const std::vector<LintSuiteEntry>& entries);
+
+}  // namespace gqd
+
+#endif  // GQD_ANALYSIS_LINT_SUITE_H_

@@ -1,0 +1,154 @@
+#include "analysis/pass_manager.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "analysis/condition_analysis.h"
+#include "analysis/graph_checks.h"
+#include "analysis/hygiene.h"
+#include "analysis/register_dataflow.h"
+#include "common/interner.h"
+#include "rem/register_automaton.h"
+
+namespace gqd {
+
+namespace {
+
+bool PassSelected(const AnalysisOptions& options, const std::string& name) {
+  if (options.only_passes.empty()) {
+    return true;
+  }
+  return std::find(options.only_passes.begin(), options.only_passes.end(),
+                   name) != options.only_passes.end();
+}
+
+/// Runs the selected passes of one family's table, then deduplicates and
+/// applies the severity filter.
+template <typename PassTable>
+std::vector<Diagnostic> RunPasses(const PassTable& passes,
+                                  const AnalysisOptions& options) {
+  std::vector<Diagnostic> diagnostics;
+  for (const auto& [name, run] : passes) {
+    if (PassSelected(options, name)) {
+      run(&diagnostics);
+    }
+  }
+  // Deduplicate (shared subtrees can repeat a finding verbatim), keeping
+  // first occurrences in pass order.
+  std::vector<Diagnostic> result;
+  std::set<std::string> seen;
+  for (Diagnostic& d : diagnostics) {
+    if (!options.include_notes && d.severity == DiagnosticSeverity::kNote) {
+      continue;
+    }
+    std::string key = d.code + "\x1f" + d.message + "\x1f" + d.subexpression;
+    if (seen.insert(std::move(key)).second) {
+      result.push_back(std::move(d));
+    }
+  }
+  return result;
+}
+
+using Pass =
+    std::pair<std::string, std::function<void(std::vector<Diagnostic>*)>>;
+
+/// Compiles for hygiene analysis: against the graph's alphabet when given
+/// (unknown letters become dead fragments, surfacing as unreachable/dead
+/// states), otherwise interning every letter (pure structural hygiene).
+RegisterAutomaton CompileForHygiene(const RemPtr& expression,
+                                    const DataGraph* graph) {
+  if (graph != nullptr) {
+    StringInterner labels = graph->labels();
+    return CompileRem(expression, &labels, /*intern_new_labels=*/false);
+  }
+  StringInterner labels;
+  return CompileRem(expression, &labels, /*intern_new_labels=*/true);
+}
+
+}  // namespace
+
+std::vector<Diagnostic> LintRem(const RemPtr& expression,
+                                const AnalysisOptions& options) {
+  const DataGraph* graph = options.graph;
+  std::vector<Pass> passes = {
+      {"register-dataflow",
+       [&](std::vector<Diagnostic>* d) {
+         RunRegisterDataflowPass(expression, d);
+       }},
+      {"condition-analysis",
+       [&](std::vector<Diagnostic>* d) {
+         RunConditionAnalysisPass(expression, d);
+       }},
+      {"emptiness",
+       [&](std::vector<Diagnostic>* d) {
+         RunRemEmptinessPass(expression, graph, d);
+       }},
+      {"redundancy",
+       [&](std::vector<Diagnostic>* d) {
+         RunRemRedundancyPass(expression, d);
+       }},
+      {"automaton-hygiene",
+       [&](std::vector<Diagnostic>* d) {
+         RunAutomatonHygienePass(CompileForHygiene(expression, graph), d);
+       }},
+  };
+  if (graph != nullptr) {
+    passes.push_back({"graph-checks", [&](std::vector<Diagnostic>* d) {
+                        RunRemGraphChecksPass(expression, *graph, d);
+                      }});
+  }
+  return RunPasses(passes, options);
+}
+
+std::vector<Diagnostic> LintRee(const ReePtr& expression,
+                                const AnalysisOptions& options) {
+  const DataGraph* graph = options.graph;
+  std::vector<Pass> passes = {
+      {"emptiness",
+       [&](std::vector<Diagnostic>* d) {
+         RunReeEmptinessPass(expression, graph, d);
+       }},
+      {"redundancy",
+       [&](std::vector<Diagnostic>* d) {
+         RunReeRedundancyPass(expression, d);
+       }},
+  };
+  if (graph != nullptr) {
+    passes.push_back({"graph-checks", [&](std::vector<Diagnostic>* d) {
+                        RunReeGraphChecksPass(expression, *graph, d);
+                      }});
+  }
+  return RunPasses(passes, options);
+}
+
+std::vector<Diagnostic> LintRegex(const RegexPtr& expression,
+                                  const AnalysisOptions& options) {
+  const DataGraph* graph = options.graph;
+  std::vector<Pass> passes = {
+      {"emptiness",
+       [&](std::vector<Diagnostic>* d) {
+         RunRegexEmptinessPass(expression, graph, d);
+       }},
+      {"redundancy",
+       [&](std::vector<Diagnostic>* d) {
+         RunRegexRedundancyPass(expression, d);
+       }},
+  };
+  if (graph != nullptr) {
+    passes.push_back({"graph-checks", [&](std::vector<Diagnostic>* d) {
+                        RunRegexGraphChecksPass(expression, *graph, d);
+                      }});
+  }
+  return RunPasses(passes, options);
+}
+
+const std::vector<std::string>& LintPassNames() {
+  static const std::vector<std::string> kNames = {
+      "register-dataflow", "condition-analysis", "emptiness",
+      "redundancy",        "automaton-hygiene",  "graph-checks",
+  };
+  return kNames;
+}
+
+}  // namespace gqd

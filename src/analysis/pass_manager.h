@@ -1,0 +1,53 @@
+// The lint pass manager: the "compiler front end" of the query stack.
+//
+// Runs the analysis passes (register dataflow, condition analysis,
+// expression/automaton hygiene, graph-relative checks) over a query AST and
+// collects their Diagnostics. Passes are registered per expression family;
+// options select a target graph (enabling graph-relative passes and
+// alphabet-aware automaton hygiene) and can restrict the run to a subset of
+// passes by name.
+//
+// Wired in three places:
+//   * the `gqd lint` CLI subcommand (tools/gqd_cli.cpp),
+//   * the opt-in evaluation pre-flight (eval/preflight.h),
+//   * the synthesis post-pass (synthesis/lint_postpass.h).
+
+#ifndef GQD_ANALYSIS_PASS_MANAGER_H_
+#define GQD_ANALYSIS_PASS_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "graph/data_graph.h"
+#include "regex/ast.h"
+#include "rem/ast.h"
+#include "ree/ast.h"
+
+namespace gqd {
+
+struct AnalysisOptions {
+  /// Target graph; null disables graph-relative passes. Non-owning.
+  const DataGraph* graph = nullptr;
+  /// Drop note-severity findings from the result.
+  bool include_notes = true;
+  /// When non-empty, run only the passes named here (see LintPassNames()).
+  std::vector<std::string> only_passes;
+};
+
+/// Lints one expression; diagnostics are deduplicated, in pass order.
+std::vector<Diagnostic> LintRem(const RemPtr& expression,
+                                const AnalysisOptions& options = {});
+std::vector<Diagnostic> LintRee(const ReePtr& expression,
+                                const AnalysisOptions& options = {});
+std::vector<Diagnostic> LintRegex(const RegexPtr& expression,
+                                  const AnalysisOptions& options = {});
+
+/// Names of all registered passes, for CLI help and pass selection:
+/// register-dataflow, condition-analysis, emptiness, redundancy,
+/// automaton-hygiene, graph-checks.
+const std::vector<std::string>& LintPassNames();
+
+}  // namespace gqd
+
+#endif  // GQD_ANALYSIS_PASS_MANAGER_H_

@@ -1,0 +1,264 @@
+#include "analysis/register_dataflow.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+
+#include "rem/condition.h"
+
+namespace gqd {
+
+namespace {
+
+/// Set of possibly-stored registers, one bit per register (caps k at 64;
+/// registers beyond that are not analyzed).
+using StoreMask = std::uint64_t;
+
+constexpr std::size_t kMaxTrackedRegisters = 64;
+
+StoreMask RegisterBit(std::size_t index) {
+  return index < kMaxTrackedRegisters ? (StoreMask{1} << index) : 0;
+}
+
+/// Appends the vacuous reads of `condition` under may-store set `may`.
+void CollectVacuousReads(const ConditionPtr& condition, StoreMask may,
+                         std::set<VacuousRead>* out) {
+  if (condition == nullptr) {
+    return;
+  }
+  switch (condition->kind) {
+    case ConditionKind::kTrue:
+      return;
+    case ConditionKind::kRegisterEq:
+    case ConditionKind::kRegisterNeq: {
+      std::size_t index = condition->register_index;
+      if (index >= kMaxTrackedRegisters) {
+        return;  // beyond the tracked range; never reported
+      }
+      if ((may & RegisterBit(index)) == 0) {
+        out->insert(VacuousRead{
+            index, condition->kind == ConditionKind::kRegisterEq});
+      }
+      return;
+    }
+    case ConditionKind::kAnd:
+    case ConditionKind::kOr:
+    case ConditionKind::kNot:
+      for (const ConditionPtr& child : condition->children) {
+        CollectVacuousReads(child, may, out);
+      }
+      return;
+  }
+}
+
+/// Forward may-store analysis over the AST. `report` enables read
+/// collection; e⁺ bodies are first iterated to a fixpoint with reporting
+/// off, then re-analyzed once with the fixpoint in-state (a read is vacuous
+/// only if *no* path, including looping ones, stores first).
+class AstAnalyzer {
+ public:
+  StoreMask Analyze(const RemPtr& node, StoreMask in, bool report) {
+    switch (node->kind) {
+      case RemKind::kEpsilon:
+      case RemKind::kLetter:
+        return in;
+      case RemKind::kUnion: {
+        StoreMask out = 0;
+        for (const RemPtr& child : node->children) {
+          out |= Analyze(child, in, report);
+        }
+        return out;
+      }
+      case RemKind::kConcat: {
+        StoreMask state = in;
+        for (const RemPtr& child : node->children) {
+          state = Analyze(child, state, report);
+        }
+        return state;
+      }
+      case RemKind::kPlus: {
+        StoreMask fix = in;
+        while (true) {
+          StoreMask out = Analyze(node->children[0], fix, false);
+          if ((fix | out) == fix) {
+            break;
+          }
+          fix |= out;
+        }
+        return Analyze(node->children[0], fix, report);
+      }
+      case RemKind::kCondition: {
+        // e[c] tests the last value of e's subpath: reads happen in the
+        // out-state of the child.
+        StoreMask out = Analyze(node->children[0], in, report);
+        if (report) {
+          std::set<VacuousRead> reads;
+          CollectVacuousReads(node->condition, out, &reads);
+          for (const VacuousRead& read : reads) {
+            sites_.push_back(VacuousReadSite{node, read});
+          }
+        }
+        return out;
+      }
+      case RemKind::kBind: {
+        // ↓r̄.e stores the first value: the store precedes everything in e.
+        StoreMask stored = in;
+        for (std::size_t r : node->registers) {
+          stored |= RegisterBit(r);
+        }
+        return Analyze(node->children[0], stored, report);
+      }
+    }
+    return in;
+  }
+
+  std::vector<VacuousReadSite> TakeSites() { return std::move(sites_); }
+
+ private:
+  std::vector<VacuousReadSite> sites_;
+};
+
+/// Collects every register index mentioned by condition atoms.
+void CollectReadRegisters(const ConditionPtr& condition,
+                          std::set<std::size_t>* out) {
+  if (condition == nullptr) {
+    return;
+  }
+  if (condition->kind == ConditionKind::kRegisterEq ||
+      condition->kind == ConditionKind::kRegisterNeq) {
+    out->insert(condition->register_index);
+    return;
+  }
+  for (const ConditionPtr& child : condition->children) {
+    CollectReadRegisters(child, out);
+  }
+}
+
+void CollectStoresAndReads(const RemPtr& node, std::set<std::size_t>* stored,
+                           std::set<std::size_t>* read) {
+  if (node->kind == RemKind::kBind) {
+    stored->insert(node->registers.begin(), node->registers.end());
+  }
+  if (node->kind == RemKind::kCondition) {
+    CollectReadRegisters(node->condition, read);
+  }
+  for (const RemPtr& child : node->children) {
+    CollectStoresAndReads(child, stored, read);
+  }
+}
+
+/// Display name of register `index` in concrete syntax (r1 = index 0).
+std::string RegisterName(std::size_t index) {
+  return "r" + std::to_string(index + 1);
+}
+
+}  // namespace
+
+std::vector<VacuousReadSite> AstVacuousReads(const RemPtr& expression) {
+  AstAnalyzer analyzer;
+  analyzer.Analyze(expression, 0, /*report=*/true);
+  return analyzer.TakeSites();
+}
+
+std::vector<VacuousRead> AutomatonVacuousReads(const RegisterAutomaton& ra) {
+  std::vector<StoreMask> may(ra.num_states, 0);
+  std::vector<bool> visited(ra.num_states, false);
+  std::deque<RaState> worklist;
+  auto propagate = [&](RaState to, StoreMask mask) {
+    if (!visited[to]) {
+      visited[to] = true;
+      may[to] = mask;
+      worklist.push_back(to);
+    } else if ((may[to] | mask) != may[to]) {
+      may[to] |= mask;
+      worklist.push_back(to);
+    }
+  };
+  if (ra.num_states == 0) {
+    return {};
+  }
+  visited[ra.start] = true;
+  worklist.push_back(ra.start);
+  while (!worklist.empty()) {
+    RaState state = worklist.front();
+    worklist.pop_front();
+    for (const RegisterAutomaton::StoreEdge& edge : ra.store_edges[state]) {
+      StoreMask mask = may[state];
+      for (std::size_t r : edge.registers) {
+        mask |= RegisterBit(r);
+      }
+      propagate(edge.to, mask);
+    }
+    for (const RegisterAutomaton::CheckEdge& edge : ra.check_edges[state]) {
+      propagate(edge.to, may[state]);
+    }
+    for (const RegisterAutomaton::LetterEdge& edge : ra.letter_edges[state]) {
+      propagate(edge.to, may[state]);
+    }
+  }
+  std::set<VacuousRead> reads;
+  for (RaState state = 0; state < ra.num_states; state++) {
+    if (!visited[state]) {
+      continue;  // unreachable: no run ever evaluates these conditions
+    }
+    for (const RegisterAutomaton::CheckEdge& edge : ra.check_edges[state]) {
+      CollectVacuousReads(edge.condition, may[state], &reads);
+    }
+  }
+  return {reads.begin(), reads.end()};
+}
+
+std::vector<VacuousRead> DeduplicateReads(
+    const std::vector<VacuousReadSite>& sites) {
+  std::set<VacuousRead> reads;
+  for (const VacuousReadSite& site : sites) {
+    reads.insert(site.read);
+  }
+  return {reads.begin(), reads.end()};
+}
+
+std::vector<std::size_t> DeadStores(const RemPtr& expression) {
+  std::set<std::size_t> stored;
+  std::set<std::size_t> read;
+  CollectStoresAndReads(expression, &stored, &read);
+  std::vector<std::size_t> dead;
+  std::set_difference(stored.begin(), stored.end(), read.begin(), read.end(),
+                      std::back_inserter(dead));
+  return dead;
+}
+
+void RunRegisterDataflowPass(const RemPtr& expression,
+                             std::vector<Diagnostic>* diagnostics) {
+  for (const VacuousReadSite& site : AstVacuousReads(expression)) {
+    const std::string name = RegisterName(site.read.register_index);
+    if (site.read.is_equality) {
+      diagnostics->push_back(Diagnostic{
+          DiagnosticSeverity::kError, "GQD-REG-001",
+          "register " + name +
+              " is compared with = before any possible store; the test is "
+              "constantly false (an empty register equals nothing, "
+              "Definition 3)",
+          RemToString(site.test)});
+    } else {
+      diagnostics->push_back(Diagnostic{
+          DiagnosticSeverity::kWarning, "GQD-REG-002",
+          "register " + name +
+              " is compared with != before any possible store; the test is "
+              "constantly true (an empty register differs from everything, "
+              "Definition 3)",
+          RemToString(site.test)});
+    }
+  }
+  for (std::size_t index : DeadStores(expression)) {
+    diagnostics->push_back(Diagnostic{
+        DiagnosticSeverity::kWarning, "GQD-REG-003",
+        "register " + RegisterName(index) +
+            " is stored but never read by any condition; the bind has no "
+            "effect",
+        ""});
+  }
+}
+
+}  // namespace gqd

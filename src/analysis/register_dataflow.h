@@ -1,0 +1,78 @@
+// Register dataflow analysis for REM queries (GQD-REG-001/-002/-003).
+//
+// Definition 5 semantics: ↓r̄.e stores the *first* data value of the matched
+// subpath into r̄; e[c] tests the *last* value against the assignment.  A
+// register starts empty (⊥), and Definition 3 fixes the comparisons on ⊥:
+// r_i= is false (⊥ equals nothing) and r_i≠ is true (⊥ differs from
+// everything).  Hence a condition atom reading a register at a point where
+// *no* path through the expression allows a prior store is semantically
+// constant — constantly false for r_i= (GQD-REG-001, error: the enclosing
+// test can only shrink the language for no reason the author intended) and
+// constantly true for r_i≠ (GQD-REG-002, warning: the atom is vacuous).
+//
+// The property is computed twice, by construction independently:
+//   * AstVacuousReads — a forward may-store dataflow over the REM AST
+//     (fixpoint iteration through e⁺ bodies);
+//   * AutomatonVacuousReads — a worklist may-store dataflow over the
+//     compiled register automaton's transition graph.
+// The two implementations cross-check each other in the test suite (the
+// same checker/oracle pattern as DESIGN.md §3).  For the cross-check the
+// automaton must be compiled with intern_new_labels == true, otherwise
+// unknown letters become dead fragments invisible to the automaton side.
+
+#ifndef GQD_ANALYSIS_REGISTER_DATAFLOW_H_
+#define GQD_ANALYSIS_REGISTER_DATAFLOW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "rem/ast.h"
+#include "rem/register_automaton.h"
+
+namespace gqd {
+
+/// A register read that no prior store can feed, as (register, atom kind).
+struct VacuousRead {
+  std::size_t register_index = 0;
+  bool is_equality = false;  ///< true: r_i= (constantly false); false: r_i≠.
+
+  bool operator==(const VacuousRead& other) const = default;
+  bool operator<(const VacuousRead& other) const {
+    return register_index != other.register_index
+               ? register_index < other.register_index
+               : is_equality < other.is_equality;
+  }
+};
+
+/// A vacuous read anchored to the e[c] node containing the atom.
+struct VacuousReadSite {
+  RemPtr test;  ///< The kCondition node whose condition reads the register.
+  VacuousRead read;
+};
+
+/// AST-level forward may-store analysis. Registers beyond index 63 are not
+/// analyzed (the bitmask implementation caps k at 64, far beyond the k <= 6
+/// the rest of the library supports).
+std::vector<VacuousReadSite> AstVacuousReads(const RemPtr& expression);
+
+/// The same property over the compiled automaton's transition graph.
+/// Findings are deduplicated (register, kind) pairs in sorted order.
+std::vector<VacuousRead> AutomatonVacuousReads(const RegisterAutomaton& ra);
+
+/// Projects sites to deduplicated sorted (register, kind) pairs, the shape
+/// AutomatonVacuousReads returns — the cross-check comparison form.
+std::vector<VacuousRead> DeduplicateReads(
+    const std::vector<VacuousReadSite>& sites);
+
+/// Registers stored by some bind but read by no condition, in sorted order.
+std::vector<std::size_t> DeadStores(const RemPtr& expression);
+
+/// The pass: emits GQD-REG-001 (error), GQD-REG-002 and GQD-REG-003
+/// (warnings) for `expression`.
+void RunRegisterDataflowPass(const RemPtr& expression,
+                             std::vector<Diagnostic>* diagnostics);
+
+}  // namespace gqd
+
+#endif  // GQD_ANALYSIS_REGISTER_DATAFLOW_H_

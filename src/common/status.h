@@ -35,7 +35,10 @@ const char* StatusCodeToString(StatusCode code);
 /// Status is cheap to copy in the OK case (single enum); error details are
 /// stored inline. Use the factory functions (Status::InvalidArgument(...))
 /// rather than the raw constructor.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status swallows the error; call sites
+/// that intentionally ignore one must say so with a (void) cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -88,9 +91,9 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 ///
 /// Access the value with ValueOrDie() (asserts OK) or value() after checking
 /// ok(). Mirrors arrow::Result / absl::StatusOr at the small scale this
-/// library needs.
+/// library needs. [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the success path).
   Result(T value)  // NOLINT(google-explicit-constructor)

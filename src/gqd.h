@@ -34,8 +34,18 @@
 #include "ree/membership.h"  // IWYU pragma: export
 #include "ree/parser.h"      // IWYU pragma: export
 
+// Static analysis (query linting).
+#include "analysis/condition_analysis.h"  // IWYU pragma: export
+#include "analysis/diagnostic.h"          // IWYU pragma: export
+#include "analysis/graph_checks.h"        // IWYU pragma: export
+#include "analysis/hygiene.h"             // IWYU pragma: export
+#include "analysis/lint_suite.h"          // IWYU pragma: export
+#include "analysis/pass_manager.h"        // IWYU pragma: export
+#include "analysis/register_dataflow.h"   // IWYU pragma: export
+
 // Evaluation.
 #include "eval/convert.h"   // IWYU pragma: export
+#include "eval/preflight.h" // IWYU pragma: export
 #include "eval/explain.h"   // IWYU pragma: export
 #include "eval/query.h"     // IWYU pragma: export
 #include "eval/rem_eval.h"  // IWYU pragma: export
@@ -61,7 +71,8 @@
 #include "reductions/tiling_reduction.h"  // IWYU pragma: export
 
 // Synthesis.
-#include "synthesis/simplify.h"   // IWYU pragma: export
-#include "synthesis/synthesis.h"  // IWYU pragma: export
+#include "synthesis/lint_postpass.h"  // IWYU pragma: export
+#include "synthesis/simplify.h"       // IWYU pragma: export
+#include "synthesis/synthesis.h"      // IWYU pragma: export
 
 #endif  // GQD_GQD_H_

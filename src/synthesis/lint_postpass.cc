@@ -1,0 +1,55 @@
+#include "synthesis/lint_postpass.h"
+
+#include <string>
+
+#include "analysis/pass_manager.h"
+
+namespace gqd {
+
+namespace {
+
+Result<std::vector<Diagnostic>> Postpass(std::vector<Diagnostic> diagnostics,
+                                         bool empty_target,
+                                         const std::string& what) {
+  if (!empty_target && HasErrors(diagnostics)) {
+    std::vector<Diagnostic> errors;
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == DiagnosticSeverity::kError) {
+        errors.push_back(d);
+      }
+    }
+    return Status::Internal(
+        "synthesized " + what +
+        " has error-level lint findings (synthesis bug):\n" +
+        DiagnosticsToText(errors));
+  }
+  return diagnostics;
+}
+
+}  // namespace
+
+Result<std::vector<Diagnostic>> LintSynthesizedRem(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const RemPtr& query) {
+  AnalysisOptions options;
+  options.graph = &graph;
+  return Postpass(LintRem(query, options), relation.Empty(), "REM");
+}
+
+Result<std::vector<Diagnostic>> LintSynthesizedRee(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const ReePtr& query) {
+  AnalysisOptions options;
+  options.graph = &graph;
+  return Postpass(LintRee(query, options), relation.Empty(), "REE");
+}
+
+Result<std::vector<Diagnostic>> LintSynthesizedRegex(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const RegexPtr& query) {
+  AnalysisOptions options;
+  options.graph = &graph;
+  return Postpass(LintRegex(query, options), relation.Empty(), "regex");
+}
+
+}  // namespace gqd

@@ -1,0 +1,48 @@
+// Lint post-pass over synthesized defining queries.
+//
+// Synthesized queries are correct by construction (round-trip verified
+// through the evaluators), but §6 of the paper notes they "do not have an
+// interesting structure" — and a synthesis bug would typically manifest as
+// dead structure: an unsatisfiable condition, an empty-language branch, a
+// letter outside Σ. The post-pass runs the lint pass manager on every
+// synthesized query and treats error-level findings as an Internal error
+// (a bug in the synthesizer), with one deliberate exception: when the
+// target relation is empty, an empty-language query (ε[¬⊤] for REM,
+// (ε)≠ for REE, a killing word for RPQ) is the *correct* output, so
+// emptiness-class errors are expected and accepted.
+//
+// Warning/note findings are returned to the caller — they record which
+// redundancies graph-relative simplification (synthesis/simplify.h) is
+// expected to remove.
+
+#ifndef GQD_SYNTHESIS_LINT_POSTPASS_H_
+#define GQD_SYNTHESIS_LINT_POSTPASS_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "graph/relation.h"
+#include "regex/ast.h"
+#include "rem/ast.h"
+#include "ree/ast.h"
+
+namespace gqd {
+
+/// Lints a synthesized query for `relation` on `graph`. Internal error when
+/// error-level findings survive (and the relation is non-empty); otherwise
+/// returns the warning/note diagnostics.
+Result<std::vector<Diagnostic>> LintSynthesizedRem(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const RemPtr& query);
+Result<std::vector<Diagnostic>> LintSynthesizedRee(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const ReePtr& query);
+Result<std::vector<Diagnostic>> LintSynthesizedRegex(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const RegexPtr& query);
+
+}  // namespace gqd
+
+#endif  // GQD_SYNTHESIS_LINT_POSTPASS_H_

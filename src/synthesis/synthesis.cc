@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "synthesis/lint_postpass.h"
+
 namespace gqd {
 
 Result<std::optional<RegexPtr>> SynthesizeRpqQuery(
@@ -12,9 +14,14 @@ Result<std::optional<RegexPtr>> SynthesizeRpqQuery(
   GQD_ASSIGN_OR_RETURN(RpqDefinabilityResult result,
                        CheckRpqDefinability(graph, relation, options));
   switch (result.verdict) {
-    case DefinabilityVerdict::kDefinable:
-      return std::optional<RegexPtr>(
-          RegexFromWitnesses(result, graph.labels()));
+    case DefinabilityVerdict::kDefinable: {
+      RegexPtr query = RegexFromWitnesses(result, graph.labels());
+      // Post-pass: a synthesized query with error-level lint findings is a
+      // synthesizer bug (see lint_postpass.h); warnings are expected and
+      // left for graph-relative simplification.
+      GQD_RETURN_NOT_OK(LintSynthesizedRegex(graph, relation, query).status());
+      return std::optional<RegexPtr>(std::move(query));
+    }
     case DefinabilityVerdict::kNotDefinable:
       return std::optional<RegexPtr>();
     case DefinabilityVerdict::kBudgetExhausted:
@@ -46,7 +53,9 @@ Result<std::optional<RemPtr>> SynthesizeKRemQuery(
           parts.push_back(std::move(part));
         }
       }
-      return std::optional<RemPtr>(rem::Union(std::move(parts)));
+      RemPtr query = rem::Union(std::move(parts));
+      GQD_RETURN_NOT_OK(LintSynthesizedRem(graph, relation, query).status());
+      return std::optional<RemPtr>(std::move(query));
     }
     case DefinabilityVerdict::kNotDefinable:
       return std::optional<RemPtr>();
@@ -63,6 +72,9 @@ Result<std::optional<ReePtr>> SynthesizeReeQuery(
                        CheckReeDefinability(graph, relation, options));
   switch (result.verdict) {
     case DefinabilityVerdict::kDefinable:
+      GQD_RETURN_NOT_OK(
+          LintSynthesizedRee(graph, relation, result.defining_expression)
+              .status());
       return std::optional<ReePtr>(result.defining_expression);
     case DefinabilityVerdict::kNotDefinable:
       return std::optional<ReePtr>();

@@ -1,0 +1,519 @@
+// Tests for the static-analysis subsystem (src/analysis/): one unit test
+// per diagnostic code, rendering (text + JSON), pass selection, the
+// AST-vs-automaton register-dataflow cross-check, the evaluation
+// pre-flight, the synthesis lint post-pass, and the seeded-defect example
+// suite shipped under examples/data/.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/condition_analysis.h"
+#include "analysis/diagnostic.h"
+#include "analysis/graph_checks.h"
+#include "analysis/hygiene.h"
+#include "analysis/lint_suite.h"
+#include "analysis/pass_manager.h"
+#include "analysis/register_dataflow.h"
+#include "eval/preflight.h"
+#include "eval/rem_eval.h"
+#include "eval/ree_eval.h"
+#include "eval/rpq_eval.h"
+#include "graph/examples.h"
+#include "graph/generators.h"
+#include "graph/serialization.h"
+#include "regex/parser.h"
+#include "rem/parser.h"
+#include "rem/register_automaton.h"
+#include "ree/parser.h"
+#include "synthesis/lint_postpass.h"
+#include "synthesis/synthesis.h"
+
+namespace gqd {
+namespace {
+
+RemPtr Rem(const std::string& text) {
+  auto parsed = ParseRem(text);
+  EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status();
+  return parsed.ValueOrDie();
+}
+
+ReePtr Ree(const std::string& text) {
+  auto parsed = ParseRee(text);
+  EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status();
+  return parsed.ValueOrDie();
+}
+
+RegexPtr Regex(const std::string& text) {
+  auto parsed = ParseRegex(text);
+  EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status();
+  return parsed.ValueOrDie();
+}
+
+std::vector<std::string> Codes(const std::vector<Diagnostic>& diagnostics) {
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : diagnostics) {
+    codes.push_back(d.code);
+  }
+  return codes;
+}
+
+bool HasCode(const std::vector<Diagnostic>& diagnostics,
+             const std::string& code) {
+  const std::vector<std::string> codes = Codes(diagnostics);
+  return std::find(codes.begin(), codes.end(), code) != codes.end();
+}
+
+// --- Diagnostic plumbing ---------------------------------------------------
+
+TEST(Diagnostics, RegistryCodesAreUniqueWithSummaries) {
+  const auto& registry = AllDiagnosticCodes();
+  ASSERT_FALSE(registry.empty());
+  std::set<std::string> seen;
+  for (const DiagnosticCodeInfo& info : registry) {
+    EXPECT_TRUE(seen.insert(info.code).second) << info.code;
+    EXPECT_NE(std::string(info.summary), "");
+    EXPECT_EQ(std::string(info.code).substr(0, 4), "GQD-") << info.code;
+  }
+}
+
+TEST(Diagnostics, TextRenderingIsCompilerStyle) {
+  std::vector<Diagnostic> diagnostics = {
+      {DiagnosticSeverity::kError, "GQD-REG-001", "bad read", "a[r1=]"},
+      {DiagnosticSeverity::kNote, "GQD-AUT-004", "redundant", ""}};
+  std::string text = DiagnosticsToText(diagnostics);
+  EXPECT_NE(text.find("error GQD-REG-001: bad read"), std::string::npos);
+  EXPECT_NE(text.find("in: a[r1=]"), std::string::npos);
+  EXPECT_NE(text.find("note GQD-AUT-004: redundant"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonRenderingEscapesAndCounts) {
+  std::vector<Diagnostic> diagnostics = {
+      {DiagnosticSeverity::kWarning, "GQD-REG-002", "quote \" slash \\",
+       "a\tb"}};
+  std::string json = DiagnosticsToJson(diagnostics);
+  EXPECT_NE(json.find("\"code\":\"GQD-REG-002\""), std::string::npos);
+  EXPECT_NE(json.find("quote \\\" slash \\\\"), std::string::npos);
+  EXPECT_NE(json.find("a\\tb"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonEscapeControlCharacters) {
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape("\n"), "\\n");
+}
+
+// --- One unit test per diagnostic code -------------------------------------
+
+TEST(DiagnosticCode, ParseErrorInSuite) {  // GQD-PARSE-001
+  auto entries = RunLintSuite("rem ((broken\n");
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_TRUE(HasCode(entries.value()[0].diagnostics, "GQD-PARSE-001"));
+  EXPECT_TRUE(SuiteHasErrors(entries.value()));
+}
+
+TEST(DiagnosticCode, ReadBeforeStoreEquality) {  // GQD-REG-001
+  std::vector<Diagnostic> diagnostics = LintRem(Rem("a [r1=]"));
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-REG-001"));
+  EXPECT_TRUE(HasErrors(diagnostics));
+}
+
+TEST(DiagnosticCode, ReadBeforeStoreInequality) {  // GQD-REG-002
+  std::vector<Diagnostic> diagnostics = LintRem(Rem("a [r1!=]"));
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-REG-002"));
+  EXPECT_FALSE(HasErrors(diagnostics));
+}
+
+TEST(DiagnosticCode, DeadStore) {  // GQD-REG-003
+  std::vector<Diagnostic> diagnostics = LintRem(Rem("$r1. a"));
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-REG-003"));
+}
+
+TEST(DiagnosticCode, UnsatisfiableCondition) {  // GQD-COND-001
+  std::vector<Diagnostic> diagnostics = LintRem(Rem("$r1. a [r1= & r1!=]"));
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-COND-001"));
+  EXPECT_TRUE(HasErrors(diagnostics));
+}
+
+TEST(DiagnosticCode, DeadBranch) {  // GQD-COND-002
+  std::vector<Diagnostic> diagnostics =
+      LintRem(Rem("$(r1,r2). a [r1= | (r2= & r2!=)]"));
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-COND-002"));
+  // The whole condition is satisfiable, so no COND-001.
+  EXPECT_FALSE(HasCode(diagnostics, "GQD-COND-001"));
+}
+
+TEST(DiagnosticCode, Tautology) {  // GQD-COND-003
+  std::vector<Diagnostic> diagnostics = LintRem(Rem("$r1. a [r1= | r1!=]"));
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-COND-003"));
+  // A literal T does not warrant the note.
+  EXPECT_FALSE(HasCode(LintRem(Rem("$r1. a [T] [r1=]")), "GQD-COND-003"));
+}
+
+TEST(DiagnosticCode, UnreachableAndDeadStates) {  // GQD-AUT-001, GQD-AUT-002
+  DataGraph g = RandomDataGraph({.num_labels = 1});  // alphabet {a}
+  AnalysisOptions options;
+  options.graph = &g;
+  std::vector<Diagnostic> diagnostics = LintRem(Rem("a b"), options);
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-AUT-001"));
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-AUT-002"));
+}
+
+TEST(DiagnosticCode, EmptyLanguage) {  // GQD-AUT-003
+  EXPECT_TRUE(HasCode(LintRee(Ree("(eps)!=")), "GQD-AUT-003"));
+  EXPECT_TRUE(HasCode(LintRee(Ree("((a)=)!=")), "GQD-AUT-003"));
+  EXPECT_TRUE(HasCode(LintRem(Rem("$r1. a [r1= & r1!=]")), "GQD-AUT-003"));
+  // Only the topmost empty node is reported.
+  std::vector<Diagnostic> diagnostics = LintRee(Ree("a ((eps)!=) b"));
+  EXPECT_EQ(CountSeverity(diagnostics, DiagnosticSeverity::kError), 1u);
+}
+
+TEST(DiagnosticCode, RedundantNesting) {  // GQD-AUT-004
+  EXPECT_TRUE(HasCode(LintRem(Rem("(a+)+")), "GQD-AUT-004"));
+  EXPECT_TRUE(HasCode(LintRegex(Regex("(a*)*")), "GQD-AUT-004"));
+  EXPECT_TRUE(HasCode(LintRegex(Regex("a | a")), "GQD-AUT-004"));
+  EXPECT_TRUE(HasCode(LintRee(Ree("((a)=)=")), "GQD-AUT-004"));
+  EXPECT_FALSE(HasCode(LintRegex(Regex("a b | b a")), "GQD-AUT-004"));
+}
+
+TEST(DiagnosticCode, LetterOutsideAlphabet) {  // GQD-GRF-001
+  DataGraph g = RandomDataGraph({.num_labels = 2});  // alphabet {a, b}
+  AnalysisOptions options;
+  options.graph = &g;
+  std::vector<Diagnostic> diagnostics = LintRegex(Regex("a zzz"), options);
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-GRF-001"));
+  EXPECT_TRUE(HasErrors(diagnostics));
+  EXPECT_FALSE(HasCode(LintRegex(Regex("a b"), options), "GQD-GRF-001"));
+}
+
+TEST(DiagnosticCode, MoreRegistersThanDataValues) {  // GQD-GRF-002
+  DataGraph g = RandomDataGraph({.num_labels = 1, .num_data_values = 2});
+  AnalysisOptions options;
+  options.graph = &g;
+  std::vector<Diagnostic> diagnostics =
+      LintRem(Rem("$(r1,r2,r3). a [r1=] [r2=] [r3=]"), options);
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-GRF-002"));
+  EXPECT_FALSE(HasCode(LintRem(Rem("$(r1,r2). a [r1=] [r2=]"), options),
+                       "GQD-GRF-002"));
+}
+
+// --- Pass manager behavior -------------------------------------------------
+
+TEST(PassManager, CleanQueryHasNoDiagnostics) {
+  EXPECT_TRUE(LintRem(Rem("$r1. a b [r1=]")).empty());
+  EXPECT_TRUE(LintRee(Ree("(a b)= | c")).empty());
+  EXPECT_TRUE(LintRegex(Regex("(a | b)+ c*")).empty());
+}
+
+TEST(PassManager, OnlyPassesFilters) {
+  AnalysisOptions options;
+  options.only_passes = {"redundancy"};
+  // (a+)+ with a vacuous read: only the redundancy finding survives.
+  std::vector<Diagnostic> diagnostics = LintRem(Rem("(a [r1=] +)+"), options);
+  for (const Diagnostic& d : diagnostics) {
+    EXPECT_EQ(d.code, "GQD-AUT-004") << d.code;
+  }
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-AUT-004"));
+}
+
+TEST(PassManager, IncludeNotesFalseDropsNotes) {
+  AnalysisOptions options;
+  options.include_notes = false;
+  EXPECT_TRUE(LintRem(Rem("(a+)+"), options).empty());
+}
+
+TEST(PassManager, PassNamesAreStable) {
+  const std::vector<std::string>& names = LintPassNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "register-dataflow"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "graph-checks"),
+            names.end());
+}
+
+TEST(PassManager, EmittedCodesAreRegistered) {
+  std::set<std::string> registered;
+  for (const DiagnosticCodeInfo& info : AllDiagnosticCodes()) {
+    registered.insert(info.code);
+  }
+  DataGraph g = RandomDataGraph({.num_labels = 1, .num_data_values = 2});
+  AnalysisOptions options;
+  options.graph = &g;
+  for (const Diagnostic& d : LintRem(
+           Rem("$(r1,r2,r3). (a+)+ b [r1= & r1!=] [r9=] [r9!=]"), options)) {
+    EXPECT_TRUE(registered.count(d.code)) << d.code;
+  }
+}
+
+// --- AST vs automaton register-dataflow cross-check ------------------------
+
+RemPtr RandomRem(SplitMix64* rng, int depth) {
+  if (depth == 0 || rng->NextBool(1, 3)) {
+    switch (rng->NextBelow(3)) {
+      case 0:
+        return rem::Epsilon();
+      case 1:
+        return rem::Letter("a");
+      default:
+        return rem::Letter("b");
+    }
+  }
+  switch (rng->NextBelow(6)) {
+    case 0:
+      return rem::Union(
+          {RandomRem(rng, depth - 1), RandomRem(rng, depth - 1)});
+    case 1:
+      return rem::Concat(
+          {RandomRem(rng, depth - 1), RandomRem(rng, depth - 1)});
+    case 2:
+      return rem::Plus(RandomRem(rng, depth - 1));
+    case 3:
+      return rem::Bind({rng->NextBelow(3)}, RandomRem(rng, depth - 1));
+    case 4: {
+      ConditionPtr c = rng->NextBool(1, 2)
+                           ? cond::RegisterEq(rng->NextBelow(3))
+                           : cond::RegisterNeq(rng->NextBelow(3));
+      if (rng->NextBool(1, 3)) {
+        c = cond::And(std::move(c), rng->NextBool(1, 2)
+                                        ? cond::RegisterEq(rng->NextBelow(3))
+                                        : cond::RegisterNeq(rng->NextBelow(3)));
+      }
+      return rem::Test(RandomRem(rng, depth - 1), std::move(c));
+    }
+    default:
+      return rem::Star(RandomRem(rng, depth - 1));
+  }
+}
+
+TEST(RegisterDataflow, AstAndAutomatonAgreeOnRandomRems) {
+  SplitMix64 rng(20150531);  // PODS 2015.
+  for (int trial = 0; trial < 400; trial++) {
+    RemPtr e = RandomRem(&rng, 5);
+    std::vector<VacuousRead> from_ast = DeduplicateReads(AstVacuousReads(e));
+    StringInterner labels;
+    RegisterAutomaton ra =
+        CompileRem(e, &labels, /*intern_new_labels=*/true);
+    std::vector<VacuousRead> from_automaton = AutomatonVacuousReads(ra);
+    EXPECT_EQ(from_ast, from_automaton) << RemToString(e);
+  }
+}
+
+TEST(RegisterDataflow, PlusLoopFeedsBackStores) {
+  // In ($r1. a | b [r1=])+ the second iteration may read a store from the
+  // first: not a vacuous read.
+  RemPtr e = Rem("($r1. a | b [r1=])+");
+  EXPECT_TRUE(AstVacuousReads(e).empty());
+  StringInterner labels;
+  EXPECT_TRUE(
+      AutomatonVacuousReads(CompileRem(e, &labels, true)).empty());
+}
+
+TEST(RegisterDataflow, StoreAppliesBeforeItsBody) {
+  // ↓r1.(a[r1=]) stores the first value before the test reads it.
+  EXPECT_TRUE(AstVacuousReads(Rem("$r1. (a [r1=])")).empty());
+}
+
+TEST(RegisterDataflow, UnionBranchesAreIndependent) {
+  // The store in the left branch cannot feed the read in the right branch.
+  std::vector<VacuousReadSite> sites =
+      AstVacuousReads(Rem("$r1. a | b [r1=]"));
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].read.register_index, 0u);
+  EXPECT_TRUE(sites[0].read.is_equality);
+}
+
+TEST(RegisterDataflow, DeadStoresListsUnreadRegisters) {
+  std::vector<std::size_t> dead = DeadStores(Rem("$(r1,r3). a [r3=]"));
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 0u);
+}
+
+// --- Emptiness predicates --------------------------------------------------
+
+TEST(Emptiness, ReeInvariants) {
+  EXPECT_TRUE(ReeDefinitelyEmpty(Ree("(eps)!="), nullptr));
+  EXPECT_TRUE(ReeDefinitelyEmpty(Ree("((a)=)!="), nullptr));
+  EXPECT_TRUE(ReeDefinitelyEmpty(Ree("((a)!=)="), nullptr));
+  // (e≠)≠ and (e=)= are consistent; concat of = parts stays =.
+  EXPECT_FALSE(ReeDefinitelyEmpty(Ree("((a)!=)!="), nullptr));
+  EXPECT_TRUE(ReeDefinitelyEmpty(Ree("((a)= (b)=)!="), nullptr));
+  // A ≠ part inside a concat frees the endpoints: no contradiction.
+  EXPECT_FALSE(ReeDefinitelyEmpty(Ree("((a)!= (b)=)="), nullptr));
+}
+
+TEST(Emptiness, GraphAlphabetMakesLettersEmpty) {
+  DataGraph g = RandomDataGraph({.num_labels = 1});
+  EXPECT_TRUE(RemDefinitelyEmpty(Rem("a zzz"), &g));
+  EXPECT_FALSE(RemDefinitelyEmpty(Rem("a | zzz"), &g));
+  EXPECT_TRUE(RegexDefinitelyEmpty(Regex("zzz+"), &g));
+  EXPECT_FALSE(RegexDefinitelyEmpty(Regex("zzz*"), &g));  // matches ε
+}
+
+// --- Pre-flight ------------------------------------------------------------
+
+TEST(Preflight, RejectsErrorFindingsOnly) {
+  DataGraph g = RandomDataGraph({.num_labels = 1});
+  Status bad = PreflightPathExpression(g, PathExpression(Rem("a [r1=]")));
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("GQD-REG-001"), std::string::npos);
+  // Warnings never block.
+  EXPECT_TRUE(
+      PreflightPathExpression(g, PathExpression(Rem("a [r1!=]"))).ok());
+  EXPECT_TRUE(
+      PreflightPathExpression(g, PathExpression(Regex("a+"))).ok());
+}
+
+TEST(Preflight, CoversAllThreeFamilies) {
+  DataGraph g = RandomDataGraph({.num_labels = 1});
+  EXPECT_FALSE(
+      PreflightPathExpression(g, PathExpression(Regex("zzz"))).ok());
+  EXPECT_FALSE(
+      PreflightPathExpression(g, PathExpression(Ree("(eps)!="))).ok());
+  EXPECT_FALSE(
+      PreflightPathExpression(g, PathExpression(Rem("zzz"))).ok());
+}
+
+TEST(Preflight, LintPathExpressionReportsWithoutRejecting) {
+  DataGraph g = RandomDataGraph({.num_labels = 1});
+  std::vector<Diagnostic> diagnostics =
+      LintPathExpression(g, PathExpression(Rem("a [r1!=]")));
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-REG-002"));
+}
+
+// --- Synthesis post-pass / property sweep ----------------------------------
+
+TEST(SynthesisLint, SynthesizedQueriesAreErrorFree) {
+  // Sweep random graphs; relations produced by evaluating queries are
+  // definable by construction, so synthesis must succeed AND be lint-clean
+  // at error level (the post-pass inside Synthesize* would fail otherwise;
+  // this re-checks directly against the public lint entry points).
+  for (std::uint64_t seed = 1; seed <= 12; seed++) {
+    DataGraph g = RandomDataGraph({.num_nodes = 4,
+                                   .num_labels = 2,
+                                   .num_data_values = 2,
+                                   .edge_percent = 35,
+                                   .seed = seed});
+    AnalysisOptions options;
+    options.graph = &g;
+
+    BinaryRelation from_rpq = EvaluateRpq(g, Regex("a b | b"));
+    auto rpq = SynthesizeRpqQuery(g, from_rpq);
+    ASSERT_TRUE(rpq.ok()) << rpq.status();
+    if (rpq.value().has_value()) {
+      EXPECT_FALSE(HasErrors(LintRegex(*rpq.value(), options)))
+          << RegexToString(*rpq.value());
+    }
+
+    BinaryRelation from_rem =
+        EvaluateRem(g, Rem("$r1. a (b | a) [r1!=]"));
+    auto krem = SynthesizeKRemQuery(g, from_rem, 1);
+    ASSERT_TRUE(krem.ok()) << krem.status();
+    if (krem.value().has_value() && !from_rem.Empty()) {
+      EXPECT_FALSE(HasErrors(LintRem(*krem.value(), options)))
+          << RemToString(*krem.value());
+    }
+
+    BinaryRelation from_ree = EvaluateRee(g, Ree("(a b)= | b"));
+    auto ree_q = SynthesizeReeQuery(g, from_ree);
+    ASSERT_TRUE(ree_q.ok()) << ree_q.status();
+    if (ree_q.value().has_value() && !from_ree.Empty()) {
+      EXPECT_FALSE(HasErrors(LintRee(*ree_q.value(), options)))
+          << ReeToString(*ree_q.value());
+    }
+  }
+}
+
+TEST(SynthesisLint, PostpassAcceptsCleanAndEmptyTargets) {
+  DataGraph g = Figure1Graph();
+  BinaryRelation s2 = Figure1S2(g);
+  auto query = SynthesizeKRemQuery(g, s2, 2);
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_TRUE(query.value().has_value());
+  auto lint = LintSynthesizedRem(g, s2, *query.value());
+  ASSERT_TRUE(lint.ok()) << lint.status();
+
+  // The empty-relation ε[¬⊤] query intentionally carries a COND-001 error;
+  // the post-pass must not reject it.
+  BinaryRelation empty(g.NumNodes());
+  auto empty_query = SynthesizeKRemQuery(g, empty, 1);
+  ASSERT_TRUE(empty_query.ok());
+  ASSERT_TRUE(empty_query.value().has_value());
+  auto empty_lint = LintSynthesizedRem(g, empty, *empty_query.value());
+  EXPECT_TRUE(empty_lint.ok()) << empty_lint.status();
+  EXPECT_TRUE(HasCode(empty_lint.value(), "GQD-COND-001"));
+}
+
+TEST(SynthesisLint, PostpassRejectsDefectiveQuery) {
+  DataGraph g = Figure1Graph();
+  BinaryRelation s1 = Figure1S1(g);  // non-empty
+  auto lint = LintSynthesizedRem(g, s1, Rem("a [r1=]"));
+  ASSERT_FALSE(lint.ok());
+  EXPECT_EQ(lint.status().code(), StatusCode::kInternal);
+  EXPECT_NE(lint.status().message().find("GQD-REG-001"), std::string::npos);
+}
+
+// --- Lint suites -----------------------------------------------------------
+
+TEST(LintSuite, StructureErrorsFailTheRun) {
+  EXPECT_EQ(RunLintSuite("klingon a\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunLintSuite("rem\n").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LintSuite, RendersTextAndJson) {
+  auto entries = RunLintSuite("# comment\n\nrem a [r1=]\nregex a | a\n");
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  ASSERT_EQ(entries.value().size(), 2u);
+  std::string text = LintSuiteToText(entries.value());
+  EXPECT_NE(text.find("GQD-REG-001"), std::string::npos);
+  EXPECT_NE(text.find("GQD-AUT-004"), std::string::npos);
+  std::string json = LintSuiteToJson(entries.value());
+  EXPECT_NE(json.find("\"language\":\"rem\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"GQD-REG-001\""), std::string::npos);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(LintSuite, SeededDefectSuiteCoversAllPassFamilies) {
+  const std::string data_dir = GQD_EXAMPLES_DATA_DIR;
+  std::string suite_text = ReadFileOrDie(data_dir + "/lint_defects.suite");
+  DataGraph g =
+      ReadGraphText(ReadFileOrDie(data_dir + "/social_network.graph"))
+          .ValueOrDie();
+  AnalysisOptions options;
+  options.graph = &g;
+  auto entries = RunLintSuite(suite_text, options);
+  ASSERT_TRUE(entries.ok()) << entries.status();
+
+  std::set<std::string> codes;
+  for (const LintSuiteEntry& entry : entries.value()) {
+    for (const Diagnostic& d : entry.diagnostics) {
+      codes.insert(d.code);
+    }
+    EXPECT_FALSE(HasCode(entry.diagnostics, "GQD-PARSE-001"))
+        << entry.expression_text;
+  }
+  // Every pass family fires somewhere in the suite.
+  for (const char* code :
+       {"GQD-REG-001", "GQD-REG-002", "GQD-REG-003", "GQD-COND-001",
+        "GQD-COND-002", "GQD-COND-003", "GQD-AUT-001", "GQD-AUT-002",
+        "GQD-AUT-003", "GQD-AUT-004", "GQD-GRF-001", "GQD-GRF-002"}) {
+    EXPECT_TRUE(codes.count(code)) << code;
+  }
+}
+
+}  // namespace
+}  // namespace gqd

@@ -1,9 +1,12 @@
 // gqd — the command-line interface to the library.
 //
 //   gqd eval <graph> <regex|rem|ree> <expression> [--explain <u> <v>]
+//            [--preflight]
 //   gqd check <graph> <relation> [--language all|rpq|rem|ree|ucrdpq] [--k N]
 //   gqd synth <graph> <relation> --language rpq|rem|ree [--k N] [--simplify]
 //   gqd convert <regex|ree> <expression>        # embed into REM
+//   gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]
+//   gqd lint --suite <file> [--graph <file>] [--json]
 //   gqd info <graph> [--dot]
 //
 // Graph files use the `node`/`edge` text format, relation files the `pair`
@@ -29,12 +32,16 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  gqd eval <graph> <regex|rem|ree> <expression> [--explain u v]\n"
+      "  gqd eval <graph> <regex|rem|ree> <expression> [--explain u v]"
+      " [--preflight]\n"
       "  gqd check <graph> <relation> [--language all|rpq|rem|ree|ucrdpq]"
       " [--k N]\n"
       "  gqd synth <graph> <relation> --language rpq|rem|ree [--k N]"
       " [--simplify]\n"
       "  gqd convert <regex|ree> <expression>\n"
+      "  gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]"
+      " [--no-notes]\n"
+      "  gqd lint --suite <file> [--graph <file>] [--json]\n"
       "  gqd info <graph> [--dot]\n");
   return 2;
 }
@@ -79,11 +86,21 @@ int CmdEval(int argc, char** argv) {
   }
   std::string language = argv[1];
   std::string text = argv[2];
+  // Opt-in pre-flight: reject error-level lint findings before evaluating.
+  bool preflight = HasFlag(argc - 3, argv + 3, "--preflight");
+  auto run_preflight = [&](const PathExpression& expression) {
+    return preflight ? PreflightPathExpression(graph.value(), expression)
+                     : Status::OK();
+  };
   BinaryRelation result(graph.value().NumNodes());
   if (language == "regex") {
     auto e = ParseRegex(text);
     if (!e.ok()) {
       return Fail(e.status());
+    }
+    Status admitted = run_preflight(e.value());
+    if (!admitted.ok()) {
+      return Fail(admitted);
     }
     result = EvaluateRpq(graph.value(), e.value());
   } else if (language == "rem") {
@@ -91,11 +108,19 @@ int CmdEval(int argc, char** argv) {
     if (!e.ok()) {
       return Fail(e.status());
     }
+    Status admitted = run_preflight(e.value());
+    if (!admitted.ok()) {
+      return Fail(admitted);
+    }
     result = EvaluateRem(graph.value(), e.value());
   } else if (language == "ree") {
     auto e = ParseRee(text);
     if (!e.ok()) {
       return Fail(e.status());
+    }
+    Status admitted = run_preflight(e.value());
+    if (!admitted.ok()) {
+      return Fail(admitted);
     }
     result = EvaluateRee(graph.value(), e.value());
   } else {
@@ -303,6 +328,79 @@ int CmdConvert(int argc, char** argv) {
   return Usage();
 }
 
+int CmdLint(int argc, char** argv) {
+  if (argc < 1) {
+    return Usage();
+  }
+  bool json = HasFlag(argc, argv, "--json");
+  AnalysisOptions options;
+  options.include_notes = !HasFlag(argc, argv, "--no-notes");
+  std::optional<DataGraph> graph;
+  const char* graph_path = FlagValue(argc, argv, "--graph");
+  if (graph_path != nullptr) {
+    auto loaded = LoadGraph(graph_path);
+    if (!loaded.ok()) {
+      return Fail(loaded.status());
+    }
+    graph = std::move(loaded).value();
+    options.graph = &*graph;
+  }
+
+  const char* suite_path = FlagValue(argc, argv, "--suite");
+  if (suite_path != nullptr) {
+    auto text = ReadFileToString(suite_path);
+    if (!text.ok()) {
+      return Fail(text.status());
+    }
+    auto entries = RunLintSuite(text.value(), options);
+    if (!entries.ok()) {
+      return Fail(entries.status());
+    }
+    std::printf("%s", json ? LintSuiteToJson(entries.value()).c_str()
+                           : LintSuiteToText(entries.value()).c_str());
+    if (json) {
+      std::printf("\n");
+    }
+    return SuiteHasErrors(entries.value()) ? 1 : 0;
+  }
+
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string language = argv[0];
+  std::string text = argv[1];
+  std::vector<Diagnostic> diagnostics;
+  if (language == "regex") {
+    auto e = ParseRegex(text);
+    if (!e.ok()) {
+      return Fail(e.status());
+    }
+    diagnostics = LintRegex(e.value(), options);
+  } else if (language == "rem") {
+    auto e = ParseRem(text);
+    if (!e.ok()) {
+      return Fail(e.status());
+    }
+    diagnostics = LintRem(e.value(), options);
+  } else if (language == "ree") {
+    auto e = ParseRee(text);
+    if (!e.ok()) {
+      return Fail(e.status());
+    }
+    diagnostics = LintRee(e.value(), options);
+  } else {
+    return Usage();
+  }
+  if (json) {
+    std::printf("%s\n", DiagnosticsToJson(diagnostics).c_str());
+  } else if (diagnostics.empty()) {
+    std::printf("clean\n");
+  } else {
+    std::printf("%s", DiagnosticsToText(diagnostics).c_str());
+  }
+  return HasErrors(diagnostics) ? 1 : 0;
+}
+
 int CmdInfo(int argc, char** argv) {
   if (argc < 1) {
     return Usage();
@@ -347,6 +445,9 @@ int main(int argc, char** argv) {
   }
   if (command == "convert") {
     return CmdConvert(argc - 2, argv + 2);
+  }
+  if (command == "lint") {
+    return CmdLint(argc - 2, argv + 2);
   }
   if (command == "info") {
     return CmdInfo(argc - 2, argv + 2);
