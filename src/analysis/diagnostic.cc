@@ -1,7 +1,8 @@
 #include "analysis/diagnostic.h"
 
-#include <cstdio>
 #include <sstream>
+
+#include "common/json_util.h"
 
 namespace gqd {
 
@@ -47,40 +48,6 @@ std::string DiagnosticsToText(const std::vector<Diagnostic>& diagnostics) {
     }
   }
   return out.str();
-}
-
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {

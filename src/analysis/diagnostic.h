@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json_util.h"  // IWYU pragma: export (JsonEscape moved here)
+
 namespace gqd {
 
 enum class DiagnosticSeverity {
@@ -53,9 +55,6 @@ std::string DiagnosticsToText(const std::vector<Diagnostic>& diagnostics);
 ///   {"diagnostics":[{"severity":"error","code":...,"message":...,
 ///    "subexpression":...}],"errors":N,"warnings":N,"notes":N}
 std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
-
-/// Escapes a string for embedding in a JSON string literal (no quotes).
-std::string JsonEscape(const std::string& text);
 
 /// Registry entry for one stable diagnostic code.
 struct DiagnosticCodeInfo {

@@ -1,0 +1,97 @@
+// Cooperative cancellation for long-running algorithms.
+//
+// The decision procedures in this library are EXPSPACE/PSPACE/coNP-complete,
+// so a single request can legitimately run for hours. The serving layer
+// (src/runtime/) gives every request a CancelToken carrying an optional
+// deadline; the long-running loops (k-REM macro-tuple BFS, REE level
+// closure, CSP backtracking, the eval product constructions) poll it and
+// bail out with Status::DeadlineExceeded instead of finishing the search.
+//
+// Polling is cooperative and cheap: Expired() is one relaxed atomic load
+// until the deadline actually passes (the clock is only read while the
+// token is still live), and hot loops amortize even that with a local
+// stride counter — see GQD_CANCEL_STRIDE_CHECK below.
+//
+// The token lives in common/ rather than runtime/ so that the algorithm
+// layers can accept one without depending on the serving subsystem.
+
+#ifndef GQD_COMMON_CANCEL_H_
+#define GQD_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "common/status.h"
+
+namespace gqd {
+
+/// Shared cancellation state: an explicit Cancel() flag plus an optional
+/// wall deadline. Thread-safe; one token may be polled from many workers.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// A token that expires at `deadline`.
+  explicit CancelToken(Clock::time_point deadline) : deadline_(deadline) {}
+
+  /// A token that expires `budget` from now.
+  explicit CancelToken(std::chrono::nanoseconds budget)
+      : deadline_(Clock::now() + budget) {}
+
+  // The atomic flag pins the token in place; share it by pointer.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation explicitly (server shutdown, client gone).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Sets/replaces the deadline. Not thread-safe against concurrent
+  /// Expired() polls; configure the token before handing it to workers.
+  void SetDeadline(Clock::time_point deadline) { deadline_ = deadline; }
+
+  bool has_deadline() const { return deadline_.has_value(); }
+  std::optional<Clock::time_point> deadline() const { return deadline_; }
+
+  /// True once the token is cancelled or its deadline has passed. After the
+  /// first true result the answer is latched, so subsequent calls are a
+  /// single relaxed load with no clock read.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (deadline_.has_value() && Clock::now() >= *deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// OK while live, Status::DeadlineExceeded once expired.
+  Status Check() const {
+    if (Expired()) {
+      return Status::DeadlineExceeded(
+          deadline_.has_value() ? "request deadline exceeded"
+                                : "request cancelled");
+    }
+    return Status::OK();
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  std::optional<Clock::time_point> deadline_;
+};
+
+/// Amortized poll for hot loops: evaluates to true when `token` (a
+/// `const CancelToken*`, may be null) is expired, checking only every 256
+/// invocations. `counter` must be an l-value of integral type local to the
+/// loop (one per polling site).
+#define GQD_CANCEL_STRIDE_CHECK(token, counter) \
+  ((token) != nullptr && ((++(counter) & 0xFF) == 0) && (token)->Expired())
+
+}  // namespace gqd
+
+#endif  // GQD_COMMON_CANCEL_H_

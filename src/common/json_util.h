@@ -1,0 +1,22 @@
+// Shared helpers for hand-rolled JSON emission.
+//
+// Several layers emit JSON without a serializer dependency (analysis
+// diagnostics, graph info, the runtime service protocol); the escaping
+// rules live here so they exist exactly once.
+
+#ifndef GQD_COMMON_JSON_UTIL_H_
+#define GQD_COMMON_JSON_UTIL_H_
+
+#include <string>
+
+namespace gqd {
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& text);
+
+/// `"text"` with escaping — the quoted JSON string literal.
+std::string JsonQuote(const std::string& text);
+
+}  // namespace gqd
+
+#endif  // GQD_COMMON_JSON_UTIL_H_

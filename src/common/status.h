@@ -25,6 +25,7 @@ enum class StatusCode {
   kInternal,         ///< Invariant violation inside the library (a bug).
   kIOError,          ///< Filesystem / stream failure.
   kUnimplemented,    ///< Feature intentionally not supported.
+  kDeadlineExceeded, ///< A request deadline passed (or it was cancelled).
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -64,6 +65,9 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -126,6 +126,7 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
     process_tuple(0);
   }
 
+  std::uint32_t ticks = 0;
   for (std::size_t head = 0; head < tuples.size() && unsolved > 0; head++) {
     if (tuples.size() > options.max_tuples) {
       result.verdict = DefinabilityVerdict::kBudgetExhausted;
@@ -133,6 +134,9 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
       return result;
     }
     for (std::uint32_t mask = 0; mask < ag.num_store_masks(); mask++) {
+      if (options.cancel != nullptr && options.cancel->Expired()) {
+        return options.cancel->Check();
+      }
       for (LabelId label = 0; label < ag.num_labels(); label++) {
         // Successors of every Q_i grouped by equality pattern, so each
         // condition evaluates as a union of pre-computed pattern parts.
@@ -168,6 +172,9 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
         }
         std::uint32_t subset_count = 1u << achieved_patterns.size();
         for (std::uint32_t subset = 1; subset < subset_count; subset++) {
+          if (GQD_CANCEL_STRIDE_CHECK(options.cancel, ticks)) {
+            return options.cancel->Check();
+          }
           MintermMask condition = 0;
           MacroTuple successor;
           successor.sets.assign(n, DynamicBitset(num_states));

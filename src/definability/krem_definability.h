@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/interner.h"
 #include "common/status.h"
 #include "definability/assignment_graph.h"
@@ -42,6 +43,9 @@ struct KRemWitness {
 struct KRemDefinabilityOptions {
   /// Maximum number of distinct macro tuples to explore before giving up.
   std::size_t max_tuples = 200'000;
+  /// Optional cooperative cancellation: the BFS polls this token and
+  /// returns Status::DeadlineExceeded once it expires.
+  const CancelToken* cancel = nullptr;
 };
 
 struct KRemDefinabilityResult {

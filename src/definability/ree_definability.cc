@@ -96,12 +96,18 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
     add_generator(ops.FromLabel(a), ree::Letter(label_names[a]));
   }
 
+  std::uint32_t ticks = 0;
+  bool expired = false;
   auto close = [&]() -> bool {
     bool progress = true;
     while (progress) {
       progress = false;
       for (std::size_t i = 0; i < elements.size(); i++) {
         while (applied[i] < gens.size()) {
+          if (GQD_CANCEL_STRIDE_CHECK(options.cancel, ticks)) {
+            expired = true;
+            return false;
+          }
           std::size_t g = gens[applied[i]++];
           std::size_t before = elements.size();
           add_element(ops.Compose(elements[i], elements[g]),
@@ -119,6 +125,9 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
   };
 
   if (!close()) {
+    if (expired) {
+      return options.cancel->Check();
+    }
     result.verdict = DefinabilityVerdict::kBudgetExhausted;
     result.monoid_size = elements.size();
     return result;
@@ -126,6 +135,9 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
   for (std::size_t level = 0; level < max_levels; level++) {
     std::size_t before = elements.size();
     for (std::size_t i = 0; i < before; i++) {
+      if (GQD_CANCEL_STRIDE_CHECK(options.cancel, ticks)) {
+        return options.cancel->Check();
+      }
       add_generator(ops.Eq(elements[i]), ree::Eq(derivations[i]));
       add_generator(ops.Neq(elements[i]), ree::Neq(derivations[i]));
       if (elements.size() > options.max_monoid_size) {
@@ -139,6 +151,9 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
     }
     result.levels_used = level + 1;
     if (!close()) {
+      if (expired) {
+        return options.cancel->Check();
+      }
       result.verdict = DefinabilityVerdict::kBudgetExhausted;
       result.monoid_size = elements.size();
       return result;

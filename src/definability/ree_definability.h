@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "definability/verdict.h"
 #include "graph/data_graph.h"
@@ -34,6 +35,9 @@ struct ReeDefinabilityOptions {
   std::size_t max_monoid_size = 200'000;
   /// Maximum restriction levels; 0 means the paper's bound n².
   std::size_t max_levels = 0;
+  /// Optional cooperative cancellation: the level closure polls this token
+  /// and returns Status::DeadlineExceeded once it expires.
+  const CancelToken* cancel = nullptr;
 };
 
 struct ReeDefinabilityResult {

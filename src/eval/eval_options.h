@@ -1,0 +1,19 @@
+// Shared options for the query evaluators (eval/rpq_eval.h and friends).
+
+#ifndef GQD_EVAL_EVAL_OPTIONS_H_
+#define GQD_EVAL_EVAL_OPTIONS_H_
+
+#include "common/cancel.h"
+
+namespace gqd {
+
+/// Options accepted by the cancellable evaluator overloads. The evaluators
+/// poll `cancel` inside their product BFS / AST recursion and return
+/// Status::DeadlineExceeded once it expires.
+struct EvalOptions {
+  const CancelToken* cancel = nullptr;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_EVAL_EVAL_OPTIONS_H_

@@ -4,7 +4,17 @@
 
 namespace gqd {
 
-BinaryRelation EvaluateRee(const DataGraph& graph, const ReePtr& expression) {
+namespace {
+
+/// Bottom-up AST pass shared by both entry points. `cancel` may be null;
+/// with a token the recursion polls it before every node's relation-algebra
+/// step (each step is O(n³/64) words — coarse-grained polling suffices).
+Result<BinaryRelation> EvaluateReeImpl(const DataGraph& graph,
+                                       const ReePtr& expression,
+                                       const CancelToken* cancel) {
+  if (cancel != nullptr && cancel->Expired()) {
+    return cancel->Check();
+  }
   std::size_t n = graph.NumNodes();
   switch (expression->kind) {
     case ReeKind::kEpsilon:
@@ -19,27 +29,58 @@ BinaryRelation EvaluateRee(const DataGraph& graph, const ReePtr& expression) {
     case ReeKind::kUnion: {
       BinaryRelation out(n);
       for (const ReePtr& child : expression->children) {
-        out.UnionWith(EvaluateRee(graph, child));
+        GQD_ASSIGN_OR_RETURN(BinaryRelation r,
+                             EvaluateReeImpl(graph, child, cancel));
+        out.UnionWith(r);
       }
       return out;
     }
     case ReeKind::kConcat: {
       assert(!expression->children.empty());
-      BinaryRelation out = EvaluateRee(graph, expression->children[0]);
+      GQD_ASSIGN_OR_RETURN(
+          BinaryRelation out,
+          EvaluateReeImpl(graph, expression->children[0], cancel));
       for (std::size_t i = 1; i < expression->children.size(); i++) {
-        out = out.Compose(EvaluateRee(graph, expression->children[i]));
+        GQD_ASSIGN_OR_RETURN(
+            BinaryRelation next,
+            EvaluateReeImpl(graph, expression->children[i], cancel));
+        out = out.Compose(next);
       }
       return out;
     }
-    case ReeKind::kPlus:
-      return TransitivePlus(EvaluateRee(graph, expression->children[0]));
-    case ReeKind::kEq:
-      return EvaluateRee(graph, expression->children[0]).EqRestrict(graph);
-    case ReeKind::kNeq:
-      return EvaluateRee(graph, expression->children[0]).NeqRestrict(graph);
+    case ReeKind::kPlus: {
+      GQD_ASSIGN_OR_RETURN(
+          BinaryRelation base,
+          EvaluateReeImpl(graph, expression->children[0], cancel));
+      return TransitivePlus(base);
+    }
+    case ReeKind::kEq: {
+      GQD_ASSIGN_OR_RETURN(
+          BinaryRelation base,
+          EvaluateReeImpl(graph, expression->children[0], cancel));
+      return base.EqRestrict(graph);
+    }
+    case ReeKind::kNeq: {
+      GQD_ASSIGN_OR_RETURN(
+          BinaryRelation base,
+          EvaluateReeImpl(graph, expression->children[0], cancel));
+      return base.NeqRestrict(graph);
+    }
   }
   assert(false && "unreachable");
   return BinaryRelation(n);
+}
+
+}  // namespace
+
+BinaryRelation EvaluateRee(const DataGraph& graph, const ReePtr& expression) {
+  return EvaluateReeImpl(graph, expression, nullptr).ValueOrDie();
+}
+
+Result<BinaryRelation> EvaluateRee(const DataGraph& graph,
+                                   const ReePtr& expression,
+                                   const EvalOptions& options) {
+  return EvaluateReeImpl(graph, expression, options.cancel);
 }
 
 }  // namespace gqd

@@ -10,6 +10,8 @@
 #ifndef GQD_EVAL_REE_EVAL_H_
 #define GQD_EVAL_REE_EVAL_H_
 
+#include "common/status.h"
+#include "eval/eval_options.h"
 #include "graph/data_graph.h"
 #include "graph/relation.h"
 #include "ree/ast.h"
@@ -18,6 +20,12 @@ namespace gqd {
 
 /// Evaluates the RDPQ_= x -e-> y on `graph`; returns all satisfying pairs.
 BinaryRelation EvaluateRee(const DataGraph& graph, const ReePtr& expression);
+
+/// Cancellable variant: polls `options.cancel` between relation-algebra
+/// steps and returns Status::DeadlineExceeded once it expires.
+Result<BinaryRelation> EvaluateRee(const DataGraph& graph,
+                                   const ReePtr& expression,
+                                   const EvalOptions& options);
 
 }  // namespace gqd
 

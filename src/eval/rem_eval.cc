@@ -54,15 +54,18 @@ class AssignmentCodec {
   std::uint64_t base_;
 };
 
-}  // namespace
-
-BinaryRelation EvaluateRem(const DataGraph& graph, const RemPtr& expression) {
+/// Configuration BFS shared by both entry points. `cancel` may be null;
+/// with a token the search polls it (stride-amortized) and reports expiry.
+Result<BinaryRelation> EvaluateRemImpl(const DataGraph& graph,
+                                       const RemPtr& expression,
+                                       const CancelToken* cancel) {
   StringInterner labels = graph.labels();
   RegisterAutomaton ra =
       CompileRem(expression, &labels, /*intern_new_labels=*/false);
   std::size_t n = graph.NumNodes();
   AssignmentCodec codec(ra.num_registers, graph.NumDataValues());
   BinaryRelation result(n);
+  std::uint32_t ticks = 0;
 
   struct Config {
     NodeId node;
@@ -86,6 +89,9 @@ BinaryRelation EvaluateRem(const DataGraph& graph, const RemPtr& expression) {
     visit(u, ra.start,
           codec.Encode(RegisterAssignment(ra.num_registers, kEmptyRegister)));
     while (!frontier.empty()) {
+      if (GQD_CANCEL_STRIDE_CHECK(cancel, ticks)) {
+        return cancel->Check();
+      }
       Config c = frontier.front();
       frontier.pop();
       if (c.state == ra.accept) {
@@ -115,6 +121,18 @@ BinaryRelation EvaluateRem(const DataGraph& graph, const RemPtr& expression) {
     }
   }
   return result;
+}
+
+}  // namespace
+
+BinaryRelation EvaluateRem(const DataGraph& graph, const RemPtr& expression) {
+  return EvaluateRemImpl(graph, expression, nullptr).ValueOrDie();
+}
+
+Result<BinaryRelation> EvaluateRem(const DataGraph& graph,
+                                   const RemPtr& expression,
+                                   const EvalOptions& options) {
+  return EvaluateRemImpl(graph, expression, options.cancel);
 }
 
 }  // namespace gqd

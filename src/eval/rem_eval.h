@@ -9,6 +9,8 @@
 #ifndef GQD_EVAL_REM_EVAL_H_
 #define GQD_EVAL_REM_EVAL_H_
 
+#include "common/status.h"
+#include "eval/eval_options.h"
 #include "graph/data_graph.h"
 #include "graph/relation.h"
 #include "rem/ast.h"
@@ -19,6 +21,12 @@ namespace gqd {
 /// pairs. Letters of `expression` absent from the graph's alphabet match
 /// nothing.
 BinaryRelation EvaluateRem(const DataGraph& graph, const RemPtr& expression);
+
+/// Cancellable variant: polls `options.cancel` inside the configuration BFS
+/// and returns Status::DeadlineExceeded once it expires.
+Result<BinaryRelation> EvaluateRem(const DataGraph& graph,
+                                   const RemPtr& expression,
+                                   const EvalOptions& options);
 
 }  // namespace gqd
 

@@ -7,7 +7,13 @@
 
 namespace gqd {
 
-BinaryRelation EvaluateRpq(const DataGraph& graph, const RegexPtr& regex) {
+namespace {
+
+/// Product BFS shared by both entry points. `cancel` may be null; with a
+/// token the search polls it (stride-amortized) and reports expiry.
+Result<BinaryRelation> EvaluateRpqImpl(const DataGraph& graph,
+                                       const RegexPtr& regex,
+                                       const CancelToken* cancel) {
   // The graph's interner is const; compile against a copy so unknown regex
   // letters stay unknown (dead) without mutating the graph.
   StringInterner labels = graph.labels();
@@ -15,6 +21,7 @@ BinaryRelation EvaluateRpq(const DataGraph& graph, const RegexPtr& regex) {
 
   std::size_t n = graph.NumNodes();
   BinaryRelation result(n);
+  std::uint32_t ticks = 0;
 
   // One BFS over (node, nfa-state) per start node.
   for (NodeId u = 0; u < n; u++) {
@@ -29,6 +36,9 @@ BinaryRelation EvaluateRpq(const DataGraph& graph, const RegexPtr& regex) {
     };
     visit(u, nfa.start);
     while (!frontier.empty()) {
+      if (GQD_CANCEL_STRIDE_CHECK(cancel, ticks)) {
+        return cancel->Check();
+      }
       auto [v, s] = frontier.front();
       frontier.pop();
       if (s == nfa.accept) {
@@ -47,6 +57,18 @@ BinaryRelation EvaluateRpq(const DataGraph& graph, const RegexPtr& regex) {
     }
   }
   return result;
+}
+
+}  // namespace
+
+BinaryRelation EvaluateRpq(const DataGraph& graph, const RegexPtr& regex) {
+  return EvaluateRpqImpl(graph, regex, nullptr).ValueOrDie();
+}
+
+Result<BinaryRelation> EvaluateRpq(const DataGraph& graph,
+                                   const RegexPtr& regex,
+                                   const EvalOptions& options) {
+  return EvaluateRpqImpl(graph, regex, options.cancel);
 }
 
 }  // namespace gqd

@@ -7,6 +7,8 @@
 #ifndef GQD_EVAL_RPQ_EVAL_H_
 #define GQD_EVAL_RPQ_EVAL_H_
 
+#include "common/status.h"
+#include "eval/eval_options.h"
 #include "graph/data_graph.h"
 #include "graph/relation.h"
 #include "regex/ast.h"
@@ -16,6 +18,12 @@ namespace gqd {
 /// Evaluates the RPQ x -e-> y on `graph`; returns all satisfying pairs.
 /// Letters of `regex` not in the graph's alphabet match nothing.
 BinaryRelation EvaluateRpq(const DataGraph& graph, const RegexPtr& regex);
+
+/// Cancellable variant: polls `options.cancel` inside the product BFS and
+/// returns Status::DeadlineExceeded once it expires.
+Result<BinaryRelation> EvaluateRpq(const DataGraph& graph,
+                                   const RegexPtr& regex,
+                                   const EvalOptions& options);
 
 }  // namespace gqd
 

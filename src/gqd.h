@@ -9,9 +9,11 @@
 #define GQD_GQD_H_
 
 // Common substrate.
-#include "common/bitset.h"      // IWYU pragma: export
-#include "common/interner.h"    // IWYU pragma: export
-#include "common/status.h"      // IWYU pragma: export
+#include "common/bitset.h"     // IWYU pragma: export
+#include "common/cancel.h"     // IWYU pragma: export
+#include "common/interner.h"   // IWYU pragma: export
+#include "common/json_util.h"  // IWYU pragma: export
+#include "common/status.h"     // IWYU pragma: export
 
 // Data graphs and relations.
 #include "graph/data_graph.h"     // IWYU pragma: export
@@ -44,7 +46,8 @@
 #include "analysis/register_dataflow.h"   // IWYU pragma: export
 
 // Evaluation.
-#include "eval/convert.h"   // IWYU pragma: export
+#include "eval/convert.h"       // IWYU pragma: export
+#include "eval/eval_options.h"  // IWYU pragma: export
 #include "eval/preflight.h" // IWYU pragma: export
 #include "eval/explain.h"   // IWYU pragma: export
 #include "eval/query.h"     // IWYU pragma: export
@@ -74,5 +77,15 @@
 #include "synthesis/lint_postpass.h"  // IWYU pragma: export
 #include "synthesis/simplify.h"       // IWYU pragma: export
 #include "synthesis/synthesis.h"      // IWYU pragma: export
+
+// Serving runtime (gqd serve).
+#include "runtime/client.h"          // IWYU pragma: export
+#include "runtime/graph_registry.h"  // IWYU pragma: export
+#include "runtime/json.h"            // IWYU pragma: export
+#include "runtime/result_cache.h"    // IWYU pragma: export
+#include "runtime/server.h"          // IWYU pragma: export
+#include "runtime/service.h"         // IWYU pragma: export
+#include "runtime/stats.h"           // IWYU pragma: export
+#include "runtime/thread_pool.h"     // IWYU pragma: export
 
 #endif  // GQD_GQD_H_

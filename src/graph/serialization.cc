@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/json_util.h"
+
 namespace gqd {
 
 namespace {
@@ -100,6 +102,23 @@ std::string WriteGraphDot(const DataGraph& graph) {
   return os.str();
 }
 
+std::string WriteGraphInfoJson(const DataGraph& graph) {
+  std::ostringstream os;
+  os << "{\"nodes\":" << graph.NumNodes() << ",\"edges\":" << graph.NumEdges()
+     << ",\"alphabet\":[";
+  const std::vector<std::string>& labels = graph.labels().names();
+  for (std::size_t i = 0; i < labels.size(); i++) {
+    os << (i > 0 ? "," : "") << JsonQuote(labels[i]);
+  }
+  os << "],\"data_values\":[";
+  const std::vector<std::string>& values = graph.data_values().names();
+  for (std::size_t i = 0; i < values.size(); i++) {
+    os << (i > 0 ? "," : "") << JsonQuote(values[i]);
+  }
+  os << "],\"num_data_values\":" << graph.NumDataValues() << "}";
+  return os.str();
+}
+
 std::string WriteRelationText(const DataGraph& graph,
                               const BinaryRelation& rel) {
   std::ostringstream os;
@@ -128,8 +147,9 @@ Result<BinaryRelation> ReadRelationText(const DataGraph& graph,
     auto u = graph.FindNode(tokens[1]);
     auto v = graph.FindNode(tokens[2]);
     if (!u.ok() || !v.ok()) {
-      return Status::InvalidArgument("line " + std::to_string(line_number) +
-                                     ": unknown node name");
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": unknown node '" +
+          (u.ok() ? tokens[2] : tokens[1]) + "'");
     }
     rel.Set(u.value(), v.value());
   }

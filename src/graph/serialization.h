@@ -32,6 +32,13 @@ Result<DataGraph> ReadGraphText(const std::string& text);
 /// Renders a Graphviz DOT view (data values as node labels).
 std::string WriteGraphDot(const DataGraph& graph);
 
+/// Renders a one-object JSON summary of the graph's shape:
+///   {"nodes":N,"edges":M,"alphabet":[...],"data_values":[...],
+///    "num_data_values":D}
+/// Shared by `gqd info --json` and the query service's `info`/`load`
+/// responses so the CLI and the server emit one format.
+std::string WriteGraphInfoJson(const DataGraph& graph);
+
 /// Renders a binary relation in the `pair` text format (node names).
 std::string WriteRelationText(const DataGraph& graph,
                               const BinaryRelation& rel);

@@ -161,12 +161,18 @@ struct Searcher {
   std::vector<std::vector<std::uint32_t>>* all_solutions = nullptr;
   std::size_t max_solutions = 1;
   bool budget_exhausted = false;
+  bool cancelled = false;
+  std::uint32_t cancel_ticks = 0;
 
   Searcher(const Csp& c, const CspOptions& o, CspStats* s)
       : csp(c), options(o), incidence(BuildIncidence(c)), stats(s) {}
 
   /// Returns true when the search should stop (enough solutions found).
   bool Search(std::vector<DynamicBitset> domains) {
+    if (GQD_CANCEL_STRIDE_CHECK(options.cancel, cancel_ticks)) {
+      cancelled = true;
+      return true;
+    }
     if (stats != nullptr) {
       if (++stats->nodes_expanded > options.max_nodes) {
         budget_exhausted = true;
@@ -237,6 +243,9 @@ Result<std::optional<std::vector<std::uint32_t>>> SolveCsp(
     return std::optional<std::vector<std::uint32_t>>();
   }
   searcher.Search(std::move(domains));
+  if (searcher.cancelled && solutions.empty()) {
+    return options.cancel->Check();
+  }
   if (searcher.budget_exhausted && solutions.empty()) {
     return Status::ResourceExhausted("CSP node budget exhausted");
   }
@@ -259,6 +268,9 @@ Result<std::vector<std::vector<std::uint32_t>>> EnumerateCspSolutions(
     return solutions;
   }
   searcher.Search(std::move(domains));
+  if (searcher.cancelled) {
+    return options.cancel->Check();
+  }
   if (searcher.budget_exhausted) {
     return Status::ResourceExhausted("CSP node budget exhausted");
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/cancel.h"
 #include "common/status.h"
 
 namespace gqd {
@@ -60,6 +61,9 @@ struct CspStats {
 struct CspOptions {
   bool use_ac3 = true;             ///< propagate with AC-3 at every node
   std::size_t max_nodes = 10'000'000;  ///< search budget
+  /// Optional cooperative cancellation: the backtracking search polls this
+  /// token and returns Status::DeadlineExceeded once it expires.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Finds one solution, or nullopt if none (or OutOfRange if the node budget

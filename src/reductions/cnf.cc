@@ -54,33 +54,39 @@ Result<CnfFormula> ParseDimacs(const std::string& text) {
   CnfFormula formula;
   std::istringstream is(text);
   std::string line;
+  std::size_t line_number = 0;
   bool header_seen = false;
   std::vector<Literal> current;
   std::size_t declared_clauses = 0;
   while (std::getline(is, line)) {
+    line_number++;
     if (line.empty() || line[0] == 'c') {
       continue;
     }
+    auto error = [&](const std::string& msg) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + msg);
+    };
     if (line[0] == 'p') {
       std::istringstream header(line);
       std::string p, cnf;
       if (!(header >> p >> cnf >> formula.num_variables >>
             declared_clauses) ||
           cnf != "cnf") {
-        return Status::InvalidArgument("malformed DIMACS header");
+        return error("malformed DIMACS header");
       }
       header_seen = true;
       continue;
     }
     if (!header_seen) {
-      return Status::InvalidArgument("clause before DIMACS header");
+      return error("clause before DIMACS header");
     }
     std::istringstream body(line);
     Literal lit;
     while (body >> lit) {
       if (lit == 0) {
         if (current.empty()) {
-          return Status::InvalidArgument("empty clause in DIMACS input");
+          return error("empty clause in DIMACS input");
         }
         formula.clauses.push_back(current);
         current.clear();
@@ -90,10 +96,14 @@ Result<CnfFormula> ParseDimacs(const std::string& text) {
     }
   }
   if (!current.empty()) {
-    return Status::InvalidArgument("unterminated clause (missing 0)");
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": unterminated clause (missing 0)");
   }
   if (declared_clauses != formula.clauses.size()) {
-    return Status::InvalidArgument("clause count mismatch with header");
+    return Status::InvalidArgument(
+        "header declared " + std::to_string(declared_clauses) +
+        " clauses but the file contains " +
+        std::to_string(formula.clauses.size()));
   }
   GQD_RETURN_NOT_OK(formula.Validate());
   return formula;

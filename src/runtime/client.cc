@@ -1,0 +1,76 @@
+#include "runtime/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gqd {
+
+LineClient::~LineClient() { Close(); }
+
+Status LineClient::Connect(std::uint16_t port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status =
+        Status::IOError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+Result<std::string> LineClient::Call(const std::string& line) {
+  if (fd_ < 0) {
+    return Status::IOError("not connected");
+  }
+  std::string framed = line;
+  framed += '\n';
+  std::size_t written = 0;
+  while (written < framed.size()) {
+    ssize_t w = ::write(fd_, framed.data() + written,
+                        framed.size() - written);
+    if (w <= 0) {
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(w);
+  }
+  char chunk[4096];
+  while (true) {
+    std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return response;
+    }
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      return Status::IOError("connection closed before a response arrived");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace gqd

@@ -1,0 +1,43 @@
+// A minimal blocking client for the gqd serve protocol.
+//
+// One TCP connection, one request line out, one response line back. Used
+// by the serve tests and by `gqd bench-serve`; not a general-purpose
+// client library.
+
+#ifndef GQD_RUNTIME_CLIENT_H_
+#define GQD_RUNTIME_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace gqd {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connects to 127.0.0.1:`port`.
+  Status Connect(std::uint16_t port);
+
+  /// Sends `line` (a newline is appended) and returns the one response
+  /// line, without its trailing newline.
+  Result<std::string> Call(const std::string& line);
+
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace gqd
+
+#endif  // GQD_RUNTIME_CLIENT_H_

@@ -1,0 +1,66 @@
+#include "runtime/graph_registry.h"
+
+#include <cstdio>
+
+#include "graph/serialization.h"
+
+namespace gqd {
+
+Result<RegisteredGraph> GraphRegistry::Load(const std::string& name,
+                                            const std::string& text) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must be non-empty");
+  }
+  GQD_ASSIGN_OR_RETURN(DataGraph graph, ReadGraphText(text));
+  return Register(name, std::move(graph));
+}
+
+RegisteredGraph GraphRegistry::Register(const std::string& name,
+                                        DataGraph graph) {
+  RegisteredGraph entry;
+  entry.fingerprint = Fingerprint(graph);
+  entry.graph = std::make_shared<const DataGraph>(std::move(graph));
+  std::lock_guard<std::mutex> lock(mutex_);
+  graphs_[name] = entry;
+  return entry;
+}
+
+Result<RegisteredGraph> GraphRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("no graph named '" + name +
+                            "' is loaded (use the load command first)");
+  }
+  return it->second;
+}
+
+std::vector<std::string> GraphRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [name, entry] : graphs_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.size();
+}
+
+std::string GraphRegistry::Fingerprint(const DataGraph& graph) {
+  std::string canonical = WriteGraphText(graph);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (unsigned char c : canonical) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;  // FNV prime
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buffer);
+}
+
+}  // namespace gqd

@@ -1,0 +1,66 @@
+// Named, immutable, fingerprinted data graphs shared across requests.
+//
+// The batch CLI re-parses its graph file on every invocation; the serving
+// layer instead loads each graph once into a GraphRegistry and hands out
+// shared_ptr<const DataGraph> — concurrent requests share one parsed copy
+// with no locking beyond the registry map itself.
+//
+// Every entry carries a content fingerprint: a 64-bit FNV-1a hash of the
+// canonical text serialization (WriteGraphText), rendered as 16 hex
+// digits. Result-cache keys embed the fingerprint rather than the name, so
+// re-loading a name with different content can never serve stale cached
+// relations, and two names with identical content share cache entries.
+
+#ifndef GQD_RUNTIME_GRAPH_REGISTRY_H_
+#define GQD_RUNTIME_GRAPH_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+
+namespace gqd {
+
+/// One registered graph: the shared parsed form plus its fingerprint.
+struct RegisteredGraph {
+  std::shared_ptr<const DataGraph> graph;
+  std::string fingerprint;  ///< 16 lowercase hex digits
+};
+
+class GraphRegistry {
+ public:
+  GraphRegistry() = default;
+  GraphRegistry(const GraphRegistry&) = delete;
+  GraphRegistry& operator=(const GraphRegistry&) = delete;
+
+  /// Parses `text` (the node/edge format) and registers it under `name`,
+  /// replacing any previous graph of that name. Returns the new entry.
+  Result<RegisteredGraph> Load(const std::string& name,
+                               const std::string& text);
+
+  /// Registers an already-built graph (in-process embedding, tests).
+  RegisteredGraph Register(const std::string& name, DataGraph graph);
+
+  /// Looks up a graph by name.
+  Result<RegisteredGraph> Get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  std::size_t size() const;
+
+  /// Content fingerprint of a graph: FNV-1a 64 over WriteGraphText.
+  static std::string Fingerprint(const DataGraph& graph);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, RegisteredGraph> graphs_;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_RUNTIME_GRAPH_REGISTRY_H_

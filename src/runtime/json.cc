@@ -1,0 +1,359 @@
+#include "runtime/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/json_util.h"
+
+namespace gqd {
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    GQD_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing input after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& msg) {
+    return Status::InvalidArgument("json at offset " + std::to_string(pos_) +
+                                   ": " + msg);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (++depth_ > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    Result<JsonValue> result = ParseValueInner();
+    depth_--;
+    return result;
+  }
+
+  Result<JsonValue> ParseValueInner() {
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        GQD_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case 't':
+        if (ConsumeWord("true")) {
+          return JsonValue(true);
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) {
+          return JsonValue(false);
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeWord("null")) {
+          return JsonValue();
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    pos_++;  // '{'
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return JsonValue(std::move(members));
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      GQD_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' after object key");
+      }
+      GQD_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return JsonValue(std::move(members));
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    pos_++;  // '['
+    JsonValue::Array elements;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return JsonValue(std::move(elements));
+    }
+    while (true) {
+      GQD_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      elements.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return JsonValue(std::move(elements));
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    pos_++;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; i++) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the code point (BMP only; see header).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      return Error("expected a JSON value");
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    return JsonValue(value);
+  }
+
+  static constexpr int kMaxDepth = 64;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void SerializeTo(const JsonValue& value, std::ostringstream& os) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      os << "null";
+      return;
+    case JsonValue::Kind::kBool:
+      os << (value.AsBool() ? "true" : "false");
+      return;
+    case JsonValue::Kind::kNumber: {
+      double n = value.AsNumber();
+      if (n == std::floor(n) && std::abs(n) < 9.0e15) {
+        os << static_cast<std::int64_t>(n);
+      } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", n);
+        os << buffer;
+      }
+      return;
+    }
+    case JsonValue::Kind::kString:
+      os << JsonQuote(value.AsString());
+      return;
+    case JsonValue::Kind::kArray: {
+      os << "[";
+      const JsonValue::Array& elements = value.AsArray();
+      for (std::size_t i = 0; i < elements.size(); i++) {
+        if (i > 0) {
+          os << ",";
+        }
+        SerializeTo(elements[i], os);
+      }
+      os << "]";
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      os << "{";
+      const JsonValue::Object& members = value.AsObject();
+      for (std::size_t i = 0; i < members.size(); i++) {
+        if (i > 0) {
+          os << ",";
+        }
+        os << JsonQuote(members[i].first) << ":";
+        SerializeTo(members[i].second, os);
+      }
+      os << "}";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).Run();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : AsObject()) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::string> JsonValue::GetString(std::string_view key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr) {
+    return Status::InvalidArgument("missing required field '" +
+                                   std::string(key) + "'");
+  }
+  if (!value->is_string()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a string");
+  }
+  return value->AsString();
+}
+
+Result<std::int64_t> JsonValue::GetInt(std::string_view key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr) {
+    return Status::InvalidArgument("missing required field '" +
+                                   std::string(key) + "'");
+  }
+  if (!value->is_number()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a number");
+  }
+  return static_cast<std::int64_t>(value->AsNumber());
+}
+
+Result<std::int64_t> JsonValue::GetIntOr(std::string_view key,
+                                         std::int64_t fallback) const {
+  if (Find(key) == nullptr) {
+    return fallback;
+  }
+  return GetInt(key);
+}
+
+Result<std::string> JsonValue::GetStringOr(std::string_view key,
+                                           std::string fallback) const {
+  if (Find(key) == nullptr) {
+    return fallback;
+  }
+  return GetString(key);
+}
+
+std::string JsonValue::Serialize() const {
+  std::ostringstream os;
+  SerializeTo(*this, os);
+  return os.str();
+}
+
+}  // namespace gqd

@@ -1,0 +1,82 @@
+#include "runtime/result_cache.h"
+
+#include <functional>
+
+namespace gqd {
+
+ResultCache::ResultCache(std::size_t capacity) {
+  if (capacity < kNumShards) {
+    capacity = kNumShards;  // at least one entry per shard
+  }
+  per_shard_capacity_ = capacity / kNumShards;
+}
+
+std::string ResultCache::MakeKey(const std::string& graph_fingerprint,
+                                 const std::string& language,
+                                 const std::string& normalized_query) {
+  // \x1f (unit separator) cannot appear in any component.
+  std::string key;
+  key.reserve(graph_fingerprint.size() + language.size() +
+              normalized_query.size() + 2);
+  key += graph_fingerprint;
+  key += '\x1f';
+  key += language;
+  key += '\x1f';
+  key += normalized_query;
+  return key;
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+const ResultCache::Shard& ResultCache::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+std::shared_ptr<const BinaryRelation> ResultCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    shard.misses++;
+    return nullptr;
+  }
+  shard.hits++;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void ResultCache::Put(const std::string& key,
+                      std::shared_ptr<const BinaryRelation> value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    shard.evictions++;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index[key] = shard.lru.begin();
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  Stats stats;
+  stats.capacity = per_shard_capacity_ * kNumShards;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+}  // namespace gqd

@@ -1,0 +1,83 @@
+// A sharded LRU cache of evaluated query results.
+//
+// Key = graph fingerprint + query language + *normalized* query text
+// (parse, then canonical-print, so `a . b` and `a.b` share an entry).
+// Value = the evaluated BinaryRelation, shared immutably.
+//
+// Sharding: the key hash picks one of a fixed power-of-two number of
+// shards, each with its own mutex, LRU list and map — concurrent requests
+// for different queries rarely contend. Counters (hits, misses,
+// evictions) are per-shard and summed on demand for ServerStats.
+
+#ifndef GQD_RUNTIME_RESULT_CACHE_H_
+#define GQD_RUNTIME_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "graph/relation.h"
+
+namespace gqd {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+
+  /// `capacity` is the total entry budget across all shards (>= 1).
+  explicit ResultCache(std::size_t capacity);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Builds the canonical cache key. `normalized_query` must already be in
+  /// canonical printed form; `language` is "rpq", "rem" or "ree".
+  static std::string MakeKey(const std::string& graph_fingerprint,
+                             const std::string& language,
+                             const std::string& normalized_query);
+
+  /// Returns the cached relation and bumps recency, or nullptr on miss.
+  std::shared_ptr<const BinaryRelation> Get(const std::string& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry of the same shard when that shard is full.
+  void Put(const std::string& key,
+           std::shared_ptr<const BinaryRelation> value);
+
+  Stats GetStats() const;
+
+ private:
+  // 8 shards: enough to decorrelate a pool's worth of workers without
+  // fragmenting a small capacity.
+  static constexpr std::size_t kNumShards = 8;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recent. Stores key copies so the map can reference them.
+    std::list<std::pair<std::string,
+                        std::shared_ptr<const BinaryRelation>>> lru;
+    std::unordered_map<std::string, decltype(lru)::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+
+  std::size_t per_shard_capacity_;
+  Shard shards_[kNumShards];
+};
+
+}  // namespace gqd
+
+#endif  // GQD_RUNTIME_RESULT_CACHE_H_

@@ -1,0 +1,169 @@
+#include "runtime/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace gqd {
+
+Server::~Server() {
+  Stop();
+  Wait();
+}
+
+Status Server::Start(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        return;  // Stop() closed the listen socket under us
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      return;  // unrecoverable accept failure; shut the loop down
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      break;  // peer closed, error, or Stop() closed the fd
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) {
+        continue;  // tolerate blank lines (e.g. \r\n keepalives)
+      }
+      bool shutdown = false;
+      std::string response = service_->HandleLine(line, &shutdown);
+      response += '\n';
+      std::size_t written = 0;
+      while (written < response.size()) {
+        ssize_t w = ::write(fd, response.data() + written,
+                            response.size() - written);
+        if (w <= 0) {
+          open = false;
+          break;
+        }
+        written += static_cast<std::size_t>(w);
+      }
+      if (shutdown) {
+        // Response is flushed; take the whole server down. Stop() never
+        // joins, so calling it from a connection thread cannot deadlock,
+        // and running it synchronously keeps it inside this thread's
+        // lifetime (Wait() joins us before the Server is destroyed).
+        Stop();
+        open = false;
+      }
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  // The fd itself is closed by Stop() (it owns connection_fds_) unless the
+  // connection ended first; closing here would race Stop()'s close on a
+  // reused descriptor, so hand ownership back instead.
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (std::size_t i = 0; i < connection_fds_.size(); i++) {
+    if (connection_fds_[i] == fd) {
+      connection_fds_.erase(connection_fds_.begin() + i);
+      ::close(fd);
+      break;
+    }
+  }
+}
+
+void Server::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (int fd : connection_fds_) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void Server::Wait() {
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // After the accept loop exits no new threads are created; join the rest.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (int fd : connection_fds_) {
+    ::close(fd);
+  }
+  connection_fds_.clear();
+}
+
+}  // namespace gqd

@@ -1,0 +1,67 @@
+// A newline-delimited JSON TCP server wrapping QueryService.
+//
+// Plain POSIX sockets, one thread per connection: the protocol work is
+// query evaluation (milliseconds and up), so connection-handling overhead
+// is irrelevant and the obvious threading model wins. Batch parallelism
+// comes from the service's worker pool, not from connection count.
+//
+// Lifecycle: Start() binds and spawns the accept loop (port 0 picks an
+// ephemeral port — tests use this to avoid collisions); Stop() (or a
+// client's shutdown command) closes the listen socket, wakes the accept
+// loop, closes live connections and joins every thread. Wait() blocks
+// until the server stops.
+
+#ifndef GQD_RUNTIME_SERVER_H_
+#define GQD_RUNTIME_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/service.h"
+
+namespace gqd {
+
+class Server {
+ public:
+  /// The service must outlive the server.
+  explicit Server(QueryService* service) : service_(service) {}
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
+  Status Start(std::uint16_t port);
+
+  /// The bound port (useful after Start(0)).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until the server has stopped (via Stop() or a shutdown
+  /// request).
+  void Wait();
+
+  /// Idempotent; safe to call from any thread.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  QueryService* service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;  ///< open fds, for Stop() to close
+};
+
+}  // namespace gqd
+
+#endif  // GQD_RUNTIME_SERVER_H_

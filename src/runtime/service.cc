@@ -1,0 +1,433 @@
+#include "runtime/service.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "analysis/pass_manager.h"
+#include "definability/krem_definability.h"
+#include "definability/ree_definability.h"
+#include "definability/rpq_definability.h"
+#include "definability/ucrdpq_definability.h"
+#include "eval/eval_options.h"
+#include "eval/ree_eval.h"
+#include "eval/rem_eval.h"
+#include "eval/rpq_eval.h"
+#include "graph/serialization.h"
+#include "ree/parser.h"
+#include "regex/parser.h"
+#include "rem/parser.h"
+
+namespace gqd {
+
+namespace {
+
+/// Embeds a JSON string another module already serialized (diagnostics,
+/// graph info, stats) into a JsonValue tree. Our own output always parses.
+JsonValue EmbedJson(const std::string& serialized) {
+  return JsonValue::Parse(serialized).ValueOrDie();
+}
+
+/// Reads "deadline_ms" (0 = no deadline). CancelToken itself is pinned in
+/// place (atomic member), so the caller emplaces it locally from this.
+Result<std::int64_t> DeadlineMsFrom(const JsonValue& request) {
+  GQD_ASSIGN_OR_RETURN(std::int64_t deadline_ms,
+                       request.GetIntOr("deadline_ms", 0));
+  if (deadline_ms < 0) {
+    return Status::InvalidArgument("deadline_ms must be non-negative");
+  }
+  return deadline_ms;
+}
+
+JsonValue ErrorResponse(const JsonValue* id, const Status& status) {
+  JsonValue::Object error;
+  error.emplace_back("code", std::string(StatusCodeToString(status.code())));
+  error.emplace_back("message", status.message());
+  JsonValue::Object response;
+  if (id != nullptr) {
+    response.emplace_back("id", *id);
+  }
+  response.emplace_back("ok", false);
+  response.emplace_back("error", JsonValue(std::move(error)));
+  return JsonValue(std::move(response));
+}
+
+}  // namespace
+
+QueryService::QueryService(const ServiceOptions& options)
+    : pool_(options.num_threads), cache_(options.cache_capacity) {}
+
+std::string QueryService::HandleLine(const std::string& line,
+                                     bool* shutdown) {
+  auto start = std::chrono::steady_clock::now();
+  std::string command = "invalid";
+  JsonValue response;
+  auto parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) {
+    response = ErrorResponse(nullptr, parsed.status());
+  } else if (!parsed.value().is_object()) {
+    response = ErrorResponse(
+        nullptr, Status::InvalidArgument("request must be a JSON object"));
+  } else {
+    const JsonValue& request = parsed.value();
+    const JsonValue* id = request.Find("id");
+    auto cmd = request.GetString("cmd");
+    if (cmd.ok()) {
+      command = cmd.value();
+    }
+    auto result = Dispatch(request, shutdown);
+    if (!result.ok()) {
+      response = ErrorResponse(id, result.status());
+    } else {
+      JsonValue::Object body;
+      if (id != nullptr) {
+        body.emplace_back("id", *id);
+      }
+      body.emplace_back("ok", true);
+      for (auto& [key, value] : result.value().AsObject()) {
+        body.emplace_back(key, value);
+      }
+      response = JsonValue(std::move(body));
+    }
+  }
+  bool ok = true;
+  if (const JsonValue* ok_field = response.Find("ok")) {
+    ok = ok_field->AsBool();
+  }
+  stats_.Record(command, ok, std::chrono::steady_clock::now() - start);
+  return response.Serialize();
+}
+
+Result<JsonValue> QueryService::Dispatch(const JsonValue& request,
+                                         bool* shutdown) {
+  GQD_ASSIGN_OR_RETURN(std::string cmd, request.GetString("cmd"));
+  if (cmd == "load") {
+    return HandleLoad(request);
+  }
+  if (cmd == "eval") {
+    return HandleEval(request);
+  }
+  if (cmd == "check") {
+    return HandleCheck(request);
+  }
+  if (cmd == "lint") {
+    return HandleLint(request);
+  }
+  if (cmd == "info") {
+    return HandleInfo(request);
+  }
+  if (cmd == "stats") {
+    return HandleStats();
+  }
+  if (cmd == "shutdown") {
+    if (shutdown != nullptr) {
+      *shutdown = true;
+    }
+    JsonValue::Object body;
+    body.emplace_back("shutting_down", true);
+    return JsonValue(std::move(body));
+  }
+  return Status::InvalidArgument(
+      "unknown command '" + cmd +
+      "' (expected load, eval, check, lint, info, stats or shutdown)");
+}
+
+Result<JsonValue> QueryService::HandleLoad(const JsonValue& request) {
+  GQD_ASSIGN_OR_RETURN(std::string name, request.GetString("name"));
+  GQD_ASSIGN_OR_RETURN(std::string text, request.GetString("text"));
+  GQD_ASSIGN_OR_RETURN(RegisteredGraph entry, registry_.Load(name, text));
+  JsonValue::Object body;
+  body.emplace_back("name", name);
+  body.emplace_back("fingerprint", entry.fingerprint);
+  body.emplace_back("info", EmbedJson(WriteGraphInfoJson(*entry.graph)));
+  return JsonValue(std::move(body));
+}
+
+Result<JsonValue> QueryService::EvalOne(const RegisteredGraph& entry,
+                                        const std::string& language,
+                                        const std::string& query,
+                                        const CancelToken* cancel) {
+  const DataGraph& graph = *entry.graph;
+  // Normalize: parse, then canonical-print, so formatting differences
+  // ("a . b" vs "a.b") share one cache entry.
+  std::string normalized;
+  std::shared_ptr<const BinaryRelation> relation;
+  EvalOptions eval_options;
+  eval_options.cancel = cancel;
+  if (language == "rpq" || language == "regex") {
+    GQD_ASSIGN_OR_RETURN(RegexPtr expression, ParseRegex(query));
+    normalized = RegexToString(expression);
+    std::string key =
+        ResultCache::MakeKey(entry.fingerprint, "rpq", normalized);
+    relation = cache_.Get(key);
+    if (relation == nullptr) {
+      GQD_ASSIGN_OR_RETURN(BinaryRelation computed,
+                           EvaluateRpq(graph, expression, eval_options));
+      relation =
+          std::make_shared<const BinaryRelation>(std::move(computed));
+      cache_.Put(key, relation);
+    }
+  } else if (language == "rem") {
+    GQD_ASSIGN_OR_RETURN(RemPtr expression, ParseRem(query));
+    normalized = RemToString(expression);
+    std::string key =
+        ResultCache::MakeKey(entry.fingerprint, "rem", normalized);
+    relation = cache_.Get(key);
+    if (relation == nullptr) {
+      GQD_ASSIGN_OR_RETURN(BinaryRelation computed,
+                           EvaluateRem(graph, expression, eval_options));
+      relation =
+          std::make_shared<const BinaryRelation>(std::move(computed));
+      cache_.Put(key, relation);
+    }
+  } else if (language == "ree") {
+    GQD_ASSIGN_OR_RETURN(ReePtr expression, ParseRee(query));
+    normalized = ReeToString(expression);
+    std::string key =
+        ResultCache::MakeKey(entry.fingerprint, "ree", normalized);
+    relation = cache_.Get(key);
+    if (relation == nullptr) {
+      GQD_ASSIGN_OR_RETURN(BinaryRelation computed,
+                           EvaluateRee(graph, expression, eval_options));
+      relation =
+          std::make_shared<const BinaryRelation>(std::move(computed));
+      cache_.Put(key, relation);
+    }
+  } else {
+    return Status::InvalidArgument("unknown language '" + language +
+                                   "' (expected rpq, regex, rem or ree)");
+  }
+  JsonValue::Object body;
+  body.emplace_back("query", query);
+  body.emplace_back("normalized", normalized);
+  body.emplace_back("count", static_cast<double>(relation->Count()));
+  // Same rendering as `gqd eval`, so client output is interchangeable.
+  body.emplace_back("relation", relation->ToString(graph));
+  return JsonValue(std::move(body));
+}
+
+Result<JsonValue> QueryService::HandleEval(const JsonValue& request) {
+  GQD_ASSIGN_OR_RETURN(std::string graph_name, request.GetString("graph"));
+  GQD_ASSIGN_OR_RETURN(RegisteredGraph entry, registry_.Get(graph_name));
+  GQD_ASSIGN_OR_RETURN(std::string language, request.GetString("language"));
+  GQD_ASSIGN_OR_RETURN(std::int64_t deadline_ms, DeadlineMsFrom(request));
+  std::optional<CancelToken> deadline;
+  if (deadline_ms > 0) {
+    deadline.emplace(std::chrono::milliseconds(deadline_ms));
+  }
+  const CancelToken* cancel =
+      deadline.has_value() ? &deadline.value() : nullptr;
+
+  const JsonValue* queries = request.Find("queries");
+  if (queries == nullptr) {
+    GQD_ASSIGN_OR_RETURN(std::string query, request.GetString("query"));
+    return EvalOne(entry, language, query, cancel);
+  }
+
+  // Batched form: one graph, many queries, fanned out across the pool.
+  if (!queries->is_array()) {
+    return Status::InvalidArgument("field 'queries' must be an array");
+  }
+  std::vector<std::string> texts;
+  texts.reserve(queries->AsArray().size());
+  for (const JsonValue& q : queries->AsArray()) {
+    if (!q.is_string()) {
+      return Status::InvalidArgument(
+          "field 'queries' must contain only strings");
+    }
+    texts.push_back(q.AsString());
+  }
+  std::vector<Result<JsonValue>> outcomes(
+      texts.size(), Result<JsonValue>(Status::Internal("not run")));
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = texts.size();
+  for (std::size_t i = 0; i < texts.size(); i++) {
+    pool_.Submit([this, &entry, &language, &texts, &outcomes, &done_mutex,
+                  &done_cv, &remaining, cancel, i] {
+      Result<JsonValue> outcome = EvalOne(entry, language, texts[i], cancel);
+      // Notify while holding the lock: the waiter owns these locals and
+      // destroys them the moment it observes remaining == 0, so the last
+      // worker must not touch the condition variable after unlocking.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      outcomes[i] = std::move(outcome);
+      remaining--;
+      done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  }
+
+  JsonValue::Array results;
+  results.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); i++) {
+    if (outcomes[i].ok()) {
+      JsonValue::Object entry_body;
+      entry_body.emplace_back("ok", true);
+      for (auto& [key, value] : outcomes[i].value().AsObject()) {
+        entry_body.emplace_back(key, value);
+      }
+      results.emplace_back(std::move(entry_body));
+    } else {
+      JsonValue error = ErrorResponse(nullptr, outcomes[i].status());
+      JsonValue::Object entry_body = error.AsObject();
+      entry_body.insert(entry_body.begin(), {"query", JsonValue(texts[i])});
+      results.emplace_back(std::move(entry_body));
+    }
+  }
+  JsonValue::Object body;
+  body.emplace_back("results", JsonValue(std::move(results)));
+  return JsonValue(std::move(body));
+}
+
+Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
+  GQD_ASSIGN_OR_RETURN(std::string graph_name, request.GetString("graph"));
+  GQD_ASSIGN_OR_RETURN(RegisteredGraph entry, registry_.Get(graph_name));
+  GQD_ASSIGN_OR_RETURN(std::string checker, request.GetString("checker"));
+  GQD_ASSIGN_OR_RETURN(std::string relation_text,
+                       request.GetString("relation"));
+  GQD_ASSIGN_OR_RETURN(BinaryRelation relation,
+                       ReadRelationText(*entry.graph, relation_text));
+  GQD_ASSIGN_OR_RETURN(std::int64_t deadline_ms, DeadlineMsFrom(request));
+  std::optional<CancelToken> deadline;
+  if (deadline_ms > 0) {
+    deadline.emplace(std::chrono::milliseconds(deadline_ms));
+  }
+  const CancelToken* cancel =
+      deadline.has_value() ? &deadline.value() : nullptr;
+
+  JsonValue::Object body;
+  body.emplace_back("checker", checker);
+  if (checker == "rpq") {
+    KRemDefinabilityOptions options;
+    options.cancel = cancel;
+    GQD_ASSIGN_OR_RETURN(RpqDefinabilityResult result,
+                         CheckRpqDefinability(*entry.graph, relation,
+                                              options));
+    body.emplace_back("verdict",
+                      std::string(DefinabilityVerdictToString(
+                          result.verdict)));
+    body.emplace_back("tuples_explored",
+                      static_cast<double>(result.tuples_explored));
+  } else if (checker == "krem") {
+    GQD_ASSIGN_OR_RETURN(std::int64_t k, request.GetIntOr("k", 2));
+    if (k < 0) {
+      return Status::InvalidArgument("field 'k' must be non-negative");
+    }
+    KRemDefinabilityOptions options;
+    options.cancel = cancel;
+    GQD_ASSIGN_OR_RETURN(
+        KRemDefinabilityResult result,
+        CheckKRemDefinability(*entry.graph, relation,
+                              static_cast<std::size_t>(k), options));
+    body.emplace_back("verdict",
+                      std::string(DefinabilityVerdictToString(
+                          result.verdict)));
+    body.emplace_back("k", static_cast<double>(k));
+    body.emplace_back("tuples_explored",
+                      static_cast<double>(result.tuples_explored));
+  } else if (checker == "ree") {
+    ReeDefinabilityOptions options;
+    options.cancel = cancel;
+    GQD_ASSIGN_OR_RETURN(ReeDefinabilityResult result,
+                         CheckReeDefinability(*entry.graph, relation,
+                                              options));
+    body.emplace_back("verdict",
+                      std::string(DefinabilityVerdictToString(
+                          result.verdict)));
+    body.emplace_back("levels_used",
+                      static_cast<double>(result.levels_used));
+    body.emplace_back("monoid_size",
+                      static_cast<double>(result.monoid_size));
+  } else if (checker == "ucrdpq") {
+    UcrdpqDefinabilityOptions options;
+    options.csp.cancel = cancel;
+    GQD_ASSIGN_OR_RETURN(UcrdpqDefinabilityResult result,
+                         CheckUcrdpqDefinability(*entry.graph, relation,
+                                                 options));
+    body.emplace_back("verdict",
+                      std::string(DefinabilityVerdictToString(
+                          result.verdict)));
+    body.emplace_back("seeds_tried",
+                      static_cast<double>(result.seeds_tried));
+  } else {
+    return Status::InvalidArgument(
+        "unknown checker '" + checker +
+        "' (expected rpq, krem, ree or ucrdpq)");
+  }
+  return JsonValue(std::move(body));
+}
+
+Result<JsonValue> QueryService::HandleLint(const JsonValue& request) {
+  GQD_ASSIGN_OR_RETURN(std::string language, request.GetString("language"));
+  GQD_ASSIGN_OR_RETURN(std::string query, request.GetString("query"));
+  AnalysisOptions options;
+  RegisteredGraph entry;  // keeps the shared_ptr alive across the lint
+  if (const JsonValue* graph_name = request.Find("graph")) {
+    if (!graph_name->is_string()) {
+      return Status::InvalidArgument("field 'graph' must be a string");
+    }
+    GQD_ASSIGN_OR_RETURN(entry, registry_.Get(graph_name->AsString()));
+    options.graph = entry.graph.get();
+  }
+  std::vector<Diagnostic> diagnostics;
+  if (language == "rpq" || language == "regex") {
+    GQD_ASSIGN_OR_RETURN(RegexPtr expression, ParseRegex(query));
+    diagnostics = LintRegex(expression, options);
+  } else if (language == "rem") {
+    GQD_ASSIGN_OR_RETURN(RemPtr expression, ParseRem(query));
+    diagnostics = LintRem(expression, options);
+  } else if (language == "ree") {
+    GQD_ASSIGN_OR_RETURN(ReePtr expression, ParseRee(query));
+    diagnostics = LintRee(expression, options);
+  } else {
+    return Status::InvalidArgument("unknown language '" + language +
+                                   "' (expected rpq, regex, rem or ree)");
+  }
+  // DiagnosticsToJson wraps the list as {"diagnostics":[...]}; lift the
+  // array out so the response carries it directly.
+  JsonValue wrapped = EmbedJson(DiagnosticsToJson(diagnostics));
+  JsonValue::Object body;
+  body.emplace_back("diagnostics", *wrapped.Find("diagnostics"));
+  return JsonValue(std::move(body));
+}
+
+Result<JsonValue> QueryService::HandleInfo(const JsonValue& request) {
+  const JsonValue* graph_name = request.Find("graph");
+  if (graph_name == nullptr) {
+    JsonValue::Array names;
+    for (const std::string& name : registry_.Names()) {
+      names.emplace_back(name);
+    }
+    JsonValue::Object body;
+    body.emplace_back("graphs", JsonValue(std::move(names)));
+    return JsonValue(std::move(body));
+  }
+  if (!graph_name->is_string()) {
+    return Status::InvalidArgument("field 'graph' must be a string");
+  }
+  GQD_ASSIGN_OR_RETURN(RegisteredGraph entry,
+                       registry_.Get(graph_name->AsString()));
+  JsonValue::Object body;
+  body.emplace_back("name", graph_name->AsString());
+  body.emplace_back("fingerprint", entry.fingerprint);
+  body.emplace_back("info", EmbedJson(WriteGraphInfoJson(*entry.graph)));
+  return JsonValue(std::move(body));
+}
+
+Result<JsonValue> QueryService::HandleStats() {
+  JsonValue::Object body;
+  body.emplace_back(
+      "stats",
+      EmbedJson(stats_.ToJson(pool_.GetStats(), cache_.GetStats())));
+  return JsonValue(std::move(body));
+}
+
+}  // namespace gqd

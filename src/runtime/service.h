@@ -1,0 +1,84 @@
+// The query service: protocol dispatch for `gqd serve`.
+//
+// QueryService owns the long-lived pieces — thread pool, graph registry,
+// result cache, stats — and maps one request line (a JSON object) to one
+// response line. It is transport-agnostic: the TCP server (server.h) and
+// in-process tests both drive HandleLine directly, so every protocol
+// behaviour is testable without sockets.
+//
+// Protocol (newline-delimited JSON; full spec in docs/runtime.md):
+//   {"cmd":"load","name":"g","text":"node u 1\n..."}
+//   {"cmd":"eval","graph":"g","language":"rem","query":"$r. a+ [r=]",
+//    "deadline_ms":100}
+//   {"cmd":"eval","graph":"g","language":"rpq","queries":["a+","b+"]}
+//   {"cmd":"check","graph":"g","checker":"krem","relation":"pair u v\n",
+//    "k":2,"deadline_ms":500}
+//   {"cmd":"lint","language":"ree","query":"(a)=","graph":"g"}
+//   {"cmd":"info","graph":"g"}    {"cmd":"info"}
+//   {"cmd":"stats"}               {"cmd":"shutdown"}
+// Every response carries "ok"; errors carry {"error":{"code","message"}}.
+// An "id" field, when present, is echoed back verbatim.
+
+#ifndef GQD_RUNTIME_SERVICE_H_
+#define GQD_RUNTIME_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/cancel.h"
+#include "runtime/graph_registry.h"
+#include "runtime/json.h"
+#include "runtime/result_cache.h"
+#include "runtime/stats.h"
+#include "runtime/thread_pool.h"
+
+namespace gqd {
+
+struct ServiceOptions {
+  /// Worker threads for batched evaluation; 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+  /// Result-cache entry budget.
+  std::size_t cache_capacity = 256;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(const ServiceOptions& options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Handles one request line; returns the one-line response JSON (without
+  /// a trailing newline) and sets *shutdown on a shutdown request.
+  std::string HandleLine(const std::string& line, bool* shutdown);
+
+  /// Direct registry access for in-process embedding (tests, bench).
+  GraphRegistry& registry() { return registry_; }
+
+  ResultCache::Stats cache_stats() const { return cache_.GetStats(); }
+  std::uint64_t total_requests() const { return stats_.total_requests(); }
+
+ private:
+  Result<JsonValue> Dispatch(const JsonValue& request, bool* shutdown);
+  Result<JsonValue> HandleLoad(const JsonValue& request);
+  Result<JsonValue> HandleEval(const JsonValue& request);
+  Result<JsonValue> HandleCheck(const JsonValue& request);
+  Result<JsonValue> HandleLint(const JsonValue& request);
+  Result<JsonValue> HandleInfo(const JsonValue& request);
+  Result<JsonValue> HandleStats();
+
+  /// Evaluates one query (cache-aware); used by single and batched eval.
+  Result<JsonValue> EvalOne(const RegisteredGraph& entry,
+                            const std::string& language,
+                            const std::string& query,
+                            const CancelToken* cancel);
+
+  ThreadPool pool_;
+  GraphRegistry registry_;
+  ResultCache cache_;
+  ServerStats stats_;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_RUNTIME_SERVICE_H_

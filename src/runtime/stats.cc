@@ -1,0 +1,90 @@
+#include "runtime/stats.h"
+
+#include "common/json_util.h"
+
+namespace gqd {
+
+namespace {
+
+/// Index of the log2 bucket for a microsecond latency: bucket b covers
+/// [2^b, 2^(b+1)) µs, bucket 0 also absorbs sub-microsecond requests.
+std::size_t BucketFor(std::uint64_t us) {
+  std::size_t bucket = 0;
+  while (us > 1 && bucket + 1 < ServerStats::kNumLatencyBuckets) {
+    us >>= 1;
+    bucket++;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void ServerStats::Record(const std::string& command, bool ok,
+                         std::chrono::nanoseconds latency) {
+  auto us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(latency).count());
+  std::lock_guard<std::mutex> lock(mutex_);
+  requests_++;
+  if (!ok) {
+    errors_++;
+  }
+  per_command_[command]++;
+  latency_buckets_[BucketFor(us)]++;
+  total_latency_us_ += us;
+}
+
+std::uint64_t ServerStats::total_requests() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requests_;
+}
+
+std::string ServerStats::ToJson(const ThreadPool::Stats& pool,
+                                const ResultCache::Stats& cache) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  out += "\"requests\":" + std::to_string(requests_);
+  out += ",\"errors\":" + std::to_string(errors_);
+  out += ",\"total_latency_us\":" + std::to_string(total_latency_us_);
+  out += ",\"per_command\":{";
+  bool first = true;
+  for (const auto& [command, count] : per_command_) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonQuote(command) + ":" + std::to_string(count);
+  }
+  out += "}";
+  // Histogram as {"le_us": count} with the bucket's inclusive upper bound;
+  // the final bucket is open-ended and keyed "inf".
+  out += ",\"latency_histogram_us\":{";
+  first = true;
+  for (std::size_t b = 0; b < kNumLatencyBuckets; b++) {
+    if (latency_buckets_[b] == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    if (b + 1 == kNumLatencyBuckets) {
+      out += "\"inf\"";
+    } else {
+      out += "\"" + std::to_string((1ULL << (b + 1)) - 1) + "\"";
+    }
+    out += ":" + std::to_string(latency_buckets_[b]);
+  }
+  out += "}";
+  out += ",\"pool\":{";
+  out += "\"num_threads\":" + std::to_string(pool.num_threads);
+  out += ",\"active_workers\":" + std::to_string(pool.active_workers);
+  out += ",\"queued_tasks\":" + std::to_string(pool.queued_tasks);
+  out += ",\"tasks_executed\":" + std::to_string(pool.tasks_executed);
+  out += ",\"tasks_stolen\":" + std::to_string(pool.tasks_stolen);
+  out += "}";
+  out += ",\"cache\":{";
+  out += "\"hits\":" + std::to_string(cache.hits);
+  out += ",\"misses\":" + std::to_string(cache.misses);
+  out += ",\"evictions\":" + std::to_string(cache.evictions);
+  out += ",\"entries\":" + std::to_string(cache.entries);
+  out += ",\"capacity\":" + std::to_string(cache.capacity);
+  out += "}";
+  out += "}";
+  return out;
+}
+
+}  // namespace gqd

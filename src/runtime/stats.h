@@ -1,0 +1,54 @@
+// Aggregated service counters exported by the `stats` command.
+//
+// ServerStats records one observation per handled request: the command
+// name, whether it succeeded, and its wall latency. Latencies land in
+// log2-microsecond histogram buckets (1µs, 2µs, 4µs, ... ~4s, +overflow) —
+// coarse, cheap, and enough to read p50/p99 off the report. A snapshot
+// serializes to JSON together with pool and cache stats supplied by the
+// caller.
+
+#ifndef GQD_RUNTIME_STATS_H_
+#define GQD_RUNTIME_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "runtime/result_cache.h"
+#include "runtime/thread_pool.h"
+
+namespace gqd {
+
+class ServerStats {
+ public:
+  static constexpr std::size_t kNumLatencyBuckets = 23;  // 1µs .. ~4s
+
+  ServerStats() = default;
+  ServerStats(const ServerStats&) = delete;
+  ServerStats& operator=(const ServerStats&) = delete;
+
+  /// Records one completed request.
+  void Record(const std::string& command, bool ok,
+              std::chrono::nanoseconds latency);
+
+  std::uint64_t total_requests() const;
+
+  /// One JSON object combining request counters, the latency histogram,
+  /// and the supplied pool/cache snapshots.
+  std::string ToJson(const ThreadPool::Stats& pool,
+                     const ResultCache::Stats& cache) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+  std::map<std::string, std::uint64_t> per_command_;
+  std::uint64_t latency_buckets_[kNumLatencyBuckets] = {};
+  std::uint64_t total_latency_us_ = 0;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_RUNTIME_STATS_H_

@@ -1,0 +1,137 @@
+#include "runtime/thread_pool.h"
+
+namespace gqd {
+
+namespace {
+
+/// Thread-local index of the worker running on this thread, or npos on
+/// external threads; lets Submit() push to the caller's own queue.
+thread_local std::size_t tls_worker_index =
+    static_cast<std::size_t>(-1);
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) {
+      num_threads = 2;
+    }
+  }
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; i++) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; i++) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  std::size_t target;
+  if (tls_worker_pool == this) {
+    target = tls_worker_index;  // keep recursive fan-out local
+  } else {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    pending_++;
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::TakeTask(std::size_t self, bool* stolen) {
+  *stolen = false;
+  {
+    std::lock_guard<std::mutex> lock(queues_[self]->mutex);
+    if (!queues_[self]->tasks.empty()) {
+      std::function<void()> task = std::move(queues_[self]->tasks.back());
+      queues_[self]->tasks.pop_back();
+      return task;
+    }
+  }
+  // Steal scan: start after self so victims rotate.
+  for (std::size_t offset = 1; offset < queues_.size(); offset++) {
+    std::size_t victim = (self + offset) % queues_.size();
+    std::lock_guard<std::mutex> lock(queues_[victim]->mutex);
+    if (!queues_[victim]->tasks.empty()) {
+      std::function<void()> task = std::move(queues_[victim]->tasks.front());
+      queues_[victim]->tasks.pop_front();
+      *stolen = true;
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(std::size_t self) {
+  tls_worker_index = self;
+  tls_worker_pool = this;
+  while (true) {
+    bool stolen = false;
+    std::function<void()> task = TakeTask(self, &stolen);
+    if (task == nullptr) {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+      if (stopping_) {
+        return;
+      }
+      continue;  // retry the take; another worker may have won the race
+    }
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      pending_--;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      active_workers_++;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      active_workers_--;
+      tasks_executed_++;
+      if (stolen) {
+        tasks_stolen_++;
+      }
+    }
+  }
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  Stats stats;
+  stats.num_threads = workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stats.queued_tasks = pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats.active_workers = active_workers_;
+    stats.tasks_executed = tasks_executed_;
+    stats.tasks_stolen = tasks_stolen_;
+  }
+  return stats;
+}
+
+}  // namespace gqd

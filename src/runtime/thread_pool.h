@@ -1,0 +1,84 @@
+// A fixed-size thread pool with per-worker work-stealing queues.
+//
+// The serving layer fans one batched request out across queries; each
+// worker owns a deque it treats as a LIFO stack (good locality for the
+// just-submitted work), and idle workers steal from the FIFO end of a
+// random victim so long request bursts spread across cores. Submission
+// round-robins across worker queues (or pushes to the submitting worker's
+// own queue when called from inside the pool).
+//
+// The implementation favours obvious correctness over lock-free cleverness:
+// every queue is mutex-protected (tasks here are milliseconds to hours, so
+// enqueue costs are noise), and TSan runs the whole thing in CI
+// (GQD_SANITIZE=thread).
+
+#ifndef GQD_RUNTIME_THREAD_POOL_H_
+#define GQD_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gqd {
+
+class ThreadPool {
+ public:
+  /// Point-in-time view of pool activity (for ServerStats).
+  struct Stats {
+    std::size_t num_threads = 0;
+    std::size_t active_workers = 0;   ///< workers currently running a task
+    std::size_t queued_tasks = 0;     ///< submitted, not yet started
+    std::uint64_t tasks_executed = 0; ///< completed since construction
+    std::uint64_t tasks_stolen = 0;   ///< completed via a steal
+  };
+
+  /// Spawns `num_threads` workers (>= 1; 0 means hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains nothing: pending tasks are abandoned, running tasks are joined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Never blocks; tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  Stats GetStats() const;
+
+ private:
+  struct WorkerQueue {
+    mutable std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(std::size_t self);
+  /// Pops from own stack, else steals; sets *stolen accordingly.
+  std::function<void()> TakeTask(std::size_t self, bool* stolen);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::size_t pending_ = 0;  ///< guarded by wake_mutex_
+  bool stopping_ = false;    ///< guarded by wake_mutex_
+
+  mutable std::mutex stats_mutex_;
+  std::size_t active_workers_ = 0;
+  std::uint64_t tasks_executed_ = 0;
+  std::uint64_t tasks_stolen_ = 0;
+
+  std::mutex submit_mutex_;
+  std::size_t next_queue_ = 0;  ///< round-robin cursor, guarded above
+};
+
+}  // namespace gqd
+
+#endif  // GQD_RUNTIME_THREAD_POOL_H_

@@ -283,6 +283,28 @@ TEST(Serialization, RejectsMalformedInput) {
   EXPECT_FALSE(ReadTupleRelationText(g, "tuple v1 v2\ntuple v1 v2 v3").ok());
 }
 
+TEST(Serialization, ParseErrorsNameTheLine) {
+  // Readers must report where the problem is, not just that one exists.
+  auto bad_graph = ReadGraphText("node u 0\nnode v 1\nbogus here\n");
+  ASSERT_FALSE(bad_graph.ok());
+  EXPECT_NE(bad_graph.status().message().find("line 3"), std::string::npos)
+      << bad_graph.status();
+
+  DataGraph g = Figure1Graph();
+  auto bad_pair = ReadRelationText(g, "pair v1 v2\npair v1 nosuch\n");
+  ASSERT_FALSE(bad_pair.ok());
+  EXPECT_NE(bad_pair.status().message().find("line 2"), std::string::npos)
+      << bad_pair.status();
+  // The offending node is named, so typos are findable in big files.
+  EXPECT_NE(bad_pair.status().message().find("'nosuch'"), std::string::npos)
+      << bad_pair.status();
+
+  auto bad_tuple = ReadTupleRelationText(g, "tuple v1 v2\ntuple v1\n");
+  ASSERT_FALSE(bad_tuple.ok());
+  EXPECT_NE(bad_tuple.status().message().find("line 2"), std::string::npos)
+      << bad_tuple.status();
+}
+
 TEST(Serialization, DotOutputMentionsAllNodes) {
   DataGraph g = TinyGraph();
   std::string dot = WriteGraphDot(g);

@@ -261,6 +261,25 @@ TEST(Cnf, DimacsRejectsMalformed) {
   EXPECT_FALSE(ParseDimacs("p cnf 1 1\n5 0\n").ok());
 }
 
+TEST(Cnf, DimacsErrorsNameTheLine) {
+  auto clause_first = ParseDimacs("c comment\n1 2 0\n");
+  ASSERT_FALSE(clause_first.ok());
+  EXPECT_NE(clause_first.status().message().find("line 2"),
+            std::string::npos)
+      << clause_first.status();
+
+  auto unterminated = ParseDimacs("p cnf 2 1\n1 2\n");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find("line 2"),
+            std::string::npos)
+      << unterminated.status();
+
+  auto bad_header = ParseDimacs("p cnf nope 1\n");
+  ASSERT_FALSE(bad_header.ok());
+  EXPECT_NE(bad_header.status().message().find("line 1"), std::string::npos)
+      << bad_header.status();
+}
+
 TEST(Dpll, SolvesSatisfiable) {
   CnfFormula f;
   f.num_variables = 3;

@@ -1,0 +1,303 @@
+// End-to-end tests for `gqd serve` over real TCP sockets: concurrent
+// clients, batched evaluation vs the single-threaded evaluators, deadline
+// enforcement over the wire, stats, and shutdown.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/ree_eval.h"
+#include "eval/rem_eval.h"
+#include "eval/rpq_eval.h"
+#include "graph/examples.h"
+#include "graph/generators.h"
+#include "graph/serialization.h"
+#include "ree/parser.h"
+#include "regex/parser.h"
+#include "rem/parser.h"
+#include "runtime/client.h"
+#include "runtime/json.h"
+#include "runtime/server.h"
+#include "runtime/service.h"
+
+namespace gqd {
+namespace {
+
+/// A service + server bound to an ephemeral loopback port.
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<Server>(&service_);
+    ASSERT_TRUE(server_->Start(0).ok());
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    server_->Wait();
+  }
+
+  /// One request/response round trip on a fresh connection.
+  std::string Call(const std::string& request) {
+    LineClient client;
+    EXPECT_TRUE(client.Connect(server_->port()).ok());
+    auto response = client.Call(request);
+    EXPECT_TRUE(response.ok()) << response.status();
+    return response.ok() ? response.value() : "";
+  }
+
+  QueryService service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeTest, LoadEvalInfoRoundTrip) {
+  JsonValue::Object load;
+  load.emplace_back("cmd", "load");
+  load.emplace_back("name", "fig1");
+  load.emplace_back("text", WriteGraphText(Figure1Graph()));
+  std::string loaded = Call(JsonValue(std::move(load)).Serialize());
+  auto parsed = JsonValue::Parse(loaded);
+  ASSERT_TRUE(parsed.ok()) << loaded;
+  EXPECT_TRUE(parsed.value().Find("ok")->AsBool());
+  EXPECT_EQ(parsed.value().GetString("fingerprint").ValueOrDie().size(),
+            16u);
+  EXPECT_EQ(parsed.value().Find("info")->Find("nodes")->AsNumber(), 10);
+
+  std::string evaled = Call(
+      R"({"id":"q1","cmd":"eval","graph":"fig1","language":"rpq",)"
+      R"("query":"a.a.a"})");
+  auto eval_parsed = JsonValue::Parse(evaled);
+  ASSERT_TRUE(eval_parsed.ok()) << evaled;
+  EXPECT_TRUE(eval_parsed.value().Find("ok")->AsBool());
+  EXPECT_EQ(eval_parsed.value().GetString("id").ValueOrDie(), "q1");
+  DataGraph g = Figure1Graph();
+  EXPECT_EQ(eval_parsed.value().GetString("relation").ValueOrDie(),
+            EvaluateRpq(g, ParseRegex("a.a.a").ValueOrDie()).ToString(g));
+
+  std::string info = Call(R"({"cmd":"info","graph":"fig1"})");
+  EXPECT_NE(info.find("\"fingerprint\""), std::string::npos) << info;
+}
+
+TEST_F(ServeTest, FourConcurrentClients) {
+  service_.registry().Register("fig1", Figure1Graph());
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 50;
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; c++) {
+    clients.emplace_back([this, c, &failures] {
+      LineClient client;
+      if (!client.Connect(server_->port()).ok()) {
+        failures[c] = kRequestsPerClient;
+        return;
+      }
+      const char* queries[] = {"a+", "a.a", "a.a.a", "a*"};
+      for (int i = 0; i < kRequestsPerClient; i++) {
+        JsonValue::Object request;
+        request.emplace_back("cmd", "eval");
+        request.emplace_back("graph", "fig1");
+        request.emplace_back("language", "rpq");
+        request.emplace_back("query", queries[(c + i) % 4]);
+        auto response =
+            client.Call(JsonValue(std::move(request)).Serialize());
+        if (!response.ok() ||
+            response.value().find("\"ok\":true") == std::string::npos) {
+          failures[c]++;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  for (int c = 0; c < kClients; c++) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+  EXPECT_GE(service_.total_requests(),
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+}
+
+TEST_F(ServeTest, BatchMatchesSingleThreadedEval) {
+  service_.registry().Register("fig1", Figure1Graph());
+  DataGraph g = Figure1Graph();
+  // One batch per language; each result must equal the plain
+  // single-threaded evaluator's rendering (the `gqd eval` code path).
+  struct Case {
+    const char* language;
+    std::vector<std::string> queries;
+    std::vector<std::string> expected;
+  };
+  std::vector<Case> cases;
+  {
+    Case c;
+    c.language = "rpq";
+    c.queries = {"a", "a.a", "a.a.a", "a+", "a*"};
+    for (const std::string& q : c.queries) {
+      c.expected.push_back(
+          EvaluateRpq(g, ParseRegex(q).ValueOrDie()).ToString(g));
+    }
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.language = "rem";
+    c.queries = {"$r1. a+ [r1=]", "$r1. a.a [r1!=]"};
+    for (const std::string& q : c.queries) {
+      c.expected.push_back(
+          EvaluateRem(g, ParseRem(q).ValueOrDie()).ToString(g));
+    }
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.language = "ree";
+    c.queries = {"(a.a)=", "(a+)="};
+    for (const std::string& q : c.queries) {
+      c.expected.push_back(
+          EvaluateRee(g, ParseRee(q).ValueOrDie()).ToString(g));
+    }
+    cases.push_back(std::move(c));
+  }
+  for (const Case& test_case : cases) {
+    JsonValue::Object request;
+    request.emplace_back("cmd", "eval");
+    request.emplace_back("graph", "fig1");
+    request.emplace_back("language", test_case.language);
+    JsonValue::Array queries;
+    for (const std::string& q : test_case.queries) {
+      queries.emplace_back(q);
+    }
+    request.emplace_back("queries", JsonValue(std::move(queries)));
+    std::string response = Call(JsonValue(std::move(request)).Serialize());
+    auto parsed = JsonValue::Parse(response);
+    ASSERT_TRUE(parsed.ok()) << response;
+    ASSERT_TRUE(parsed.value().Find("ok")->AsBool()) << response;
+    const JsonValue::Array& results =
+        parsed.value().Find("results")->AsArray();
+    ASSERT_EQ(results.size(), test_case.queries.size());
+    for (std::size_t i = 0; i < results.size(); i++) {
+      EXPECT_TRUE(results[i].Find("ok")->AsBool());
+      EXPECT_EQ(results[i].GetString("relation").ValueOrDie(),
+                test_case.expected[i])
+          << test_case.language << " " << test_case.queries[i];
+    }
+  }
+}
+
+TEST_F(ServeTest, BatchReportsPerQueryErrors) {
+  service_.registry().Register("fig1", Figure1Graph());
+  std::string response = Call(
+      R"({"cmd":"eval","graph":"fig1","language":"rpq",)"
+      R"("queries":["a+","((","a.a"]})");
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  ASSERT_TRUE(parsed.value().Find("ok")->AsBool()) << response;
+  const JsonValue::Array& results =
+      parsed.value().Find("results")->AsArray();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].Find("ok")->AsBool());
+  EXPECT_FALSE(results[1].Find("ok")->AsBool());
+  EXPECT_NE(results[1].Find("error"), nullptr);
+  EXPECT_TRUE(results[2].Find("ok")->AsBool());
+}
+
+TEST_F(ServeTest, DeadlineExceededOverTheWire) {
+  // A definability instance that runs for minutes unconstrained must come
+  // back as DeadlineExceeded well within deadline + grace.
+  RandomGraphOptions options;
+  options.num_nodes = 12;
+  options.num_labels = 2;
+  options.num_data_values = 6;
+  options.edge_percent = 25;
+  options.seed = 7;
+  DataGraph g = RandomDataGraph(options);
+  BinaryRelation s = RandomRelation(g.NumNodes(), 30, 11);
+  std::string relation_text = WriteRelationText(g, s);
+  service_.registry().Register("hard", std::move(g));
+
+  JsonValue::Object request;
+  request.emplace_back("cmd", "check");
+  request.emplace_back("graph", "hard");
+  request.emplace_back("checker", "krem");
+  request.emplace_back("k", 3.0);
+  request.emplace_back("relation", relation_text);
+  request.emplace_back("deadline_ms", 100.0);
+  auto start = std::chrono::steady_clock::now();
+  std::string response = Call(JsonValue(std::move(request)).Serialize());
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_FALSE(parsed.value().Find("ok")->AsBool()) << response;
+  EXPECT_EQ(
+      parsed.value().Find("error")->GetString("code").ValueOrDie(),
+      "DeadlineExceeded")
+      << response;
+  EXPECT_LT(elapsed_ms, 2000.0);
+}
+
+TEST_F(ServeTest, LoadErrorsCarryLineNumbers) {
+  std::string response = Call(
+      R"({"cmd":"load","name":"bad","text":"node u 0\nbogus here\n"})");
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_FALSE(parsed.value().Find("ok")->AsBool());
+  EXPECT_NE(parsed.value()
+                .Find("error")
+                ->GetString("message")
+                .ValueOrDie()
+                .find("line 2"),
+            std::string::npos)
+      << response;
+}
+
+TEST_F(ServeTest, LintAndStatsCommands) {
+  service_.registry().Register("fig1", Figure1Graph());
+  std::string lint = Call(
+      R"({"cmd":"lint","language":"rem","query":"$r1. a+ [r1=]",)"
+      R"("graph":"fig1"})");
+  auto lint_parsed = JsonValue::Parse(lint);
+  ASSERT_TRUE(lint_parsed.ok()) << lint;
+  EXPECT_TRUE(lint_parsed.value().Find("ok")->AsBool()) << lint;
+  EXPECT_TRUE(lint_parsed.value().Find("diagnostics")->is_array());
+
+  (void)Call(
+      R"({"cmd":"eval","graph":"fig1","language":"rpq","query":"a+"})");
+  std::string stats = Call(R"({"cmd":"stats"})");
+  auto stats_parsed = JsonValue::Parse(stats);
+  ASSERT_TRUE(stats_parsed.ok()) << stats;
+  const JsonValue* body = stats_parsed.value().Find("stats");
+  ASSERT_NE(body, nullptr);
+  EXPECT_GE(body->GetInt("requests").ValueOrDie(), 2);
+  ASSERT_NE(body->Find("cache"), nullptr);
+  ASSERT_NE(body->Find("pool"), nullptr);
+  ASSERT_NE(body->Find("latency_histogram_us"), nullptr);
+}
+
+TEST_F(ServeTest, MalformedRequestsGetErrors) {
+  EXPECT_NE(Call("this is not json").find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(Call("[1,2,3]").find("must be a JSON object"),
+            std::string::npos);
+  EXPECT_NE(Call(R"({"cmd":"frobnicate"})").find("unknown command"),
+            std::string::npos);
+  EXPECT_NE(Call(R"({"cmd":"eval"})").find("graph"), std::string::npos);
+}
+
+TEST_F(ServeTest, ShutdownCommandStopsServer) {
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  auto response = client.Call(R"({"cmd":"shutdown"})");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_NE(response.value().find("\"shutting_down\":true"),
+            std::string::npos);
+  server_->Wait();  // must return (and quickly) once shutdown is handled
+  LineClient late;
+  EXPECT_FALSE(late.Connect(server_->port()).ok());
+}
+
+}  // namespace
+}  // namespace gqd

@@ -7,14 +7,19 @@
 //   gqd convert <regex|ree> <expression>        # embed into REM
 //   gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]
 //   gqd lint --suite <file> [--graph <file>] [--json]
-//   gqd info <graph> [--dot]
+//   gqd info <graph> [--dot|--json]
+//   gqd serve [--port N] [--threads N] [--cache N] [--graph <file>]...
+//   gqd bench-serve [--port N] [--clients C] [--requests R] [--json]
 //
 // Graph files use the `node`/`edge` text format, relation files the `pair`
 // format (see graph/serialization.h and examples/data/).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gqd.h"
@@ -42,7 +47,10 @@ int Usage() {
       "  gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]"
       " [--no-notes]\n"
       "  gqd lint --suite <file> [--graph <file>] [--json]\n"
-      "  gqd info <graph> [--dot]\n");
+      "  gqd info <graph> [--dot|--json]\n"
+      "  gqd serve [--port N] [--threads N] [--cache N] [--graph <file>]..."
+      "\n"
+      "  gqd bench-serve [--port N] [--clients C] [--requests R] [--json]\n");
   return 2;
 }
 
@@ -413,6 +421,11 @@ int CmdInfo(int argc, char** argv) {
     std::printf("%s", WriteGraphDot(graph.value()).c_str());
     return 0;
   }
+  if (HasFlag(argc, argv, "--json")) {
+    // Same serialization the serve protocol embeds in load/info responses.
+    std::printf("%s\n", WriteGraphInfoJson(graph.value()).c_str());
+    return 0;
+  }
   const DataGraph& g = graph.value();
   std::printf("nodes: %zu\nedges: %zu\nalphabet (%zu):", g.NumNodes(),
               g.NumEdges(), g.NumLabels());
@@ -425,6 +438,216 @@ int CmdInfo(int argc, char** argv) {
   }
   std::printf("\n");
   return 0;
+}
+
+/// "examples/data/figure1.graph" -> "figure1" (the registry name a
+/// preloaded graph is served under).
+std::string GraphNameFromPath(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) {
+    base = base.substr(0, dot);
+  }
+  return base;
+}
+
+int CmdServe(int argc, char** argv) {
+  const char* port_flag = FlagValue(argc, argv, "--port");
+  const char* threads_flag = FlagValue(argc, argv, "--threads");
+  const char* cache_flag = FlagValue(argc, argv, "--cache");
+  ServiceOptions options;
+  if (threads_flag != nullptr) {
+    options.num_threads = std::strtoul(threads_flag, nullptr, 10);
+  }
+  if (cache_flag != nullptr) {
+    options.cache_capacity = std::strtoul(cache_flag, nullptr, 10);
+  }
+  QueryService service(options);
+  // Preload every --graph file under its basename.
+  for (int i = 0; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], "--graph") != 0) {
+      continue;
+    }
+    auto text = ReadFileToString(argv[i + 1]);
+    if (!text.ok()) {
+      return Fail(text.status());
+    }
+    std::string name = GraphNameFromPath(argv[i + 1]);
+    auto entry = service.registry().Load(name, text.value());
+    if (!entry.ok()) {
+      return Fail(entry.status());
+    }
+    std::fprintf(stderr, "loaded graph '%s' (fingerprint %s)\n",
+                 name.c_str(), entry.value().fingerprint.c_str());
+  }
+  std::uint16_t port = port_flag != nullptr
+                           ? static_cast<std::uint16_t>(
+                                 std::strtoul(port_flag, nullptr, 10))
+                           : 7878;
+  Server server(&service);
+  Status started = server.Start(port);
+  if (!started.ok()) {
+    return Fail(started);
+  }
+  // Machine-readable so wrappers can scrape the ephemeral port.
+  std::printf("listening 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+  server.Wait();
+  return 0;
+}
+
+int CmdBenchServe(int argc, char** argv) {
+  const char* port_flag = FlagValue(argc, argv, "--port");
+  const char* clients_flag = FlagValue(argc, argv, "--clients");
+  const char* requests_flag = FlagValue(argc, argv, "--requests");
+  bool json = HasFlag(argc, argv, "--json");
+  std::size_t num_clients =
+      clients_flag != nullptr ? std::strtoul(clients_flag, nullptr, 10) : 4;
+  std::size_t requests_per_client =
+      requests_flag != nullptr ? std::strtoul(requests_flag, nullptr, 10)
+                               : 200;
+  if (num_clients == 0 || requests_per_client == 0) {
+    return Usage();
+  }
+
+  // Self-host unless pointed at a running server.
+  QueryService service{ServiceOptions{}};
+  Server server(&service);
+  std::uint16_t port;
+  if (port_flag != nullptr) {
+    port = static_cast<std::uint16_t>(std::strtoul(port_flag, nullptr, 10));
+  } else {
+    Status started = server.Start(0);
+    if (!started.ok()) {
+      return Fail(started);
+    }
+    port = server.port();
+  }
+
+  // Load the paper's Figure-1 graph and query it in all three languages.
+  {
+    LineClient setup;
+    Status connected = setup.Connect(port);
+    if (!connected.ok()) {
+      return Fail(connected);
+    }
+    JsonValue::Object load;
+    load.emplace_back("cmd", "load");
+    load.emplace_back("name", "bench");
+    load.emplace_back("text", WriteGraphText(Figure1Graph()));
+    auto response = setup.Call(JsonValue(std::move(load)).Serialize());
+    if (!response.ok()) {
+      return Fail(response.status());
+    }
+  }
+  struct BenchQuery {
+    const char* language;
+    const char* text;
+  };
+  const BenchQuery kQueries[] = {
+      {"rpq", "a+"},
+      {"rpq", "a.a"},
+      {"rem", "$r1. a+ [r1=]"},
+      {"ree", "(a.a)="},
+  };
+  constexpr std::size_t kNumQueries = sizeof(kQueries) / sizeof(kQueries[0]);
+
+  std::vector<std::vector<std::uint64_t>> latencies_us(num_clients);
+  std::vector<std::size_t> errors(num_clients, 0);
+  std::vector<std::thread> clients;
+  auto bench_start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < num_clients; c++) {
+    clients.emplace_back([&, c] {
+      LineClient client;
+      if (!client.Connect(port).ok()) {
+        errors[c] = requests_per_client;
+        return;
+      }
+      latencies_us[c].reserve(requests_per_client);
+      for (std::size_t i = 0; i < requests_per_client; i++) {
+        const BenchQuery& query = kQueries[(c + i) % kNumQueries];
+        JsonValue::Object request;
+        request.emplace_back("cmd", "eval");
+        request.emplace_back("graph", "bench");
+        request.emplace_back("language", query.language);
+        request.emplace_back("query", query.text);
+        std::string line = JsonValue(std::move(request)).Serialize();
+        auto start = std::chrono::steady_clock::now();
+        auto response = client.Call(line);
+        auto elapsed = std::chrono::steady_clock::now() - start;
+        latencies_us[c].push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count()));
+        if (!response.ok() ||
+            response.value().find("\"ok\":true") == std::string::npos) {
+          errors[c]++;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  auto wall = std::chrono::steady_clock::now() - bench_start;
+  double wall_ms = std::chrono::duration<double, std::milli>(wall).count();
+
+  std::vector<std::uint64_t> all;
+  std::size_t total_errors = 0;
+  for (std::size_t c = 0; c < num_clients; c++) {
+    all.insert(all.end(), latencies_us[c].begin(), latencies_us[c].end());
+    total_errors += errors[c];
+  }
+  std::sort(all.begin(), all.end());
+  auto percentile = [&](double p) -> std::uint64_t {
+    if (all.empty()) {
+      return 0;
+    }
+    std::size_t index = static_cast<std::size_t>(
+        p * static_cast<double>(all.size() - 1));
+    return all[index];
+  };
+  double throughput =
+      wall_ms > 0 ? static_cast<double>(all.size()) / (wall_ms / 1000.0)
+                  : 0.0;
+
+  if (port_flag == nullptr) {
+    LineClient stop;
+    if (stop.Connect(port).ok()) {
+      (void)stop.Call("{\"cmd\":\"shutdown\"}");
+    }
+    server.Wait();
+  }
+
+  if (json) {
+    std::printf(
+        "{\"clients\":%zu,\"requests\":%zu,\"errors\":%zu,"
+        "\"wall_ms\":%.3f,\"throughput_rps\":%.1f,"
+        "\"latency_us\":{\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,"
+        "\"max\":%llu}}\n",
+        num_clients, all.size(), total_errors, wall_ms, throughput,
+        static_cast<unsigned long long>(percentile(0.50)),
+        static_cast<unsigned long long>(percentile(0.90)),
+        static_cast<unsigned long long>(percentile(0.99)),
+        static_cast<unsigned long long>(
+            all.empty() ? 0 : all.back()));
+  } else {
+    std::printf("clients:     %zu\n", num_clients);
+    std::printf("requests:    %zu (%zu errors)\n", all.size(), total_errors);
+    std::printf("wall time:   %.1f ms\n", wall_ms);
+    std::printf("throughput:  %.1f req/s\n", throughput);
+    std::printf("latency p50: %llu us\n",
+                static_cast<unsigned long long>(percentile(0.50)));
+    std::printf("latency p90: %llu us\n",
+                static_cast<unsigned long long>(percentile(0.90)));
+    std::printf("latency p99: %llu us\n",
+                static_cast<unsigned long long>(percentile(0.99)));
+    std::printf("latency max: %llu us\n",
+                static_cast<unsigned long long>(
+                    all.empty() ? 0 : all.back()));
+  }
+  return total_errors == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -451,6 +674,12 @@ int main(int argc, char** argv) {
   }
   if (command == "info") {
     return CmdInfo(argc - 2, argv + 2);
+  }
+  if (command == "serve") {
+    return CmdServe(argc - 2, argv + 2);
+  }
+  if (command == "bench-serve") {
+    return CmdBenchServe(argc - 2, argv + 2);
   }
   return Usage();
 }
