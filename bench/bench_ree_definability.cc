@@ -37,6 +37,9 @@ void RunRee(benchmark::State& state, std::size_t n, std::size_t delta,
   state.counters["n"] = static_cast<double>(n);
   state.counters["delta"] = static_cast<double>(delta);
   state.counters["monoid_size"] = static_cast<double>(monoid);
+  state.counters["elements_per_sec"] =
+      benchmark::Counter(static_cast<double>(monoid),
+                         benchmark::Counter::kIsIterationInvariantRate);
   state.counters["levels"] = static_cast<double>(levels);
   state.counters["level_bound_n2"] = static_cast<double>(n * n);
   state.counters["verdict"] = verdict;

@@ -22,7 +22,7 @@ namespace gqd {
 namespace {
 
 void RunKRem(benchmark::State& state, std::size_t n, std::size_t delta,
-             std::size_t k) {
+             std::size_t k, std::size_t num_threads = 1) {
   DataGraph g = RandomDataGraph({.num_nodes = n,
                                  .num_labels = 1,
                                  .num_data_values = delta,
@@ -31,6 +31,7 @@ void RunKRem(benchmark::State& state, std::size_t n, std::size_t delta,
   BinaryRelation s = RandomRelation(n, 20, 1234);
   KRemDefinabilityOptions options;
   options.max_tuples = 50'000;
+  options.num_threads = num_threads;
   std::size_t tuples = 0;
   int verdict = 0;
   for (auto _ : state) {
@@ -43,6 +44,9 @@ void RunKRem(benchmark::State& state, std::size_t n, std::size_t delta,
   state.counters["delta"] = static_cast<double>(delta);
   state.counters["k"] = static_cast<double>(k);
   state.counters["macro_tuples"] = static_cast<double>(tuples);
+  state.counters["tuples_per_sec"] =
+      benchmark::Counter(static_cast<double>(tuples),
+                         benchmark::Counter::kIsIterationInvariantRate);
   state.counters["verdict"] = verdict;  // 0 def, 1 not, 2 exhausted
 }
 
@@ -50,6 +54,14 @@ void BM_KRemDefinability_SweepN(benchmark::State& state) {
   RunKRem(state, static_cast<std::size_t>(state.range(0)), 2, 1);
 }
 BENCHMARK(BM_KRemDefinability_SweepN)->DenseRange(3, 7);
+
+// Frontier-parallel successor generation on the largest SweepN config.
+// Results are bit-identical across thread counts (deterministic merge);
+// only wall time moves.
+void BM_KRemDefinability_Threads(benchmark::State& state) {
+  RunKRem(state, 7, 2, 1, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_KRemDefinability_Threads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_KRemDefinability_SweepK(benchmark::State& state) {
   RunKRem(state, 4, 2, static_cast<std::size_t>(state.range(0)));

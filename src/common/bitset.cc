@@ -54,6 +54,19 @@ DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
   return *this;
 }
 
+bool DynamicBitset::OrAssignAndTestChanged(const std::uint64_t* words,
+                                           std::size_t num_words) {
+  assert(num_words == words_.size());
+  std::uint64_t changed = 0;
+  for (std::size_t i = 0; i < num_words; i++) {
+    std::uint64_t before = words_[i];
+    std::uint64_t after = before | words[i];
+    words_[i] = after;
+    changed |= before ^ after;
+  }
+  return changed != 0;
+}
+
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
   assert(size_ == other.size_);
   for (std::size_t i = 0; i < words_.size(); i++) {

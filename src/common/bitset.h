@@ -58,6 +58,18 @@ class DynamicBitset {
 
   /// Word-parallel in-place union; requires equal sizes.
   DynamicBitset& operator|=(const DynamicBitset& other);
+  /// Word-parallel in-place union returning true iff any bit of this
+  /// changed (i.e. `other` contributed a bit not already set). The changed
+  /// flag is what fixpoint loops key on; requires equal sizes.
+  bool UnionWith(const DynamicBitset& other) {
+    return OrAssignAndTestChanged(other.words_.data(), other.words_.size());
+  }
+  /// Raw-word variant of UnionWith for flat row-major kernels (e.g. the
+  /// assignment-graph transition rows): ORs `num_words` words into this,
+  /// returning true iff any bit changed. `num_words` must equal the word
+  /// count of this bitset.
+  bool OrAssignAndTestChanged(const std::uint64_t* words,
+                              std::size_t num_words);
   /// Word-parallel in-place intersection; requires equal sizes.
   DynamicBitset& operator&=(const DynamicBitset& other);
   /// Word-parallel in-place difference (this \ other); requires equal sizes.

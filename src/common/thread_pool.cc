@@ -1,4 +1,4 @@
-#include "runtime/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace gqd {
 

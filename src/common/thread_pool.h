@@ -1,5 +1,10 @@
 // A fixed-size thread pool with per-worker work-stealing queues.
 //
+// Lives in common/ so both the serving layer (src/runtime/) and the
+// algorithm layers can share it: the server fans batched requests across
+// queries, and the k-REM definability checker fans the per-(store set,
+// letter) successor generation of each BFS frontier across workers.
+//
 // The serving layer fans one batched request out across queries; each
 // worker owns a deque it treats as a LIFO stack (good locality for the
 // just-submitted work), and idle workers steal from the FIFO end of a
@@ -12,8 +17,8 @@
 // enqueue costs are noise), and TSan runs the whole thing in CI
 // (GQD_SANITIZE=thread).
 
-#ifndef GQD_RUNTIME_THREAD_POOL_H_
-#define GQD_RUNTIME_THREAD_POOL_H_
+#ifndef GQD_COMMON_THREAD_POOL_H_
+#define GQD_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstdint>
@@ -81,4 +86,4 @@ class ThreadPool {
 
 }  // namespace gqd
 
-#endif  // GQD_RUNTIME_THREAD_POOL_H_
+#endif  // GQD_COMMON_THREAD_POOL_H_

@@ -57,8 +57,23 @@ Result<AssignmentGraph> AssignmentGraph::Build(const DataGraph& graph,
                               std::to_string(ag.num_states_) + " states");
   }
 
+  ag.num_patterns_ = std::size_t{1} << k;
   std::size_t masks = std::size_t{1} << k;
   ag.adjacency_.assign(masks * ag.num_labels_ * ag.num_states_, {});
+
+  // Materialize the word-parallel kernel rows unless they would blow the
+  // memory budget (the successor lists above always exist as fallback).
+  std::size_t row_words = (ag.num_states_ + 63) / 64;
+  std::size_t num_rows =
+      masks * ag.num_labels_ * ag.num_patterns_ * ag.num_states_;
+  bool build_kernel =
+      ag.num_states_ > 0 &&
+      num_rows <= kKernelMemoryBudgetBytes / 8 / (row_words == 0 ? 1 : row_words);
+  if (build_kernel) {
+    ag.kernel_row_words_ = row_words;
+    ag.kernel_words_.assign(num_rows * row_words, 0);
+    ag.kernel_patterns_.assign(masks * ag.num_labels_ * ag.num_states_, 0);
+  }
 
   for (AgState s = 0; s < ag.num_states_; s++) {
     NodeId v = ag.NodeOf(s);
@@ -82,6 +97,17 @@ Result<AssignmentGraph> AssignmentGraph::Build(const DataGraph& graph,
             EqualityPattern(graph.DataValueOf(v_prime), sigma_prime));
         ag.adjacency_[(mask * ag.num_labels_ + label) * ag.num_states_ + s]
             .push_back(Successor{target, pattern});
+        if (build_kernel) {
+          std::size_t row =
+              ((mask * ag.num_labels_ + label) * ag.num_patterns_ + pattern) *
+                  ag.num_states_ +
+              s;
+          ag.kernel_words_[row * row_words + (target >> 6)] |=
+              std::uint64_t{1} << (target & 63);
+          ag.kernel_patterns_[(mask * ag.num_labels_ + label) *
+                                  ag.num_states_ +
+                              s] |= static_cast<std::uint16_t>(1u << pattern);
+        }
       }
     }
   }

@@ -76,6 +76,52 @@ class AssignmentGraph {
                       state];
   }
 
+  // --- Word-parallel transition kernel -------------------------------------
+  //
+  // Build() additionally materializes, for every (store_mask, label,
+  // pattern), a row-indexed bitset adjacency: row s is the set of successor
+  // states of s whose equality pattern is `pattern`, packed as
+  // ⌈|Q|/64⌉ words. The definability BFS then derives a frontier's
+  // successors as word-parallel unions — `part |= row(s)` covers 64 target
+  // states per instruction — instead of pushing successors one at a time.
+  // Rows are stored flat (one contiguous word vector, fixed stride) so the
+  // whole kernel is two allocations, not |masks|·|Σ|·|patterns|·|Q| of them.
+  //
+  // The kernel is skipped (has_kernel() == false) when its footprint would
+  // exceed kKernelMemoryBudgetBytes; callers fall back to SuccessorsOf.
+
+  /// Rows materialized at Build time and within the memory budget?
+  bool has_kernel() const { return !kernel_words_.empty(); }
+
+  /// Words per kernel row (⌈num_states/64⌉).
+  std::size_t kernel_row_words() const { return kernel_row_words_; }
+
+  /// Pointer to the packed successor row of `state` under (store_mask,
+  /// label) restricted to equality pattern `pattern`; kernel_row_words()
+  /// words. Requires has_kernel().
+  const std::uint64_t* KernelRow(std::uint32_t store_mask, LabelId label,
+                                 std::uint32_t pattern, AgState state) const {
+    return kernel_words_.data() +
+           (((store_mask * num_labels_ + label) * num_patterns_ + pattern) *
+                num_states_ +
+            state) *
+               kernel_row_words_;
+  }
+
+  /// Bitmask over patterns with at least one successor of `state` under
+  /// (store_mask, label) — lets the BFS skip all-zero kernel rows without
+  /// touching them. Requires has_kernel().
+  std::uint16_t AchievedPatternsAt(std::uint32_t store_mask, LabelId label,
+                                  AgState state) const {
+    return kernel_patterns_[(store_mask * num_labels_ + label) * num_states_ +
+                            state];
+  }
+
+  /// Upper bound on the flat kernel's size; beyond it Build() leaves the
+  /// kernel unmaterialized and callers use the successor lists.
+  static constexpr std::size_t kKernelMemoryBudgetBytes =
+      std::size_t{64} << 20;
+
  private:
   AssignmentGraph() = default;
 
@@ -83,10 +129,16 @@ class AssignmentGraph {
   std::size_t num_nodes_ = 0;
   std::size_t num_labels_ = 0;
   std::size_t num_values_ = 0;
+  std::size_t num_patterns_ = 1;  // 2^k
   std::uint64_t assignment_codes_ = 1;  // (δ+1)^k
   std::size_t num_states_ = 0;
   /// adjacency_[(mask·|Σ| + a)·|Q| + s] = successors of s under (mask, a).
   std::vector<std::vector<Successor>> adjacency_;
+  /// Flat kernel rows, stride kernel_row_words_, indexed as in KernelRow.
+  std::vector<std::uint64_t> kernel_words_;
+  /// Achieved-pattern masks, indexed as in AchievedPatternsAt.
+  std::vector<std::uint16_t> kernel_patterns_;
+  std::size_t kernel_row_words_ = 0;
 };
 
 }  // namespace gqd

@@ -2,35 +2,322 @@
 
 #include <algorithm>
 #include <cassert>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace gqd {
 
 namespace {
 
-/// A macro tuple ⟨Q_1, ..., Q_n⟩ packed as one flat word vector for
-/// hashing/equality (n consecutive bitsets over assignment-graph states).
-struct MacroTuple {
-  std::vector<DynamicBitset> sets;
+// The BFS works on macro tuples ⟨Q_1, ..., Q_n⟩ stored as flat word arrays:
+// n consecutive packed state sets of `set_words` words each. Flat storage
+// keeps every interned tuple in one contiguous allocation (cache-friendly
+// hashing/equality) and lets the interner probe by stored hash + index
+// instead of keeping a second copy of the words as a map key.
 
-  std::vector<std::uint64_t> Key() const {
-    std::vector<std::uint64_t> key;
-    for (const DynamicBitset& s : sets) {
-      key.insert(key.end(), s.words().begin(), s.words().end());
-    }
-    return key;
+inline void OrWords(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t count) {
+  for (std::size_t i = 0; i < count; i++) {
+    dst[i] |= src[i];
   }
+}
+
+std::uint64_t HashTupleWords(const std::uint64_t* words, std::size_t count) {
+  std::size_t seed = count;
+  for (std::size_t i = 0; i < count; i++) {
+    seed = HashCombine(seed,
+                       static_cast<std::size_t>(words[i] *
+                                                0xff51afd7ed558ccdULL));
+  }
+  return seed;
+}
+
+/// Flat macro-tuple store with an open-addressed interner. Tuple `t`'s
+/// words live at [t·tuple_words, (t+1)·tuple_words); the probe table holds
+/// only (hash, index) — the words are never duplicated into a key.
+class TupleStore {
+ public:
+  explicit TupleStore(std::size_t tuple_words)
+      : tuple_words_(tuple_words), slots_(64, 0) {}
+
+  std::size_t size() const { return count_; }
+
+  const std::uint64_t* TupleAt(std::size_t index) const {
+    return words_.data() + index * tuple_words_;
+  }
+
+  /// Returns the index of the tuple equal to `words`, interning a copy
+  /// first when absent (*inserted reports which).
+  std::size_t Intern(const std::uint64_t* words, std::uint64_t hash,
+                     bool* inserted) {
+    std::size_t mask = slots_.size() - 1;
+    std::size_t pos = static_cast<std::size_t>(hash) & mask;
+    while (slots_[pos] != 0) {
+      std::size_t index = slots_[pos] - 1;
+      if (hashes_[index] == hash &&
+          std::memcmp(TupleAt(index), words,
+                      tuple_words_ * sizeof(std::uint64_t)) == 0) {
+        *inserted = false;
+        return index;
+      }
+      pos = (pos + 1) & mask;
+    }
+    std::size_t index = count_++;
+    words_.insert(words_.end(), words, words + tuple_words_);
+    hashes_.push_back(hash);
+    slots_[pos] = index + 1;
+    if ((count_ + 1) * 4 > slots_.size() * 3) {
+      Grow();
+    }
+    *inserted = true;
+    return index;
+  }
+
+ private:
+  void Grow() {
+    std::vector<std::size_t> bigger(slots_.size() * 2, 0);
+    std::size_t mask = bigger.size() - 1;
+    for (std::size_t index = 0; index < count_; index++) {
+      std::size_t pos = static_cast<std::size_t>(hashes_[index]) & mask;
+      while (bigger[pos] != 0) {
+        pos = (pos + 1) & mask;
+      }
+      bigger[pos] = index + 1;
+    }
+    slots_.swap(bigger);
+  }
+
+  std::size_t tuple_words_;
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint64_t> hashes_;
+  std::vector<std::size_t> slots_;  ///< index+1, 0 = empty; pow-2 size
+  std::size_t count_ = 0;
 };
 
-struct KeyHash {
-  std::size_t operator()(const std::vector<std::uint64_t>& key) const {
-    std::size_t seed = key.size();
-    for (std::uint64_t w : key) {
-      seed = HashCombine(seed,
-                         static_cast<std::size_t>(w * 0xff51afd7ed558ccdULL));
-    }
-    return seed;
+/// One candidate successor tuple of the current head under one block label:
+/// the condition (minterm subset), the tuple's hash, and its words' offset
+/// into the owning scratch arena.
+struct Candidate {
+  MintermMask condition;
+  std::uint64_t hash;
+  std::size_t offset;
+};
+
+/// Reusable per-(store set, letter) workspace. One instance per worker
+/// slot; nothing inside the per-head loops allocates once these warm up.
+struct BlockScratch {
+  std::vector<std::uint64_t> parts;    ///< n × patterns × set_words
+  std::vector<std::uint64_t> stack;    ///< DFS save buffers, one per depth
+  std::vector<std::uint64_t> current;  ///< running union, tuple_words
+  std::vector<std::uint8_t> achieved;  ///< patterns achieved by any part
+  std::vector<Candidate> candidates;   ///< emitted in canonical order
+  std::vector<std::uint64_t> arena;    ///< candidate tuple words
+  std::uint8_t included[16];           ///< reference-engine DFS include path
+  std::size_t included_count = 0;
+  bool expired = false;
+  std::uint32_t ticks = 0;
+};
+
+/// Successor generation for one (store set, letter) block of one head
+/// tuple. Pure function of the head tuple — interning state is never read —
+/// so blocks can fan out across workers and merge back deterministically.
+class SuccessorGenerator {
+ public:
+  SuccessorGenerator(const AssignmentGraph& ag, std::size_t n,
+                     KRemEngine engine, const CancelToken* cancel)
+      : ag_(ag),
+        n_(n),
+        num_patterns_(ag.num_patterns()),
+        set_words_((ag.num_states() + 63) / 64),
+        tuple_words_(n * set_words_),
+        engine_(engine == KRemEngine::kKernel && ag.has_kernel()
+                    ? KRemEngine::kKernel
+                    : KRemEngine::kReference),
+        cancel_(cancel) {}
+
+  std::size_t set_words() const { return set_words_; }
+  std::size_t tuple_words() const { return tuple_words_; }
+
+  void InitScratch(BlockScratch* s) const {
+    s->parts.assign(n_ * num_patterns_ * set_words_, 0);
+    s->stack.assign(num_patterns_ * tuple_words_, 0);
+    s->current.assign(tuple_words_, 0);
+    s->achieved.reserve(num_patterns_);
+    s->candidates.reserve(16);
   }
+
+  /// Emits, into `s`, every (condition, successor tuple) of `tuple` under
+  /// (store_mask, label), in the canonical subset-DFS order shared by both
+  /// engines. Sets s->expired (and stops early) if the token expires.
+  void Generate(const std::uint64_t* tuple, std::uint32_t store_mask,
+                LabelId label, BlockScratch* s) const {
+    s->candidates.clear();
+    s->arena.clear();
+    s->achieved.clear();
+    s->expired = false;
+    std::fill(s->parts.begin(), s->parts.end(), 0);
+    std::uint32_t achieved_mask =
+        engine_ == KRemEngine::kKernel
+            ? FillPartsKernel(tuple, store_mask, label, s)
+            : FillPartsReference(tuple, store_mask, label, s);
+    if (s->expired || achieved_mask == 0) {
+      return;
+    }
+    for (std::uint32_t p = 0; p < num_patterns_; p++) {
+      if (achieved_mask & (1u << p)) {
+        s->achieved.push_back(static_cast<std::uint8_t>(p));
+      }
+    }
+    std::fill(s->current.begin(), s->current.end(), 0);
+    s->included_count = 0;
+    EnumerateSubsets(0, 0, s);
+  }
+
+ private:
+  /// Word-parallel kernel: for each source state of each Q_i, OR the
+  /// pre-packed 64-states-at-a-time successor rows into the pattern parts.
+  std::uint32_t FillPartsKernel(const std::uint64_t* tuple,
+                                std::uint32_t store_mask, LabelId label,
+                                BlockScratch* s) const {
+    assert(ag_.kernel_row_words() == set_words_);
+    std::uint32_t achieved_mask = 0;
+    for (std::size_t i = 0; i < n_; i++) {
+      const std::uint64_t* q = tuple + i * set_words_;
+      std::uint64_t* parts_i = s->parts.data() + i * num_patterns_ * set_words_;
+      for (std::size_t w = 0; w < set_words_; w++) {
+        std::uint64_t bits = q[w];
+        while (bits != 0) {
+          AgState state = static_cast<AgState>(
+              (w << 6) + static_cast<std::size_t>(__builtin_ctzll(bits)));
+          bits &= bits - 1;
+          if (GQD_CANCEL_STRIDE_CHECK(cancel_, s->ticks)) {
+            s->expired = true;
+            return achieved_mask;
+          }
+          std::uint32_t pats = ag_.AchievedPatternsAt(store_mask, label, state);
+          achieved_mask |= pats;
+          while (pats != 0) {
+            std::uint32_t p =
+                static_cast<std::uint32_t>(__builtin_ctz(pats));
+            pats &= pats - 1;
+            OrWords(parts_i + p * set_words_,
+                    ag_.KernelRow(store_mask, label, p, state), set_words_);
+          }
+        }
+      }
+    }
+    return achieved_mask;
+  }
+
+  /// Reference shape: walk the successor lists one edge at a time.
+  std::uint32_t FillPartsReference(const std::uint64_t* tuple,
+                                   std::uint32_t store_mask, LabelId label,
+                                   BlockScratch* s) const {
+    std::uint32_t achieved_mask = 0;
+    for (std::size_t i = 0; i < n_; i++) {
+      const std::uint64_t* q = tuple + i * set_words_;
+      std::uint64_t* parts_i = s->parts.data() + i * num_patterns_ * set_words_;
+      for (std::size_t w = 0; w < set_words_; w++) {
+        std::uint64_t bits = q[w];
+        while (bits != 0) {
+          AgState state = static_cast<AgState>(
+              (w << 6) + static_cast<std::size_t>(__builtin_ctzll(bits)));
+          bits &= bits - 1;
+          if (GQD_CANCEL_STRIDE_CHECK(cancel_, s->ticks)) {
+            s->expired = true;
+            return achieved_mask;
+          }
+          for (const auto& successor :
+               ag_.SuccessorsOf(store_mask, label, state)) {
+            parts_i[successor.pattern * set_words_ +
+                    (successor.state >> 6)] |=
+                std::uint64_t{1} << (successor.state & 63);
+            achieved_mask |= 1u << successor.pattern;
+          }
+        }
+      }
+    }
+    return achieved_mask;
+  }
+
+  /// Enumerates the non-empty subsets of s->achieved in exclude-first DFS
+  /// order — the canonical order both engines share. The kernel engine
+  /// maintains the running union incrementally: entering the include branch
+  /// costs one OR pass from the parent subset, and the parent's value is
+  /// saved to a per-depth buffer and rolled back afterwards (the Gray-code
+  /// style walk of the subset lattice; no allocation, no recompute). The
+  /// reference engine rebuilds each leaf's union from its included parts.
+  void EnumerateSubsets(std::size_t depth, MintermMask condition,
+                        BlockScratch* s) const {
+    if (s->expired) {
+      return;
+    }
+    if (depth == s->achieved.size()) {
+      if (condition != 0) {
+        Emit(condition, s);
+      }
+      return;
+    }
+    EnumerateSubsets(depth + 1, condition, s);  // exclude achieved[depth]
+    std::uint8_t pattern = s->achieved[depth];
+    if (engine_ == KRemEngine::kKernel) {
+      std::uint64_t* save = s->stack.data() + depth * tuple_words_;
+      std::memcpy(save, s->current.data(),
+                  tuple_words_ * sizeof(std::uint64_t));
+      for (std::size_t i = 0; i < n_; i++) {
+        OrWords(s->current.data() + i * set_words_,
+                s->parts.data() + (i * num_patterns_ + pattern) * set_words_,
+                set_words_);
+      }
+      EnumerateSubsets(depth + 1,
+                       condition | (MintermMask{1} << pattern), s);
+      std::memcpy(s->current.data(), save,
+                  tuple_words_ * sizeof(std::uint64_t));
+    } else {
+      s->included[s->included_count++] = pattern;
+      EnumerateSubsets(depth + 1,
+                       condition | (MintermMask{1} << pattern), s);
+      s->included_count--;
+    }
+  }
+
+  void Emit(MintermMask condition, BlockScratch* s) const {
+    if (GQD_CANCEL_STRIDE_CHECK(cancel_, s->ticks)) {
+      s->expired = true;
+      return;
+    }
+    if (engine_ == KRemEngine::kReference) {
+      // From-scratch union of the included pattern parts.
+      std::fill(s->current.begin(), s->current.end(), 0);
+      for (std::size_t j = 0; j < s->included_count; j++) {
+        std::uint8_t pattern = s->included[j];
+        for (std::size_t i = 0; i < n_; i++) {
+          OrWords(s->current.data() + i * set_words_,
+                  s->parts.data() +
+                      (i * num_patterns_ + pattern) * set_words_,
+                  set_words_);
+        }
+      }
+    }
+    std::size_t offset = s->arena.size();
+    s->arena.insert(s->arena.end(), s->current.begin(), s->current.end());
+    s->candidates.push_back(Candidate{
+        condition, HashTupleWords(s->current.data(), tuple_words_), offset});
+  }
+
+  const AssignmentGraph& ag_;
+  std::size_t n_;
+  std::size_t num_patterns_;
+  std::size_t set_words_;
+  std::size_t tuple_words_;
+  KRemEngine engine_;
+  const CancelToken* cancel_;
 };
 
 }  // namespace
@@ -53,30 +340,16 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
 
   GQD_ASSIGN_OR_RETURN(AssignmentGraph ag, AssignmentGraph::Build(graph, k));
   std::size_t n = graph.NumNodes();
-  std::size_t num_states = ag.num_states();
-  std::size_t num_patterns = ag.num_patterns();
 
-  // BFS bookkeeping: tuple storage, parent links, and the incoming block of
-  // each tuple for witness reconstruction.
-  std::vector<MacroTuple> tuples;
+  SuccessorGenerator generator(ag, n, options.engine, options.cancel);
+  std::size_t set_words = generator.set_words();
+  std::size_t tuple_words = generator.tuple_words();
+
+  // BFS bookkeeping: flat tuple storage + interner, parent links, and the
+  // incoming block of each tuple for witness reconstruction.
+  TupleStore tuples(tuple_words);
   std::vector<std::size_t> parent;
   std::vector<BasicRemBlock> incoming;
-  std::unordered_map<std::vector<std::uint64_t>, std::size_t, KeyHash> seen;
-
-  auto intern = [&](MacroTuple tuple, std::size_t parent_index,
-                    BasicRemBlock block) -> std::size_t {
-    auto key = tuple.Key();
-    auto it = seen.find(key);
-    if (it != seen.end()) {
-      return it->second;
-    }
-    std::size_t index = tuples.size();
-    seen.emplace(std::move(key), index);
-    tuples.push_back(std::move(tuple));
-    parent.push_back(parent_index);
-    incoming.push_back(block);
-    return index;
-  };
 
   // Pair bookkeeping: which pairs of S still need a witness, and the tuple
   // index at which each pair was first accepted.
@@ -87,28 +360,35 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
   }
   std::size_t unsolved = pairs.size();
 
-  // Safety and acceptance of one tuple.
+  // Safety and acceptance of one tuple: every (v', σ) ∈ Q_i must have
+  // ⟨v_i, v'⟩ ∈ S; a safe tuple accepts ⟨v_p, v_q⟩ iff v_q ∈ nodes(Q_p).
+  std::size_t node_words = (n + 63) / 64;
+  std::vector<std::uint64_t> projections(n * node_words);
   auto process_tuple = [&](std::size_t index) {
-    const MacroTuple& tuple = tuples[index];
-    // Project each Q_i to its node set and check safety:
-    // every (v', σ) ∈ Q_i must have ⟨v_i, v'⟩ ∈ S.
-    std::vector<DynamicBitset> projections(n, DynamicBitset(n));
+    const std::uint64_t* tuple = tuples.TupleAt(index);
+    std::fill(projections.begin(), projections.end(), 0);
     for (std::size_t i = 0; i < n; i++) {
-      const DynamicBitset& q_i = tuple.sets[i];
-      for (std::size_t s = q_i.FindNext(0); s < num_states;
-           s = q_i.FindNext(s + 1)) {
-        NodeId v = ag.NodeOf(static_cast<AgState>(s));
-        if (!relation.Test(static_cast<NodeId>(i), v)) {
-          return;  // unsafe: this tuple accepts no pair
+      const std::uint64_t* q = tuple + i * set_words;
+      for (std::size_t w = 0; w < set_words; w++) {
+        std::uint64_t bits = q[w];
+        while (bits != 0) {
+          std::size_t s = (w << 6) +
+                          static_cast<std::size_t>(__builtin_ctzll(bits));
+          bits &= bits - 1;
+          NodeId v = ag.NodeOf(static_cast<AgState>(s));
+          if (!relation.Test(static_cast<NodeId>(i), v)) {
+            return;  // unsafe: this tuple accepts no pair
+          }
+          projections[i * node_words + (v >> 6)] |= std::uint64_t{1}
+                                                    << (v & 63);
         }
-        projections[i].Set(v);
       }
     }
-    // Safe: it accepts ⟨v_p, v_q⟩ iff v_q ∈ nodes(Q_p).
     for (const auto& [p, q] : pairs) {
       std::uint64_t key = static_cast<std::uint64_t>(p) * n + q;
       auto it = pair_solution.find(key);
-      if (it->second == kUnsolved && projections[p].Test(q)) {
+      if (it->second == kUnsolved &&
+          (projections[p * node_words + (q >> 6)] >> (q & 63)) & 1u) {
         it->second = index;
         unsolved--;
       }
@@ -117,95 +397,148 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
 
   // Initial tuple: Q_i = {(v_i, ⊥^k)} — the ε expression (zero blocks).
   {
-    MacroTuple initial;
-    initial.sets.assign(n, DynamicBitset(num_states));
+    std::vector<std::uint64_t> initial(tuple_words, 0);
     for (NodeId v = 0; v < n; v++) {
-      initial.sets[v].Set(ag.InitialState(v));
+      AgState s = ag.InitialState(v);
+      initial[v * set_words + (s >> 6)] |= std::uint64_t{1} << (s & 63);
     }
-    intern(std::move(initial), kUnsolved, BasicRemBlock{});
+    bool inserted = false;
+    tuples.Intern(initial.data(),
+                  HashTupleWords(initial.data(), tuple_words), &inserted);
+    parent.push_back(kUnsolved);
+    incoming.push_back(BasicRemBlock{});
     process_tuple(0);
   }
 
-  std::uint32_t ticks = 0;
-  for (std::size_t head = 0; head < tuples.size() && unsolved > 0; head++) {
+  // Frontier-parallel setup. Successor generation is a pure function of
+  // the head tuple, so the parallel path generates a *batch* of already-
+  // known frontier heads per round (each worker takes a strided slice of
+  // the batch, covering every (store set, letter) block of its heads) and
+  // then merges sequentially in (head, block) order — one barrier per
+  // batch instead of per head, and results identical to sequential.
+  // Every (head-in-batch, block) pair owns a scratch slot, so the steady
+  // state allocates nothing; the batch is sized to keep that scratch
+  // within a fixed budget.
+  std::size_t num_blocks = ag.num_store_masks() * ag.num_labels();
+  std::optional<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool.emplace(options.num_threads);
+  }
+  std::size_t batch_heads = 1;
+  if (pool.has_value()) {
+    constexpr std::size_t kBatchScratchBudgetBytes = std::size_t{256} << 20;
+    std::size_t per_head_bytes =
+        num_blocks *
+        (n * ag.num_patterns() + ag.num_patterns() * n + 1) * set_words *
+        sizeof(std::uint64_t);
+    std::size_t memory_cap =
+        kBatchScratchBudgetBytes / (per_head_bytes == 0 ? 1 : per_head_bytes);
+    batch_heads = std::min<std::size_t>(
+        {8 * pool->num_threads(), 128,
+         memory_cap == 0 ? std::size_t{1} : memory_cap});
+    if (batch_heads == 0) {
+      batch_heads = 1;
+    }
+  }
+  std::vector<BlockScratch> scratch(pool.has_value() ? batch_heads * num_blocks
+                                                     : 1);
+  for (BlockScratch& s : scratch) {
+    generator.InitScratch(&s);
+  }
+
+  // Merges one block's candidates into the store, in emission order.
+  // Generation never reads interning state, so merge order — blocks in
+  // (store_mask, label) order, candidates in DFS order — fully determines
+  // the result regardless of thread count.
+  auto merge_block = [&](BlockScratch& s, std::uint32_t mask,
+                         LabelId label, std::size_t head) {
+    for (const Candidate& c : s.candidates) {
+      bool inserted = false;
+      std::size_t index =
+          tuples.Intern(s.arena.data() + c.offset, c.hash, &inserted);
+      if (inserted) {
+        parent.push_back(head);
+        incoming.push_back(BasicRemBlock{mask, label, c.condition});
+        process_tuple(index);
+        if (unsolved == 0) {
+          return;
+        }
+      }
+    }
+  };
+
+  std::size_t head = 0;
+  while (head < tuples.size() && unsolved > 0) {
     if (tuples.size() > options.max_tuples) {
       result.verdict = DefinabilityVerdict::kBudgetExhausted;
       result.tuples_explored = tuples.size();
       return result;
     }
-    for (std::uint32_t mask = 0; mask < ag.num_store_masks(); mask++) {
+    if (pool.has_value()) {
+      // Generate every block of up to batch_heads known heads in one
+      // parallel round. The store is read-only until all workers finish
+      // (interning happens only in the merge below), so TupleAt pointers
+      // stay valid throughout the round.
+      std::size_t batch = std::min(batch_heads, tuples.size() - head);
+      std::size_t num_workers = std::min(pool->num_threads(), batch);
+      std::mutex done_mutex;
+      std::condition_variable done_cv;
+      std::size_t remaining = num_workers;
+      for (std::size_t w = 0; w < num_workers; w++) {
+        pool->Submit([&generator, &scratch, &tuples, &done_mutex, &done_cv,
+                      &remaining, &ag, head, batch, num_workers, num_blocks,
+                      w] {
+          for (std::size_t b = w; b < batch; b += num_workers) {
+            const std::uint64_t* words = tuples.TupleAt(head + b);
+            for (std::size_t t = 0; t < num_blocks; t++) {
+              generator.Generate(
+                  words, static_cast<std::uint32_t>(t / ag.num_labels()),
+                  static_cast<LabelId>(t % ag.num_labels()),
+                  &scratch[b * num_blocks + t]);
+            }
+          }
+          // Notify while holding the lock: the waiter owns these locals
+          // and destroys them the moment it observes remaining == 0.
+          std::lock_guard<std::mutex> lock(done_mutex);
+          remaining--;
+          done_cv.notify_one();
+        });
+      }
+      {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done_cv.wait(lock, [&remaining] { return remaining == 0; });
+      }
       if (options.cancel != nullptr && options.cancel->Expired()) {
         return options.cancel->Check();
       }
-      for (LabelId label = 0; label < ag.num_labels(); label++) {
-        // Successors of every Q_i grouped by equality pattern, so each
-        // condition evaluates as a union of pre-computed pattern parts.
-        std::vector<std::vector<DynamicBitset>> parts(
-            n, std::vector<DynamicBitset>(num_patterns,
-                                          DynamicBitset(num_states)));
-        std::uint32_t achieved = 0;
-        {
-          // Copy: `tuples` may reallocate inside intern() below.
-          const MacroTuple current = tuples[head];
-          for (std::size_t i = 0; i < n; i++) {
-            const DynamicBitset& q_i = current.sets[i];
-            for (std::size_t s = q_i.FindNext(0); s < num_states;
-                 s = q_i.FindNext(s + 1)) {
-              for (const auto& successor :
-                   ag.SuccessorsOf(mask, label, static_cast<AgState>(s))) {
-                parts[i][successor.pattern].Set(successor.state);
-                achieved |= (1u << successor.pattern);
-              }
-            }
-          }
+      for (std::size_t b = 0; b < batch && unsolved > 0; b++, head++) {
+        if (tuples.size() > options.max_tuples) {
+          result.verdict = DefinabilityVerdict::kBudgetExhausted;
+          result.tuples_explored = tuples.size();
+          return result;
         }
-        if (achieved == 0) {
-          continue;  // no successors under (mask, label) at all
+        for (std::size_t t = 0; t < num_blocks && unsolved > 0; t++) {
+          merge_block(scratch[b * num_blocks + t],
+                      static_cast<std::uint32_t>(t / ag.num_labels()),
+                      static_cast<LabelId>(t % ag.num_labels()), head);
         }
-        // Enumerate conditions as non-empty subsets of achieved patterns
-        // (patterns outside `achieved` cannot change the successor tuple).
-        std::vector<std::uint8_t> achieved_patterns;
-        for (std::uint32_t p = 0; p < num_patterns; p++) {
-          if (achieved & (1u << p)) {
-            achieved_patterns.push_back(static_cast<std::uint8_t>(p));
-          }
-        }
-        std::uint32_t subset_count = 1u << achieved_patterns.size();
-        for (std::uint32_t subset = 1; subset < subset_count; subset++) {
-          if (GQD_CANCEL_STRIDE_CHECK(options.cancel, ticks)) {
+      }
+    } else {
+      for (std::uint32_t mask = 0;
+           mask < ag.num_store_masks() && unsolved > 0; mask++) {
+        for (LabelId label = 0; label < ag.num_labels() && unsolved > 0;
+             label++) {
+          if (options.cancel != nullptr && options.cancel->Expired()) {
             return options.cancel->Check();
           }
-          MintermMask condition = 0;
-          MacroTuple successor;
-          successor.sets.assign(n, DynamicBitset(num_states));
-          for (std::size_t bit = 0; bit < achieved_patterns.size(); bit++) {
-            if (!(subset & (1u << bit))) {
-              continue;
-            }
-            std::uint8_t pattern = achieved_patterns[bit];
-            condition |= (MintermMask{1} << pattern);
-            for (std::size_t i = 0; i < n; i++) {
-              successor.sets[i] |= parts[i][pattern];
-            }
+          generator.Generate(tuples.TupleAt(head), mask, label, &scratch[0]);
+          if (scratch[0].expired) {
+            return options.cancel->Check();
           }
-          std::size_t before = tuples.size();
-          std::size_t index = intern(
-              std::move(successor), head,
-              BasicRemBlock{mask, label, condition});
-          if (index == before) {
-            process_tuple(index);
-            if (unsolved == 0) {
-              break;
-            }
-          }
-        }
-        if (unsolved == 0) {
-          break;
+          merge_block(scratch[0], mask, label, head);
         }
       }
-      if (unsolved == 0) {
-        break;
-      }
+      head++;
     }
   }
 

@@ -40,11 +40,31 @@ struct KRemWitness {
   std::vector<BasicRemBlock> blocks;
 };
 
+/// Which successor machinery the BFS runs on. Both engines explore tuples
+/// in the same canonical order, so verdicts, witnesses and tuples_explored
+/// are identical — the reference engine exists as a differential-testing
+/// oracle for the word-parallel kernel path (see tests/test_definability_diff).
+enum class KRemEngine {
+  /// Word-parallel kernel rows + incremental subset unions (the default).
+  kKernel,
+  /// Straightforward per-successor derivation with from-scratch subset
+  /// unions — the shape of the original implementation, kept as an oracle.
+  kReference,
+};
+
 struct KRemDefinabilityOptions {
   /// Maximum number of distinct macro tuples to explore before giving up.
   std::size_t max_tuples = 200'000;
-  /// Optional cooperative cancellation: the BFS polls this token and
-  /// returns Status::DeadlineExceeded once it expires.
+  /// Successor-generation workers for each BFS frontier step. The
+  /// independent (store set, letter) blocks of the current tuple fan out
+  /// across a shared ThreadPool; results merge back in canonical block
+  /// order, so verdicts, witnesses and tuples_explored are bit-identical
+  /// for every thread count. 0 or 1 means sequential.
+  std::size_t num_threads = 1;
+  /// Successor machinery; kKernel unless you are cross-checking.
+  KRemEngine engine = KRemEngine::kKernel;
+  /// Optional cooperative cancellation: the BFS (and its workers) polls
+  /// this token and returns Status::DeadlineExceeded once it expires.
   const CancelToken* cancel = nullptr;
 };
 

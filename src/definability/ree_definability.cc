@@ -1,6 +1,7 @@
 #include "definability/ree_definability.h"
 
-#include <unordered_map>
+#include <cstdint>
+#include <vector>
 
 #include "definability/small_relation.h"
 
@@ -9,11 +10,15 @@ namespace gqd {
 namespace {
 
 /// Policy for the generic level algorithm over plain BinaryRelations.
+/// With `masks` set, the =/≠ restrictions run rowized (one word-parallel
+/// AND / AND-NOT per row against the source node's value class); with
+/// `masks == nullptr` they run the retained per-bit reference loops.
 struct BigRelationOps {
   using Rel = BinaryRelation;
   using Hash = BinaryRelationHash;
 
   const DataGraph* graph;
+  const ValueClassMasks* masks;
 
   Rel Empty() const { return BinaryRelation(graph->NumNodes()); }
   Rel Identity() const { return BinaryRelation::Identity(graph->NumNodes()); }
@@ -21,8 +26,12 @@ struct BigRelationOps {
     return BinaryRelation::FromEdges(*graph, a);
   }
   Rel Compose(const Rel& a, const Rel& b) const { return a.Compose(b); }
-  Rel Eq(const Rel& a) const { return a.EqRestrict(*graph); }
-  Rel Neq(const Rel& a) const { return a.NeqRestrict(*graph); }
+  Rel Eq(const Rel& a) const {
+    return masks != nullptr ? a.EqRestrict(*masks) : a.EqRestrict(*graph);
+  }
+  Rel Neq(const Rel& a) const {
+    return masks != nullptr ? a.NeqRestrict(*masks) : a.NeqRestrict(*graph);
+  }
   bool Subset(const Rel& a, const Rel& b) const { return a.IsSubsetOf(b); }
   void UnionInto(Rel* a, const Rel& b) const { a->UnionWith(b); }
   bool Equal(const Rel& a, const Rel& b) const { return a == b; }
@@ -47,6 +56,17 @@ struct SmallRelationOps {
   bool Equal(Rel a, Rel b) const { return a == b; }
 };
 
+/// How a monoid element was derived. The closure attempts |M|·|gens|
+/// compositions but inserts only |M| of them, so REE ASTs are *not* built
+/// eagerly per attempt — each element records this five-word recipe and the
+/// few elements the greedy cover actually uses are materialized at the end.
+struct Derivation {
+  enum class Kind : std::uint8_t { kEpsilon, kLetter, kConcat, kEq, kNeq };
+  Kind kind = Kind::kEpsilon;
+  std::uint32_t a = 0;  ///< left/only operand element index
+  std::uint32_t b = 0;  ///< kConcat: right operand index; kLetter: label id
+};
+
 /// The level algorithm (Definition 27 / Lemmas 28-31), generic over the
 /// relation representation. See the header for the algebraic argument
 /// (distribution of ∘ and =/≠ over +) that reduces levels to a ∘-monoid
@@ -62,10 +82,13 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
       options.max_levels > 0 ? options.max_levels : num_nodes * num_nodes;
   ReeDefinabilityResult result;
 
-  // The monoid: distinct relations with one REE derivation each.
-  std::unordered_map<Rel, std::size_t, typename Ops::Hash> index;
+  // The monoid: distinct relations, each with one derivation recipe. The
+  // interner is open-addressed over stored hashes — probes compare against
+  // elements[slot] directly, so a relation is never copied into a map key.
   std::vector<Rel> elements;
-  std::vector<ReePtr> derivations;
+  std::vector<Derivation> derivations;
+  std::vector<std::size_t> hashes;
+  std::vector<std::size_t> slots(64, 0);  // index+1, 0 = empty; pow-2 size
   // Generator bookkeeping: right-multiplication by generators alone
   // enumerates the ∘-semigroup (every element is a generator product),
   // making the closure |M|·|gens| instead of |M|².
@@ -73,17 +96,39 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
   std::vector<bool> is_gen;
   std::vector<std::size_t> applied;
 
-  auto add_element = [&](Rel rel, const ReePtr& derivation) {
-    auto [it, inserted] = index.emplace(rel, elements.size());
-    if (inserted) {
-      elements.push_back(std::move(rel));
-      derivations.push_back(derivation);
-      applied.push_back(0);
-      is_gen.push_back(false);
+  auto add_element = [&](Rel rel, Derivation derivation) -> std::size_t {
+    std::size_t hash = typename Ops::Hash{}(rel);
+    std::size_t mask = slots.size() - 1;
+    std::size_t pos = hash & mask;
+    while (slots[pos] != 0) {
+      std::size_t index = slots[pos] - 1;
+      if (hashes[index] == hash && ops.Equal(elements[index], rel)) {
+        return index;
+      }
+      pos = (pos + 1) & mask;
     }
-    return it->second;
+    std::size_t index = elements.size();
+    elements.push_back(std::move(rel));
+    derivations.push_back(derivation);
+    hashes.push_back(hash);
+    applied.push_back(0);
+    is_gen.push_back(false);
+    slots[pos] = index + 1;
+    if ((elements.size() + 1) * 4 > slots.size() * 3) {
+      std::vector<std::size_t> bigger(slots.size() * 2, 0);
+      std::size_t bigger_mask = bigger.size() - 1;
+      for (std::size_t i = 0; i < elements.size(); i++) {
+        std::size_t p = hashes[i] & bigger_mask;
+        while (bigger[p] != 0) {
+          p = (p + 1) & bigger_mask;
+        }
+        bigger[p] = i + 1;
+      }
+      slots.swap(bigger);
+    }
+    return index;
   };
-  auto add_generator = [&](Rel rel, const ReePtr& derivation) {
+  auto add_generator = [&](Rel rel, Derivation derivation) {
     std::size_t i = add_element(std::move(rel), derivation);
     if (!is_gen[i]) {
       is_gen[i] = true;
@@ -91,9 +136,10 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
     }
   };
 
-  add_generator(ops.Identity(), ree::Epsilon());
+  add_generator(ops.Identity(), Derivation{Derivation::Kind::kEpsilon, 0, 0});
   for (LabelId a = 0; a < num_labels; a++) {
-    add_generator(ops.FromLabel(a), ree::Letter(label_names[a]));
+    add_generator(ops.FromLabel(a),
+                  Derivation{Derivation::Kind::kLetter, 0, a});
   }
 
   std::uint32_t ticks = 0;
@@ -111,7 +157,9 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
           std::size_t g = gens[applied[i]++];
           std::size_t before = elements.size();
           add_element(ops.Compose(elements[i], elements[g]),
-                      ree::Concat({derivations[i], derivations[g]}));
+                      Derivation{Derivation::Kind::kConcat,
+                                 static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(g)});
           if (elements.size() > before) {
             progress = true;
           }
@@ -138,8 +186,12 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
       if (GQD_CANCEL_STRIDE_CHECK(options.cancel, ticks)) {
         return options.cancel->Check();
       }
-      add_generator(ops.Eq(elements[i]), ree::Eq(derivations[i]));
-      add_generator(ops.Neq(elements[i]), ree::Neq(derivations[i]));
+      add_generator(ops.Eq(elements[i]),
+                    Derivation{Derivation::Kind::kEq,
+                               static_cast<std::uint32_t>(i), 0});
+      add_generator(ops.Neq(elements[i]),
+                    Derivation{Derivation::Kind::kNeq,
+                               static_cast<std::uint32_t>(i), 0});
       if (elements.size() > options.max_monoid_size) {
         result.verdict = DefinabilityVerdict::kBudgetExhausted;
         result.monoid_size = elements.size();
@@ -163,7 +215,7 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
 
   // Decision (Lemma 30) + greedy synthesis.
   Rel covered = ops.Empty();
-  std::vector<ReePtr> cover;
+  std::vector<std::size_t> cover;
   for (std::size_t i = 0; i < elements.size(); i++) {
     if (!ops.Subset(elements[i], target)) {
       continue;
@@ -172,19 +224,75 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
     ops.UnionInto(&merged, elements[i]);
     if (!ops.Equal(merged, covered)) {
       covered = merged;
-      cover.push_back(derivations[i]);
+      cover.push_back(i);
     }
     if (ops.Equal(covered, target)) {
       break;
     }
   }
-  if (ops.Equal(covered, target)) {
-    result.verdict = DefinabilityVerdict::kDefinable;
-    result.defining_expression =
-        target_empty ? ree::Neq(ree::Epsilon()) : ree::Union(std::move(cover));
-  } else {
+  if (!ops.Equal(covered, target)) {
     result.verdict = DefinabilityVerdict::kNotDefinable;
+    return result;
   }
+  result.verdict = DefinabilityVerdict::kDefinable;
+  if (target_empty) {
+    result.defining_expression = ree::Neq(ree::Epsilon());
+    return result;
+  }
+
+  // Materialize the cover members' recipes as REE ASTs (iteratively — a
+  // concat chain's depth can approach the monoid size). Shared subtrees
+  // materialize once via the memo.
+  std::vector<ReePtr> memo(elements.size());
+  std::vector<std::size_t> stack;
+  std::vector<ReePtr> cover_exprs;
+  for (std::size_t root : cover) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      std::size_t i = stack.back();
+      if (memo[i] != nullptr) {
+        stack.pop_back();
+        continue;
+      }
+      const Derivation& d = derivations[i];
+      switch (d.kind) {
+        case Derivation::Kind::kEpsilon:
+          memo[i] = ree::Epsilon();
+          break;
+        case Derivation::Kind::kLetter:
+          memo[i] = ree::Letter(label_names[d.b]);
+          break;
+        case Derivation::Kind::kConcat:
+          if (memo[d.a] == nullptr) {
+            stack.push_back(d.a);
+          } else if (memo[d.b] == nullptr) {
+            stack.push_back(d.b);
+          } else {
+            memo[i] = ree::Concat({memo[d.a], memo[d.b]});
+          }
+          break;
+        case Derivation::Kind::kEq:
+          if (memo[d.a] == nullptr) {
+            stack.push_back(d.a);
+          } else {
+            memo[i] = ree::Eq(memo[d.a]);
+          }
+          break;
+        case Derivation::Kind::kNeq:
+          if (memo[d.a] == nullptr) {
+            stack.push_back(d.a);
+          } else {
+            memo[i] = ree::Neq(memo[d.a]);
+          }
+          break;
+      }
+      if (memo[i] != nullptr) {
+        stack.pop_back();
+      }
+    }
+    cover_exprs.push_back(memo[root]);
+  }
+  result.defining_expression = ree::Union(std::move(cover_exprs));
   return result;
 }
 
@@ -198,6 +306,12 @@ Result<ReeDefinabilityResult> CheckReeDefinability(
         "relation is over a different node count than the graph");
   }
   const std::vector<std::string>& label_names = graph.labels().names();
+  if (options.engine == ReeEngine::kReference) {
+    BigRelationOps ops{&graph, nullptr};
+    return RunLevelAlgorithm(ops, relation, relation.Empty(),
+                             graph.NumNodes(), graph.NumLabels(), label_names,
+                             options);
+  }
   if (graph.NumNodes() <= 8 && graph.NumNodes() > 0) {
     SmallRelationSpace space(graph);
     SmallRelationOps ops{&space};
@@ -205,7 +319,8 @@ Result<ReeDefinabilityResult> CheckReeDefinability(
                              graph.NumNodes(), graph.NumLabels(), label_names,
                              options);
   }
-  BigRelationOps ops{&graph};
+  ValueClassMasks masks(graph);
+  BigRelationOps ops{&graph, &masks};
   return RunLevelAlgorithm(ops, relation, relation.Empty(),
                            graph.NumNodes(), graph.NumLabels(), label_names,
                            options);

@@ -30,11 +30,27 @@
 
 namespace gqd {
 
+/// Which relation machinery the level closure runs on. Both engines
+/// enumerate the monoid in the same order, so verdicts, levels_used,
+/// monoid_size and the synthesized expression are identical — the
+/// reference engine exists as a differential-testing oracle for the packed
+/// and rowized kernel paths (see tests/test_definability_diff).
+enum class ReeEngine {
+  /// Packed 64-bit relations when n ≤ 8, else word-parallel value-class
+  /// restrictions (ValueClassMasks) over bitset rows. The default.
+  kKernel,
+  /// Generic BinaryRelation ops with per-bit =/≠ restriction loops — the
+  /// shape of the original implementation, kept as an oracle.
+  kReference,
+};
+
 struct ReeDefinabilityOptions {
   /// Maximum number of distinct relations to materialize in the monoid.
   std::size_t max_monoid_size = 200'000;
   /// Maximum restriction levels; 0 means the paper's bound n².
   std::size_t max_levels = 0;
+  /// Relation machinery; kKernel unless you are cross-checking.
+  ReeEngine engine = ReeEngine::kKernel;
   /// Optional cooperative cancellation: the level closure polls this token
   /// and returns Status::DeadlineExceeded once it expires.
   const CancelToken* cancel = nullptr;

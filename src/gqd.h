@@ -86,6 +86,6 @@
 #include "runtime/server.h"          // IWYU pragma: export
 #include "runtime/service.h"         // IWYU pragma: export
 #include "runtime/stats.h"           // IWYU pragma: export
-#include "runtime/thread_pool.h"     // IWYU pragma: export
+#include "common/thread_pool.h"      // IWYU pragma: export
 
 #endif  // GQD_GQD_H_

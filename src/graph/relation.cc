@@ -5,6 +5,17 @@
 
 namespace gqd {
 
+ValueClassMasks::ValueClassMasks(const DataGraph& graph) {
+  std::size_t n = graph.NumNodes();
+  value_of_.resize(n);
+  masks_.assign(graph.NumDataValues() == 0 ? 1 : graph.NumDataValues(),
+                DynamicBitset(n));
+  for (NodeId v = 0; v < n; v++) {
+    value_of_[v] = graph.DataValueOf(v);
+    masks_[value_of_[v]].Set(v);
+  }
+}
+
 BinaryRelation BinaryRelation::Identity(std::size_t n) {
   BinaryRelation r(n);
   for (NodeId v = 0; v < n; v++) {
@@ -118,6 +129,24 @@ BinaryRelation BinaryRelation::NeqRestrict(const DataGraph& graph) const {
         result.Set(u, static_cast<NodeId>(v));
       }
     }
+  }
+  return result;
+}
+
+BinaryRelation BinaryRelation::EqRestrict(const ValueClassMasks& masks) const {
+  assert(masks.num_nodes() == n_);
+  BinaryRelation result = *this;
+  for (NodeId u = 0; u < n_; u++) {
+    result.rows_[u] &= masks.ClassOf(u);
+  }
+  return result;
+}
+
+BinaryRelation BinaryRelation::NeqRestrict(const ValueClassMasks& masks) const {
+  assert(masks.num_nodes() == n_);
+  BinaryRelation result = *this;
+  for (NodeId u = 0; u < n_; u++) {
+    result.rows_[u] -= masks.ClassOf(u);
   }
   return result;
 }

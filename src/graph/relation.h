@@ -23,6 +23,27 @@
 
 namespace gqd {
 
+/// Pre-computed node partition by data value: one bitset per value class,
+/// {v | ρ(v) = d}. With these, the =/≠ restrictions of Definition 26 become
+/// one word-parallel AND (resp. AND-NOT) of each row against the source
+/// node's class — the same rowized-kernel idea the k-REM checker uses —
+/// instead of a per-bit value comparison per set pair.
+class ValueClassMasks {
+ public:
+  explicit ValueClassMasks(const DataGraph& graph);
+
+  std::size_t num_nodes() const { return value_of_.size(); }
+
+  /// The class mask of u's data value: {v | ρ(v) = ρ(u)}.
+  const DynamicBitset& ClassOf(NodeId u) const {
+    return masks_[value_of_[u]];
+  }
+
+ private:
+  std::vector<std::uint32_t> value_of_;
+  std::vector<DynamicBitset> masks_;
+};
+
 /// A binary relation on {0, ..., n-1}, stored as n row bitsets.
 class BinaryRelation {
  public:
@@ -75,6 +96,13 @@ class BinaryRelation {
 
   /// S≠ : keep pairs whose endpoints carry different data values.
   BinaryRelation NeqRestrict(const DataGraph& graph) const;
+
+  /// Rowized S= : row u becomes row_u ∧ class(u), one word-parallel AND
+  /// per row. Equivalent to EqRestrict(graph) for masks built from it.
+  BinaryRelation EqRestrict(const ValueClassMasks& masks) const;
+
+  /// Rowized S≠ : row u becomes row_u ∖ class(u).
+  BinaryRelation NeqRestrict(const ValueClassMasks& masks) const;
 
   /// Intersection (not one of the paper's operators, but used by checkers).
   BinaryRelation& IntersectWith(const BinaryRelation& other);

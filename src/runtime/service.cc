@@ -302,12 +302,19 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
   }
   const CancelToken* cancel =
       deadline.has_value() ? &deadline.value() : nullptr;
+  // Optional frontier-parallel successor generation (krem/rpq checkers);
+  // any thread count returns bit-identical results.
+  GQD_ASSIGN_OR_RETURN(std::int64_t threads, request.GetIntOr("threads", 1));
+  if (threads < 0) {
+    return Status::InvalidArgument("field 'threads' must be non-negative");
+  }
 
   JsonValue::Object body;
   body.emplace_back("checker", checker);
   if (checker == "rpq") {
     KRemDefinabilityOptions options;
     options.cancel = cancel;
+    options.num_threads = static_cast<std::size_t>(threads);
     GQD_ASSIGN_OR_RETURN(RpqDefinabilityResult result,
                          CheckRpqDefinability(*entry.graph, relation,
                                               options));
@@ -323,6 +330,7 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
     }
     KRemDefinabilityOptions options;
     options.cancel = cancel;
+    options.num_threads = static_cast<std::size_t>(threads);
     GQD_ASSIGN_OR_RETURN(
         KRemDefinabilityResult result,
         CheckKRemDefinability(*entry.graph, relation,

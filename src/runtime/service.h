@@ -30,7 +30,7 @@
 #include "runtime/json.h"
 #include "runtime/result_cache.h"
 #include "runtime/stats.h"
-#include "runtime/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace gqd {
 

@@ -17,7 +17,7 @@
 #include <string>
 
 #include "runtime/result_cache.h"
-#include "runtime/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace gqd {
 

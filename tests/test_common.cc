@@ -145,6 +145,78 @@ TEST(DynamicBitset, OrderIsTotal) {
   EXPECT_FALSE(a < a);
 }
 
+TEST(DynamicBitset, NonWordMultipleSizes) {
+  // Sizes straddling word boundaries: 1, 63, 64, 65, 127, 129. The last
+  // word's unused high bits must never leak into Count/None/equality.
+  for (std::size_t size : {1u, 63u, 64u, 65u, 127u, 129u}) {
+    DynamicBitset b(size);
+    EXPECT_TRUE(b.None()) << size;
+    b.Set(size - 1);
+    EXPECT_EQ(b.Count(), 1u) << size;
+    EXPECT_TRUE(b.Test(size - 1)) << size;
+    EXPECT_EQ(b.FindNext(0), size - 1) << size;
+    EXPECT_EQ(b.FindNext(size), size) << size;  // past-the-end stays put
+    DynamicBitset c(size);
+    c.Set(size - 1);
+    EXPECT_EQ(b, c) << size;
+    EXPECT_EQ(b.Hash(), c.Hash()) << size;
+  }
+}
+
+TEST(DynamicBitset, FindNextAcrossWordBoundaries) {
+  DynamicBitset b(256);
+  b.Set(63);
+  b.Set(128);
+  b.Set(255);
+  EXPECT_EQ(b.FindNext(0), 63u);
+  EXPECT_EQ(b.FindNext(64), 128u);   // start exactly on a word boundary
+  EXPECT_EQ(b.FindNext(129), 255u);  // skip an entirely-zero word
+  EXPECT_EQ(b.FindNext(256), 256u);
+  DynamicBitset empty(192);
+  EXPECT_EQ(empty.FindNext(0), 192u);
+}
+
+TEST(DynamicBitset, UnionWithReportsChangedBits) {
+  DynamicBitset a(130), b(130);
+  a.Set(0);
+  a.Set(129);
+  b.Set(0);
+  EXPECT_FALSE(a.UnionWith(b));  // b ⊆ a: nothing changes
+  b.Set(64);
+  EXPECT_TRUE(a.UnionWith(b));  // bit 64 is new
+  EXPECT_TRUE(a.Test(64));
+  EXPECT_FALSE(a.UnionWith(b));  // idempotent afterwards
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(DynamicBitset, UnionWithSelfNeverChanges) {
+  DynamicBitset a(77);
+  a.Set(3);
+  a.Set(76);
+  EXPECT_FALSE(a.UnionWith(a));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(DynamicBitset, HashIsStableAcrossMutationHistory) {
+  // Hash depends only on current contents, not on how they were reached.
+  DynamicBitset direct(100);
+  direct.Set(10);
+  direct.Set(70);
+  DynamicBitset via_mutation(100);
+  via_mutation.Set(10);
+  via_mutation.Set(42);
+  via_mutation.Set(70);
+  via_mutation.Reset(42);
+  EXPECT_EQ(direct, via_mutation);
+  EXPECT_EQ(direct.Hash(), via_mutation.Hash());
+  // Same bits at a different size must not collide with trivial equality:
+  // the size participates in the hash seed.
+  DynamicBitset other_size(128);
+  other_size.Set(10);
+  other_size.Set(70);
+  EXPECT_NE(direct.Hash(), other_size.Hash());
+}
+
 TEST(StringInterner, RoundTrips) {
   StringInterner interner;
   std::uint32_t a = interner.Intern("alpha");

@@ -25,7 +25,7 @@
 #include "runtime/result_cache.h"
 #include "runtime/service.h"
 #include "runtime/stats.h"
-#include "runtime/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace gqd {
 namespace {

@@ -41,8 +41,11 @@ int Usage() {
       " [--preflight]\n"
       "  gqd check <graph> <relation> [--language all|rpq|rem|ree|ucrdpq]"
       " [--k N]\n"
+      "            [--threads N] [--engine kernel|reference]"
+      " [--max-tuples N]\n"
       "  gqd synth <graph> <relation> --language rpq|rem|ree [--k N]"
       " [--simplify]\n"
+      "            [--threads N] [--engine kernel|reference]\n"
       "  gqd convert <regex|ree> <expression>\n"
       "  gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]"
       " [--no-notes]\n"
@@ -201,18 +204,42 @@ int CmdCheck(int argc, char** argv) {
   const char* k_flag = FlagValue(argc, argv, "--k");
   std::size_t k = k_flag != nullptr ? std::strtoul(k_flag, nullptr, 10) : 2;
 
+  KRemDefinabilityOptions krem_options;
+  ReeDefinabilityOptions ree_options;
+  const char* threads_flag = FlagValue(argc, argv, "--threads");
+  if (threads_flag != nullptr) {
+    krem_options.num_threads = std::strtoul(threads_flag, nullptr, 10);
+  }
+  const char* engine_flag = FlagValue(argc, argv, "--engine");
+  if (engine_flag != nullptr) {
+    std::string engine = engine_flag;
+    if (engine == "reference") {
+      krem_options.engine = KRemEngine::kReference;
+      ree_options.engine = ReeEngine::kReference;
+    } else if (engine != "kernel") {
+      return Usage();
+    }
+  }
+  const char* max_tuples_flag = FlagValue(argc, argv, "--max-tuples");
+  if (max_tuples_flag != nullptr) {
+    krem_options.max_tuples = std::strtoul(max_tuples_flag, nullptr, 10);
+    ree_options.max_monoid_size = krem_options.max_tuples;
+  }
+
   auto print = [](const char* name, DefinabilityVerdict verdict) {
     std::printf("%-10s %s\n", name, DefinabilityVerdictToString(verdict));
   };
   if (language == "all" || language == "rpq") {
-    auto r = CheckRpqDefinability(graph.value(), relation.value());
+    auto r = CheckRpqDefinability(graph.value(), relation.value(),
+                                  krem_options);
     if (!r.ok()) {
       return Fail(r.status());
     }
     print("rpq", r.value().verdict);
   }
   if (language == "all" || language == "rem") {
-    auto r = CheckKRemDefinability(graph.value(), relation.value(), k);
+    auto r = CheckKRemDefinability(graph.value(), relation.value(), k,
+                                   krem_options);
     if (!r.ok()) {
       return Fail(r.status());
     }
@@ -220,7 +247,8 @@ int CmdCheck(int argc, char** argv) {
                 DefinabilityVerdictToString(r.value().verdict));
   }
   if (language == "all" || language == "ree") {
-    auto r = CheckReeDefinability(graph.value(), relation.value());
+    auto r = CheckReeDefinability(graph.value(), relation.value(),
+                                  ree_options);
     if (!r.ok()) {
       return Fail(r.status());
     }
@@ -257,8 +285,26 @@ int CmdSynth(int argc, char** argv) {
   std::size_t k = k_flag != nullptr ? std::strtoul(k_flag, nullptr, 10) : 2;
   bool simplify = HasFlag(argc, argv, "--simplify");
 
+  KRemDefinabilityOptions krem_options;
+  ReeDefinabilityOptions ree_options;
+  const char* threads_flag = FlagValue(argc, argv, "--threads");
+  if (threads_flag != nullptr) {
+    krem_options.num_threads = std::strtoul(threads_flag, nullptr, 10);
+  }
+  const char* engine_flag = FlagValue(argc, argv, "--engine");
+  if (engine_flag != nullptr) {
+    std::string engine = engine_flag;
+    if (engine == "reference") {
+      krem_options.engine = KRemEngine::kReference;
+      ree_options.engine = ReeEngine::kReference;
+    } else if (engine != "kernel") {
+      return Usage();
+    }
+  }
+
   if (language == "rpq") {
-    auto q = SynthesizeRpqQuery(graph.value(), relation.value());
+    auto q = SynthesizeRpqQuery(graph.value(), relation.value(),
+                                krem_options);
     if (!q.ok()) {
       return Fail(q.status());
     }
@@ -277,7 +323,8 @@ int CmdSynth(int argc, char** argv) {
     return 0;
   }
   if (language == "rem") {
-    auto q = SynthesizeKRemQuery(graph.value(), relation.value(), k);
+    auto q = SynthesizeKRemQuery(graph.value(), relation.value(), k,
+                                 krem_options);
     if (!q.ok()) {
       return Fail(q.status());
     }
@@ -289,7 +336,8 @@ int CmdSynth(int argc, char** argv) {
     return 0;
   }
   if (language == "ree") {
-    auto q = SynthesizeReeQuery(graph.value(), relation.value());
+    auto q = SynthesizeReeQuery(graph.value(), relation.value(),
+                                ree_options);
     if (!q.ok()) {
       return Fail(q.status());
     }

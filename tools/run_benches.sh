@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Runs the definability benchmark suite and writes BENCH_results.json at the
+# repo root: wall time, tuples/sec (or monoid elements/sec) and peak tuple
+# counts per benchmark, plus speedups over the persisted pre-kernel baseline
+# for the three standard medium workloads. CI's perf-smoke leg runs this and
+# uploads the JSON as an artifact; run it locally from a Release build:
+#
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+#   tools/run_benches.sh build
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${REPO_ROOT}/BENCH_results.json"
+MIN_TIME="${GQD_BENCH_MIN_TIME:-0.2}"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+for bench in bench_rem_definability bench_ree_definability; do
+  bin="${BUILD_DIR}/bench/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not found — build the repo first" >&2
+    exit 1
+  fi
+  "${bin}" --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+    > "${TMP_DIR}/${bench}.json"
+done
+
+python3 - "${TMP_DIR}" "${OUT}" <<'EOF'
+import json
+import sys
+
+tmp_dir, out_path = sys.argv[1], sys.argv[2]
+
+# Pre-kernel-rewrite wall times (ms, Release) for the standard medium
+# workloads — the baseline the word-parallel successor kernels are measured
+# against. Re-pin these when the workloads themselves change.
+BASELINE_MS = {
+    "BM_KRemDefinability_SweepN/7": 13.132,
+    "BM_KRemDefinability_WithCycle": 5.891,
+    "BM_ReeDefinability_SweepDensity/40": 4545.422,
+}
+
+results = []
+for bench in ("bench_rem_definability", "bench_ree_definability"):
+    with open(f"{tmp_dir}/{bench}.json") as f:
+        data = json.load(f)
+    for b in data["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "suite": bench,
+            "name": b["name"],
+            "wall_ms": b["real_time"] / 1e6,
+            "cpu_ms": b["cpu_time"] / 1e6,
+            "iterations": b["iterations"],
+        }
+        for counter in ("macro_tuples", "monoid_size", "tuples_per_sec",
+                        "elements_per_sec", "levels", "verdict"):
+            if counter in b:
+                entry[counter] = b[counter]
+        results.append(entry)
+
+medium = {}
+for entry in results:
+    baseline = BASELINE_MS.get(entry["name"])
+    if baseline is not None:
+        medium[entry["name"]] = {
+            "wall_ms": entry["wall_ms"],
+            "baseline_ms": baseline,
+            "speedup": baseline / entry["wall_ms"],
+        }
+
+with open(out_path, "w") as f:
+    json.dump(
+        {
+            "generated_by": "tools/run_benches.sh",
+            "baseline": "pre word-parallel kernel rewrite (Release)",
+            "medium_configs": medium,
+            "benchmarks": results,
+        },
+        f,
+        indent=2,
+    )
+    f.write("\n")
+
+for name, m in sorted(medium.items()):
+    print(f"{name}: {m['wall_ms']:.3f} ms "
+          f"(baseline {m['baseline_ms']:.3f} ms, {m['speedup']:.2f}x)")
+print(f"wrote {out_path}")
+EOF
