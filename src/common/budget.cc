@@ -1,0 +1,14 @@
+#include "common/budget.h"
+
+namespace gqd {
+
+std::string PartialProgressToString(const PartialProgress& progress) {
+  std::string out = "stage=";
+  out += progress.stage.empty() ? "unknown" : progress.stage;
+  out += " tuples_explored=" + std::to_string(progress.tuples_explored);
+  out += " frontier_depth=" + std::to_string(progress.frontier_depth);
+  out += " bytes_peak=" + std::to_string(progress.bytes_peak);
+  return out;
+}
+
+}  // namespace gqd

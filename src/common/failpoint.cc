@@ -1,0 +1,217 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace gqd {
+namespace {
+
+// Splits `s` on `sep` without collapsing empty fields.
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool ParseU64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+FailpointSite::FailpointSite(const char* name) : name_(name) {
+  FailpointRegistry::Instance().Register(this);
+}
+
+void FailpointSite::Arm(Mode mode, std::uint64_t arg, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  arg_ = arg;
+  armed_hits_ = 0;
+  rng_.seed(seed);
+  mode_.store(mode, std::memory_order_relaxed);
+}
+
+bool FailpointSite::Fire() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t delay_ms = 0;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Mode mode = mode_.load(std::memory_order_relaxed);
+    ++armed_hits_;
+    switch (mode) {
+      case Mode::kOff:
+        break;
+      case Mode::kFail:
+        fire = true;
+        break;
+      case Mode::kFailOnce:
+        fire = true;
+        mode_.store(Mode::kOff, std::memory_order_relaxed);
+        break;
+      case Mode::kFailNth:
+        if (armed_hits_ == arg_) {
+          fire = true;
+          mode_.store(Mode::kOff, std::memory_order_relaxed);
+        }
+        break;
+      case Mode::kFailProb:
+        fire = rng_() % 100 < arg_;
+        break;
+      case Mode::kDelayMs:
+        delay_ms = arg_;
+        break;
+    }
+  }
+  // Sleep outside the lock so a delayed site does not serialize other hits.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  if (fire) {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  if (const char* env = std::getenv("GQD_FAILPOINTS")) {
+    // Malformed env entries are ignored rather than fatal: the registry is
+    // constructed during static init, where there is no good way to report.
+    (void)Configure(env);
+  }
+}
+
+void FailpointRegistry::Register(FailpointSite* site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.push_back(site);
+  for (const PendingConfig& config : pending_) {
+    if (config.name == site->name()) {
+      site->Arm(config.mode, config.arg, config.seed);
+    }
+  }
+}
+
+Status FailpointRegistry::Configure(const std::string& spec) {
+  if (spec.empty()) return Status::OK();
+  for (const std::string& entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    PendingConfig config;
+    GQD_RETURN_NOT_OK(ParseEntry(entry, &config));
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Later entries for the same site replace earlier ones.
+    pending_.erase(
+        std::remove_if(pending_.begin(), pending_.end(),
+                       [&](const PendingConfig& p) {
+                         return p.name == config.name;
+                       }),
+        pending_.end());
+    pending_.push_back(config);
+    for (FailpointSite* site : sites_) {
+      if (config.name == site->name()) {
+        site->Arm(config.mode, config.arg, config.seed);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::ParseEntry(const std::string& entry,
+                                     PendingConfig* config) const {
+  std::vector<std::string> parts = Split(entry, ':');
+  if (parts.size() < 2 || parts[0].empty()) {
+    return Status::InvalidArgument("failpoint spec entry '" + entry +
+                                   "' is not name:mode[:arg[:seed]]");
+  }
+  config->name = parts[0];
+  config->arg = 0;
+  config->seed = 0;
+  const std::string& mode = parts[1];
+  if (mode == "off") {
+    config->mode = FailpointSite::Mode::kOff;
+  } else if (mode == "fail") {
+    config->mode = FailpointSite::Mode::kFail;
+  } else if (mode == "fail-once") {
+    config->mode = FailpointSite::Mode::kFailOnce;
+  } else if (mode == "fail-nth") {
+    config->mode = FailpointSite::Mode::kFailNth;
+    if (parts.size() < 3 || !ParseU64(parts[2], &config->arg) ||
+        config->arg == 0) {
+      return Status::InvalidArgument("failpoint '" + entry +
+                                     "': fail-nth needs a positive N");
+    }
+  } else if (mode == "fail-prob") {
+    config->mode = FailpointSite::Mode::kFailProb;
+    if (parts.size() < 3 || !ParseU64(parts[2], &config->arg) ||
+        config->arg > 100) {
+      return Status::InvalidArgument(
+          "failpoint '" + entry + "': fail-prob needs a percent in [0,100]");
+    }
+    if (parts.size() >= 4 && !ParseU64(parts[3], &config->seed)) {
+      return Status::InvalidArgument("failpoint '" + entry +
+                                     "': fail-prob seed must be an integer");
+    }
+  } else if (mode == "delay-ms") {
+    config->mode = FailpointSite::Mode::kDelayMs;
+    if (parts.size() < 3 || !ParseU64(parts[2], &config->arg)) {
+      return Status::InvalidArgument("failpoint '" + entry +
+                                     "': delay-ms needs a millisecond count");
+    }
+  } else {
+    return Status::InvalidArgument("failpoint '" + entry +
+                                   "': unknown mode '" + mode + "'");
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.clear();
+  for (FailpointSite* site : sites_) {
+    site->Disarm();
+  }
+}
+
+std::vector<std::string> FailpointRegistry::SiteNames() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    names.reserve(sites_.size());
+    for (const FailpointSite* site : sites_) {
+      names.emplace_back(site->name());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+FailpointSite* FailpointRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (FailpointSite* site : sites_) {
+    if (name == site->name()) return site;
+  }
+  return nullptr;
+}
+
+}  // namespace gqd

@@ -1,0 +1,174 @@
+// Named, deterministic fault-injection sites (failpoints).
+//
+// The EXPSPACE/PSPACE checkers and the serving runtime treat resource
+// exhaustion and I/O failure as *normal* outcomes; failpoints make every
+// such failure path reachable on demand so the chaos suite
+// (tests/test_chaos.cc) can exercise it deterministically. A site is
+// declared once per .cc file at namespace scope:
+//
+//   GQD_FAILPOINT_DEFINE(fp_arena_grow, "krem.arena.grow");
+//   ...
+//   if (GQD_FAILPOINT_FIRED(fp_arena_grow)) {
+//     return Status::ResourceExhausted("injected arena growth failure");
+//   }
+//
+// Sites register themselves in a process-wide registry at static-init time,
+// so the chaos suite can enumerate every planted site — a new site without
+// a matching chaos scenario fails the suite instead of going silently
+// untested.
+//
+// Arming is driven by the GQD_FAILPOINTS environment variable (read once,
+// when the registry is created) or programmatically via Configure():
+//
+//   GQD_FAILPOINTS=name:mode[:arg[:seed]],name2:mode2...
+//
+// Modes:
+//   off              disarm the site
+//   fail             fire on every hit
+//   fail-once        fire on the first hit, then disarm
+//   fail-nth:N       fire on the Nth hit (1-based), once
+//   fail-prob:P:S    fire with probability P percent, RNG seeded with S
+//                    (deterministic for a fixed seed and hit sequence)
+//   delay-ms:N       sleep N ms on every hit, never fire (worker stalls)
+//
+// Cost when compiled in: one relaxed atomic load per hit while the site is
+// disarmed. Define GQD_DISABLE_FAILPOINTS to compile every site and check
+// out entirely (the macros become no-ops and nothing registers).
+
+#ifndef GQD_COMMON_FAILPOINT_H_
+#define GQD_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gqd {
+
+/// One planted fault-injection site. Instances are expected to have static
+/// storage duration (they register with the process-wide registry and are
+/// never unregistered).
+class FailpointSite {
+ public:
+  enum class Mode : std::uint8_t {
+    kOff,
+    kFail,
+    kFailOnce,
+    kFailNth,
+    kFailProb,
+    kDelayMs,
+  };
+
+  /// Registers the site under `name` (must be a string literal or otherwise
+  /// outlive the process).
+  explicit FailpointSite(const char* name);
+
+  FailpointSite(const FailpointSite&) = delete;
+  FailpointSite& operator=(const FailpointSite&) = delete;
+
+  const char* name() const { return name_; }
+
+  /// Hot-path check: true when the site should fail at this hit. Disarmed
+  /// sites cost one relaxed atomic load; armed sites take a mutex.
+  bool ShouldFail() {
+    if (mode_.load(std::memory_order_relaxed) == Mode::kOff) {
+      return false;
+    }
+    return Fire();
+  }
+
+  /// The canonical Status carried by an injected fault at this site.
+  Status InjectedFault() const {
+    return Status::Internal(std::string("failpoint '") + name_ + "' fired");
+  }
+
+  /// Arms the site. `arg` is N for fail-nth / delay-ms, the percent
+  /// probability for fail-prob; `seed` seeds the fail-prob RNG.
+  void Arm(Mode mode, std::uint64_t arg, std::uint64_t seed);
+  void Disarm() { Arm(Mode::kOff, 0, 0); }
+
+  /// Total hits (armed or not) and fires since construction.
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool Fire();
+
+  const char* name_;
+  std::atomic<Mode> mode_{Mode::kOff};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fired_{0};
+
+  std::mutex mutex_;  ///< guards the armed-path state below
+  std::uint64_t arg_ = 0;
+  std::uint64_t armed_hits_ = 0;  ///< hits since the site was last armed
+  std::mt19937_64 rng_;
+};
+
+/// Process-wide failpoint registry. Sites register at static init;
+/// configuration (from GQD_FAILPOINTS or Configure()) is kept by name and
+/// applied to sites as they appear, so arming is independent of
+/// static-initialization order across translation units.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  /// Parses a GQD_FAILPOINTS-style spec and arms the named sites,
+  /// remembering the config for sites that register later. An empty spec is
+  /// a no-op. Returns InvalidArgument on a malformed entry (earlier entries
+  /// may already have been applied).
+  Status Configure(const std::string& spec);
+
+  /// Disarms every site and forgets pending configuration.
+  void Reset();
+
+  /// Names of all registered sites, sorted.
+  std::vector<std::string> SiteNames() const;
+
+  /// Looks up a registered site by name; nullptr when absent.
+  FailpointSite* Find(const std::string& name) const;
+
+ private:
+  friend class FailpointSite;
+
+  FailpointRegistry();
+  void Register(FailpointSite* site);
+
+  struct PendingConfig {
+    std::string name;
+    FailpointSite::Mode mode;
+    std::uint64_t arg;
+    std::uint64_t seed;
+  };
+
+  Status ParseEntry(const std::string& entry, PendingConfig* config) const;
+
+  mutable std::mutex mutex_;
+  std::vector<FailpointSite*> sites_;
+  std::vector<PendingConfig> pending_;
+};
+
+#if defined(GQD_DISABLE_FAILPOINTS)
+
+#define GQD_FAILPOINT_DEFINE(var, name)
+#define GQD_FAILPOINT_FIRED(var) false
+
+#else
+
+/// Declares a failpoint site at namespace scope (one per planted location).
+#define GQD_FAILPOINT_DEFINE(var, name) ::gqd::FailpointSite var { name }
+
+/// True when the site fires at this hit.
+#define GQD_FAILPOINT_FIRED(var) ((var).ShouldFail())
+
+#endif  // GQD_DISABLE_FAILPOINTS
+
+}  // namespace gqd
+
+#endif  // GQD_COMMON_FAILPOINT_H_

@@ -26,6 +26,7 @@ enum class StatusCode {
   kIOError,          ///< Filesystem / stream failure.
   kUnimplemented,    ///< Feature intentionally not supported.
   kDeadlineExceeded, ///< A request deadline passed (or it was cancelled).
+  kUnavailable,      ///< Transient overload/fault; the caller may retry.
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -68,6 +69,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

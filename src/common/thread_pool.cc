@@ -1,8 +1,12 @@
 #include "common/thread_pool.h"
 
+#include "common/failpoint.h"
+
 namespace gqd {
 
 namespace {
+
+GQD_FAILPOINT_DEFINE(fp_thread_pool_dispatch, "thread_pool.dispatch");
 
 /// Thread-local index of the worker running on this thread, or npos on
 /// external threads; lets Submit() push to the caller's own queue.
@@ -41,6 +45,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  if (GQD_FAILPOINT_FIRED(fp_thread_pool_dispatch)) {
+    // Degradation, not loss: a failed dispatch runs the task inline on the
+    // submitting thread, so every Submit still completes exactly once.
+    task();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    tasks_inline_++;
+    return;
+  }
   std::size_t target;
   if (tls_worker_pool == this) {
     target = tls_worker_index;  // keep recursive fan-out local
@@ -130,6 +142,7 @@ ThreadPool::Stats ThreadPool::GetStats() const {
     stats.active_workers = active_workers_;
     stats.tasks_executed = tasks_executed_;
     stats.tasks_stolen = tasks_stolen_;
+    stats.tasks_inline = tasks_inline_;
   }
   return stats;
 }

@@ -39,6 +39,7 @@ class ThreadPool {
     std::size_t queued_tasks = 0;     ///< submitted, not yet started
     std::uint64_t tasks_executed = 0; ///< completed since construction
     std::uint64_t tasks_stolen = 0;   ///< completed via a steal
+    std::uint64_t tasks_inline = 0;   ///< degraded to the submitting thread
   };
 
   /// Spawns `num_threads` workers (>= 1; 0 means hardware concurrency).
@@ -51,6 +52,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues one task. Never blocks; tasks must not throw.
+  ///
+  /// Graceful degradation: when the `thread_pool.dispatch` failpoint fires
+  /// (simulating a dispatch failure / worker stall), the task runs inline
+  /// on the submitting thread instead of being enqueued — slower, but every
+  /// submitted task still completes exactly once.
   void Submit(std::function<void()> task);
 
   std::size_t num_threads() const { return workers_.size(); }
@@ -79,6 +85,7 @@ class ThreadPool {
   std::size_t active_workers_ = 0;
   std::uint64_t tasks_executed_ = 0;
   std::uint64_t tasks_stolen_ = 0;
+  std::uint64_t tasks_inline_ = 0;
 
   std::mutex submit_mutex_;
   std::size_t next_queue_ = 0;  ///< round-robin cursor, guarded above

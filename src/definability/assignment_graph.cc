@@ -2,9 +2,13 @@
 
 #include <cassert>
 
+#include "common/failpoint.h"
+
 namespace gqd {
 
 namespace {
+
+GQD_FAILPOINT_DEFINE(fp_assignment_graph_build, "assignment_graph.build");
 
 /// Encodes an assignment as a base-(δ+1) number; digit δ is ⊥.
 std::uint64_t EncodeAssignment(const RegisterAssignment& assignment,
@@ -36,7 +40,12 @@ RegisterAssignment DecodeAssignment(std::uint64_t code, std::size_t k,
 }  // namespace
 
 Result<AssignmentGraph> AssignmentGraph::Build(const DataGraph& graph,
-                                               std::size_t k) {
+                                               std::size_t k,
+                                               const ResourceBudget* budget) {
+  if (GQD_FAILPOINT_FIRED(fp_assignment_graph_build)) {
+    return Status::ResourceExhausted(
+        "injected allocation failure (failpoint assignment_graph.build)");
+  }
   if (k > 4) {
     return Status::OutOfRange(
         "assignment graphs support at most k = 4 registers (got k = " +
@@ -60,6 +69,11 @@ Result<AssignmentGraph> AssignmentGraph::Build(const DataGraph& graph,
   ag.num_patterns_ = std::size_t{1} << k;
   std::size_t masks = std::size_t{1} << k;
   ag.adjacency_.assign(masks * ag.num_labels_ * ag.num_states_, {});
+  if (budget != nullptr) {
+    budget->ChargeBytes(static_cast<std::int64_t>(
+        ag.adjacency_.size() * sizeof(std::vector<Successor>)));
+    GQD_RETURN_NOT_OK(budget->Check());
+  }
 
   // Materialize the word-parallel kernel rows unless they would blow the
   // memory budget (the successor lists above always exist as fallback).
@@ -69,17 +83,34 @@ Result<AssignmentGraph> AssignmentGraph::Build(const DataGraph& graph,
   bool build_kernel =
       ag.num_states_ > 0 &&
       num_rows <= kKernelMemoryBudgetBytes / 8 / (row_words == 0 ? 1 : row_words);
+  if (build_kernel && budget != nullptr && budget->max_bytes() != 0) {
+    // The kernel is an optimization: degrade (skip it) rather than fail the
+    // request when it would not fit the remaining byte budget.
+    std::size_t kernel_bytes =
+        num_rows * row_words * sizeof(std::uint64_t) +
+        masks * ag.num_labels_ * ag.num_states_ * sizeof(std::uint16_t);
+    if (budget->bytes_used() + kernel_bytes > budget->max_bytes()) {
+      build_kernel = false;
+    } else {
+      budget->ChargeBytes(static_cast<std::int64_t>(kernel_bytes));
+    }
+  }
   if (build_kernel) {
     ag.kernel_row_words_ = row_words;
     ag.kernel_words_.assign(num_rows * row_words, 0);
     ag.kernel_patterns_.assign(masks * ag.num_labels_ * ag.num_states_, 0);
   }
 
+  std::uint32_t budget_ticks = 0;
   for (AgState s = 0; s < ag.num_states_; s++) {
+    if (GQD_BUDGET_STRIDE_CHECK(budget, budget_ticks)) {
+      return budget->Check();
+    }
     NodeId v = ag.NodeOf(s);
     RegisterAssignment sigma =
         DecodeAssignment(s % ag.assignment_codes_, k, ag.num_values_);
     std::uint32_t stored_value = graph.DataValueOf(v);
+    std::size_t successors_added = 0;
     for (std::uint32_t mask = 0; mask < masks; mask++) {
       // σ' = σ[r̄ → ρ(v)].
       RegisterAssignment sigma_prime = sigma;
@@ -97,6 +128,7 @@ Result<AssignmentGraph> AssignmentGraph::Build(const DataGraph& graph,
             EqualityPattern(graph.DataValueOf(v_prime), sigma_prime));
         ag.adjacency_[(mask * ag.num_labels_ + label) * ag.num_states_ + s]
             .push_back(Successor{target, pattern});
+        successors_added++;
         if (build_kernel) {
           std::size_t row =
               ((mask * ag.num_labels_ + label) * ag.num_patterns_ + pattern) *
@@ -110,6 +142,13 @@ Result<AssignmentGraph> AssignmentGraph::Build(const DataGraph& graph,
         }
       }
     }
+    if (budget != nullptr && successors_added > 0) {
+      budget->ChargeBytes(
+          static_cast<std::int64_t>(successors_added * sizeof(Successor)));
+    }
+  }
+  if (budget != nullptr) {
+    GQD_RETURN_NOT_OK(budget->Check());
   }
   return ag;
 }

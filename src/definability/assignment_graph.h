@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "graph/data_graph.h"
 #include "rem/condition.h"
@@ -38,7 +39,14 @@ class AssignmentGraph {
  public:
   /// Requires k <= 4 (the transition alphabet has 2^k · |Σ| · 2^(2^k)
   /// letters; beyond k = 4 the construction is pointless in practice).
-  static Result<AssignmentGraph> Build(const DataGraph& graph, std::size_t k);
+  ///
+  /// When `budget` is given, the successor-list adjacency is charged
+  /// against it and exhaustion mid-build fails with ResourceExhausted; the
+  /// optional word-parallel kernel instead *degrades* — it is skipped when
+  /// it would not fit the remaining budget, and callers fall back to
+  /// SuccessorsOf (slower, but correct).
+  static Result<AssignmentGraph> Build(const DataGraph& graph, std::size_t k,
+                                       const ResourceBudget* budget = nullptr);
 
   std::size_t k() const { return k_; }
   /// n · (δ+1)^k.

@@ -9,11 +9,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace gqd {
 
 namespace {
+
+GQD_FAILPOINT_DEFINE(fp_krem_arena_grow, "krem.arena.grow");
 
 // The BFS works on macro tuples ⟨Q_1, ..., Q_n⟩ stored as flat word arrays:
 // n consecutive packed state sets of `set_words` words each. Flat storage
@@ -43,10 +46,20 @@ std::uint64_t HashTupleWords(const std::uint64_t* words, std::size_t count) {
 /// only (hash, index) — the words are never duplicated into a key.
 class TupleStore {
  public:
-  explicit TupleStore(std::size_t tuple_words)
-      : tuple_words_(tuple_words), slots_(64, 0) {}
+  TupleStore(std::size_t tuple_words, const ResourceBudget* budget)
+      : tuple_words_(tuple_words), slots_(64, 0), budget_(budget) {
+    if (budget_ != nullptr) {
+      budget_->ChargeBytes(
+          static_cast<std::int64_t>(slots_.size() * sizeof(std::size_t)));
+    }
+  }
 
   std::size_t size() const { return count_; }
+
+  /// True once an injected fault (failpoint krem.arena.grow) hit a growth
+  /// path; the BFS surfaces it at the next frontier boundary. The store
+  /// itself stays consistent — the probe table just stops growing.
+  bool fault() const { return fault_; }
 
   const std::uint64_t* TupleAt(std::size_t index) const {
     return words_.data() + index * tuple_words_;
@@ -72,6 +85,11 @@ class TupleStore {
     words_.insert(words_.end(), words, words + tuple_words_);
     hashes_.push_back(hash);
     slots_[pos] = index + 1;
+    if (budget_ != nullptr) {
+      budget_->ChargeBytes(static_cast<std::int64_t>(
+          (tuple_words_ + 1) * sizeof(std::uint64_t)));
+      budget_->ChargeTuples(1);
+    }
     if ((count_ + 1) * 4 > slots_.size() * 3) {
       Grow();
     }
@@ -81,7 +99,15 @@ class TupleStore {
 
  private:
   void Grow() {
+    if (GQD_FAILPOINT_FIRED(fp_krem_arena_grow)) {
+      fault_ = true;
+      return;
+    }
     std::vector<std::size_t> bigger(slots_.size() * 2, 0);
+    if (budget_ != nullptr) {
+      budget_->ChargeBytes(static_cast<std::int64_t>(
+          (bigger.size() - slots_.size()) * sizeof(std::size_t)));
+    }
     std::size_t mask = bigger.size() - 1;
     for (std::size_t index = 0; index < count_; index++) {
       std::size_t pos = static_cast<std::size_t>(hashes_[index]) & mask;
@@ -98,6 +124,8 @@ class TupleStore {
   std::vector<std::uint64_t> hashes_;
   std::vector<std::size_t> slots_;  ///< index+1, 0 = empty; pow-2 size
   std::size_t count_ = 0;
+  const ResourceBudget* budget_;
+  bool fault_ = false;
 };
 
 /// One candidate successor tuple of the current head under one block label:
@@ -338,7 +366,8 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
     return result;
   }
 
-  GQD_ASSIGN_OR_RETURN(AssignmentGraph ag, AssignmentGraph::Build(graph, k));
+  GQD_ASSIGN_OR_RETURN(AssignmentGraph ag,
+                       AssignmentGraph::Build(graph, k, options.budget));
   std::size_t n = graph.NumNodes();
 
   SuccessorGenerator generator(ag, n, options.engine, options.cancel);
@@ -347,7 +376,7 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
 
   // BFS bookkeeping: flat tuple storage + interner, parent links, and the
   // incoming block of each tuple for witness reconstruction.
-  TupleStore tuples(tuple_words);
+  TupleStore tuples(tuple_words, options.budget);
   std::vector<std::size_t> parent;
   std::vector<BasicRemBlock> incoming;
 
@@ -453,6 +482,11 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
   auto merge_block = [&](BlockScratch& s, std::uint32_t mask,
                          LabelId label, std::size_t head) {
     for (const Candidate& c : s.candidates) {
+      if (tuples.fault()) {
+        // Injected growth failure: stop interning so the fixed-size probe
+        // table cannot fill up; the BFS loop surfaces the fault.
+        return;
+      }
       bool inserted = false;
       std::size_t index =
           tuples.Intern(s.arena.data() + c.offset, c.hash, &inserted);
@@ -467,8 +501,38 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
     }
   };
 
+  // Blocks-of-`head` depth for the partial-progress report: the number of
+  // BFS levels (= witness blocks) between the root and `index`.
+  auto depth_of = [&](std::size_t index) {
+    std::size_t d = 0;
+    for (std::size_t at = index; at != 0; at = parent[at]) {
+      d++;
+    }
+    return d;
+  };
+  // kBudgetExhausted with the structured partial-progress report — the
+  // ResourceBudget trip path, as opposed to the legacy max_tuples cap.
+  auto exhausted_result = [&](std::size_t at) {
+    result.verdict = DefinabilityVerdict::kBudgetExhausted;
+    result.tuples_explored = tuples.size();
+    result.partial =
+        PartialProgress{tuples.size(), depth_of(at),
+                        options.budget->bytes_peak(), "krem-bfs"};
+    return result;
+  };
+  auto injected_fault = [] {
+    return Status::ResourceExhausted(
+        "injected tuple-store growth failure (failpoint krem.arena.grow)");
+  };
+
   std::size_t head = 0;
   while (head < tuples.size() && unsolved > 0) {
+    if (tuples.fault()) {
+      return injected_fault();
+    }
+    if (options.budget != nullptr && options.budget->Exhausted()) {
+      return exhausted_result(head);
+    }
     if (tuples.size() > options.max_tuples) {
       result.verdict = DefinabilityVerdict::kBudgetExhausted;
       result.tuples_explored = tuples.size();
@@ -512,6 +576,12 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
         return options.cancel->Check();
       }
       for (std::size_t b = 0; b < batch && unsolved > 0; b++, head++) {
+        if (tuples.fault()) {
+          return injected_fault();
+        }
+        if (options.budget != nullptr && options.budget->Exhausted()) {
+          return exhausted_result(head);
+        }
         if (tuples.size() > options.max_tuples) {
           result.verdict = DefinabilityVerdict::kBudgetExhausted;
           result.tuples_explored = tuples.size();
@@ -542,6 +612,9 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
     }
   }
 
+  if (tuples.fault()) {
+    return injected_fault();
+  }
   result.tuples_explored = tuples.size();
   if (unsolved > 0) {
     result.verdict = DefinabilityVerdict::kNotDefinable;

@@ -19,8 +19,10 @@
 #ifndef GQD_DEFINABILITY_KREM_DEFINABILITY_H_
 #define GQD_DEFINABILITY_KREM_DEFINABILITY_H_
 
+#include <optional>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/cancel.h"
 #include "common/interner.h"
 #include "common/status.h"
@@ -66,6 +68,12 @@ struct KRemDefinabilityOptions {
   /// Optional cooperative cancellation: the BFS (and its workers) polls
   /// this token and returns Status::DeadlineExceeded once it expires.
   const CancelToken* cancel = nullptr;
+  /// Optional resource governance: the tuple store charges its allocations
+  /// here and the BFS polls it at frontier boundaries. On exhaustion the
+  /// checker stops cleanly with verdict kBudgetExhausted and a populated
+  /// `partial` report (see KRemDefinabilityResult) instead of growing
+  /// without bound.
+  const ResourceBudget* budget = nullptr;
 };
 
 struct KRemDefinabilityResult {
@@ -74,6 +82,9 @@ struct KRemDefinabilityResult {
   std::vector<KRemWitness> witnesses;
   /// Macro tuples explored (the E2 bench's cost measure).
   std::size_t tuples_explored = 0;
+  /// Set iff an options.budget trip stopped the search: how far it got.
+  /// (The legacy max_tuples cap reports kBudgetExhausted without this.)
+  std::optional<PartialProgress> partial;
 };
 
 /// Decides whether S is definable by an RDPQ_mem using at most k registers.

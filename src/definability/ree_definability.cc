@@ -3,11 +3,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "definability/small_relation.h"
 
 namespace gqd {
 
 namespace {
+
+GQD_FAILPOINT_DEFINE(fp_ree_closure, "ree.closure");
 
 /// Policy for the generic level algorithm over plain BinaryRelations.
 /// With `masks` set, the =/≠ restrictions run rowized (one word-parallel
@@ -35,6 +38,11 @@ struct BigRelationOps {
   bool Subset(const Rel& a, const Rel& b) const { return a.IsSubsetOf(b); }
   void UnionInto(Rel* a, const Rel& b) const { a->UnionWith(b); }
   bool Equal(const Rel& a, const Rel& b) const { return a == b; }
+  /// Approximate bytes one materialized relation costs (budget accounting).
+  std::size_t RelBytes() const {
+    std::size_t n = graph->NumNodes();
+    return sizeof(Rel) + n * ((n + 63) / 64) * sizeof(std::uint64_t);
+  }
 };
 
 /// Policy over packed 64-bit relations (n ≤ 8) — same algorithm, ~10-50×
@@ -54,6 +62,7 @@ struct SmallRelationOps {
   bool Subset(Rel a, Rel b) const { return space->IsSubsetOf(a, b); }
   void UnionInto(Rel* a, Rel b) const { *a |= b; }
   bool Equal(Rel a, Rel b) const { return a == b; }
+  std::size_t RelBytes() const { return sizeof(Rel); }
 };
 
 /// How a monoid element was derived. The closure attempts |M|·|gens|
@@ -96,6 +105,11 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
   std::vector<bool> is_gen;
   std::vector<std::size_t> applied;
 
+  // Per-element budget charge: the relation itself plus the interner's
+  // per-element bookkeeping (hash, slot, derivation, flags).
+  const std::size_t element_bytes =
+      ops.RelBytes() + 3 * sizeof(std::size_t) + sizeof(Derivation);
+
   auto add_element = [&](Rel rel, Derivation derivation) -> std::size_t {
     std::size_t hash = typename Ops::Hash{}(rel);
     std::size_t mask = slots.size() - 1;
@@ -114,6 +128,10 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
     applied.push_back(0);
     is_gen.push_back(false);
     slots[pos] = index + 1;
+    if (options.budget != nullptr) {
+      options.budget->ChargeBytes(static_cast<std::int64_t>(element_bytes));
+      options.budget->ChargeTuples(1);
+    }
     if ((elements.size() + 1) * 4 > slots.size() * 3) {
       std::vector<std::size_t> bigger(slots.size() * 2, 0);
       std::size_t bigger_mask = bigger.size() - 1;
@@ -143,8 +161,15 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
   }
 
   std::uint32_t ticks = 0;
+  std::uint32_t budget_ticks = 0;
   bool expired = false;
+  bool injected = false;
+  bool budget_tripped = false;
   auto close = [&]() -> bool {
+    if (GQD_FAILPOINT_FIRED(fp_ree_closure)) {
+      injected = true;
+      return false;
+    }
     bool progress = true;
     while (progress) {
       progress = false;
@@ -152,6 +177,10 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
         while (applied[i] < gens.size()) {
           if (GQD_CANCEL_STRIDE_CHECK(options.cancel, ticks)) {
             expired = true;
+            return false;
+          }
+          if (GQD_BUDGET_STRIDE_CHECK(options.budget, budget_ticks)) {
+            budget_tripped = true;
             return false;
           }
           std::size_t g = gens[applied[i]++];
@@ -172,13 +201,30 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
     return true;
   };
 
-  if (!close()) {
+  // Maps a failed close() to the corresponding outcome: cancellation,
+  // injected fault, ResourceBudget trip (with partial progress), or the
+  // legacy max_monoid_size cap.
+  auto closure_failure = [&]() -> Result<ReeDefinabilityResult> {
     if (expired) {
       return options.cancel->Check();
     }
+    if (injected) {
+      return Status::ResourceExhausted(
+          "injected monoid closure failure (failpoint ree.closure)");
+    }
     result.verdict = DefinabilityVerdict::kBudgetExhausted;
     result.monoid_size = elements.size();
+    if (budget_tripped || (options.budget != nullptr &&
+                           options.budget->Exhausted())) {
+      result.partial =
+          PartialProgress{elements.size(), result.levels_used,
+                          options.budget->bytes_peak(), "ree-closure"};
+    }
     return result;
+  };
+
+  if (!close()) {
+    return closure_failure();
   }
   for (std::size_t level = 0; level < max_levels; level++) {
     std::size_t before = elements.size();
@@ -192,6 +238,10 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
       add_generator(ops.Neq(elements[i]),
                     Derivation{Derivation::Kind::kNeq,
                                static_cast<std::uint32_t>(i), 0});
+      if (GQD_BUDGET_STRIDE_CHECK(options.budget, budget_ticks)) {
+        budget_tripped = true;
+        return closure_failure();
+      }
       if (elements.size() > options.max_monoid_size) {
         result.verdict = DefinabilityVerdict::kBudgetExhausted;
         result.monoid_size = elements.size();
@@ -203,12 +253,7 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
     }
     result.levels_used = level + 1;
     if (!close()) {
-      if (expired) {
-        return options.cancel->Check();
-      }
-      result.verdict = DefinabilityVerdict::kBudgetExhausted;
-      result.monoid_size = elements.size();
-      return result;
+      return closure_failure();
     }
   }
   result.monoid_size = elements.size();

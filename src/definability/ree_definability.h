@@ -19,8 +19,10 @@
 #ifndef GQD_DEFINABILITY_REE_DEFINABILITY_H_
 #define GQD_DEFINABILITY_REE_DEFINABILITY_H_
 
+#include <optional>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/cancel.h"
 #include "common/status.h"
 #include "definability/verdict.h"
@@ -54,6 +56,10 @@ struct ReeDefinabilityOptions {
   /// Optional cooperative cancellation: the level closure polls this token
   /// and returns Status::DeadlineExceeded once it expires.
   const CancelToken* cancel = nullptr;
+  /// Optional resource governance: monoid insertions are charged here and
+  /// the closure polls it. On exhaustion the checker stops cleanly with
+  /// verdict kBudgetExhausted and a populated `partial` report.
+  const ResourceBudget* budget = nullptr;
 };
 
 struct ReeDefinabilityResult {
@@ -64,6 +70,9 @@ struct ReeDefinabilityResult {
   std::size_t monoid_size = 0;
   /// A defining REE (populated iff verdict == kDefinable and S non-empty).
   ReePtr defining_expression;
+  /// Set iff an options.budget trip stopped the closure: how far it got.
+  /// (The legacy max_monoid_size cap reports kBudgetExhausted without this.)
+  std::optional<PartialProgress> partial;
 };
 
 /// Decides whether `relation` is definable by an RDPQ_= on `graph`.

@@ -83,6 +83,7 @@ Result<RpqDefinabilityResult> CheckRpqDefinability(
       CheckKRemDefinability(graph, relation, /*k=*/0, options));
   result.verdict = krem.verdict;
   result.tuples_explored = krem.tuples_explored;
+  result.partial = std::move(krem.partial);
   if (krem.verdict == DefinabilityVerdict::kDefinable) {
     for (const KRemWitness& witness : krem.witnesses) {
       std::vector<LabelId> word;

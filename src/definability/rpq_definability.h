@@ -38,6 +38,8 @@ struct RpqDefinabilityResult {
   /// When S = ∅ and definable: a word w with R_w = ∅.
   std::optional<std::vector<LabelId>> empty_relation_witness;
   std::size_t tuples_explored = 0;
+  /// Set iff an options.budget trip stopped the underlying k-REM search.
+  std::optional<PartialProgress> partial;
 };
 
 /// Decides whether `relation` is definable by a regular path query.

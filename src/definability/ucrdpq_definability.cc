@@ -2,9 +2,13 @@
 
 #include <cassert>
 
+#include "common/failpoint.h"
+
 namespace gqd {
 
 namespace {
+
+GQD_FAILPOINT_DEFINE(fp_ucrdpq_search, "ucrdpq.search");
 
 /// Enumerates tuples of V^arity in lexicographic order via an odometer.
 bool NextTuple(NodeTuple* tuple, std::size_t n) {
@@ -60,6 +64,15 @@ Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
       if (!BuildPins(source, image, &pins)) {
         continue;  // incompatible with h being a function
       }
+      // Each seeded search may be too small to reach the CSP engine's
+      // strided cancel poll, so the seed loop polls the deadline itself.
+      if (options.csp.cancel != nullptr && options.csp.cancel->Expired()) {
+        return options.csp.cancel->Check();
+      }
+      if (GQD_FAILPOINT_FIRED(fp_ucrdpq_search)) {
+        return Status::ResourceExhausted(
+            "injected seeded-search failure (failpoint ucrdpq.search)");
+      }
       result.seeds_tried++;
       Csp csp = base_csp;
       bool wiped = false;
@@ -77,6 +90,12 @@ Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
       if (!solved.ok()) {
         if (solved.status().code() == StatusCode::kResourceExhausted) {
           result.verdict = DefinabilityVerdict::kBudgetExhausted;
+          if (options.csp.budget != nullptr &&
+              options.csp.budget->Exhausted()) {
+            result.partial = PartialProgress{
+                result.csp_stats.nodes_expanded, result.seeds_tried,
+                options.csp.budget->bytes_peak(), "ucrdpq-csp"};
+          }
           return result;
         }
         return solved.status();

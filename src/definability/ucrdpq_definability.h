@@ -12,6 +12,7 @@
 
 #include <optional>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "definability/verdict.h"
 #include "graph/data_graph.h"
@@ -34,6 +35,9 @@ struct UcrdpqDefinabilityResult {
   /// Number of seeded CSP searches attempted (the E5 bench's measure).
   std::size_t seeds_tried = 0;
   CspStats csp_stats;
+  /// Set iff a CspOptions::budget trip stopped the search: how far it got
+  /// (tuples_explored = CSP nodes, frontier_depth = seeds tried).
+  std::optional<PartialProgress> partial;
 };
 
 /// Decides whether `relation` is UCRDPQ-definable on `graph` (Lemma 34).

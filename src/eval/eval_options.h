@@ -3,15 +3,19 @@
 #ifndef GQD_EVAL_EVAL_OPTIONS_H_
 #define GQD_EVAL_EVAL_OPTIONS_H_
 
+#include "common/budget.h"
 #include "common/cancel.h"
 
 namespace gqd {
 
 /// Options accepted by the cancellable evaluator overloads. The evaluators
 /// poll `cancel` inside their product BFS / AST recursion and return
-/// Status::DeadlineExceeded once it expires.
+/// Status::DeadlineExceeded once it expires; `budget` is charged for
+/// explored configurations / materialized relations and exhaustion returns
+/// Status::ResourceExhausted. Both may be null.
 struct EvalOptions {
   const CancelToken* cancel = nullptr;
+  const ResourceBudget* budget = nullptr;
 };
 
 }  // namespace gqd

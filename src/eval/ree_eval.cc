@@ -11,11 +11,19 @@ namespace {
 /// step (each step is O(n³/64) words — coarse-grained polling suffices).
 Result<BinaryRelation> EvaluateReeImpl(const DataGraph& graph,
                                        const ReePtr& expression,
-                                       const CancelToken* cancel) {
+                                       const CancelToken* cancel,
+                                       const ResourceBudget* budget) {
   if (cancel != nullptr && cancel->Expired()) {
     return cancel->Check();
   }
   std::size_t n = graph.NumNodes();
+  if (budget != nullptr) {
+    // Each AST node materializes one n×n relation.
+    budget->ChargeTuples(1);
+    budget->ChargeBytes(
+        static_cast<std::int64_t>(n * ((n + 63) / 64) * sizeof(std::uint64_t)));
+    GQD_RETURN_NOT_OK(budget->Check());
+  }
   switch (expression->kind) {
     case ReeKind::kEpsilon:
       return BinaryRelation::Identity(n);
@@ -30,7 +38,7 @@ Result<BinaryRelation> EvaluateReeImpl(const DataGraph& graph,
       BinaryRelation out(n);
       for (const ReePtr& child : expression->children) {
         GQD_ASSIGN_OR_RETURN(BinaryRelation r,
-                             EvaluateReeImpl(graph, child, cancel));
+                             EvaluateReeImpl(graph, child, cancel, budget));
         out.UnionWith(r);
       }
       return out;
@@ -39,11 +47,11 @@ Result<BinaryRelation> EvaluateReeImpl(const DataGraph& graph,
       assert(!expression->children.empty());
       GQD_ASSIGN_OR_RETURN(
           BinaryRelation out,
-          EvaluateReeImpl(graph, expression->children[0], cancel));
+          EvaluateReeImpl(graph, expression->children[0], cancel, budget));
       for (std::size_t i = 1; i < expression->children.size(); i++) {
         GQD_ASSIGN_OR_RETURN(
             BinaryRelation next,
-            EvaluateReeImpl(graph, expression->children[i], cancel));
+            EvaluateReeImpl(graph, expression->children[i], cancel, budget));
         out = out.Compose(next);
       }
       return out;
@@ -51,19 +59,19 @@ Result<BinaryRelation> EvaluateReeImpl(const DataGraph& graph,
     case ReeKind::kPlus: {
       GQD_ASSIGN_OR_RETURN(
           BinaryRelation base,
-          EvaluateReeImpl(graph, expression->children[0], cancel));
+          EvaluateReeImpl(graph, expression->children[0], cancel, budget));
       return TransitivePlus(base);
     }
     case ReeKind::kEq: {
       GQD_ASSIGN_OR_RETURN(
           BinaryRelation base,
-          EvaluateReeImpl(graph, expression->children[0], cancel));
+          EvaluateReeImpl(graph, expression->children[0], cancel, budget));
       return base.EqRestrict(graph);
     }
     case ReeKind::kNeq: {
       GQD_ASSIGN_OR_RETURN(
           BinaryRelation base,
-          EvaluateReeImpl(graph, expression->children[0], cancel));
+          EvaluateReeImpl(graph, expression->children[0], cancel, budget));
       return base.NeqRestrict(graph);
     }
   }
@@ -74,13 +82,13 @@ Result<BinaryRelation> EvaluateReeImpl(const DataGraph& graph,
 }  // namespace
 
 BinaryRelation EvaluateRee(const DataGraph& graph, const ReePtr& expression) {
-  return EvaluateReeImpl(graph, expression, nullptr).ValueOrDie();
+  return EvaluateReeImpl(graph, expression, nullptr, nullptr).ValueOrDie();
 }
 
 Result<BinaryRelation> EvaluateRee(const DataGraph& graph,
                                    const ReePtr& expression,
                                    const EvalOptions& options) {
-  return EvaluateReeImpl(graph, expression, options.cancel);
+  return EvaluateReeImpl(graph, expression, options.cancel, options.budget);
 }
 
 }  // namespace gqd

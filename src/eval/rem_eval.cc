@@ -58,7 +58,8 @@ class AssignmentCodec {
 /// with a token the search polls it (stride-amortized) and reports expiry.
 Result<BinaryRelation> EvaluateRemImpl(const DataGraph& graph,
                                        const RemPtr& expression,
-                                       const CancelToken* cancel) {
+                                       const CancelToken* cancel,
+                                       const ResourceBudget* budget) {
   StringInterner labels = graph.labels();
   RegisterAutomaton ra =
       CompileRem(expression, &labels, /*intern_new_labels=*/false);
@@ -66,6 +67,7 @@ Result<BinaryRelation> EvaluateRemImpl(const DataGraph& graph,
   AssignmentCodec codec(ra.num_registers, graph.NumDataValues());
   BinaryRelation result(n);
   std::uint32_t ticks = 0;
+  std::uint32_t budget_ticks = 0;
 
   struct Config {
     NodeId node;
@@ -83,6 +85,13 @@ Result<BinaryRelation> EvaluateRemImpl(const DataGraph& graph,
               assignment_codes +
           code;
       if (seen.insert(key).second) {
+        if (budget != nullptr) {
+          // Each retained configuration costs a hash-set node plus the
+          // queued Config (the PSPACE blow-up axis of REM evaluation).
+          budget->ChargeTuples(1);
+          budget->ChargeBytes(static_cast<std::int64_t>(
+              sizeof(std::uint64_t) + sizeof(Config)));
+        }
         frontier.push(Config{v, q, code});
       }
     };
@@ -91,6 +100,9 @@ Result<BinaryRelation> EvaluateRemImpl(const DataGraph& graph,
     while (!frontier.empty()) {
       if (GQD_CANCEL_STRIDE_CHECK(cancel, ticks)) {
         return cancel->Check();
+      }
+      if (GQD_BUDGET_STRIDE_CHECK(budget, budget_ticks)) {
+        return budget->Check();
       }
       Config c = frontier.front();
       frontier.pop();
@@ -126,13 +138,13 @@ Result<BinaryRelation> EvaluateRemImpl(const DataGraph& graph,
 }  // namespace
 
 BinaryRelation EvaluateRem(const DataGraph& graph, const RemPtr& expression) {
-  return EvaluateRemImpl(graph, expression, nullptr).ValueOrDie();
+  return EvaluateRemImpl(graph, expression, nullptr, nullptr).ValueOrDie();
 }
 
 Result<BinaryRelation> EvaluateRem(const DataGraph& graph,
                                    const RemPtr& expression,
                                    const EvalOptions& options) {
-  return EvaluateRemImpl(graph, expression, options.cancel);
+  return EvaluateRemImpl(graph, expression, options.cancel, options.budget);
 }
 
 }  // namespace gqd

@@ -13,7 +13,8 @@ namespace {
 /// token the search polls it (stride-amortized) and reports expiry.
 Result<BinaryRelation> EvaluateRpqImpl(const DataGraph& graph,
                                        const RegexPtr& regex,
-                                       const CancelToken* cancel) {
+                                       const CancelToken* cancel,
+                                       const ResourceBudget* budget) {
   // The graph's interner is const; compile against a copy so unknown regex
   // letters stay unknown (dead) without mutating the graph.
   StringInterner labels = graph.labels();
@@ -22,6 +23,7 @@ Result<BinaryRelation> EvaluateRpqImpl(const DataGraph& graph,
   std::size_t n = graph.NumNodes();
   BinaryRelation result(n);
   std::uint32_t ticks = 0;
+  std::uint32_t budget_ticks = 0;
 
   // One BFS over (node, nfa-state) per start node.
   for (NodeId u = 0; u < n; u++) {
@@ -38,6 +40,12 @@ Result<BinaryRelation> EvaluateRpqImpl(const DataGraph& graph,
     while (!frontier.empty()) {
       if (GQD_CANCEL_STRIDE_CHECK(cancel, ticks)) {
         return cancel->Check();
+      }
+      if (budget != nullptr) {
+        budget->ChargeTuples(1);
+        if (GQD_BUDGET_STRIDE_CHECK(budget, budget_ticks)) {
+          return budget->Check();
+        }
       }
       auto [v, s] = frontier.front();
       frontier.pop();
@@ -62,13 +70,13 @@ Result<BinaryRelation> EvaluateRpqImpl(const DataGraph& graph,
 }  // namespace
 
 BinaryRelation EvaluateRpq(const DataGraph& graph, const RegexPtr& regex) {
-  return EvaluateRpqImpl(graph, regex, nullptr).ValueOrDie();
+  return EvaluateRpqImpl(graph, regex, nullptr, nullptr).ValueOrDie();
 }
 
 Result<BinaryRelation> EvaluateRpq(const DataGraph& graph,
                                    const RegexPtr& regex,
                                    const EvalOptions& options) {
-  return EvaluateRpqImpl(graph, regex, options.cancel);
+  return EvaluateRpqImpl(graph, regex, options.cancel, options.budget);
 }
 
 }  // namespace gqd

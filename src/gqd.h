@@ -10,7 +10,9 @@
 
 // Common substrate.
 #include "common/bitset.h"     // IWYU pragma: export
+#include "common/budget.h"     // IWYU pragma: export
 #include "common/cancel.h"     // IWYU pragma: export
+#include "common/failpoint.h"  // IWYU pragma: export
 #include "common/interner.h"   // IWYU pragma: export
 #include "common/json_util.h"  // IWYU pragma: export
 #include "common/status.h"     // IWYU pragma: export
@@ -79,6 +81,7 @@
 #include "synthesis/synthesis.h"      // IWYU pragma: export
 
 // Serving runtime (gqd serve).
+#include "runtime/admission.h"       // IWYU pragma: export
 #include "runtime/client.h"          // IWYU pragma: export
 #include "runtime/graph_registry.h"  // IWYU pragma: export
 #include "runtime/json.h"            // IWYU pragma: export

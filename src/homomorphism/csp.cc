@@ -4,7 +4,13 @@
 #include <cassert>
 #include <queue>
 
+#include "common/failpoint.h"
+
 namespace gqd {
+
+namespace {
+GQD_FAILPOINT_DEFINE(fp_csp_search, "csp.search");
+}  // namespace
 
 Csp Csp::Full(std::size_t num_variables, std::size_t domain_size) {
   Csp csp;
@@ -161,17 +167,31 @@ struct Searcher {
   std::vector<std::vector<std::uint32_t>>* all_solutions = nullptr;
   std::size_t max_solutions = 1;
   bool budget_exhausted = false;
+  bool resource_tripped = false;
+  bool injected = false;
   bool cancelled = false;
   std::uint32_t cancel_ticks = 0;
+  std::uint32_t budget_ticks = 0;
 
   Searcher(const Csp& c, const CspOptions& o, CspStats* s)
       : csp(c), options(o), incidence(BuildIncidence(c)), stats(s) {}
 
   /// Returns true when the search should stop (enough solutions found).
   bool Search(std::vector<DynamicBitset> domains) {
+    if (GQD_FAILPOINT_FIRED(fp_csp_search)) {
+      injected = true;
+      return true;
+    }
     if (GQD_CANCEL_STRIDE_CHECK(options.cancel, cancel_ticks)) {
       cancelled = true;
       return true;
+    }
+    if (options.budget != nullptr) {
+      options.budget->ChargeTuples(1);
+      if (GQD_BUDGET_STRIDE_CHECK(options.budget, budget_ticks)) {
+        resource_tripped = true;
+        return true;
+      }
     }
     if (stats != nullptr) {
       if (++stats->nodes_expanded > options.max_nodes) {
@@ -243,8 +263,15 @@ Result<std::optional<std::vector<std::uint32_t>>> SolveCsp(
     return std::optional<std::vector<std::uint32_t>>();
   }
   searcher.Search(std::move(domains));
+  if (searcher.injected && solutions.empty()) {
+    return Status::ResourceExhausted(
+        "injected CSP search failure (failpoint csp.search)");
+  }
   if (searcher.cancelled && solutions.empty()) {
     return options.cancel->Check();
+  }
+  if (searcher.resource_tripped && solutions.empty()) {
+    return options.budget->Check();
   }
   if (searcher.budget_exhausted && solutions.empty()) {
     return Status::ResourceExhausted("CSP node budget exhausted");
@@ -268,6 +295,10 @@ Result<std::vector<std::vector<std::uint32_t>>> EnumerateCspSolutions(
     return solutions;
   }
   searcher.Search(std::move(domains));
+  if (searcher.injected) {
+    return Status::ResourceExhausted(
+        "injected CSP search failure (failpoint csp.search)");
+  }
   if (searcher.cancelled) {
     return options.cancel->Check();
   }

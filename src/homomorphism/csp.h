@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/budget.h"
 #include "common/cancel.h"
 #include "common/status.h"
 
@@ -64,6 +65,10 @@ struct CspOptions {
   /// Optional cooperative cancellation: the backtracking search polls this
   /// token and returns Status::DeadlineExceeded once it expires.
   const CancelToken* cancel = nullptr;
+  /// Optional resource governance: each expanded node charges one tuple and
+  /// the search polls for exhaustion (CSP memory is bounded by search
+  /// depth, so only the tuple and wall-clock axes apply here).
+  const ResourceBudget* budget = nullptr;
 };
 
 /// Finds one solution, or nullopt if none (or OutOfRange if the node budget

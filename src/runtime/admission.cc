@@ -1,0 +1,56 @@
+#include "runtime/admission.h"
+
+namespace gqd {
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release();
+    controller_ = nullptr;
+  }
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit() {
+  if (!enabled()) {
+    return Ticket();  // admission disabled: an empty ticket, nothing held
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (active_ < options_.max_concurrent) {
+    active_++;
+    admitted_++;
+    return Ticket(this);
+  }
+  if (waiting_ >= options_.max_queue) {
+    shed_++;
+    return Status::Unavailable(
+        "server overloaded: " + std::to_string(active_) + " active and " +
+        std::to_string(waiting_) + " queued requests; retry later");
+  }
+  waiting_++;
+  slot_freed_.wait(lock, [this] { return active_ < options_.max_concurrent; });
+  waiting_--;
+  active_++;
+  admitted_++;
+  queued_++;
+  return Ticket(this);
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_--;
+  }
+  slot_freed_.notify_one();
+}
+
+AdmissionStats AdmissionController::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionStats stats;
+  stats.admitted = admitted_;
+  stats.queued = queued_;
+  stats.shed = shed_;
+  stats.active = active_;
+  stats.waiting = waiting_;
+  return stats;
+}
+
+}  // namespace gqd

@@ -1,0 +1,107 @@
+// Bounded admission for heavyweight service commands.
+//
+// The serving runtime is thread-per-connection, so without a gate an
+// overload burst turns into unbounded concurrent query evaluation: every
+// connection dives into the checker or evaluator at once and the process
+// thrashes or OOMs. AdmissionController caps concurrent admitted work and
+// bounds the line of waiters behind it; anything beyond both caps is shed
+// immediately with `Status::Unavailable`, which the protocol layer turns
+// into an `overloaded` response carrying a retry_after_ms hint. Clients
+// retry with backoff (LineClient::CallWithRetry) — the system degrades to
+// higher latency instead of falling over.
+//
+// Cheap commands (ping, stats, shutdown, info) bypass admission entirely,
+// so health checks and operator introspection still work under full load.
+
+#ifndef GQD_RUNTIME_ADMISSION_H_
+#define GQD_RUNTIME_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace gqd {
+
+struct AdmissionOptions {
+  /// Requests evaluated concurrently; 0 disables admission control
+  /// entirely (every Admit succeeds immediately).
+  std::size_t max_concurrent = 0;
+  /// Requests allowed to wait for a slot before newcomers are shed.
+  std::size_t max_queue = 16;
+  /// Backoff hint attached to shed responses.
+  std::int64_t retry_after_ms = 50;
+};
+
+/// Counters for ServerStats; a point-in-time snapshot.
+struct AdmissionStats {
+  std::uint64_t admitted = 0;  ///< requests that got a slot
+  std::uint64_t queued = 0;    ///< admitted requests that had to wait first
+  std::uint64_t shed = 0;      ///< requests rejected with Unavailable
+  std::size_t active = 0;      ///< slots currently held
+  std::size_t waiting = 0;     ///< requests currently queued
+};
+
+class AdmissionController {
+ public:
+  /// RAII admission slot: releasing (destruction or Release()) wakes one
+  /// waiter. A default-constructed ticket holds nothing.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+    ~Ticket() { Release(); }
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    void Release();
+
+   private:
+    AdmissionController* controller_ = nullptr;
+  };
+
+  explicit AdmissionController(const AdmissionOptions& options)
+      : options_(options) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until a slot frees up (if the wait line has room), then
+  /// returns the held slot. Sheds with `Status::Unavailable` when
+  /// max_queue requests are already waiting.
+  Result<Ticket> Admit();
+
+  bool enabled() const { return options_.max_concurrent > 0; }
+  std::int64_t retry_after_ms() const { return options_.retry_after_ms; }
+
+  AdmissionStats GetStats() const;
+
+ private:
+  void Release();
+
+  AdmissionOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_freed_;
+  std::size_t active_ = 0;   ///< guarded by mutex_
+  std::size_t waiting_ = 0;  ///< guarded by mutex_
+  std::uint64_t admitted_ = 0;
+  std::uint64_t queued_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_RUNTIME_ADMISSION_H_

@@ -5,15 +5,65 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <random>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "runtime/json.h"
 
 namespace gqd {
+
+namespace {
+
+// Client-side transport faults, for exercising the retry path without a
+// flaky network: a fired site fails the operation exactly as a broken
+// socket would, and CallWithRetry must recover.
+GQD_FAILPOINT_DEFINE(fp_client_connect, "client.connect");
+GQD_FAILPOINT_DEFINE(fp_client_read, "client.read");
+GQD_FAILPOINT_DEFINE(fp_client_write, "client.write");
+
+/// True when `response` is a protocol-level load-shed error. Sets
+/// *retry_after_ms from the server's hint when one is present.
+bool IsOverloadResponse(const std::string& response,
+                        std::int64_t* retry_after_ms) {
+  auto parsed = JsonValue::Parse(response);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    return false;
+  }
+  const JsonValue* ok = parsed.value().Find("ok");
+  if (ok == nullptr || !ok->is_bool() || ok->AsBool()) {
+    return false;
+  }
+  const JsonValue* error = parsed.value().Find("error");
+  if (error == nullptr || !error->is_object()) {
+    return false;
+  }
+  const JsonValue* code = error->Find("code");
+  if (code == nullptr || !code->is_string() ||
+      code->AsString() != "Unavailable") {
+    return false;
+  }
+  const JsonValue* hint = error->Find("retry_after_ms");
+  if (hint != nullptr && hint->is_number() && hint->AsNumber() >= 0) {
+    *retry_after_ms = static_cast<std::int64_t>(hint->AsNumber());
+  }
+  return true;
+}
+
+}  // namespace
 
 LineClient::~LineClient() { Close(); }
 
 Status LineClient::Connect(std::uint16_t port) {
   Close();
+  port_ = port;
+  if (GQD_FAILPOINT_FIRED(fp_client_connect)) {
+    return Status::IOError(
+        "injected connect failure (failpoint client.connect)");
+  }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
@@ -38,6 +88,12 @@ Result<std::string> LineClient::Call(const std::string& line) {
   if (fd_ < 0) {
     return Status::IOError("not connected");
   }
+  if (GQD_FAILPOINT_FIRED(fp_client_write)) {
+    // A write fault leaves the stream in an unknown state; drop the
+    // connection so a retry starts from a clean one.
+    Close();
+    return Status::IOError("injected write failure (failpoint client.write)");
+  }
   std::string framed = line;
   framed += '\n';
   std::size_t written = 0;
@@ -57,12 +113,64 @@ Result<std::string> LineClient::Call(const std::string& line) {
       buffer_.erase(0, newline + 1);
       return response;
     }
+    if (GQD_FAILPOINT_FIRED(fp_client_read)) {
+      Close();
+      return Status::IOError("injected read failure (failpoint client.read)");
+    }
     ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n <= 0) {
       return Status::IOError("connection closed before a response arrived");
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+Result<std::string> LineClient::CallWithRetry(const std::string& line,
+                                              const RetryPolicy& policy) {
+  std::mt19937_64 rng(policy.jitter_seed);
+  int attempts = std::max(policy.max_attempts, 1);
+  Result<std::string> last(Status::IOError("no attempts made"));
+  for (int attempt = 0; attempt < attempts; attempt++) {
+    if (attempt > 0) {
+      retries_++;
+    }
+    if (!connected()) {
+      Status status = Connect(port_);
+      last = status.ok() ? Call(line) : Result<std::string>(status);
+    } else {
+      last = Call(line);
+    }
+    std::int64_t retry_after_ms = -1;
+    if (last.ok() && !IsOverloadResponse(last.value(), &retry_after_ms)) {
+      return last;  // success, or a non-retryable protocol error
+    }
+    if (!last.ok()) {
+      // Transport failure: the stream state is unknown, reconnect fresh.
+      Close();
+    }
+    if (attempt + 1 == attempts) {
+      break;
+    }
+    auto backoff = policy.initial_backoff * (std::int64_t{1} << attempt);
+    backoff = std::min<std::chrono::milliseconds>(backoff, policy.max_backoff);
+    if (backoff.count() > 0) {
+      backoff += std::chrono::milliseconds(static_cast<std::int64_t>(
+          rng() % static_cast<std::uint64_t>(backoff.count() / 2 + 1)));
+    }
+    if (retry_after_ms > backoff.count()) {
+      backoff = std::chrono::milliseconds(retry_after_ms);
+    }
+    if (backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+    }
+  }
+  if (last.ok()) {
+    // Every attempt was shed; surface that as a structured status rather
+    // than handing the caller a response they would retry themselves.
+    return Status::Unavailable("server overloaded after " +
+                               std::to_string(attempts) + " attempts");
+  }
+  return last;
 }
 
 void LineClient::Close() {

@@ -3,16 +3,33 @@
 // One TCP connection, one request line out, one response line back. Used
 // by the serve tests and by `gqd bench-serve`; not a general-purpose
 // client library.
+//
+// Call() is a single attempt. CallWithRetry() adds the client half of
+// graceful degradation: transport failures reconnect, and `Unavailable`
+// (load-shed) responses are retried after a jittered exponential backoff,
+// honouring the server's retry_after_ms hint when one is present.
 
 #ifndef GQD_RUNTIME_CLIENT_H_
 #define GQD_RUNTIME_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
 #include "common/status.h"
 
 namespace gqd {
+
+/// Backoff schedule for CallWithRetry. Attempt i sleeps
+/// min(initial_backoff * 2^i, max_backoff) plus up to 50% seeded jitter;
+/// a server retry_after_ms hint raises (never lowers) the sleep.
+struct RetryPolicy {
+  int max_attempts = 5;
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{1000};
+  /// Seed for the jitter RNG, so tests are reproducible.
+  std::uint64_t jitter_seed = 0;
+};
 
 class LineClient {
  public:
@@ -22,19 +39,33 @@ class LineClient {
   LineClient(const LineClient&) = delete;
   LineClient& operator=(const LineClient&) = delete;
 
-  /// Connects to 127.0.0.1:`port`.
+  /// Connects to 127.0.0.1:`port`. The port is remembered so
+  /// CallWithRetry can reconnect after a transport failure.
   Status Connect(std::uint16_t port);
 
   /// Sends `line` (a newline is appended) and returns the one response
   /// line, without its trailing newline.
   Result<std::string> Call(const std::string& line);
 
+  /// Call() with reconnection and backoff: transport errors (including
+  /// injected client.* faults) reconnect and retry; responses whose
+  /// error code is `Unavailable` (load shedding) retry after the backoff.
+  /// Any other response — success or error — is returned as-is. Fails
+  /// with the last error once `policy.max_attempts` attempts are spent.
+  Result<std::string> CallWithRetry(const std::string& line,
+                                    const RetryPolicy& policy = {});
+
   void Close();
 
   bool connected() const { return fd_ >= 0; }
 
+  /// Total retries performed by CallWithRetry over this client's lifetime.
+  std::uint64_t retries() const { return retries_; }
+
  private:
   int fd_ = -1;
+  std::uint16_t port_ = 0;  ///< last Connect() target, for reconnects
+  std::uint64_t retries_ = 0;
   std::string buffer_;  ///< bytes read past the last returned line
 };
 

@@ -2,7 +2,13 @@
 
 #include <functional>
 
+#include "common/failpoint.h"
+
 namespace gqd {
+
+namespace {
+GQD_FAILPOINT_DEFINE(fp_result_cache_put, "result_cache.put");
+}  // namespace
 
 ResultCache::ResultCache(std::size_t capacity) {
   if (capacity < kNumShards) {
@@ -51,6 +57,10 @@ void ResultCache::Put(const std::string& key,
                       std::shared_ptr<const BinaryRelation> value) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
+  if (GQD_FAILPOINT_FIRED(fp_result_cache_put)) {
+    shard.drops++;
+    return;
+  }
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->second = std::move(value);
@@ -74,6 +84,7 @@ ResultCache::Stats ResultCache::GetStats() const {
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.evictions += shard.evictions;
+    stats.drops += shard.drops;
     stats.entries += shard.lru.size();
   }
   return stats;

@@ -29,6 +29,7 @@ class ResultCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t drops = 0;  ///< inserts skipped by an injected fault
     std::size_t entries = 0;
     std::size_t capacity = 0;
   };
@@ -49,7 +50,10 @@ class ResultCache {
   std::shared_ptr<const BinaryRelation> Get(const std::string& key);
 
   /// Inserts (or refreshes) an entry, evicting the least-recently-used
-  /// entry of the same shard when that shard is full.
+  /// entry of the same shard when that shard is full. The cache is an
+  /// optimization: when the `result_cache.put` failpoint fires (simulating
+  /// an allocation failure), the insert is skipped — callers never notice
+  /// beyond a later cache miss.
   void Put(const std::string& key,
            std::shared_ptr<const BinaryRelation> value);
 
@@ -69,6 +73,7 @@ class ResultCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t drops = 0;
   };
 
   Shard& ShardFor(const std::string& key);

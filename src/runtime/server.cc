@@ -9,7 +9,20 @@
 #include <cstring>
 #include <string>
 
+#include "common/failpoint.h"
+
 namespace gqd {
+
+namespace {
+
+// Socket faults are connection-local: a fired failpoint fails (and closes)
+// the one connection it hit, never the server. The accept loop and every
+// other connection keep running.
+GQD_FAILPOINT_DEFINE(fp_server_accept, "server.accept");
+GQD_FAILPOINT_DEFINE(fp_server_read, "server.read");
+GQD_FAILPOINT_DEFINE(fp_server_write, "server.write");
+
+}  // namespace
 
 Server::~Server() {
   Stop();
@@ -64,6 +77,12 @@ void Server::AcceptLoop() {
       }
       return;  // unrecoverable accept failure; shut the loop down
     }
+    if (GQD_FAILPOINT_FIRED(fp_server_accept)) {
+      // Simulated post-accept failure (e.g. EMFILE when duping the fd):
+      // drop this connection, keep accepting.
+      ::close(fd);
+      continue;
+    }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -80,7 +99,26 @@ void Server::ServeConnection(int fd) {
   std::string buffer;
   char chunk[4096];
   bool open = true;
+  // Writes one full response; false means the connection is dead (peer
+  // gone, Stop() closed the fd, or an injected write fault).
+  auto write_all = [fd](const std::string& data) {
+    if (GQD_FAILPOINT_FIRED(fp_server_write)) {
+      return false;
+    }
+    std::size_t written = 0;
+    while (written < data.size()) {
+      ssize_t w = ::write(fd, data.data() + written, data.size() - written);
+      if (w <= 0) {
+        return false;
+      }
+      written += static_cast<std::size_t>(w);
+    }
+    return true;
+  };
   while (open && !stopping_.load(std::memory_order_acquire)) {
+    if (GQD_FAILPOINT_FIRED(fp_server_read)) {
+      break;  // injected read fault: drop this connection only
+    }
     ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n <= 0) {
       break;  // peer closed, error, or Stop() closed the fd
@@ -96,15 +134,8 @@ void Server::ServeConnection(int fd) {
       bool shutdown = false;
       std::string response = service_->HandleLine(line, &shutdown);
       response += '\n';
-      std::size_t written = 0;
-      while (written < response.size()) {
-        ssize_t w = ::write(fd, response.data() + written,
-                            response.size() - written);
-        if (w <= 0) {
-          open = false;
-          break;
-        }
-        written += static_cast<std::size_t>(w);
+      if (!write_all(response)) {
+        open = false;
       }
       if (shutdown) {
         // Response is flushed; take the whole server down. Stop() never
@@ -114,6 +145,16 @@ void Server::ServeConnection(int fd) {
         Stop();
         open = false;
       }
+    }
+    if (open && buffer.size() > options_.max_line_bytes) {
+      // An unterminated request line has outgrown the bound. Report the
+      // limit (framing is lost, so the connection cannot be salvaged) and
+      // close.
+      write_all(
+          "{\"ok\":false,\"error\":{\"code\":\"request_too_large\","
+          "\"message\":\"request line exceeds " +
+          std::to_string(options_.max_line_bytes) + "-byte limit\"}}\n");
+      break;
     }
   }
   ::shutdown(fd, SHUT_RDWR);

@@ -25,10 +25,19 @@
 
 namespace gqd {
 
+struct ServerOptions {
+  /// Maximum bytes buffered for a single request line. A connection whose
+  /// unterminated line exceeds this receives a structured
+  /// `request_too_large` error and is closed — an unframed client cannot
+  /// grow server memory without bound.
+  std::size_t max_line_bytes = 1 << 20;
+};
+
 class Server {
  public:
   /// The service must outlive the server.
-  explicit Server(QueryService* service) : service_(service) {}
+  explicit Server(QueryService* service, const ServerOptions& options = {})
+      : service_(service), options_(options) {}
   ~Server();
 
   Server(const Server&) = delete;
@@ -52,6 +61,7 @@ class Server {
   void ServeConnection(int fd);
 
   QueryService* service_;
+  ServerOptions options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -44,10 +44,17 @@ Result<std::int64_t> DeadlineMsFrom(const JsonValue& request) {
   return deadline_ms;
 }
 
-JsonValue ErrorResponse(const JsonValue* id, const Status& status) {
+/// `retry_after_ms` >= 0 adds a backoff hint to the error object (used for
+/// Unavailable / load-shed responses).
+JsonValue ErrorResponse(const JsonValue* id, const Status& status,
+                        std::int64_t retry_after_ms = -1) {
   JsonValue::Object error;
   error.emplace_back("code", std::string(StatusCodeToString(status.code())));
   error.emplace_back("message", status.message());
+  if (retry_after_ms >= 0) {
+    error.emplace_back("retry_after_ms",
+                       static_cast<double>(retry_after_ms));
+  }
   JsonValue::Object response;
   if (id != nullptr) {
     response.emplace_back("id", *id);
@@ -57,20 +64,63 @@ JsonValue ErrorResponse(const JsonValue* id, const Status& status) {
   return JsonValue(std::move(response));
 }
 
+/// Reads the optional per-request resource budget ("max_bytes",
+/// "max_tuples"; 0 = unlimited) into `*budget`; leaves it empty when
+/// neither cap is set.
+Status BudgetFrom(const JsonValue& request,
+                  std::optional<ResourceBudget>* budget) {
+  GQD_ASSIGN_OR_RETURN(std::int64_t max_bytes,
+                       request.GetIntOr("max_bytes", 0));
+  GQD_ASSIGN_OR_RETURN(std::int64_t max_tuples,
+                       request.GetIntOr("max_tuples", 0));
+  if (max_bytes < 0 || max_tuples < 0) {
+    return Status::InvalidArgument(
+        "max_bytes and max_tuples must be non-negative");
+  }
+  if (max_bytes > 0 || max_tuples > 0) {
+    budget->emplace(static_cast<std::uint64_t>(max_bytes),
+                    static_cast<std::uint64_t>(max_tuples));
+  }
+  return Status::OK();
+}
+
+/// Serializes a checker's PartialProgress into response JSON, so budget
+/// exhaustion reports how far the search got.
+void EmplacePartial(JsonValue::Object* body,
+                    const std::optional<PartialProgress>& partial) {
+  if (!partial.has_value()) {
+    return;
+  }
+  JsonValue::Object progress;
+  progress.emplace_back("stage", partial->stage);
+  progress.emplace_back("tuples_explored",
+                        static_cast<double>(partial->tuples_explored));
+  progress.emplace_back("frontier_depth",
+                        static_cast<double>(partial->frontier_depth));
+  progress.emplace_back("bytes_peak",
+                        static_cast<double>(partial->bytes_peak));
+  body->emplace_back("partial", JsonValue(std::move(progress)));
+}
+
 }  // namespace
 
 QueryService::QueryService(const ServiceOptions& options)
-    : pool_(options.num_threads), cache_(options.cache_capacity) {}
+    : pool_(options.num_threads),
+      cache_(options.cache_capacity),
+      admission_(options.admission) {}
 
 std::string QueryService::HandleLine(const std::string& line,
                                      bool* shutdown) {
   auto start = std::chrono::steady_clock::now();
   std::string command = "invalid";
+  StatusCode code = StatusCode::kOk;
   JsonValue response;
   auto parsed = JsonValue::Parse(line);
   if (!parsed.ok()) {
+    code = parsed.status().code();
     response = ErrorResponse(nullptr, parsed.status());
   } else if (!parsed.value().is_object()) {
+    code = StatusCode::kInvalidArgument;
     response = ErrorResponse(
         nullptr, Status::InvalidArgument("request must be a JSON object"));
   } else {
@@ -82,7 +132,11 @@ std::string QueryService::HandleLine(const std::string& line,
     }
     auto result = Dispatch(request, shutdown);
     if (!result.ok()) {
-      response = ErrorResponse(id, result.status());
+      code = result.status().code();
+      response = ErrorResponse(id, result.status(),
+                               code == StatusCode::kUnavailable
+                                   ? admission_.retry_after_ms()
+                                   : -1);
     } else {
       JsonValue::Object body;
       if (id != nullptr) {
@@ -99,24 +153,34 @@ std::string QueryService::HandleLine(const std::string& line,
   if (const JsonValue* ok_field = response.Find("ok")) {
     ok = ok_field->AsBool();
   }
-  stats_.Record(command, ok, std::chrono::steady_clock::now() - start);
+  stats_.Record(command, ok, std::chrono::steady_clock::now() - start, code);
   return response.Serialize();
 }
 
 Result<JsonValue> QueryService::Dispatch(const JsonValue& request,
                                          bool* shutdown) {
   GQD_ASSIGN_OR_RETURN(std::string cmd, request.GetString("cmd"));
-  if (cmd == "load") {
-    return HandleLoad(request);
-  }
-  if (cmd == "eval") {
-    return HandleEval(request);
-  }
-  if (cmd == "check") {
-    return HandleCheck(request);
-  }
-  if (cmd == "lint") {
+  // Heavy commands pass the admission gate (and hold their slot for the
+  // whole request); cheap ones below bypass it so health checks and
+  // operator introspection keep working under overload.
+  if (cmd == "load" || cmd == "eval" || cmd == "check" || cmd == "lint") {
+    GQD_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                         admission_.Admit());
+    if (cmd == "load") {
+      return HandleLoad(request);
+    }
+    if (cmd == "eval") {
+      return HandleEval(request);
+    }
+    if (cmd == "check") {
+      return HandleCheck(request);
+    }
     return HandleLint(request);
+  }
+  if (cmd == "ping") {
+    JsonValue::Object body;
+    body.emplace_back("pong", true);
+    return JsonValue(std::move(body));
   }
   if (cmd == "info") {
     return HandleInfo(request);
@@ -134,7 +198,7 @@ Result<JsonValue> QueryService::Dispatch(const JsonValue& request,
   }
   return Status::InvalidArgument(
       "unknown command '" + cmd +
-      "' (expected load, eval, check, lint, info, stats or shutdown)");
+      "' (expected load, eval, check, lint, info, ping, stats or shutdown)");
 }
 
 Result<JsonValue> QueryService::HandleLoad(const JsonValue& request) {
@@ -151,7 +215,8 @@ Result<JsonValue> QueryService::HandleLoad(const JsonValue& request) {
 Result<JsonValue> QueryService::EvalOne(const RegisteredGraph& entry,
                                         const std::string& language,
                                         const std::string& query,
-                                        const CancelToken* cancel) {
+                                        const CancelToken* cancel,
+                                        const ResourceBudget* budget) {
   const DataGraph& graph = *entry.graph;
   // Normalize: parse, then canonical-print, so formatting differences
   // ("a . b" vs "a.b") share one cache entry.
@@ -159,6 +224,7 @@ Result<JsonValue> QueryService::EvalOne(const RegisteredGraph& entry,
   std::shared_ptr<const BinaryRelation> relation;
   EvalOptions eval_options;
   eval_options.cancel = cancel;
+  eval_options.budget = budget;
   if (language == "rpq" || language == "regex") {
     GQD_ASSIGN_OR_RETURN(RegexPtr expression, ParseRegex(query));
     normalized = RegexToString(expression);
@@ -222,11 +288,17 @@ Result<JsonValue> QueryService::HandleEval(const JsonValue& request) {
   }
   const CancelToken* cancel =
       deadline.has_value() ? &deadline.value() : nullptr;
+  // One budget for the whole request: batched queries draw on a shared
+  // allowance, the per-request isolation boundary.
+  std::optional<ResourceBudget> budget_storage;
+  GQD_RETURN_NOT_OK(BudgetFrom(request, &budget_storage));
+  const ResourceBudget* budget =
+      budget_storage.has_value() ? &budget_storage.value() : nullptr;
 
   const JsonValue* queries = request.Find("queries");
   if (queries == nullptr) {
     GQD_ASSIGN_OR_RETURN(std::string query, request.GetString("query"));
-    return EvalOne(entry, language, query, cancel);
+    return EvalOne(entry, language, query, cancel, budget);
   }
 
   // Batched form: one graph, many queries, fanned out across the pool.
@@ -249,8 +321,9 @@ Result<JsonValue> QueryService::HandleEval(const JsonValue& request) {
   std::size_t remaining = texts.size();
   for (std::size_t i = 0; i < texts.size(); i++) {
     pool_.Submit([this, &entry, &language, &texts, &outcomes, &done_mutex,
-                  &done_cv, &remaining, cancel, i] {
-      Result<JsonValue> outcome = EvalOne(entry, language, texts[i], cancel);
+                  &done_cv, &remaining, cancel, budget, i] {
+      Result<JsonValue> outcome =
+          EvalOne(entry, language, texts[i], cancel, budget);
       // Notify while holding the lock: the waiter owns these locals and
       // destroys them the moment it observes remaining == 0, so the last
       // worker must not touch the condition variable after unlocking.
@@ -302,6 +375,10 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
   }
   const CancelToken* cancel =
       deadline.has_value() ? &deadline.value() : nullptr;
+  std::optional<ResourceBudget> budget_storage;
+  GQD_RETURN_NOT_OK(BudgetFrom(request, &budget_storage));
+  const ResourceBudget* budget =
+      budget_storage.has_value() ? &budget_storage.value() : nullptr;
   // Optional frontier-parallel successor generation (krem/rpq checkers);
   // any thread count returns bit-identical results.
   GQD_ASSIGN_OR_RETURN(std::int64_t threads, request.GetIntOr("threads", 1));
@@ -314,6 +391,7 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
   if (checker == "rpq") {
     KRemDefinabilityOptions options;
     options.cancel = cancel;
+    options.budget = budget;
     options.num_threads = static_cast<std::size_t>(threads);
     GQD_ASSIGN_OR_RETURN(RpqDefinabilityResult result,
                          CheckRpqDefinability(*entry.graph, relation,
@@ -323,6 +401,7 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
                           result.verdict)));
     body.emplace_back("tuples_explored",
                       static_cast<double>(result.tuples_explored));
+    EmplacePartial(&body, result.partial);
   } else if (checker == "krem") {
     GQD_ASSIGN_OR_RETURN(std::int64_t k, request.GetIntOr("k", 2));
     if (k < 0) {
@@ -330,6 +409,7 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
     }
     KRemDefinabilityOptions options;
     options.cancel = cancel;
+    options.budget = budget;
     options.num_threads = static_cast<std::size_t>(threads);
     GQD_ASSIGN_OR_RETURN(
         KRemDefinabilityResult result,
@@ -341,9 +421,11 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
     body.emplace_back("k", static_cast<double>(k));
     body.emplace_back("tuples_explored",
                       static_cast<double>(result.tuples_explored));
+    EmplacePartial(&body, result.partial);
   } else if (checker == "ree") {
     ReeDefinabilityOptions options;
     options.cancel = cancel;
+    options.budget = budget;
     GQD_ASSIGN_OR_RETURN(ReeDefinabilityResult result,
                          CheckReeDefinability(*entry.graph, relation,
                                               options));
@@ -354,9 +436,11 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
                       static_cast<double>(result.levels_used));
     body.emplace_back("monoid_size",
                       static_cast<double>(result.monoid_size));
+    EmplacePartial(&body, result.partial);
   } else if (checker == "ucrdpq") {
     UcrdpqDefinabilityOptions options;
     options.csp.cancel = cancel;
+    options.csp.budget = budget;
     GQD_ASSIGN_OR_RETURN(UcrdpqDefinabilityResult result,
                          CheckUcrdpqDefinability(*entry.graph, relation,
                                                  options));
@@ -365,6 +449,7 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
                           result.verdict)));
     body.emplace_back("seeds_tried",
                       static_cast<double>(result.seeds_tried));
+    EmplacePartial(&body, result.partial);
   } else {
     return Status::InvalidArgument(
         "unknown checker '" + checker +
@@ -434,7 +519,8 @@ Result<JsonValue> QueryService::HandleStats() {
   JsonValue::Object body;
   body.emplace_back(
       "stats",
-      EmbedJson(stats_.ToJson(pool_.GetStats(), cache_.GetStats())));
+      EmbedJson(stats_.ToJson(pool_.GetStats(), cache_.GetStats(),
+                              admission_.GetStats())));
   return JsonValue(std::move(body));
 }
 

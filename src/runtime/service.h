@@ -15,9 +15,16 @@
 //    "k":2,"deadline_ms":500}
 //   {"cmd":"lint","language":"ree","query":"(a)=","graph":"g"}
 //   {"cmd":"info","graph":"g"}    {"cmd":"info"}
-//   {"cmd":"stats"}               {"cmd":"shutdown"}
+//   {"cmd":"stats"}               {"cmd":"ping"}    {"cmd":"shutdown"}
 // Every response carries "ok"; errors carry {"error":{"code","message"}}.
 // An "id" field, when present, is echoed back verbatim.
+//
+// Robustness (docs/robustness.md): eval and check accept per-request
+// resource budgets ("max_bytes", "max_tuples"; 0 = unlimited) alongside
+// "deadline_ms". Heavy commands (load/eval/check/lint) pass through a
+// bounded admission gate when one is configured; shed requests get an
+// Unavailable error with a "retry_after_ms" hint. ping, stats, info and
+// shutdown bypass admission so health checks work under full load.
 
 #ifndef GQD_RUNTIME_SERVICE_H_
 #define GQD_RUNTIME_SERVICE_H_
@@ -25,12 +32,14 @@
 #include <cstdint>
 #include <string>
 
+#include "common/budget.h"
 #include "common/cancel.h"
+#include "common/thread_pool.h"
+#include "runtime/admission.h"
 #include "runtime/graph_registry.h"
 #include "runtime/json.h"
 #include "runtime/result_cache.h"
 #include "runtime/stats.h"
-#include "common/thread_pool.h"
 
 namespace gqd {
 
@@ -39,6 +48,8 @@ struct ServiceOptions {
   std::size_t num_threads = 0;
   /// Result-cache entry budget.
   std::size_t cache_capacity = 256;
+  /// Load shedding for heavy commands; max_concurrent 0 = disabled.
+  AdmissionOptions admission;
 };
 
 class QueryService {
@@ -57,6 +68,8 @@ class QueryService {
 
   ResultCache::Stats cache_stats() const { return cache_.GetStats(); }
   std::uint64_t total_requests() const { return stats_.total_requests(); }
+  std::uint64_t shed_requests() const { return stats_.shed_requests(); }
+  AdmissionStats admission_stats() const { return admission_.GetStats(); }
 
  private:
   Result<JsonValue> Dispatch(const JsonValue& request, bool* shutdown);
@@ -71,12 +84,14 @@ class QueryService {
   Result<JsonValue> EvalOne(const RegisteredGraph& entry,
                             const std::string& language,
                             const std::string& query,
-                            const CancelToken* cancel);
+                            const CancelToken* cancel,
+                            const ResourceBudget* budget);
 
   ThreadPool pool_;
   GraphRegistry registry_;
   ResultCache cache_;
   ServerStats stats_;
+  AdmissionController admission_;
 };
 
 }  // namespace gqd

@@ -20,13 +20,26 @@ std::size_t BucketFor(std::uint64_t us) {
 }  // namespace
 
 void ServerStats::Record(const std::string& command, bool ok,
-                         std::chrono::nanoseconds latency) {
+                         std::chrono::nanoseconds latency, StatusCode code) {
   auto us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(latency).count());
   std::lock_guard<std::mutex> lock(mutex_);
   requests_++;
   if (!ok) {
     errors_++;
+  }
+  switch (code) {
+    case StatusCode::kUnavailable:
+      shed_++;
+      break;
+    case StatusCode::kResourceExhausted:
+      resource_exhausted_++;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      deadline_exceeded_++;
+      break;
+    default:
+      break;
   }
   per_command_[command]++;
   latency_buckets_[BucketFor(us)]++;
@@ -38,12 +51,21 @@ std::uint64_t ServerStats::total_requests() const {
   return requests_;
 }
 
+std::uint64_t ServerStats::shed_requests() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
 std::string ServerStats::ToJson(const ThreadPool::Stats& pool,
-                                const ResultCache::Stats& cache) const {
+                                const ResultCache::Stats& cache,
+                                const AdmissionStats& admission) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{";
   out += "\"requests\":" + std::to_string(requests_);
   out += ",\"errors\":" + std::to_string(errors_);
+  out += ",\"shed\":" + std::to_string(shed_);
+  out += ",\"resource_exhausted\":" + std::to_string(resource_exhausted_);
+  out += ",\"deadline_exceeded\":" + std::to_string(deadline_exceeded_);
   out += ",\"total_latency_us\":" + std::to_string(total_latency_us_);
   out += ",\"per_command\":{";
   bool first = true;
@@ -75,13 +97,22 @@ std::string ServerStats::ToJson(const ThreadPool::Stats& pool,
   out += ",\"queued_tasks\":" + std::to_string(pool.queued_tasks);
   out += ",\"tasks_executed\":" + std::to_string(pool.tasks_executed);
   out += ",\"tasks_stolen\":" + std::to_string(pool.tasks_stolen);
+  out += ",\"tasks_inline\":" + std::to_string(pool.tasks_inline);
   out += "}";
   out += ",\"cache\":{";
   out += "\"hits\":" + std::to_string(cache.hits);
   out += ",\"misses\":" + std::to_string(cache.misses);
   out += ",\"evictions\":" + std::to_string(cache.evictions);
+  out += ",\"drops\":" + std::to_string(cache.drops);
   out += ",\"entries\":" + std::to_string(cache.entries);
   out += ",\"capacity\":" + std::to_string(cache.capacity);
+  out += "}";
+  out += ",\"admission\":{";
+  out += "\"admitted\":" + std::to_string(admission.admitted);
+  out += ",\"queued\":" + std::to_string(admission.queued);
+  out += ",\"shed\":" + std::to_string(admission.shed);
+  out += ",\"active\":" + std::to_string(admission.active);
+  out += ",\"waiting\":" + std::to_string(admission.waiting);
   out += "}";
   out += "}";
   return out;

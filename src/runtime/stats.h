@@ -16,8 +16,10 @@
 #include <mutex>
 #include <string>
 
-#include "runtime/result_cache.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
+#include "runtime/admission.h"
+#include "runtime/result_cache.h"
 
 namespace gqd {
 
@@ -29,21 +31,31 @@ class ServerStats {
   ServerStats(const ServerStats&) = delete;
   ServerStats& operator=(const ServerStats&) = delete;
 
-  /// Records one completed request.
+  /// Records one completed request. `code` classifies degraded outcomes:
+  /// kUnavailable counts as shed, kResourceExhausted as budget-exhausted,
+  /// kDeadlineExceeded (which also covers cancellation) as
+  /// deadline-exceeded. Any other code (including kOk) only feeds the
+  /// ok/error totals.
   void Record(const std::string& command, bool ok,
-              std::chrono::nanoseconds latency);
+              std::chrono::nanoseconds latency,
+              StatusCode code = StatusCode::kOk);
 
   std::uint64_t total_requests() const;
+  std::uint64_t shed_requests() const;
 
   /// One JSON object combining request counters, the latency histogram,
-  /// and the supplied pool/cache snapshots.
+  /// and the supplied pool/cache/admission snapshots.
   std::string ToJson(const ThreadPool::Stats& pool,
-                     const ResultCache::Stats& cache) const;
+                     const ResultCache::Stats& cache,
+                     const AdmissionStats& admission = {}) const;
 
  private:
   mutable std::mutex mutex_;
   std::uint64_t requests_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t shed_ = 0;               ///< rejected by admission control
+  std::uint64_t resource_exhausted_ = 0; ///< budget-capped requests
+  std::uint64_t deadline_exceeded_ = 0;  ///< deadline/cancel terminations
   std::map<std::string, std::uint64_t> per_command_;
   std::uint64_t latency_buckets_[kNumLatencyBuckets] = {};
   std::uint64_t total_latency_us_ = 0;

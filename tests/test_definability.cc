@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "common/cancel.h"
 #include "definability/krem_definability.h"
 #include "definability/ree_definability.h"
 #include "definability/rpq_definability.h"
@@ -204,6 +207,21 @@ TEST(UcrdpqDefinability, NonDefinableProducesCertificate) {
     }
     EXPECT_FALSE(s.Contains(image));
   }
+}
+
+TEST(UcrdpqDefinability, DeadlineCancelsSeedLoop) {
+  // An expired deadline must surface as DeadlineExceeded from inside the
+  // seeded-search loop — even when every individual CSP search is far too
+  // small to reach the engine's strided cancel poll.
+  DataGraph g = Figure1Graph();
+  BinaryRelation s = Figure1S2(g);
+  CancelToken cancel{std::chrono::nanoseconds(0)};
+  UcrdpqDefinabilityOptions options;
+  options.csp.cancel = &cancel;
+  auto result = CheckUcrdpqDefinability(g, s, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status();
 }
 
 TEST(UcrdpqDefinability, HalfOfS2) {

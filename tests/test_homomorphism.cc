@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 
+#include "common/cancel.h"
 #include "graph/examples.h"
 #include "graph/generators.h"
 #include "homomorphism/csp.h"
@@ -121,6 +123,43 @@ TEST(Csp, BudgetIsReported) {
   auto result = SolveCsp(csp, options);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Csp, DeadlineCancelsMidSearch) {
+  // All-different with one more variable than values: unsatisfiable, but
+  // AC-3 over != constraints only prunes singletons, so refuting it by
+  // backtracking is astronomically expensive. The strided cancel poll must
+  // stop the search shortly after the deadline instead.
+  constexpr std::size_t kVariables = 13;
+  constexpr std::uint32_t kValues = 12;
+  Csp csp = Csp::Full(kVariables, kValues);
+  DynamicBitset neq(kValues * kValues);
+  for (std::uint32_t a = 0; a < kValues; a++) {
+    for (std::uint32_t b = 0; b < kValues; b++) {
+      if (a != b) {
+        neq.Set(a * kValues + b);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < kVariables; i++) {
+    for (std::size_t j = i + 1; j < kVariables; j++) {
+      csp.AddConstraint(i, j, neq);
+    }
+  }
+  CancelToken cancel(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::milliseconds(20)));
+  CspOptions options;
+  options.cancel = &cancel;
+  auto start = std::chrono::steady_clock::now();
+  auto result = SolveCsp(csp, options);
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status();
+  EXPECT_LT(elapsed_ms, 5000.0);
 }
 
 TEST(DataGraphHom, IdentityIsAlwaysHomomorphism) {

@@ -1,10 +1,17 @@
 // End-to-end tests for `gqd serve` over real TCP sockets: concurrent
 // clients, batched evaluation vs the single-threaded evaluators, deadline
-// enforcement over the wire, stats, and shutdown.
+// enforcement over the wire, admission control and load shedding,
+// per-request budgets, request-size limits, stats, and shutdown.
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -285,6 +292,230 @@ TEST_F(ServeTest, MalformedRequestsGetErrors) {
   EXPECT_NE(Call(R"({"cmd":"frobnicate"})").find("unknown command"),
             std::string::npos);
   EXPECT_NE(Call(R"({"cmd":"eval"})").find("graph"), std::string::npos);
+}
+
+TEST_F(ServeTest, PingRoundTrip) {
+  std::string response = Call(R"({"cmd":"ping"})");
+  EXPECT_NE(response.find("\"pong\":true"), std::string::npos) << response;
+}
+
+TEST_F(ServeTest, PerRequestBudgetReturnsPartialProgress) {
+  // The same hard instance as DeadlineExceededOverTheWire, but bounded by a
+  // per-request byte budget instead of a deadline: the response must be a
+  // *successful* budget-exhausted verdict with a partial-progress report.
+  RandomGraphOptions options;
+  options.num_nodes = 12;
+  options.num_labels = 2;
+  options.num_data_values = 6;
+  options.edge_percent = 25;
+  options.seed = 7;
+  DataGraph g = RandomDataGraph(options);
+  BinaryRelation s = RandomRelation(g.NumNodes(), 30, 11);
+  std::string relation_text = WriteRelationText(g, s);
+  service_.registry().Register("hard", std::move(g));
+
+  JsonValue::Object request;
+  request.emplace_back("cmd", "check");
+  request.emplace_back("graph", "hard");
+  request.emplace_back("checker", "krem");
+  request.emplace_back("k", 3.0);
+  request.emplace_back("relation", relation_text);
+  // 4 MiB: enough for the assignment graph to build (~2.2 MiB of adjacency
+  // on this instance), so the budget trips mid-BFS and yields a partial
+  // verdict rather than a hard build-phase error.
+  request.emplace_back("max_bytes", 4194304.0);
+  std::string response = Call(JsonValue(std::move(request)).Serialize());
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  ASSERT_TRUE(parsed.value().Find("ok")->AsBool()) << response;
+  EXPECT_EQ(parsed.value().GetString("verdict").ValueOrDie(),
+            "budget exhausted")
+      << response;
+  const JsonValue* partial = parsed.value().Find("partial");
+  ASSERT_NE(partial, nullptr) << response;
+  EXPECT_EQ(partial->GetString("stage").ValueOrDie(), "krem-bfs");
+  EXPECT_GT(partial->GetInt("tuples_explored").ValueOrDie(), 0);
+  EXPECT_GE(partial->GetInt("bytes_peak").ValueOrDie(), 4194304);
+}
+
+TEST_F(ServeTest, NegativeBudgetIsRejected) {
+  service_.registry().Register("fig1", Figure1Graph());
+  std::string response = Call(
+      R"({"cmd":"eval","graph":"fig1","language":"rpq","query":"a",)"
+      R"("max_bytes":-1})");
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+  EXPECT_NE(response.find("max_bytes"), std::string::npos) << response;
+}
+
+/// A service behind a deliberately tiny admission gate — one slot, no wait
+/// queue — plus a hard instance to hold that slot for a while.
+class ServeOverloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServiceOptions options;
+    options.admission.max_concurrent = 1;
+    options.admission.max_queue = 0;
+    options.admission.retry_after_ms = 25;
+    service_ = std::make_unique<QueryService>(options);
+    server_ = std::make_unique<Server>(service_.get());
+    ASSERT_TRUE(server_->Start(0).ok());
+
+    service_->registry().Register("fig1", Figure1Graph());
+    RandomGraphOptions graph_options;
+    graph_options.num_nodes = 12;
+    graph_options.num_labels = 2;
+    graph_options.num_data_values = 6;
+    graph_options.edge_percent = 25;
+    graph_options.seed = 7;
+    DataGraph g = RandomDataGraph(graph_options);
+    relation_text_ =
+        WriteRelationText(g, RandomRelation(g.NumNodes(), 30, 11));
+    service_->registry().Register("hard", std::move(g));
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    server_->Wait();
+  }
+
+  /// A check request that holds the admission slot for ~deadline_ms.
+  std::string SlowCheckRequest(double deadline_ms) {
+    JsonValue::Object request;
+    request.emplace_back("cmd", "check");
+    request.emplace_back("graph", "hard");
+    request.emplace_back("checker", "krem");
+    request.emplace_back("k", 3.0);
+    request.emplace_back("relation", relation_text_);
+    request.emplace_back("deadline_ms", deadline_ms);
+    return JsonValue(std::move(request)).Serialize();
+  }
+
+  /// Spins until the in-flight slow request holds the only slot.
+  bool WaitForSaturation() {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (service_->admission_stats().active >= 1) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  }
+
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<Server> server_;
+  std::string relation_text_;
+};
+
+TEST_F(ServeOverloadTest, ShedsWithRetryHintWhenSaturated) {
+  std::thread slow([this] {
+    LineClient client;
+    if (client.Connect(server_->port()).ok()) {
+      (void)client.Call(SlowCheckRequest(800.0));
+    }
+  });
+  ASSERT_TRUE(WaitForSaturation());
+
+  // A heavy request beyond the (zero-length) wait queue is shed
+  // immediately with the configured backoff hint.
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  auto shed = client.Call(
+      R"({"cmd":"eval","graph":"fig1","language":"rpq","query":"a"})");
+  ASSERT_TRUE(shed.ok()) << shed.status();
+  auto parsed = JsonValue::Parse(shed.value());
+  ASSERT_TRUE(parsed.ok()) << shed.value();
+  EXPECT_FALSE(parsed.value().Find("ok")->AsBool()) << shed.value();
+  const JsonValue* error = parsed.value().Find("error");
+  ASSERT_NE(error, nullptr) << shed.value();
+  EXPECT_EQ(error->GetString("code").ValueOrDie(), "Unavailable");
+  EXPECT_EQ(error->GetInt("retry_after_ms").ValueOrDie(), 25);
+
+  // Cheap commands bypass admission: health checks work under full load.
+  auto pong = client.Call(R"({"cmd":"ping"})");
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_NE(pong.value().find("\"pong\":true"), std::string::npos);
+  auto stats = client.Call(R"({"cmd":"stats"})");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats.value().find("\"admission\""), std::string::npos);
+
+  slow.join();
+  EXPECT_GE(service_->shed_requests(), 1u);
+  EXPECT_GE(service_->admission_stats().shed, 1u);
+}
+
+TEST_F(ServeOverloadTest, CallWithRetryRidesOutTheOverload) {
+  std::thread slow([this] {
+    LineClient client;
+    if (client.Connect(server_->port()).ok()) {
+      (void)client.Call(SlowCheckRequest(400.0));
+    }
+  });
+  ASSERT_TRUE(WaitForSaturation());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = std::chrono::milliseconds(25);
+  policy.jitter_seed = 42;
+  auto response = client.CallWithRetry(
+      R"({"cmd":"eval","graph":"fig1","language":"rpq","query":"a"})",
+      policy);
+  slow.join();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_NE(response.value().find("\"ok\":true"), std::string::npos)
+      << response.value();
+  EXPECT_GE(client.retries(), 1u);
+}
+
+TEST(ServeLimits, OversizedRequestLineIsRejected) {
+  QueryService service;
+  ServerOptions server_options;
+  server_options.max_line_bytes = 1024;
+  Server server(&service, server_options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Raw socket: LineClient always terminates its line, but this test needs
+  // an *unterminated* line that outgrows the bound.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(server.port());
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                      sizeof(address)),
+            0);
+  std::string oversized(2048, 'x');  // > max_line_bytes, no newline
+  ASSERT_EQ(::write(fd, oversized.data(), oversized.size()),
+            static_cast<ssize_t>(oversized.size()));
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      break;
+    }
+    response.append(chunk, static_cast<std::size_t>(n));
+    if (response.find('\n') != std::string::npos) {
+      break;
+    }
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("request_too_large"), std::string::npos)
+      << response;
+
+  // The limit is per-connection, not per-server: the next client is fine.
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  auto pong = client.Call(R"({"cmd":"ping"})");
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_NE(pong.value().find("\"pong\":true"), std::string::npos);
+
+  server.Stop();
+  server.Wait();
 }
 
 TEST_F(ServeTest, ShutdownCommandStopsServer) {

@@ -28,9 +28,24 @@ namespace {
 
 using namespace gqd;
 
+/// Failure exit codes, keyed by status code so scripts can tell resource
+/// exhaustion from deadlines from overload (documented in Usage()).
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      return 4;
+    case StatusCode::kDeadlineExceeded:  // also covers cancellation
+      return 5;
+    case StatusCode::kUnavailable:
+      return 6;
+    default:
+      return 1;
+  }
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return ExitCodeFor(status);
 }
 
 int Usage() {
@@ -39,13 +54,16 @@ int Usage() {
       "usage:\n"
       "  gqd eval <graph> <regex|rem|ree> <expression> [--explain u v]"
       " [--preflight]\n"
+      "           [--max-bytes N] [--max-tuples N]\n"
       "  gqd check <graph> <relation> [--language all|rpq|rem|ree|ucrdpq]"
       " [--k N]\n"
       "            [--threads N] [--engine kernel|reference]"
       " [--max-tuples N]\n"
+      "            [--max-bytes N]\n"
       "  gqd synth <graph> <relation> --language rpq|rem|ree [--k N]"
       " [--simplify]\n"
-      "            [--threads N] [--engine kernel|reference]\n"
+      "            [--threads N] [--engine kernel|reference]"
+      " [--max-bytes N]\n"
       "  gqd convert <regex|ree> <expression>\n"
       "  gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]"
       " [--no-notes]\n"
@@ -53,7 +71,21 @@ int Usage() {
       "  gqd info <graph> [--dot|--json]\n"
       "  gqd serve [--port N] [--threads N] [--cache N] [--graph <file>]..."
       "\n"
-      "  gqd bench-serve [--port N] [--clients C] [--requests R] [--json]\n");
+      "            [--max-concurrent N] [--max-queue N] [--retry-after-ms N]"
+      "\n"
+      "            [--max-line-bytes N]\n"
+      "  gqd bench-serve [--port N] [--clients C] [--requests R] [--json]\n"
+      "                  [--max-concurrent N] [--max-queue N] [--retry]\n"
+      "\n"
+      "resource governance:\n"
+      "  --max-bytes / --max-tuples cap accounted memory and materialized\n"
+      "  tuples; an exceeded budget stops the search cleanly and reports\n"
+      "  partial progress instead of exhausting host memory.\n"
+      "\n"
+      "exit codes:\n"
+      "  0 success      1 error          2 usage\n"
+      "  3 not definable (synth)         4 resource budget exhausted\n"
+      "  5 deadline exceeded/cancelled   6 server unavailable (overload)\n");
   return 2;
 }
 
@@ -87,6 +119,39 @@ bool HasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Emplaces a ResourceBudget from --max-bytes (and, when
+/// `tuples_axis` is set, --max-tuples); leaves `*budget` empty when
+/// neither flag is present.
+void BudgetFromFlags(int argc, char** argv,
+                     std::optional<ResourceBudget>* budget,
+                     bool tuples_axis) {
+  const char* max_bytes_flag = FlagValue(argc, argv, "--max-bytes");
+  std::uint64_t max_bytes =
+      max_bytes_flag != nullptr ? std::strtoull(max_bytes_flag, nullptr, 10)
+                                : 0;
+  std::uint64_t max_tuples = 0;
+  if (tuples_axis) {
+    const char* max_tuples_flag = FlagValue(argc, argv, "--max-tuples");
+    if (max_tuples_flag != nullptr) {
+      max_tuples = std::strtoull(max_tuples_flag, nullptr, 10);
+    }
+  }
+  if (max_bytes > 0 || max_tuples > 0) {
+    budget->emplace(max_bytes, max_tuples);
+  }
+}
+
+/// Prints a checker's partial-progress report (budget trips) to stderr and
+/// reports whether one was present — the caller exits 4 in that case.
+bool ReportPartial(const std::optional<PartialProgress>& partial) {
+  if (!partial.has_value()) {
+    return false;
+  }
+  std::fprintf(stderr, "partial progress: %s\n",
+               PartialProgressToString(*partial).c_str());
+  return true;
+}
+
 int CmdEval(int argc, char** argv) {
   if (argc < 3) {
     return Usage();
@@ -103,6 +168,12 @@ int CmdEval(int argc, char** argv) {
     return preflight ? PreflightPathExpression(graph.value(), expression)
                      : Status::OK();
   };
+  // Optional resource budget; an exceeded budget exits 4 with a
+  // ResourceExhausted error instead of exhausting host memory.
+  std::optional<ResourceBudget> budget;
+  BudgetFromFlags(argc - 3, argv + 3, &budget, /*tuples_axis=*/true);
+  EvalOptions eval_options;
+  eval_options.budget = budget.has_value() ? &budget.value() : nullptr;
   BinaryRelation result(graph.value().NumNodes());
   if (language == "regex") {
     auto e = ParseRegex(text);
@@ -113,7 +184,11 @@ int CmdEval(int argc, char** argv) {
     if (!admitted.ok()) {
       return Fail(admitted);
     }
-    result = EvaluateRpq(graph.value(), e.value());
+    auto evaluated = EvaluateRpq(graph.value(), e.value(), eval_options);
+    if (!evaluated.ok()) {
+      return Fail(evaluated.status());
+    }
+    result = std::move(evaluated).value();
   } else if (language == "rem") {
     auto e = ParseRem(text);
     if (!e.ok()) {
@@ -123,7 +198,11 @@ int CmdEval(int argc, char** argv) {
     if (!admitted.ok()) {
       return Fail(admitted);
     }
-    result = EvaluateRem(graph.value(), e.value());
+    auto evaluated = EvaluateRem(graph.value(), e.value(), eval_options);
+    if (!evaluated.ok()) {
+      return Fail(evaluated.status());
+    }
+    result = std::move(evaluated).value();
   } else if (language == "ree") {
     auto e = ParseRee(text);
     if (!e.ok()) {
@@ -133,7 +212,11 @@ int CmdEval(int argc, char** argv) {
     if (!admitted.ok()) {
       return Fail(admitted);
     }
-    result = EvaluateRee(graph.value(), e.value());
+    auto evaluated = EvaluateRee(graph.value(), e.value(), eval_options);
+    if (!evaluated.ok()) {
+      return Fail(evaluated.status());
+    }
+    result = std::move(evaluated).value();
   } else {
     return Usage();
   }
@@ -225,7 +308,18 @@ int CmdCheck(int argc, char** argv) {
     krem_options.max_tuples = std::strtoul(max_tuples_flag, nullptr, 10);
     ree_options.max_monoid_size = krem_options.max_tuples;
   }
+  // --max-bytes attaches a byte budget: a trip stops the checker with
+  // verdict budget-exhausted plus a partial-progress report, and exit 4.
+  std::optional<ResourceBudget> budget;
+  BudgetFromFlags(argc, argv, &budget, /*tuples_axis=*/false);
+  const ResourceBudget* budget_ptr =
+      budget.has_value() ? &budget.value() : nullptr;
+  krem_options.budget = budget_ptr;
+  ree_options.budget = budget_ptr;
+  UcrdpqDefinabilityOptions ucrdpq_options;
+  ucrdpq_options.csp.budget = budget_ptr;
 
+  int exit_code = 0;
   auto print = [](const char* name, DefinabilityVerdict verdict) {
     std::printf("%-10s %s\n", name, DefinabilityVerdictToString(verdict));
   };
@@ -236,6 +330,9 @@ int CmdCheck(int argc, char** argv) {
       return Fail(r.status());
     }
     print("rpq", r.value().verdict);
+    if (ReportPartial(r.value().partial)) {
+      exit_code = 4;
+    }
   }
   if (language == "all" || language == "rem") {
     auto r = CheckKRemDefinability(graph.value(), relation.value(), k,
@@ -245,6 +342,9 @@ int CmdCheck(int argc, char** argv) {
     }
     std::printf("rem(k=%zu) %s\n", k,
                 DefinabilityVerdictToString(r.value().verdict));
+    if (ReportPartial(r.value().partial)) {
+      exit_code = 4;
+    }
   }
   if (language == "all" || language == "ree") {
     auto r = CheckReeDefinability(graph.value(), relation.value(),
@@ -253,15 +353,22 @@ int CmdCheck(int argc, char** argv) {
       return Fail(r.status());
     }
     print("ree", r.value().verdict);
+    if (ReportPartial(r.value().partial)) {
+      exit_code = 4;
+    }
   }
   if (language == "all" || language == "ucrdpq") {
-    auto r = CheckUcrdpqDefinability(graph.value(), relation.value());
+    auto r = CheckUcrdpqDefinability(graph.value(), relation.value(),
+                                     ucrdpq_options);
     if (!r.ok()) {
       return Fail(r.status());
     }
     print("ucrdpq", r.value().verdict);
+    if (ReportPartial(r.value().partial)) {
+      exit_code = 4;
+    }
   }
-  return 0;
+  return exit_code;
 }
 
 int CmdSynth(int argc, char** argv) {
@@ -301,6 +408,14 @@ int CmdSynth(int argc, char** argv) {
       return Usage();
     }
   }
+  // Budget governs the definability search inside synthesis; a trip
+  // surfaces as verdict budget-exhausted, i.e. "no query synthesized".
+  std::optional<ResourceBudget> budget;
+  BudgetFromFlags(argc, argv, &budget, /*tuples_axis=*/false);
+  const ResourceBudget* budget_ptr =
+      budget.has_value() ? &budget.value() : nullptr;
+  krem_options.budget = budget_ptr;
+  ree_options.budget = budget_ptr;
 
   if (language == "rpq") {
     auto q = SynthesizeRpqQuery(graph.value(), relation.value(),
@@ -512,6 +627,28 @@ int CmdServe(int argc, char** argv) {
   if (cache_flag != nullptr) {
     options.cache_capacity = std::strtoul(cache_flag, nullptr, 10);
   }
+  // Load shedding: --max-concurrent enables the admission gate,
+  // --max-queue bounds the wait line behind it (excess requests get an
+  // Unavailable error with a --retry-after-ms hint).
+  const char* max_concurrent_flag = FlagValue(argc, argv, "--max-concurrent");
+  if (max_concurrent_flag != nullptr) {
+    options.admission.max_concurrent =
+        std::strtoul(max_concurrent_flag, nullptr, 10);
+  }
+  const char* max_queue_flag = FlagValue(argc, argv, "--max-queue");
+  if (max_queue_flag != nullptr) {
+    options.admission.max_queue = std::strtoul(max_queue_flag, nullptr, 10);
+  }
+  const char* retry_after_flag = FlagValue(argc, argv, "--retry-after-ms");
+  if (retry_after_flag != nullptr) {
+    options.admission.retry_after_ms =
+        static_cast<std::int64_t>(std::strtoul(retry_after_flag, nullptr, 10));
+  }
+  ServerOptions server_options;
+  const char* max_line_flag = FlagValue(argc, argv, "--max-line-bytes");
+  if (max_line_flag != nullptr) {
+    server_options.max_line_bytes = std::strtoul(max_line_flag, nullptr, 10);
+  }
   QueryService service(options);
   // Preload every --graph file under its basename.
   for (int i = 0; i + 1 < argc; i++) {
@@ -534,7 +671,7 @@ int CmdServe(int argc, char** argv) {
                            ? static_cast<std::uint16_t>(
                                  std::strtoul(port_flag, nullptr, 10))
                            : 7878;
-  Server server(&service);
+  Server server(&service, server_options);
   Status started = server.Start(port);
   if (!started.ok()) {
     return Fail(started);
@@ -551,6 +688,10 @@ int CmdBenchServe(int argc, char** argv) {
   const char* clients_flag = FlagValue(argc, argv, "--clients");
   const char* requests_flag = FlagValue(argc, argv, "--requests");
   bool json = HasFlag(argc, argv, "--json");
+  // Overload mode: --max-concurrent/--max-queue configure the self-hosted
+  // server's admission gate; --retry makes clients use CallWithRetry so
+  // shed requests back off and complete instead of counting as errors.
+  bool retry = HasFlag(argc, argv, "--retry");
   std::size_t num_clients =
       clients_flag != nullptr ? std::strtoul(clients_flag, nullptr, 10) : 4;
   std::size_t requests_per_client =
@@ -561,7 +702,18 @@ int CmdBenchServe(int argc, char** argv) {
   }
 
   // Self-host unless pointed at a running server.
-  QueryService service{ServiceOptions{}};
+  ServiceOptions service_options;
+  const char* max_concurrent_flag = FlagValue(argc, argv, "--max-concurrent");
+  if (max_concurrent_flag != nullptr) {
+    service_options.admission.max_concurrent =
+        std::strtoul(max_concurrent_flag, nullptr, 10);
+  }
+  const char* max_queue_flag = FlagValue(argc, argv, "--max-queue");
+  if (max_queue_flag != nullptr) {
+    service_options.admission.max_queue =
+        std::strtoul(max_queue_flag, nullptr, 10);
+  }
+  QueryService service{service_options};
   Server server(&service);
   std::uint16_t port;
   if (port_flag != nullptr) {
@@ -604,6 +756,8 @@ int CmdBenchServe(int argc, char** argv) {
 
   std::vector<std::vector<std::uint64_t>> latencies_us(num_clients);
   std::vector<std::size_t> errors(num_clients, 0);
+  std::vector<std::size_t> shed(num_clients, 0);
+  std::vector<std::uint64_t> retries(num_clients, 0);
   std::vector<std::thread> clients;
   auto bench_start = std::chrono::steady_clock::now();
   for (std::size_t c = 0; c < num_clients; c++) {
@@ -613,6 +767,8 @@ int CmdBenchServe(int argc, char** argv) {
         errors[c] = requests_per_client;
         return;
       }
+      RetryPolicy policy;
+      policy.jitter_seed = c;
       latencies_us[c].reserve(requests_per_client);
       for (std::size_t i = 0; i < requests_per_client; i++) {
         const BenchQuery& query = kQueries[(c + i) % kNumQueries];
@@ -623,16 +779,27 @@ int CmdBenchServe(int argc, char** argv) {
         request.emplace_back("query", query.text);
         std::string line = JsonValue(std::move(request)).Serialize();
         auto start = std::chrono::steady_clock::now();
-        auto response = client.Call(line);
+        auto response = retry ? client.CallWithRetry(line, policy)
+                              : client.Call(line);
         auto elapsed = std::chrono::steady_clock::now() - start;
         latencies_us[c].push_back(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
                 .count()));
-        if (!response.ok() ||
-            response.value().find("\"ok\":true") == std::string::npos) {
+        if (!response.ok()) {
           errors[c]++;
+        } else if (response.value().find("\"ok\":true") ==
+                   std::string::npos) {
+          // Without --retry a load-shed response is expected degradation,
+          // tallied separately from hard errors.
+          if (response.value().find("\"code\":\"Unavailable\"") !=
+              std::string::npos) {
+            shed[c]++;
+          } else {
+            errors[c]++;
+          }
         }
       }
+      retries[c] = client.retries();
     });
   }
   for (std::thread& client : clients) {
@@ -643,9 +810,13 @@ int CmdBenchServe(int argc, char** argv) {
 
   std::vector<std::uint64_t> all;
   std::size_t total_errors = 0;
+  std::size_t total_shed = 0;
+  std::uint64_t total_retries = 0;
   for (std::size_t c = 0; c < num_clients; c++) {
     all.insert(all.end(), latencies_us[c].begin(), latencies_us[c].end());
     total_errors += errors[c];
+    total_shed += shed[c];
+    total_retries += retries[c];
   }
   std::sort(all.begin(), all.end());
   auto percentile = [&](double p) -> std::uint64_t {
@@ -671,10 +842,12 @@ int CmdBenchServe(int argc, char** argv) {
   if (json) {
     std::printf(
         "{\"clients\":%zu,\"requests\":%zu,\"errors\":%zu,"
+        "\"shed\":%zu,\"retries\":%llu,"
         "\"wall_ms\":%.3f,\"throughput_rps\":%.1f,"
         "\"latency_us\":{\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,"
         "\"max\":%llu}}\n",
-        num_clients, all.size(), total_errors, wall_ms, throughput,
+        num_clients, all.size(), total_errors, total_shed,
+        static_cast<unsigned long long>(total_retries), wall_ms, throughput,
         static_cast<unsigned long long>(percentile(0.50)),
         static_cast<unsigned long long>(percentile(0.90)),
         static_cast<unsigned long long>(percentile(0.99)),
@@ -682,7 +855,9 @@ int CmdBenchServe(int argc, char** argv) {
             all.empty() ? 0 : all.back()));
   } else {
     std::printf("clients:     %zu\n", num_clients);
-    std::printf("requests:    %zu (%zu errors)\n", all.size(), total_errors);
+    std::printf("requests:    %zu (%zu errors, %zu shed, %llu retries)\n",
+                all.size(), total_errors, total_shed,
+                static_cast<unsigned long long>(total_retries));
     std::printf("wall time:   %.1f ms\n", wall_ms);
     std::printf("throughput:  %.1f req/s\n", throughput);
     std::printf("latency p50: %llu us\n",
