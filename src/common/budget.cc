@@ -2,6 +2,20 @@
 
 namespace gqd {
 
+const char* BudgetAxisName(BudgetAxis axis) {
+  switch (axis) {
+    case BudgetAxis::kBytes:
+      return "bytes";
+    case BudgetAxis::kTuples:
+      return "tuples";
+    case BudgetAxis::kWall:
+      return "wall";
+    case BudgetAxis::kNone:
+      break;
+  }
+  return "none";
+}
+
 std::string PartialProgressToString(const PartialProgress& progress) {
   std::string out = "stage=";
   out += progress.stage.empty() ? "unknown" : progress.stage;

@@ -34,6 +34,12 @@
 
 namespace gqd {
 
+/// Which limit a ResourceBudget ran into. kNone while within budget.
+enum class BudgetAxis { kNone, kBytes, kTuples, kWall };
+
+/// Metric-label-friendly name: "bytes", "tuples", "wall", or "none".
+const char* BudgetAxisName(BudgetAxis axis);
+
 /// Snapshot of how far a budgeted search got before exhaustion. Attached to
 /// checker results (and serialized into serve error responses / CLI output)
 /// so a caller can distinguish "barely started" from "almost done".
@@ -139,6 +145,22 @@ class ResourceBudget {
           std::to_string(max_tuples_) + " tuples)");
     }
     return Status::ResourceExhausted("wall-clock budget exhausted");
+  }
+
+  /// The axis that tripped the budget (kNone while within budget). When
+  /// several axes are simultaneously over, reports them in the same
+  /// priority order as Check(): bytes, then tuples, then wall.
+  BudgetAxis TrippedAxis() const {
+    if (!Exhausted()) {
+      return BudgetAxis::kNone;
+    }
+    if (max_bytes_ != 0 && bytes_used() > max_bytes_) {
+      return BudgetAxis::kBytes;
+    }
+    if (max_tuples_ != 0 && tuples_used() > max_tuples_) {
+      return BudgetAxis::kTuples;
+    }
+    return BudgetAxis::kWall;
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/failpoint.h"
+#include "obs/trace.h"
 
 namespace gqd {
 
@@ -51,6 +52,7 @@ Result<AssignmentGraph> AssignmentGraph::Build(const DataGraph& graph,
         "assignment graphs support at most k = 4 registers (got k = " +
         std::to_string(k) + ")");
   }
+  GQD_TRACE_SPAN(span, "krem.assignment_graph_build");
   AssignmentGraph ag;
   ag.k_ = k;
   ag.num_nodes_ = graph.NumNodes();
@@ -100,6 +102,8 @@ Result<AssignmentGraph> AssignmentGraph::Build(const DataGraph& graph,
     ag.kernel_words_.assign(num_rows * row_words, 0);
     ag.kernel_patterns_.assign(masks * ag.num_labels_ * ag.num_states_, 0);
   }
+  GQD_TRACE_SPAN_ATTR(span, "states", ag.num_states_);
+  GQD_TRACE_SPAN_ATTR(span, "kernel", build_kernel ? 1 : 0);
 
   std::uint32_t budget_ticks = 0;
   for (AgState s = 0; s < ag.num_states_; s++) {

@@ -11,6 +11,7 @@
 
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace gqd {
 
@@ -426,6 +427,8 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
 
   // Initial tuple: Q_i = {(v_i, ⊥^k)} — the ε expression (zero blocks).
   {
+    GQD_TRACE_SPAN(span, "krem.arena_init");
+    GQD_TRACE_SPAN_ATTR(span, "tuple_words", tuple_words);
     std::vector<std::uint64_t> initial(tuple_words, 0);
     for (NodeId v = 0; v < n; v++) {
       AgState s = ag.InitialState(v);
@@ -525,6 +528,34 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
         "injected tuple-store growth failure (failpoint krem.arena.grow)");
   };
 
+  // Whole-search span plus one child span per BFS generation (= frontier
+  // level). Generation boundaries are tracked by head index: when `head`
+  // crosses the store size snapshotted at the previous boundary, every
+  // tuple of the previous frontier has been expanded and merged, so the
+  // store size at that instant is the next boundary. Declared after any
+  // early-return state so the generation span closes before the search
+  // span on every exit path.
+  std::optional<Span> bfs_span(std::in_place, "krem.bfs");
+  std::size_t bfs_generation = 0;
+  std::size_t generation_end = tuples.size();
+  std::optional<Span> gen_span;
+  auto advance_generation_span = [&](std::size_t at_head) {
+    if (Tracer::Current() == nullptr) {
+      return;
+    }
+    if (gen_span.has_value() && at_head < generation_end) {
+      return;
+    }
+    if (gen_span.has_value()) {
+      gen_span->AddAttr("tuples", tuples.size());
+      gen_span.reset();
+      bfs_generation++;
+      generation_end = tuples.size();
+    }
+    gen_span.emplace("krem.bfs_generation");
+    gen_span->AddAttr("generation", bfs_generation);
+  };
+
   std::size_t head = 0;
   while (head < tuples.size() && unsolved > 0) {
     if (tuples.fault()) {
@@ -548,34 +579,47 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
       std::mutex done_mutex;
       std::condition_variable done_cv;
       std::size_t remaining = num_workers;
-      for (std::size_t w = 0; w < num_workers; w++) {
-        pool->Submit([&generator, &scratch, &tuples, &done_mutex, &done_cv,
-                      &remaining, &ag, head, batch, num_workers, num_blocks,
-                      w] {
-          for (std::size_t b = w; b < batch; b += num_workers) {
-            const std::uint64_t* words = tuples.TupleAt(head + b);
-            for (std::size_t t = 0; t < num_blocks; t++) {
-              generator.Generate(
-                  words, static_cast<std::uint32_t>(t / ag.num_labels()),
-                  static_cast<LabelId>(t % ag.num_labels()),
-                  &scratch[b * num_blocks + t]);
-            }
-          }
-          // Notify while holding the lock: the waiter owns these locals
-          // and destroys them the moment it observes remaining == 0.
-          std::lock_guard<std::mutex> lock(done_mutex);
-          remaining--;
-          done_cv.notify_one();
-        });
-      }
+      advance_generation_span(head);
+      // Pool workers do not inherit this thread's tracer; each task
+      // re-installs it so generation work shows up one track per worker.
+      Tracer* tracer = Tracer::Current();
       {
-        std::unique_lock<std::mutex> lock(done_mutex);
-        done_cv.wait(lock, [&remaining] { return remaining == 0; });
+        GQD_TRACE_SPAN(batch_span, "krem.generate_batch");
+        GQD_TRACE_SPAN_ATTR(batch_span, "heads", batch);
+        GQD_TRACE_SPAN_ATTR(batch_span, "workers", num_workers);
+        for (std::size_t w = 0; w < num_workers; w++) {
+          pool->Submit([&generator, &scratch, &tuples, &done_mutex, &done_cv,
+                        &remaining, &ag, head, batch, num_workers, num_blocks,
+                        tracer, w] {
+            Tracer::Scope scope(tracer);
+            GQD_TRACE_SPAN(worker_span, "krem.worker_generate");
+            GQD_TRACE_SPAN_ATTR(worker_span, "worker", w);
+            for (std::size_t b = w; b < batch; b += num_workers) {
+              const std::uint64_t* words = tuples.TupleAt(head + b);
+              for (std::size_t t = 0; t < num_blocks; t++) {
+                generator.Generate(
+                    words, static_cast<std::uint32_t>(t / ag.num_labels()),
+                    static_cast<LabelId>(t % ag.num_labels()),
+                    &scratch[b * num_blocks + t]);
+              }
+            }
+            // Notify while holding the lock: the waiter owns these locals
+            // and destroys them the moment it observes remaining == 0.
+            std::lock_guard<std::mutex> lock(done_mutex);
+            remaining--;
+            done_cv.notify_one();
+          });
+        }
+        {
+          std::unique_lock<std::mutex> lock(done_mutex);
+          done_cv.wait(lock, [&remaining] { return remaining == 0; });
+        }
       }
       if (options.cancel != nullptr && options.cancel->Expired()) {
         return options.cancel->Check();
       }
       for (std::size_t b = 0; b < batch && unsolved > 0; b++, head++) {
+        advance_generation_span(head);
         if (tuples.fault()) {
           return injected_fault();
         }
@@ -587,6 +631,8 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
           result.tuples_explored = tuples.size();
           return result;
         }
+        GQD_TRACE_SPAN(merge_span, "krem.merge");
+        GQD_TRACE_SPAN_ATTR(merge_span, "head", head);
         for (std::size_t t = 0; t < num_blocks && unsolved > 0; t++) {
           merge_block(scratch[b * num_blocks + t],
                       static_cast<std::uint32_t>(t / ag.num_labels()),
@@ -594,6 +640,7 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
         }
       }
     } else {
+      advance_generation_span(head);
       for (std::uint32_t mask = 0;
            mask < ag.num_store_masks() && unsolved > 0; mask++) {
         for (LabelId label = 0; label < ag.num_labels() && unsolved > 0;
@@ -611,6 +658,17 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
       head++;
     }
   }
+
+  if (gen_span.has_value()) {
+    gen_span->AddAttr("tuples", tuples.size());
+    gen_span.reset();
+  }
+  bfs_span->AddAttr("tuples_explored", tuples.size());
+  bfs_span->AddAttr("frontier_depth", bfs_generation);
+  if (options.budget != nullptr) {
+    bfs_span->AddAttr("bytes_peak", options.budget->bytes_peak());
+  }
+  bfs_span.reset();
 
   if (tuples.fault()) {
     return injected_fault();

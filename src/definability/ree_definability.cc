@@ -5,6 +5,7 @@
 
 #include "common/failpoint.h"
 #include "definability/small_relation.h"
+#include "obs/trace.h"
 
 namespace gqd {
 
@@ -90,6 +91,9 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
   std::size_t max_levels =
       options.max_levels > 0 ? options.max_levels : num_nodes * num_nodes;
   ReeDefinabilityResult result;
+  GQD_TRACE_SPAN(algorithm_span, "ree.level_algorithm");
+  GQD_TRACE_SPAN_ATTR(algorithm_span, "nodes", num_nodes);
+  GQD_TRACE_SPAN_ATTR(algorithm_span, "labels", num_labels);
 
   // The monoid: distinct relations, each with one derivation recipe. The
   // interner is open-addressed over stored hashes — probes compare against
@@ -166,6 +170,8 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
   bool injected = false;
   bool budget_tripped = false;
   auto close = [&]() -> bool {
+    GQD_TRACE_SPAN(round_span, "ree.closure_round");
+    GQD_TRACE_SPAN_ATTR(round_span, "elements_before", elements.size());
     if (GQD_FAILPOINT_FIRED(fp_ree_closure)) {
       injected = true;
       return false;
@@ -227,6 +233,8 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
     return closure_failure();
   }
   for (std::size_t level = 0; level < max_levels; level++) {
+    GQD_TRACE_SPAN(level_span, "ree.level");
+    GQD_TRACE_SPAN_ATTR(level_span, "level", level);
     std::size_t before = elements.size();
     for (std::size_t i = 0; i < before; i++) {
       if (GQD_CANCEL_STRIDE_CHECK(options.cancel, ticks)) {
@@ -257,8 +265,11 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
     }
   }
   result.monoid_size = elements.size();
+  GQD_TRACE_SPAN_ATTR(algorithm_span, "monoid_size", elements.size());
+  GQD_TRACE_SPAN_ATTR(algorithm_span, "levels_used", result.levels_used);
 
   // Decision (Lemma 30) + greedy synthesis.
+  GQD_TRACE_SPAN(synthesis_span, "ree.synthesize");
   Rel covered = ops.Empty();
   std::vector<std::size_t> cover;
   for (std::size_t i = 0; i < elements.size(); i++) {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace gqd {
 
 namespace {
@@ -13,7 +15,9 @@ namespace {
 /// the empty subset is reachable.
 std::optional<std::vector<LabelId>> FindKillingWord(
     const DataGraph& graph, std::size_t max_subsets) {
+  GQD_TRACE_SPAN(span, "rpq.killing_word");
   std::size_t n = graph.NumNodes();
+  GQD_TRACE_SPAN_ATTR(span, "nodes", n);
   DynamicBitset start(n);
   for (NodeId v = 0; v < n; v++) {
     start.Set(v);

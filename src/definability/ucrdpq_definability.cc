@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/failpoint.h"
+#include "obs/trace.h"
 
 namespace gqd {
 
@@ -52,8 +53,17 @@ Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
     return result;
   }
 
+  GQD_TRACE_SPAN(search_span, "ucrdpq.search");
+  GQD_TRACE_SPAN_ATTR(search_span, "tuples", relation.size());
+  GQD_TRACE_SPAN_ATTR(search_span, "arity", relation.arity());
   // Build the homomorphism CSP once; each seed re-pins a copy.
-  Csp base_csp = BuildHomomorphismCsp(graph);
+  Csp base_csp;
+  {
+    GQD_TRACE_SPAN(build_span, "ucrdpq.build_csp");
+    base_csp = BuildHomomorphismCsp(graph);
+    GQD_TRACE_SPAN_ATTR(build_span, "variables", base_csp.num_variables);
+    GQD_TRACE_SPAN_ATTR(build_span, "constraints", base_csp.constraints.size());
+  }
   std::vector<std::pair<NodeId, NodeId>> pins;
   for (const NodeTuple& source : relation.tuples()) {
     NodeTuple image(relation.arity(), 0);
@@ -74,6 +84,8 @@ Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
             "injected seeded-search failure (failpoint ucrdpq.search)");
       }
       result.seeds_tried++;
+      GQD_TRACE_SPAN(seed_span, "ucrdpq.seed");
+      GQD_TRACE_SPAN_ATTR(seed_span, "seed", result.seeds_tried);
       Csp csp = base_csp;
       bool wiped = false;
       for (const auto& [node, pinned] : pins) {

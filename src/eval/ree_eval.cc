@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace gqd {
 
 namespace {
@@ -82,12 +84,16 @@ Result<BinaryRelation> EvaluateReeImpl(const DataGraph& graph,
 }  // namespace
 
 BinaryRelation EvaluateRee(const DataGraph& graph, const ReePtr& expression) {
+  GQD_TRACE_SPAN(span, "eval.ree");
+  GQD_TRACE_SPAN_ATTR(span, "nodes", graph.NumNodes());
   return EvaluateReeImpl(graph, expression, nullptr, nullptr).ValueOrDie();
 }
 
 Result<BinaryRelation> EvaluateRee(const DataGraph& graph,
                                    const ReePtr& expression,
                                    const EvalOptions& options) {
+  GQD_TRACE_SPAN(span, "eval.ree");
+  GQD_TRACE_SPAN_ATTR(span, "nodes", graph.NumNodes());
   return EvaluateReeImpl(graph, expression, options.cancel, options.budget);
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "rem/register_automaton.h"
 
 namespace gqd {
@@ -60,11 +61,14 @@ Result<BinaryRelation> EvaluateRemImpl(const DataGraph& graph,
                                        const RemPtr& expression,
                                        const CancelToken* cancel,
                                        const ResourceBudget* budget) {
+  GQD_TRACE_SPAN(span, "eval.rem");
   StringInterner labels = graph.labels();
   RegisterAutomaton ra =
       CompileRem(expression, &labels, /*intern_new_labels=*/false);
   std::size_t n = graph.NumNodes();
   AssignmentCodec codec(ra.num_registers, graph.NumDataValues());
+  GQD_TRACE_SPAN_ATTR(span, "nodes", n);
+  GQD_TRACE_SPAN_ATTR(span, "registers", ra.num_registers);
   BinaryRelation result(n);
   std::uint32_t ticks = 0;
   std::uint32_t budget_ticks = 0;

@@ -3,6 +3,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace.h"
 #include "regex/nfa.h"
 
 namespace gqd {
@@ -15,12 +16,15 @@ Result<BinaryRelation> EvaluateRpqImpl(const DataGraph& graph,
                                        const RegexPtr& regex,
                                        const CancelToken* cancel,
                                        const ResourceBudget* budget) {
+  GQD_TRACE_SPAN(span, "eval.rpq");
   // The graph's interner is const; compile against a copy so unknown regex
   // letters stay unknown (dead) without mutating the graph.
   StringInterner labels = graph.labels();
   Nfa nfa = CompileRegex(regex, &labels, /*intern_new_labels=*/false);
 
   std::size_t n = graph.NumNodes();
+  GQD_TRACE_SPAN_ATTR(span, "nodes", n);
+  GQD_TRACE_SPAN_ATTR(span, "nfa_states", nfa.num_states);
   BinaryRelation result(n);
   std::uint32_t ticks = 0;
   std::uint32_t budget_ticks = 0;

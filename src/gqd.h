@@ -17,6 +17,11 @@
 #include "common/json_util.h"  // IWYU pragma: export
 #include "common/status.h"     // IWYU pragma: export
 
+// Observability: span tracing and metrics.
+#include "obs/export.h"   // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export
+
 // Data graphs and relations.
 #include "graph/data_graph.h"     // IWYU pragma: export
 #include "graph/data_path.h"      // IWYU pragma: export

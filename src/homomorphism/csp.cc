@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/failpoint.h"
+#include "obs/trace.h"
 
 namespace gqd {
 
@@ -253,6 +254,12 @@ Result<std::optional<std::vector<std::uint32_t>>> SolveCsp(
   if (stats == nullptr) {
     stats = &local_stats;
   }
+  GQD_TRACE_SPAN(span, "csp.solve");
+  GQD_TRACE_SPAN_ATTR(span, "variables", csp.domains.size());
+  // Stats pointers are often shared across seeds; attribute only this
+  // solve's delta to the span.
+  std::size_t nodes_before = stats->nodes_expanded;
+  std::size_t props_before = stats->propagations;
   Searcher searcher(csp, options, stats);
   std::vector<std::vector<std::uint32_t>> solutions;
   searcher.all_solutions = &solutions;
@@ -263,6 +270,10 @@ Result<std::optional<std::vector<std::uint32_t>>> SolveCsp(
     return std::optional<std::vector<std::uint32_t>>();
   }
   searcher.Search(std::move(domains));
+  GQD_TRACE_SPAN_ATTR(span, "nodes_expanded",
+                      stats->nodes_expanded - nodes_before);
+  GQD_TRACE_SPAN_ATTR(span, "propagations",
+                      stats->propagations - props_before);
   if (searcher.injected && solutions.empty()) {
     return Status::ResourceExhausted(
         "injected CSP search failure (failpoint csp.search)");

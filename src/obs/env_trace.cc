@@ -1,0 +1,65 @@
+// Process-wide tracing via the GQD_TRACE_OUT environment variable.
+//
+// When GQD_TRACE_OUT names a file, a global Tracer is created at static
+// initialization, installed as the main thread's current tracer, and
+// drained to a Chrome trace-event JSON file at static destruction. This
+// gives any gqd binary — the benchmark runners in particular, whose mains
+// live in google-benchmark — trace output without code changes.
+//
+// Worker threads spawned by instrumented code pick the tracer up the same
+// way they do for scoped tracers: by capturing Tracer::Current() at submit
+// time on the main thread.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace gqd {
+namespace {
+
+struct EnvTraceHook {
+  EnvTraceHook() {
+    const char* out = std::getenv("GQD_TRACE_OUT");
+    if (out == nullptr || *out == '\0') {
+      return;
+    }
+    path = out;
+    tracer.emplace();
+    scope.emplace(&*tracer);
+  }
+
+  ~EnvTraceHook() {
+    if (!tracer.has_value()) {
+      return;
+    }
+    scope.reset();
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "gqd: cannot write GQD_TRACE_OUT=%s\n",
+                   path.c_str());
+      return;
+    }
+    file << TraceToChromeJson(tracer->Drain());
+  }
+
+  std::string path;
+  std::optional<Tracer> tracer;
+  std::optional<Tracer::Scope> scope;
+};
+
+// Constructed on the main thread during static init, destroyed after main
+// returns (all worker threads joined by then).
+EnvTraceHook g_env_trace_hook;
+
+}  // namespace
+
+// Referenced from trace.cc so this archive member — otherwise reachable
+// only through its static initializer — is never dropped at link time.
+void EnvTraceHookAnchor() {}
+
+}  // namespace gqd

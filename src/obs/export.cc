@@ -1,0 +1,142 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/json_util.h"
+
+namespace gqd {
+
+namespace {
+
+/// Nanoseconds rendered as a decimal microsecond count ("12.345"). Chrome's
+/// `ts`/`dur` fields are microseconds; emitting the three sub-microsecond
+/// digits keeps short spans distinguishable and the output deterministic.
+std::string NsToUsString(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  return buf;
+}
+
+void AppendArgsObject(const SpanRecord& span, std::string* out) {
+  out->push_back('{');
+  for (std::uint32_t a = 0; a < span.num_attrs; a++) {
+    if (a > 0) {
+      out->push_back(',');
+    }
+    *out += JsonQuote(span.attrs[a].key);
+    out->push_back(':');
+    *out += std::to_string(span.attrs[a].value);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const Tracer::DrainResult& trace) {
+  std::string out;
+  out.reserve(128 + trace.spans.size() * 128);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : trace.spans) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += "{\"name\":";
+    out += JsonQuote(span.name);
+    out += ",\"cat\":\"gqd\",\"ph\":\"X\",\"ts\":";
+    out += NsToUsString(span.start_ns);
+    out += ",\"dur\":";
+    out += NsToUsString(span.dur_ns);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(span.tid);
+    out += ",\"args\":";
+    AppendArgsObject(span, &out);
+    out.push_back('}');
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"gqdStageTotals\":{";
+  first = true;
+  for (const StageTotal& total : trace.totals) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += JsonQuote(total.name);
+    out += ":{\"count\":";
+    out += std::to_string(total.count);
+    out += ",\"total_ns\":";
+    out += std::to_string(total.total_ns);
+    out.push_back('}');
+  }
+  out += "},\"gqdDroppedSpans\":";
+  out += std::to_string(trace.dropped_spans);
+  out.push_back('}');
+  return out;
+}
+
+namespace {
+
+void AppendSpanNode(const SpanRecord& span,
+                    const std::map<std::uint64_t, std::vector<std::size_t>>&
+                        children_of,
+                    const std::vector<SpanRecord>& spans, std::string* out) {
+  *out += "{\"name\":";
+  *out += JsonQuote(span.name);
+  *out += ",\"start_us\":";
+  *out += NsToUsString(span.start_ns);
+  *out += ",\"dur_us\":";
+  *out += NsToUsString(span.dur_ns);
+  *out += ",\"tid\":";
+  *out += std::to_string(span.tid);
+  *out += ",\"args\":";
+  AppendArgsObject(span, out);
+  *out += ",\"children\":[";
+  auto it = children_of.find(span.span_id);
+  if (it != children_of.end()) {
+    bool first = true;
+    for (std::size_t child : it->second) {
+      if (!first) {
+        out->push_back(',');
+      }
+      first = false;
+      AppendSpanNode(spans[child], children_of, spans, out);
+    }
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string SpanTreeToJson(const std::vector<SpanRecord>& spans) {
+  std::map<std::uint64_t, std::vector<std::size_t>> children_of;
+  std::map<std::uint64_t, bool> present;
+  for (const SpanRecord& span : spans) {
+    present[span.span_id] = true;
+  }
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < spans.size(); i++) {
+    const SpanRecord& span = spans[i];
+    if (span.parent_id != 0 && present.count(span.parent_id) > 0) {
+      children_of[span.parent_id].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::string out = "[";
+  bool first = true;
+  for (std::size_t root : roots) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    AppendSpanNode(spans[root], children_of, spans, &out);
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace gqd

@@ -1,0 +1,33 @@
+// Trace exporters: Chrome trace-event JSON (chrome://tracing / Perfetto)
+// and a nested span-tree JSON used by the serve protocol's `trace: true`
+// per-request option.
+
+#ifndef GQD_OBS_EXPORT_H_
+#define GQD_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace gqd {
+
+/// Renders a drained trace as Chrome trace-event JSON: an object with a
+/// `traceEvents` array of complete ("ph":"X") events, one track per
+/// recording thread. Two gqd-specific extension keys ride along and are
+/// ignored by trace viewers: `gqdStageTotals` (exact per-span-name wall
+/// totals in nanoseconds, immune to ring overflow) and `gqdDroppedSpans`.
+/// Timestamps are microseconds with nanosecond precision, relative to the
+/// process trace epoch.
+std::string TraceToChromeJson(const Tracer::DrainResult& trace);
+
+/// Renders drained spans as a JSON array of root span nodes, children
+/// nested under their parents:
+///   [{"name":..., "start_us":..., "dur_us":..., "tid":...,
+///     "args":{...}, "children":[...]}, ...]
+/// A span whose parent was dropped (ring overflow) or recorded elsewhere
+/// becomes a root.
+std::string SpanTreeToJson(const std::vector<SpanRecord>& spans);
+
+}  // namespace gqd
+
+#endif  // GQD_OBS_EXPORT_H_

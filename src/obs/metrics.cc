@@ -1,0 +1,209 @@
+#include "obs/metrics.h"
+
+#include "common/failpoint.h"
+
+namespace gqd {
+
+namespace {
+
+std::size_t BucketFor(std::uint64_t value) {
+  std::size_t bucket = 0;
+  while (value > 1 && bucket + 1 < Histogram::kNumBuckets) {
+    value >>= 1;
+    bucket++;
+  }
+  return bucket;
+}
+
+/// Serialized label set used both as map key and rendered sample suffix:
+/// `{key="value",...}` with keys in the caller's order, or "" when empty.
+std::string LabelString(const MetricLabels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += key;
+    out += "=\"";
+    // Prometheus label-value escaping: backslash, double-quote, newline.
+    for (char c : value) {
+      switch (c) {
+        case '\\':
+          out += "\\\\";
+          break;
+        case '"':
+          out += "\\\"";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out.push_back(c);
+      }
+    }
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Joins a base label string with one extra label (for histogram `le`).
+std::string WithExtraLabel(const std::string& labels, const std::string& key,
+                           const std::string& value) {
+  if (labels.empty()) {
+    return "{" + key + "=\"" + value + "\"}";
+  }
+  std::string out = labels;
+  out.pop_back();  // drop '}'
+  out += "," + key + "=\"" + value + "\"}";
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Observe(std::uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::QuantileUpperBound(double quantile) const {
+  std::uint64_t total = count();
+  if (total == 0) {
+    return 0;
+  }
+  auto target = static_cast<std::uint64_t>(quantile * static_cast<double>(total));
+  if (target == 0) {
+    target = 1;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kNumBuckets; b++) {
+    cumulative += bucket(b);
+    if (cumulative >= target) {
+      return BucketUpperBound(b);
+    }
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::FindOrCreate(
+    const std::string& name, const MetricLabels& labels, Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto make = [&](Instrument* slot) {
+    slot->labels = labels;
+    switch (kind) {
+      case Kind::kCounter:
+        slot->counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        slot->gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        slot->histogram = std::make_unique<Histogram>();
+        break;
+    }
+  };
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.kind = kind;
+  } else if (family.kind != kind) {
+    orphans_.push_back(std::make_unique<Instrument>());
+    make(orphans_.back().get());
+    return orphans_.back().get();
+  }
+  auto [inst_it, inst_inserted] =
+      family.instruments.try_emplace(LabelString(labels));
+  if (inst_inserted) {
+    make(&inst_it->second);
+  }
+  return &inst_it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  return FindOrCreate(name, labels, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  return FindOrCreate(name, labels, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels) {
+  return FindOrCreate(name, labels, Kind::kHistogram)->histogram.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "counter\n";
+        break;
+      case Kind::kGauge:
+        out += "gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& [label_string, instrument] : family.instruments) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += name + label_string + " " +
+                 std::to_string(instrument.counter->value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += name + label_string + " " +
+                 std::to_string(instrument.gauge->value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *instrument.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < Histogram::kNumBuckets; b++) {
+            cumulative += h.bucket(b);
+            std::string le = b + 1 == Histogram::kNumBuckets
+                                 ? "+Inf"
+                                 : std::to_string(
+                                       Histogram::BucketUpperBound(b));
+            out += name + "_bucket" +
+                   WithExtraLabel(label_string, "le", le) + " " +
+                   std::to_string(cumulative) + "\n";
+          }
+          out += name + "_sum" + label_string + " " +
+                 std::to_string(h.sum()) + "\n";
+          out += name + "_count" + label_string + " " +
+                 std::to_string(h.count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void UpdateFailpointMetrics(MetricsRegistry* registry) {
+  FailpointRegistry& failpoints = FailpointRegistry::Instance();
+  for (const std::string& name : failpoints.SiteNames()) {
+    const FailpointSite* site = failpoints.Find(name);
+    if (site == nullptr) {
+      continue;
+    }
+    registry
+        ->GetCounter("gqd_failpoint_triggered_total", {{"site", name}})
+        ->Set(site->fired());
+    registry->GetCounter("gqd_failpoint_hits_total", {{"site", name}})
+        ->Set(site->hits());
+  }
+}
+
+}  // namespace gqd

@@ -1,0 +1,157 @@
+// Metrics registry: named counters, gauges, and log2 histograms with
+// Prometheus text exposition.
+//
+// Instruments are created (or looked up) by name plus an optional label
+// set and returned as stable pointers; updates afterwards are lock-free
+// atomics. The registry renders the whole family table in Prometheus text
+// exposition format via RenderPrometheus().
+//
+//   MetricsRegistry registry;
+//   Counter* hits = registry.GetCounter("gqd_cache_hits_total");
+//   hits->Inc();
+//   Histogram* lat = registry.GetHistogram("gqd_request_latency_us",
+//                                          {{"command", "eval"}});
+//   lat->Observe(elapsed_us);
+//
+// Histograms use log2 buckets: bucket b covers [2^b, 2^(b+1)) with bucket
+// 0 absorbing 0 and 1, matching the serving runtime's historical latency
+// histogram, plus an open-ended overflow bucket.
+
+#ifndef GQD_OBS_METRICS_H_
+#define GQD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gqd {
+
+/// Monotonically increasing counter. `Set` exists for mirroring externally
+/// accumulated monotonic totals (pool/cache snapshots) at exposition time;
+/// instrumented code paths should only ever Inc.
+class Counter {
+ public:
+  void Inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(std::uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time value.
+class Gauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative integer observations.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 23;  // 1 .. ~4M, then +Inf
+
+  void Observe(std::uint64_t value);
+
+  /// Inclusive upper bound of bucket `b`; the last bucket has no bound
+  /// (render as +Inf).
+  static std::uint64_t BucketUpperBound(std::size_t b) {
+    return (1ULL << (b + 1)) - 1;
+  }
+
+  std::uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Upper bound of the bucket where the cumulative count first reaches
+  /// `quantile` (0 < quantile <= 1) of the total; 0 when empty. Coarse by
+  /// construction — within a factor of 2.
+  std::uint64_t QuantileUpperBound(double quantile) const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One `key="value"` Prometheus label.
+using MetricLabel = std::pair<std::string, std::string>;
+using MetricLabels = std::vector<MetricLabel>;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates an instrument. Pointers remain valid for the life of
+  /// the registry. A name must keep one instrument kind; requesting the
+  /// same name as a different kind returns a distinct dummy instrument
+  /// that is never rendered (misuse stays visible in tests, not in prod).
+  Counter* GetCounter(const std::string& name, const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels = {});
+  Histogram* GetHistogram(const std::string& name,
+                          const MetricLabels& labels = {});
+
+  /// Renders every instrument in Prometheus text exposition format
+  /// (`# TYPE` comment per family, samples sorted by name then labels,
+  /// histograms as cumulative `_bucket{le=...}` plus `_sum`/`_count`).
+  std::string RenderPrometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Kind kind;
+    // Keyed by serialized label set so lookup is deterministic.
+    std::map<std::string, Instrument> instruments;
+  };
+
+  Instrument* FindOrCreate(const std::string& name, const MetricLabels& labels,
+                           Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+  // Kind-mismatched requests land here, detached from exposition.
+  std::vector<std::unique_ptr<Instrument>> orphans_;
+};
+
+/// Mirrors every registered failpoint site into `registry` as
+/// `gqd_failpoint_triggered_total{site=...}` (injected faults) and
+/// `gqd_failpoint_hits_total{site=...}` (site traversals). Pull-based:
+/// call at exposition time; the failpoint hot path stays untouched.
+void UpdateFailpointMetrics(MetricsRegistry* registry);
+
+}  // namespace gqd
+
+#endif  // GQD_OBS_METRICS_H_

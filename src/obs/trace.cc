@@ -1,0 +1,231 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+namespace gqd {
+
+// Defined in env_trace.cc. Called from the Tracer constructor so that
+// archive member — whose only entry point is a static initializer reading
+// GQD_TRACE_OUT — is never dropped when linking against libgqd_obs.a.
+void EnvTraceHookAnchor();
+
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Forces epoch initialization at static-init time (single-threaded) so the
+// first traced span does not pay for it and timestamps start near zero.
+const std::chrono::steady_clock::time_point g_epoch_anchor = TraceEpoch();
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+thread_local Tracer* tl_current_tracer = nullptr;
+
+#ifndef GQD_DISABLE_TRACING
+// Span parent bookkeeping is per-thread, not per-tracer: span ids are
+// process-unique, so a child recorded into a different tracer than its
+// parent simply fails to resolve there and renders as a root.
+thread_local std::uint64_t tl_current_span = 0;
+thread_local std::uint32_t tl_current_depth = 0;
+#endif  // GQD_DISABLE_TRACING
+
+// Ring lookup cache. Validated against the tracer's process-unique id so a
+// stale pointer to a destroyed (and possibly address-reused) tracer can
+// never be dereferenced.
+struct TlRingCache {
+  std::uint64_t tracer_id = 0;
+  void* ring = nullptr;
+};
+thread_local TlRingCache tl_ring_cache;
+
+}  // namespace
+
+struct Tracer::Ring {
+  explicit Ring(std::size_t capacity, std::uint32_t tid)
+      : capacity(capacity), tid(tid) {
+    records.reserve(std::min<std::size_t>(capacity, 1024));
+  }
+
+  const std::size_t capacity;
+  const std::uint32_t tid;
+  std::mutex mutex;  // Record (owner thread) vs Drain (any thread)
+  std::vector<SpanRecord> records;
+  std::size_t head = 0;  // oldest record once the ring has wrapped
+  bool wrapped = false;
+  std::uint64_t dropped = 0;
+  std::map<const char*, StageTotal> totals;  // keyed by literal identity
+};
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      tracer_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {
+  EnvTraceHookAnchor();
+}
+
+Tracer::~Tracer() {
+  // Threads holding a stale TlRingCache re-validate against tracer_id_
+  // before use, so nothing to invalidate eagerly here.
+}
+
+Tracer* Tracer::Current() { return tl_current_tracer; }
+
+Tracer::Scope::Scope(Tracer* tracer)
+    : installed_(tracer), previous_(tl_current_tracer) {
+  if (installed_ != nullptr) {
+    tl_current_tracer = installed_;
+  }
+}
+
+Tracer::Scope::~Scope() {
+  if (installed_ != nullptr) {
+    tl_current_tracer = previous_;
+  }
+}
+
+Tracer::Ring* Tracer::RingForThisThread() {
+  if (tl_ring_cache.tracer_id == tracer_id_) {
+    return static_cast<Ring*>(tl_ring_cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Ring>& slot = rings_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    slot = std::make_unique<Ring>(ring_capacity_, next_tid_++);
+  }
+  tl_ring_cache.tracer_id = tracer_id_;
+  tl_ring_cache.ring = slot.get();
+  return slot.get();
+}
+
+void Tracer::Record(const SpanRecord& record) {
+  Ring* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring->mutex);
+  StageTotal& total = ring->totals[record.name];
+  if (total.count == 0) {
+    total.name = record.name;
+  }
+  total.count++;
+  total.total_ns += record.dur_ns;
+  SpanRecord stamped = record;
+  stamped.tid = ring->tid;
+  if (ring->records.size() < ring->capacity) {
+    ring->records.push_back(stamped);
+    return;
+  }
+  // Full: overwrite the oldest record.
+  ring->records[ring->head] = stamped;
+  ring->head = (ring->head + 1) % ring->capacity;
+  ring->wrapped = true;
+  ring->dropped++;
+}
+
+Tracer::DrainResult Tracer::Drain() {
+  DrainResult out;
+  // Rings key totals by literal address for speed; the cross-thread merge
+  // keys by content, since identical literals in different translation
+  // units may not share an address.
+  std::map<std::string, StageTotal> merged;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [thread_id, ring] : rings_) {
+    (void)thread_id;
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    if (ring->wrapped) {
+      // Oldest first: [head, end) then [0, head).
+      out.spans.insert(out.spans.end(), ring->records.begin() + ring->head,
+                       ring->records.end());
+      out.spans.insert(out.spans.end(), ring->records.begin(),
+                       ring->records.begin() + ring->head);
+    } else {
+      out.spans.insert(out.spans.end(), ring->records.begin(),
+                       ring->records.end());
+    }
+    ring->records.clear();
+    ring->head = 0;
+    ring->wrapped = false;
+    out.dropped_spans += ring->dropped;
+    ring->dropped = 0;
+    for (auto& [name, total] : ring->totals) {
+      (void)name;
+      StageTotal& slot = merged[total.name];
+      if (slot.count == 0) {
+        slot.name = total.name;
+      }
+      slot.count += total.count;
+      slot.total_ns += total.total_ns;
+    }
+    ring->totals.clear();
+  }
+  std::sort(out.spans.begin(), out.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.span_id < b.span_id;
+            });
+  out.totals.reserve(merged.size());
+  for (auto& [name, total] : merged) {
+    (void)name;
+    out.totals.push_back(std::move(total));
+  }
+  std::sort(out.totals.begin(), out.totals.end(),
+            [](const StageTotal& a, const StageTotal& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+std::uint64_t Tracer::NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+#ifndef GQD_DISABLE_TRACING
+
+Span::Span(const char* name) : tracer_(tl_current_tracer) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  record_.name = name;
+  record_.start_ns = Tracer::NowNs();
+  record_.span_id = Tracer::NextSpanId();
+  record_.parent_id = tl_current_span;
+  record_.depth = tl_current_depth;
+  saved_parent_ = tl_current_span;
+  saved_depth_ = tl_current_depth;
+  tl_current_span = record_.span_id;
+  tl_current_depth = record_.depth + 1;
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  record_.dur_ns = Tracer::NowNs() - record_.start_ns;
+  tl_current_span = saved_parent_;
+  tl_current_depth = saved_depth_;
+  tracer_->Record(record_);
+}
+
+void Span::AddAttr(const char* key, std::uint64_t value) {
+  if (tracer_ == nullptr || record_.num_attrs >= SpanRecord::kMaxAttrs) {
+    return;
+  }
+  record_.attrs[record_.num_attrs].key = key;
+  record_.attrs[record_.num_attrs].value = value;
+  record_.num_attrs++;
+}
+
+#endif  // GQD_DISABLE_TRACING
+
+}  // namespace gqd

@@ -1,0 +1,178 @@
+// Low-overhead span tracer.
+//
+// A Tracer owns per-thread ring buffers of SpanRecords. Instrumented code
+// never sees the Tracer directly: it opens spans through the GQD_TRACE_SPAN
+// macro, which records into whatever Tracer is installed for the current
+// thread via Tracer::Scope. With no tracer installed a span site costs one
+// thread-local load and a branch; with GQD_DISABLE_TRACING defined the
+// macros compile away entirely.
+//
+//   Tracer tracer;
+//   {
+//     Tracer::Scope scope(&tracer);
+//     GQD_TRACE_SPAN(span, "krem.bfs");
+//     GQD_TRACE_SPAN_ATTR(span, "tuples_explored", tuples.size());
+//     ...
+//   }  // span closes, scope uninstalls
+//   Tracer::DrainResult out = tracer.Drain();
+//
+// Worker threads do not inherit the submitting thread's scope; pass the
+// Tracer pointer into the task (capture Tracer::Current() at submit time)
+// and re-install it with a Tracer::Scope inside the task body.
+//
+// Timestamps come from std::chrono::steady_clock, expressed in nanoseconds
+// relative to a process-wide epoch so spans from different tracers align on
+// a common timeline.
+
+#ifndef GQD_OBS_TRACE_H_
+#define GQD_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gqd {
+
+/// One closed span. POD on purpose: recording a span performs no heap
+/// allocation. `name` and attribute keys must be string literals (or
+/// otherwise outlive the tracer).
+struct SpanRecord {
+  static constexpr std::size_t kMaxAttrs = 4;
+
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< relative to the process trace epoch
+  std::uint64_t dur_ns = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 when the span is a root
+  std::uint32_t tid = 0;        ///< small per-process thread index
+  std::uint32_t depth = 0;      ///< nesting depth on its thread (root = 0)
+  struct Attr {
+    const char* key = nullptr;
+    std::uint64_t value = 0;
+  };
+  Attr attrs[kMaxAttrs];
+  std::uint32_t num_attrs = 0;
+};
+
+/// Aggregate wall time per span name. Kept exactly even when the ring
+/// buffer overflows and drops individual records.
+struct StageTotal {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+class Tracer {
+ public:
+  struct DrainResult {
+    std::vector<SpanRecord> spans;     ///< sorted by start_ns
+    std::vector<StageTotal> totals;    ///< sorted by name
+    std::uint64_t dropped_spans = 0;   ///< ring overflow casualties
+  };
+
+  /// `ring_capacity` bounds the records retained per recording thread;
+  /// older records are dropped first (stage totals stay exact).
+  explicit Tracer(std::size_t ring_capacity = kDefaultRingCapacity);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The tracer installed for this thread, or nullptr.
+  static Tracer* Current();
+
+  /// RAII installer: makes `tracer` Current() for this thread, restoring
+  /// the previous tracer (usually nullptr) on destruction. Installing a
+  /// null tracer is a no-op that leaves the current installation alone,
+  /// so call sites can pass an optional tracer through unconditionally.
+  class Scope {
+   public:
+    explicit Scope(Tracer* tracer);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer* installed_;
+    Tracer* previous_;
+  };
+
+  /// Appends a closed span from the calling thread. Thread-safe.
+  void Record(const SpanRecord& record);
+
+  /// Collects every thread's records (sorted by start time), exact
+  /// per-name stage totals, and the overflow-drop count. Safe to call
+  /// while other threads still hold a Scope, but records emitted
+  /// concurrently with the drain may land in the next drain.
+  DrainResult Drain();
+
+  /// Nanoseconds since the process trace epoch (monotonic clock).
+  static std::uint64_t NowNs();
+
+  /// Allocates a process-unique span id (never 0).
+  static std::uint64_t NextSpanId();
+
+  static constexpr std::size_t kDefaultRingCapacity = 64 * 1024;
+
+ private:
+  struct Ring;
+
+  Ring* RingForThisThread();
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t tracer_id_;  ///< process-unique; validates TL caches
+  std::mutex mutex_;               ///< guards rings_ registration + drain
+  std::map<std::thread::id, std::unique_ptr<Ring>> rings_;
+  std::uint32_t next_tid_ = 0;
+};
+
+#ifndef GQD_DISABLE_TRACING
+
+/// RAII span handle used by the macros. Cheap when no tracer is installed:
+/// the constructor does a single thread-local load and records nothing.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value attribute (first SpanRecord::kMaxAttrs stick).
+  /// Keys must be string literals. Values are captured as uint64.
+  void AddAttr(const char* key, std::uint64_t value);
+
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_;
+  SpanRecord record_;
+  std::uint64_t saved_parent_ = 0;
+  std::uint32_t saved_depth_ = 0;
+};
+
+#else  // GQD_DISABLE_TRACING
+
+/// No-op stand-in: every call inlines to nothing, and arguments to the
+/// macros below stay referenced so -Wunused does not fire on either
+/// configuration.
+class Span {
+ public:
+  explicit Span(const char*) {}
+  void AddAttr(const char*, std::uint64_t) {}
+  bool active() const { return false; }
+};
+
+#endif  // GQD_DISABLE_TRACING
+
+#define GQD_TRACE_SPAN(var, name) ::gqd::Span var(name)
+#define GQD_TRACE_SPAN_ATTR(var, key, value) \
+  var.AddAttr(key, static_cast<std::uint64_t>(value))
+
+}  // namespace gqd
+
+#endif  // GQD_OBS_TRACE_H_

@@ -19,6 +19,8 @@
 #include "eval/rem_eval.h"
 #include "eval/rpq_eval.h"
 #include "graph/serialization.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "ree/parser.h"
 #include "regex/parser.h"
 #include "rem/parser.h"
@@ -102,6 +104,28 @@ void EmplacePartial(JsonValue::Object* body,
   body->emplace_back("partial", JsonValue(std::move(progress)));
 }
 
+/// Scope guard attributing a request's budget exhaustion to the axis that
+/// tripped (bytes vs tuples vs wall). Fires on every return path of a
+/// handler — budget trips surface both as error statuses (eval) and as
+/// kBudgetExhausted verdicts (check), and this catches both.
+class BudgetAxisRecorder {
+ public:
+  BudgetAxisRecorder(ServerStats* stats,
+                     const std::optional<ResourceBudget>* budget)
+      : stats_(stats), budget_(budget) {}
+  ~BudgetAxisRecorder() {
+    if (budget_->has_value()) {
+      stats_->RecordBudgetAxis((*budget_)->TrippedAxis());
+    }
+  }
+  BudgetAxisRecorder(const BudgetAxisRecorder&) = delete;
+  BudgetAxisRecorder& operator=(const BudgetAxisRecorder&) = delete;
+
+ private:
+  ServerStats* stats_;
+  const std::optional<ResourceBudget>* budget_;
+};
+
 }  // namespace
 
 QueryService::QueryService(const ServiceOptions& options)
@@ -160,12 +184,43 @@ std::string QueryService::HandleLine(const std::string& line,
 Result<JsonValue> QueryService::Dispatch(const JsonValue& request,
                                          bool* shutdown) {
   GQD_ASSIGN_OR_RETURN(std::string cmd, request.GetString("cmd"));
+  const JsonValue* trace_field = request.Find("trace");
+  bool want_trace = trace_field != nullptr && trace_field->is_bool() &&
+                    trace_field->AsBool();
+  if (!want_trace) {
+    return DispatchCommand(cmd, request, shutdown);
+  }
+  // Per-request tracer, installed before the admission gate so the wait
+  // for a slot shows up in the trace. Drained after the handler returns;
+  // the span tree rides back on the success response.
+  Tracer tracer;
+  Result<JsonValue> result = JsonValue();
+  {
+    Tracer::Scope scope(&tracer);
+    GQD_TRACE_SPAN(span, "serve.request");
+    result = DispatchCommand(cmd, request, shutdown);
+  }
+  if (!result.ok()) {
+    return result;
+  }
+  JsonValue::Object body = result.value().AsObject();
+  body.emplace_back("trace", EmbedJson(SpanTreeToJson(tracer.Drain().spans)));
+  return JsonValue(std::move(body));
+}
+
+Result<JsonValue> QueryService::DispatchCommand(const std::string& cmd,
+                                                const JsonValue& request,
+                                                bool* shutdown) {
   // Heavy commands pass the admission gate (and hold their slot for the
   // whole request); cheap ones below bypass it so health checks and
   // operator introspection keep working under overload.
   if (cmd == "load" || cmd == "eval" || cmd == "check" || cmd == "lint") {
-    GQD_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
-                         admission_.Admit());
+    std::optional<AdmissionController::Ticket> ticket;
+    {
+      GQD_TRACE_SPAN(span, "serve.admission");
+      GQD_ASSIGN_OR_RETURN(ticket, admission_.Admit());
+    }
+    GQD_TRACE_SPAN(span, "serve.handler");
     if (cmd == "load") {
       return HandleLoad(request);
     }
@@ -188,6 +243,9 @@ Result<JsonValue> QueryService::Dispatch(const JsonValue& request,
   if (cmd == "stats") {
     return HandleStats();
   }
+  if (cmd == "metrics") {
+    return HandleMetrics();
+  }
   if (cmd == "shutdown") {
     if (shutdown != nullptr) {
       *shutdown = true;
@@ -198,7 +256,8 @@ Result<JsonValue> QueryService::Dispatch(const JsonValue& request,
   }
   return Status::InvalidArgument(
       "unknown command '" + cmd +
-      "' (expected load, eval, check, lint, info, ping, stats or shutdown)");
+      "' (expected load, eval, check, lint, info, ping, stats, metrics or "
+      "shutdown)");
 }
 
 Result<JsonValue> QueryService::HandleLoad(const JsonValue& request) {
@@ -218,6 +277,12 @@ Result<JsonValue> QueryService::EvalOne(const RegisteredGraph& entry,
                                         const CancelToken* cancel,
                                         const ResourceBudget* budget) {
   const DataGraph& graph = *entry.graph;
+  auto cache_get = [this](const std::string& key) {
+    GQD_TRACE_SPAN(span, "serve.cache_lookup");
+    std::shared_ptr<const BinaryRelation> found = cache_.Get(key);
+    GQD_TRACE_SPAN_ATTR(span, "hit", found != nullptr ? 1 : 0);
+    return found;
+  };
   // Normalize: parse, then canonical-print, so formatting differences
   // ("a . b" vs "a.b") share one cache entry.
   std::string normalized;
@@ -230,7 +295,7 @@ Result<JsonValue> QueryService::EvalOne(const RegisteredGraph& entry,
     normalized = RegexToString(expression);
     std::string key =
         ResultCache::MakeKey(entry.fingerprint, "rpq", normalized);
-    relation = cache_.Get(key);
+    relation = cache_get(key);
     if (relation == nullptr) {
       GQD_ASSIGN_OR_RETURN(BinaryRelation computed,
                            EvaluateRpq(graph, expression, eval_options));
@@ -243,7 +308,7 @@ Result<JsonValue> QueryService::EvalOne(const RegisteredGraph& entry,
     normalized = RemToString(expression);
     std::string key =
         ResultCache::MakeKey(entry.fingerprint, "rem", normalized);
-    relation = cache_.Get(key);
+    relation = cache_get(key);
     if (relation == nullptr) {
       GQD_ASSIGN_OR_RETURN(BinaryRelation computed,
                            EvaluateRem(graph, expression, eval_options));
@@ -256,7 +321,7 @@ Result<JsonValue> QueryService::EvalOne(const RegisteredGraph& entry,
     normalized = ReeToString(expression);
     std::string key =
         ResultCache::MakeKey(entry.fingerprint, "ree", normalized);
-    relation = cache_.Get(key);
+    relation = cache_get(key);
     if (relation == nullptr) {
       GQD_ASSIGN_OR_RETURN(BinaryRelation computed,
                            EvaluateRee(graph, expression, eval_options));
@@ -294,6 +359,7 @@ Result<JsonValue> QueryService::HandleEval(const JsonValue& request) {
   GQD_RETURN_NOT_OK(BudgetFrom(request, &budget_storage));
   const ResourceBudget* budget =
       budget_storage.has_value() ? &budget_storage.value() : nullptr;
+  BudgetAxisRecorder axis_recorder(&stats_, &budget_storage);
 
   const JsonValue* queries = request.Find("queries");
   if (queries == nullptr) {
@@ -319,11 +385,21 @@ Result<JsonValue> QueryService::HandleEval(const JsonValue& request) {
   std::mutex done_mutex;
   std::condition_variable done_cv;
   std::size_t remaining = texts.size();
+  // Pool workers do not inherit this thread's tracer installation; each
+  // task re-installs it so per-query spans land on the worker's track.
+  Tracer* tracer = Tracer::Current();
+  GQD_TRACE_SPAN(dispatch_span, "serve.pool_dispatch");
+  GQD_TRACE_SPAN_ATTR(dispatch_span, "queries", texts.size());
   for (std::size_t i = 0; i < texts.size(); i++) {
     pool_.Submit([this, &entry, &language, &texts, &outcomes, &done_mutex,
-                  &done_cv, &remaining, cancel, budget, i] {
-      Result<JsonValue> outcome =
-          EvalOne(entry, language, texts[i], cancel, budget);
+                  &done_cv, &remaining, cancel, budget, tracer, i] {
+      Tracer::Scope scope(tracer);
+      Result<JsonValue> outcome = Status::Internal("not run");
+      {
+        GQD_TRACE_SPAN(task_span, "serve.eval_task");
+        GQD_TRACE_SPAN_ATTR(task_span, "query_index", i);
+        outcome = EvalOne(entry, language, texts[i], cancel, budget);
+      }
       // Notify while holding the lock: the waiter owns these locals and
       // destroys them the moment it observes remaining == 0, so the last
       // worker must not touch the condition variable after unlocking.
@@ -379,6 +455,7 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
   GQD_RETURN_NOT_OK(BudgetFrom(request, &budget_storage));
   const ResourceBudget* budget =
       budget_storage.has_value() ? &budget_storage.value() : nullptr;
+  BudgetAxisRecorder axis_recorder(&stats_, &budget_storage);
   // Optional frontier-parallel successor generation (krem/rpq checkers);
   // any thread count returns bit-identical results.
   GQD_ASSIGN_OR_RETURN(std::int64_t threads, request.GetIntOr("threads", 1));
@@ -521,6 +598,15 @@ Result<JsonValue> QueryService::HandleStats() {
       "stats",
       EmbedJson(stats_.ToJson(pool_.GetStats(), cache_.GetStats(),
                               admission_.GetStats())));
+  return JsonValue(std::move(body));
+}
+
+Result<JsonValue> QueryService::HandleMetrics() {
+  JsonValue::Object body;
+  body.emplace_back("metrics",
+                    stats_.RenderPrometheus(pool_.GetStats(),
+                                            cache_.GetStats(),
+                                            admission_.GetStats()));
   return JsonValue(std::move(body));
 }
 

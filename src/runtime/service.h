@@ -16,8 +16,17 @@
 //   {"cmd":"lint","language":"ree","query":"(a)=","graph":"g"}
 //   {"cmd":"info","graph":"g"}    {"cmd":"info"}
 //   {"cmd":"stats"}               {"cmd":"ping"}    {"cmd":"shutdown"}
+//   {"cmd":"metrics"}
 // Every response carries "ok"; errors carry {"error":{"code","message"}}.
 // An "id" field, when present, is echoed back verbatim.
+//
+// Observability (docs/observability.md): `metrics` returns the full
+// Prometheus text exposition (request counters, latency histograms, pool /
+// cache / admission mirrors, budget axes, failpoint sites) in a "metrics"
+// string field; it bypasses admission like the other introspection
+// commands. Any request may add `"trace": true` to get a "trace" field on
+// its success response — the span tree (admission wait, cache lookup,
+// handler, checker stages) recorded while serving that request.
 //
 // Robustness (docs/robustness.md): eval and check accept per-request
 // resource budgets ("max_bytes", "max_tuples"; 0 = unlimited) alongside
@@ -73,12 +82,17 @@ class QueryService {
 
  private:
   Result<JsonValue> Dispatch(const JsonValue& request, bool* shutdown);
+  /// Command routing proper; Dispatch wraps it with the optional
+  /// per-request tracer so the admission wait is inside the trace.
+  Result<JsonValue> DispatchCommand(const std::string& cmd,
+                                    const JsonValue& request, bool* shutdown);
   Result<JsonValue> HandleLoad(const JsonValue& request);
   Result<JsonValue> HandleEval(const JsonValue& request);
   Result<JsonValue> HandleCheck(const JsonValue& request);
   Result<JsonValue> HandleLint(const JsonValue& request);
   Result<JsonValue> HandleInfo(const JsonValue& request);
   Result<JsonValue> HandleStats();
+  Result<JsonValue> HandleMetrics();
 
   /// Evaluates one query (cache-aware); used by single and batched eval.
   Result<JsonValue> EvalOne(const RegisteredGraph& entry,

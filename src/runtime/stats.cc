@@ -4,75 +4,124 @@
 
 namespace gqd {
 
-namespace {
-
-/// Index of the log2 bucket for a microsecond latency: bucket b covers
-/// [2^b, 2^(b+1)) µs, bucket 0 also absorbs sub-microsecond requests.
-std::size_t BucketFor(std::uint64_t us) {
-  std::size_t bucket = 0;
-  while (us > 1 && bucket + 1 < ServerStats::kNumLatencyBuckets) {
-    us >>= 1;
-    bucket++;
-  }
-  return bucket;
+ServerStats::ServerStats() {
+  requests_ = registry_.GetCounter("gqd_requests_total");
+  errors_ = registry_.GetCounter("gqd_request_errors_total");
+  shed_ = registry_.GetCounter("gqd_requests_shed_total");
+  resource_exhausted_ = registry_.GetCounter("gqd_resource_exhausted_total");
+  deadline_exceeded_ = registry_.GetCounter("gqd_deadline_exceeded_total");
+  // Pre-registered so all three axes render at zero from the first scrape.
+  budget_axis_[0] =
+      registry_.GetCounter("gqd_budget_exhausted_total", {{"axis", "bytes"}});
+  budget_axis_[1] =
+      registry_.GetCounter("gqd_budget_exhausted_total", {{"axis", "tuples"}});
+  budget_axis_[2] =
+      registry_.GetCounter("gqd_budget_exhausted_total", {{"axis", "wall"}});
+  latency_us_ = registry_.GetHistogram("gqd_request_latency_us");
 }
 
-}  // namespace
+ServerStats::PerCommand* ServerStats::PerCommandEntry(
+    const std::string& command) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerCommand& entry = per_command_[command];
+  if (entry.requests == nullptr) {
+    entry.requests = registry_.GetCounter("gqd_command_requests_total",
+                                          {{"command", command}});
+    entry.latency_us = registry_.GetHistogram("gqd_command_latency_us",
+                                              {{"command", command}});
+  }
+  return &entry;
+}
 
 void ServerStats::Record(const std::string& command, bool ok,
                          std::chrono::nanoseconds latency, StatusCode code) {
   auto us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(latency).count());
-  std::lock_guard<std::mutex> lock(mutex_);
-  requests_++;
+  requests_->Inc();
   if (!ok) {
-    errors_++;
+    errors_->Inc();
   }
   switch (code) {
     case StatusCode::kUnavailable:
-      shed_++;
+      shed_->Inc();
       break;
     case StatusCode::kResourceExhausted:
-      resource_exhausted_++;
+      resource_exhausted_->Inc();
       break;
     case StatusCode::kDeadlineExceeded:
-      deadline_exceeded_++;
+      deadline_exceeded_->Inc();
       break;
     default:
       break;
   }
-  per_command_[command]++;
-  latency_buckets_[BucketFor(us)]++;
-  total_latency_us_ += us;
+  PerCommand* entry = PerCommandEntry(command);
+  entry->requests->Inc();
+  entry->latency_us->Observe(us);
+  latency_us_->Observe(us);
+}
+
+void ServerStats::RecordBudgetAxis(BudgetAxis axis) {
+  switch (axis) {
+    case BudgetAxis::kBytes:
+      budget_axis_[0]->Inc();
+      break;
+    case BudgetAxis::kTuples:
+      budget_axis_[1]->Inc();
+      break;
+    case BudgetAxis::kWall:
+      budget_axis_[2]->Inc();
+      break;
+    case BudgetAxis::kNone:
+      break;
+  }
 }
 
 std::uint64_t ServerStats::total_requests() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return requests_;
+  return requests_->value();
 }
 
-std::uint64_t ServerStats::shed_requests() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return shed_;
-}
+std::uint64_t ServerStats::shed_requests() const { return shed_->value(); }
 
 std::string ServerStats::ToJson(const ThreadPool::Stats& pool,
                                 const ResultCache::Stats& cache,
                                 const AdmissionStats& admission) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{";
-  out += "\"requests\":" + std::to_string(requests_);
-  out += ",\"errors\":" + std::to_string(errors_);
-  out += ",\"shed\":" + std::to_string(shed_);
-  out += ",\"resource_exhausted\":" + std::to_string(resource_exhausted_);
-  out += ",\"deadline_exceeded\":" + std::to_string(deadline_exceeded_);
-  out += ",\"total_latency_us\":" + std::to_string(total_latency_us_);
+  out += "\"requests\":" + std::to_string(requests_->value());
+  out += ",\"errors\":" + std::to_string(errors_->value());
+  out += ",\"shed\":" + std::to_string(shed_->value());
+  out += ",\"resource_exhausted\":" +
+         std::to_string(resource_exhausted_->value());
+  out += ",\"deadline_exceeded\":" +
+         std::to_string(deadline_exceeded_->value());
+  out += ",\"budget_exhausted\":{";
+  out += "\"bytes\":" + std::to_string(budget_axis_[0]->value());
+  out += ",\"tuples\":" + std::to_string(budget_axis_[1]->value());
+  out += ",\"wall\":" + std::to_string(budget_axis_[2]->value());
+  out += "}";
+  out += ",\"total_latency_us\":" + std::to_string(latency_us_->sum());
   out += ",\"per_command\":{";
   bool first = true;
-  for (const auto& [command, count] : per_command_) {
+  for (const auto& [command, entry] : per_command_) {
     if (!first) out += ",";
     first = false;
-    out += JsonQuote(command) + ":" + std::to_string(count);
+    out += JsonQuote(command) + ":" + std::to_string(entry.requests->value());
+  }
+  out += "}";
+  // Per-command latency percentiles, read off the log2 histograms (each
+  // value is the inclusive upper bound of the quantile's bucket).
+  out += ",\"per_command_latency_us\":{";
+  first = true;
+  for (const auto& [command, entry] : per_command_) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonQuote(command) + ":{";
+    out += "\"count\":" + std::to_string(entry.latency_us->count());
+    out += ",\"p50\":" +
+           std::to_string(entry.latency_us->QuantileUpperBound(0.50));
+    out += ",\"p99\":" +
+           std::to_string(entry.latency_us->QuantileUpperBound(0.99));
+    out += "}";
   }
   out += "}";
   // Histogram as {"le_us": count} with the bucket's inclusive upper bound;
@@ -80,15 +129,16 @@ std::string ServerStats::ToJson(const ThreadPool::Stats& pool,
   out += ",\"latency_histogram_us\":{";
   first = true;
   for (std::size_t b = 0; b < kNumLatencyBuckets; b++) {
-    if (latency_buckets_[b] == 0) continue;
+    std::uint64_t count = latency_us_->bucket(b);
+    if (count == 0) continue;
     if (!first) out += ",";
     first = false;
     if (b + 1 == kNumLatencyBuckets) {
       out += "\"inf\"";
     } else {
-      out += "\"" + std::to_string((1ULL << (b + 1)) - 1) + "\"";
+      out += "\"" + std::to_string(Histogram::BucketUpperBound(b)) + "\"";
     }
-    out += ":" + std::to_string(latency_buckets_[b]);
+    out += ":" + std::to_string(count);
   }
   out += "}";
   out += ",\"pool\":{";
@@ -116,6 +166,44 @@ std::string ServerStats::ToJson(const ThreadPool::Stats& pool,
   out += "}";
   out += "}";
   return out;
+}
+
+void ServerStats::MirrorSnapshots(const ThreadPool::Stats& pool,
+                                  const ResultCache::Stats& cache,
+                                  const AdmissionStats& admission) {
+  registry_.GetGauge("gqd_pool_threads")
+      ->Set(static_cast<std::int64_t>(pool.num_threads));
+  registry_.GetGauge("gqd_pool_active_workers")
+      ->Set(static_cast<std::int64_t>(pool.active_workers));
+  registry_.GetGauge("gqd_pool_queued_tasks")
+      ->Set(static_cast<std::int64_t>(pool.queued_tasks));
+  registry_.GetCounter("gqd_pool_tasks_executed_total")
+      ->Set(pool.tasks_executed);
+  registry_.GetCounter("gqd_pool_tasks_stolen_total")->Set(pool.tasks_stolen);
+  registry_.GetCounter("gqd_pool_tasks_inline_total")->Set(pool.tasks_inline);
+  registry_.GetCounter("gqd_cache_hits_total")->Set(cache.hits);
+  registry_.GetCounter("gqd_cache_misses_total")->Set(cache.misses);
+  registry_.GetCounter("gqd_cache_evictions_total")->Set(cache.evictions);
+  registry_.GetCounter("gqd_cache_drops_total")->Set(cache.drops);
+  registry_.GetGauge("gqd_cache_entries")
+      ->Set(static_cast<std::int64_t>(cache.entries));
+  registry_.GetGauge("gqd_cache_capacity")
+      ->Set(static_cast<std::int64_t>(cache.capacity));
+  registry_.GetCounter("gqd_admission_admitted_total")->Set(admission.admitted);
+  registry_.GetCounter("gqd_admission_queued_total")->Set(admission.queued);
+  registry_.GetCounter("gqd_admission_shed_total")->Set(admission.shed);
+  registry_.GetGauge("gqd_admission_active")
+      ->Set(static_cast<std::int64_t>(admission.active));
+  registry_.GetGauge("gqd_admission_waiting")
+      ->Set(static_cast<std::int64_t>(admission.waiting));
+}
+
+std::string ServerStats::RenderPrometheus(const ThreadPool::Stats& pool,
+                                          const ResultCache::Stats& cache,
+                                          const AdmissionStats& admission) {
+  MirrorSnapshots(pool, cache, admission);
+  UpdateFailpointMetrics(&registry_);
+  return registry_.RenderPrometheus();
 }
 
 }  // namespace gqd

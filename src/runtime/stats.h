@@ -1,11 +1,19 @@
-// Aggregated service counters exported by the `stats` command.
+// Aggregated service counters exported by the `stats` and `metrics`
+// commands.
 //
 // ServerStats records one observation per handled request: the command
-// name, whether it succeeded, and its wall latency. Latencies land in
-// log2-microsecond histogram buckets (1µs, 2µs, 4µs, ... ~4s, +overflow) —
-// coarse, cheap, and enough to read p50/p99 off the report. A snapshot
-// serializes to JSON together with pool and cache stats supplied by the
-// caller.
+// name, whether it succeeded, and its wall latency. Since the
+// observability subsystem landed, the counters live in a MetricsRegistry
+// (src/obs/metrics.h) rather than ad-hoc fields: request totals are
+// counters, latencies land in log2-microsecond histograms — one global
+// and one per command, so the report can quote p50/p99 per command — and
+// budget exhaustion is recorded per axis (bytes vs tuples vs wall).
+//
+// Two export formats: ToJson() keeps the historical `stats` JSON shape
+// (plus the per-command percentiles and per-axis budget counters), and
+// RenderPrometheus() emits the full registry — including pool / cache /
+// admission snapshots mirrored into gauges and every failpoint site — in
+// Prometheus text exposition format.
 
 #ifndef GQD_RUNTIME_STATS_H_
 #define GQD_RUNTIME_STATS_H_
@@ -16,8 +24,10 @@
 #include <mutex>
 #include <string>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "runtime/admission.h"
 #include "runtime/result_cache.h"
 
@@ -25,9 +35,9 @@ namespace gqd {
 
 class ServerStats {
  public:
-  static constexpr std::size_t kNumLatencyBuckets = 23;  // 1µs .. ~4s
+  static constexpr std::size_t kNumLatencyBuckets = Histogram::kNumBuckets;
 
-  ServerStats() = default;
+  ServerStats();
   ServerStats(const ServerStats&) = delete;
   ServerStats& operator=(const ServerStats&) = delete;
 
@@ -40,25 +50,55 @@ class ServerStats {
               std::chrono::nanoseconds latency,
               StatusCode code = StatusCode::kOk);
 
+  /// Attributes one budget exhaustion to the axis that tripped
+  /// (`gqd_budget_exhausted_total{axis=...}`). kNone is ignored.
+  void RecordBudgetAxis(BudgetAxis axis);
+
   std::uint64_t total_requests() const;
   std::uint64_t shed_requests() const;
 
-  /// One JSON object combining request counters, the latency histogram,
-  /// and the supplied pool/cache/admission snapshots.
+  /// The registry backing these counters; request-path instruments live
+  /// here permanently, snapshot mirrors are refreshed by the exporters.
+  MetricsRegistry* registry() { return &registry_; }
+
+  /// One JSON object combining request counters, the latency histograms
+  /// (global buckets plus per-command p50/p99), and the supplied
+  /// pool/cache/admission snapshots.
   std::string ToJson(const ThreadPool::Stats& pool,
                      const ResultCache::Stats& cache,
                      const AdmissionStats& admission = {}) const;
 
+  /// Prometheus text exposition of the whole registry, with the supplied
+  /// pool/cache/admission snapshots mirrored into gauges/counters and
+  /// every registered failpoint site exported.
+  std::string RenderPrometheus(const ThreadPool::Stats& pool,
+                               const ResultCache::Stats& cache,
+                               const AdmissionStats& admission = {});
+
  private:
-  mutable std::mutex mutex_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t errors_ = 0;
-  std::uint64_t shed_ = 0;               ///< rejected by admission control
-  std::uint64_t resource_exhausted_ = 0; ///< budget-capped requests
-  std::uint64_t deadline_exceeded_ = 0;  ///< deadline/cancel terminations
-  std::map<std::string, std::uint64_t> per_command_;
-  std::uint64_t latency_buckets_[kNumLatencyBuckets] = {};
-  std::uint64_t total_latency_us_ = 0;
+  struct PerCommand {
+    Counter* requests = nullptr;
+    Histogram* latency_us = nullptr;
+  };
+
+  PerCommand* PerCommandEntry(const std::string& command);
+  void MirrorSnapshots(const ThreadPool::Stats& pool,
+                       const ResultCache::Stats& cache,
+                       const AdmissionStats& admission);
+
+  MetricsRegistry registry_;
+
+  // Request-path instruments, resolved once at construction.
+  Counter* requests_;
+  Counter* errors_;
+  Counter* shed_;
+  Counter* resource_exhausted_;
+  Counter* deadline_exceeded_;
+  Counter* budget_axis_[3];  ///< bytes, tuples, wall
+  Histogram* latency_us_;
+
+  mutable std::mutex mutex_;  ///< guards per_command_ map shape only
+  std::map<std::string, PerCommand> per_command_;
 };
 
 }  // namespace gqd

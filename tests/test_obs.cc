@@ -1,0 +1,406 @@
+// Tests for the observability subsystem: span tracer semantics (nesting,
+// cross-thread drain, ring overflow, overhead when idle), the metrics
+// registry with Prometheus exposition, and the Chrome trace-event export
+// (including a golden-file schema check so the format stays stable for
+// external tooling).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "definability/krem_definability.h"
+#include "graph/examples.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// Global allocation counter so the no-tracer-installed path can be shown
+// allocation-free. Counting is binary-wide but only read as a delta around
+// the code under test.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// GCC flags free() inside a replaced operator delete as a new/free
+// mismatch; the pairing is correct since operator new below mallocs.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace gqd {
+namespace {
+
+// --- Tracer ---------------------------------------------------------------
+
+// Tests below that assert spans were *recorded* require the span sites to
+// be compiled in; with -DGQD_ENABLE_TRACING=OFF they are skipped (the
+// no-op behaviors and the metrics/export layers are still covered).
+#ifndef GQD_DISABLE_TRACING
+
+TEST(Tracer, RecordsNestedSpansWithParentLinks) {
+  Tracer tracer;
+  {
+    Tracer::Scope scope(&tracer);
+    GQD_TRACE_SPAN(outer, "outer");
+    {
+      GQD_TRACE_SPAN(inner, "inner");
+      GQD_TRACE_SPAN_ATTR(inner, "value", 7);
+    }
+  }
+  Tracer::DrainResult out = tracer.Drain();
+  ASSERT_EQ(out.spans.size(), 2u);
+  // Sorted by start time: outer opened first.
+  const SpanRecord& outer = out.spans[0];
+  const SpanRecord& inner = out.spans[1];
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  ASSERT_EQ(inner.num_attrs, 1u);
+  EXPECT_STREQ(inner.attrs[0].key, "value");
+  EXPECT_EQ(inner.attrs[0].value, 7u);
+  // Children close before parents, so durations nest.
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+}
+
+#endif  // GQD_DISABLE_TRACING
+
+TEST(Tracer, NoTracerInstalledRecordsNothing) {
+  ASSERT_EQ(Tracer::Current(), nullptr);
+  GQD_TRACE_SPAN(span, "ignored");
+  GQD_TRACE_SPAN_ATTR(span, "key", 1);
+  Tracer tracer;
+  EXPECT_TRUE(tracer.Drain().spans.empty());
+}
+
+TEST(Tracer, NoTracerInstalledAllocatesNothing) {
+  ASSERT_EQ(Tracer::Current(), nullptr);
+  std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; i++) {
+    GQD_TRACE_SPAN(span, "hot");
+    GQD_TRACE_SPAN_ATTR(span, "iteration", i);
+  }
+  std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(Tracer, NullScopeLeavesInstallationAlone) {
+  Tracer tracer;
+  Tracer::Scope outer(&tracer);
+  {
+    Tracer::Scope inner(nullptr);
+    EXPECT_EQ(Tracer::Current(), &tracer);
+  }
+  EXPECT_EQ(Tracer::Current(), &tracer);
+}
+
+#ifndef GQD_DISABLE_TRACING
+
+TEST(Tracer, CrossThreadDrainMergesRingsWithDistinctTids) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&tracer] {
+      Tracer::Scope scope(&tracer);
+      for (int i = 0; i < kSpansPerThread; i++) {
+        GQD_TRACE_SPAN(span, "worker.step");
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  Tracer::DrainResult out = tracer.Drain();
+  EXPECT_EQ(out.spans.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  std::set<std::uint32_t> tids;
+  std::set<std::uint64_t> span_ids;
+  for (const SpanRecord& span : out.spans) {
+    tids.insert(span.tid);
+    span_ids.insert(span.span_id);
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  // Span ids are process-unique even across threads.
+  EXPECT_EQ(span_ids.size(), out.spans.size());
+  ASSERT_EQ(out.totals.size(), 1u);
+  EXPECT_EQ(out.totals[0].name, "worker.step");
+  EXPECT_EQ(out.totals[0].count,
+            static_cast<std::uint64_t>(kThreads * kSpansPerThread));
+}
+
+TEST(Tracer, RingOverflowDropsOldestButKeepsTotalsExact) {
+  Tracer tracer(/*ring_capacity=*/8);
+  {
+    Tracer::Scope scope(&tracer);
+    for (int i = 0; i < 20; i++) {
+      GQD_TRACE_SPAN(span, "step");
+    }
+  }
+  Tracer::DrainResult out = tracer.Drain();
+  EXPECT_EQ(out.spans.size(), 8u);
+  EXPECT_EQ(out.dropped_spans, 12u);
+  ASSERT_EQ(out.totals.size(), 1u);
+  EXPECT_EQ(out.totals[0].count, 20u);  // exact despite the drops
+  // The retained records are the newest ones, in order.
+  for (std::size_t i = 1; i < out.spans.size(); i++) {
+    EXPECT_GT(out.spans[i].span_id, out.spans[i - 1].span_id);
+  }
+}
+
+TEST(Tracer, DrainResetsStateForReuse) {
+  Tracer tracer;
+  {
+    Tracer::Scope scope(&tracer);
+    GQD_TRACE_SPAN(span, "first");
+  }
+  EXPECT_EQ(tracer.Drain().spans.size(), 1u);
+  {
+    Tracer::Scope scope(&tracer);
+    GQD_TRACE_SPAN(span, "second");
+  }
+  Tracer::DrainResult out = tracer.Drain();
+  ASSERT_EQ(out.spans.size(), 1u);
+  EXPECT_STREQ(out.spans[0].name, "second");
+}
+
+// Frontier-parallel k-REM under a tracer: per-generation BFS spans must
+// exist, nest under krem.bfs, and their durations sum to no more than the
+// parent's (they partition the loop, minus witness reconstruction).
+TEST(Tracer, TracedParallelKRemGenerationSpansNestAndSum) {
+  DataGraph g = Figure1Graph();
+  Tracer tracer;
+  {
+    Tracer::Scope scope(&tracer);
+    KRemDefinabilityOptions options;
+    options.num_threads = 2;
+    auto result = CheckKRemDefinability(g, Figure1S2(g), 2, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result.value().verdict, DefinabilityVerdict::kDefinable);
+  }
+  Tracer::DrainResult out = tracer.Drain();
+  const SpanRecord* bfs = nullptr;
+  std::vector<const SpanRecord*> generations;
+  for (const SpanRecord& span : out.spans) {
+    if (std::string(span.name) == "krem.bfs") {
+      bfs = &span;
+    } else if (std::string(span.name) == "krem.bfs_generation") {
+      generations.push_back(&span);
+    }
+  }
+  ASSERT_NE(bfs, nullptr);
+  ASSERT_FALSE(generations.empty());
+  std::uint64_t generation_sum = 0;
+  for (const SpanRecord* generation : generations) {
+    EXPECT_EQ(generation->parent_id, bfs->span_id);
+    EXPECT_GE(generation->start_ns, bfs->start_ns);
+    generation_sum += generation->dur_ns;
+  }
+  EXPECT_LE(generation_sum, bfs->dur_ns);
+}
+
+#endif  // GQD_DISABLE_TRACING
+
+// --- Metrics --------------------------------------------------------------
+
+TEST(Metrics, CounterGaugeHistogramRoundTrip) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("gqd_test_total");
+  counter->Inc();
+  counter->Inc(4);
+  EXPECT_EQ(counter->value(), 5u);
+  // Same name + labels resolves to the same instrument.
+  EXPECT_EQ(registry.GetCounter("gqd_test_total"), counter);
+
+  Gauge* gauge = registry.GetGauge("gqd_test_active");
+  gauge->Set(3);
+  gauge->Add(-1);
+  EXPECT_EQ(gauge->value(), 2);
+
+  Histogram* histogram = registry.GetHistogram("gqd_test_latency_us");
+  histogram->Observe(1);
+  histogram->Observe(100);
+  histogram->Observe(100);
+  EXPECT_EQ(histogram->count(), 3u);
+  EXPECT_EQ(histogram->sum(), 201u);
+  // 100 lands in bucket [64, 127]; p50/p99 report its upper bound.
+  EXPECT_EQ(histogram->QuantileUpperBound(0.99), 127u);
+  EXPECT_EQ(histogram->QuantileUpperBound(0.01), 1u);
+}
+
+TEST(Metrics, LabelsCreateDistinctInstruments) {
+  MetricsRegistry registry;
+  Counter* eval = registry.GetCounter("gqd_cmd_total", {{"command", "eval"}});
+  Counter* check = registry.GetCounter("gqd_cmd_total", {{"command", "check"}});
+  EXPECT_NE(eval, check);
+  eval->Inc(2);
+  check->Inc(3);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("gqd_cmd_total{command=\"eval\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gqd_cmd_total{command=\"check\"} 3"), std::string::npos)
+      << text;
+}
+
+TEST(Metrics, RenderPrometheusEmitsTypedFamilies) {
+  MetricsRegistry registry;
+  registry.GetCounter("gqd_requests_total")->Inc(7);
+  registry.GetGauge("gqd_active")->Set(2);
+  Histogram* histogram = registry.GetHistogram("gqd_latency_us");
+  histogram->Observe(3);
+  std::string text = registry.RenderPrometheus();
+
+  EXPECT_NE(text.find("# TYPE gqd_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("gqd_requests_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gqd_active gauge"), std::string::npos);
+  EXPECT_NE(text.find("gqd_active 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gqd_latency_us histogram"), std::string::npos);
+  // Cumulative buckets: 3 falls in le="3"; every later bucket and +Inf
+  // carry the count, and _sum/_count close the family.
+  EXPECT_NE(text.find("gqd_latency_us_bucket{le=\"3\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gqd_latency_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gqd_latency_us_sum 3"), std::string::npos);
+  EXPECT_NE(text.find("gqd_latency_us_count 1"), std::string::npos);
+  // Exposition ends with a newline (scrape-format requirement).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Metrics, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("gqd_sites_total", {{"site", "a\"b\\c\nd"}})->Inc();
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("gqd_sites_total{site=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Metrics, KindMismatchYieldsDetachedInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("gqd_thing")->Inc(5);
+  // Asking for the same name as a gauge must not corrupt the counter; the
+  // returned instrument is usable but never rendered.
+  Gauge* gauge = registry.GetGauge("gqd_thing");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(99);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("gqd_thing 5"), std::string::npos);
+  EXPECT_EQ(text.find("99"), std::string::npos) << text;
+}
+
+// --- Exports --------------------------------------------------------------
+
+Tracer::DrainResult FixedTrace() {
+  Tracer::DrainResult trace;
+  SpanRecord check;
+  check.name = "krem.bfs";
+  check.start_ns = 1000;
+  check.dur_ns = 503500;
+  check.span_id = 1;
+  check.parent_id = 0;
+  check.tid = 0;
+  check.depth = 0;
+  check.attrs[0] = {"tuples_explored", 42};
+  check.num_attrs = 1;
+  SpanRecord generation;
+  generation.name = "krem.bfs_generation";
+  generation.start_ns = 2000;
+  generation.dur_ns = 501000;
+  generation.span_id = 2;
+  generation.parent_id = 1;
+  generation.tid = 0;
+  generation.depth = 1;
+  generation.attrs[0] = {"generation", 0};
+  generation.attrs[1] = {"tuples", 17};
+  generation.num_attrs = 2;
+  SpanRecord worker;
+  worker.name = "krem.worker_generate";
+  worker.start_ns = 2500;
+  worker.dur_ns = 400000;
+  worker.span_id = 3;
+  worker.parent_id = 0;
+  worker.tid = 1;
+  worker.depth = 0;
+  trace.spans = {check, generation, worker};
+  trace.totals = {StageTotal{"krem.bfs", 1, 503500},
+                  StageTotal{"krem.bfs_generation", 1, 501000},
+                  StageTotal{"krem.worker_generate", 1, 400000}};
+  trace.dropped_spans = 0;
+  return trace;
+}
+
+// The Chrome trace-event schema is consumed by external tools
+// (chrome://tracing, Perfetto, tools/check_observability.sh); pin the
+// exact serialization with a golden file.
+TEST(Export, ChromeJsonMatchesGoldenFile) {
+  std::string rendered = TraceToChromeJson(FixedTrace());
+  std::ifstream golden_file(std::string(GQD_TESTS_DATA_DIR) +
+                            "/golden_trace.json");
+  ASSERT_TRUE(golden_file.is_open())
+      << "missing " << GQD_TESTS_DATA_DIR << "/golden_trace.json";
+  std::stringstream golden;
+  golden << golden_file.rdbuf();
+  std::string expected = golden.str();
+  // The golden file ends with a trailing newline; the serializer does not.
+  if (!expected.empty() && expected.back() == '\n') {
+    expected.pop_back();
+  }
+  EXPECT_EQ(rendered, expected);
+}
+
+TEST(Export, ChromeJsonCarriesStageTotalsAndDrops) {
+  Tracer::DrainResult trace = FixedTrace();
+  trace.dropped_spans = 3;
+  std::string rendered = TraceToChromeJson(trace);
+  EXPECT_NE(rendered.find("\"gqdDroppedSpans\":3"), std::string::npos);
+  EXPECT_NE(
+      rendered.find("\"krem.bfs\":{\"count\":1,\"total_ns\":503500}"),
+      std::string::npos)
+      << rendered;
+}
+
+TEST(Export, SpanTreeNestsChildrenAndOrphansBecomeRoots) {
+  std::string tree = SpanTreeToJson(FixedTrace().spans);
+  // krem.bfs_generation is nested inside krem.bfs; the worker span (whose
+  // parent id 0 marks a root) renders as a second root.
+  std::size_t bfs = tree.find("\"name\":\"krem.bfs\"");
+  std::size_t generation = tree.find("\"name\":\"krem.bfs_generation\"");
+  std::size_t worker = tree.find("\"name\":\"krem.worker_generate\"");
+  ASSERT_NE(bfs, std::string::npos);
+  ASSERT_NE(generation, std::string::npos);
+  ASSERT_NE(worker, std::string::npos);
+  EXPECT_LT(bfs, generation);
+  EXPECT_LT(generation, worker);
+  EXPECT_NE(tree.find("\"args\":{\"generation\":0,\"tuples\":17}"),
+            std::string::npos)
+      << tree;
+}
+
+}  // namespace
+}  // namespace gqd

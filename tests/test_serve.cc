@@ -284,6 +284,92 @@ TEST_F(ServeTest, LintAndStatsCommands) {
   ASSERT_NE(body->Find("latency_histogram_us"), nullptr);
 }
 
+TEST_F(ServeTest, TracedEvalReturnsSpanTreeInline) {
+  service_.registry().Register("fig1", Figure1Graph());
+  std::string traced = Call(
+      R"({"cmd":"eval","graph":"fig1","language":"rpq","query":"a+",)"
+      R"("trace":true})");
+  auto parsed = JsonValue::Parse(traced);
+  ASSERT_TRUE(parsed.ok()) << traced;
+  EXPECT_TRUE(parsed.value().Find("ok")->AsBool()) << traced;
+  const JsonValue* trace = parsed.value().Find("trace");
+  ASSERT_NE(trace, nullptr) << traced;
+  ASSERT_TRUE(trace->is_array()) << traced;
+#ifndef GQD_DISABLE_TRACING
+  // The span tree covers the full serving path: admission gate, cache
+  // lookup, and the handler, all nested under serve.request.
+  EXPECT_NE(traced.find("\"serve.request\""), std::string::npos) << traced;
+  EXPECT_NE(traced.find("\"serve.admission\""), std::string::npos) << traced;
+  EXPECT_NE(traced.find("\"serve.handler\""), std::string::npos) << traced;
+  EXPECT_NE(traced.find("\"serve.cache_lookup\""), std::string::npos)
+      << traced;
+  // A cold cache lookup reports hit: 0.
+  EXPECT_NE(traced.find("\"hit\":0"), std::string::npos) << traced;
+#endif  // GQD_DISABLE_TRACING
+
+  // Without trace:true no trace field is attached.
+  std::string untraced = Call(
+      R"({"cmd":"eval","graph":"fig1","language":"rpq","query":"a.a"})");
+  EXPECT_EQ(untraced.find("\"trace\""), std::string::npos) << untraced;
+}
+
+TEST_F(ServeTest, MetricsCommandRendersPrometheusText) {
+  service_.registry().Register("fig1", Figure1Graph());
+  (void)Call(
+      R"({"cmd":"eval","graph":"fig1","language":"rpq","query":"a+"})");
+  std::string response = Call(R"({"cmd":"metrics"})");
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_TRUE(parsed.value().Find("ok")->AsBool()) << response;
+  std::string text = parsed.value().GetString("metrics").ValueOrDie();
+  // Every serving subsystem exposes at least one family.
+  EXPECT_NE(text.find("# TYPE gqd_requests_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gqd_request_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gqd_command_requests_total{command=\"eval\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gqd_cache_hits_total"), std::string::npos);
+  EXPECT_NE(text.find("gqd_pool_threads"), std::string::npos);
+  EXPECT_NE(text.find("gqd_admission_admitted_total"), std::string::npos);
+  // Budget-axis counters are pre-registered so dashboards see zeros
+  // before the first trip.
+  EXPECT_NE(text.find("gqd_budget_exhausted_total{axis=\"bytes\"} 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gqd_budget_exhausted_total{axis=\"tuples\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gqd_budget_exhausted_total{axis=\"wall\"}"),
+            std::string::npos);
+  // Failpoint sites registered anywhere in the binary are mirrored.
+  EXPECT_NE(text.find("gqd_failpoint_triggered_total{site="),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gqd_failpoint_hits_total{site="), std::string::npos);
+}
+
+TEST_F(ServeTest, StatsReportPerCommandLatencyQuantiles) {
+  service_.registry().Register("fig1", Figure1Graph());
+  (void)Call(
+      R"({"cmd":"eval","graph":"fig1","language":"rpq","query":"a+"})");
+  (void)Call(R"({"cmd":"ping"})");
+  std::string stats = Call(R"({"cmd":"stats"})");
+  auto parsed = JsonValue::Parse(stats);
+  ASSERT_TRUE(parsed.ok()) << stats;
+  const JsonValue* body = parsed.value().Find("stats");
+  ASSERT_NE(body, nullptr);
+  const JsonValue* per_command = body->Find("per_command_latency_us");
+  ASSERT_NE(per_command, nullptr) << stats;
+  const JsonValue* eval_latency = per_command->Find("eval");
+  ASSERT_NE(eval_latency, nullptr) << stats;
+  EXPECT_GE(eval_latency->GetInt("count").ValueOrDie(), 1);
+  EXPECT_GE(eval_latency->GetInt("p99").ValueOrDie(),
+            eval_latency->GetInt("p50").ValueOrDie());
+  ASSERT_NE(body->Find("budget_exhausted"), nullptr) << stats;
+  EXPECT_EQ(body->Find("budget_exhausted")->GetInt("bytes").ValueOrDie(), 0);
+}
+
 TEST_F(ServeTest, MalformedRequestsGetErrors) {
   EXPECT_NE(Call("this is not json").find("\"ok\":false"),
             std::string::npos);

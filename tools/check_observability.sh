@@ -1,0 +1,181 @@
+#!/usr/bin/env bash
+# End-to-end observability check, run by CI's observability job and usable
+# locally against a Release build:
+#
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+#   tools/check_observability.sh build [out-dir]
+#
+# 1. Runs a traced `gqd check` (frontier-parallel k-REM) and validates the
+#    Chrome trace-event JSON: schema of every event, stage totals present,
+#    and per-generation BFS spans summing to within 10% of the reported
+#    krem.bfs wall time.
+# 2. Starts `gqd serve`, exercises a trace:true eval and the `metrics`
+#    command over a real socket, and validates the Prometheus text
+#    exposition line-by-line (scrape format).
+#
+# Artifacts (trace JSON + metrics text) land in the output directory.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-obs-artifacts}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+GQD="${BUILD_DIR}/tools/gqd"
+
+if [[ ! -x "${GQD}" ]]; then
+  echo "error: ${GQD} not found — build gqd_cli first" >&2
+  exit 1
+fi
+mkdir -p "${OUT_DIR}"
+
+GRAPH="${REPO_ROOT}/examples/data/social_network.graph"
+RELATION="${REPO_ROOT}/examples/data/movie_link.pairs"
+TRACE="${OUT_DIR}/check_trace.json"
+
+echo "== traced gqd check (k-REM, 2 threads) =="
+"${GQD}" check "${GRAPH}" "${RELATION}" --language rem --k 2 --threads 2 \
+  --trace-out "${TRACE}"
+
+python3 - "${TRACE}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+
+events = trace["traceEvents"]
+assert events, "trace has no events"
+for e in events:
+    # Chrome trace-event complete-event schema.
+    assert isinstance(e["name"], str) and e["name"], e
+    assert e["cat"] == "gqd", e
+    assert e["ph"] == "X", e
+    assert isinstance(e["ts"], (int, float)), e
+    assert isinstance(e["dur"], (int, float)), e
+    assert e["pid"] == 1, e
+    assert isinstance(e["tid"], int), e
+    assert isinstance(e["args"], dict), e
+assert trace["displayTimeUnit"] == "ms"
+assert isinstance(trace["gqdDroppedSpans"], int)
+totals = trace["gqdStageTotals"]
+for name, t in totals.items():
+    assert t["count"] > 0 and t["total_ns"] >= 0, (name, t)
+
+by_name = {}
+for e in events:
+    by_name.setdefault(e["name"], []).append(e)
+for required in ("krem.bfs", "krem.bfs_generation",
+                 "krem.assignment_graph_build", "krem.generate_batch"):
+    assert required in by_name, f"missing span {required}: {sorted(by_name)}"
+
+bfs = by_name["krem.bfs"][0]["dur"]
+generations = sum(e["dur"] for e in by_name["krem.bfs_generation"])
+ratio = generations / bfs if bfs else 0.0
+print(f"krem.bfs = {bfs:.1f} us, generation spans sum = {generations:.1f} us"
+      f" ({ratio:.1%})")
+assert 0.9 <= ratio <= 1.0, (
+    f"per-generation spans sum to {ratio:.1%} of krem.bfs wall time "
+    "(acceptance bound: within 10%)")
+print("trace schema OK")
+EOF
+
+echo "== gqd serve: trace:true + metrics over a socket =="
+SERVE_LOG="${OUT_DIR}/serve.log"
+"${GQD}" serve --port 0 --graph "${GRAPH}" > "${SERVE_LOG}" 2>/dev/null &
+SERVE_PID=$!
+trap 'kill "${SERVE_PID}" 2>/dev/null || true' EXIT
+
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/^listening 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "${SERVE_LOG}" 2>/dev/null || true)"
+  [[ -n "${PORT}" ]] && break
+  sleep 0.1
+done
+if [[ -z "${PORT}" ]]; then
+  echo "error: server did not report a port" >&2
+  exit 1
+fi
+
+python3 - "${PORT}" "${OUT_DIR}/metrics.txt" <<'EOF'
+import json
+import re
+import socket
+import sys
+
+port, metrics_path = int(sys.argv[1]), sys.argv[2]
+
+
+def call(request):
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall((json.dumps(request) + "\n").encode())
+        data = b""
+        while not data.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    return json.loads(data.decode())
+
+# Traced eval: the inline span tree must cover admission, cache lookup,
+# and the handler, nested under serve.request.
+traced = call({"cmd": "eval", "graph": "social_network", "language": "rpq",
+               "query": "follows+", "trace": True})
+assert traced["ok"], traced
+tree = traced["trace"]
+assert isinstance(tree, list) and tree, traced
+names = set()
+
+
+def walk(nodes):
+    for node in nodes:
+        names.add(node["name"])
+        walk(node["children"])
+
+
+walk(tree)
+for required in ("serve.request", "serve.admission", "serve.cache_lookup",
+                 "serve.handler"):
+    assert required in names, f"missing {required} in {sorted(names)}"
+print("trace:true span tree OK:", ", ".join(sorted(names)))
+
+# A second identical eval must hit the result cache.
+again = call({"cmd": "eval", "graph": "social_network", "language": "rpq",
+              "query": "follows+", "trace": True})
+assert '"hit":1' in json.dumps(again, separators=(",", ":")), again
+
+# Prometheus exposition: validate every line against the scrape format.
+response = call({"cmd": "metrics"})
+assert response["ok"], response
+text = response["metrics"]
+with open(metrics_path, "w") as f:
+    f.write(text)
+assert text.endswith("\n"), "exposition must end with a newline"
+sample_re = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? '
+    r'-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$')
+type_re = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+families = set()
+for line in text.splitlines():
+    if line.startswith("# TYPE"):
+        assert type_re.match(line), f"bad TYPE line: {line!r}"
+        families.add(line.split()[2])
+    else:
+        assert sample_re.match(line), f"bad sample line: {line!r}"
+for required in ("gqd_requests_total", "gqd_request_latency_us",
+                 "gqd_command_requests_total", "gqd_cache_hits_total",
+                 "gqd_pool_threads", "gqd_admission_admitted_total",
+                 "gqd_budget_exhausted_total",
+                 "gqd_failpoint_triggered_total"):
+    assert required in families, f"missing family {required}"
+print(f"metrics exposition OK ({len(families)} families)")
+
+call({"cmd": "shutdown"})
+EOF
+
+wait "${SERVE_PID}" || true
+trap - EXIT
+echo "observability check passed; artifacts in ${OUT_DIR}/"

@@ -1,8 +1,9 @@
 // gqd — the command-line interface to the library.
 //
 //   gqd eval <graph> <regex|rem|ree> <expression> [--explain <u> <v>]
-//            [--preflight]
+//            [--preflight] [--trace-out <file>]
 //   gqd check <graph> <relation> [--language all|rpq|rem|ree|ucrdpq] [--k N]
+//             [--trace-out <file>]
 //   gqd synth <graph> <relation> --language rpq|rem|ree [--k N] [--simplify]
 //   gqd convert <regex|ree> <expression>        # embed into REM
 //   gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]
@@ -18,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,12 +56,12 @@ int Usage() {
       "usage:\n"
       "  gqd eval <graph> <regex|rem|ree> <expression> [--explain u v]"
       " [--preflight]\n"
-      "           [--max-bytes N] [--max-tuples N]\n"
+      "           [--max-bytes N] [--max-tuples N] [--trace-out FILE]\n"
       "  gqd check <graph> <relation> [--language all|rpq|rem|ree|ucrdpq]"
       " [--k N]\n"
       "            [--threads N] [--engine kernel|reference]"
       " [--max-tuples N]\n"
-      "            [--max-bytes N]\n"
+      "            [--max-bytes N] [--trace-out FILE]\n"
       "  gqd synth <graph> <relation> --language rpq|rem|ree [--k N]"
       " [--simplify]\n"
       "            [--threads N] [--engine kernel|reference]"
@@ -81,6 +83,11 @@ int Usage() {
       "  --max-bytes / --max-tuples cap accounted memory and materialized\n"
       "  tuples; an exceeded budget stops the search cleanly and reports\n"
       "  partial progress instead of exhausting host memory.\n"
+      "\n"
+      "observability:\n"
+      "  --trace-out FILE writes a Chrome trace-event JSON of the stage\n"
+      "  spans recorded during the command (open in chrome://tracing or\n"
+      "  Perfetto); see docs/observability.md.\n"
       "\n"
       "exit codes:\n"
       "  0 success      1 error          2 usage\n"
@@ -119,6 +126,52 @@ bool HasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Extracts `--trace-out <file>` or `--trace-out=<file>`; empty when absent.
+std::string TraceOutPath(int argc, char** argv) {
+  for (int i = 0; i < argc; i++) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      return argv[i] + 12;
+    }
+  }
+  return std::string();
+}
+
+/// Installs a Tracer for the command's lifetime when --trace-out was given
+/// and writes the Chrome trace-event JSON on destruction, so every exit
+/// path (including failures) still produces a trace file.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) {
+      tracer_.emplace();
+      scope_.emplace(&*tracer_);
+    }
+  }
+  ~TraceWriter() {
+    if (!tracer_.has_value()) {
+      return;
+    }
+    scope_.reset();
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write trace file %s\n",
+                   path_.c_str());
+      return;
+    }
+    out << TraceToChromeJson(tracer_->Drain());
+  }
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+ private:
+  std::string path_;
+  std::optional<Tracer> tracer_;
+  std::optional<Tracer::Scope> scope_;
+};
+
 /// Emplaces a ResourceBudget from --max-bytes (and, when
 /// `tuples_axis` is set, --max-tuples); leaves `*budget` empty when
 /// neither flag is present.
@@ -156,6 +209,7 @@ int CmdEval(int argc, char** argv) {
   if (argc < 3) {
     return Usage();
   }
+  TraceWriter trace(TraceOutPath(argc, argv));
   auto graph = LoadGraph(argv[0]);
   if (!graph.ok()) {
     return Fail(graph.status());
@@ -274,6 +328,7 @@ int CmdCheck(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
   }
+  TraceWriter trace(TraceOutPath(argc, argv));
   auto graph = LoadGraph(argv[0]);
   if (!graph.ok()) {
     return Fail(graph.status());

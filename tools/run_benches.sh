@@ -23,7 +23,11 @@ for bench in bench_rem_definability bench_ree_definability; do
     echo "error: ${bin} not found — build the repo first" >&2
     exit 1
   fi
-  "${bin}" --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+  # GQD_TRACE_OUT makes the binary's static trace hook record stage spans
+  # and dump a Chrome trace at exit; its gqdStageTotals block feeds the
+  # per-stage wall summaries attached to BENCH_results.json below.
+  GQD_TRACE_OUT="${TMP_DIR}/${bench}.trace.json" \
+    "${bin}" --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
     > "${TMP_DIR}/${bench}.json"
 done
 
@@ -43,9 +47,23 @@ BASELINE_MS = {
 }
 
 results = []
+stage_totals = {}
 for bench in ("bench_rem_definability", "bench_ree_definability"):
     with open(f"{tmp_dir}/{bench}.json") as f:
         data = json.load(f)
+    # Per-stage wall totals from the tracer (exact even under ring
+    # overflow), keyed by span name; ms to match wall_ms above.
+    try:
+        with open(f"{tmp_dir}/{bench}.trace.json") as f:
+            trace = json.load(f)
+        stage_totals[bench] = {
+            name: {"count": t["count"], "wall_ms": t["total_ns"] / 1e6}
+            for name, t in trace.get("gqdStageTotals", {}).items()
+        }
+        if trace.get("gqdDroppedSpans"):
+            stage_totals[bench]["_dropped_spans"] = trace["gqdDroppedSpans"]
+    except (OSError, ValueError):
+        pass  # tracing compiled out or trace file missing
     for b in data["benchmarks"]:
         if b.get("run_type") == "aggregate":
             continue
@@ -79,6 +97,7 @@ with open(out_path, "w") as f:
             "baseline": "pre word-parallel kernel rewrite (Release)",
             "medium_configs": medium,
             "benchmarks": results,
+            "trace_stage_totals": stage_totals,
         },
         f,
         indent=2,
