@@ -125,6 +125,68 @@ void BM_KRemDefinability_WithCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_KRemDefinability_WithCycle);
 
+/// Label-local "banded" graph: the node range splits into `bands`
+/// contiguous bands and band b's outgoing edges all carry label b. Each
+/// (store_mask, label, pattern) transition therefore draws its sources
+/// from one band — the narrow source-mask word spans and single-target
+/// rows the dispatch table specializes for. Real graphs show the same
+/// locality (edge labels correlate with node kinds).
+DataGraph BandedGraph(std::size_t n, std::size_t bands, std::size_t delta) {
+  DataGraph g;
+  std::vector<std::string> labels(bands);
+  for (std::size_t b = 0; b < bands; b++) {
+    labels[b] = "l" + std::to_string(b);
+    g.AddLabel(labels[b]);
+  }
+  for (std::size_t i = 0; i < n; i++) {
+    g.AddNodeWithValue(std::to_string(i % delta), "n" + std::to_string(i));
+  }
+  for (std::size_t u = 0; u < n; u++) {
+    const std::string& label = labels[u * bands / n];
+    g.AddEdgeByName(static_cast<NodeId>(u), label,
+                    static_cast<NodeId>((u + 1) % n));
+    g.AddEdgeByName(static_cast<NodeId>(u), label,
+                    static_cast<NodeId>((u * 7 + 3) % n));
+  }
+  return g;
+}
+
+/// Plan-dispatch ablation: the same medium banded workload through the
+/// planned engine (per-transition kernels from the KernelDispatchTable —
+/// span-clipped scans plus single-target/CSR inner loops) and the
+/// word-parallel kernel engine it downgrades to. run_benches.sh pairs the
+/// *_Plan/*_NoPlan entries into a plan-dispatch speedup record.
+void RunKRemMediumSparse(benchmark::State& state, KRemEngine engine) {
+  DataGraph g = BandedGraph(128, 16, 15);
+  BinaryRelation s = RandomRelation(128, 15, 4321);
+  KRemDefinabilityOptions options;
+  options.max_tuples = 5'000;
+  options.engine = engine;
+  std::size_t tuples = 0;
+  int verdict = 0;
+  for (auto _ : state) {
+    auto result = CheckKRemDefinability(g, s, 1, options);
+    benchmark::DoNotOptimize(result);
+    tuples = result.ValueOrDie().tuples_explored;
+    verdict = static_cast<int>(result.ValueOrDie().verdict);
+  }
+  state.counters["macro_tuples"] = static_cast<double>(tuples);
+  state.counters["tuples_per_sec"] =
+      benchmark::Counter(static_cast<double>(tuples),
+                         benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["verdict"] = verdict;
+}
+
+void BM_KRemDefinability_MediumSparse_Plan(benchmark::State& state) {
+  RunKRemMediumSparse(state, KRemEngine::kPlanned);
+}
+BENCHMARK(BM_KRemDefinability_MediumSparse_Plan);
+
+void BM_KRemDefinability_MediumSparse_NoPlan(benchmark::State& state) {
+  RunKRemMediumSparse(state, KRemEngine::kKernel);
+}
+BENCHMARK(BM_KRemDefinability_MediumSparse_NoPlan);
+
 /// Lemma 23: unbounded-REM definability at k = δ — the EXPSPACE wall.
 void BM_RemDefinability_Unbounded(benchmark::State& state) {
   std::size_t delta = static_cast<std::size_t>(state.range(0));

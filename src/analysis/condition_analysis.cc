@@ -13,7 +13,7 @@ MintermMask FullMask(std::size_t k) {
 /// empty (the disjunct can never fire) and a child of ∧ whose minterm set is
 /// full (the conjunct never filters anything).
 void FindDeadBranches(const ConditionPtr& condition, std::size_t k,
-                      const std::string& context,
+                      const std::string& context, std::size_t source_offset,
                       std::vector<Diagnostic>* diagnostics) {
   if (condition->kind != ConditionKind::kAnd &&
       condition->kind != ConditionKind::kOr &&
@@ -28,22 +28,23 @@ void FindDeadBranches(const ConditionPtr& condition, std::size_t k,
           DiagnosticSeverity::kWarning, "GQD-COND-002",
           "disjunct `" + ConditionToString(child) +
               "` is unsatisfiable; the branch is dead",
-          context});
+          context, source_offset});
     }
     if (condition->kind == ConditionKind::kAnd && child_mask == full) {
       diagnostics->push_back(Diagnostic{
           DiagnosticSeverity::kWarning, "GQD-COND-002",
           "conjunct `" + ConditionToString(child) +
               "` is a tautology; the branch filters nothing",
-          context});
+          context, source_offset});
     }
-    FindDeadBranches(child, k, context, diagnostics);
+    FindDeadBranches(child, k, context, source_offset, diagnostics);
   }
 }
 
 void WalkTests(const RemPtr& node, std::vector<Diagnostic>* diagnostics) {
   if (node->kind == RemKind::kCondition) {
-    AnalyzeCondition(node->condition, RemToString(node), diagnostics);
+    AnalyzeCondition(node->condition, RemToString(node), diagnostics,
+                     node->source_offset);
   }
   for (const RemPtr& child : node->children) {
     WalkTests(child, diagnostics);
@@ -54,7 +55,8 @@ void WalkTests(const RemPtr& node, std::vector<Diagnostic>* diagnostics) {
 
 void AnalyzeCondition(const ConditionPtr& condition,
                       const std::string& context,
-                      std::vector<Diagnostic>* diagnostics) {
+                      std::vector<Diagnostic>* diagnostics,
+                      std::size_t source_offset) {
   std::size_t k = ConditionNumRegisters(condition);
   if (k > kMaxAnalyzableRegisters) {
     return;  // wider than the minterm machinery supports
@@ -65,16 +67,16 @@ void AnalyzeCondition(const ConditionPtr& condition,
         DiagnosticSeverity::kError, "GQD-COND-001",
         "condition `" + ConditionToString(condition) +
             "` is unsatisfiable; the enclosing test matches nothing",
-        context});
+        context, source_offset});
   } else if (mask == FullMask(k) && condition->kind != ConditionKind::kTrue) {
     diagnostics->push_back(Diagnostic{
         DiagnosticSeverity::kNote, "GQD-COND-003",
         "condition `" + ConditionToString(condition) +
             "` is a tautology; the test can be dropped (write T if the "
             "emphasis is intended)",
-        context});
+        context, source_offset});
   }
-  FindDeadBranches(condition, k, context, diagnostics);
+  FindDeadBranches(condition, k, context, source_offset, diagnostics);
 }
 
 void RunConditionAnalysisPass(const RemPtr& expression,

@@ -30,11 +30,13 @@ namespace gqd {
 inline constexpr std::size_t kMaxAnalyzableRegisters = 6;
 
 /// Analyzes one condition; `context` is the pretty-printed enclosing test
-/// (used as the diagnostics' subexpression anchor). No-op when the condition
-/// mentions more than kMaxAnalyzableRegisters registers.
+/// (used as the diagnostics' subexpression anchor) and `source_offset` the
+/// test's position in the query text (kNoOffset when synthesized). No-op
+/// when the condition mentions more than kMaxAnalyzableRegisters registers.
 void AnalyzeCondition(const ConditionPtr& condition,
                       const std::string& context,
-                      std::vector<Diagnostic>* diagnostics);
+                      std::vector<Diagnostic>* diagnostics,
+                      std::size_t source_offset = Diagnostic::kNoOffset);
 
 /// The pass: analyzes the condition of every e[c] node in `expression`.
 void RunConditionAnalysisPass(const RemPtr& expression,

@@ -6,18 +6,6 @@
 
 namespace gqd {
 
-const char* DiagnosticSeverityToString(DiagnosticSeverity severity) {
-  switch (severity) {
-    case DiagnosticSeverity::kError:
-      return "error";
-    case DiagnosticSeverity::kWarning:
-      return "warning";
-    case DiagnosticSeverity::kNote:
-      return "note";
-  }
-  return "unknown";
-}
-
 bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
   for (const Diagnostic& d : diagnostics) {
     if (d.severity == DiagnosticSeverity::kError) {
@@ -38,13 +26,41 @@ std::size_t CountSeverity(const std::vector<Diagnostic>& diagnostics,
   return count;
 }
 
+void ResolveDiagnosticLocations(const std::string& source,
+                                std::vector<Diagnostic>* diagnostics) {
+  for (Diagnostic& d : *diagnostics) {
+    if (d.offset == Diagnostic::kNoOffset || d.offset > source.size()) {
+      continue;
+    }
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < d.offset; i++) {
+      if (source[i] == '\n') {
+        line++;
+        column = 1;
+      } else {
+        column++;
+      }
+    }
+    d.line = line;
+    d.column = column;
+  }
+}
+
 std::string DiagnosticsToText(const std::vector<Diagnostic>& diagnostics) {
   std::ostringstream out;
   for (const Diagnostic& d : diagnostics) {
     out << DiagnosticSeverityToString(d.severity) << " " << d.code << ": "
         << d.message << "\n";
-    if (!d.subexpression.empty()) {
-      out << "    in: " << d.subexpression << "\n";
+    if (!d.subexpression.empty() || d.line > 0) {
+      out << "    ";
+      if (d.line > 0) {
+        out << "at " << d.line << ":" << d.column;
+        out << (d.subexpression.empty() ? "\n" : " ");
+      }
+      if (!d.subexpression.empty()) {
+        out << "in: " << d.subexpression << "\n";
+      }
     }
   }
   return out.str();
@@ -61,7 +77,11 @@ std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
     out << "{\"severity\":\"" << DiagnosticSeverityToString(d.severity)
         << "\",\"code\":\"" << JsonEscape(d.code) << "\",\"message\":\""
         << JsonEscape(d.message) << "\",\"subexpression\":\""
-        << JsonEscape(d.subexpression) << "\"}";
+        << JsonEscape(d.subexpression) << "\"";
+    if (d.line > 0) {
+      out << ",\"line\":" << d.line << ",\"column\":" << d.column;
+    }
+    out << "}";
   }
   out << "],\"errors\":" << CountSeverity(diagnostics,
                                           DiagnosticSeverity::kError)
@@ -103,6 +123,16 @@ const std::vector<DiagnosticCodeInfo>& AllDiagnosticCodes() {
       {"GQD-GRF-002", DiagnosticSeverity::kWarning,
        "more registers than the graph has data values (Lemma 23: extra "
        "registers are useless)"},
+      {"GQD-PLAN-001", DiagnosticSeverity::kWarning,
+       "automaton transitions that can never lie on an accepting run "
+       "(unreachable or non-coaccessible endpoints, or an unsatisfiable "
+       "check)"},
+      {"GQD-PLAN-002", DiagnosticSeverity::kNote,
+       "redundant automaton transitions (duplicate, or a check subsumed by "
+       "a weaker parallel check)"},
+      {"GQD-PLAN-003", DiagnosticSeverity::kNote,
+       "plan summary: automaton state/transition reduction applied before "
+       "evaluation"},
   };
   return kCodes;
 }

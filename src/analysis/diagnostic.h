@@ -3,7 +3,10 @@
 // A Diagnostic is one finding of a lint pass (analysis/pass_manager.h):
 // a severity, a stable machine-readable code like "GQD-REG-001", a
 // human-readable message, and — when the finding anchors to a specific
-// subexpression — that subexpression pretty-printed in concrete syntax.
+// subexpression — that subexpression pretty-printed in concrete syntax,
+// plus the byte offset of the subexpression in the query source when the
+// parser provided one (ResolveDiagnosticLocations turns offsets into
+// 1-based line/column anchors, so every finding is clickable).
 //
 // Codes are stable across releases and documented in docs/analysis.md with
 // their paper grounding; AllDiagnosticCodes() is the in-code registry the
@@ -26,17 +29,45 @@ enum class DiagnosticSeverity {
   kNote,     ///< Style-level redundancy; rewriting would simplify the query.
 };
 
-/// "error", "warning" or "note".
-const char* DiagnosticSeverityToString(DiagnosticSeverity severity);
+/// "error", "warning" or "note". Inline so layers below gqd_analysis (the
+/// plan pass renders its own findings) need no link-time dependency.
+inline const char* DiagnosticSeverityToString(DiagnosticSeverity severity) {
+  switch (severity) {
+    case DiagnosticSeverity::kError:
+      return "error";
+    case DiagnosticSeverity::kWarning:
+      return "warning";
+    case DiagnosticSeverity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
 
 /// One lint finding.
 struct Diagnostic {
+  /// Sentinel for "no source anchor" (automaton-level findings, synthesized
+  /// expressions that were never concrete text).
+  static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
   DiagnosticSeverity severity = DiagnosticSeverity::kWarning;
   std::string code;           ///< Stable code, e.g. "GQD-REG-001".
   std::string message;        ///< Human-readable explanation.
   std::string subexpression;  ///< Offending subexpression, "" when n/a.
 
-  bool operator==(const Diagnostic& other) const = default;
+  /// Byte offset of the anchored subexpression in the query source, or
+  /// kNoOffset. Filled by passes from the parser's node offsets.
+  std::size_t offset = kNoOffset;
+  /// 1-based source anchor, 0 until ResolveDiagnosticLocations runs (and
+  /// forever for unanchored findings).
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  /// Location-insensitive equality: two findings are the same finding
+  /// regardless of where (or whether) they anchor.
+  bool operator==(const Diagnostic& other) const {
+    return severity == other.severity && code == other.code &&
+           message == other.message && subexpression == other.subexpression;
+  }
 };
 
 /// True iff any diagnostic has error severity.
@@ -46,14 +77,22 @@ bool HasErrors(const std::vector<Diagnostic>& diagnostics);
 std::size_t CountSeverity(const std::vector<Diagnostic>& diagnostics,
                           DiagnosticSeverity severity);
 
+/// Converts byte offsets into 1-based line/column anchors against the
+/// query source the diagnostics were produced from. Findings without an
+/// offset (or with one past the source) are left unanchored.
+void ResolveDiagnosticLocations(const std::string& source,
+                                std::vector<Diagnostic>* diagnostics);
+
 /// Compiler-style text rendering:
 ///   error GQD-REG-001: register r1 is read ... [newline]
-///       in: $r1. a [r1=]
+///       at 1:5 in: $r1. a [r1=]
+/// (the "at L:C" anchor appears only once resolved).
 std::string DiagnosticsToText(const std::vector<Diagnostic>& diagnostics);
 
 /// JSON rendering:
 ///   {"diagnostics":[{"severity":"error","code":...,"message":...,
-///    "subexpression":...}],"errors":N,"warnings":N,"notes":N}
+///    "subexpression":...,"line":N,"column":N}],"errors":N,...}
+/// (line/column appear only on resolved findings).
 std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
 
 /// Registry entry for one stable diagnostic code.

@@ -1,5 +1,6 @@
 #include "analysis/graph_checks.h"
 
+#include <map>
 #include <set>
 #include <string>
 
@@ -7,30 +8,39 @@ namespace gqd {
 
 namespace {
 
-/// Collects the distinct letter names of an AST, generic over the families
-/// (all three expose `kind` plus a letter kind, `letter`, and `children`).
+/// Source anchor of a letter atom: REM nodes carry parser offsets, the
+/// regex and REE families do not (yet).
+std::size_t LetterOffset(const RemPtr& node) { return node->source_offset; }
+template <typename Ptr>
+std::size_t LetterOffset(const Ptr&) {
+  return Diagnostic::kNoOffset;
+}
+
+/// Collects the distinct letter names of an AST (with the offset of each
+/// name's first occurrence), generic over the families (all three expose
+/// `kind` plus a letter kind, `letter`, and `children`).
 template <typename Ptr, typename Kind>
 void CollectLetters(const Ptr& node, Kind letter_kind,
-                    std::set<std::string>* out) {
+                    std::map<std::string, std::size_t>* out) {
   if (node->kind == letter_kind) {
-    out->insert(node->letter);
+    out->emplace(node->letter, LetterOffset(node));
   }
   for (const Ptr& child : node->children) {
     CollectLetters(child, letter_kind, out);
   }
 }
 
-void ReportMissingLetters(const std::set<std::string>& letters,
+void ReportMissingLetters(const std::map<std::string, std::size_t>& letters,
                           const DataGraph& graph,
                           std::vector<Diagnostic>* diagnostics) {
-  for (const std::string& letter : letters) {
+  for (const auto& [letter, offset] : letters) {
     if (!graph.labels().Find(letter).has_value()) {
       diagnostics->push_back(Diagnostic{
           DiagnosticSeverity::kError, "GQD-GRF-001",
           "letter `" + letter +
               "` does not occur in the graph's alphabet; the atom matches "
               "no edge",
-          letter});
+          letter, offset});
     }
   }
 }
@@ -39,7 +49,7 @@ void ReportMissingLetters(const std::set<std::string>& letters,
 
 void RunRemGraphChecksPass(const RemPtr& expression, const DataGraph& graph,
                            std::vector<Diagnostic>* diagnostics) {
-  std::set<std::string> letters;
+  std::map<std::string, std::size_t> letters;
   CollectLetters(expression, RemKind::kLetter, &letters);
   ReportMissingLetters(letters, graph, diagnostics);
   std::size_t k = RemNumRegisters(expression);
@@ -51,13 +61,13 @@ void RunRemGraphChecksPass(const RemPtr& expression, const DataGraph& graph,
             " registers but the graph has only " + std::to_string(delta) +
             " distinct data values; by Lemma 23 at most " +
             std::to_string(delta) + " registers are useful here",
-        ""});
+        "", expression->source_offset});
   }
 }
 
 void RunReeGraphChecksPass(const ReePtr& expression, const DataGraph& graph,
                            std::vector<Diagnostic>* diagnostics) {
-  std::set<std::string> letters;
+  std::map<std::string, std::size_t> letters;
   CollectLetters(expression, ReeKind::kLetter, &letters);
   ReportMissingLetters(letters, graph, diagnostics);
 }
@@ -65,7 +75,7 @@ void RunReeGraphChecksPass(const ReePtr& expression, const DataGraph& graph,
 void RunRegexGraphChecksPass(const RegexPtr& expression,
                              const DataGraph& graph,
                              std::vector<Diagnostic>* diagnostics) {
-  std::set<std::string> letters;
+  std::map<std::string, std::size_t> letters;
   CollectLetters(expression, RegexKind::kLetter, &letters);
   ReportMissingLetters(letters, graph, diagnostics);
 }

@@ -180,12 +180,21 @@ bool RegexEmpty(const RegexPtr& node, const DataGraph* graph) {
   return false;
 }
 
+/// Source anchor of a node: REM nodes carry parser offsets, the regex and
+/// REE families do not (yet) — their findings stay unanchored.
+std::size_t NodeOffset(const RemPtr& node) { return node->source_offset; }
+template <typename Ptr>
+std::size_t NodeOffset(const Ptr&) {
+  return Diagnostic::kNoOffset;
+}
+
 void EmptyDiagnostic(const std::string& printed,
-                     std::vector<Diagnostic>* diagnostics) {
+                     std::vector<Diagnostic>* diagnostics,
+                     std::size_t offset = Diagnostic::kNoOffset) {
   diagnostics->push_back(Diagnostic{
       DiagnosticSeverity::kError, "GQD-AUT-003",
       "subexpression has a provably empty language; it matches no data path",
-      printed});
+      printed, offset});
 }
 
 /// Reports the topmost empty subexpressions of a tree, generic over the
@@ -195,7 +204,7 @@ void ReportTopmostEmpty(const Ptr& node, const EmptyFn& empty,
                         const PrintFn& print,
                         std::vector<Diagnostic>* diagnostics) {
   if (empty(node)) {
-    EmptyDiagnostic(print(node), diagnostics);
+    EmptyDiagnostic(print(node), diagnostics, NodeOffset(node));
     return;
   }
   for (const Ptr& child : node->children) {
@@ -204,9 +213,10 @@ void ReportTopmostEmpty(const Ptr& node, const EmptyFn& empty,
 }
 
 void Redundancy(const std::string& what, const std::string& printed,
-                std::vector<Diagnostic>* diagnostics) {
+                std::vector<Diagnostic>* diagnostics,
+                std::size_t offset = Diagnostic::kNoOffset) {
   diagnostics->push_back(Diagnostic{DiagnosticSeverity::kNote, "GQD-AUT-004",
-                                    what, printed});
+                                    what, printed, offset});
 }
 
 /// A desugared star: ε | e⁺ (rem::Star / ree::Star emit exactly this shape).
@@ -230,7 +240,7 @@ void ReportDuplicateUnionBranches(const Ptr& node, const PrintFn& print,
     std::string printed = print(child);
     if (!seen.insert(printed).second) {
       Redundancy("duplicate union branch `" + printed + "`", print(node),
-                 diagnostics);
+                 diagnostics, NodeOffset(node));
     }
   }
 }
@@ -244,13 +254,13 @@ void RemRedundancy(const RemPtr& node, std::vector<Diagnostic>* diagnostics) {
       const RemPtr& body = node->children[0];
       if (body->kind == RemKind::kPlus) {
         Redundancy("nested e++ is equivalent to e+", RemToString(node),
-                   diagnostics);
+                   diagnostics, node->source_offset);
       } else if (star_shape(body)) {
         Redundancy("(e*)+ is equivalent to e*", RemToString(node),
-                   diagnostics);
+                   diagnostics, node->source_offset);
       } else if (body->kind == RemKind::kEpsilon) {
         Redundancy("eps+ is equivalent to eps", RemToString(node),
-                   diagnostics);
+                   diagnostics, node->source_offset);
       }
       break;
     }
@@ -258,7 +268,7 @@ void RemRedundancy(const RemPtr& node, std::vector<Diagnostic>* diagnostics) {
       for (const RemPtr& child : node->children) {
         if (child->kind == RemKind::kEpsilon) {
           Redundancy("eps unit inside a concatenation can be dropped",
-                     RemToString(node), diagnostics);
+                     RemToString(node), diagnostics, node->source_offset);
           break;
         }
       }
@@ -270,13 +280,14 @@ void RemRedundancy(const RemPtr& node, std::vector<Diagnostic>* diagnostics) {
     case RemKind::kCondition:
       if (node->condition != nullptr &&
           node->condition->kind == ConditionKind::kTrue) {
-        Redundancy("[T] test is a no-op", RemToString(node), diagnostics);
+        Redundancy("[T] test is a no-op", RemToString(node), diagnostics,
+                   node->source_offset);
       }
       break;
     case RemKind::kBind:
       if (node->registers.empty()) {
         Redundancy("bind with no registers is a no-op", RemToString(node),
-                   diagnostics);
+                   diagnostics, node->source_offset);
       }
       break;
     default:

@@ -79,6 +79,8 @@ Result<std::vector<LintSuiteEntry>> RunLintSuite(
     entry.language = language;
     entry.expression_text = expression;
     entry.diagnostics = LintOne(language, expression, options);
+    // Anchor findings to line:column within the entry's expression text.
+    ResolveDiagnosticLocations(expression, &entry.diagnostics);
     entries.push_back(std::move(entry));
   }
   return entries;

@@ -7,6 +7,7 @@
 #include "analysis/condition_analysis.h"
 #include "analysis/graph_checks.h"
 #include "analysis/hygiene.h"
+#include "analysis/plan/automaton_analysis.h"
 #include "analysis/register_dataflow.h"
 #include "common/interner.h"
 #include "rem/register_automaton.h"
@@ -92,6 +93,11 @@ std::vector<Diagnostic> LintRem(const RemPtr& expression,
        [&](std::vector<Diagnostic>* d) {
          RunAutomatonHygienePass(CompileForHygiene(expression, graph), d);
        }},
+      {"plan",
+       [&](std::vector<Diagnostic>* d) {
+         AppendPlanDiagnostics(
+             AnalyzeAutomaton(CompileForHygiene(expression, graph)), d);
+       }},
   };
   if (graph != nullptr) {
     passes.push_back({"graph-checks", [&](std::vector<Diagnostic>* d) {
@@ -146,7 +152,8 @@ std::vector<Diagnostic> LintRegex(const RegexPtr& expression,
 const std::vector<std::string>& LintPassNames() {
   static const std::vector<std::string> kNames = {
       "register-dataflow", "condition-analysis", "emptiness",
-      "redundancy",        "automaton-hygiene",  "graph-checks",
+      "redundancy",        "automaton-hygiene",  "plan",
+      "graph-checks",
   };
   return kNames;
 }

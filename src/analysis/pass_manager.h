@@ -45,7 +45,7 @@ std::vector<Diagnostic> LintRegex(const RegexPtr& expression,
 
 /// Names of all registered passes, for CLI help and pass selection:
 /// register-dataflow, condition-analysis, emptiness, redundancy,
-/// automaton-hygiene, graph-checks.
+/// automaton-hygiene, plan, graph-checks.
 const std::vector<std::string>& LintPassNames();
 
 }  // namespace gqd

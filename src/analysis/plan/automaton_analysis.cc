@@ -1,0 +1,405 @@
+#include "analysis/plan/automaton_analysis.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "analysis/condition_analysis.h"
+#include "rem/condition.h"
+
+namespace gqd {
+
+namespace {
+
+/// Pushes `state` onto `worklist` the first time it is seen.
+void Visit(RaState state, std::vector<bool>* seen,
+           std::vector<RaState>* worklist) {
+  if (!(*seen)[state]) {
+    (*seen)[state] = true;
+    worklist->push_back(state);
+  }
+}
+
+std::string StoreDetail(const RegisterAutomaton::StoreEdge& edge) {
+  std::string detail = "store ";
+  for (std::size_t i = 0; i < edge.registers.size(); i++) {
+    if (i > 0) {
+      detail += ",";
+    }
+    detail += "r" + std::to_string(edge.registers[i] + 1);
+  }
+  if (edge.registers.empty()) {
+    detail += "(none)";
+  }
+  return detail;
+}
+
+}  // namespace
+
+const char* EliminationKindName(EliminatedTransition::Kind kind) {
+  switch (kind) {
+    case EliminatedTransition::Kind::kDeadEndpoint:
+      return "dead-endpoint";
+    case EliminatedTransition::Kind::kUnsatisfiableCheck:
+      return "unsatisfiable-check";
+    case EliminatedTransition::Kind::kDuplicate:
+      return "duplicate";
+    case EliminatedTransition::Kind::kSubsumedCheck:
+      return "subsumed-check";
+  }
+  return "unknown";
+}
+
+const char* EliminationEdgeName(EliminatedTransition::Edge edge) {
+  switch (edge) {
+    case EliminatedTransition::Edge::kStore:
+      return "store";
+    case EliminatedTransition::Edge::kCheck:
+      return "check";
+    case EliminatedTransition::Edge::kLetter:
+      return "letter";
+  }
+  return "unknown";
+}
+
+std::size_t AutomatonAnalysis::EliminatedCount(
+    EliminatedTransition::Kind kind) const {
+  std::size_t count = 0;
+  for (const EliminatedTransition& t : eliminated) {
+    if (t.kind == kind) {
+      count++;
+    }
+  }
+  return count;
+}
+
+AutomatonAnalysis AnalyzeAutomaton(const RegisterAutomaton& automaton) {
+  AutomatonAnalysis analysis;
+  std::size_t n = automaton.num_states;
+  analysis.num_states = n;
+  analysis.reachable.assign(n, false);
+  analysis.coaccessible.assign(n, false);
+  analysis.live.assign(n, false);
+  if (n == 0) {
+    return analysis;
+  }
+
+  // Forward reachability from start, over every edge kind. Condition
+  // satisfiability is deliberately ignored here: treating every Check as
+  // passable over-approximates reachability, and pruning only what even
+  // the over-approximation misses is always language-preserving.
+  std::vector<RaState> worklist;
+  Visit(automaton.start, &analysis.reachable, &worklist);
+  while (!worklist.empty()) {
+    RaState s = worklist.back();
+    worklist.pop_back();
+    for (const auto& e : automaton.store_edges[s]) {
+      Visit(e.to, &analysis.reachable, &worklist);
+    }
+    for (const auto& e : automaton.check_edges[s]) {
+      Visit(e.to, &analysis.reachable, &worklist);
+    }
+    for (const auto& e : automaton.letter_edges[s]) {
+      Visit(e.to, &analysis.reachable, &worklist);
+    }
+  }
+
+  // Reverse coaccessibility from accept.
+  std::vector<std::vector<RaState>> reverse(n);
+  for (std::size_t s = 0; s < n; s++) {
+    RaState from = static_cast<RaState>(s);
+    for (const auto& e : automaton.store_edges[s]) {
+      reverse[e.to].push_back(from);
+    }
+    for (const auto& e : automaton.check_edges[s]) {
+      reverse[e.to].push_back(from);
+    }
+    for (const auto& e : automaton.letter_edges[s]) {
+      reverse[e.to].push_back(from);
+    }
+  }
+  Visit(automaton.accept, &analysis.coaccessible, &worklist);
+  while (!worklist.empty()) {
+    RaState s = worklist.back();
+    worklist.pop_back();
+    for (RaState p : reverse[s]) {
+      Visit(p, &analysis.coaccessible, &worklist);
+    }
+  }
+
+  for (std::size_t s = 0; s < n; s++) {
+    analysis.live[s] = analysis.reachable[s] && analysis.coaccessible[s];
+    if (analysis.live[s]) {
+      analysis.live_states++;
+    }
+  }
+
+  analysis.keep_store.resize(n);
+  analysis.keep_check.resize(n);
+  analysis.keep_letter.resize(n);
+
+  auto eliminate = [&](EliminatedTransition::Kind kind,
+                       EliminatedTransition::Edge edge, RaState from,
+                       RaState to, std::string detail) {
+    analysis.eliminated.push_back(
+        EliminatedTransition{kind, edge, from, to, std::move(detail)});
+  };
+
+  for (std::size_t s = 0; s < n; s++) {
+    RaState from = static_cast<RaState>(s);
+    bool from_live = analysis.live[s];
+    analysis.keep_store[s].assign(automaton.store_edges[s].size(), true);
+    analysis.keep_check[s].assign(automaton.check_edges[s].size(), true);
+    analysis.keep_letter[s].assign(automaton.letter_edges[s].size(), true);
+    analysis.total_transitions += automaton.store_edges[s].size() +
+                                  automaton.check_edges[s].size() +
+                                  automaton.letter_edges[s].size();
+
+    // Dead endpoints first; the redundancy screens below only compare
+    // edges that survived, so a duplicate of a dead edge is itself
+    // reported as dead, not as a duplicate.
+    for (std::size_t i = 0; i < automaton.store_edges[s].size(); i++) {
+      const auto& e = automaton.store_edges[s][i];
+      if (!from_live || !analysis.live[e.to]) {
+        analysis.keep_store[s][i] = false;
+        eliminate(EliminatedTransition::Kind::kDeadEndpoint,
+                  EliminatedTransition::Edge::kStore, from, e.to,
+                  StoreDetail(e));
+      }
+    }
+    for (std::size_t i = 0; i < automaton.check_edges[s].size(); i++) {
+      const auto& e = automaton.check_edges[s][i];
+      if (!from_live || !analysis.live[e.to]) {
+        analysis.keep_check[s][i] = false;
+        eliminate(EliminatedTransition::Kind::kDeadEndpoint,
+                  EliminatedTransition::Edge::kCheck, from, e.to,
+                  "[" + ConditionToString(e.condition) + "]");
+      }
+    }
+    for (std::size_t i = 0; i < automaton.letter_edges[s].size(); i++) {
+      const auto& e = automaton.letter_edges[s][i];
+      if (!from_live || !analysis.live[e.to]) {
+        analysis.keep_letter[s][i] = false;
+        eliminate(EliminatedTransition::Kind::kDeadEndpoint,
+                  EliminatedTransition::Edge::kLetter, from, e.to,
+                  "letter #" + std::to_string(e.label));
+      }
+    }
+
+    // Unsatisfiable checks, decided exactly by the minterm compilation when
+    // the condition mentions few enough registers for the 64-bit mask.
+    std::vector<std::pair<bool, MintermMask>> masks(
+        automaton.check_edges[s].size(), {false, 0});
+    for (std::size_t i = 0; i < automaton.check_edges[s].size(); i++) {
+      if (!analysis.keep_check[s][i]) {
+        continue;
+      }
+      const auto& e = automaton.check_edges[s][i];
+      std::size_t registers = ConditionNumRegisters(e.condition);
+      if (registers > kMaxAnalyzableRegisters) {
+        continue;
+      }
+      masks[i] = {true, ConditionToMinterms(e.condition, registers)};
+      if (masks[i].second == 0) {
+        analysis.keep_check[s][i] = false;
+        eliminate(EliminatedTransition::Kind::kUnsatisfiableCheck,
+                  EliminatedTransition::Edge::kCheck, from, e.to,
+                  "[" + ConditionToString(e.condition) + "]");
+      }
+    }
+
+    // Duplicates within each surviving edge family.
+    {
+      std::map<std::pair<std::uint32_t, RaState>, std::size_t> seen;
+      for (std::size_t i = 0; i < automaton.letter_edges[s].size(); i++) {
+        if (!analysis.keep_letter[s][i]) {
+          continue;
+        }
+        const auto& e = automaton.letter_edges[s][i];
+        if (!seen.emplace(std::make_pair(e.label, e.to), i).second) {
+          analysis.keep_letter[s][i] = false;
+          eliminate(EliminatedTransition::Kind::kDuplicate,
+                    EliminatedTransition::Edge::kLetter, from, e.to,
+                    "letter #" + std::to_string(e.label));
+        }
+      }
+    }
+    {
+      std::map<std::pair<std::vector<std::size_t>, RaState>, std::size_t> seen;
+      for (std::size_t i = 0; i < automaton.store_edges[s].size(); i++) {
+        if (!analysis.keep_store[s][i]) {
+          continue;
+        }
+        const auto& e = automaton.store_edges[s][i];
+        std::vector<std::size_t> sorted = e.registers;
+        std::sort(sorted.begin(), sorted.end());
+        if (!seen.emplace(std::make_pair(std::move(sorted), e.to), i).second) {
+          analysis.keep_store[s][i] = false;
+          eliminate(EliminatedTransition::Kind::kDuplicate,
+                    EliminatedTransition::Edge::kStore, from, e.to,
+                    StoreDetail(e));
+        }
+      }
+    }
+    {
+      // Checks: semantic duplicates (equal minterm sets) when decidable,
+      // syntactic rendering otherwise.
+      std::map<std::tuple<bool, std::uint64_t, std::string, RaState>,
+               std::size_t>
+          seen;
+      for (std::size_t i = 0; i < automaton.check_edges[s].size(); i++) {
+        if (!analysis.keep_check[s][i]) {
+          continue;
+        }
+        const auto& e = automaton.check_edges[s][i];
+        auto key = masks[i].first
+                       ? std::make_tuple(true, masks[i].second, std::string(),
+                                         e.to)
+                       : std::make_tuple(false, std::uint64_t{0},
+                                         ConditionToString(e.condition), e.to);
+        if (!seen.emplace(std::move(key), i).second) {
+          analysis.keep_check[s][i] = false;
+          eliminate(EliminatedTransition::Kind::kDuplicate,
+                    EliminatedTransition::Edge::kCheck, from, e.to,
+                    "[" + ConditionToString(e.condition) + "]");
+        }
+      }
+    }
+
+    // Subsumption: a check whose minterm set is strictly contained in a
+    // parallel check's (same endpoints) admits a strict subset of that
+    // check's runs, so dropping the stronger one loses nothing.
+    for (std::size_t i = 0; i < automaton.check_edges[s].size(); i++) {
+      if (!analysis.keep_check[s][i] || !masks[i].first) {
+        continue;
+      }
+      const auto& ei = automaton.check_edges[s][i];
+      for (std::size_t j = 0; j < automaton.check_edges[s].size(); j++) {
+        if (j == i || !analysis.keep_check[s][j] || !masks[j].first) {
+          continue;
+        }
+        const auto& ej = automaton.check_edges[s][j];
+        if (ej.to == ei.to && masks[i].second != masks[j].second &&
+            (masks[i].second & masks[j].second) == masks[i].second) {
+          analysis.keep_check[s][i] = false;
+          eliminate(EliminatedTransition::Kind::kSubsumedCheck,
+                    EliminatedTransition::Edge::kCheck, from, ei.to,
+                    "[" + ConditionToString(ei.condition) + "] subsumed by [" +
+                        ConditionToString(ej.condition) + "]");
+          break;
+        }
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < n; s++) {
+    for (bool keep : analysis.keep_store[s]) {
+      analysis.kept_transitions += keep ? 1 : 0;
+    }
+    for (bool keep : analysis.keep_check[s]) {
+      analysis.kept_transitions += keep ? 1 : 0;
+    }
+    for (bool keep : analysis.keep_letter[s]) {
+      analysis.kept_transitions += keep ? 1 : 0;
+    }
+  }
+  return analysis;
+}
+
+RegisterAutomaton PruneAutomaton(const RegisterAutomaton& automaton,
+                                 const AutomatonAnalysis& analysis) {
+  std::size_t n = automaton.num_states;
+  constexpr RaState kDropped = static_cast<RaState>(-1);
+  std::vector<RaState> remap(n, kDropped);
+  RaState next = 0;
+  for (std::size_t s = 0; s < n; s++) {
+    // Start and accept survive unconditionally so the pruned machine is
+    // always well-formed (an empty-language query keeps its two anchors).
+    if (analysis.live[s] || s == automaton.start || s == automaton.accept) {
+      remap[s] = next++;
+    }
+  }
+
+  RegisterAutomaton pruned;
+  pruned.num_states = next;
+  pruned.num_registers = automaton.num_registers;
+  pruned.start = remap[automaton.start];
+  pruned.accept = remap[automaton.accept];
+  pruned.store_edges.resize(next);
+  pruned.check_edges.resize(next);
+  pruned.letter_edges.resize(next);
+  for (std::size_t s = 0; s < n; s++) {
+    if (remap[s] == kDropped) {
+      continue;
+    }
+    for (std::size_t i = 0; i < automaton.store_edges[s].size(); i++) {
+      const auto& e = automaton.store_edges[s][i];
+      if (analysis.keep_store[s][i] && remap[e.to] != kDropped) {
+        pruned.store_edges[remap[s]].push_back(
+            RegisterAutomaton::StoreEdge{e.registers, remap[e.to]});
+      }
+    }
+    for (std::size_t i = 0; i < automaton.check_edges[s].size(); i++) {
+      const auto& e = automaton.check_edges[s][i];
+      if (analysis.keep_check[s][i] && remap[e.to] != kDropped) {
+        pruned.check_edges[remap[s]].push_back(
+            RegisterAutomaton::CheckEdge{e.condition, remap[e.to]});
+      }
+    }
+    for (std::size_t i = 0; i < automaton.letter_edges[s].size(); i++) {
+      const auto& e = automaton.letter_edges[s][i];
+      if (analysis.keep_letter[s][i] && remap[e.to] != kDropped) {
+        pruned.letter_edges[remap[s]].push_back(
+            RegisterAutomaton::LetterEdge{e.label, remap[e.to]});
+      }
+    }
+  }
+  return pruned;
+}
+
+void AppendPlanDiagnostics(const AutomatonAnalysis& analysis,
+                           std::vector<Diagnostic>* diagnostics) {
+  std::size_t dead =
+      analysis.EliminatedCount(EliminatedTransition::Kind::kDeadEndpoint) +
+      analysis.EliminatedCount(
+          EliminatedTransition::Kind::kUnsatisfiableCheck);
+  std::size_t dead_states = analysis.num_states - analysis.live_states;
+  if (dead > 0 || dead_states > 0) {
+    diagnostics->push_back(Diagnostic{
+        DiagnosticSeverity::kWarning, "GQD-PLAN-001",
+        "automaton has " + std::to_string(dead) +
+            " transition(s) that can never lie on an accepting run (" +
+            std::to_string(dead_states) +
+            " unreachable or non-coaccessible state(s)); the plan pass "
+            "eliminates them",
+        ""});
+  }
+  std::size_t redundant =
+      analysis.EliminatedCount(EliminatedTransition::Kind::kDuplicate) +
+      analysis.EliminatedCount(EliminatedTransition::Kind::kSubsumedCheck);
+  if (redundant > 0) {
+    diagnostics->push_back(Diagnostic{
+        DiagnosticSeverity::kNote, "GQD-PLAN-002",
+        "automaton has " + std::to_string(redundant) +
+            " redundant transition(s) (duplicate, or a check subsumed by a "
+            "weaker parallel check); the plan pass eliminates them",
+        ""});
+  }
+  if (dead > 0 || dead_states > 0 || redundant > 0) {
+    diagnostics->push_back(Diagnostic{
+        DiagnosticSeverity::kNote, "GQD-PLAN-003",
+        "plan: automaton reduced from " +
+            std::to_string(analysis.num_states) + " state(s) / " +
+            std::to_string(analysis.total_transitions) +
+            " transition(s) to " + std::to_string(analysis.live_states) +
+            " live state(s) / " + std::to_string(analysis.kept_transitions) +
+            " transition(s)",
+        ""});
+  }
+}
+
+}  // namespace gqd

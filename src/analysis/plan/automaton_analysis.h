@@ -1,0 +1,92 @@
+// Reachability/liveness analysis over compiled register automata.
+//
+// The first stage of the query plan (analysis/plan/query_plan.h): a
+// forward-reachability BFS from the start state and a reverse
+// coaccessibility BFS from the accept state decide which states can lie on
+// an accepting run at all, and a per-edge screen eliminates transitions
+// that provably never matter:
+//   * dead endpoint   — source or target state is not live;
+//   * unsatisfiable   — a Check edge whose condition's minterm set is empty
+//                       (decided exactly for conditions over ≤ 6 registers);
+//   * duplicate       — a second edge identical to an earlier one;
+//   * subsumed        — a Check edge between the same states as another
+//                       whose minterm set contains it (the stronger test
+//                       adds no runs the weaker one lacks).
+// All four are language-preserving: reachability ignores condition
+// satisfiability (an over-approximation, so pruning is always safe), and
+// the edge rules only remove runs that another retained edge reproduces or
+// that cannot complete.
+//
+// The findings surface through the lint "plan" pass as GQD-PLAN-001/-002/
+// -003 and drive PruneAutomaton, which rebuilds the automaton over the
+// live states only — both the eval BFS and the plan dump run on the pruned
+// machine.
+
+#ifndef GQD_ANALYSIS_PLAN_AUTOMATON_ANALYSIS_H_
+#define GQD_ANALYSIS_PLAN_AUTOMATON_ANALYSIS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "rem/register_automaton.h"
+
+namespace gqd {
+
+/// One transition the analysis proved removable.
+struct EliminatedTransition {
+  enum class Kind : std::uint8_t {
+    kDeadEndpoint,        ///< source or target not reachable ∧ coaccessible
+    kUnsatisfiableCheck,  ///< Check condition has an empty minterm set
+    kDuplicate,           ///< identical to an earlier edge of the same state
+    kSubsumedCheck,       ///< Check implied by a weaker parallel Check
+  };
+  enum class Edge : std::uint8_t { kStore, kCheck, kLetter };
+
+  Kind kind;
+  Edge edge;
+  RaState from;
+  RaState to;
+  std::string detail;  ///< rendered edge label, e.g. the condition text
+};
+
+/// Stable lower-kebab names for plan dumps.
+const char* EliminationKindName(EliminatedTransition::Kind kind);
+const char* EliminationEdgeName(EliminatedTransition::Edge edge);
+
+/// The analysis result: per-state liveness, per-edge keep masks (parallel
+/// to the automaton's edge lists), and the eliminated-transition log.
+struct AutomatonAnalysis {
+  std::size_t num_states = 0;
+  std::size_t live_states = 0;
+  std::size_t total_transitions = 0;
+  std::size_t kept_transitions = 0;
+  std::vector<bool> reachable;
+  std::vector<bool> coaccessible;
+  std::vector<bool> live;  ///< reachable ∧ coaccessible
+  std::vector<std::vector<bool>> keep_store;
+  std::vector<std::vector<bool>> keep_check;
+  std::vector<std::vector<bool>> keep_letter;
+  std::vector<EliminatedTransition> eliminated;
+
+  std::size_t EliminatedCount(EliminatedTransition::Kind kind) const;
+};
+
+/// Runs the analysis; pure function of the automaton.
+AutomatonAnalysis AnalyzeAutomaton(const RegisterAutomaton& automaton);
+
+/// Rebuilds the automaton over live states (plus start/accept, which are
+/// always retained so the machine stays well-formed even when the language
+/// is empty), dropping every eliminated edge. Language-preserving.
+RegisterAutomaton PruneAutomaton(const RegisterAutomaton& automaton,
+                                 const AutomatonAnalysis& analysis);
+
+/// Appends the GQD-PLAN-001/-002/-003 findings for `analysis` (nothing is
+/// appended for an automaton the analysis could not shrink).
+void AppendPlanDiagnostics(const AutomatonAnalysis& analysis,
+                           std::vector<Diagnostic>* diagnostics);
+
+}  // namespace gqd
+
+#endif  // GQD_ANALYSIS_PLAN_AUTOMATON_ANALYSIS_H_

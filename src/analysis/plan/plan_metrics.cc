@@ -1,0 +1,81 @@
+#include "analysis/plan/plan_metrics.h"
+
+#include <atomic>
+
+#include "analysis/plan/automaton_analysis.h"
+#include "obs/metrics.h"
+
+namespace gqd {
+
+namespace {
+
+std::atomic<std::uint64_t> g_builds{0};
+std::atomic<std::uint64_t> g_eliminated[4] = {};
+std::atomic<std::uint64_t> g_kernel_transitions[kNumKernelClasses] = {};
+std::atomic<std::uint64_t> g_kernel_hits[kNumKernelClasses] = {};
+
+}  // namespace
+
+void RecordPlanBuild(const std::size_t* class_counts,
+                     const std::size_t* eliminated_by_kind) {
+  g_builds.fetch_add(1, std::memory_order_relaxed);
+  if (class_counts != nullptr) {
+    for (std::size_t c = 0; c < kNumKernelClasses; c++) {
+      g_kernel_transitions[c].fetch_add(class_counts[c],
+                                        std::memory_order_relaxed);
+    }
+  }
+  if (eliminated_by_kind != nullptr) {
+    for (std::size_t k = 0; k < 4; k++) {
+      g_eliminated[k].fetch_add(eliminated_by_kind[k],
+                                std::memory_order_relaxed);
+    }
+  }
+}
+
+void RecordPlanKernelHits(const std::uint64_t* hits) {
+  for (std::size_t c = 0; c < kNumKernelClasses; c++) {
+    if (hits[c] != 0) {
+      g_kernel_hits[c].fetch_add(hits[c], std::memory_order_relaxed);
+    }
+  }
+}
+
+PlanCounterSnapshot GetPlanCounterSnapshot() {
+  PlanCounterSnapshot snapshot;
+  snapshot.builds = g_builds.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < 4; k++) {
+    snapshot.transitions_eliminated[k] =
+        g_eliminated[k].load(std::memory_order_relaxed);
+  }
+  for (std::size_t c = 0; c < kNumKernelClasses; c++) {
+    snapshot.kernel_transitions[c] =
+        g_kernel_transitions[c].load(std::memory_order_relaxed);
+    snapshot.kernel_hits[c] = g_kernel_hits[c].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void UpdatePlanMetrics(MetricsRegistry* registry) {
+  PlanCounterSnapshot snapshot = GetPlanCounterSnapshot();
+  registry->GetCounter("gqd_plan_builds_total")->Set(snapshot.builds);
+  for (std::size_t k = 0; k < 4; k++) {
+    registry
+        ->GetCounter("gqd_plan_transitions_eliminated_total",
+                     {{"kind", EliminationKindName(
+                                   static_cast<EliminatedTransition::Kind>(
+                                       k))}})
+        ->Set(snapshot.transitions_eliminated[k]);
+  }
+  for (std::size_t c = 0; c < kNumKernelClasses; c++) {
+    const char* name =
+        TransitionKernelClassName(static_cast<TransitionKernelClass>(c));
+    registry
+        ->GetCounter("gqd_plan_kernel_transitions_total", {{"class", name}})
+        ->Set(snapshot.kernel_transitions[c]);
+    registry->GetCounter("gqd_plan_kernel_hits_total", {{"class", name}})
+        ->Set(snapshot.kernel_hits[c]);
+  }
+}
+
+}  // namespace gqd

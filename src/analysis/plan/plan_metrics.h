@@ -1,0 +1,54 @@
+// Process-wide counters for the query-plan subsystem.
+//
+// The plan pass and the planned definability engines run deep inside
+// checkers that know nothing about a MetricsRegistry, so — like the
+// failpoint counters (common/failpoint.h) — they accumulate into global
+// atomics here and the serving layer mirrors them into its registry at
+// exposition time via UpdatePlanMetrics (runtime/stats.cc calls it right
+// next to UpdateFailpointMetrics).
+
+#ifndef GQD_ANALYSIS_PLAN_PLAN_METRICS_H_
+#define GQD_ANALYSIS_PLAN_PLAN_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "analysis/plan/kernel_class.h"
+
+namespace gqd {
+
+class MetricsRegistry;
+
+/// Snapshot of the global plan counters (also what the tests assert on).
+struct PlanCounterSnapshot {
+  std::uint64_t builds = 0;
+  std::uint64_t transitions_eliminated[4] = {0, 0, 0, 0};  ///< by Kind
+  std::uint64_t kernel_transitions[kNumKernelClasses] = {0};
+  std::uint64_t kernel_hits[kNumKernelClasses] = {0};
+};
+
+/// Records one plan build: the per-class census of its dispatch table
+/// (pass nullptr for a build without a dispatch table) and the number of
+/// transitions eliminated per EliminatedTransition::Kind (index by the
+/// enum's underlying value; pass nullptr when nothing was analyzed).
+void RecordPlanBuild(const std::size_t* class_counts,
+                     const std::size_t* eliminated_by_kind);
+
+/// Accumulates specialized-kernel inner-loop executions, one slot per
+/// TransitionKernelClass. The engines batch counts per search and flush
+/// once, so the atomics are off the hot path.
+void RecordPlanKernelHits(const std::uint64_t* hits);
+
+/// Current counter values.
+PlanCounterSnapshot GetPlanCounterSnapshot();
+
+/// Mirrors the global counters into `registry` as
+///   gqd_plan_builds_total
+///   gqd_plan_transitions_eliminated_total{kind=...}
+///   gqd_plan_kernel_transitions_total{class=...}
+///   gqd_plan_kernel_hits_total{class=...}
+void UpdatePlanMetrics(MetricsRegistry* registry);
+
+}  // namespace gqd
+
+#endif  // GQD_ANALYSIS_PLAN_PLAN_METRICS_H_

@@ -1,0 +1,220 @@
+#include "analysis/plan/query_plan.h"
+
+#include <utility>
+
+#include "analysis/plan/plan_metrics.h"
+#include "common/json_util.h"
+#include "obs/trace.h"
+
+namespace gqd {
+
+namespace {
+
+std::string LabelName(const StringInterner* labels, std::uint32_t label) {
+  if (labels != nullptr && label < labels->size()) {
+    return labels->NameOf(label);
+  }
+  return "#" + std::to_string(label);
+}
+
+std::string StoreMaskToString(std::uint32_t mask) {
+  if (mask == 0) {
+    return "-";
+  }
+  std::string out;
+  for (std::size_t r = 0; mask >> r != 0; r++) {
+    if (mask & (1u << r)) {
+      if (!out.empty()) {
+        out += ",";
+      }
+      out += "r" + std::to_string(r + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryPlan BuildRemQueryPlan(const RemPtr& expression, StringInterner* labels,
+                            bool intern_new_labels) {
+  GQD_TRACE_SPAN(span, "plan.analyze");
+  QueryPlan plan;
+  plan.normalized = RemToString(expression);
+  plan.num_registers = RemNumRegisters(expression);
+  RegisterAutomaton automaton =
+      CompileRem(expression, labels, intern_new_labels);
+  AutomatonAnalysis analysis = AnalyzeAutomaton(automaton);
+  plan.states_before = analysis.num_states;
+  plan.transitions_before = analysis.total_transitions;
+  plan.automaton = PruneAutomaton(automaton, analysis);
+  plan.states_after = plan.automaton.num_states;
+  plan.transitions_after = analysis.kept_transitions;
+  AppendPlanDiagnostics(analysis, &plan.diagnostics);
+  plan.eliminated = std::move(analysis.eliminated);
+
+  std::size_t eliminated_by_kind[4] = {};
+  for (const EliminatedTransition& t : plan.eliminated) {
+    eliminated_by_kind[static_cast<std::size_t>(t.kind)]++;
+  }
+  RecordPlanBuild(nullptr, eliminated_by_kind);
+  GQD_TRACE_SPAN_ATTR(span, "states_before", plan.states_before);
+  GQD_TRACE_SPAN_ATTR(span, "states_after", plan.states_after);
+  GQD_TRACE_SPAN_ATTR(span, "eliminated", plan.eliminated.size());
+  return plan;
+}
+
+void AttachDispatchCensus(const KernelDispatchTable& table, QueryPlan* plan) {
+  plan->has_dispatch = true;
+  plan->dispatch_enabled = table.enabled();
+  plan->dispatch_states = table.num_states();
+  plan->dispatch_set_words = table.set_words();
+  plan->total_cost = table.total_cost();
+  plan->kernels.clear();
+  for (std::size_t c = 0; c < kNumKernelClasses; c++) {
+    plan->class_counts[c] = table.enabled() ? table.class_counts()[c] : 0;
+  }
+  if (!table.enabled()) {
+    return;
+  }
+  // Same (mask, label, pattern) order as the checker's block loop, so the
+  // dump reads in execution order.
+  for (std::uint32_t mask = 0; mask < table.num_store_masks(); mask++) {
+    for (std::uint32_t label = 0; label < table.num_labels(); label++) {
+      for (std::uint32_t pattern = 0; pattern < table.num_patterns();
+           pattern++) {
+        const TransitionPlan& t =
+            table.PlanFor(mask, static_cast<LabelId>(label), pattern);
+        if (t.cls == TransitionKernelClass::kNoOp) {
+          continue;
+        }
+        plan->kernels.push_back(QueryPlanKernelChoice{
+            mask, label, pattern, t.cls, t.num_edges, t.cost});
+      }
+    }
+  }
+}
+
+std::string QueryPlan::ToText(const StringInterner* labels) const {
+  std::string out = "query plan\n";
+  out += "  normalized: " + normalized + "\n";
+  out += "  registers: " + std::to_string(num_registers) + "\n";
+  out += "  automaton: " + std::to_string(states_before) + " state(s), " +
+         std::to_string(transitions_before) + " transition(s) -> " +
+         std::to_string(states_after) + " state(s), " +
+         std::to_string(transitions_after) + " transition(s)\n";
+  if (!eliminated.empty()) {
+    out += "  eliminated transitions:\n";
+    for (const EliminatedTransition& t : eliminated) {
+      out += std::string("    - ") + EliminationKindName(t.kind) + " " +
+             EliminationEdgeName(t.edge) + " " + std::to_string(t.from) +
+             " -> " + std::to_string(t.to) + ": " + t.detail + "\n";
+    }
+  }
+  if (!diagnostics.empty()) {
+    out += "  diagnostics:\n";
+    for (const Diagnostic& d : diagnostics) {
+      out += std::string("    ") + DiagnosticSeverityToString(d.severity) +
+             " " + d.code + ": " + d.message + "\n";
+    }
+  }
+  if (has_dispatch) {
+    out += "  dispatch: " + std::to_string(dispatch_states) + " state(s), " +
+           std::to_string(dispatch_set_words) + " word(s)/set, " +
+           (dispatch_enabled ? "enabled" : "disabled") + "\n";
+    if (dispatch_enabled) {
+      out += "    class census:";
+      for (std::size_t c = 0; c < kNumKernelClasses; c++) {
+        out += std::string(" ") +
+               TransitionKernelClassName(
+                   static_cast<TransitionKernelClass>(c)) +
+               "=" + std::to_string(class_counts[c]);
+      }
+      out += "\n";
+      out += "    total cost: " + std::to_string(total_cost) +
+             " word(s)/application\n";
+      if (!kernels.empty()) {
+        out += "    kernels:\n";
+        for (const QueryPlanKernelChoice& k : kernels) {
+          out += "      - store=" + StoreMaskToString(k.store_mask) +
+                 " label=" + LabelName(labels, k.label) +
+                 " pattern=" + std::to_string(k.pattern) + ": " +
+                 TransitionKernelClassName(k.cls) +
+                 " edges=" + std::to_string(k.num_edges) +
+                 " cost=" + std::to_string(k.cost) + "\n";
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string QueryPlan::ToJson(const StringInterner* labels) const {
+  std::string out = "{";
+  out += "\"normalized\":" + JsonQuote(normalized);
+  out += ",\"registers\":" + std::to_string(num_registers);
+  out += ",\"automaton\":{\"states_before\":" + std::to_string(states_before) +
+         ",\"states_after\":" + std::to_string(states_after) +
+         ",\"transitions_before\":" + std::to_string(transitions_before) +
+         ",\"transitions_after\":" + std::to_string(transitions_after) + "}";
+  out += ",\"eliminated\":[";
+  for (std::size_t i = 0; i < eliminated.size(); i++) {
+    const EliminatedTransition& t = eliminated[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += std::string("{\"kind\":\"") + EliminationKindName(t.kind) +
+           "\",\"edge\":\"" + EliminationEdgeName(t.edge) +
+           "\",\"from\":" + std::to_string(t.from) +
+           ",\"to\":" + std::to_string(t.to) +
+           ",\"detail\":" + JsonQuote(t.detail) + "}";
+  }
+  out += "]";
+  out += ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics.size(); i++) {
+    const Diagnostic& d = diagnostics[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += std::string("{\"severity\":\"") +
+           DiagnosticSeverityToString(d.severity) + "\",\"code\":" +
+           JsonQuote(d.code) + ",\"message\":" + JsonQuote(d.message) + "}";
+  }
+  out += "]";
+  if (has_dispatch) {
+    out += ",\"dispatch\":{\"enabled\":";
+    out += dispatch_enabled ? "true" : "false";
+    out += ",\"states\":" + std::to_string(dispatch_states) +
+           ",\"set_words\":" + std::to_string(dispatch_set_words) +
+           ",\"total_cost\":" + std::to_string(total_cost);
+    out += ",\"class_counts\":{";
+    for (std::size_t c = 0; c < kNumKernelClasses; c++) {
+      if (c > 0) {
+        out += ",";
+      }
+      out += std::string("\"") +
+             TransitionKernelClassName(static_cast<TransitionKernelClass>(c)) +
+             "\":" + std::to_string(class_counts[c]);
+    }
+    out += "}";
+    out += ",\"kernels\":[";
+    for (std::size_t i = 0; i < kernels.size(); i++) {
+      const QueryPlanKernelChoice& k = kernels[i];
+      if (i > 0) {
+        out += ",";
+      }
+      out += "{\"store_mask\":" + std::to_string(k.store_mask) +
+             ",\"label\":" + JsonQuote(LabelName(labels, k.label)) +
+             ",\"pattern\":" + std::to_string(k.pattern) +
+             ",\"class\":\"" + TransitionKernelClassName(k.cls) +
+             "\",\"edges\":" + std::to_string(k.num_edges) +
+             ",\"cost\":" + std::to_string(k.cost) + "}";
+    }
+    out += "]}";
+  } else {
+    out += ",\"dispatch\":null";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gqd

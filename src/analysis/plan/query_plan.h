@@ -1,0 +1,84 @@
+// The per-query compilation artifact of the plan pass.
+//
+// BuildRemQueryPlan runs once after parse: compile the REM to its register
+// automaton, analyze reachability/liveness and transition redundancy
+// (analysis/plan/automaton_analysis.h), prune, and record the findings as
+// GQD-PLAN-* diagnostics. When a data graph is in play the caller
+// additionally builds a KernelDispatchTable over the assignment graph and
+// attaches its census, so the plan dump (`gqd compile --plan-out=FILE`)
+// shows the chosen kernel class, operand shape, and cost estimate of every
+// transition the checkers will execute.
+//
+// Plans are immutable after construction and safe to share (the serving
+// runtime caches them next to the normalized query text, keyed by the same
+// ResultCache fingerprinting).
+
+#ifndef GQD_ANALYSIS_PLAN_QUERY_PLAN_H_
+#define GQD_ANALYSIS_PLAN_QUERY_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/plan/automaton_analysis.h"
+#include "analysis/plan/kernel_class.h"
+#include "analysis/plan/kernel_dispatch.h"
+#include "common/interner.h"
+#include "rem/ast.h"
+#include "rem/register_automaton.h"
+
+namespace gqd {
+
+/// One non-noop transition of the attached dispatch census.
+struct QueryPlanKernelChoice {
+  std::uint32_t store_mask = 0;
+  std::uint32_t label = 0;
+  std::uint32_t pattern = 0;
+  TransitionKernelClass cls = TransitionKernelClass::kGeneric;
+  std::uint32_t num_edges = 0;
+  std::uint64_t cost = 0;
+};
+
+struct QueryPlan {
+  std::string normalized;  ///< canonical-printed query text
+  std::size_t num_registers = 0;
+
+  // Automaton analysis summary (before = as compiled, after = pruned).
+  std::size_t states_before = 0;
+  std::size_t states_after = 0;
+  std::size_t transitions_before = 0;
+  std::size_t transitions_after = 0;
+  RegisterAutomaton automaton;  ///< the pruned machine the eval BFS runs
+  std::vector<EliminatedTransition> eliminated;
+  std::vector<Diagnostic> diagnostics;  ///< GQD-PLAN-* findings
+
+  // Dispatch census (AttachDispatchCensus; absent without a graph).
+  bool has_dispatch = false;
+  bool dispatch_enabled = false;
+  std::size_t dispatch_states = 0;
+  std::size_t dispatch_set_words = 0;
+  std::size_t class_counts[kNumKernelClasses] = {};
+  std::uint64_t total_cost = 0;
+  std::vector<QueryPlanKernelChoice> kernels;  ///< non-noop, canonical order
+
+  /// Human-readable dump; label names resolve via `labels` when given,
+  /// otherwise as #id. Deterministic for golden tests.
+  std::string ToText(const StringInterner* labels = nullptr) const;
+
+  /// Machine-readable dump, deterministic field order.
+  std::string ToJson(const StringInterner* labels = nullptr) const;
+};
+
+/// Runs the analysis stage on a parsed REM. `labels`/`intern_new_labels`
+/// are forwarded to CompileRem — pass the graph's interner with
+/// intern_new_labels == false to plan against a concrete alphabet.
+QueryPlan BuildRemQueryPlan(const RemPtr& expression, StringInterner* labels,
+                            bool intern_new_labels = true);
+
+/// Copies `table`'s census and per-transition choices into `plan`.
+void AttachDispatchCensus(const KernelDispatchTable& table, QueryPlan* plan);
+
+}  // namespace gqd
+
+#endif  // GQD_ANALYSIS_PLAN_QUERY_PLAN_H_

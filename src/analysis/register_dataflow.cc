@@ -229,6 +229,23 @@ std::vector<std::size_t> DeadStores(const RemPtr& expression) {
   return dead;
 }
 
+/// Source anchor for a dead-store finding: the first bind that stores into
+/// `index` (document order), kNoSourceOffset when built programmatically.
+std::size_t FindBindOffset(const RemPtr& node, std::size_t index) {
+  if (node->kind == RemKind::kBind &&
+      std::find(node->registers.begin(), node->registers.end(), index) !=
+          node->registers.end()) {
+    return node->source_offset;
+  }
+  for (const RemPtr& child : node->children) {
+    std::size_t at = FindBindOffset(child, index);
+    if (at != kNoSourceOffset) {
+      return at;
+    }
+  }
+  return kNoSourceOffset;
+}
+
 void RunRegisterDataflowPass(const RemPtr& expression,
                              std::vector<Diagnostic>* diagnostics) {
   for (const VacuousReadSite& site : AstVacuousReads(expression)) {
@@ -240,7 +257,7 @@ void RunRegisterDataflowPass(const RemPtr& expression,
               " is compared with = before any possible store; the test is "
               "constantly false (an empty register equals nothing, "
               "Definition 3)",
-          RemToString(site.test)});
+          RemToString(site.test), site.test->source_offset});
     } else {
       diagnostics->push_back(Diagnostic{
           DiagnosticSeverity::kWarning, "GQD-REG-002",
@@ -248,7 +265,7 @@ void RunRegisterDataflowPass(const RemPtr& expression,
               " is compared with != before any possible store; the test is "
               "constantly true (an empty register differs from everything, "
               "Definition 3)",
-          RemToString(site.test)});
+          RemToString(site.test), site.test->source_offset});
     }
   }
   for (std::size_t index : DeadStores(expression)) {
@@ -257,7 +274,7 @@ void RunRegisterDataflowPass(const RemPtr& expression,
         "register " + RegisterName(index) +
             " is stored but never read by any condition; the bind has no "
             "effect",
-        ""});
+        "", FindBindOffset(expression, index)});
   }
 }
 

@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/plan/kernel_dispatch.h"
+#include "analysis/plan/plan_metrics.h"
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
@@ -151,6 +153,14 @@ struct BlockScratch {
   std::size_t included_count = 0;
   bool expired = false;
   std::uint32_t ticks = 0;
+  /// Planned engine only: the word window [begin, end) pattern p's parts
+  /// can occupy (from its TransitionPlan), so the subset-DFS save/OR/
+  /// restore touches only words that can change.
+  std::uint32_t span_begin[16] = {};
+  std::uint32_t span_end[16] = {};
+  /// Planned engine only: specialized inner-loop executions by class,
+  /// accumulated per search and flushed once (RecordPlanKernelHits).
+  std::uint64_t class_hits[kNumKernelClasses] = {};
 };
 
 /// Successor generation for one (store set, letter) block of one head
@@ -158,16 +168,31 @@ struct BlockScratch {
 /// so blocks can fan out across workers and merge back deterministically.
 class SuccessorGenerator {
  public:
+  /// Downgrade chain: planned needs an enabled dispatch table, kernel needs
+  /// the assignment graph's packed rows; anything else runs the reference
+  /// shape. All three compute identical successor bits.
+  static KRemEngine Resolve(KRemEngine requested, const AssignmentGraph& ag,
+                            const KernelDispatchTable* table) {
+    if (requested == KRemEngine::kPlanned && table != nullptr &&
+        table->enabled()) {
+      return KRemEngine::kPlanned;
+    }
+    if (requested != KRemEngine::kReference && ag.has_kernel()) {
+      return KRemEngine::kKernel;
+    }
+    return KRemEngine::kReference;
+  }
+
   SuccessorGenerator(const AssignmentGraph& ag, std::size_t n,
-                     KRemEngine engine, const CancelToken* cancel)
+                     KRemEngine engine, const KernelDispatchTable* table,
+                     const CancelToken* cancel)
       : ag_(ag),
+        table_(table),
         n_(n),
         num_patterns_(ag.num_patterns()),
         set_words_((ag.num_states() + 63) / 64),
         tuple_words_(n * set_words_),
-        engine_(engine == KRemEngine::kKernel && ag.has_kernel()
-                    ? KRemEngine::kKernel
-                    : KRemEngine::kReference),
+        engine_(Resolve(engine, ag, table)),
         cancel_(cancel) {}
 
   std::size_t set_words() const { return set_words_; }
@@ -191,16 +216,29 @@ class SuccessorGenerator {
     s->achieved.clear();
     s->expired = false;
     std::fill(s->parts.begin(), s->parts.end(), 0);
-    std::uint32_t achieved_mask =
-        engine_ == KRemEngine::kKernel
-            ? FillPartsKernel(tuple, store_mask, label, s)
-            : FillPartsReference(tuple, store_mask, label, s);
+    std::uint32_t achieved_mask;
+    switch (engine_) {
+      case KRemEngine::kPlanned:
+        achieved_mask = FillPartsPlanned(tuple, store_mask, label, s);
+        break;
+      case KRemEngine::kKernel:
+        achieved_mask = FillPartsKernel(tuple, store_mask, label, s);
+        break;
+      default:
+        achieved_mask = FillPartsReference(tuple, store_mask, label, s);
+        break;
+    }
     if (s->expired || achieved_mask == 0) {
       return;
     }
     for (std::uint32_t p = 0; p < num_patterns_; p++) {
       if (achieved_mask & (1u << p)) {
         s->achieved.push_back(static_cast<std::uint8_t>(p));
+        if (engine_ == KRemEngine::kPlanned) {
+          const TransitionPlan& plan = table_->PlanFor(store_mask, label, p);
+          s->span_begin[p] = plan.tgt_begin_word;
+          s->span_end[p] = plan.tgt_end_word;
+        }
       }
     }
     std::fill(s->current.begin(), s->current.end(), 0);
@@ -209,6 +247,107 @@ class SuccessorGenerator {
   }
 
  private:
+  /// Specialized per-transition kernels: one TransitionPlan per pattern
+  /// picks the inner loop, and every loop scans only Q ∧ source-mask over
+  /// the plan's source word span. Produces bit-identical parts and achieved
+  /// mask to the other engines — p is achieved iff some state of some Q_i
+  /// has a pattern-p edge, i.e. iff Q_i intersects the source mask.
+  std::uint32_t FillPartsPlanned(const std::uint64_t* tuple,
+                                 std::uint32_t store_mask, LabelId label,
+                                 BlockScratch* s) const {
+    std::uint32_t achieved_mask = 0;
+    for (std::uint32_t p = 0; p < num_patterns_; p++) {
+      const TransitionPlan& plan = table_->PlanFor(store_mask, label, p);
+      if (plan.cls == TransitionKernelClass::kNoOp) {
+        continue;
+      }
+      const std::uint64_t* src_mask = table_->SourceMask(plan);
+      bool hit = false;
+      for (std::size_t i = 0; i < n_; i++) {
+        if (GQD_CANCEL_STRIDE_CHECK(cancel_, s->ticks)) {
+          s->expired = true;
+          return achieved_mask;
+        }
+        const std::uint64_t* q = tuple + i * set_words_;
+        std::uint64_t* part =
+            s->parts.data() + (i * num_patterns_ + p) * set_words_;
+        switch (plan.cls) {
+          case TransitionKernelClass::kIdentity:
+            // The source mask is the transition image: part |= Q ∧ mask.
+            for (std::uint32_t w = plan.src_begin_word; w < plan.src_end_word;
+                 w++) {
+              std::uint64_t live = q[w] & src_mask[w];
+              part[w] |= live;
+              hit = hit || live != 0;
+            }
+            break;
+          case TransitionKernelClass::kSingleBit: {
+            const std::uint32_t* targets = table_->SingleTargets(plan);
+            for (std::uint32_t w = plan.src_begin_word; w < plan.src_end_word;
+                 w++) {
+              std::uint64_t bits = q[w] & src_mask[w];
+              hit = hit || bits != 0;
+              while (bits != 0) {
+                std::size_t state =
+                    (static_cast<std::size_t>(w) << 6) +
+                    static_cast<std::size_t>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                std::uint32_t t = targets[state];
+                part[t >> 6] |= std::uint64_t{1} << (t & 63);
+              }
+            }
+            break;
+          }
+          case TransitionKernelClass::kSparse: {
+            const std::uint32_t* offsets = table_->CsrOffsets(plan);
+            const std::uint32_t* tgts = table_->CsrTargets();
+            for (std::uint32_t w = plan.src_begin_word; w < plan.src_end_word;
+                 w++) {
+              std::uint64_t bits = q[w] & src_mask[w];
+              hit = hit || bits != 0;
+              while (bits != 0) {
+                std::size_t state =
+                    (static_cast<std::size_t>(w) << 6) +
+                    static_cast<std::size_t>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                for (std::uint32_t at = offsets[state];
+                     at < offsets[state + 1]; at++) {
+                  std::uint32_t t = tgts[at];
+                  part[t >> 6] |= std::uint64_t{1} << (t & 63);
+                }
+              }
+            }
+            break;
+          }
+          default: {  // kDense: packed kernel rows over the target span
+            std::size_t span = plan.tgt_end_word - plan.tgt_begin_word;
+            for (std::uint32_t w = plan.src_begin_word; w < plan.src_end_word;
+                 w++) {
+              std::uint64_t bits = q[w] & src_mask[w];
+              hit = hit || bits != 0;
+              while (bits != 0) {
+                AgState state = static_cast<AgState>(
+                    (static_cast<std::size_t>(w) << 6) +
+                    static_cast<std::size_t>(__builtin_ctzll(bits)));
+                bits &= bits - 1;
+                OrWords(part + plan.tgt_begin_word,
+                        ag_.KernelRow(store_mask, label, p, state) +
+                            plan.tgt_begin_word,
+                        span);
+              }
+            }
+            break;
+          }
+        }
+      }
+      if (hit) {
+        achieved_mask |= 1u << p;
+        s->class_hits[static_cast<std::size_t>(plan.cls)]++;
+      }
+    }
+    return achieved_mask;
+  }
+
   /// Word-parallel kernel: for each source state of each Q_i, OR the
   /// pre-packed 64-states-at-a-time successor rows into the pattern parts.
   std::uint32_t FillPartsKernel(const std::uint64_t* tuple,
@@ -295,7 +434,31 @@ class SuccessorGenerator {
     }
     EnumerateSubsets(depth + 1, condition, s);  // exclude achieved[depth]
     std::uint8_t pattern = s->achieved[depth];
-    if (engine_ == KRemEngine::kKernel) {
+    if (engine_ == KRemEngine::kPlanned) {
+      // Same incremental union as the kernel branch, but the save/OR/
+      // restore is clipped to the word window pattern's parts can occupy
+      // (the plan's target span): words outside it never change, so
+      // restoring only the window restores the whole union.
+      std::uint32_t begin = s->span_begin[pattern];
+      std::size_t span = s->span_end[pattern] - begin;
+      std::uint64_t* save = s->stack.data() + depth * tuple_words_;
+      for (std::size_t i = 0; i < n_; i++) {
+        std::memcpy(save + i * set_words_ + begin,
+                    s->current.data() + i * set_words_ + begin,
+                    span * sizeof(std::uint64_t));
+        OrWords(s->current.data() + i * set_words_ + begin,
+                s->parts.data() +
+                    (i * num_patterns_ + pattern) * set_words_ + begin,
+                span);
+      }
+      EnumerateSubsets(depth + 1,
+                       condition | (MintermMask{1} << pattern), s);
+      for (std::size_t i = 0; i < n_; i++) {
+        std::memcpy(s->current.data() + i * set_words_ + begin,
+                    save + i * set_words_ + begin,
+                    span * sizeof(std::uint64_t));
+      }
+    } else if (engine_ == KRemEngine::kKernel) {
       std::uint64_t* save = s->stack.data() + depth * tuple_words_;
       std::memcpy(save, s->current.data(),
                   tuple_words_ * sizeof(std::uint64_t));
@@ -341,6 +504,7 @@ class SuccessorGenerator {
   }
 
   const AssignmentGraph& ag_;
+  const KernelDispatchTable* table_;
   std::size_t n_;
   std::size_t num_patterns_;
   std::size_t set_words_;
@@ -371,7 +535,14 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
                        AssignmentGraph::Build(graph, k, options.budget));
   std::size_t n = graph.NumNodes();
 
-  SuccessorGenerator generator(ag, n, options.engine, options.cancel);
+  // The query-plan dispatch table (built only when the planned engine is
+  // requested; it declines over its memory budget, downgrading to kKernel).
+  KernelDispatchTable dispatch;
+  if (options.engine == KRemEngine::kPlanned) {
+    dispatch = KernelDispatchTable::Build(ag);
+  }
+  SuccessorGenerator generator(ag, n, options.engine, &dispatch,
+                               options.cancel);
   std::size_t set_words = generator.set_words();
   std::size_t tuple_words = generator.tuple_words();
 
@@ -477,6 +648,25 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
   for (BlockScratch& s : scratch) {
     generator.InitScratch(&s);
   }
+
+  // Flush the planned engine's per-scratch kernel-class hit counters into
+  // the global plan metrics exactly once, on every exit path.
+  struct KernelHitsFlusher {
+    const std::vector<BlockScratch>* scratch;
+    ~KernelHitsFlusher() {
+      std::uint64_t hits[kNumKernelClasses] = {};
+      bool any = false;
+      for (const BlockScratch& s : *scratch) {
+        for (std::size_t c = 0; c < kNumKernelClasses; c++) {
+          hits[c] += s.class_hits[c];
+          any = any || hits[c] != 0;
+        }
+      }
+      if (any) {
+        RecordPlanKernelHits(hits);
+      }
+    }
+  } hits_flusher{&scratch};
 
   // Merges one block's candidates into the store, in emission order.
   // Generation never reads interning state, so merge order — blocks in

@@ -42,12 +42,19 @@ struct KRemWitness {
   std::vector<BasicRemBlock> blocks;
 };
 
-/// Which successor machinery the BFS runs on. Both engines explore tuples
-/// in the same canonical order, so verdicts, witnesses and tuples_explored
-/// are identical — the reference engine exists as a differential-testing
-/// oracle for the word-parallel kernel path (see tests/test_definability_diff).
+/// Which successor machinery the BFS runs on. All engines explore tuples
+/// in the same canonical order and compute the same successor bits, so
+/// verdicts, witnesses and tuples_explored are identical at every thread
+/// count — the reference engine exists as a differential-testing oracle
+/// for the faster paths (see tests/test_definability_diff).
 enum class KRemEngine {
-  /// Word-parallel kernel rows + incremental subset unions (the default).
+  /// Specialized per-transition kernels picked by the query-plan static
+  /// analyzer (analysis/plan/kernel_dispatch.h): identity, single-bit,
+  /// CSR-sparse or dense inner loops clipped to the word spans each
+  /// transition can touch. Downgrades to kKernel (then kReference) when
+  /// the dispatch table declines to build. The default.
+  kPlanned,
+  /// Word-parallel kernel rows + incremental subset unions.
   kKernel,
   /// Straightforward per-successor derivation with from-scratch subset
   /// unions — the shape of the original implementation, kept as an oracle.
@@ -63,8 +70,8 @@ struct KRemDefinabilityOptions {
   /// order, so verdicts, witnesses and tuples_explored are bit-identical
   /// for every thread count. 0 or 1 means sequential.
   std::size_t num_threads = 1;
-  /// Successor machinery; kKernel unless you are cross-checking.
-  KRemEngine engine = KRemEngine::kKernel;
+  /// Successor machinery; kPlanned unless you are cross-checking.
+  KRemEngine engine = KRemEngine::kPlanned;
   /// Optional cooperative cancellation: the BFS (and its workers) polls
   /// this token and returns Status::DeadlineExceeded once it expires.
   const CancelToken* cancel = nullptr;

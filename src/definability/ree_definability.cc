@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/plan/kernel_class.h"
+#include "analysis/plan/plan_metrics.h"
 #include "common/failpoint.h"
 #include "definability/small_relation.h"
 #include "obs/trace.h"
@@ -16,13 +18,17 @@ GQD_FAILPOINT_DEFINE(fp_ree_closure, "ree.closure");
 /// Policy for the generic level algorithm over plain BinaryRelations.
 /// With `masks` set, the =/≠ restrictions run rowized (one word-parallel
 /// AND / AND-NOT per row against the source node's value class); with
-/// `masks == nullptr` they run the retained per-bit reference loops.
+/// `masks == nullptr` they run the retained per-bit reference loops. With
+/// `diagonal` set (planned engine, all value classes singletons) they run
+/// the diagonal forms instead, counting executions into `diagonal_hits`.
 struct BigRelationOps {
   using Rel = BinaryRelation;
   using Hash = BinaryRelationHash;
 
   const DataGraph* graph;
   const ValueClassMasks* masks;
+  bool diagonal = false;
+  std::uint64_t* diagonal_hits = nullptr;
 
   Rel Empty() const { return BinaryRelation(graph->NumNodes()); }
   Rel Identity() const { return BinaryRelation::Identity(graph->NumNodes()); }
@@ -31,9 +37,17 @@ struct BigRelationOps {
   }
   Rel Compose(const Rel& a, const Rel& b) const { return a.Compose(b); }
   Rel Eq(const Rel& a) const {
+    if (diagonal) {
+      (*diagonal_hits)++;
+      return a.EqRestrictDiagonal();
+    }
     return masks != nullptr ? a.EqRestrict(*masks) : a.EqRestrict(*graph);
   }
   Rel Neq(const Rel& a) const {
+    if (diagonal) {
+      (*diagonal_hits)++;
+      return a.NeqRestrictDiagonal();
+    }
     return masks != nullptr ? a.NeqRestrict(*masks) : a.NeqRestrict(*graph);
   }
   bool Subset(const Rel& a, const Rel& b) const { return a.IsSubsetOf(b); }
@@ -376,6 +390,23 @@ Result<ReeDefinabilityResult> CheckReeDefinability(
                              options);
   }
   ValueClassMasks masks(graph);
+  if (options.engine == ReeEngine::kPlanned && masks.AllSingletons()) {
+    // Planned diagonal kernel: ρ is injective, so the =/≠ restrictions
+    // never need the class masks. Flush executions into the plan metrics
+    // once, alongside the k-REM checker's kernel-class hits.
+    std::uint64_t diagonal_hits = 0;
+    BigRelationOps ops{&graph, &masks, /*diagonal=*/true, &diagonal_hits};
+    Result<ReeDefinabilityResult> result = RunLevelAlgorithm(
+        ops, relation, relation.Empty(), graph.NumNodes(), graph.NumLabels(),
+        label_names, options);
+    if (diagonal_hits != 0) {
+      std::uint64_t hits[kNumKernelClasses] = {};
+      hits[static_cast<std::size_t>(TransitionKernelClass::kDiagonal)] =
+          diagonal_hits;
+      RecordPlanKernelHits(hits);
+    }
+    return result;
+  }
   BigRelationOps ops{&graph, &masks};
   return RunLevelAlgorithm(ops, relation, relation.Empty(),
                            graph.NumNodes(), graph.NumLabels(), label_names,

@@ -32,14 +32,19 @@
 
 namespace gqd {
 
-/// Which relation machinery the level closure runs on. Both engines
-/// enumerate the monoid in the same order, so verdicts, levels_used,
-/// monoid_size and the synthesized expression are identical — the
-/// reference engine exists as a differential-testing oracle for the packed
-/// and rowized kernel paths (see tests/test_definability_diff).
+/// Which relation machinery the level closure runs on. All engines
+/// enumerate the monoid in the same order and compute the same relations,
+/// so verdicts, levels_used, monoid_size and the synthesized expression
+/// are identical — the reference engine exists as a differential-testing
+/// oracle for the faster paths (see tests/test_definability_diff).
 enum class ReeEngine {
+  /// kKernel plus the query-plan analyzer's diagonal specialization: when
+  /// every value class is a single node (ρ injective), S= degenerates to
+  /// row_u ∧ {u} and S≠ to clearing bit u — no class masks touched. Falls
+  /// back to kKernel behavior otherwise. The default.
+  kPlanned,
   /// Packed 64-bit relations when n ≤ 8, else word-parallel value-class
-  /// restrictions (ValueClassMasks) over bitset rows. The default.
+  /// restrictions (ValueClassMasks) over bitset rows.
   kKernel,
   /// Generic BinaryRelation ops with per-bit =/≠ restriction loops — the
   /// shape of the original implementation, kept as an oracle.
@@ -51,8 +56,8 @@ struct ReeDefinabilityOptions {
   std::size_t max_monoid_size = 200'000;
   /// Maximum restriction levels; 0 means the paper's bound n².
   std::size_t max_levels = 0;
-  /// Relation machinery; kKernel unless you are cross-checking.
-  ReeEngine engine = ReeEngine::kKernel;
+  /// Relation machinery; kPlanned unless you are cross-checking.
+  ReeEngine engine = ReeEngine::kPlanned;
   /// Optional cooperative cancellation: the level closure polls this token
   /// and returns Status::DeadlineExceeded once it expires.
   const CancelToken* cancel = nullptr;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/plan/automaton_analysis.h"
 #include "obs/trace.h"
 #include "rem/register_automaton.h"
 
@@ -55,16 +56,14 @@ class AssignmentCodec {
   std::uint64_t base_;
 };
 
-/// Configuration BFS shared by both entry points. `cancel` may be null;
-/// with a token the search polls it (stride-amortized) and reports expiry.
+/// Configuration BFS shared by all entry points, over an already-compiled
+/// (and typically plan-pruned) automaton. `cancel` may be null; with a
+/// token the search polls it (stride-amortized) and reports expiry.
 Result<BinaryRelation> EvaluateRemImpl(const DataGraph& graph,
-                                       const RemPtr& expression,
+                                       const RegisterAutomaton& ra,
                                        const CancelToken* cancel,
                                        const ResourceBudget* budget) {
   GQD_TRACE_SPAN(span, "eval.rem");
-  StringInterner labels = graph.labels();
-  RegisterAutomaton ra =
-      CompileRem(expression, &labels, /*intern_new_labels=*/false);
   std::size_t n = graph.NumNodes();
   AssignmentCodec codec(ra.num_registers, graph.NumDataValues());
   GQD_TRACE_SPAN_ATTR(span, "nodes", n);
@@ -139,16 +138,35 @@ Result<BinaryRelation> EvaluateRemImpl(const DataGraph& graph,
   return result;
 }
 
+/// Compiles against the graph's alphabet and applies the plan pass's
+/// language-preserving automaton reduction before the BFS.
+RegisterAutomaton CompileAndPrune(const DataGraph& graph,
+                                  const RemPtr& expression) {
+  StringInterner labels = graph.labels();
+  RegisterAutomaton ra =
+      CompileRem(expression, &labels, /*intern_new_labels=*/false);
+  return PruneAutomaton(ra, AnalyzeAutomaton(ra));
+}
+
 }  // namespace
 
 BinaryRelation EvaluateRem(const DataGraph& graph, const RemPtr& expression) {
-  return EvaluateRemImpl(graph, expression, nullptr, nullptr).ValueOrDie();
+  return EvaluateRemImpl(graph, CompileAndPrune(graph, expression), nullptr,
+                         nullptr)
+      .ValueOrDie();
 }
 
 Result<BinaryRelation> EvaluateRem(const DataGraph& graph,
                                    const RemPtr& expression,
                                    const EvalOptions& options) {
-  return EvaluateRemImpl(graph, expression, options.cancel, options.budget);
+  return EvaluateRemImpl(graph, CompileAndPrune(graph, expression),
+                         options.cancel, options.budget);
+}
+
+Result<BinaryRelation> EvaluateRemAutomaton(const DataGraph& graph,
+                                            const RegisterAutomaton& automaton,
+                                            const EvalOptions& options) {
+  return EvaluateRemImpl(graph, automaton, options.cancel, options.budget);
 }
 
 }  // namespace gqd

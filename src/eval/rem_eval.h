@@ -14,12 +14,15 @@
 #include "graph/data_graph.h"
 #include "graph/relation.h"
 #include "rem/ast.h"
+#include "rem/register_automaton.h"
 
 namespace gqd {
 
 /// Evaluates the RDPQ_mem x -e-> y on `graph`; returns all satisfying
 /// pairs. Letters of `expression` absent from the graph's alphabet match
-/// nothing.
+/// nothing. Both overloads compile against the graph's alphabet and run the
+/// plan pass's automaton reduction (analysis/plan/automaton_analysis.h)
+/// before the BFS, so dead fragments cost nothing at evaluation time.
 BinaryRelation EvaluateRem(const DataGraph& graph, const RemPtr& expression);
 
 /// Cancellable variant: polls `options.cancel` inside the configuration BFS
@@ -27,6 +30,13 @@ BinaryRelation EvaluateRem(const DataGraph& graph, const RemPtr& expression);
 Result<BinaryRelation> EvaluateRem(const DataGraph& graph,
                                    const RemPtr& expression,
                                    const EvalOptions& options);
+
+/// Evaluates a pre-compiled automaton (e.g. a cached QueryPlan's pruned
+/// machine). The automaton's labels must be interned against `graph`'s
+/// alphabet; no further reduction is applied.
+Result<BinaryRelation> EvaluateRemAutomaton(const DataGraph& graph,
+                                            const RegisterAutomaton& automaton,
+                                            const EvalOptions& options = {});
 
 }  // namespace gqd
 

@@ -52,6 +52,13 @@
 #include "analysis/pass_manager.h"        // IWYU pragma: export
 #include "analysis/register_dataflow.h"   // IWYU pragma: export
 
+// Static analysis (query planning: automaton pruning + kernel dispatch).
+#include "analysis/plan/automaton_analysis.h"  // IWYU pragma: export
+#include "analysis/plan/kernel_class.h"        // IWYU pragma: export
+#include "analysis/plan/kernel_dispatch.h"     // IWYU pragma: export
+#include "analysis/plan/plan_metrics.h"        // IWYU pragma: export
+#include "analysis/plan/query_plan.h"          // IWYU pragma: export
+
 // Evaluation.
 #include "eval/convert.h"       // IWYU pragma: export
 #include "eval/eval_options.h"  // IWYU pragma: export

@@ -75,6 +75,16 @@ RemPtr Bind(std::vector<std::size_t> registers, RemPtr operand) {
   return node;
 }
 
+RemPtr WithSourceOffset(const RemPtr& node, std::size_t offset) {
+  if (node == nullptr || offset == kNoSourceOffset ||
+      node->source_offset != kNoSourceOffset) {
+    return node;
+  }
+  auto annotated = std::make_shared<RemNode>(*node);
+  annotated->source_offset = offset;
+  return annotated;
+}
+
 }  // namespace rem
 
 std::size_t RemNumRegisters(const RemPtr& expression) {

@@ -40,6 +40,9 @@ enum class RemKind {
 struct RemNode;
 using RemPtr = std::shared_ptr<const RemNode>;
 
+/// "This node has no source anchor" — the value synthesized nodes carry.
+inline constexpr std::size_t kNoSourceOffset = static_cast<std::size_t>(-1);
+
 /// Immutable REM AST node.
 struct RemNode {
   RemKind kind;
@@ -47,6 +50,10 @@ struct RemNode {
   std::vector<RemPtr> children;         ///< operands.
   ConditionPtr condition;               ///< kCondition.
   std::vector<std::size_t> registers;   ///< kBind: indices stored into.
+  /// Byte offset of the node's first token in the parsed query text;
+  /// kNoSourceOffset for programmatically built expressions. Lint passes
+  /// copy it into Diagnostic::offset so findings are clickable.
+  std::size_t source_offset = kNoSourceOffset;
 };
 
 namespace rem {
@@ -60,6 +67,12 @@ RemPtr Plus(RemPtr operand);
 RemPtr Star(RemPtr operand);
 RemPtr Test(RemPtr operand, ConditionPtr condition);  ///< e[c]
 RemPtr Bind(std::vector<std::size_t> registers, RemPtr operand);  ///< ↓r̄.e
+
+/// `node` annotated with a source offset. Nodes are immutable and shared,
+/// so this is copy-on-annotate (shallow — children stay shared); a no-op
+/// when the node already carries an offset, so desugarings that reuse a
+/// subterm keep its original anchor.
+RemPtr WithSourceOffset(const RemPtr& node, std::size_t offset);
 
 }  // namespace rem
 

@@ -157,6 +157,7 @@ class Parser {
   }
 
   Result<RemPtr> ParseUnion() {
+    std::size_t start = Peek().position;
     GQD_ASSIGN_OR_RETURN(RemPtr first, ParseConcat());
     std::vector<RemPtr> operands = {first};
     while (Peek().kind == TokenKind::kPipe) {
@@ -164,10 +165,11 @@ class Parser {
       GQD_ASSIGN_OR_RETURN(RemPtr next, ParseConcat());
       operands.push_back(next);
     }
-    return rem::Union(std::move(operands));
+    return rem::WithSourceOffset(rem::Union(std::move(operands)), start);
   }
 
   Result<RemPtr> ParseConcat() {
+    std::size_t start = Peek().position;
     std::vector<RemPtr> operands;
     while (true) {
       TokenKind k = Peek().kind;
@@ -192,10 +194,11 @@ class Parser {
     if (operands.empty()) {
       return Error("expected an expression");
     }
-    return rem::Concat(std::move(operands));
+    return rem::WithSourceOffset(rem::Concat(std::move(operands)), start);
   }
 
   Result<RemPtr> ParseBind() {
+    std::size_t start = Peek().position;
     Advance();  // consume $
     std::vector<std::size_t> registers;
     if (Peek().kind == TokenKind::kLParen) {
@@ -235,19 +238,21 @@ class Parser {
     }
     Advance();
     GQD_ASSIGN_OR_RETURN(RemPtr body, ParseConcat());
-    return rem::Bind(std::move(registers), std::move(body));
+    return rem::WithSourceOffset(
+        rem::Bind(std::move(registers), std::move(body)), start);
   }
 
   Result<RemPtr> ParsePostfix() {
+    std::size_t start = Peek().position;
     GQD_ASSIGN_OR_RETURN(RemPtr node, ParseAtom());
     while (true) {
       TokenKind k = Peek().kind;
       if (k == TokenKind::kStar) {
         Advance();
-        node = rem::Star(node);
+        node = rem::WithSourceOffset(rem::Star(node), start);
       } else if (k == TokenKind::kPlus) {
         Advance();
-        node = rem::Plus(node);
+        node = rem::WithSourceOffset(rem::Plus(node), start);
       } else if (k == TokenKind::kLBracket) {
         Advance();
         GQD_ASSIGN_OR_RETURN(ConditionPtr c, ParseConditionOr());
@@ -255,7 +260,7 @@ class Parser {
           return Error("expected ']'");
         }
         Advance();
-        node = rem::Test(node, std::move(c));
+        node = rem::WithSourceOffset(rem::Test(node, std::move(c)), start);
       } else {
         break;
       }
@@ -268,11 +273,12 @@ class Parser {
     switch (token.kind) {
       case TokenKind::kIdent: {
         std::string name = token.text;
+        std::size_t start = token.position;
         Advance();
         if (name == "eps") {
-          return rem::Epsilon();
+          return rem::WithSourceOffset(rem::Epsilon(), start);
         }
-        return rem::Letter(std::move(name));
+        return rem::WithSourceOffset(rem::Letter(std::move(name)), start);
       }
       case TokenKind::kLParen: {
         Advance();

@@ -310,8 +310,13 @@ Result<JsonValue> QueryService::EvalOne(const RegisteredGraph& entry,
         ResultCache::MakeKey(entry.fingerprint, "rem", normalized);
     relation = cache_get(key);
     if (relation == nullptr) {
-      GQD_ASSIGN_OR_RETURN(BinaryRelation computed,
-                           EvaluateRem(graph, expression, eval_options));
+      // The cached QueryPlan carries the plan-pruned automaton; the BFS
+      // runs on it directly, skipping re-compile + re-analysis.
+      std::shared_ptr<const QueryPlan> plan =
+          GetOrBuildRemPlan(entry, normalized, expression);
+      GQD_ASSIGN_OR_RETURN(
+          BinaryRelation computed,
+          EvaluateRemAutomaton(graph, plan->automaton, eval_options));
       relation =
           std::make_shared<const BinaryRelation>(std::move(computed));
       cache_.Put(key, relation);
@@ -340,6 +345,32 @@ Result<JsonValue> QueryService::EvalOne(const RegisteredGraph& entry,
   // Same rendering as `gqd eval`, so client output is interchangeable.
   body.emplace_back("relation", relation->ToString(graph));
   return JsonValue(std::move(body));
+}
+
+std::shared_ptr<const QueryPlan> QueryService::GetOrBuildRemPlan(
+    const RegisteredGraph& entry, const std::string& normalized,
+    const RemPtr& expression) {
+  std::string key =
+      ResultCache::MakeKey(entry.fingerprint, "rem#plan", normalized);
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      return it->second;
+    }
+  }
+  // Build outside the lock (analysis can be non-trivial); a racing build
+  // of the same plan is wasted work, not a correctness problem, because
+  // plans are pure functions of (graph alphabet, normalized query).
+  StringInterner labels = entry.graph->labels();
+  auto plan = std::make_shared<const QueryPlan>(
+      BuildRemQueryPlan(expression, &labels, /*intern_new_labels=*/false));
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  if (plan_cache_.size() >= kPlanCacheCapacity) {
+    plan_cache_.clear();
+  }
+  plan_cache_.emplace(key, plan);
+  return plan;
 }
 
 Result<JsonValue> QueryService::HandleEval(const JsonValue& request) {
@@ -561,8 +592,10 @@ Result<JsonValue> QueryService::HandleLint(const JsonValue& request) {
     return Status::InvalidArgument("unknown language '" + language +
                                    "' (expected rpq, regex, rem or ree)");
   }
-  // DiagnosticsToJson wraps the list as {"diagnostics":[...]}; lift the
-  // array out so the response carries it directly.
+  // Anchor findings to line:column within the query text, then lift the
+  // array out of DiagnosticsToJson's {"diagnostics":[...]} wrapper so the
+  // response carries it directly.
+  ResolveDiagnosticLocations(query, &diagnostics);
   JsonValue wrapped = EmbedJson(DiagnosticsToJson(diagnostics));
   JsonValue::Object body;
   body.emplace_back("diagnostics", *wrapped.Find("diagnostics"));

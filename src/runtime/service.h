@@ -39,11 +39,16 @@
 #define GQD_RUNTIME_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
+#include "analysis/plan/query_plan.h"
 #include "common/budget.h"
 #include "common/cancel.h"
 #include "common/thread_pool.h"
+#include "rem/ast.h"
 #include "runtime/admission.h"
 #include "runtime/graph_registry.h"
 #include "runtime/json.h"
@@ -101,11 +106,27 @@ class QueryService {
                             const CancelToken* cancel,
                             const ResourceBudget* budget);
 
+  /// The compiled QueryPlan for a normalized REM against one graph's
+  /// alphabet, cached alongside the normalized query (same fingerprint
+  /// keying as the result cache, under the "rem#plan" namespace) so repeat
+  /// evaluations skip the analyze/prune stage even on result-cache misses.
+  std::shared_ptr<const QueryPlan> GetOrBuildRemPlan(
+      const RegisteredGraph& entry, const std::string& normalized,
+      const RemPtr& expression);
+
   ThreadPool pool_;
   GraphRegistry registry_;
   ResultCache cache_;
   ServerStats stats_;
   AdmissionController admission_;
+
+  /// Plan cache (separate from the result cache: plans are graph-alphabet-
+  /// dependent compilation artifacts, not result payloads). Bounded by
+  /// kPlanCacheCapacity; wholesale reset on overflow keeps it simple.
+  static constexpr std::size_t kPlanCacheCapacity = 256;
+  std::mutex plan_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const QueryPlan>>
+      plan_cache_;
 };
 
 }  // namespace gqd

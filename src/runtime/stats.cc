@@ -1,5 +1,6 @@
 #include "runtime/stats.h"
 
+#include "analysis/plan/plan_metrics.h"
 #include "common/json_util.h"
 
 namespace gqd {
@@ -203,6 +204,7 @@ std::string ServerStats::RenderPrometheus(const ThreadPool::Stats& pool,
                                           const AdmissionStats& admission) {
   MirrorSnapshots(pool, cache, admission);
   UpdateFailpointMetrics(&registry_);
+  UpdatePlanMetrics(&registry_);
   return registry_.RenderPrometheus();
 }
 

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "analysis/pass_manager.h"
+#include "rem/parser.h"
 
 namespace gqd {
 
@@ -33,7 +34,17 @@ Result<std::vector<Diagnostic>> LintSynthesizedRem(
     const RemPtr& query) {
   AnalysisOptions options;
   options.graph = &graph;
-  return Postpass(LintRem(query, options), relation.Empty(), "REM");
+  // Synthesized nodes carry no parser offsets; lint the canonical print
+  // instead (round-tripping through the parser re-anchors every node) so
+  // findings resolve to line:column positions in the text we report.
+  std::string printed = RemToString(query);
+  RemPtr linted = query;
+  if (Result<RemPtr> reparsed = ParseRem(printed); reparsed.ok()) {
+    linted = reparsed.value();
+  }
+  std::vector<Diagnostic> diagnostics = LintRem(linted, options);
+  ResolveDiagnosticLocations(printed, &diagnostics);
+  return Postpass(std::move(diagnostics), relation.Empty(), "REM");
 }
 
 Result<std::vector<Diagnostic>> LintSynthesizedRee(

@@ -157,6 +157,48 @@ TEST(DiagnosticCode, Tautology) {  // GQD-COND-003
   EXPECT_FALSE(HasCode(LintRem(Rem("$r1. a [T] [r1=]")), "GQD-COND-003"));
 }
 
+// ∧_{i<k} (τ_i= ∨ τ_i≠): a tautology mentioning registers 0..k-1.
+ConditionPtr WideTautology(std::size_t k) {
+  ConditionPtr c = cond::True();
+  for (std::size_t i = 0; i < k; i++) {
+    c = cond::And(std::move(c),
+                  cond::Or(cond::RegisterEq(i), cond::RegisterNeq(i)));
+  }
+  return c;
+}
+
+TEST(ConditionAnalysis, RegisterCountBoundary) {
+  // k = 6 is the widest analyzable condition: NumMinterms(6) == 64, so
+  // FullMask must take its ~0 branch instead of the (1 << 64) shift.
+  EXPECT_EQ(NumMinterms(kMaxAnalyzableRegisters), 64u);
+  EXPECT_EQ(ConditionToMinterms(cond::True(), kMaxAnalyzableRegisters),
+            ~MintermMask{0});
+
+  // Tautology at the boundary (its tautological conjuncts additionally
+  // draw COND-002 dead-branch warnings; only the codes matter here).
+  std::vector<Diagnostic> diagnostics;
+  AnalyzeCondition(WideTautology(6), "ctx", &diagnostics);
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-COND-003"));
+  EXPECT_FALSE(HasCode(diagnostics, "GQD-COND-001"));
+
+  // Unsatisfiable at the boundary: the full 64-minterm tautology conjoined
+  // with a contradiction on the highest register.
+  diagnostics.clear();
+  AnalyzeCondition(
+      cond::And(WideTautology(6),
+                cond::And(cond::RegisterEq(5), cond::RegisterNeq(5))),
+      "ctx", &diagnostics);
+  EXPECT_TRUE(HasCode(diagnostics, "GQD-COND-001"));
+}
+
+TEST(ConditionAnalysis, WiderThanBoundaryIsSkipped) {
+  // 7 registers exceed the 64-bit minterm mask; the analysis must decline
+  // rather than report (even though this condition is a tautology).
+  std::vector<Diagnostic> diagnostics;
+  AnalyzeCondition(WideTautology(7), "ctx", &diagnostics);
+  EXPECT_TRUE(diagnostics.empty());
+}
+
 TEST(DiagnosticCode, UnreachableAndDeadStates) {  // GQD-AUT-001, GQD-AUT-002
   DataGraph g = RandomDataGraph({.num_labels = 1});  // alphabet {a}
   AnalysisOptions options;

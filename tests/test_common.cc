@@ -94,6 +94,35 @@ TEST(DynamicBitset, FindNextWalksSetBits) {
   EXPECT_EQ(seen, (std::vector<std::size_t>{3, 63, 64, 150}));
 }
 
+TEST(DynamicBitset, FindNextSparseRowIteration) {
+  // The kernel inner loops iterate sparse successor rows with
+  // FindNext(i + 1); exercise the word-skip path: long all-zero gaps,
+  // adjacent bits across a word boundary, and a lone bit in the last word.
+  DynamicBitset b(1024);
+  const std::vector<std::size_t> bits = {0, 1, 63, 64, 65, 511, 512, 1023};
+  for (std::size_t i : bits) {
+    b.Set(i);
+  }
+  std::vector<std::size_t> seen;
+  for (std::size_t i = b.FindNext(0); i < b.size(); i = b.FindNext(i + 1)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, bits);
+  // Restarting mid-gap lands on the next set bit, not a word boundary.
+  EXPECT_EQ(b.FindNext(66), 511u);
+  EXPECT_EQ(b.FindNext(513), 1023u);
+}
+
+TEST(DynamicBitset, FindNextEmptyAndPastTheEnd) {
+  DynamicBitset empty(256);
+  EXPECT_EQ(empty.FindNext(0), empty.size());
+  DynamicBitset b(128);
+  b.Set(5);
+  EXPECT_EQ(b.FindNext(6), b.size());     // nothing after the only bit
+  EXPECT_EQ(b.FindNext(128), b.size());   // from == size
+  EXPECT_EQ(b.FindNext(1000), b.size());  // from > size stays clamped
+}
+
 TEST(DynamicBitset, SetAlgebra) {
   DynamicBitset a(100), b(100);
   a.Set(1);

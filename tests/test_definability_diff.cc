@@ -223,6 +223,165 @@ TEST(ReeDiff, KernelMatchesReferenceOnBigGraphs) {
   }
 }
 
+TEST(KRemDiff, PlannedMatchesKernelAndReference) {
+  // The planned engine (dispatch-table specialized inner loops) computes
+  // the same pattern-part bits as the kernel and reference engines, so all
+  // three must agree on verdicts, witnesses and exploration cost exactly.
+  for (std::uint64_t seed = 1; seed <= 24; seed++) {
+    RandomCase c = MakeCase(seed);
+    KRemDefinabilityOptions planned, kernel, reference;
+    planned.max_tuples = kernel.max_tuples = reference.max_tuples = 20'000;
+    planned.engine = KRemEngine::kPlanned;
+    kernel.engine = KRemEngine::kKernel;
+    reference.engine = KRemEngine::kReference;
+    auto p = CheckKRemDefinability(c.graph, c.relation, c.k, planned);
+    auto a = CheckKRemDefinability(c.graph, c.relation, c.k, kernel);
+    auto b = CheckKRemDefinability(c.graph, c.relation, c.k, reference);
+    ASSERT_TRUE(p.ok()) << "seed " << seed;
+    ASSERT_TRUE(a.ok()) << "seed " << seed;
+    ASSERT_TRUE(b.ok()) << "seed " << seed;
+    ExpectSameKRemResult(p.value(), a.value(), seed);
+    ExpectSameKRemResult(p.value(), b.value(), seed);
+  }
+}
+
+TEST(KRemDiff, PlannedThreadCountsProduceIdenticalResults) {
+  for (std::uint64_t seed = 1; seed <= 12; seed++) {
+    RandomCase c = MakeCase(seed);
+    KRemDefinabilityOptions sequential;
+    sequential.max_tuples = 20'000;
+    sequential.engine = KRemEngine::kPlanned;
+    auto base = CheckKRemDefinability(c.graph, c.relation, c.k, sequential);
+    ASSERT_TRUE(base.ok()) << "seed " << seed;
+    for (std::size_t threads : {2, 4}) {
+      KRemDefinabilityOptions parallel = sequential;
+      parallel.num_threads = threads;
+      auto r = CheckKRemDefinability(c.graph, c.relation, c.k, parallel);
+      ASSERT_TRUE(r.ok()) << "seed " << seed << " threads " << threads;
+      ExpectSameKRemResult(base.value(), r.value(), seed);
+    }
+  }
+}
+
+/// n nodes with pairwise-distinct data values (ρ injective — the shape the
+/// planned REE engine's diagonal kernel specializes), plus deterministic
+/// pseudo-random `a`-edges.
+DataGraph DistinctValuesGraph(std::size_t n, std::uint64_t seed) {
+  DataGraph g;
+  LabelId a = g.AddLabel("a");
+  for (std::size_t i = 0; i < n; i++) {
+    g.AddNodeWithValue("v" + std::to_string(i), "n" + std::to_string(i));
+  }
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 1;
+  for (std::size_t u = 0; u < n; u++) {
+    for (std::size_t v = 0; v < n; v++) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      if ((state >> 33) % 100 < 20) {
+        g.AddEdge(static_cast<NodeId>(u), a, static_cast<NodeId>(v));
+      }
+    }
+  }
+  return g;
+}
+
+TEST(ReeDiff, PlannedDiagonalMatchesKernelAndReference) {
+  // n > 8 all-distinct-values graphs take the diagonal Eq/Neq kernels;
+  // the planned engine must agree with kernel and reference bit for bit.
+  // Kept small: the reference oracle is quadratic per monoid element and
+  // distinct-value graphs grow the monoid quickly.
+  for (std::uint64_t seed = 1; seed <= 4; seed++) {
+    DataGraph g = DistinctValuesGraph(9 + seed % 2, seed);
+    BinaryRelation s = RandomRelation(g.NumNodes(), 10, seed * 3 + 2);
+    ReeDefinabilityOptions planned, kernel, reference;
+    planned.max_monoid_size = kernel.max_monoid_size =
+        reference.max_monoid_size = 4'000;
+    planned.engine = ReeEngine::kPlanned;
+    kernel.engine = ReeEngine::kKernel;
+    reference.engine = ReeEngine::kReference;
+    auto p = CheckReeDefinability(g, s, planned);
+    auto a = CheckReeDefinability(g, s, kernel);
+    auto b = CheckReeDefinability(g, s, reference);
+    ASSERT_TRUE(p.ok()) << "seed " << seed;
+    ASSERT_TRUE(a.ok()) << "seed " << seed;
+    ASSERT_TRUE(b.ok()) << "seed " << seed;
+    EXPECT_EQ(p.value().verdict, a.value().verdict) << "seed " << seed;
+    EXPECT_EQ(p.value().verdict, b.value().verdict) << "seed " << seed;
+    EXPECT_EQ(p.value().levels_used, a.value().levels_used)
+        << "seed " << seed;
+    EXPECT_EQ(p.value().monoid_size, a.value().monoid_size)
+        << "seed " << seed;
+    EXPECT_EQ(p.value().monoid_size, b.value().monoid_size)
+        << "seed " << seed;
+  }
+}
+
+TEST(ReeDiff, PlannedFallsBackWhenValuesRepeat) {
+  // Repeated data values (ρ not injective) disable the diagonal kernel;
+  // the planned engine must transparently match the kernel path.
+  for (std::uint64_t seed = 1; seed <= 6; seed++) {
+    DataGraph g = RandomDataGraph({.num_nodes = 10,
+                                   .num_labels = 1,
+                                   .num_data_values = 2,
+                                   .edge_percent = 8,
+                                   .seed = seed});
+    BinaryRelation s = RandomRelation(10, 10, seed * 5 + 3);
+    ReeDefinabilityOptions planned, kernel;
+    planned.max_monoid_size = kernel.max_monoid_size = 20'000;
+    planned.engine = ReeEngine::kPlanned;
+    kernel.engine = ReeEngine::kKernel;
+    auto p = CheckReeDefinability(g, s, planned);
+    auto a = CheckReeDefinability(g, s, kernel);
+    ASSERT_TRUE(p.ok()) << "seed " << seed;
+    ASSERT_TRUE(a.ok()) << "seed " << seed;
+    EXPECT_EQ(p.value().verdict, a.value().verdict) << "seed " << seed;
+    EXPECT_EQ(p.value().monoid_size, a.value().monoid_size)
+        << "seed " << seed;
+  }
+}
+
+TEST(ReeDiff, DiagonalRestrictOverloadsAgree) {
+  // On an injective-ρ graph the diagonal forms are definitionally equal to
+  // the masked and per-bit restrictions, on arbitrary relations.
+  for (std::uint64_t seed = 1; seed <= 8; seed++) {
+    DataGraph g = DistinctValuesGraph(12, seed);
+    ValueClassMasks masks(g);
+    ASSERT_TRUE(masks.AllSingletons()) << "seed " << seed;
+    BinaryRelation r = RandomRelation(12, 35, seed + 200);
+    EXPECT_EQ(r.EqRestrictDiagonal(), r.EqRestrict(g)) << "seed " << seed;
+    EXPECT_EQ(r.EqRestrictDiagonal(), r.EqRestrict(masks))
+        << "seed " << seed;
+    EXPECT_EQ(r.NeqRestrictDiagonal(), r.NeqRestrict(g)) << "seed " << seed;
+    EXPECT_EQ(r.NeqRestrictDiagonal(), r.NeqRestrict(masks))
+        << "seed " << seed;
+  }
+}
+
+TEST(ReeDiff, SmallRelationBoundary) {
+  // n = 8 is the last packed SmallRelation width, n = 9 the first rowized
+  // one; both sides of the boundary must agree with the reference engine.
+  for (std::size_t n : {8, 9}) {
+    for (std::uint64_t seed = 1; seed <= 4; seed++) {
+      DataGraph g = RandomDataGraph({.num_nodes = n,
+                                     .num_labels = 1,
+                                     .num_data_values = 2,
+                                     .edge_percent = 10,
+                                     .seed = seed});
+      BinaryRelation s = RandomRelation(n, 12, seed * 9 + 4);
+      ReeDefinabilityOptions fast, reference;
+      fast.max_monoid_size = reference.max_monoid_size = 20'000;
+      reference.engine = ReeEngine::kReference;
+      auto a = CheckReeDefinability(g, s, fast);
+      auto b = CheckReeDefinability(g, s, reference);
+      ASSERT_TRUE(a.ok()) << "n " << n << " seed " << seed;
+      ASSERT_TRUE(b.ok()) << "n " << n << " seed " << seed;
+      EXPECT_EQ(a.value().verdict, b.value().verdict)
+          << "n " << n << " seed " << seed;
+      EXPECT_EQ(a.value().monoid_size, b.value().monoid_size)
+          << "n " << n << " seed " << seed;
+    }
+  }
+}
+
 TEST(ReeDiff, RestrictOverloadsAgree) {
   // The rowized EqRestrict/NeqRestrict must equal the per-bit originals on
   // arbitrary relations, not only monoid elements.

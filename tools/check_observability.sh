@@ -169,7 +169,9 @@ for required in ("gqd_requests_total", "gqd_request_latency_us",
                  "gqd_command_requests_total", "gqd_cache_hits_total",
                  "gqd_pool_threads", "gqd_admission_admitted_total",
                  "gqd_budget_exhausted_total",
-                 "gqd_failpoint_triggered_total"):
+                 "gqd_failpoint_triggered_total",
+                 "gqd_plan_builds_total",
+                 "gqd_plan_kernel_hits_total"):
     assert required in families, f"missing family {required}"
 print(f"metrics exposition OK ({len(families)} families)")
 

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Golden-plan check: compiles the standard example queries with `gqd
+# compile` and diffs the dumps against the goldens committed under
+# tests/data/golden_plans/. CI runs this after every build; a diff means
+# the planner's output changed — inspect it, then regenerate with
+#
+#   tools/check_plan_golden.sh build --update
+#
+# and commit the new goldens together with the planner change.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+MODE="${2:-check}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+GQD="${BUILD_DIR}/tools/gqd"
+GOLDEN_DIR="${REPO_ROOT}/tests/data/golden_plans"
+GRAPH="${REPO_ROOT}/examples/data/social_network.graph"
+
+if [[ ! -x "${GQD}" ]]; then
+  echo "error: ${GQD} not found — build the repo first" >&2
+  exit 1
+fi
+mkdir -p "${GOLDEN_DIR}"
+
+# name|extra args — one plan dump per line. The graph-relative dumps pin
+# the dead-transition elimination log and the kernel-class census; the
+# graph-free dump pins the bare automaton analysis; the JSON dump pins the
+# machine-readable schema.
+CASES=(
+  "friend_loop.txt|--graph ${GRAPH}"
+  "friend_loop.json|--graph ${GRAPH} --json"
+  "dead_letter.txt|--graph ${GRAPH}"
+  "no_graph.txt|"
+)
+QUERIES=(
+  '$r1. friend+ [r1=]'
+  '$r1. friend+ [r1=]'
+  '$r1. (friend|zz)+ [r1=]'
+  '$r1. (a|b) [r1!=]'
+)
+
+status=0
+for i in "${!CASES[@]}"; do
+  name="${CASES[$i]%%|*}"
+  extra="${CASES[$i]#*|}"
+  golden="${GOLDEN_DIR}/${name}"
+  actual="$(mktemp)"
+  # shellcheck disable=SC2086  # extra is a flag list, splitting intended
+  "${GQD}" compile "${QUERIES[$i]}" ${extra} > "${actual}"
+  if [[ "${MODE}" == "--update" ]]; then
+    cp "${actual}" "${golden}"
+    echo "updated ${golden#"${REPO_ROOT}"/}"
+  elif ! diff -u "${golden}" "${actual}"; then
+    echo "plan dump ${name} diverged from its golden" >&2
+    status=1
+  fi
+  rm -f "${actual}"
+done
+
+if [[ "${MODE}" != "--update" && ${status} -eq 0 ]]; then
+  echo "all $((${#CASES[@]})) plan goldens match"
+fi
+exit ${status}

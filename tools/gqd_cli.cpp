@@ -6,6 +6,7 @@
 //             [--trace-out <file>]
 //   gqd synth <graph> <relation> --language rpq|rem|ree [--k N] [--simplify]
 //   gqd convert <regex|ree> <expression>        # embed into REM
+//   gqd compile <rem> [--graph <file>] [--k N] [--json] [--plan-out FILE]
 //   gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]
 //   gqd lint --suite <file> [--graph <file>] [--json]
 //   gqd info <graph> [--dot|--json]
@@ -67,6 +68,8 @@ int Usage() {
       "            [--threads N] [--engine kernel|reference]"
       " [--max-bytes N]\n"
       "  gqd convert <regex|ree> <expression>\n"
+      "  gqd compile <rem-expression> [--graph <file>] [--k N] [--json]\n"
+      "              [--plan-out FILE]\n"
       "  gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]"
       " [--no-notes]\n"
       "  gqd lint --suite <file> [--graph <file>] [--json]\n"
@@ -89,10 +92,18 @@ int Usage() {
       "  spans recorded during the command (open in chrome://tracing or\n"
       "  Perfetto); see docs/observability.md.\n"
       "\n"
+      "query compilation:\n"
+      "  `gqd compile` runs the plan pass on a REM query: automaton\n"
+      "  reachability/liveness analysis, dead-transition elimination, and —\n"
+      "  with --graph — the kernel-dispatch census the checkers execute.\n"
+      "  --plan-out FILE writes the dump to FILE (format per --json) and\n"
+      "  prints a one-line summary instead; see docs/analysis.md.\n"
+      "\n"
       "exit codes:\n"
       "  0 success      1 error          2 usage\n"
       "  3 not definable (synth)         4 resource budget exhausted\n"
-      "  5 deadline exceeded/cancelled   6 server unavailable (overload)\n");
+      "  5 deadline exceeded/cancelled   6 server unavailable (overload)\n"
+      "  7 lint found error-severity diagnostics\n");
   return 2;
 }
 
@@ -554,6 +565,90 @@ int CmdConvert(int argc, char** argv) {
   return Usage();
 }
 
+/// `gqd compile <rem> [--graph FILE] [--k N] [--json] [--plan-out FILE]` —
+/// runs the plan pass on one REM query and dumps the QueryPlan: automaton
+/// analysis summary, eliminated transitions, GQD-PLAN-* findings, and (with
+/// --graph) the kernel-dispatch census over the assignment graph.
+int CmdCompile(int argc, char** argv) {
+  if (argc < 1) {
+    return Usage();
+  }
+  std::string text = argv[0];
+  auto e = ParseRem(text);
+  if (!e.ok()) {
+    return Fail(e.status());
+  }
+
+  std::optional<DataGraph> graph;
+  const char* graph_path = FlagValue(argc - 1, argv + 1, "--graph");
+  if (graph_path != nullptr) {
+    auto loaded = LoadGraph(graph_path);
+    if (!loaded.ok()) {
+      return Fail(loaded.status());
+    }
+    graph = std::move(loaded).value();
+  }
+
+  // Plan against the graph's alphabet when one is given — letters outside
+  // it compile to dead fragments the analysis then eliminates. Without a
+  // graph every letter of the query is interned fresh (nothing is dead on
+  // alphabet grounds alone).
+  StringInterner labels =
+      graph.has_value() ? graph->labels() : StringInterner();
+  QueryPlan plan = BuildRemQueryPlan(
+      e.value(), &labels, /*intern_new_labels=*/!graph.has_value());
+
+  if (graph.has_value()) {
+    const char* k_flag = FlagValue(argc - 1, argv + 1, "--k");
+    std::size_t k = k_flag != nullptr ? std::strtoul(k_flag, nullptr, 10)
+                                      : plan.num_registers;
+    // The dispatch census needs the packed pattern vocabulary (k <= 4);
+    // beyond that the checkers run the reference engine anyway.
+    if (k <= 4) {
+      auto ag = AssignmentGraph::Build(graph.value(), k);
+      if (!ag.ok()) {
+        return Fail(ag.status());
+      }
+      KernelDispatchTable table = KernelDispatchTable::Build(ag.value());
+      AttachDispatchCensus(table, &plan);
+    }
+  }
+
+  bool json = HasFlag(argc - 1, argv + 1, "--json");
+  std::string dump = json ? plan.ToJson(&labels) : plan.ToText(&labels);
+  std::string out_path;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--plan-out") == 0 && i + 1 < argc) {
+      out_path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--plan-out=", 11) == 0) {
+      out_path = argv[i] + 11;
+    }
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write plan file %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    out << dump;
+    if (json) {
+      out << "\n";
+    }
+    std::printf("plan: %zu -> %zu states, %zu -> %zu transitions -> %s\n",
+                plan.states_before, plan.states_after,
+                plan.transitions_before, plan.transitions_after,
+                out_path.c_str());
+    return 0;
+  }
+  if (json) {
+    std::printf("%s\n", dump.c_str());
+  } else {
+    std::printf("%s", dump.c_str());
+  }
+  return 0;
+}
+
 int CmdLint(int argc, char** argv) {
   if (argc < 1) {
     return Usage();
@@ -587,7 +682,9 @@ int CmdLint(int argc, char** argv) {
     if (json) {
       std::printf("\n");
     }
-    return SuiteHasErrors(entries.value()) ? 1 : 0;
+    // Error-severity findings get their own exit code (7) so CI and
+    // editor integrations can tell "lint found defects" from hard errors.
+    return SuiteHasErrors(entries.value()) ? 7 : 0;
   }
 
   if (argc < 2) {
@@ -617,6 +714,9 @@ int CmdLint(int argc, char** argv) {
   } else {
     return Usage();
   }
+  // Turn parser offsets into 1-based line:column anchors against the
+  // query text the user actually typed.
+  ResolveDiagnosticLocations(text, &diagnostics);
   if (json) {
     std::printf("%s\n", DiagnosticsToJson(diagnostics).c_str());
   } else if (diagnostics.empty()) {
@@ -624,7 +724,7 @@ int CmdLint(int argc, char** argv) {
   } else {
     std::printf("%s", DiagnosticsToText(diagnostics).c_str());
   }
-  return HasErrors(diagnostics) ? 1 : 0;
+  return HasErrors(diagnostics) ? 7 : 0;
 }
 
 int CmdInfo(int argc, char** argv) {
@@ -946,6 +1046,9 @@ int main(int argc, char** argv) {
   }
   if (command == "convert") {
     return CmdConvert(argc - 2, argv + 2);
+  }
+  if (command == "compile") {
+    return CmdCompile(argc - 2, argv + 2);
   }
   if (command == "lint") {
     return CmdLint(argc - 2, argv + 2);
