@@ -30,6 +30,13 @@
 #include "graph/relation.h"       // IWYU pragma: export
 #include "graph/serialization.h"  // IWYU pragma: export
 
+// Storage: binary graph containers served zero-copy via mmap.
+#include "storage/container.h"    // IWYU pragma: export
+#include "storage/format.h"       // IWYU pragma: export
+#include "storage/graph_store.h"  // IWYU pragma: export
+#include "storage/metrics.h"      // IWYU pragma: export
+#include "storage/mmap_file.h"    // IWYU pragma: export
+
 // Expression families.
 #include "regex/ast.h"     // IWYU pragma: export
 #include "regex/nfa.h"     // IWYU pragma: export

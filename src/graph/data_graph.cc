@@ -2,56 +2,116 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
+#include <unordered_set>
 
 namespace gqd {
 
+namespace {
+
+/// Parses the synthesized "#<id>" display-name form; returns false when
+/// `name` is not of that shape (no leading '#', junk after the digits).
+bool ParseAnonymousName(std::string_view name, NodeId* id) {
+  if (name.size() < 2 || name[0] != '#') {
+    return false;
+  }
+  const char* first = name.data() + 1;
+  const char* last = name.data() + name.size();
+  auto [ptr, ec] = std::from_chars(first, last, *id);
+  return ec == std::errc() && ptr == last;
+}
+
+}  // namespace
+
+DataGraph DataGraph::FromView(StringInterner labels, StringInterner values,
+                              const GraphView& view) {
+  DataGraph graph;
+  graph.labels_ = std::move(labels);
+  graph.values_ = std::move(values);
+  graph.view_ = view;
+  graph.frozen_ = true;
+  return graph;
+}
+
 NodeId DataGraph::AddNode(ValueId value, std::string_view name) {
+  assert(!frozen_ && "view-mode graphs are immutable");
   assert(value < values_.size() && "intern the data value first");
   NodeId id = static_cast<NodeId>(node_values_.size());
   node_values_.push_back(value);
   node_names_.emplace_back(name);
+  if (!name.empty()) {
+    num_named_++;
+  }
   out_edges_.emplace_back();
   in_edges_.emplace_back();
   return id;
 }
 
 void DataGraph::AddEdge(NodeId from, LabelId label, NodeId to) {
+  assert(!frozen_ && "view-mode graphs are immutable");
   assert(from < NumNodes() && to < NumNodes() && label < NumLabels());
   if (HasEdge(from, label, to)) {
     return;
   }
   edges_.push_back(Edge{from, label, to});
-  out_edges_[from].emplace_back(label, to);
-  in_edges_[to].emplace_back(label, from);
+  out_edges_[from].push_back(LabeledEdge{label, to});
+  in_edges_[to].push_back(LabeledEdge{label, from});
 }
 
 bool DataGraph::HasEdge(NodeId from, LabelId label, NodeId to) const {
   if (from >= NumNodes()) {
     return false;
   }
-  const auto& out = out_edges_[from];
-  return std::find(out.begin(), out.end(), std::make_pair(label, to)) !=
+  std::span<const LabeledEdge> out = OutEdges(from);
+  return std::find(out.begin(), out.end(), LabeledEdge{label, to}) !=
          out.end();
 }
 
+std::string_view DataGraph::RawNodeName(NodeId v) const {
+  if (frozen_) {
+    if (view_.name_offsets == nullptr) {
+      return {};
+    }
+    return std::string_view(
+        view_.name_blob + view_.name_offsets[v],
+        static_cast<std::size_t>(view_.name_offsets[v + 1] -
+                                 view_.name_offsets[v]));
+  }
+  return v < node_names_.size() ? std::string_view(node_names_[v])
+                                : std::string_view();
+}
+
 std::string DataGraph::NodeName(NodeId v) const {
-  if (v < node_names_.size() && !node_names_[v].empty()) {
-    return node_names_[v];
+  std::string_view raw = RawNodeName(v);
+  if (!raw.empty()) {
+    return std::string(raw);
   }
   return "#" + std::to_string(v);
 }
 
 Result<NodeId> DataGraph::FindNode(std::string_view name) const {
-  for (NodeId v = 0; v < node_names_.size(); v++) {
-    if (node_names_[v] == name) {
-      return v;
+  std::size_t n = NumNodes();
+  bool any_names =
+      frozen_ ? view_.name_offsets != nullptr : num_named_ > 0;
+  if (any_names) {
+    for (NodeId v = 0; v < n; v++) {
+      if (RawNodeName(v) == name) {
+        return v;
+      }
     }
+  }
+  // "#<id>" resolves an anonymous node by id — the form NodeName
+  // synthesizes, so serialized relations over nameless (generated) graphs
+  // round-trip.
+  NodeId id = 0;
+  if (ParseAnonymousName(name, &id) && id < n && RawNodeName(id).empty()) {
+    return id;
   }
   return Status::NotFound("no node named '" + std::string(name) + "'");
 }
 
 Status DataGraph::Validate() const {
-  for (const Edge& e : edges_) {
+  for (const Edge& e : edges()) {
     if (e.from >= NumNodes() || e.to >= NumNodes()) {
       return Status::Internal("edge endpoint out of range");
     }
@@ -59,24 +119,50 @@ Status DataGraph::Validate() const {
       return Status::Internal("edge label out of range");
     }
   }
-  for (ValueId value : node_values_) {
-    if (value >= NumDataValues()) {
+  for (NodeId v = 0; v < NumNodes(); v++) {
+    if (DataValueOf(v) >= NumDataValues()) {
       return Status::Internal("node data value out of range");
     }
   }
   // Node names, where present, must be unique.
-  for (std::size_t i = 0; i < node_names_.size(); i++) {
-    if (node_names_[i].empty()) {
+  std::unordered_set<std::string_view> seen;
+  seen.reserve(NumNodes());
+  for (NodeId v = 0; v < NumNodes(); v++) {
+    std::string_view name = RawNodeName(v);
+    if (name.empty()) {
       continue;
     }
-    for (std::size_t j = i + 1; j < node_names_.size(); j++) {
-      if (node_names_[i] == node_names_[j]) {
-        return Status::Internal("duplicate node name '" + node_names_[i] +
-                                "'");
-      }
+    if (!seen.insert(name).second) {
+      return Status::Internal("duplicate node name '" + std::string(name) +
+                              "'");
     }
   }
   return Status::OK();
+}
+
+std::size_t DataGraph::EstimateResidentBytes() const {
+  std::size_t bytes = 0;
+  for (const std::string& name : labels_.names()) {
+    bytes += sizeof(std::string) + name.capacity() + 48;  // + hash-map slot
+  }
+  for (const std::string& name : values_.names()) {
+    bytes += sizeof(std::string) + name.capacity() + 48;
+  }
+  if (frozen_) {
+    return bytes;  // the sections themselves are file-backed
+  }
+  bytes += node_values_.capacity() * sizeof(ValueId);
+  bytes += edges_.capacity() * sizeof(Edge);
+  for (const std::string& name : node_names_) {
+    bytes += sizeof(std::string) + name.capacity();
+  }
+  for (const auto& adj : out_edges_) {
+    bytes += sizeof(adj) + adj.capacity() * sizeof(LabeledEdge);
+  }
+  for (const auto& adj : in_edges_) {
+    bytes += sizeof(adj) + adj.capacity() * sizeof(LabeledEdge);
+  }
+  return bytes;
 }
 
 }  // namespace gqd

@@ -1,5 +1,6 @@
 #include "graph/generators.h"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 
@@ -73,6 +74,75 @@ DataGraph CycleGraph(const std::vector<std::uint32_t>& values,
     graph.AddEdge(0, 0, 0);
   }
   return graph;
+}
+
+void GenerateScaleFree(const ScaleFreeOptions& options, GraphSink* sink) {
+  assert(options.num_labels >= 1 && options.num_data_values >= 1);
+  SplitMix64 rng(options.seed);
+  std::vector<LabelId> labels;
+  for (std::size_t a = 0; a < options.num_labels; a++) {
+    labels.push_back(
+        sink->AddLabel(std::string(1, static_cast<char>('a' + a % 26)) +
+                       (a >= 26 ? std::to_string(a / 26) : "")));
+  }
+  for (std::size_t d = 0; d < options.num_data_values; d++) {
+    sink->AddDataValue(std::to_string(d));
+  }
+  for (std::size_t v = 0; v < options.num_nodes; v++) {
+    sink->AddNode(static_cast<ValueId>(rng.NextBelow(options.num_data_values)));
+  }
+  // Endpoint pool: every edge pushes both endpoints, so a uniform draw from
+  // the pool picks nodes with probability proportional to degree.
+  std::vector<NodeId> pool;
+  pool.reserve(2 * options.edges_per_node * options.num_nodes);
+  std::vector<std::uint64_t> picked;  // (label, target) pairs of this node
+  for (std::size_t v = 1; v < options.num_nodes; v++) {
+    NodeId from = static_cast<NodeId>(v);
+    std::size_t want = std::min(options.edges_per_node, v);
+    picked.clear();
+    // Bounded retries keep the generator total even when the early pool is
+    // too small to offer `want` distinct (label, target) pairs.
+    for (std::size_t attempts = 0; picked.size() < want && attempts < 8 * want;
+         attempts++) {
+      NodeId to = pool.empty()
+                      ? static_cast<NodeId>(rng.NextBelow(v))
+                      : pool[rng.NextBelow(pool.size())];
+      LabelId label = labels[rng.NextBelow(labels.size())];
+      std::uint64_t key = (static_cast<std::uint64_t>(label) << 32) | to;
+      if (std::find(picked.begin(), picked.end(), key) != picked.end()) {
+        continue;
+      }
+      picked.push_back(key);
+      sink->AddEdge(from, label, to);
+      pool.push_back(from);
+      pool.push_back(to);
+    }
+  }
+}
+
+void GenerateGrid(const GridOptions& options, GraphSink* sink) {
+  assert(options.rows >= 1 && options.cols >= 1 &&
+         options.num_data_values >= 1);
+  SplitMix64 rng(options.seed);
+  LabelId east = sink->AddLabel("a");
+  LabelId south = sink->AddLabel("b");
+  for (std::size_t d = 0; d < options.num_data_values; d++) {
+    sink->AddDataValue(std::to_string(d));
+  }
+  for (std::size_t i = 0; i < options.rows * options.cols; i++) {
+    sink->AddNode(static_cast<ValueId>(rng.NextBelow(options.num_data_values)));
+  }
+  for (std::size_t r = 0; r < options.rows; r++) {
+    for (std::size_t c = 0; c < options.cols; c++) {
+      NodeId at = static_cast<NodeId>(r * options.cols + c);
+      if (c + 1 < options.cols) {
+        sink->AddEdge(at, east, at + 1);
+      }
+      if (r + 1 < options.rows) {
+        sink->AddEdge(at, south, static_cast<NodeId>(at + options.cols));
+      }
+    }
+  }
 }
 
 BinaryRelation RandomRelation(std::size_t num_nodes,

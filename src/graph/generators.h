@@ -7,12 +7,51 @@
 #define GQD_GRAPH_GENERATORS_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "graph/data_graph.h"
 #include "graph/relation.h"
 
 namespace gqd {
+
+/// Where a streaming generator emits its graph. The large-scale generators
+/// (GenerateScaleFree / GenerateGrid) write through this interface so the
+/// same deterministic emission order can fill either a resident DataGraph
+/// (DataGraphSink) or the binary graph container's streaming builder
+/// (GraphContainerBuilder in src/storage/) without ever materializing the
+/// text form. Contract: labels and data values first, then every node,
+/// then edges over existing node ids; duplicate edges are never emitted.
+class GraphSink {
+ public:
+  virtual ~GraphSink() = default;
+
+  virtual LabelId AddLabel(std::string_view name) = 0;
+  virtual ValueId AddDataValue(std::string_view name) = 0;
+  /// Adds an anonymous node; ids are assigned sequentially from 0.
+  virtual NodeId AddNode(ValueId value) = 0;
+  virtual void AddEdge(NodeId from, LabelId label, NodeId to) = 0;
+};
+
+/// GraphSink that fills a resident DataGraph.
+class DataGraphSink : public GraphSink {
+ public:
+  LabelId AddLabel(std::string_view name) override {
+    return graph_.AddLabel(name);
+  }
+  ValueId AddDataValue(std::string_view name) override {
+    return graph_.AddDataValue(name);
+  }
+  NodeId AddNode(ValueId value) override { return graph_.AddNode(value); }
+  void AddEdge(NodeId from, LabelId label, NodeId to) override {
+    graph_.AddEdge(from, label, to);
+  }
+
+  DataGraph Take() { return std::move(graph_); }
+
+ private:
+  DataGraph graph_;
+};
 
 /// Deterministic 64-bit PRNG (SplitMix64); tiny, fast, seedable.
 class SplitMix64 {
@@ -60,6 +99,38 @@ DataGraph CycleGraph(const std::vector<std::uint32_t>& values,
 /// percent probability.
 BinaryRelation RandomRelation(std::size_t num_nodes,
                               std::uint32_t pair_percent, std::uint64_t seed);
+
+/// Parameters for GenerateScaleFree.
+struct ScaleFreeOptions {
+  std::size_t num_nodes = 1000;
+  /// Out-edges attached per new node (m of Barabási–Albert).
+  std::size_t edges_per_node = 4;
+  std::size_t num_labels = 2;       ///< |Σ|, named "a", "b", ...
+  std::size_t num_data_values = 16; ///< δ, named "0", "1", ...
+  std::uint64_t seed = 1;
+};
+
+/// Streams a scale-free data graph into `sink`: preferential attachment via
+/// an endpoint pool (each new node draws its targets from the multiset of
+/// all prior edge endpoints, so attachment probability tracks degree), edges
+/// oriented new → old with uniformly random labels, node values uniform over
+/// δ. Deterministic for a fixed option set; nodes are anonymous so
+/// million-node graphs carry no name table.
+void GenerateScaleFree(const ScaleFreeOptions& options, GraphSink* sink);
+
+/// Parameters for GenerateGrid.
+struct GridOptions {
+  std::size_t rows = 10;
+  std::size_t cols = 10;
+  std::size_t num_data_values = 16; ///< δ, named "0", "1", ...
+  std::uint64_t seed = 1;
+};
+
+/// Streams a rows×cols directed grid into `sink`: nodes row-major with
+/// uniform random data values, label "a" pointing east and "b" pointing
+/// south. The worst-case-diameter shape used by the million-node storage
+/// benchmarks. Deterministic for a fixed option set.
+void GenerateGrid(const GridOptions& options, GraphSink* sink);
 
 }  // namespace gqd
 

@@ -1,7 +1,9 @@
 #include "graph/serialization.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 #include <vector>
 
 #include "common/json_util.h"
@@ -25,29 +27,75 @@ bool IsCommentOrBlank(const std::vector<std::string>& tokens) {
   return tokens.empty() || tokens[0][0] == '#';
 }
 
+/// Streams the canonical `node`/`edge` text of `graph` line by line into
+/// `emit`. WriteGraphText and FingerprintGraphText must agree byte for byte
+/// — this is the single definition both build on.
+template <typename Emit>
+void EmitGraphText(const DataGraph& graph, Emit&& emit) {
+  std::string line;
+  line = "# gqd data graph: " + std::to_string(graph.NumNodes()) +
+         " nodes, " + std::to_string(graph.NumEdges()) +
+         " edges, delta=" + std::to_string(graph.NumDataValues()) + "\n";
+  emit(line);
+  for (NodeId v = 0; v < graph.NumNodes(); v++) {
+    line = "node " + graph.NodeName(v) + " " +
+           graph.data_values().NameOf(graph.DataValueOf(v)) + "\n";
+    emit(line);
+  }
+  for (const Edge& e : graph.edges()) {
+    line = "edge " + graph.NodeName(e.from) + " " +
+           graph.labels().NameOf(e.label) + " " + graph.NodeName(e.to) +
+           "\n";
+    emit(line);
+  }
+}
+
 }  // namespace
 
 std::string WriteGraphText(const DataGraph& graph) {
-  std::ostringstream os;
-  os << "# gqd data graph: " << graph.NumNodes() << " nodes, "
-     << graph.NumEdges() << " edges, delta=" << graph.NumDataValues() << "\n";
-  for (NodeId v = 0; v < graph.NumNodes(); v++) {
-    os << "node " << graph.NodeName(v) << " "
-       << graph.data_values().NameOf(graph.DataValueOf(v)) << "\n";
-  }
-  for (const Edge& e : graph.edges()) {
-    os << "edge " << graph.NodeName(e.from) << " "
-       << graph.labels().NameOf(e.label) << " " << graph.NodeName(e.to)
-       << "\n";
-  }
-  return os.str();
+  std::string out;
+  // node/edge lines run ~20 bytes; reserve to avoid growth churn on
+  // million-node graphs.
+  out.reserve(32 * (graph.NumNodes() + graph.NumEdges()) + 64);
+  EmitGraphText(graph, [&out](const std::string& line) { out += line; });
+  return out;
+}
+
+std::uint64_t FingerprintGraphText(const DataGraph& graph) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  EmitGraphText(graph, [&hash](const std::string& line) {
+    for (unsigned char c : line) {
+      hash ^= c;
+      hash *= 0x100000001b3ULL;  // FNV prime
+    }
+  });
+  return hash;
+}
+
+std::string FingerprintToHex(std::uint64_t fingerprint) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buffer);
 }
 
 Result<DataGraph> ReadGraphText(const std::string& text) {
   DataGraph graph;
+  // Parse-local name index: FindNode is a linear scan, which would make
+  // edge resolution quadratic in the graph size; the map keeps a
+  // million-line parse linear. "#<id>" names (the synthesized anonymous
+  // form) still resolve through FindNode below.
+  std::unordered_map<std::string, NodeId> nodes_by_name;
   std::istringstream is(text);
   std::string line;
   std::size_t line_number = 0;
+  auto resolve = [&](const std::string& name) -> Result<NodeId> {
+    auto it = nodes_by_name.find(name);
+    if (it != nodes_by_name.end()) {
+      return it->second;
+    }
+    return graph.FindNode(name);
+  };
   while (std::getline(is, line)) {
     line_number++;
     std::vector<std::string> tokens = Tokenize(line);
@@ -62,19 +110,20 @@ Result<DataGraph> ReadGraphText(const std::string& text) {
       if (tokens.size() != 3) {
         return error("expected: node <name> <data-value>");
       }
-      if (graph.FindNode(tokens[1]).ok()) {
+      if (nodes_by_name.count(tokens[1]) > 0) {
         return error("duplicate node '" + tokens[1] + "'");
       }
-      graph.AddNodeWithValue(tokens[2], tokens[1]);
+      NodeId id = graph.AddNodeWithValue(tokens[2], tokens[1]);
+      nodes_by_name.emplace(tokens[1], id);
     } else if (tokens[0] == "edge") {
       if (tokens.size() != 4) {
         return error("expected: edge <from> <label> <to>");
       }
-      auto from = graph.FindNode(tokens[1]);
+      auto from = resolve(tokens[1]);
       if (!from.ok()) {
         return error("unknown node '" + tokens[1] + "'");
       }
-      auto to = graph.FindNode(tokens[3]);
+      auto to = resolve(tokens[3]);
       if (!to.ok()) {
         return error("unknown node '" + tokens[3] + "'");
       }

@@ -26,8 +26,21 @@ namespace gqd {
 /// Renders the graph in the `node`/`edge` text format.
 std::string WriteGraphText(const DataGraph& graph);
 
-/// Parses the `node`/`edge` text format.
+/// Parses the `node`/`edge` text format. Node-name lookup is hash-based,
+/// so parsing stays linear in the file size (million-node text graphs are
+/// the slow-but-feasible baseline the mmap container is benchmarked
+/// against).
 Result<DataGraph> ReadGraphText(const std::string& text);
+
+/// FNV-1a 64 of the canonical text serialization (WriteGraphText), computed
+/// line by line without materializing the text. This is THE content
+/// fingerprint of a graph: GraphRegistry keys result caches with it and the
+/// binary graph container (src/storage/) stores it in the header, so every
+/// backend agrees on identity.
+std::uint64_t FingerprintGraphText(const DataGraph& graph);
+
+/// Renders a 64-bit fingerprint as 16 lowercase hex digits.
+std::string FingerprintToHex(std::uint64_t fingerprint);
 
 /// Renders a Graphviz DOT view (data values as node labels).
 std::string WriteGraphDot(const DataGraph& graph);

@@ -1,6 +1,6 @@
 #include "runtime/graph_registry.h"
 
-#include <cstdio>
+#include <utility>
 
 #include "graph/serialization.h"
 
@@ -11,16 +11,40 @@ Result<RegisteredGraph> GraphRegistry::Load(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("graph name must be non-empty");
   }
-  GQD_ASSIGN_OR_RETURN(DataGraph graph, ReadGraphText(text));
-  return Register(name, std::move(graph));
+  GQD_ASSIGN_OR_RETURN(StoredGraph stored, GraphStore::FromText(text));
+  return Register(name, std::move(stored));
+}
+
+Result<RegisteredGraph> GraphRegistry::LoadFile(const std::string& name,
+                                                const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must be non-empty");
+  }
+  GQD_ASSIGN_OR_RETURN(StoredGraph stored, GraphStore::OpenFile(path));
+  return Register(name, std::move(stored));
 }
 
 RegisteredGraph GraphRegistry::Register(const std::string& name,
                                         DataGraph graph) {
+  return Register(name, GraphStore::FromGraph(std::move(graph)));
+}
+
+RegisteredGraph GraphRegistry::Register(const std::string& name,
+                                        StoredGraph stored) {
   RegisteredGraph entry;
-  entry.fingerprint = Fingerprint(graph);
-  entry.graph = std::make_shared<const DataGraph>(std::move(graph));
+  entry.fingerprint = stored.info.fingerprint;
+  entry.info = stored.info;
   std::lock_guard<std::mutex> lock(mutex_);
+  // Dedupe by fingerprint: re-loading identical content under any name
+  // shares the already-loaded copy (and drops the fresh one, along with
+  // any mapping it holds) instead of keeping two.
+  for (const auto& [other_name, other] : graphs_) {
+    if (other.fingerprint == entry.fingerprint) {
+      graphs_[name] = other;
+      return other;
+    }
+  }
+  entry.graph = std::move(stored.graph);
   graphs_[name] = entry;
   return entry;
 }
@@ -51,16 +75,9 @@ std::size_t GraphRegistry::size() const {
 }
 
 std::string GraphRegistry::Fingerprint(const DataGraph& graph) {
-  std::string canonical = WriteGraphText(graph);
-  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
-  for (unsigned char c : canonical) {
-    hash ^= c;
-    hash *= 0x100000001b3ULL;  // FNV prime
-  }
-  char buffer[17];
-  std::snprintf(buffer, sizeof(buffer), "%016llx",
-                static_cast<unsigned long long>(hash));
-  return std::string(buffer);
+  // Computed line by line (FingerprintGraphText) so fingerprinting a mapped
+  // million-node graph never materializes its full text form.
+  return FingerprintToHex(FingerprintGraphText(graph));
 }
 
 }  // namespace gqd

@@ -5,11 +5,15 @@
 // shared_ptr<const DataGraph> — concurrent requests share one parsed copy
 // with no locking beyond the registry map itself.
 //
-// Every entry carries a content fingerprint: a 64-bit FNV-1a hash of the
-// canonical text serialization (WriteGraphText), rendered as 16 hex
-// digits. Result-cache keys embed the fingerprint rather than the name, so
-// re-loading a name with different content can never serve stale cached
-// relations, and two names with identical content share cache entries.
+// Graphs arrive through the GraphStore, so a registry entry may be resident
+// (parsed text) or a zero-copy view of an mmap-mapped binary container; the
+// entry's GraphStoreInfo says which. Every entry carries a content
+// fingerprint: a 64-bit FNV-1a hash of the canonical text serialization
+// (WriteGraphText), rendered as 16 hex digits. Result-cache keys embed the
+// fingerprint rather than the name, so re-loading a name with different
+// content can never serve stale cached relations — and loading identical
+// content under any name dedupes onto the already-loaded copy instead of
+// holding a second one.
 
 #ifndef GQD_RUNTIME_GRAPH_REGISTRY_H_
 #define GQD_RUNTIME_GRAPH_REGISTRY_H_
@@ -22,13 +26,16 @@
 
 #include "common/status.h"
 #include "graph/data_graph.h"
+#include "storage/graph_store.h"
 
 namespace gqd {
 
-/// One registered graph: the shared parsed form plus its fingerprint.
+/// One registered graph: the shared loaded form, its fingerprint, and how
+/// the store is holding it (backend, sizes, load time).
 struct RegisteredGraph {
   std::shared_ptr<const DataGraph> graph;
   std::string fingerprint;  ///< 16 lowercase hex digits
+  GraphStoreInfo info;
 };
 
 class GraphRegistry {
@@ -42,8 +49,17 @@ class GraphRegistry {
   Result<RegisteredGraph> Load(const std::string& name,
                                const std::string& text);
 
+  /// Loads the file at `path` through the GraphStore (container files map,
+  /// text files parse) and registers it under `name`. This is how a serve
+  /// worker attaches a multi-gigabyte on-disk graph without re-parsing.
+  Result<RegisteredGraph> LoadFile(const std::string& name,
+                                   const std::string& path);
+
   /// Registers an already-built graph (in-process embedding, tests).
   RegisteredGraph Register(const std::string& name, DataGraph graph);
+
+  /// Registers a StoredGraph from the GraphStore under `name`.
+  RegisteredGraph Register(const std::string& name, StoredGraph stored);
 
   /// Looks up a graph by name.
   Result<RegisteredGraph> Get(const std::string& name) const;

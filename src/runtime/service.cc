@@ -35,6 +35,19 @@ JsonValue EmbedJson(const std::string& serialized) {
   return JsonValue::Parse(serialized).ValueOrDie();
 }
 
+/// The per-graph storage block attached to load/info responses: which
+/// backend holds the graph and what loading it cost.
+JsonValue StorageInfoToJson(const GraphStoreInfo& info) {
+  JsonValue::Object storage;
+  storage.emplace_back("backend", GraphBackendName(info.backend));
+  storage.emplace_back("source_bytes",
+                       static_cast<double>(info.source_bytes));
+  storage.emplace_back("resident_bytes",
+                       static_cast<double>(info.resident_bytes));
+  storage.emplace_back("load_micros", static_cast<double>(info.load_micros));
+  return JsonValue(std::move(storage));
+}
+
 /// Reads "deadline_ms" (0 = no deadline). CancelToken itself is pinned in
 /// place (atomic member), so the caller emplaces it locally from this.
 Result<std::int64_t> DeadlineMsFrom(const JsonValue& request) {
@@ -262,11 +275,31 @@ Result<JsonValue> QueryService::DispatchCommand(const std::string& cmd,
 
 Result<JsonValue> QueryService::HandleLoad(const JsonValue& request) {
   GQD_ASSIGN_OR_RETURN(std::string name, request.GetString("name"));
-  GQD_ASSIGN_OR_RETURN(std::string text, request.GetString("text"));
-  GQD_ASSIGN_OR_RETURN(RegisteredGraph entry, registry_.Load(name, text));
+  const JsonValue* text = request.Find("text");
+  const JsonValue* path = request.Find("path");
+  if ((text != nullptr) == (path != nullptr)) {
+    return Status::InvalidArgument(
+        "load takes exactly one of 'text' (inline graph) or 'path' (an "
+        "on-disk text or container file)");
+  }
+  RegisteredGraph entry;
+  if (text != nullptr) {
+    if (!text->is_string()) {
+      return Status::InvalidArgument("field 'text' must be a string");
+    }
+    GQD_ASSIGN_OR_RETURN(entry, registry_.Load(name, text->AsString()));
+  } else {
+    if (!path->is_string()) {
+      return Status::InvalidArgument("field 'path' must be a string");
+    }
+    // A worker maps (or parses) the file itself: the client ships a path,
+    // not megabytes of graph text, and a container attaches zero-copy.
+    GQD_ASSIGN_OR_RETURN(entry, registry_.LoadFile(name, path->AsString()));
+  }
   JsonValue::Object body;
   body.emplace_back("name", name);
   body.emplace_back("fingerprint", entry.fingerprint);
+  body.emplace_back("storage", StorageInfoToJson(entry.info));
   body.emplace_back("info", EmbedJson(WriteGraphInfoJson(*entry.graph)));
   return JsonValue(std::move(body));
 }
@@ -621,6 +654,7 @@ Result<JsonValue> QueryService::HandleInfo(const JsonValue& request) {
   JsonValue::Object body;
   body.emplace_back("name", graph_name->AsString());
   body.emplace_back("fingerprint", entry.fingerprint);
+  body.emplace_back("storage", StorageInfoToJson(entry.info));
   body.emplace_back("info", EmbedJson(WriteGraphInfoJson(*entry.graph)));
   return JsonValue(std::move(body));
 }

@@ -2,6 +2,7 @@
 
 #include "analysis/plan/plan_metrics.h"
 #include "common/json_util.h"
+#include "storage/metrics.h"
 
 namespace gqd {
 
@@ -205,6 +206,7 @@ std::string ServerStats::RenderPrometheus(const ThreadPool::Stats& pool,
   MirrorSnapshots(pool, cache, admission);
   UpdateFailpointMetrics(&registry_);
   UpdatePlanMetrics(&registry_);
+  UpdateStorageMetrics(&registry_);
   return registry_.RenderPrometheus();
 }
 

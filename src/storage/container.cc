@@ -1,0 +1,256 @@
+#include "storage/container.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "common/failpoint.h"
+#include "graph/serialization.h"
+#include "obs/trace.h"
+#include "storage/format.h"
+#include "storage/metrics.h"
+
+namespace gqd {
+
+GQD_FAILPOINT_DEFINE(fp_storage_write, "storage.write");
+GQD_FAILPOINT_DEFINE(fp_storage_truncate, "storage.truncate");
+
+namespace {
+
+/// Concatenates `names` into a blob with cumulative u64 offsets
+/// (offsets.size() == names.size() + 1).
+void BuildNameBlob(const std::vector<std::string>& names,
+                   std::vector<std::uint64_t>* offsets, std::string* blob) {
+  offsets->clear();
+  blob->clear();
+  offsets->reserve(names.size() + 1);
+  offsets->push_back(0);
+  for (const std::string& name : names) {
+    blob->append(name);
+    offsets->push_back(blob->size());
+  }
+}
+
+/// One section's in-memory bytes, queued for the single write pass.
+struct PendingSection {
+  GraphSectionId id;
+  const void* data;
+  std::uint64_t size;
+};
+
+bool LabeledEdgeLess(const LabeledEdge& a, const LabeledEdge& b) {
+  return a.label != b.label ? a.label < b.label : a.node < b.node;
+}
+
+}  // namespace
+
+NodeId GraphContainerBuilder::AddNamedNode(ValueId value,
+                                           std::string_view name) {
+  assert(value < values_.size() && "intern the data value first");
+  assert(node_values_.size() < std::numeric_limits<NodeId>::max());
+  NodeId id = static_cast<NodeId>(node_values_.size());
+  node_values_.push_back(value);
+  if (!name.empty()) {
+    has_names_ = true;
+  }
+  if (has_names_) {
+    node_names_.resize(node_values_.size());
+    node_names_.back() = name;
+  }
+  return id;
+}
+
+void GraphContainerBuilder::AddEdge(NodeId from, LabelId label, NodeId to) {
+  assert(from < node_values_.size() && to < node_values_.size() &&
+         label < labels_.size());
+  edges_.push_back(Edge{from, label, to});
+}
+
+Status GraphContainerBuilder::WriteToFile(const std::string& path) {
+  GQD_TRACE_SPAN(span, "storage.write");
+  StorageCounters& counters = StorageCounters::Instance();
+  if (GQD_FAILPOINT_FIRED(fp_storage_write)) {
+    counters.write_failures.fetch_add(1, std::memory_order_relaxed);
+    return fp_storage_write.InjectedFault();
+  }
+  const std::size_t n = node_values_.size();
+  const std::size_t m = edges_.size();
+  GQD_TRACE_SPAN_ATTR(span, "nodes", n);
+  GQD_TRACE_SPAN_ATTR(span, "edges", m);
+
+  // CSR adjacency: counting sort by endpoint, then per-node (label, node)
+  // sort so the mapped form supports binary-searched membership.
+  std::vector<std::uint64_t> out_offsets(n + 1, 0);
+  std::vector<std::uint64_t> in_offsets(n + 1, 0);
+  for (const Edge& e : edges_) {
+    out_offsets[e.from + 1]++;
+    in_offsets[e.to + 1]++;
+  }
+  for (std::size_t v = 0; v < n; v++) {
+    out_offsets[v + 1] += out_offsets[v];
+    in_offsets[v + 1] += in_offsets[v];
+  }
+  std::vector<LabeledEdge> out_entries(m);
+  std::vector<LabeledEdge> in_entries(m);
+  {
+    std::vector<std::uint64_t> out_cursor = out_offsets;
+    std::vector<std::uint64_t> in_cursor = in_offsets;
+    for (const Edge& e : edges_) {
+      out_entries[out_cursor[e.from]++] = LabeledEdge{e.label, e.to};
+      in_entries[in_cursor[e.to]++] = LabeledEdge{e.label, e.from};
+    }
+  }
+  for (std::size_t v = 0; v < n; v++) {
+    std::sort(out_entries.begin() + out_offsets[v],
+              out_entries.begin() + out_offsets[v + 1], LabeledEdgeLess);
+    std::sort(in_entries.begin() + in_offsets[v],
+              in_entries.begin() + in_offsets[v + 1], LabeledEdgeLess);
+  }
+
+  // Name blobs. Node names only when at least one node is named.
+  std::vector<std::uint64_t> label_offsets, value_offsets, name_offsets;
+  std::string label_blob, value_blob, name_blob;
+  BuildNameBlob(labels_.names(), &label_offsets, &label_blob);
+  BuildNameBlob(values_.names(), &value_offsets, &value_blob);
+  if (has_names_) {
+    node_names_.resize(n);  // trailing anonymous nodes
+    BuildNameBlob(node_names_, &name_offsets, &name_blob);
+  }
+
+  // Fingerprint and final validation go through a borrowed view of the
+  // arrays built above — the exact structure a reader will map.
+  GraphView view;
+  view.num_nodes = n;
+  view.num_edges = m;
+  view.node_values = node_values_.data();
+  view.edges = edges_.data();
+  view.out_offsets = out_offsets.data();
+  view.out_entries = out_entries.data();
+  view.in_offsets = in_offsets.data();
+  view.in_entries = in_entries.data();
+  if (has_names_) {
+    view.name_offsets = name_offsets.data();
+    view.name_blob = name_blob.data();
+  }
+  DataGraph staged = DataGraph::FromView(labels_, values_, view);
+  GQD_RETURN_NOT_OK(staged.Validate());
+  std::uint64_t fingerprint = FingerprintGraphText(staged);
+
+  // Section layout (file order == enum order), 8-byte aligned.
+  GraphContainerHeader header;
+  header.fingerprint = fingerprint;
+  header.num_nodes = n;
+  header.num_edges = m;
+  header.num_labels = static_cast<std::uint32_t>(labels_.size());
+  header.num_values = static_cast<std::uint32_t>(values_.size());
+  header.flags = has_names_ ? kFlagHasNodeNames : 0;
+  const PendingSection pending[] = {
+      {kLabelNameOffsets, label_offsets.data(),
+       label_offsets.size() * sizeof(std::uint64_t)},
+      {kLabelNameBlob, label_blob.data(), label_blob.size()},
+      {kValueNameOffsets, value_offsets.data(),
+       value_offsets.size() * sizeof(std::uint64_t)},
+      {kValueNameBlob, value_blob.data(), value_blob.size()},
+      {kNodeValues, node_values_.data(), n * sizeof(ValueId)},
+      {kEdges, edges_.data(), m * sizeof(Edge)},
+      {kOutOffsets, out_offsets.data(), (n + 1) * sizeof(std::uint64_t)},
+      {kOutEntries, out_entries.data(), m * sizeof(LabeledEdge)},
+      {kInOffsets, in_offsets.data(), (n + 1) * sizeof(std::uint64_t)},
+      {kInEntries, in_entries.data(), m * sizeof(LabeledEdge)},
+      {kNodeNameOffsets, name_offsets.data(),
+       has_names_ ? name_offsets.size() * sizeof(std::uint64_t) : 0},
+      {kNodeNameBlob, name_blob.data(), name_blob.size()},
+  };
+  std::uint64_t offset = sizeof(GraphContainerHeader);
+  for (const PendingSection& section : pending) {
+    offset = AlignSection(offset);
+    header.sections[section.id] = SectionRange{offset, section.size};
+    offset += section.size;
+  }
+  header.file_size = offset;
+
+  // Payload checksum: every byte after the header, alignment padding
+  // (zeros) included, folded in file order.
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  static constexpr char kPadding[8] = {};
+  std::uint64_t checked = sizeof(GraphContainerHeader);
+  for (const PendingSection& section : pending) {
+    const SectionRange& range = header.sections[section.id];
+    checksum = Fnv1a64(kPadding, range.offset - checked, checksum);
+    checksum = Fnv1a64(section.data, range.size, checksum);
+    checked = range.offset + range.size;
+  }
+  header.payload_checksum = checksum;
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    counters.write_failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("cannot create '" + path + "'");
+  }
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  std::uint64_t written = sizeof(GraphContainerHeader);
+  for (const PendingSection& section : pending) {
+    const SectionRange& range = header.sections[section.id];
+    if (range.offset > written) {
+      out.write(kPadding,
+                static_cast<std::streamsize>(range.offset - written));
+    }
+    if (range.size > 0) {
+      out.write(static_cast<const char*>(section.data),
+                static_cast<std::streamsize>(range.size));
+    }
+    written = range.offset + range.size;
+  }
+  out.close();
+  if (!out) {
+    counters.write_failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  if (GQD_FAILPOINT_FIRED(fp_storage_truncate)) {
+    // Simulate a torn write: leave a half-length file behind so readers
+    // must reject it, and surface the fault to the caller.
+    (void)::truncate(path.c_str(),
+                     static_cast<off_t>(header.file_size / 2));
+    counters.write_failures.fetch_add(1, std::memory_order_relaxed);
+    return fp_storage_truncate.InjectedFault();
+  }
+  fingerprint_ = fingerprint;
+  counters.containers_written.fetch_add(1, std::memory_order_relaxed);
+  counters.bytes_written.fetch_add(header.file_size,
+                                   std::memory_order_relaxed);
+  GQD_TRACE_SPAN_ATTR(span, "bytes", header.file_size);
+  return Status::OK();
+}
+
+Status WriteGraphContainer(const DataGraph& graph, const std::string& path) {
+  GQD_TRACE_SPAN(span, "storage.convert");
+  GraphContainerBuilder builder;
+  for (const std::string& label : graph.labels().names()) {
+    builder.AddLabel(label);
+  }
+  for (const std::string& value : graph.data_values().names()) {
+    builder.AddDataValue(value);
+  }
+  std::string synthesized;
+  for (NodeId v = 0; v < graph.NumNodes(); v++) {
+    std::string_view name = graph.RawNodeName(v);
+    // A stored name matching the synthesized anonymous form is dropped:
+    // the canonical text (and so the fingerprint) is identical either way,
+    // and anonymous million-node graphs skip the name table entirely.
+    synthesized = "#" + std::to_string(v);
+    if (name == synthesized) {
+      name = {};
+    }
+    builder.AddNamedNode(graph.DataValueOf(v), name);
+  }
+  for (const Edge& e : graph.edges()) {
+    builder.AddEdge(e.from, e.label, e.to);
+  }
+  return builder.WriteToFile(path);
+}
+
+}  // namespace gqd

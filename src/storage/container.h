@@ -1,0 +1,83 @@
+// Writing binary graph containers (format.h describes the layout).
+//
+// Two producers share one writer core:
+//
+//  - WriteGraphContainer converts an existing DataGraph (the `gqd convert`
+//    path), canonicalizing synthesized "#<id>" names back to anonymous so
+//    text → binary → text round-trips byte-identical;
+//  - GraphContainerBuilder is a GraphSink, so the streaming generators
+//    (GenerateScaleFree / GenerateGrid) emit million-node graphs straight
+//    to disk without ever materializing the text form or a per-node
+//    adjacency-vector DataGraph.
+//
+// The writer computes the CSR sections (per-node entries sorted by
+// (label, node)), the content fingerprint (FNV-1a 64 of the canonical text,
+// streamed line by line), and the payload checksum, then writes the file in
+// one pass. Failpoints: `storage.write` (I/O failure before any byte lands)
+// and `storage.truncate` (a torn write: the file is cut in half after a
+// successful write and the injected fault is returned).
+
+#ifndef GQD_STORAGE_CONTAINER_H_
+#define GQD_STORAGE_CONTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "graph/generators.h"
+
+namespace gqd {
+
+/// Accumulates a graph in compact columnar form (value column + edge list —
+/// no per-node vectors, no name strings for anonymous nodes) and writes it
+/// as a binary container. Memory while building: ~16 bytes per edge plus
+/// 4 bytes per node, so a million-node graph builds in tens of megabytes.
+class GraphContainerBuilder : public GraphSink {
+ public:
+  LabelId AddLabel(std::string_view name) override {
+    return labels_.Intern(name);
+  }
+  ValueId AddDataValue(std::string_view name) override {
+    return values_.Intern(name);
+  }
+  NodeId AddNode(ValueId value) override { return AddNamedNode(value, ""); }
+  /// Adds a node carrying a display name ("" = anonymous).
+  NodeId AddNamedNode(ValueId value, std::string_view name);
+  void AddEdge(NodeId from, LabelId label, NodeId to) override;
+
+  std::size_t NumNodes() const { return node_values_.size(); }
+  std::size_t NumEdges() const { return edges_.size(); }
+
+  /// Validates the accumulated graph, then writes it as a version-1
+  /// container. The builder is left intact (WriteToFile may be called
+  /// again, e.g. to emit the same graph to a second path).
+  Status WriteToFile(const std::string& path);
+
+  /// Content fingerprint of the last successful WriteToFile.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  StringInterner labels_;
+  StringInterner values_;
+  std::vector<ValueId> node_values_;
+  std::vector<Edge> edges_;
+  // Sparse name table: set only for named nodes. Indexed lazily because
+  // generated graphs are fully anonymous.
+  std::vector<std::string> node_names_;
+  bool has_names_ = false;
+  std::uint64_t fingerprint_ = 0;
+};
+
+/// Converts `graph` (resident or view) to a binary container at `path`.
+/// Nodes whose stored name equals the synthesized "#<id>" form are written
+/// as anonymous, so the canonical text — and therefore the fingerprint —
+/// is unchanged by the conversion. Traced as `storage.convert`.
+Status WriteGraphContainer(const DataGraph& graph, const std::string& path);
+
+}  // namespace gqd
+
+#endif  // GQD_STORAGE_CONTAINER_H_

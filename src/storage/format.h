@@ -1,0 +1,124 @@
+// On-disk layout of the gqd binary graph container (version 1).
+//
+// A container is one little-endian file:
+//
+//   +----------------------------+ 0
+//   | GraphContainerHeader       |  256 bytes, fixed
+//   +----------------------------+ 256
+//   | sections (8-byte aligned)  |  order below; ranges in the header
+//   +----------------------------+ file_size
+//
+// Sections (all offsets are absolute file offsets, all 8-byte aligned):
+//
+//   kLabelNameOffsets  u64[num_labels + 1]   cumulative offsets into
+//   kLabelNameBlob     char[]                the label-name blob
+//   kValueNameOffsets  u64[num_values + 1]   cumulative offsets into
+//   kValueNameBlob     char[]                the data-value-name blob
+//   kNodeValues        u32[num_nodes]        ρ(v) as dense ValueIds
+//   kEdges             Edge[num_edges]       insertion order — the canonical
+//                                            serialization order, so a text
+//                                            round-trip is byte-identical
+//   kOutOffsets        u64[num_nodes + 1]    CSR: out-adjacency extents
+//   kOutEntries        LabeledEdge[num_edges]  sorted by (label, node)
+//   kInOffsets         u64[num_nodes + 1]    CSR: in-adjacency extents
+//   kInEntries         LabeledEdge[num_edges]  sorted by (label, node)
+//   kNodeNameOffsets   u64[num_nodes + 1]    only when kFlagHasNodeNames
+//   kNodeNameBlob      char[]                ("" extent = anonymous node)
+//
+// The header carries the graph's content fingerprint — FNV-1a 64 of the
+// canonical text serialization, the same value GraphRegistry keys result
+// caches with — and an FNV-1a checksum of every payload byte after the
+// header. A mapped container is served zero-copy: DataGraph's view mode
+// points straight into the sections, so the structs here are the in-memory
+// layout too (static_asserts below pin the ABI).
+
+#ifndef GQD_STORAGE_FORMAT_H_
+#define GQD_STORAGE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/data_graph.h"
+
+namespace gqd {
+
+/// "GQDG" read as a little-endian u32.
+inline constexpr std::uint32_t kGraphContainerMagic = 0x47445147u;
+
+inline constexpr std::uint32_t kGraphContainerVersion = 1;
+
+/// Header flag: the container carries a node-name table (kNodeNameOffsets /
+/// kNodeNameBlob are present). Generated graphs are anonymous and omit it.
+inline constexpr std::uint32_t kFlagHasNodeNames = 1u << 0;
+
+/// One section extent: absolute file offset plus byte size.
+struct SectionRange {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+/// Section indices into GraphContainerHeader::sections, in file order.
+enum GraphSectionId : std::uint32_t {
+  kLabelNameOffsets = 0,
+  kLabelNameBlob,
+  kValueNameOffsets,
+  kValueNameBlob,
+  kNodeValues,
+  kEdges,
+  kOutOffsets,
+  kOutEntries,
+  kInOffsets,
+  kInEntries,
+  kNodeNameOffsets,
+  kNodeNameBlob,
+  kNumGraphSections,
+};
+
+/// The fixed 256-byte container header.
+struct GraphContainerHeader {
+  std::uint32_t magic = kGraphContainerMagic;
+  std::uint32_t version = kGraphContainerVersion;
+  std::uint64_t file_size = 0;         ///< total bytes, header included
+  std::uint64_t fingerprint = 0;       ///< FNV-1a 64 of the canonical text
+  std::uint64_t payload_checksum = 0;  ///< FNV-1a 64 of bytes after header
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t num_labels = 0;
+  std::uint32_t num_values = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t reserved = 0;
+  SectionRange sections[kNumGraphSections] = {};
+};
+
+// The view path reads these structs straight out of the mapping, so their
+// layout is the file format.
+static_assert(sizeof(GraphContainerHeader) == 256,
+              "container header must stay 256 bytes");
+static_assert(sizeof(SectionRange) == 16);
+static_assert(sizeof(Edge) == 12 && alignof(Edge) == 4,
+              "kEdges stores Edge structs in place");
+static_assert(sizeof(LabeledEdge) == 8 && alignof(LabeledEdge) == 4,
+              "CSR entry sections store LabeledEdge structs in place");
+static_assert(sizeof(ValueId) == 4);
+
+/// FNV-1a 64 over a byte range; `seed` defaults to the offset basis so
+/// multi-chunk checksums can be folded incrementally.
+inline std::uint64_t Fnv1a64(const void* data, std::size_t size,
+                             std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; i++) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;  // FNV prime
+  }
+  return hash;
+}
+
+/// Rounds `offset` up to the section alignment (8 bytes).
+inline std::uint64_t AlignSection(std::uint64_t offset) {
+  return (offset + 7) & ~std::uint64_t{7};
+}
+
+}  // namespace gqd
+
+#endif  // GQD_STORAGE_FORMAT_H_

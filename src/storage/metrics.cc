@@ -1,0 +1,27 @@
+#include "storage/metrics.h"
+
+namespace gqd {
+
+StorageCounters& StorageCounters::Instance() {
+  static StorageCounters counters;
+  return counters;
+}
+
+void UpdateStorageMetrics(MetricsRegistry* registry) {
+  const StorageCounters& c = StorageCounters::Instance();
+  auto mirror = [&](const char* name,
+                    const std::atomic<std::uint64_t>& value) {
+    registry->GetCounter(name)->Set(value.load(std::memory_order_relaxed));
+  };
+  mirror("gqd_storage_container_opens_total", c.containers_opened);
+  mirror("gqd_storage_open_failures_total", c.open_failures);
+  mirror("gqd_storage_container_writes_total", c.containers_written);
+  mirror("gqd_storage_write_failures_total", c.write_failures);
+  mirror("gqd_storage_validations_total", c.validations);
+  mirror("gqd_storage_validation_failures_total", c.validation_failures);
+  mirror("gqd_storage_mapped_bytes_total", c.bytes_mapped);
+  mirror("gqd_storage_written_bytes_total", c.bytes_written);
+  mirror("gqd_storage_load_microseconds_total", c.load_micros);
+}
+
+}  // namespace gqd

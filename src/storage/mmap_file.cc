@@ -1,0 +1,83 @@
+#include "storage/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace gqd {
+
+GQD_FAILPOINT_DEFINE(fp_storage_open, "storage.open");
+GQD_FAILPOINT_DEFINE(fp_storage_mmap, "storage.mmap");
+
+namespace {
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() { Reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MmapFile::Reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  if (GQD_FAILPOINT_FIRED(fp_storage_open)) {
+    return fp_storage_open.InjectedFault();
+  }
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return ErrnoError("cannot open", path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = ErrnoError("cannot stat", path);
+    ::close(fd);
+    return status;
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::IOError("cannot map empty file '" + path + "'");
+  }
+  std::size_t size = static_cast<std::size_t>(st.st_size);
+  void* mapped = MAP_FAILED;
+  if (GQD_FAILPOINT_FIRED(fp_storage_mmap)) {
+    ::close(fd);
+    return fp_storage_mmap.InjectedFault();
+  }
+  mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference; the descriptor is no longer needed.
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    return ErrnoError("cannot mmap", path);
+  }
+  return MmapFile(static_cast<std::byte*>(mapped), size);
+}
+
+}  // namespace gqd

@@ -1,0 +1,48 @@
+// Read-only memory-mapped file (RAII over open/mmap/munmap).
+//
+// The mapping is private and read-only; the kernel pages bytes in on
+// demand, so opening a multi-gigabyte container costs milliseconds and
+// touches only the pages a workload actually reads. Instances are movable
+// (the GraphStore parks one inside the shared keepalive that backs every
+// view-mode DataGraph) and unmap on destruction.
+
+#ifndef GQD_STORAGE_MMAP_FILE_H_
+#define GQD_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace gqd {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. Fails with IOError on open/stat/mmap failure
+  /// and on empty files (a zero-length mapping is undefined). Failpoints:
+  /// `storage.open`, `storage.mmap`.
+  static Result<MmapFile> Open(const std::string& path);
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  MmapFile(std::byte* data, std::size_t size) : data_(data), size_(size) {}
+
+  void Reset() noexcept;
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_STORAGE_MMAP_FILE_H_

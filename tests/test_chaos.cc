@@ -39,6 +39,8 @@
 #include "runtime/result_cache.h"
 #include "runtime/server.h"
 #include "runtime/service.h"
+#include "storage/container.h"
+#include "storage/graph_store.h"
 
 namespace gqd {
 namespace {
@@ -47,11 +49,12 @@ namespace {
 /// live registry so unplanted scenarios and unscenarioed sites both fail.
 const std::vector<std::string>& KnownSites() {
   static const std::vector<std::string> sites = {
-      "assignment_graph.build", "client.connect",  "client.read",
-      "client.write",           "csp.search",      "krem.arena.grow",
+      "assignment_graph.build", "client.connect",   "client.read",
+      "client.write",           "csp.search",       "krem.arena.grow",
       "ree.closure",            "result_cache.put", "server.accept",
-      "server.read",            "server.write",    "thread_pool.dispatch",
-      "ucrdpq.search",
+      "server.read",            "server.write",     "storage.mmap",
+      "storage.open",           "storage.truncate", "storage.write",
+      "thread_pool.dispatch",   "ucrdpq.search",
   };
   return sites;
 }
@@ -318,6 +321,80 @@ TEST_F(ChaosTest, ResultCachePutDropsInsertQuietly) {
   auto hit = cache.Get(key);
   ASSERT_NE(hit, nullptr);
   EXPECT_TRUE(hit->Test(1, 2));
+}
+
+// --- Storage failpoints: I/O faults fail cleanly, retry recovers --------
+
+/// A container on disk plus its expected text, for the storage scenarios.
+struct StorageInstance {
+  StorageInstance() {
+    RandomGraphOptions options;
+    options.num_nodes = 16;
+    options.edge_percent = 25;
+    graph = RandomDataGraph(options);
+    text = WriteGraphText(graph);
+    // Unique per test case: ctest runs cases as parallel processes, and a
+    // shared scratch file can SIGBUS (truncate under another's mapping).
+    path = ::testing::TempDir() + "gqd_chaos_storage_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".gqdg";
+  }
+  DataGraph graph;
+  std::string text;
+  std::string path;
+};
+
+TEST_F(ChaosTest, StorageWriteFaultFailsCleanlyAndRecovers) {
+  StorageInstance instance;
+  Arm("storage.write:fail-once");
+  Status faulted = WriteGraphContainer(instance.graph, instance.path);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_NE(faulted.message().find("storage.write"), std::string::npos)
+      << faulted;
+
+  FailpointRegistry::Instance().Reset();
+  ASSERT_TRUE(WriteGraphContainer(instance.graph, instance.path).ok());
+  auto mapped = GraphStore::OpenContainer(instance.path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(WriteGraphText(*mapped.value().graph), instance.text);
+}
+
+TEST_F(ChaosTest, StorageOpenAndMmapFaultsFailCleanlyAndRecover) {
+  StorageInstance instance;
+  ASSERT_TRUE(WriteGraphContainer(instance.graph, instance.path).ok());
+
+  for (const char* site : {"storage.open", "storage.mmap"}) {
+    Arm(std::string(site) + ":fail-once");
+    auto faulted = GraphStore::OpenContainer(instance.path);
+    ASSERT_FALSE(faulted.ok()) << site;
+    EXPECT_NE(faulted.status().message().find(site), std::string::npos)
+        << faulted.status();
+    FailpointRegistry::Instance().Reset();
+    auto retried = GraphStore::OpenContainer(instance.path);
+    ASSERT_TRUE(retried.ok()) << site << ": " << retried.status();
+    EXPECT_EQ(WriteGraphText(*retried.value().graph), instance.text);
+  }
+}
+
+TEST_F(ChaosTest, StorageTruncateTornWriteIsDetectedOnOpen) {
+  StorageInstance instance;
+  // The torn-write failpoint lets the write complete, then cuts the file in
+  // half — simulating a crash mid-flush. The open must detect the damage
+  // with a clean Status, and a rewrite must recover bit-identically.
+  Arm("storage.truncate:fail-once");
+  Status torn = WriteGraphContainer(instance.graph, instance.path);
+  ASSERT_FALSE(torn.ok());
+  Status opened = GraphStore::OpenContainer(instance.path).status();
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.code(), StatusCode::kIOError) << opened;
+
+  FailpointRegistry::Instance().Reset();
+  ASSERT_TRUE(WriteGraphContainer(instance.graph, instance.path).ok());
+  OpenOptions deep;
+  deep.validate = true;
+  auto recovered = GraphStore::OpenContainer(instance.path, deep);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(WriteGraphText(*recovered.value().graph), instance.text);
 }
 
 // --- Socket failpoints: connection-local faults, retry recovers ---------

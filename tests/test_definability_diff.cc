@@ -20,6 +20,8 @@
 #include "eval/rem_eval.h"
 #include "eval/ree_eval.h"
 #include "graph/generators.h"
+#include "storage/container.h"
+#include "storage/graph_store.h"
 
 namespace gqd {
 namespace {
@@ -395,6 +397,75 @@ TEST(ReeDiff, RestrictOverloadsAgree) {
     BinaryRelation r = RandomRelation(12, 35, seed + 100);
     EXPECT_EQ(r.EqRestrict(g), r.EqRestrict(masks)) << "seed " << seed;
     EXPECT_EQ(r.NeqRestrict(g), r.NeqRestrict(masks)) << "seed " << seed;
+  }
+}
+
+// --- Storage backends: resident vs mmap must be bit-identical -----------
+
+/// Round-trips `graph` through a binary container and returns the mapped
+/// zero-copy view (the shared_ptr keeps the mapping alive).
+std::shared_ptr<const DataGraph> MapThroughContainer(const DataGraph& graph,
+                                                     std::uint64_t seed) {
+  std::string path = ::testing::TempDir() + "gqd_diff_" +
+                     std::to_string(seed) + ".gqdg";
+  Status written = WriteGraphContainer(graph, path);
+  EXPECT_TRUE(written.ok()) << written;
+  auto mapped = GraphStore::OpenContainer(path);
+  EXPECT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(mapped.value().info.backend, GraphBackend::kMapped);
+  return mapped.value().graph;
+}
+
+TEST(StorageDiff, KRemVerdictsIdenticalAcrossBackends) {
+  // The checkers read the graph only through the DataGraph accessors, so a
+  // zero-copy mapped view must produce the exact result of the resident
+  // parse — verdicts, exploration counts and witnesses — at every thread
+  // count and on both engines.
+  for (std::uint64_t seed = 1; seed <= 12; seed++) {
+    RandomCase c = MakeCase(seed);
+    auto mapped = MapThroughContainer(c.graph, seed);
+    ASSERT_NE(mapped, nullptr);
+    for (std::size_t threads : {1, 4}) {
+      for (KRemEngine engine : {KRemEngine::kKernel, KRemEngine::kReference}) {
+        KRemDefinabilityOptions options;
+        options.max_tuples = 20'000;
+        options.num_threads = threads;
+        options.engine = engine;
+        auto resident = CheckKRemDefinability(c.graph, c.relation, c.k,
+                                              options);
+        auto view = CheckKRemDefinability(*mapped, c.relation, c.k, options);
+        ASSERT_TRUE(resident.ok()) << "seed " << seed;
+        ASSERT_TRUE(view.ok()) << "seed " << seed;
+        ExpectSameKRemResult(resident.value(), view.value(), seed);
+      }
+    }
+  }
+}
+
+TEST(StorageDiff, ReeVerdictsIdenticalAcrossBackends) {
+  for (std::uint64_t seed = 1; seed <= 12; seed++) {
+    RandomCase c = MakeCase(seed);
+    auto mapped = MapThroughContainer(c.graph, seed + 100);
+    ASSERT_NE(mapped, nullptr);
+    ReeDefinabilityOptions options;
+    options.max_monoid_size = 20'000;
+    auto resident = CheckReeDefinability(c.graph, c.relation, options);
+    auto view = CheckReeDefinability(*mapped, c.relation, options);
+    ASSERT_TRUE(resident.ok()) << "seed " << seed;
+    ASSERT_TRUE(view.ok()) << "seed " << seed;
+    EXPECT_EQ(resident.value().verdict, view.value().verdict)
+        << "seed " << seed;
+    EXPECT_EQ(resident.value().levels_used, view.value().levels_used)
+        << "seed " << seed;
+    EXPECT_EQ(resident.value().monoid_size, view.value().monoid_size)
+        << "seed " << seed;
+    // A synthesized expression evaluates identically over both backends.
+    if (resident.value().verdict == DefinabilityVerdict::kDefinable &&
+        !c.relation.Empty()) {
+      EXPECT_EQ(EvaluateRee(*mapped, resident.value().defining_expression),
+                c.relation)
+          << "seed " << seed;
+    }
   }
 }
 

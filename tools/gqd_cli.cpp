@@ -6,6 +6,8 @@
 //             [--trace-out <file>]
 //   gqd synth <graph> <relation> --language rpq|rem|ree [--k N] [--simplify]
 //   gqd convert <regex|ree> <expression>        # embed into REM
+//   gqd convert graph <in> [<out>] [--validate] # text <-> binary container
+//   gqd gen scale-free|grid --out <file> [...]  # synthetic graphs
 //   gqd compile <rem> [--graph <file>] [--k N] [--json] [--plan-out FILE]
 //   gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]
 //   gqd lint --suite <file> [--graph <file>] [--json]
@@ -15,6 +17,8 @@
 //
 // Graph files use the `node`/`edge` text format, relation files the `pair`
 // format (see graph/serialization.h and examples/data/).
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <chrono>
@@ -68,6 +72,12 @@ int Usage() {
       "            [--threads N] [--engine kernel|reference]"
       " [--max-bytes N]\n"
       "  gqd convert <regex|ree> <expression>\n"
+      "  gqd convert graph <in> [<out>] [--validate]\n"
+      "  gqd gen scale-free --out FILE [--nodes N] [--edges-per-node M]\n"
+      "          [--labels L] [--values D] [--seed S] [--text]\n"
+      "  gqd gen grid --out FILE [--rows R] [--cols C] [--values D]"
+      " [--seed S]\n"
+      "          [--text]\n"
       "  gqd compile <rem-expression> [--graph <file>] [--k N] [--json]\n"
       "              [--plan-out FILE]\n"
       "  gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]"
@@ -81,6 +91,14 @@ int Usage() {
       "            [--max-line-bytes N]\n"
       "  gqd bench-serve [--port N] [--clients C] [--requests R] [--json]\n"
       "                  [--max-concurrent N] [--max-queue N] [--retry]\n"
+      "\n"
+      "storage:\n"
+      "  every <graph> argument accepts either the node/edge text format or\n"
+      "  a binary graph container (docs/storage.md); containers are mmap'd\n"
+      "  and served zero-copy. `gqd convert graph` converts between the two\n"
+      "  (direction follows the input format; --validate deep-checks the\n"
+      "  container, and `convert graph <file> --validate` with no output\n"
+      "  only checks). `gqd gen` streams synthetic graphs to a container.\n"
       "\n"
       "resource governance:\n"
       "  --max-bytes / --max-tuples cap accounted memory and materialized\n"
@@ -107,9 +125,20 @@ int Usage() {
   return 2;
 }
 
-Result<DataGraph> LoadGraph(const char* path) {
-  GQD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
-  return ReadGraphText(text);
+/// Loads a graph file through the GraphStore: binary containers map
+/// (zero-copy), anything else parses as the node/edge text format. The
+/// StoredGraph keeps any backing mmap alive.
+Result<StoredGraph> LoadGraph(const char* path) {
+  return GraphStore::OpenFile(path);
+}
+
+/// True when the file starts with the container magic — decides the
+/// direction of `gqd convert graph`.
+bool IsGraphContainer(const char* path) {
+  std::ifstream probe(path, std::ios::binary);
+  std::uint32_t magic = 0;
+  probe.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return probe.gcount() == sizeof(magic) && magic == kGraphContainerMagic;
 }
 
 Result<BinaryRelation> LoadRelation(const DataGraph& graph,
@@ -221,16 +250,17 @@ int CmdEval(int argc, char** argv) {
     return Usage();
   }
   TraceWriter trace(TraceOutPath(argc, argv));
-  auto graph = LoadGraph(argv[0]);
-  if (!graph.ok()) {
-    return Fail(graph.status());
+  auto loaded = LoadGraph(argv[0]);
+  if (!loaded.ok()) {
+    return Fail(loaded.status());
   }
+  const DataGraph& graph = *loaded.value().graph;
   std::string language = argv[1];
   std::string text = argv[2];
   // Opt-in pre-flight: reject error-level lint findings before evaluating.
   bool preflight = HasFlag(argc - 3, argv + 3, "--preflight");
   auto run_preflight = [&](const PathExpression& expression) {
-    return preflight ? PreflightPathExpression(graph.value(), expression)
+    return preflight ? PreflightPathExpression(graph, expression)
                      : Status::OK();
   };
   // Optional resource budget; an exceeded budget exits 4 with a
@@ -239,7 +269,7 @@ int CmdEval(int argc, char** argv) {
   BudgetFromFlags(argc - 3, argv + 3, &budget, /*tuples_axis=*/true);
   EvalOptions eval_options;
   eval_options.budget = budget.has_value() ? &budget.value() : nullptr;
-  BinaryRelation result(graph.value().NumNodes());
+  BinaryRelation result(graph.NumNodes());
   if (language == "regex") {
     auto e = ParseRegex(text);
     if (!e.ok()) {
@@ -249,7 +279,7 @@ int CmdEval(int argc, char** argv) {
     if (!admitted.ok()) {
       return Fail(admitted);
     }
-    auto evaluated = EvaluateRpq(graph.value(), e.value(), eval_options);
+    auto evaluated = EvaluateRpq(graph, e.value(), eval_options);
     if (!evaluated.ok()) {
       return Fail(evaluated.status());
     }
@@ -263,7 +293,7 @@ int CmdEval(int argc, char** argv) {
     if (!admitted.ok()) {
       return Fail(admitted);
     }
-    auto evaluated = EvaluateRem(graph.value(), e.value(), eval_options);
+    auto evaluated = EvaluateRem(graph, e.value(), eval_options);
     if (!evaluated.ok()) {
       return Fail(evaluated.status());
     }
@@ -277,7 +307,7 @@ int CmdEval(int argc, char** argv) {
     if (!admitted.ok()) {
       return Fail(admitted);
     }
-    auto evaluated = EvaluateRee(graph.value(), e.value(), eval_options);
+    auto evaluated = EvaluateRee(graph, e.value(), eval_options);
     if (!evaluated.ok()) {
       return Fail(evaluated.status());
     }
@@ -285,7 +315,7 @@ int CmdEval(int argc, char** argv) {
   } else {
     return Usage();
   }
-  std::printf("%s\n", result.ToString(graph.value()).c_str());
+  std::printf("%s\n", result.ToString(graph).c_str());
 
   const char* explain_at = FlagValue(argc - 3, argv + 3, "--explain");
   if (explain_at != nullptr) {
@@ -300,8 +330,8 @@ int CmdEval(int argc, char** argv) {
     if (index < 0 || index + 2 >= argc) {
       return Usage();
     }
-    auto u = graph.value().FindNode(argv[index + 1]);
-    auto v = graph.value().FindNode(argv[index + 2]);
+    auto u = graph.FindNode(argv[index + 1]);
+    auto v = graph.FindNode(argv[index + 2]);
     if (!u.ok()) {
       return Fail(u.status());
     }
@@ -310,14 +340,14 @@ int CmdEval(int argc, char** argv) {
     }
     std::optional<ExplainedPath> witness;
     if (language == "regex") {
-      witness = ExplainRpqPair(graph.value(),
+      witness = ExplainRpqPair(graph,
                                ParseRegex(text).ValueOrDie(), u.value(),
                                v.value());
     } else if (language == "rem") {
-      witness = ExplainRemPair(graph.value(), ParseRem(text).ValueOrDie(),
+      witness = ExplainRemPair(graph, ParseRem(text).ValueOrDie(),
                                u.value(), v.value());
     } else {
-      witness = ExplainReePair(graph.value(), ParseRee(text).ValueOrDie(),
+      witness = ExplainReePair(graph, ParseRee(text).ValueOrDie(),
                                u.value(), v.value());
     }
     if (!witness.has_value()) {
@@ -326,10 +356,10 @@ int CmdEval(int argc, char** argv) {
     } else {
       std::printf("(%s, %s) via nodes:", argv[index + 1], argv[index + 2]);
       for (NodeId node : witness->nodes) {
-        std::printf(" %s", graph.value().NodeName(node).c_str());
+        std::printf(" %s", graph.NodeName(node).c_str());
       }
       std::printf("\n              data path: %s\n",
-                  witness->data_path.ToString(graph.value()).c_str());
+                  witness->data_path.ToString(graph).c_str());
     }
   }
   return 0;
@@ -340,11 +370,29 @@ int CmdCheck(int argc, char** argv) {
     return Usage();
   }
   TraceWriter trace(TraceOutPath(argc, argv));
-  auto graph = LoadGraph(argv[0]);
-  if (!graph.ok()) {
-    return Fail(graph.status());
+  auto loaded = LoadGraph(argv[0]);
+  if (!loaded.ok()) {
+    return Fail(loaded.status());
   }
-  auto relation = LoadRelation(graph.value(), argv[1]);
+  const DataGraph& graph = *loaded.value().graph;
+  // --max-bytes attaches a byte budget: a trip stops the checker with
+  // verdict budget-exhausted plus a partial-progress report, and exit 4.
+  std::optional<ResourceBudget> budget;
+  BudgetFromFlags(argc, argv, &budget, /*tuples_axis=*/false);
+  const ResourceBudget* budget_ptr =
+      budget.has_value() ? &budget.value() : nullptr;
+  // The candidate relation materializes as a dense n×n bit matrix. Admit
+  // that allocation against the byte budget before parsing the relation, so
+  // a budgeted check over a million-node graph exits 4 with a clean
+  // diagnostic instead of attempting a ~125 GB allocation.
+  if (budget_ptr != nullptr) {
+    const std::uint64_t n = graph.NumNodes();
+    budget_ptr->ChargeBytes(static_cast<std::int64_t>((n * n + 7) / 8));
+    if (Status admitted = budget_ptr->Check(); !admitted.ok()) {
+      return Fail(admitted);
+    }
+  }
+  auto relation = LoadRelation(graph, argv[1]);
   if (!relation.ok()) {
     return Fail(relation.status());
   }
@@ -374,12 +422,6 @@ int CmdCheck(int argc, char** argv) {
     krem_options.max_tuples = std::strtoul(max_tuples_flag, nullptr, 10);
     ree_options.max_monoid_size = krem_options.max_tuples;
   }
-  // --max-bytes attaches a byte budget: a trip stops the checker with
-  // verdict budget-exhausted plus a partial-progress report, and exit 4.
-  std::optional<ResourceBudget> budget;
-  BudgetFromFlags(argc, argv, &budget, /*tuples_axis=*/false);
-  const ResourceBudget* budget_ptr =
-      budget.has_value() ? &budget.value() : nullptr;
   krem_options.budget = budget_ptr;
   ree_options.budget = budget_ptr;
   UcrdpqDefinabilityOptions ucrdpq_options;
@@ -390,7 +432,7 @@ int CmdCheck(int argc, char** argv) {
     std::printf("%-10s %s\n", name, DefinabilityVerdictToString(verdict));
   };
   if (language == "all" || language == "rpq") {
-    auto r = CheckRpqDefinability(graph.value(), relation.value(),
+    auto r = CheckRpqDefinability(graph, relation.value(),
                                   krem_options);
     if (!r.ok()) {
       return Fail(r.status());
@@ -401,7 +443,7 @@ int CmdCheck(int argc, char** argv) {
     }
   }
   if (language == "all" || language == "rem") {
-    auto r = CheckKRemDefinability(graph.value(), relation.value(), k,
+    auto r = CheckKRemDefinability(graph, relation.value(), k,
                                    krem_options);
     if (!r.ok()) {
       return Fail(r.status());
@@ -413,7 +455,7 @@ int CmdCheck(int argc, char** argv) {
     }
   }
   if (language == "all" || language == "ree") {
-    auto r = CheckReeDefinability(graph.value(), relation.value(),
+    auto r = CheckReeDefinability(graph, relation.value(),
                                   ree_options);
     if (!r.ok()) {
       return Fail(r.status());
@@ -424,7 +466,7 @@ int CmdCheck(int argc, char** argv) {
     }
   }
   if (language == "all" || language == "ucrdpq") {
-    auto r = CheckUcrdpqDefinability(graph.value(), relation.value(),
+    auto r = CheckUcrdpqDefinability(graph, relation.value(),
                                      ucrdpq_options);
     if (!r.ok()) {
       return Fail(r.status());
@@ -441,11 +483,12 @@ int CmdSynth(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
   }
-  auto graph = LoadGraph(argv[0]);
-  if (!graph.ok()) {
-    return Fail(graph.status());
+  auto loaded = LoadGraph(argv[0]);
+  if (!loaded.ok()) {
+    return Fail(loaded.status());
   }
-  auto relation = LoadRelation(graph.value(), argv[1]);
+  const DataGraph& graph = *loaded.value().graph;
+  auto relation = LoadRelation(graph, argv[1]);
   if (!relation.ok()) {
     return Fail(relation.status());
   }
@@ -484,7 +527,7 @@ int CmdSynth(int argc, char** argv) {
   ree_options.budget = budget_ptr;
 
   if (language == "rpq") {
-    auto q = SynthesizeRpqQuery(graph.value(), relation.value(),
+    auto q = SynthesizeRpqQuery(graph, relation.value(),
                                 krem_options);
     if (!q.ok()) {
       return Fail(q.status());
@@ -495,7 +538,7 @@ int CmdSynth(int argc, char** argv) {
     }
     RegexPtr e = *q.value();
     if (simplify) {
-      auto s = SimplifyRegexOnGraph(graph.value(), e, relation.value());
+      auto s = SimplifyRegexOnGraph(graph, e, relation.value());
       if (s.ok()) {
         e = s.value();
       }
@@ -504,7 +547,7 @@ int CmdSynth(int argc, char** argv) {
     return 0;
   }
   if (language == "rem") {
-    auto q = SynthesizeKRemQuery(graph.value(), relation.value(), k,
+    auto q = SynthesizeKRemQuery(graph, relation.value(), k,
                                  krem_options);
     if (!q.ok()) {
       return Fail(q.status());
@@ -517,7 +560,7 @@ int CmdSynth(int argc, char** argv) {
     return 0;
   }
   if (language == "ree") {
-    auto q = SynthesizeReeQuery(graph.value(), relation.value(),
+    auto q = SynthesizeReeQuery(graph, relation.value(),
                                 ree_options);
     if (!q.ok()) {
       return Fail(q.status());
@@ -528,7 +571,7 @@ int CmdSynth(int argc, char** argv) {
     }
     ReePtr e = *q.value();
     if (simplify) {
-      auto s = SimplifyReeOnGraph(graph.value(), e, relation.value());
+      auto s = SimplifyReeOnGraph(graph, e, relation.value());
       if (s.ok()) {
         e = s.value();
       }
@@ -544,6 +587,62 @@ int CmdConvert(int argc, char** argv) {
     return Usage();
   }
   std::string language = argv[0];
+  if (language == "graph") {
+    // `gqd convert graph <in> [<out>] [--validate]` — converts between the
+    // text format and the binary container, direction decided by the input
+    // format. With a container input and no output, --validate just
+    // deep-checks the file.
+    const char* in_path = argv[1];
+    const char* out_path = argc >= 3 && argv[2][0] != '-' ? argv[2] : nullptr;
+    bool validate = HasFlag(argc, argv, "--validate");
+    bool in_is_container = IsGraphContainer(in_path);
+    if (out_path == nullptr) {
+      if (!in_is_container || !validate) {
+        return Usage();
+      }
+      Status checked = ValidateGraphContainer(in_path);
+      if (!checked.ok()) {
+        return Fail(checked);
+      }
+      std::printf("ok: %s\n", in_path);
+      return 0;
+    }
+    OpenOptions open_options;
+    open_options.validate = validate && in_is_container;
+    auto loaded = GraphStore::OpenFile(in_path, open_options);
+    if (!loaded.ok()) {
+      return Fail(loaded.status());
+    }
+    const DataGraph& graph = *loaded.value().graph;
+    if (in_is_container) {
+      std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        return Fail(Status::IOError(std::string("cannot open '") + out_path +
+                                    "' for writing"));
+      }
+      out << WriteGraphText(graph);
+      out.close();
+      if (!out) {
+        return Fail(
+            Status::IOError(std::string("failed writing '") + out_path + "'"));
+      }
+    } else {
+      Status written = WriteGraphContainer(graph, out_path);
+      if (!written.ok()) {
+        return Fail(written);
+      }
+      if (validate) {
+        Status checked = ValidateGraphContainer(out_path);
+        if (!checked.ok()) {
+          return Fail(checked);
+        }
+      }
+    }
+    std::fprintf(stderr, "%s -> %s (%zu nodes, %zu edges, fingerprint %s)\n",
+                 in_path, out_path, graph.NumNodes(), graph.NumEdges(),
+                 loaded.value().info.fingerprint.c_str());
+    return 0;
+  }
   if (language == "regex") {
     auto e = ParseRegex(argv[1]);
     if (!e.ok()) {
@@ -565,6 +664,102 @@ int CmdConvert(int argc, char** argv) {
   return Usage();
 }
 
+/// `gqd gen scale-free|grid --out FILE [...]` — deterministic synthetic
+/// graph generators. By default the graph streams straight into a binary
+/// container through GraphContainerBuilder (a million-node graph builds in
+/// tens of megabytes, never holding the text form); --text routes through a
+/// resident DataGraph and writes the node/edge text format instead.
+int CmdGen(int argc, char** argv) {
+  if (argc < 1) {
+    return Usage();
+  }
+  std::string kind = argv[0];
+  const char* out_path = FlagValue(argc, argv, "--out");
+  if (out_path == nullptr) {
+    return Usage();
+  }
+  const char* seed_flag = FlagValue(argc, argv, "--seed");
+  const char* values_flag = FlagValue(argc, argv, "--values");
+  auto emit = [&](GraphSink* sink) {
+    if (kind == "scale-free") {
+      ScaleFreeOptions options;
+      const char* nodes_flag = FlagValue(argc, argv, "--nodes");
+      if (nodes_flag != nullptr) {
+        options.num_nodes = std::strtoul(nodes_flag, nullptr, 10);
+      }
+      const char* epn_flag = FlagValue(argc, argv, "--edges-per-node");
+      if (epn_flag != nullptr) {
+        options.edges_per_node = std::strtoul(epn_flag, nullptr, 10);
+      }
+      const char* labels_flag = FlagValue(argc, argv, "--labels");
+      if (labels_flag != nullptr) {
+        options.num_labels = std::strtoul(labels_flag, nullptr, 10);
+      }
+      if (values_flag != nullptr) {
+        options.num_data_values = std::strtoul(values_flag, nullptr, 10);
+      }
+      if (seed_flag != nullptr) {
+        options.seed = std::strtoull(seed_flag, nullptr, 10);
+      }
+      GenerateScaleFree(options, sink);
+      return true;
+    }
+    if (kind == "grid") {
+      GridOptions options;
+      const char* rows_flag = FlagValue(argc, argv, "--rows");
+      if (rows_flag != nullptr) {
+        options.rows = std::strtoul(rows_flag, nullptr, 10);
+      }
+      const char* cols_flag = FlagValue(argc, argv, "--cols");
+      if (cols_flag != nullptr) {
+        options.cols = std::strtoul(cols_flag, nullptr, 10);
+      }
+      if (values_flag != nullptr) {
+        options.num_data_values = std::strtoul(values_flag, nullptr, 10);
+      }
+      if (seed_flag != nullptr) {
+        options.seed = std::strtoull(seed_flag, nullptr, 10);
+      }
+      GenerateGrid(options, sink);
+      return true;
+    }
+    return false;
+  };
+  if (HasFlag(argc, argv, "--text")) {
+    DataGraphSink sink;
+    if (!emit(&sink)) {
+      return Usage();
+    }
+    DataGraph graph = sink.Take();
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Fail(Status::IOError(std::string("cannot open '") + out_path +
+                                  "' for writing"));
+    }
+    out << WriteGraphText(graph);
+    out.close();
+    if (!out) {
+      return Fail(
+          Status::IOError(std::string("failed writing '") + out_path + "'"));
+    }
+    std::fprintf(stderr, "%s: %zu nodes, %zu edges (text)\n", out_path,
+                 graph.NumNodes(), graph.NumEdges());
+    return 0;
+  }
+  GraphContainerBuilder builder;
+  if (!emit(&builder)) {
+    return Usage();
+  }
+  Status written = builder.WriteToFile(out_path);
+  if (!written.ok()) {
+    return Fail(written);
+  }
+  std::fprintf(stderr, "%s: %zu nodes, %zu edges, fingerprint %s\n", out_path,
+               builder.NumNodes(), builder.NumEdges(),
+               FingerprintToHex(builder.fingerprint()).c_str());
+  return 0;
+}
+
 /// `gqd compile <rem> [--graph FILE] [--k N] [--json] [--plan-out FILE]` —
 /// runs the plan pass on one REM query and dumps the QueryPlan: automaton
 /// analysis summary, eliminated transitions, GQD-PLAN-* findings, and (with
@@ -579,14 +774,14 @@ int CmdCompile(int argc, char** argv) {
     return Fail(e.status());
   }
 
-  std::optional<DataGraph> graph;
+  std::shared_ptr<const DataGraph> graph;
   const char* graph_path = FlagValue(argc - 1, argv + 1, "--graph");
   if (graph_path != nullptr) {
     auto loaded = LoadGraph(graph_path);
     if (!loaded.ok()) {
       return Fail(loaded.status());
     }
-    graph = std::move(loaded).value();
+    graph = std::move(loaded).value().graph;
   }
 
   // Plan against the graph's alphabet when one is given — letters outside
@@ -594,18 +789,18 @@ int CmdCompile(int argc, char** argv) {
   // graph every letter of the query is interned fresh (nothing is dead on
   // alphabet grounds alone).
   StringInterner labels =
-      graph.has_value() ? graph->labels() : StringInterner();
+      graph != nullptr ? graph->labels() : StringInterner();
   QueryPlan plan = BuildRemQueryPlan(
-      e.value(), &labels, /*intern_new_labels=*/!graph.has_value());
+      e.value(), &labels, /*intern_new_labels=*/graph == nullptr);
 
-  if (graph.has_value()) {
+  if (graph != nullptr) {
     const char* k_flag = FlagValue(argc - 1, argv + 1, "--k");
     std::size_t k = k_flag != nullptr ? std::strtoul(k_flag, nullptr, 10)
                                       : plan.num_registers;
     // The dispatch census needs the packed pattern vocabulary (k <= 4);
     // beyond that the checkers run the reference engine anyway.
     if (k <= 4) {
-      auto ag = AssignmentGraph::Build(graph.value(), k);
+      auto ag = AssignmentGraph::Build(*graph, k);
       if (!ag.ok()) {
         return Fail(ag.status());
       }
@@ -656,15 +851,15 @@ int CmdLint(int argc, char** argv) {
   bool json = HasFlag(argc, argv, "--json");
   AnalysisOptions options;
   options.include_notes = !HasFlag(argc, argv, "--no-notes");
-  std::optional<DataGraph> graph;
+  std::shared_ptr<const DataGraph> graph;
   const char* graph_path = FlagValue(argc, argv, "--graph");
   if (graph_path != nullptr) {
     auto loaded = LoadGraph(graph_path);
     if (!loaded.ok()) {
       return Fail(loaded.status());
     }
-    graph = std::move(loaded).value();
-    options.graph = &*graph;
+    graph = std::move(loaded).value().graph;
+    options.graph = graph.get();
   }
 
   const char* suite_path = FlagValue(argc, argv, "--suite");
@@ -731,20 +926,37 @@ int CmdInfo(int argc, char** argv) {
   if (argc < 1) {
     return Usage();
   }
-  auto graph = LoadGraph(argv[0]);
-  if (!graph.ok()) {
-    return Fail(graph.status());
+  auto loaded = LoadGraph(argv[0]);
+  if (!loaded.ok()) {
+    return Fail(loaded.status());
   }
+  const DataGraph& graph = *loaded.value().graph;
+  const GraphStoreInfo& storage = loaded.value().info;
   if (HasFlag(argc, argv, "--dot")) {
-    std::printf("%s", WriteGraphDot(graph.value()).c_str());
+    std::printf("%s", WriteGraphDot(graph).c_str());
     return 0;
   }
   if (HasFlag(argc, argv, "--json")) {
-    // Same serialization the serve protocol embeds in load/info responses.
-    std::printf("%s\n", WriteGraphInfoJson(graph.value()).c_str());
+    // The shape object the serve protocol embeds in load/info responses,
+    // widened with the storage description and the process peak RSS so the
+    // bench harness can diff text-parse vs mmap loading cost.
+    struct rusage usage {};
+    getrusage(RUSAGE_SELF, &usage);
+    std::string shape = WriteGraphInfoJson(graph);
+    shape.pop_back();  // reopen the object to append the extra fields
+    std::printf(
+        "%s,\"fingerprint\":\"%s\",\"storage\":{\"backend\":\"%s\","
+        "\"source_bytes\":%llu,\"resident_bytes\":%llu,"
+        "\"load_micros\":%llu},\"peak_rss_kb\":%llu}\n",
+        shape.c_str(), storage.fingerprint.c_str(),
+        GraphBackendName(storage.backend),
+        static_cast<unsigned long long>(storage.source_bytes),
+        static_cast<unsigned long long>(storage.resident_bytes),
+        static_cast<unsigned long long>(storage.load_micros),
+        static_cast<unsigned long long>(usage.ru_maxrss));
     return 0;
   }
-  const DataGraph& g = graph.value();
+  const DataGraph& g = graph;
   std::printf("nodes: %zu\nedges: %zu\nalphabet (%zu):", g.NumNodes(),
               g.NumEdges(), g.NumLabels());
   for (const std::string& name : g.labels().names()) {
@@ -754,7 +966,12 @@ int CmdInfo(int argc, char** argv) {
   for (const std::string& name : g.data_values().names()) {
     std::printf(" %s", name.c_str());
   }
-  std::printf("\n");
+  std::printf("\nfingerprint: %s\nbackend: %s\n", storage.fingerprint.c_str(),
+              GraphBackendName(storage.backend));
+  std::printf("source bytes: %llu\nresident bytes: %llu\nload time: %llu us\n",
+              static_cast<unsigned long long>(storage.source_bytes),
+              static_cast<unsigned long long>(storage.resident_bytes),
+              static_cast<unsigned long long>(storage.load_micros));
   return 0;
 }
 
@@ -805,22 +1022,20 @@ int CmdServe(int argc, char** argv) {
     server_options.max_line_bytes = std::strtoul(max_line_flag, nullptr, 10);
   }
   QueryService service(options);
-  // Preload every --graph file under its basename.
+  // Preload every --graph file under its basename. LoadFile goes through
+  // the GraphStore, so a binary container attaches as a zero-copy mapping.
   for (int i = 0; i + 1 < argc; i++) {
     if (std::strcmp(argv[i], "--graph") != 0) {
       continue;
     }
-    auto text = ReadFileToString(argv[i + 1]);
-    if (!text.ok()) {
-      return Fail(text.status());
-    }
     std::string name = GraphNameFromPath(argv[i + 1]);
-    auto entry = service.registry().Load(name, text.value());
+    auto entry = service.registry().LoadFile(name, argv[i + 1]);
     if (!entry.ok()) {
       return Fail(entry.status());
     }
-    std::fprintf(stderr, "loaded graph '%s' (fingerprint %s)\n",
-                 name.c_str(), entry.value().fingerprint.c_str());
+    std::fprintf(stderr, "loaded graph '%s' (fingerprint %s, %s)\n",
+                 name.c_str(), entry.value().fingerprint.c_str(),
+                 GraphBackendName(entry.value().info.backend));
   }
   std::uint16_t port = port_flag != nullptr
                            ? static_cast<std::uint16_t>(
@@ -1046,6 +1261,9 @@ int main(int argc, char** argv) {
   }
   if (command == "convert") {
     return CmdConvert(argc - 2, argv + 2);
+  }
+  if (command == "gen") {
+    return CmdGen(argc - 2, argv + 2);
   }
   if (command == "compile") {
     return CmdCompile(argc - 2, argv + 2);

@@ -31,6 +31,26 @@ for bench in bench_rem_definability bench_ree_definability; do
     > "${TMP_DIR}/${bench}.json"
 done
 
+# Storage: mmap vs text-parse load cost on a SIDE×SIDE grid (default 1000,
+# i.e. a million nodes). Each `info --json` run is a fresh process, so its
+# storage block and peak_rss_kb isolate one loading path; the python merge
+# below turns the pair into the load-speedup / RSS-delta record.
+GQD_BIN="${BUILD_DIR}/tools/gqd"
+SIDE="${GQD_STORAGE_SIDE:-1000}"
+if [[ -x "${GQD_BIN}" ]]; then
+  "${GQD_BIN}" gen grid --rows "${SIDE}" --cols "${SIDE}" --seed 1 \
+    --out "${TMP_DIR}/grid.gqdg" 2> /dev/null
+  "${GQD_BIN}" convert graph "${TMP_DIR}/grid.gqdg" --validate > /dev/null
+  "${GQD_BIN}" convert graph "${TMP_DIR}/grid.gqdg" "${TMP_DIR}/grid.graph" \
+    2> /dev/null
+  "${GQD_BIN}" info "${TMP_DIR}/grid.graph" --json \
+    > "${TMP_DIR}/storage_text.json"
+  "${GQD_BIN}" info "${TMP_DIR}/grid.gqdg" --json \
+    > "${TMP_DIR}/storage_mmap.json"
+else
+  echo "warning: ${GQD_BIN} not found — skipping the storage benchmark" >&2
+fi
+
 python3 - "${TMP_DIR}" "${OUT}" <<'EOF'
 import json
 import sys
@@ -107,6 +127,34 @@ for name, entry in by_name.items():
         "speedup": generic["wall_ms"] / entry["wall_ms"],
     }
 
+# Storage backend comparison: one process per loading path, so each
+# peak_rss_kb reflects only that path's footprint.
+storage = {}
+try:
+    with open(f"{tmp_dir}/storage_text.json") as f:
+        text = json.load(f)
+    with open(f"{tmp_dir}/storage_mmap.json") as f:
+        mmap = json.load(f)
+    def side(info):
+        s = info["storage"]
+        return {
+            "backend": s["backend"],
+            "load_ms": s["load_micros"] / 1e3,
+            "source_bytes": s["source_bytes"],
+            "resident_bytes": s["resident_bytes"],
+            "peak_rss_kb": info["peak_rss_kb"],
+        }
+    storage = {
+        "workload": f"grid {text['nodes']} nodes / {text['edges']} edges",
+        "text": side(text),
+        "mmap": side(mmap),
+        "load_speedup": (text["storage"]["load_micros"]
+                         / max(mmap["storage"]["load_micros"], 1)),
+        "peak_rss_delta_kb": text["peak_rss_kb"] - mmap["peak_rss_kb"],
+    }
+except (OSError, ValueError, KeyError):
+    pass  # storage leg skipped (gqd binary missing)
+
 with open(out_path, "w") as f:
     json.dump(
         {
@@ -114,6 +162,7 @@ with open(out_path, "w") as f:
             "baseline": "pre word-parallel kernel rewrite (Release)",
             "medium_configs": medium,
             "plan_dispatch": plan_dispatch,
+            "storage": storage,
             "benchmarks": results,
             "trace_stage_totals": stage_totals,
         },
@@ -128,5 +177,12 @@ for name, m in sorted(medium.items()):
 for name, m in sorted(plan_dispatch.items()):
     print(f"{name}: planned {m['planned_ms']:.3f} ms vs generic "
           f"{m['generic_ms']:.3f} ms ({m['speedup']:.2f}x)")
+if storage:
+    print(f"storage ({storage['workload']}): "
+          f"text {storage['text']['load_ms']:.1f} ms vs "
+          f"mmap {storage['mmap']['load_ms']:.1f} ms "
+          f"({storage['load_speedup']:.1f}x), "
+          f"peak RSS {storage['text']['peak_rss_kb']} kB vs "
+          f"{storage['mmap']['peak_rss_kb']} kB")
 print(f"wrote {out_path}")
 EOF

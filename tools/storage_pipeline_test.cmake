@@ -1,0 +1,44 @@
+# End-to-end storage pipeline, run as a CTest script:
+#   gen grid -> container; deep-validate; container -> text -> container;
+#   the re-serialized container and the canonical text must round-trip, and
+#   eval output must be identical across the text and mmap backends.
+#
+# Invoked with -DGQD=<gqd binary> -DWORK=<scratch dir>.
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+run(${GQD} gen grid --rows 25 --cols 25 --seed 3 --out ${WORK}/grid.gqdg)
+run(${GQD} convert graph ${WORK}/grid.gqdg --validate)
+run(${GQD} convert graph ${WORK}/grid.gqdg ${WORK}/grid.graph)
+run(${GQD} convert graph ${WORK}/grid.graph ${WORK}/grid2.gqdg --validate)
+run(${GQD} convert graph ${WORK}/grid2.gqdg ${WORK}/grid2.graph)
+
+# Text round-trips byte-identically through the container.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/grid.graph ${WORK}/grid2.graph
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "text -> container -> text round-trip changed bytes")
+endif()
+
+# Same query, both backends, identical results.
+run(${GQD} eval ${WORK}/grid.graph regex "a b")
+execute_process(COMMAND ${GQD} eval ${WORK}/grid.graph regex "a b"
+                OUTPUT_VARIABLE text_out RESULT_VARIABLE rc1)
+execute_process(COMMAND ${GQD} eval ${WORK}/grid.gqdg regex "a b"
+                OUTPUT_VARIABLE mmap_out RESULT_VARIABLE rc2)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "eval failed: text=${rc1} mmap=${rc2}")
+endif()
+if(NOT text_out STREQUAL mmap_out)
+  message(FATAL_ERROR "eval differs between text and mmap backends")
+endif()
