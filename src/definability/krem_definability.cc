@@ -513,15 +513,242 @@ class SuccessorGenerator {
   const CancelToken* cancel_;
 };
 
-}  // namespace
+// --- Sparse frontier tuple store -------------------------------------------
+//
+// At k = 0 a dense macro tuple is n·⌈n/64⌉ words — 125 GB at a million
+// nodes, and the projection scratch used for acceptance is just as large.
+// The sparse store instead keeps each tuple as a sorted list of packed
+// (node index, state) entries: memory proportional to the states actually
+// live in the frontier. Interning is semantic (two tuples are equal iff
+// their entry *sets* are), the subset DFS runs in the same exclude-first
+// canonical order, and acceptance probes the pair map directly — so
+// verdicts, witnesses and tuples_explored are bit-identical to the dense
+// store on any input both can afford.
 
-Result<KRemDefinabilityResult> CheckKRemDefinability(
-    const DataGraph& graph, const BinaryRelation& relation, std::size_t k,
-    const KRemDefinabilityOptions& options) {
-  if (relation.num_nodes() != graph.NumNodes()) {
-    return Status::InvalidArgument(
-        "relation is over a different node count than the graph");
+/// Packs frontier entry (i, state): sorting these u64s sorts by node index
+/// first, then state — exactly the row-major order of the dense bitset.
+inline std::uint64_t PackEntry(std::size_t i, AgState state) {
+  return (static_cast<std::uint64_t>(i) << 32) | state;
+}
+
+/// Flat arena of sorted entry lists with an open-addressed semantic
+/// interner — the sparse analogue of TupleStore. Shares the
+/// krem.arena.grow failpoint so chaos scenarios cover both stores.
+class SparseTupleStore {
+ public:
+  explicit SparseTupleStore(const ResourceBudget* budget)
+      : slots_(64, 0), budget_(budget) {
+    if (budget_ != nullptr) {
+      budget_->ChargeBytes(
+          static_cast<std::int64_t>(slots_.size() * sizeof(std::size_t)));
+    }
   }
+
+  std::size_t size() const { return count_; }
+  bool fault() const { return fault_; }
+
+  const std::uint64_t* EntriesAt(std::size_t index) const {
+    return entries_.data() + offsets_[index];
+  }
+  std::size_t CountAt(std::size_t index) const {
+    return offsets_[index + 1] - offsets_[index];
+  }
+
+  /// Returns the index of the tuple equal to `entries`, interning a copy
+  /// first when absent (*inserted reports which). Pointers returned by
+  /// EntriesAt are invalidated by an inserting call.
+  std::size_t Intern(const std::uint64_t* entries, std::size_t count,
+                     std::uint64_t hash, bool* inserted) {
+    std::size_t mask = slots_.size() - 1;
+    std::size_t pos = static_cast<std::size_t>(hash) & mask;
+    while (slots_[pos] != 0) {
+      std::size_t index = slots_[pos] - 1;
+      if (hashes_[index] == hash && CountAt(index) == count &&
+          std::memcmp(EntriesAt(index), entries,
+                      count * sizeof(std::uint64_t)) == 0) {
+        *inserted = false;
+        return index;
+      }
+      pos = (pos + 1) & mask;
+    }
+    std::size_t index = count_++;
+    entries_.insert(entries_.end(), entries, entries + count);
+    offsets_.push_back(entries_.size());
+    hashes_.push_back(hash);
+    slots_[pos] = index + 1;
+    if (budget_ != nullptr) {
+      budget_->ChargeBytes(
+          static_cast<std::int64_t>((count + 2) * sizeof(std::uint64_t)));
+      budget_->ChargeTuples(1);
+    }
+    if ((count_ + 1) * 4 > slots_.size() * 3) {
+      Grow();
+    }
+    *inserted = true;
+    return index;
+  }
+
+ private:
+  void Grow() {
+    if (GQD_FAILPOINT_FIRED(fp_krem_arena_grow)) {
+      fault_ = true;
+      return;
+    }
+    std::vector<std::size_t> bigger(slots_.size() * 2, 0);
+    if (budget_ != nullptr) {
+      budget_->ChargeBytes(static_cast<std::int64_t>(
+          (bigger.size() - slots_.size()) * sizeof(std::size_t)));
+    }
+    std::size_t mask = bigger.size() - 1;
+    for (std::size_t index = 0; index < count_; index++) {
+      std::size_t pos = static_cast<std::size_t>(hashes_[index]) & mask;
+      while (bigger[pos] != 0) {
+        pos = (pos + 1) & mask;
+      }
+      bigger[pos] = index + 1;
+    }
+    slots_.swap(bigger);
+  }
+
+  std::vector<std::uint64_t> entries_;
+  std::vector<std::size_t> offsets_{0};  ///< tuple t spans [off[t], off[t+1])
+  std::vector<std::uint64_t> hashes_;
+  std::vector<std::size_t> slots_;  ///< index+1, 0 = empty; pow-2 size
+  std::size_t count_ = 0;
+  const ResourceBudget* budget_;
+  bool fault_ = false;
+};
+
+/// One candidate successor of the current head under one block label, its
+/// entries stored at [offset, offset+count) of the scratch arena.
+struct SparseCandidate {
+  MintermMask condition;
+  std::uint64_t hash;
+  std::size_t offset;
+  std::size_t count;
+};
+
+/// Reusable workspace for sparse successor generation; nothing inside the
+/// per-head loops allocates once the vectors warm up.
+struct SparseBlockScratch {
+  std::vector<std::vector<std::uint64_t>> parts;  ///< per pattern, sorted
+  std::vector<std::uint8_t> achieved;  ///< patterns with non-empty parts
+  std::vector<std::uint64_t> merged;   ///< Emit's union buffer
+  std::vector<SparseCandidate> candidates;  ///< emitted in canonical order
+  std::vector<std::uint64_t> arena;         ///< candidate tuple entries
+  std::uint8_t included[16];                ///< DFS include path
+  std::size_t included_count = 0;
+  bool expired = false;
+  std::uint32_t ticks = 0;
+};
+
+/// Sparse successor generation for one (store set, letter) block: walk
+/// SuccessorsOf for every live entry (the reference shape), bucket by
+/// pattern, then enumerate condition subsets in the same exclude-first DFS
+/// order as SuccessorGenerator.
+class SparseSuccessorGenerator {
+ public:
+  SparseSuccessorGenerator(const AssignmentGraph& ag,
+                           const CancelToken* cancel)
+      : ag_(ag), num_patterns_(ag.num_patterns()), cancel_(cancel) {}
+
+  void InitScratch(SparseBlockScratch* s) const {
+    s->parts.resize(num_patterns_);
+    s->candidates.reserve(16);
+  }
+
+  void Generate(const std::uint64_t* entries, std::size_t count,
+                std::uint32_t store_mask, LabelId label,
+                SparseBlockScratch* s) const {
+    s->candidates.clear();
+    s->arena.clear();
+    s->achieved.clear();
+    s->expired = false;
+    for (auto& part : s->parts) {
+      part.clear();
+    }
+    for (std::size_t e = 0; e < count; e++) {
+      if (GQD_CANCEL_STRIDE_CHECK(cancel_, s->ticks)) {
+        s->expired = true;
+        return;
+      }
+      std::size_t i = static_cast<std::size_t>(entries[e] >> 32);
+      AgState state = static_cast<AgState>(entries[e]);
+      for (const auto& successor :
+           ag_.SuccessorsOf(store_mask, label, state)) {
+        s->parts[successor.pattern].push_back(
+            PackEntry(i, successor.state));
+      }
+    }
+    for (std::uint32_t p = 0; p < num_patterns_; p++) {
+      std::vector<std::uint64_t>& part = s->parts[p];
+      if (part.empty()) {
+        continue;
+      }
+      std::sort(part.begin(), part.end());
+      part.erase(std::unique(part.begin(), part.end()), part.end());
+      s->achieved.push_back(static_cast<std::uint8_t>(p));
+    }
+    if (s->achieved.empty()) {
+      return;
+    }
+    s->included_count = 0;
+    EnumerateSubsets(0, 0, s);
+  }
+
+ private:
+  void EnumerateSubsets(std::size_t depth, MintermMask condition,
+                        SparseBlockScratch* s) const {
+    if (s->expired) {
+      return;
+    }
+    if (depth == s->achieved.size()) {
+      if (condition != 0) {
+        Emit(condition, s);
+      }
+      return;
+    }
+    EnumerateSubsets(depth + 1, condition, s);  // exclude achieved[depth]
+    std::uint8_t pattern = s->achieved[depth];
+    s->included[s->included_count++] = pattern;
+    EnumerateSubsets(depth + 1, condition | (MintermMask{1} << pattern), s);
+    s->included_count--;
+  }
+
+  void Emit(MintermMask condition, SparseBlockScratch* s) const {
+    if (GQD_CANCEL_STRIDE_CHECK(cancel_, s->ticks)) {
+      s->expired = true;
+      return;
+    }
+    // From-scratch union of the included pattern parts: concatenate the
+    // sorted lists, re-sort, dedup — the sets match the dense Emit's ORs.
+    s->merged.clear();
+    for (std::size_t j = 0; j < s->included_count; j++) {
+      const std::vector<std::uint64_t>& part = s->parts[s->included[j]];
+      s->merged.insert(s->merged.end(), part.begin(), part.end());
+    }
+    std::sort(s->merged.begin(), s->merged.end());
+    s->merged.erase(std::unique(s->merged.begin(), s->merged.end()),
+                    s->merged.end());
+    std::size_t offset = s->arena.size();
+    s->arena.insert(s->arena.end(), s->merged.begin(), s->merged.end());
+    s->candidates.push_back(SparseCandidate{
+        condition, HashTupleWords(s->merged.data(), s->merged.size()),
+        offset, s->merged.size()});
+  }
+
+  const AssignmentGraph& ag_;
+  std::size_t num_patterns_;
+  const CancelToken* cancel_;
+};
+
+/// The dense-tuple BFS — the historical implementation, generic over the
+/// relation representation: only num_nodes(), Pairs() and Test() are used,
+/// so any AdaptiveRelation backend drives it without densification.
+template <typename Rel>
+Result<KRemDefinabilityResult> CheckKRemDense(
+    const DataGraph& graph, const Rel& relation, std::size_t k,
+    const KRemDefinabilityOptions& options) {
   KRemDefinabilityResult result;
   std::vector<std::pair<NodeId, NodeId>> pairs = relation.Pairs();
   if (pairs.empty()) {
@@ -886,8 +1113,277 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
   return result;
 }
 
+/// The frontier-streaming BFS over the sparse tuple store: same canonical
+/// exploration order and interning semantics as CheckKRemDense, but no
+/// allocation is ever proportional to n² — tuples are sorted entry lists
+/// and acceptance probes the pair map entry by entry instead of building
+/// an n²-bit projection scratch. Sequential by design (the per-block work
+/// is already proportional to the live frontier); `engine` and
+/// `num_threads` are ignored.
+template <typename Rel>
+Result<KRemDefinabilityResult> CheckKRemSparseFrontier(
+    const DataGraph& graph, const Rel& relation, std::size_t k,
+    const KRemDefinabilityOptions& options) {
+  KRemDefinabilityResult result;
+  std::vector<std::pair<NodeId, NodeId>> pairs = relation.Pairs();
+  if (pairs.empty()) {
+    result.verdict = DefinabilityVerdict::kDefinable;
+    return result;
+  }
+
+  GQD_ASSIGN_OR_RETURN(AssignmentGraph ag,
+                       AssignmentGraph::Build(graph, k, options.budget));
+  std::size_t n = graph.NumNodes();
+  SparseSuccessorGenerator generator(ag, options.cancel);
+
+  SparseTupleStore tuples(options.budget);
+  std::vector<std::size_t> parent;
+  std::vector<BasicRemBlock> incoming;
+
+  constexpr std::size_t kUnsolved = static_cast<std::size_t>(-1);
+  std::unordered_map<std::uint64_t, std::size_t> pair_solution;
+  for (const auto& [p, q] : pairs) {
+    pair_solution[static_cast<std::uint64_t>(p) * n + q] = kUnsolved;
+  }
+  std::size_t unsolved = pairs.size();
+
+  // Safety and acceptance in one streaming pass over the entry list: every
+  // (v', σ) ∈ Q_i needs ⟨v_i, v'⟩ ∈ S, and a safe tuple then marks each
+  // still-unsolved ⟨v_i, v'⟩ it contains directly in the pair map.
+  auto process_tuple = [&](std::size_t index) {
+    const std::uint64_t* entries = tuples.EntriesAt(index);
+    std::size_t count = tuples.CountAt(index);
+    for (std::size_t e = 0; e < count; e++) {
+      NodeId i = static_cast<NodeId>(entries[e] >> 32);
+      NodeId v = ag.NodeOf(static_cast<AgState>(entries[e]));
+      if (!relation.Test(i, v)) {
+        return;  // unsafe: this tuple accepts no pair
+      }
+    }
+    for (std::size_t e = 0; e < count && unsolved > 0; e++) {
+      NodeId i = static_cast<NodeId>(entries[e] >> 32);
+      NodeId v = ag.NodeOf(static_cast<AgState>(entries[e]));
+      auto it = pair_solution.find(static_cast<std::uint64_t>(i) * n + v);
+      if (it != pair_solution.end() && it->second == kUnsolved) {
+        it->second = index;
+        unsolved--;
+      }
+    }
+  };
+
+  // Initial tuple: Q_i = {(v_i, ⊥^k)}. Node indices increase, so the entry
+  // list is born sorted.
+  {
+    GQD_TRACE_SPAN(span, "krem.arena_init");
+    GQD_TRACE_SPAN_ATTR(span, "entries", n);
+    std::vector<std::uint64_t> initial;
+    initial.reserve(n);
+    for (NodeId v = 0; v < n; v++) {
+      initial.push_back(PackEntry(v, ag.InitialState(v)));
+    }
+    bool inserted = false;
+    tuples.Intern(initial.data(), initial.size(),
+                  HashTupleWords(initial.data(), initial.size()), &inserted);
+    parent.push_back(kUnsolved);
+    incoming.push_back(BasicRemBlock{});
+    process_tuple(0);
+  }
+
+  SparseBlockScratch scratch;
+  generator.InitScratch(&scratch);
+
+  auto merge_block = [&](std::uint32_t mask, LabelId label,
+                         std::size_t head) {
+    for (const SparseCandidate& c : scratch.candidates) {
+      if (tuples.fault()) {
+        return;
+      }
+      bool inserted = false;
+      std::size_t index = tuples.Intern(scratch.arena.data() + c.offset,
+                                        c.count, c.hash, &inserted);
+      if (inserted) {
+        parent.push_back(head);
+        incoming.push_back(BasicRemBlock{mask, label, c.condition});
+        process_tuple(index);
+        if (unsolved == 0) {
+          return;
+        }
+      }
+    }
+  };
+
+  auto depth_of = [&](std::size_t index) {
+    std::size_t d = 0;
+    for (std::size_t at = index; at != 0; at = parent[at]) {
+      d++;
+    }
+    return d;
+  };
+  auto exhausted_result = [&](std::size_t at) {
+    result.verdict = DefinabilityVerdict::kBudgetExhausted;
+    result.tuples_explored = tuples.size();
+    result.partial =
+        PartialProgress{tuples.size(), depth_of(at),
+                        options.budget->bytes_peak(), "krem-bfs"};
+    return result;
+  };
+  auto injected_fault = [] {
+    return Status::ResourceExhausted(
+        "injected tuple-store growth failure (failpoint krem.arena.grow)");
+  };
+
+  std::optional<Span> bfs_span(std::in_place, "krem.bfs");
+  std::size_t bfs_generation = 0;
+  std::size_t generation_end = tuples.size();
+  std::optional<Span> gen_span;
+  auto advance_generation_span = [&](std::size_t at_head) {
+    if (Tracer::Current() == nullptr) {
+      return;
+    }
+    if (gen_span.has_value() && at_head < generation_end) {
+      return;
+    }
+    if (gen_span.has_value()) {
+      gen_span->AddAttr("tuples", tuples.size());
+      gen_span.reset();
+      bfs_generation++;
+      generation_end = tuples.size();
+    }
+    gen_span.emplace("krem.bfs_generation");
+    gen_span->AddAttr("generation", bfs_generation);
+  };
+
+  std::size_t head = 0;
+  while (head < tuples.size() && unsolved > 0) {
+    if (tuples.fault()) {
+      return injected_fault();
+    }
+    if (options.budget != nullptr && options.budget->Exhausted()) {
+      return exhausted_result(head);
+    }
+    if (tuples.size() > options.max_tuples) {
+      result.verdict = DefinabilityVerdict::kBudgetExhausted;
+      result.tuples_explored = tuples.size();
+      return result;
+    }
+    advance_generation_span(head);
+    for (std::uint32_t mask = 0;
+         mask < ag.num_store_masks() && unsolved > 0; mask++) {
+      for (LabelId label = 0; label < ag.num_labels() && unsolved > 0;
+           label++) {
+        if (options.cancel != nullptr && options.cancel->Expired()) {
+          return options.cancel->Check();
+        }
+        // Generate reads the head's entries to completion before the merge
+        // interns anything, so arena growth cannot invalidate them.
+        generator.Generate(tuples.EntriesAt(head), tuples.CountAt(head),
+                           mask, label, &scratch);
+        if (scratch.expired) {
+          return options.cancel->Check();
+        }
+        merge_block(mask, label, head);
+      }
+    }
+    head++;
+  }
+
+  if (gen_span.has_value()) {
+    gen_span->AddAttr("tuples", tuples.size());
+    gen_span.reset();
+  }
+  bfs_span->AddAttr("tuples_explored", tuples.size());
+  bfs_span->AddAttr("frontier_depth", bfs_generation);
+  if (options.budget != nullptr) {
+    bfs_span->AddAttr("bytes_peak", options.budget->bytes_peak());
+  }
+  bfs_span.reset();
+
+  if (tuples.fault()) {
+    return injected_fault();
+  }
+  result.tuples_explored = tuples.size();
+  if (unsolved > 0) {
+    result.verdict = DefinabilityVerdict::kNotDefinable;
+    return result;
+  }
+
+  result.verdict = DefinabilityVerdict::kDefinable;
+  for (const auto& [p, q] : pairs) {
+    std::size_t index =
+        pair_solution[static_cast<std::uint64_t>(p) * n + q];
+    KRemWitness witness;
+    witness.from = p;
+    witness.to = q;
+    for (std::size_t at = index; at != 0; at = parent[at]) {
+      witness.blocks.push_back(incoming[at]);
+    }
+    std::reverse(witness.blocks.begin(), witness.blocks.end());
+    result.witnesses.push_back(std::move(witness));
+  }
+  return result;
+}
+
+/// Footprint of one dense macro tuple (saturating): n·⌈n·(δ+1)^k/64⌉ words.
+std::size_t DenseTupleFootprintBytes(std::size_t n, std::size_t num_values,
+                                     std::size_t k) {
+  constexpr std::uint64_t kSat = ~std::uint64_t{0};
+  auto mul = [](std::uint64_t a, std::uint64_t b) -> std::uint64_t {
+    return (b != 0 && a > kSat / b) ? kSat : a * b;
+  };
+  std::uint64_t codes = 1;
+  for (std::size_t i = 0; i < k; i++) {
+    codes = mul(codes, static_cast<std::uint64_t>(num_values) + 1);
+  }
+  std::uint64_t states = mul(n, codes);
+  std::uint64_t set_words = states == kSat ? kSat : (states + 63) / 64;
+  return static_cast<std::size_t>(
+      mul(mul(n, set_words), sizeof(std::uint64_t)));
+}
+
+template <typename Rel>
+Result<KRemDefinabilityResult> CheckKRemDispatch(
+    const DataGraph& graph, const Rel& relation, std::size_t k,
+    const KRemDefinabilityOptions& options) {
+  if (relation.num_nodes() != graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "relation is over a different node count than the graph");
+  }
+  KRemTupleStore store = options.tuple_store;
+  if (store == KRemTupleStore::kAuto) {
+    store = DenseTupleFootprintBytes(graph.NumNodes(), graph.NumDataValues(),
+                                     k) <= kDenseTupleBytesCap
+                ? KRemTupleStore::kDense
+                : KRemTupleStore::kSparseFrontier;
+  }
+  if (store == KRemTupleStore::kDense) {
+    return CheckKRemDense(graph, relation, k, options);
+  }
+  return CheckKRemSparseFrontier(graph, relation, k, options);
+}
+
+}  // namespace
+
+Result<KRemDefinabilityResult> CheckKRemDefinability(
+    const DataGraph& graph, const BinaryRelation& relation, std::size_t k,
+    const KRemDefinabilityOptions& options) {
+  return CheckKRemDispatch(graph, relation, k, options);
+}
+
+Result<KRemDefinabilityResult> CheckKRemDefinability(
+    const DataGraph& graph, const AdaptiveRelation& relation, std::size_t k,
+    const KRemDefinabilityOptions& options) {
+  return CheckKRemDispatch(graph, relation, k, options);
+}
+
 Result<KRemDefinabilityResult> CheckRemDefinability(
     const DataGraph& graph, const BinaryRelation& relation,
+    const KRemDefinabilityOptions& options) {
+  return CheckKRemDefinability(graph, relation, graph.NumDataValues(),
+                               options);
+}
+
+Result<KRemDefinabilityResult> CheckRemDefinability(
+    const DataGraph& graph, const AdaptiveRelation& relation,
     const KRemDefinabilityOptions& options) {
   return CheckKRemDefinability(graph, relation, graph.NumDataValues(),
                                options);

@@ -30,6 +30,7 @@
 #include "definability/verdict.h"
 #include "graph/data_graph.h"
 #include "graph/relation.h"
+#include "graph/sparse_relation.h"
 #include "rem/ast.h"
 
 namespace gqd {
@@ -61,6 +62,31 @@ enum class KRemEngine {
   kReference,
 };
 
+/// How the BFS stores macro tuples. Both stores intern tuples semantically
+/// (two tuples are equal iff their state *sets* are), explore them in the
+/// same canonical order, and produce identical verdicts, witnesses and
+/// tuples_explored — they differ only in memory shape and in how budget
+/// bytes are charged (each charges its actual allocation, so byte-budget
+/// trip points are store-specific).
+enum class KRemTupleStore {
+  /// kDense while one flat tuple fits kDenseTupleBytesCap, else
+  /// kSparseFrontier. The default.
+  kAuto,
+  /// Flat bitset tuples, n·⌈|Q|/64⌉ words each — O(n²) per tuple at k = 0,
+  /// fast word-parallel engines, the historical representation.
+  kDense,
+  /// Sorted (node, state) entry lists — memory proportional to the live
+  /// frontier states instead of n², the only representation that fits
+  /// million-node graphs. Successor generation walks SuccessorsOf (the
+  /// reference shape) and runs sequentially: the `engine` and
+  /// `num_threads` options are ignored, with bit-identical results.
+  kSparseFrontier,
+};
+
+/// Above this dense-tuple footprint (words × 8 bytes) KRemTupleStore::kAuto
+/// switches to the sparse frontier store.
+inline constexpr std::size_t kDenseTupleBytesCap = std::size_t{64} << 20;
+
 struct KRemDefinabilityOptions {
   /// Maximum number of distinct macro tuples to explore before giving up.
   std::size_t max_tuples = 200'000;
@@ -70,8 +96,11 @@ struct KRemDefinabilityOptions {
   /// order, so verdicts, witnesses and tuples_explored are bit-identical
   /// for every thread count. 0 or 1 means sequential.
   std::size_t num_threads = 1;
-  /// Successor machinery; kPlanned unless you are cross-checking.
+  /// Successor machinery; kPlanned unless you are cross-checking. Ignored
+  /// by the sparse frontier tuple store (reference-shape walk).
   KRemEngine engine = KRemEngine::kPlanned;
+  /// Macro-tuple representation; kAuto unless you are cross-checking.
+  KRemTupleStore tuple_store = KRemTupleStore::kAuto;
   /// Optional cooperative cancellation: the BFS (and its workers) polls
   /// this token and returns Status::DeadlineExceeded once it expires.
   const CancelToken* cancel = nullptr;
@@ -100,6 +129,14 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
     const DataGraph& graph, const BinaryRelation& relation, std::size_t k,
     const KRemDefinabilityOptions& options = {});
 
+/// Same decision on a density-adaptive relation. The BFS only ever probes
+/// membership (relation.Test) and enumerates S once (relation.Pairs), so
+/// any backend works without densification; verdicts are bit-identical to
+/// the dense overload on the same pair set.
+Result<KRemDefinabilityResult> CheckKRemDefinability(
+    const DataGraph& graph, const AdaptiveRelation& relation, std::size_t k,
+    const KRemDefinabilityOptions& options = {});
+
 /// RDPQ_mem-definability with unbounded registers: by Lemma 23 this equals
 /// δ-RDPQ_mem-definability, so this calls CheckKRemDefinability with
 /// k = min(δ, needed) — δ registers always suffice, and fewer than δ are
@@ -107,6 +144,11 @@ Result<KRemDefinabilityResult> CheckKRemDefinability(
 /// δ > 4, the practical wall the E3 bench demonstrates).
 Result<KRemDefinabilityResult> CheckRemDefinability(
     const DataGraph& graph, const BinaryRelation& relation,
+    const KRemDefinabilityOptions& options = {});
+
+/// Unbounded-register decision on a density-adaptive relation.
+Result<KRemDefinabilityResult> CheckRemDefinability(
+    const DataGraph& graph, const AdaptiveRelation& relation,
     const KRemDefinabilityOptions& options = {});
 
 /// Materializes a witness's block sequence as a basic k-REM AST

@@ -60,6 +60,44 @@ struct BigRelationOps {
   }
 };
 
+/// Policy over blocked (array/bitmap container) relations — what the
+/// AdaptiveRelation overload runs on for non-dense backends. Every
+/// operation produces the same *set* the dense ops produce, and the monoid
+/// interner is semantic (hash + Equal), so the closure enumerates the same
+/// elements in the same order: verdict, levels_used, monoid_size and the
+/// synthesized expression are identical to the dense engines. Compose
+/// streams per-source frontiers through one n-bit scratch row instead of
+/// materializing an n² intermediate.
+struct BlockedRelationOps {
+  using Rel = BlockedBinaryRelation;
+  using Hash = BlockedBinaryRelationHash;
+
+  const DataGraph* graph;
+  const ValueClassMasks* masks;
+
+  Rel Empty() const { return BlockedBinaryRelation(graph->NumNodes()); }
+  Rel Identity() const {
+    return BlockedBinaryRelation::Identity(graph->NumNodes());
+  }
+  Rel FromLabel(LabelId a) const {
+    return BlockedBinaryRelation::FromEdges(*graph, a);
+  }
+  Rel Compose(const Rel& a, const Rel& b) const { return a.Compose(b); }
+  Rel Eq(const Rel& a) const { return a.EqRestrict(*masks); }
+  Rel Neq(const Rel& a) const { return a.NeqRestrict(*masks); }
+  bool Subset(const Rel& a, const Rel& b) const { return a.IsSubsetOf(b); }
+  void UnionInto(Rel* a, const Rel& b) const { a->UnionWith(b); }
+  bool Equal(const Rel& a, const Rel& b) const { return a == b; }
+  /// Nominal per-element budget charge. Blocked rows size with content —
+  /// the array floor (8 entries/row) plus container bookkeeping stands in
+  /// for the typical sparse monoid element; byte-budget trip points are
+  /// therefore representation-specific, like the k-REM tuple stores.
+  std::size_t RelBytes() const {
+    std::size_t n = graph->NumNodes();
+    return sizeof(Rel) + n * (8 * sizeof(NodeId) + 2 * sizeof(void*));
+  }
+};
+
 /// Policy over packed 64-bit relations (n ≤ 8) — same algorithm, ~10-50×
 /// cheaper per operation (the E9 ablation).
 struct SmallRelationOps {
@@ -411,6 +449,31 @@ Result<ReeDefinabilityResult> CheckReeDefinability(
   return RunLevelAlgorithm(ops, relation, relation.Empty(),
                            graph.NumNodes(), graph.NumLabels(), label_names,
                            options);
+}
+
+Result<ReeDefinabilityResult> CheckReeDefinability(
+    const DataGraph& graph, const AdaptiveRelation& relation,
+    const ReeDefinabilityOptions& options) {
+  if (relation.num_nodes() != graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "relation is over a different node count than the graph");
+  }
+  if (relation.backend() == RelationBackend::kDense) {
+    return CheckReeDefinability(graph, relation.dense(), options);
+  }
+  BlockedBinaryRelation converted;
+  const BlockedBinaryRelation* target = &converted;
+  if (relation.backend() == RelationBackend::kBlocked) {
+    target = &relation.blocked();
+  } else {
+    converted = BlockedBinaryRelation::FromPairs(graph.NumNodes(),
+                                                 relation.Pairs());
+  }
+  ValueClassMasks masks(graph);
+  BlockedRelationOps ops{&graph, &masks};
+  return RunLevelAlgorithm(ops, *target, relation.Empty(),
+                           graph.NumNodes(), graph.NumLabels(),
+                           graph.labels().names(), options);
 }
 
 }  // namespace gqd

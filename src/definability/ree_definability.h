@@ -28,6 +28,7 @@
 #include "definability/verdict.h"
 #include "graph/data_graph.h"
 #include "graph/relation.h"
+#include "graph/sparse_relation.h"
 #include "ree/ast.h"
 
 namespace gqd {
@@ -83,6 +84,17 @@ struct ReeDefinabilityResult {
 /// Decides whether `relation` is definable by an RDPQ_= on `graph`.
 Result<ReeDefinabilityResult> CheckReeDefinability(
     const DataGraph& graph, const BinaryRelation& relation,
+    const ReeDefinabilityOptions& options = {});
+
+/// Same decision on a density-adaptive relation. A dense backend delegates
+/// to the overload above; sparse/blocked backends run the level closure on
+/// blocked (array/bitmap container) relations, whose compose streams
+/// per-source frontiers instead of materializing n² intermediates. The
+/// monoid interner is semantic, so verdict, levels_used, monoid_size and
+/// the synthesized expression are identical across backends (the `engine`
+/// option only matters on the dense path).
+Result<ReeDefinabilityResult> CheckReeDefinability(
+    const DataGraph& graph, const AdaptiveRelation& relation,
     const ReeDefinabilityOptions& options = {});
 
 }  // namespace gqd

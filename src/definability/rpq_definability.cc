@@ -64,10 +64,11 @@ std::optional<std::vector<LabelId>> FindKillingWord(
   return std::nullopt;
 }
 
-}  // namespace
-
-Result<RpqDefinabilityResult> CheckRpqDefinability(
-    const DataGraph& graph, const BinaryRelation& relation,
+/// Shared body, generic over the relation representation (Empty plus
+/// whatever CheckKRemDefinability needs).
+template <typename Rel>
+Result<RpqDefinabilityResult> CheckRpqImpl(
+    const DataGraph& graph, const Rel& relation,
     const KRemDefinabilityOptions& options) {
   RpqDefinabilityResult result;
   if (relation.Empty()) {
@@ -100,6 +101,20 @@ Result<RpqDefinabilityResult> CheckRpqDefinability(
     }
   }
   return result;
+}
+
+}  // namespace
+
+Result<RpqDefinabilityResult> CheckRpqDefinability(
+    const DataGraph& graph, const BinaryRelation& relation,
+    const KRemDefinabilityOptions& options) {
+  return CheckRpqImpl(graph, relation, options);
+}
+
+Result<RpqDefinabilityResult> CheckRpqDefinability(
+    const DataGraph& graph, const AdaptiveRelation& relation,
+    const KRemDefinabilityOptions& options) {
+  return CheckRpqImpl(graph, relation, options);
 }
 
 RegexPtr RegexFromWitnesses(const RpqDefinabilityResult& result,

@@ -25,6 +25,7 @@
 #include "definability/verdict.h"
 #include "graph/data_graph.h"
 #include "graph/relation.h"
+#include "graph/sparse_relation.h"
 #include "regex/ast.h"
 
 namespace gqd {
@@ -45,6 +46,14 @@ struct RpqDefinabilityResult {
 /// Decides whether `relation` is definable by a regular path query.
 Result<RpqDefinabilityResult> CheckRpqDefinability(
     const DataGraph& graph, const BinaryRelation& relation,
+    const KRemDefinabilityOptions& options = {});
+
+/// Density-adaptive overload: S = ∅ runs the killing-word subset walk
+/// (graph-only, no relation memory); otherwise the k = 0 k-REM check runs
+/// on the adaptive relation, streaming frontiers when the dense tuple
+/// store would not fit. Verdicts and witnesses match the dense overload.
+Result<RpqDefinabilityResult> CheckRpqDefinability(
+    const DataGraph& graph, const AdaptiveRelation& relation,
     const KRemDefinabilityOptions& options = {});
 
 /// Builds a defining regex from a kDefinable result: the union of witness

@@ -86,17 +86,23 @@ Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
       result.seeds_tried++;
       GQD_TRACE_SPAN(seed_span, "ucrdpq.seed");
       GQD_TRACE_SPAN_ATTR(seed_span, "seed", result.seeds_tried);
-      Csp csp = base_csp;
+      // A pin wipes a domain exactly when the base domain already lacks the
+      // pinned value, so probe the base CSP before paying for its copy.
+      // Counted as a tried seed either way — seeds_tried is pinned by the
+      // differential tests.
       bool wiped = false;
       for (const auto& [node, pinned] : pins) {
-        csp.Pin(node, pinned);
-        if (csp.domains[node].None()) {
+        if (!base_csp.domains[node].Test(pinned)) {
           wiped = true;
           break;
         }
       }
       if (wiped) {
         continue;
+      }
+      Csp csp = base_csp;
+      for (const auto& [node, pinned] : pins) {
+        csp.Pin(node, pinned);
       }
       auto solved = SolveCsp(csp, options.csp, &result.csp_stats);
       if (!solved.ok()) {
@@ -131,6 +137,23 @@ Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
     const UcrdpqDefinabilityOptions& options) {
   return CheckUcrdpqDefinability(graph, TupleRelation::FromBinary(relation),
                                  options);
+}
+
+Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
+    const DataGraph& graph, const AdaptiveRelation& relation,
+    const UcrdpqDefinabilityOptions& options) {
+  if (relation.num_nodes() != graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "relation is over a different node count than the graph");
+  }
+  // TupleRelation's std::set iterates row-major — the same order
+  // TupleRelation::FromBinary produces from a dense relation, so the seed
+  // loop (and with it seeds_tried and any violation witness) is identical.
+  TupleRelation tuples(2);
+  for (const auto& [u, v] : relation.Pairs()) {
+    tuples.Insert({u, v});
+  }
+  return CheckUcrdpqDefinability(graph, tuples, options);
 }
 
 }  // namespace gqd

@@ -17,6 +17,7 @@
 #include "definability/verdict.h"
 #include "graph/data_graph.h"
 #include "graph/relation.h"
+#include "graph/sparse_relation.h"
 #include "homomorphism/csp.h"
 #include "homomorphism/data_graph_hom.h"
 
@@ -48,6 +49,13 @@ Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
 /// Convenience overload for binary relations.
 Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
     const DataGraph& graph, const BinaryRelation& relation,
+    const UcrdpqDefinabilityOptions& options = {});
+
+/// Density-adaptive overload: seeds the search from the relation's pair
+/// list directly (no dense expansion). Verdicts, seeds_tried and witnesses
+/// are identical to the dense overload on the same pair set.
+Result<UcrdpqDefinabilityResult> CheckUcrdpqDefinability(
+    const DataGraph& graph, const AdaptiveRelation& relation,
     const UcrdpqDefinabilityOptions& options = {});
 
 }  // namespace gqd

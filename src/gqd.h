@@ -27,15 +27,17 @@
 #include "graph/data_path.h"      // IWYU pragma: export
 #include "graph/examples.h"       // IWYU pragma: export
 #include "graph/generators.h"     // IWYU pragma: export
-#include "graph/relation.h"       // IWYU pragma: export
-#include "graph/serialization.h"  // IWYU pragma: export
+#include "graph/relation.h"         // IWYU pragma: export
+#include "graph/serialization.h"    // IWYU pragma: export
+#include "graph/sparse_relation.h"  // IWYU pragma: export
 
 // Storage: binary graph containers served zero-copy via mmap.
 #include "storage/container.h"    // IWYU pragma: export
 #include "storage/format.h"       // IWYU pragma: export
 #include "storage/graph_store.h"  // IWYU pragma: export
-#include "storage/metrics.h"      // IWYU pragma: export
-#include "storage/mmap_file.h"    // IWYU pragma: export
+#include "storage/metrics.h"         // IWYU pragma: export
+#include "storage/mmap_file.h"       // IWYU pragma: export
+#include "storage/relation_store.h"  // IWYU pragma: export
 
 // Expression families.
 #include "regex/ast.h"     // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "graph/serialization.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -179,7 +180,18 @@ std::string WriteRelationText(const DataGraph& graph,
 
 Result<BinaryRelation> ReadRelationText(const DataGraph& graph,
                                         const std::string& text) {
+  auto pairs = ReadRelationPairsText(graph, text);
+  GQD_RETURN_NOT_OK(pairs.status());
   BinaryRelation rel(graph.NumNodes());
+  for (const auto& [u, v] : pairs.value()) {
+    rel.Set(u, v);
+  }
+  return rel;
+}
+
+Result<std::vector<std::pair<NodeId, NodeId>>> ReadRelationPairsText(
+    const DataGraph& graph, const std::string& text) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
   std::istringstream is(text);
   std::string line;
   std::size_t line_number = 0;
@@ -200,9 +212,25 @@ Result<BinaryRelation> ReadRelationText(const DataGraph& graph,
           "line " + std::to_string(line_number) + ": unknown node '" +
           (u.ok() ? tokens[2] : tokens[1]) + "'");
     }
-    rel.Set(u.value(), v.value());
+    pairs.emplace_back(u.value(), v.value());
   }
-  return rel;
+  return pairs;
+}
+
+std::string WriteRelationPairsText(
+    const DataGraph& graph, std::vector<std::pair<NodeId, NodeId>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  std::string out;
+  out.reserve(24 * pairs.size());
+  for (const auto& [u, v] : pairs) {
+    out += "pair ";
+    out += graph.NodeName(u);
+    out += " ";
+    out += graph.NodeName(v);
+    out += "\n";
+  }
+  return out;
 }
 
 Result<TupleRelation> ReadTupleRelationText(const DataGraph& graph,

@@ -16,6 +16,8 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "graph/data_graph.h"
@@ -59,6 +61,20 @@ std::string WriteRelationText(const DataGraph& graph,
 /// Parses the `pair` text format against `graph`'s node names.
 Result<BinaryRelation> ReadRelationText(const DataGraph& graph,
                                         const std::string& text);
+
+/// Parses the `pair` text format into a raw pair list without materializing
+/// an n×n matrix — the form the density-adaptive relation layer
+/// (graph/sparse_relation.h) builds from, and the only one that works at
+/// million-node scale. Pairs are returned in file order, possibly with
+/// duplicates; AdaptiveRelation::FromPairs canonicalizes.
+Result<std::vector<std::pair<NodeId, NodeId>>> ReadRelationPairsText(
+    const DataGraph& graph, const std::string& text);
+
+/// Renders a pair list in the `pair` text format (node names), row-major
+/// sorted first so output is canonical.
+std::string WriteRelationPairsText(
+    const DataGraph& graph,
+    std::vector<std::pair<NodeId, NodeId>> pairs);
 
 /// Parses the `tuple` text format against `graph`'s node names.
 Result<TupleRelation> ReadTupleRelationText(const DataGraph& graph,

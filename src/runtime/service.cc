@@ -19,8 +19,10 @@
 #include "eval/rem_eval.h"
 #include "eval/rpq_eval.h"
 #include "graph/serialization.h"
+#include "graph/sparse_relation.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "storage/metrics.h"
 #include "ree/parser.h"
 #include "regex/parser.h"
 #include "rem/parser.h"
@@ -506,8 +508,9 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
   GQD_ASSIGN_OR_RETURN(std::string checker, request.GetString("checker"));
   GQD_ASSIGN_OR_RETURN(std::string relation_text,
                        request.GetString("relation"));
-  GQD_ASSIGN_OR_RETURN(BinaryRelation relation,
-                       ReadRelationText(*entry.graph, relation_text));
+  using RelationPairs = std::vector<std::pair<NodeId, NodeId>>;
+  GQD_ASSIGN_OR_RETURN(RelationPairs pairs,
+                       ReadRelationPairsText(*entry.graph, relation_text));
   GQD_ASSIGN_OR_RETURN(std::int64_t deadline_ms, DeadlineMsFrom(request));
   std::optional<CancelToken> deadline;
   if (deadline_ms > 0) {
@@ -526,9 +529,50 @@ Result<JsonValue> QueryService::HandleCheck(const JsonValue& request) {
   if (threads < 0) {
     return Status::InvalidArgument("field 'threads' must be non-negative");
   }
+  // Optional "relation_backend": auto (default), dense, sparse, blocked.
+  // The estimated cost of the selected representation is admitted against
+  // the request budget before anything is built, so a served check is
+  // governed the same way the CLI is.
+  RelationBackend backend_choice = RelationBackend::kAuto;
+  if (const JsonValue* backend_field = request.Find("relation_backend")) {
+    if (!backend_field->is_string() ||
+        !ParseRelationBackend(backend_field->AsString(), &backend_choice)) {
+      return Status::InvalidArgument(
+          "field 'relation_backend' must be auto, dense, sparse or blocked");
+    }
+  }
+  const std::size_t n = entry.graph->NumNodes();
+  RelationBackend resolved = backend_choice == RelationBackend::kAuto
+                                 ? ChooseRelationBackend(n, pairs.size())
+                                 : backend_choice;
+  if (budget != nullptr) {
+    budget->ChargeBytes(static_cast<std::int64_t>(
+        EstimateRelationBytes(resolved, n, pairs.size())));
+    if (Status admitted = budget->Check(); !admitted.ok()) {
+      RelationCounters::Instance().admission_refusals.fetch_add(
+          1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          std::string("relation admission: ") +
+          RelationBackendName(resolved) + " backend over " +
+          std::to_string(n) + " nodes exceeds the request byte budget");
+    }
+  }
+  auto build_start = std::chrono::steady_clock::now();
+  AdaptiveRelation relation =
+      AdaptiveRelation::FromPairs(n, std::move(pairs), backend_choice);
+  NoteRelationBackendSelected(relation.backend());
+  RelationCounters::Instance().build_micros.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - build_start)
+              .count()),
+      std::memory_order_relaxed);
 
   JsonValue::Object body;
   body.emplace_back("checker", checker);
+  body.emplace_back("relation_backend",
+                    std::string(RelationBackendName(relation.backend())));
+  body.emplace_back("relation_nnz", static_cast<double>(relation.Nnz()));
   if (checker == "rpq") {
     KRemDefinabilityOptions options;
     options.cancel = cancel;

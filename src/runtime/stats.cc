@@ -207,6 +207,7 @@ std::string ServerStats::RenderPrometheus(const ThreadPool::Stats& pool,
   UpdateFailpointMetrics(&registry_);
   UpdatePlanMetrics(&registry_);
   UpdateStorageMetrics(&registry_);
+  UpdateRelationMetrics(&registry_);
   return registry_.RenderPrometheus();
 }
 

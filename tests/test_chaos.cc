@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <limits>
 #include <memory>
 #include <set>
@@ -41,6 +42,7 @@
 #include "runtime/service.h"
 #include "storage/container.h"
 #include "storage/graph_store.h"
+#include "storage/relation_store.h"
 
 namespace gqd {
 namespace {
@@ -51,10 +53,11 @@ const std::vector<std::string>& KnownSites() {
   static const std::vector<std::string> sites = {
       "assignment_graph.build", "client.connect",   "client.read",
       "client.write",           "csp.search",       "krem.arena.grow",
-      "ree.closure",            "result_cache.put", "server.accept",
-      "server.read",            "server.write",     "storage.mmap",
-      "storage.open",           "storage.truncate", "storage.write",
-      "thread_pool.dispatch",   "ucrdpq.search",
+      "ree.closure",            "relation.open",    "relation.write",
+      "result_cache.put",       "server.accept",    "server.read",
+      "server.write",           "storage.mmap",     "storage.open",
+      "storage.truncate",       "storage.write",    "thread_pool.dispatch",
+      "ucrdpq.search",
   };
   return sites;
 }
@@ -395,6 +398,35 @@ TEST_F(ChaosTest, StorageTruncateTornWriteIsDetectedOnOpen) {
   auto recovered = GraphStore::OpenContainer(instance.path, deep);
   ASSERT_TRUE(recovered.ok()) << recovered.status();
   EXPECT_EQ(WriteGraphText(*recovered.value().graph), instance.text);
+}
+
+TEST_F(ChaosTest, RelationWriteAndOpenFaultsFailCleanlyAndRecover) {
+  // The .gqdr store has its own write/open failpoints mirroring the graph
+  // container's: a fault is a clean Status naming the site, and a retry
+  // after disarming recovers the identical canonical pair list.
+  std::string path = ::testing::TempDir() + "gqd_chaos_relation.gqdr";
+  std::vector<std::pair<NodeId, NodeId>> pairs = {{3, 1}, {0, 2}, {0, 2}};
+
+  Arm("relation.write:fail-once");
+  Status faulted = WriteRelationContainer(8, pairs, 0, path);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_NE(faulted.message().find("relation.write"), std::string::npos)
+      << faulted;
+  FailpointRegistry::Instance().Reset();
+  ASSERT_TRUE(WriteRelationContainer(8, pairs, 0, path).ok());
+
+  Arm("relation.open:fail-once");
+  auto open_faulted = OpenRelationContainer(path);
+  ASSERT_FALSE(open_faulted.ok());
+  EXPECT_NE(open_faulted.status().message().find("relation.open"),
+            std::string::npos)
+      << open_faulted.status();
+  FailpointRegistry::Instance().Reset();
+  auto retried = OpenRelationContainer(path);
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  std::vector<std::pair<NodeId, NodeId>> canonical = {{0, 2}, {3, 1}};
+  EXPECT_EQ(retried.value().pairs, canonical);
+  std::remove(path.c_str());
 }
 
 // --- Socket failpoints: connection-local faults, retry recovers ---------

@@ -17,9 +17,13 @@
 #include "common/cancel.h"
 #include "definability/krem_definability.h"
 #include "definability/ree_definability.h"
+#include "definability/rpq_definability.h"
+#include "definability/ucrdpq_definability.h"
 #include "eval/rem_eval.h"
 #include "eval/ree_eval.h"
 #include "graph/generators.h"
+#include "graph/sparse_relation.h"
+#include "ree/parser.h"
 #include "storage/container.h"
 #include "storage/graph_store.h"
 
@@ -397,6 +401,184 @@ TEST(ReeDiff, RestrictOverloadsAgree) {
     BinaryRelation r = RandomRelation(12, 35, seed + 100);
     EXPECT_EQ(r.EqRestrict(g), r.EqRestrict(masks)) << "seed " << seed;
     EXPECT_EQ(r.NeqRestrict(g), r.NeqRestrict(masks)) << "seed " << seed;
+  }
+}
+
+// --- Relation backends: dense vs sparse vs blocked, bit-identical --------
+
+/// The pair list of a dense relation, row-major (the canonical order every
+/// adaptive representation builds from).
+std::vector<std::pair<NodeId, NodeId>> PairsOf(const BinaryRelation& r) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId u = 0; u < r.num_nodes(); u++) {
+    for (NodeId v = 0; v < r.num_nodes(); v++) {
+      if (r.Test(u, v)) {
+        pairs.emplace_back(u, v);
+      }
+    }
+  }
+  return pairs;
+}
+
+constexpr RelationBackend kAllBackends[] = {RelationBackend::kDense,
+                                            RelationBackend::kSparse,
+                                            RelationBackend::kBlocked};
+
+TEST(RelationBackendDiff, KRemIdenticalAcrossBackendsAndThreads) {
+  // Every physical representation of the same pair set must produce the
+  // dense checker's exact result — verdict, exploration count, witnesses —
+  // at every thread count. Identity is pinned via max_tuples, never byte
+  // budgets: the stores charge their actual (representation-specific)
+  // allocations, so a byte budget would trip at different points.
+  for (std::uint64_t seed = 1; seed <= 16; seed++) {
+    RandomCase c = MakeCase(seed);
+    KRemDefinabilityOptions options;
+    options.max_tuples = 20'000;
+    auto dense = CheckKRemDefinability(c.graph, c.relation, c.k, options);
+    ASSERT_TRUE(dense.ok()) << "seed " << seed;
+    for (RelationBackend backend : kAllBackends) {
+      AdaptiveRelation adaptive = AdaptiveRelation::FromPairs(
+          c.graph.NumNodes(), PairsOf(c.relation), backend);
+      ASSERT_EQ(adaptive.backend(), backend) << "seed " << seed;
+      for (std::size_t threads : {1, 4}) {
+        KRemDefinabilityOptions parallel = options;
+        parallel.num_threads = threads;
+        auto r = CheckKRemDefinability(c.graph, adaptive, c.k, parallel);
+        ASSERT_TRUE(r.ok())
+            << "seed " << seed << " backend "
+            << RelationBackendName(backend) << " threads " << threads;
+        ExpectSameKRemResult(dense.value(), r.value(), seed);
+      }
+    }
+  }
+}
+
+TEST(KRemDiff, SparseFrontierStoreMatchesDenseStore) {
+  // The frontier-streaming tuple store explores the same canonical order
+  // as the dense bitset store, so forcing each one over the same instance
+  // must agree exactly — including under the sparse store's
+  // ignore-engine/threads contract.
+  for (std::uint64_t seed = 1; seed <= 16; seed++) {
+    RandomCase c = MakeCase(seed);
+    KRemDefinabilityOptions dense_store, sparse_store;
+    dense_store.max_tuples = sparse_store.max_tuples = 20'000;
+    dense_store.tuple_store = KRemTupleStore::kDense;
+    sparse_store.tuple_store = KRemTupleStore::kSparseFrontier;
+    auto a = CheckKRemDefinability(c.graph, c.relation, c.k, dense_store);
+    auto b = CheckKRemDefinability(c.graph, c.relation, c.k, sparse_store);
+    ASSERT_TRUE(a.ok()) << "seed " << seed;
+    ASSERT_TRUE(b.ok()) << "seed " << seed;
+    ExpectSameKRemResult(a.value(), b.value(), seed);
+    // engine/num_threads must be no-ops on the sparse-frontier path.
+    KRemDefinabilityOptions sparse_threads = sparse_store;
+    sparse_threads.num_threads = 4;
+    sparse_threads.engine = KRemEngine::kReference;
+    auto t = CheckKRemDefinability(c.graph, c.relation, c.k, sparse_threads);
+    ASSERT_TRUE(t.ok()) << "seed " << seed;
+    ExpectSameKRemResult(a.value(), t.value(), seed);
+  }
+}
+
+TEST(KRemDiff, SparseFrontierMaxTuplesTripsIdentically) {
+  // A max_tuples trip is representation-independent (unlike byte budgets),
+  // so both stores must stop with the same partial verdict.
+  RandomCase c = MakeCase(2);
+  KRemDefinabilityOptions dense_store, sparse_store;
+  dense_store.max_tuples = sparse_store.max_tuples = 3;
+  dense_store.tuple_store = KRemTupleStore::kDense;
+  sparse_store.tuple_store = KRemTupleStore::kSparseFrontier;
+  auto a = CheckKRemDefinability(c.graph, c.relation, c.k, dense_store);
+  auto b = CheckKRemDefinability(c.graph, c.relation, c.k, sparse_store);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().verdict, b.value().verdict);
+  EXPECT_EQ(a.value().tuples_explored, b.value().tuples_explored);
+}
+
+TEST(RelationBackendDiff, ReeIdenticalAcrossBackends) {
+  // The level algorithm's semantic interner makes the blocked-relation run
+  // reproduce the dense run exactly: same verdict, levels, monoid size,
+  // and the same defining expression when one exists.
+  for (std::uint64_t seed = 1; seed <= 16; seed++) {
+    RandomCase c = MakeCase(seed);
+    ReeDefinabilityOptions options;
+    options.max_monoid_size = 20'000;
+    auto dense = CheckReeDefinability(c.graph, c.relation, options);
+    ASSERT_TRUE(dense.ok()) << "seed " << seed;
+    for (RelationBackend backend : kAllBackends) {
+      AdaptiveRelation adaptive = AdaptiveRelation::FromPairs(
+          c.graph.NumNodes(), PairsOf(c.relation), backend);
+      auto r = CheckReeDefinability(c.graph, adaptive, options);
+      ASSERT_TRUE(r.ok())
+          << "seed " << seed << " backend " << RelationBackendName(backend);
+      EXPECT_EQ(dense.value().verdict, r.value().verdict)
+          << "seed " << seed << " backend " << RelationBackendName(backend);
+      EXPECT_EQ(dense.value().levels_used, r.value().levels_used)
+          << "seed " << seed << " backend " << RelationBackendName(backend);
+      EXPECT_EQ(dense.value().monoid_size, r.value().monoid_size)
+          << "seed " << seed << " backend " << RelationBackendName(backend);
+      if (dense.value().verdict == DefinabilityVerdict::kDefinable &&
+          !c.relation.Empty()) {
+        EXPECT_EQ(ReeToString(dense.value().defining_expression),
+                  ReeToString(r.value().defining_expression))
+            << "seed " << seed << " backend "
+            << RelationBackendName(backend);
+      }
+    }
+  }
+}
+
+TEST(RelationBackendDiff, UcrdpqIdenticalAcrossBackends) {
+  // Pair-list seeding iterates row-major — the order FromBinary produces —
+  // so verdicts, seeds_tried, and any violation witness all coincide.
+  for (std::uint64_t seed = 1; seed <= 10; seed++) {
+    RandomCase c = MakeCase(seed);
+    UcrdpqDefinabilityOptions options;
+    auto dense = CheckUcrdpqDefinability(c.graph, c.relation, options);
+    ASSERT_TRUE(dense.ok()) << "seed " << seed;
+    for (RelationBackend backend : kAllBackends) {
+      AdaptiveRelation adaptive = AdaptiveRelation::FromPairs(
+          c.graph.NumNodes(), PairsOf(c.relation), backend);
+      auto r = CheckUcrdpqDefinability(c.graph, adaptive, options);
+      ASSERT_TRUE(r.ok())
+          << "seed " << seed << " backend " << RelationBackendName(backend);
+      EXPECT_EQ(dense.value().verdict, r.value().verdict)
+          << "seed " << seed << " backend " << RelationBackendName(backend);
+      EXPECT_EQ(dense.value().seeds_tried, r.value().seeds_tried)
+          << "seed " << seed << " backend " << RelationBackendName(backend);
+      EXPECT_EQ(dense.value().violated_tuple.has_value(),
+                r.value().violated_tuple.has_value())
+          << "seed " << seed;
+      if (dense.value().violated_tuple.has_value() &&
+          r.value().violated_tuple.has_value()) {
+        EXPECT_EQ(*dense.value().violated_tuple, *r.value().violated_tuple)
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(RelationBackendDiff, RpqIdenticalAcrossBackends) {
+  for (std::uint64_t seed = 1; seed <= 12; seed++) {
+    RandomCase c = MakeCase(seed);
+    KRemDefinabilityOptions options;
+    options.max_tuples = 20'000;
+    auto dense = CheckRpqDefinability(c.graph, c.relation, options);
+    ASSERT_TRUE(dense.ok()) << "seed " << seed;
+    for (RelationBackend backend : kAllBackends) {
+      AdaptiveRelation adaptive = AdaptiveRelation::FromPairs(
+          c.graph.NumNodes(), PairsOf(c.relation), backend);
+      auto r = CheckRpqDefinability(c.graph, adaptive, options);
+      ASSERT_TRUE(r.ok())
+          << "seed " << seed << " backend " << RelationBackendName(backend);
+      EXPECT_EQ(dense.value().verdict, r.value().verdict)
+          << "seed " << seed << " backend " << RelationBackendName(backend);
+      EXPECT_EQ(dense.value().witness_words, r.value().witness_words)
+          << "seed " << seed << " backend " << RelationBackendName(backend);
+      EXPECT_EQ(dense.value().empty_relation_witness,
+                r.value().empty_relation_witness)
+          << "seed " << seed;
+    }
   }
 }
 

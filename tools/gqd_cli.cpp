@@ -3,20 +3,24 @@
 //   gqd eval <graph> <regex|rem|ree> <expression> [--explain <u> <v>]
 //            [--preflight] [--trace-out <file>]
 //   gqd check <graph> <relation> [--language all|rpq|rem|ree|ucrdpq] [--k N]
+//             [--relation-backend auto|dense|sparse|blocked] [--json]
 //             [--trace-out <file>]
 //   gqd synth <graph> <relation> --language rpq|rem|ree [--k N] [--simplify]
 //   gqd convert <regex|ree> <expression>        # embed into REM
 //   gqd convert graph <in> [<out>] [--validate] # text <-> binary container
+//   gqd convert relation <graph> <in> <out>     # pair text <-> .gqdr
 //   gqd gen scale-free|grid --out <file> [...]  # synthetic graphs
+//   gqd gen relation --graph <file> --out FILE  # synthetic sparse relation
 //   gqd compile <rem> [--graph <file>] [--k N] [--json] [--plan-out FILE]
 //   gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]
 //   gqd lint --suite <file> [--graph <file>] [--json]
-//   gqd info <graph> [--dot|--json]
+//   gqd info <graph|relation> [--dot|--json]
 //   gqd serve [--port N] [--threads N] [--cache N] [--graph <file>]...
 //   gqd bench-serve [--port N] [--clients C] [--requests R] [--json]
 //
-// Graph files use the `node`/`edge` text format, relation files the `pair`
-// format (see graph/serialization.h and examples/data/).
+// Graph files use the `node`/`edge` text format or the binary .gqdg
+// container; relation files the `pair` text format or the binary .gqdr
+// container (see graph/serialization.h, docs/storage.md, examples/data/).
 
 #include <sys/resource.h>
 
@@ -66,24 +70,30 @@ int Usage() {
       " [--k N]\n"
       "            [--threads N] [--engine kernel|reference]"
       " [--max-tuples N]\n"
-      "            [--max-bytes N] [--trace-out FILE]\n"
+      "            [--max-bytes N] [--relation-backend"
+      " auto|dense|sparse|blocked]\n"
+      "            [--json] [--trace-out FILE]\n"
       "  gqd synth <graph> <relation> --language rpq|rem|ree [--k N]"
       " [--simplify]\n"
       "            [--threads N] [--engine kernel|reference]"
       " [--max-bytes N]\n"
       "  gqd convert <regex|ree> <expression>\n"
       "  gqd convert graph <in> [<out>] [--validate]\n"
+      "  gqd convert relation <graph> <in> <out>\n"
       "  gqd gen scale-free --out FILE [--nodes N] [--edges-per-node M]\n"
       "          [--labels L] [--values D] [--seed S] [--text]\n"
       "  gqd gen grid --out FILE [--rows R] [--cols C] [--values D]"
       " [--seed S]\n"
       "          [--text]\n"
+      "  gqd gen relation --graph FILE --out FILE [--pairs N |"
+      " --density D\n"
+      "          | --word a.b] [--seed S] [--text]\n"
       "  gqd compile <rem-expression> [--graph <file>] [--k N] [--json]\n"
       "              [--plan-out FILE]\n"
       "  gqd lint <regex|rem|ree> <expression> [--graph <file>] [--json]"
       " [--no-notes]\n"
       "  gqd lint --suite <file> [--graph <file>] [--json]\n"
-      "  gqd info <graph> [--dot|--json]\n"
+      "  gqd info <graph|relation> [--dot|--json]\n"
       "  gqd serve [--port N] [--threads N] [--cache N] [--graph <file>]..."
       "\n"
       "            [--max-concurrent N] [--max-queue N] [--retry-after-ms N]"
@@ -99,11 +109,19 @@ int Usage() {
       "  (direction follows the input format; --validate deep-checks the\n"
       "  container, and `convert graph <file> --validate` with no output\n"
       "  only checks). `gqd gen` streams synthetic graphs to a container.\n"
+      "  every <relation> argument accepts the pair text format or a\n"
+      "  binary relation container (.gqdr); `gqd convert relation`\n"
+      "  converts between the two and `gqd gen relation` samples a\n"
+      "  deterministic sparse relation over a graph.\n"
       "\n"
       "resource governance:\n"
       "  --max-bytes / --max-tuples cap accounted memory and materialized\n"
       "  tuples; an exceeded budget stops the search cleanly and reports\n"
-      "  partial progress instead of exhausting host memory.\n"
+      "  partial progress instead of exhausting host memory. `gqd check`\n"
+      "  admits the relation by the estimated bytes of the selected\n"
+      "  representation (--relation-backend, default auto), so sparse\n"
+      "  relations over million-node graphs fit budgets the dense matrix\n"
+      "  never could.\n"
       "\n"
       "observability:\n"
       "  --trace-out FILE writes a Chrome trace-event JSON of the stage\n"
@@ -145,6 +163,35 @@ Result<BinaryRelation> LoadRelation(const DataGraph& graph,
                                     const char* path) {
   GQD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
   return ReadRelationText(graph, text);
+}
+
+/// The GraphStore surfaces fingerprints as 16 hex digits; the relation
+/// container binds by the raw u64.
+std::uint64_t FingerprintFromHex(const std::string& hex) {
+  return std::strtoull(hex.c_str(), nullptr, 16);
+}
+
+/// Loads a relation as its canonical pair list without materializing any
+/// representation: a .gqdr container is opened (validated, and checked
+/// against the graph's fingerprint when bound), anything else parses as the
+/// pair text format. O(nnz) memory either way.
+Result<std::vector<std::pair<NodeId, NodeId>>> LoadRelationPairs(
+    const DataGraph& graph, const std::string& graph_fingerprint,
+    const char* path) {
+  if (IsRelationContainerFile(path)) {
+    GQD_ASSIGN_OR_RETURN(StoredRelation stored,
+                         OpenRelationContainer(
+                             path, FingerprintFromHex(graph_fingerprint)));
+    if (stored.info.num_nodes != graph.NumNodes()) {
+      return Status::InvalidArgument(
+          "relation container is over " +
+          std::to_string(stored.info.num_nodes) + " nodes but the graph has " +
+          std::to_string(graph.NumNodes()));
+    }
+    return std::move(stored.pairs);
+  }
+  GQD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ReadRelationPairsText(graph, text);
 }
 
 /// Finds `--flag value` in argv; returns nullptr when absent.
@@ -370,6 +417,7 @@ int CmdCheck(int argc, char** argv) {
     return Usage();
   }
   TraceWriter trace(TraceOutPath(argc, argv));
+  auto check_start = std::chrono::steady_clock::now();
   auto loaded = LoadGraph(argv[0]);
   if (!loaded.ok()) {
     return Fail(loaded.status());
@@ -381,25 +429,66 @@ int CmdCheck(int argc, char** argv) {
   BudgetFromFlags(argc, argv, &budget, /*tuples_axis=*/false);
   const ResourceBudget* budget_ptr =
       budget.has_value() ? &budget.value() : nullptr;
-  // The candidate relation materializes as a dense n×n bit matrix. Admit
-  // that allocation against the byte budget before parsing the relation, so
-  // a budgeted check over a million-node graph exits 4 with a clean
-  // diagnostic instead of attempting a ~125 GB allocation.
+  RelationBackend backend_choice = RelationBackend::kAuto;
+  const char* backend_flag = FlagValue(argc, argv, "--relation-backend");
+  if (backend_flag != nullptr &&
+      !ParseRelationBackend(backend_flag, &backend_choice)) {
+    return Usage();
+  }
+  // The pair list is O(nnz) memory whichever source format it comes from;
+  // only once nnz is known can the representation be chosen and its cost
+  // admitted against the budget — a budgeted dense check over a
+  // million-node graph exits 4 with a clean diagnostic instead of
+  // attempting a ~125 GB allocation, while a sparse one proceeds.
+  auto pairs = LoadRelationPairs(graph, loaded.value().info.fingerprint,
+                                 argv[1]);
+  if (!pairs.ok()) {
+    return Fail(pairs.status());
+  }
+  const std::size_t n = graph.NumNodes();
+  const std::size_t nnz = pairs.value().size();
+  RelationBackend resolved = backend_choice == RelationBackend::kAuto
+                                 ? ChooseRelationBackend(n, nnz)
+                                 : backend_choice;
+  const std::size_t estimate = EstimateRelationBytes(resolved, n, nnz);
   if (budget_ptr != nullptr) {
-    const std::uint64_t n = graph.NumNodes();
-    budget_ptr->ChargeBytes(static_cast<std::int64_t>((n * n + 7) / 8));
+    budget_ptr->ChargeBytes(static_cast<std::int64_t>(estimate));
     if (Status admitted = budget_ptr->Check(); !admitted.ok()) {
+      RelationCounters::Instance().admission_refusals.fetch_add(
+          1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "admission: %s relation backend estimated at %zu bytes"
+                   " (n=%zu, nnz=%zu); try --relation-backend"
+                   " sparse|blocked or a larger --max-bytes\n",
+                   RelationBackendName(resolved), estimate, n, nnz);
       return Fail(admitted);
     }
   }
-  auto relation = LoadRelation(graph, argv[1]);
-  if (!relation.ok()) {
-    return Fail(relation.status());
+  AdaptiveRelation relation;
+  {
+    GQD_TRACE_SPAN(build_span, "relation.build");
+    auto build_start = std::chrono::steady_clock::now();
+    relation = AdaptiveRelation::FromPairs(n, std::move(pairs).value(),
+                                           backend_choice);
+    auto build_elapsed = std::chrono::steady_clock::now() - build_start;
+    NoteRelationBackendSelected(relation.backend());
+    RelationCounters::Instance().build_micros.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                build_elapsed)
+                .count()),
+        std::memory_order_relaxed);
+    // Attrs are numeric; the backend is recorded as its enum value
+    // (0 auto, 1 dense, 2 sparse, 3 blocked).
+    GQD_TRACE_SPAN_ATTR(build_span, "backend", relation.backend());
+    GQD_TRACE_SPAN_ATTR(build_span, "nnz", relation.Nnz());
+    GQD_TRACE_SPAN_ATTR(build_span, "bytes", relation.ByteSize());
   }
   const char* language_flag = FlagValue(argc, argv, "--language");
   std::string language = language_flag != nullptr ? language_flag : "all";
   const char* k_flag = FlagValue(argc, argv, "--k");
   std::size_t k = k_flag != nullptr ? std::strtoul(k_flag, nullptr, 10) : 2;
+  bool json = HasFlag(argc, argv, "--json");
 
   KRemDefinabilityOptions krem_options;
   ReeDefinabilityOptions ree_options;
@@ -428,53 +517,73 @@ int CmdCheck(int argc, char** argv) {
   ucrdpq_options.csp.budget = budget_ptr;
 
   int exit_code = 0;
-  auto print = [](const char* name, DefinabilityVerdict verdict) {
-    std::printf("%-10s %s\n", name, DefinabilityVerdictToString(verdict));
+  std::vector<std::pair<std::string, DefinabilityVerdict>> verdicts;
+  auto record = [&](std::string name, DefinabilityVerdict verdict,
+                    const std::optional<PartialProgress>& partial) {
+    if (!json) {
+      std::printf("%-10s %s\n", name.c_str(),
+                  DefinabilityVerdictToString(verdict));
+    }
+    verdicts.emplace_back(std::move(name), verdict);
+    if (ReportPartial(partial)) {
+      exit_code = 4;
+    }
   };
   if (language == "all" || language == "rpq") {
-    auto r = CheckRpqDefinability(graph, relation.value(),
-                                  krem_options);
+    auto r = CheckRpqDefinability(graph, relation, krem_options);
     if (!r.ok()) {
       return Fail(r.status());
     }
-    print("rpq", r.value().verdict);
-    if (ReportPartial(r.value().partial)) {
-      exit_code = 4;
-    }
+    record("rpq", r.value().verdict, r.value().partial);
   }
   if (language == "all" || language == "rem") {
-    auto r = CheckKRemDefinability(graph, relation.value(), k,
-                                   krem_options);
+    auto r = CheckKRemDefinability(graph, relation, k, krem_options);
     if (!r.ok()) {
       return Fail(r.status());
     }
-    std::printf("rem(k=%zu) %s\n", k,
-                DefinabilityVerdictToString(r.value().verdict));
-    if (ReportPartial(r.value().partial)) {
-      exit_code = 4;
-    }
+    record(json ? "rem" : "rem(k=" + std::to_string(k) + ")",
+           r.value().verdict, r.value().partial);
   }
   if (language == "all" || language == "ree") {
-    auto r = CheckReeDefinability(graph, relation.value(),
-                                  ree_options);
+    auto r = CheckReeDefinability(graph, relation, ree_options);
     if (!r.ok()) {
       return Fail(r.status());
     }
-    print("ree", r.value().verdict);
-    if (ReportPartial(r.value().partial)) {
-      exit_code = 4;
-    }
+    record("ree", r.value().verdict, r.value().partial);
   }
   if (language == "all" || language == "ucrdpq") {
-    auto r = CheckUcrdpqDefinability(graph, relation.value(),
-                                     ucrdpq_options);
+    auto r = CheckUcrdpqDefinability(graph, relation, ucrdpq_options);
     if (!r.ok()) {
       return Fail(r.status());
     }
-    print("ucrdpq", r.value().verdict);
-    if (ReportPartial(r.value().partial)) {
-      exit_code = 4;
+    record("ucrdpq", r.value().verdict, r.value().partial);
+  }
+  if (json) {
+    // One object the bench harness can diff across backends: verdicts plus
+    // what the relation actually cost to hold and how long the whole
+    // command took.
+    auto wall = std::chrono::steady_clock::now() - check_start;
+    struct rusage usage {};
+    getrusage(RUSAGE_SELF, &usage);
+    std::string out = "{\"verdicts\":{";
+    for (std::size_t i = 0; i < verdicts.size(); i++) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += "\"" + verdicts[i].first + "\":\"" +
+             DefinabilityVerdictToString(verdicts[i].second) + "\"";
     }
+    char tail[256];
+    std::snprintf(
+        tail, sizeof(tail),
+        "},\"relation\":{\"backend\":\"%s\",\"nnz\":%zu,\"bytes\":%zu},"
+        "\"wall_ms\":%.3f,\"peak_rss_kb\":%llu}",
+        RelationBackendName(relation.backend()), relation.Nnz(),
+        relation.ByteSize(),
+        std::chrono::duration<double, std::milli>(wall).count(),
+        static_cast<unsigned long long>(usage.ru_maxrss));
+    out += tail;
+    std::printf("%s\n", out.c_str());
   }
   return exit_code;
 }
@@ -643,6 +752,51 @@ int CmdConvert(int argc, char** argv) {
                  loaded.value().info.fingerprint.c_str());
     return 0;
   }
+  if (language == "relation") {
+    // `gqd convert relation <graph> <in> <out>` — converts between the pair
+    // text format and the .gqdr container, direction decided by the input
+    // format. The graph supplies node names (text side) and the
+    // fingerprint the container binds to.
+    if (argc < 4) {
+      return Usage();
+    }
+    auto loaded = LoadGraph(argv[1]);
+    if (!loaded.ok()) {
+      return Fail(loaded.status());
+    }
+    const DataGraph& graph = *loaded.value().graph;
+    const char* in_path = argv[2];
+    const char* out_path = argv[3];
+    auto pairs =
+        LoadRelationPairs(graph, loaded.value().info.fingerprint, in_path);
+    if (!pairs.ok()) {
+      return Fail(pairs.status());
+    }
+    std::size_t num_pairs = pairs.value().size();
+    if (IsRelationContainerFile(in_path)) {
+      std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        return Fail(Status::IOError(std::string("cannot open '") + out_path +
+                                    "' for writing"));
+      }
+      out << WriteRelationPairsText(graph, std::move(pairs).value());
+      out.close();
+      if (!out) {
+        return Fail(
+            Status::IOError(std::string("failed writing '") + out_path + "'"));
+      }
+    } else {
+      Status written = WriteRelationContainer(
+          graph.NumNodes(), std::move(pairs).value(),
+          FingerprintFromHex(loaded.value().info.fingerprint), out_path);
+      if (!written.ok()) {
+        return Fail(written);
+      }
+    }
+    std::fprintf(stderr, "%s -> %s (%zu nodes, %zu pairs)\n", in_path,
+                 out_path, graph.NumNodes(), num_pairs);
+    return 0;
+  }
   if (language == "regex") {
     auto e = ParseRegex(argv[1]);
     if (!e.ok()) {
@@ -680,6 +834,123 @@ int CmdGen(int argc, char** argv) {
   }
   const char* seed_flag = FlagValue(argc, argv, "--seed");
   const char* values_flag = FlagValue(argc, argv, "--values");
+  if (kind == "relation") {
+    // `gqd gen relation --graph FILE --out FILE [--pairs N | --density D
+    // | --word a.b] [--seed S] [--text]` — deterministic candidate
+    // relations over the graph's nodes. --density D samples D pairs per
+    // node on average (default 4), --pairs N an absolute draw count
+    // (duplicates collapse during canonicalization, so the written count
+    // can land slightly under); --word w instead computes R_w, which is
+    // definable by construction — the shape the CI sparse-check leg
+    // certifies at a million nodes. The container output binds to the
+    // graph's fingerprint.
+    const char* graph_flag = FlagValue(argc, argv, "--graph");
+    if (graph_flag == nullptr) {
+      return Usage();
+    }
+    auto loaded = LoadGraph(graph_flag);
+    if (!loaded.ok()) {
+      return Fail(loaded.status());
+    }
+    const DataGraph& graph = *loaded.value().graph;
+    const std::size_t n = graph.NumNodes();
+    if (n == 0) {
+      return Fail(Status::InvalidArgument("cannot sample over an empty graph"));
+    }
+    std::uint64_t seed =
+        seed_flag != nullptr ? std::strtoull(seed_flag, nullptr, 10) : 1;
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    const char* word_flag = FlagValue(argc, argv, "--word");
+    if (word_flag != nullptr) {
+      // --word a.b: S = R_w, the pairs connected by the label word w —
+      // a relation that is RPQ-definable by construction, computed by
+      // frontier streaming (per-source successor chase, never a matrix).
+      std::vector<LabelId> word;
+      std::string token;
+      for (const char* c = word_flag;; c++) {
+        if (*c == '.' || *c == '\0') {
+          auto id = graph.labels().Find(token);
+          if (!id.has_value()) {
+            return Fail(Status::InvalidArgument(
+                "label '" + token + "' is not in the graph's alphabet"));
+          }
+          word.push_back(*id);
+          token.clear();
+          if (*c == '\0') {
+            break;
+          }
+        } else {
+          token += *c;
+        }
+      }
+      std::vector<NodeId> frontier;
+      std::vector<NodeId> next;
+      for (NodeId u = 0; u < n; u++) {
+        frontier.assign(1, u);
+        for (LabelId a : word) {
+          next.clear();
+          for (NodeId v : frontier) {
+            for (const auto& [label, to] : graph.OutEdges(v)) {
+              if (label == a) {
+                next.push_back(to);
+              }
+            }
+          }
+          std::sort(next.begin(), next.end());
+          next.erase(std::unique(next.begin(), next.end()), next.end());
+          frontier.swap(next);
+        }
+        for (NodeId v : frontier) {
+          pairs.emplace_back(u, v);
+        }
+      }
+    } else {
+      std::uint64_t draws = 0;
+      const char* pairs_flag = FlagValue(argc, argv, "--pairs");
+      const char* density_flag = FlagValue(argc, argv, "--density");
+      if (pairs_flag != nullptr) {
+        draws = std::strtoull(pairs_flag, nullptr, 10);
+      } else {
+        double density =
+            density_flag != nullptr ? std::strtod(density_flag, nullptr) : 4.0;
+        draws = static_cast<std::uint64_t>(density * static_cast<double>(n));
+      }
+      SplitMix64 rng(seed);
+      pairs.reserve(draws);
+      for (std::uint64_t i = 0; i < draws; i++) {
+        NodeId u = static_cast<NodeId>(rng.NextBelow(n));
+        NodeId v = static_cast<NodeId>(rng.NextBelow(n));
+        pairs.emplace_back(u, v);
+      }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    std::size_t num_pairs = pairs.size();
+    if (HasFlag(argc, argv, "--text")) {
+      std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        return Fail(Status::IOError(std::string("cannot open '") + out_path +
+                                    "' for writing"));
+      }
+      out << WriteRelationPairsText(graph, std::move(pairs));
+      out.close();
+      if (!out) {
+        return Fail(
+            Status::IOError(std::string("failed writing '") + out_path + "'"));
+      }
+    } else {
+      Status written = WriteRelationContainer(
+          n, std::move(pairs),
+          FingerprintFromHex(loaded.value().info.fingerprint), out_path);
+      if (!written.ok()) {
+        return Fail(written);
+      }
+    }
+    std::fprintf(stderr, "%s: %zu nodes, %zu pairs (backend auto = %s)\n",
+                 out_path, n, num_pairs,
+                 RelationBackendName(ChooseRelationBackend(n, num_pairs)));
+    return 0;
+  }
   auto emit = [&](GraphSink* sink) {
     if (kind == "scale-free") {
       ScaleFreeOptions options;
@@ -925,6 +1196,57 @@ int CmdLint(int argc, char** argv) {
 int CmdInfo(int argc, char** argv) {
   if (argc < 1) {
     return Usage();
+  }
+  if (IsRelationContainerFile(argv[0])) {
+    // Relation containers answer from the header statistics: shape, graph
+    // binding, and what the admission estimate would charge for the
+    // backend auto-selection would pick.
+    auto stored = OpenRelationContainer(argv[0]);
+    if (!stored.ok()) {
+      return Fail(stored.status());
+    }
+    const RelationStoreInfo& info = stored.value().info;
+    RelationBackend backend = ChooseRelationBackend(
+        static_cast<std::size_t>(info.num_nodes),
+        static_cast<std::size_t>(info.num_pairs));
+    std::size_t estimate = EstimateRelationBytes(
+        backend, static_cast<std::size_t>(info.num_nodes),
+        static_cast<std::size_t>(info.num_pairs));
+    if (HasFlag(argc, argv, "--json")) {
+      std::printf(
+          "{\"kind\":\"relation\",\"nodes\":%llu,\"pairs\":%llu,"
+          "\"distinct_sources\":%llu,\"max_row_degree\":%llu,"
+          "\"graph_fingerprint\":\"%016llx\",\"backend\":\"%s\","
+          "\"estimated_bytes\":%zu,\"source_bytes\":%llu,"
+          "\"load_micros\":%llu}\n",
+          static_cast<unsigned long long>(info.num_nodes),
+          static_cast<unsigned long long>(info.num_pairs),
+          static_cast<unsigned long long>(info.distinct_sources),
+          static_cast<unsigned long long>(info.max_row_degree),
+          static_cast<unsigned long long>(info.graph_fingerprint),
+          RelationBackendName(backend), estimate,
+          static_cast<unsigned long long>(info.source_bytes),
+          static_cast<unsigned long long>(info.load_micros));
+      return 0;
+    }
+    std::printf("kind: relation container\nnodes: %llu\npairs: %llu\n",
+                static_cast<unsigned long long>(info.num_nodes),
+                static_cast<unsigned long long>(info.num_pairs));
+    std::printf("distinct sources: %llu\nmax row degree: %llu\n",
+                static_cast<unsigned long long>(info.distinct_sources),
+                static_cast<unsigned long long>(info.max_row_degree));
+    if (info.graph_fingerprint != 0) {
+      std::printf("graph fingerprint: %016llx\n",
+                  static_cast<unsigned long long>(info.graph_fingerprint));
+    } else {
+      std::printf("graph fingerprint: (unbound)\n");
+    }
+    std::printf("auto backend: %s (estimated %zu bytes)\n",
+                RelationBackendName(backend), estimate);
+    std::printf("source bytes: %llu\nload time: %llu us\n",
+                static_cast<unsigned long long>(info.source_bytes),
+                static_cast<unsigned long long>(info.load_micros));
+    return 0;
   }
   auto loaded = LoadGraph(argv[0]);
   if (!loaded.ok()) {

@@ -51,6 +51,41 @@ else
   echo "warning: ${GQD_BIN} not found — skipping the storage benchmark" >&2
 fi
 
+# Relations: the density-adaptive layer vs the dense matrix. Two probes:
+# a medium grid where every backend runs (wall + RSS per backend), and the
+# million-node grid where the dense matrix is refused under the byte budget
+# the sparse backend completes in. The relation is R_{a.b} (--word), so the
+# rpq check terminates with a definable verdict at any scale.
+if [[ -x "${GQD_BIN}" ]]; then
+  REL_SIDE="${GQD_RELATION_SIDE:-100}"
+  REL_BUDGET="${GQD_RELATION_BUDGET:-400000000}"
+  "${GQD_BIN}" gen grid --rows "${REL_SIDE}" --cols "${REL_SIDE}" --seed 1 \
+    --out "${TMP_DIR}/rel_grid.gqdg" 2> /dev/null
+  "${GQD_BIN}" gen relation --graph "${TMP_DIR}/rel_grid.gqdg" \
+    --out "${TMP_DIR}/rel_grid.gqdr" --word a.b 2> /dev/null
+  for backend in dense sparse blocked; do
+    "${GQD_BIN}" check "${TMP_DIR}/rel_grid.gqdg" "${TMP_DIR}/rel_grid.gqdr" \
+      --language rpq --relation-backend "${backend}" --json \
+      > "${TMP_DIR}/relation_${backend}.json"
+  done
+  if [[ -f "${TMP_DIR}/grid.gqdg" ]]; then
+    "${GQD_BIN}" gen relation --graph "${TMP_DIR}/grid.gqdg" \
+      --out "${TMP_DIR}/grid_rel.gqdr" --word a.b 2> /dev/null
+    "${GQD_BIN}" check "${TMP_DIR}/grid.gqdg" "${TMP_DIR}/grid_rel.gqdr" \
+      --language rpq --relation-backend sparse --max-bytes "${REL_BUDGET}" \
+      --json > "${TMP_DIR}/relation_million.json" \
+      || echo "warning: million-node sparse check failed" >&2
+    # The same budget must refuse the dense matrix: record exit code (4)
+    # and the admission estimate from the refusal message.
+    set +e
+    "${GQD_BIN}" check "${TMP_DIR}/grid.gqdg" "${TMP_DIR}/grid_rel.gqdr" \
+      --language rpq --relation-backend dense --max-bytes "${REL_BUDGET}" \
+      > /dev/null 2> "${TMP_DIR}/relation_million_dense.err"
+    echo $? > "${TMP_DIR}/relation_million_dense.rc"
+    set -e
+  fi
+fi
+
 python3 - "${TMP_DIR}" "${OUT}" <<'EOF'
 import json
 import sys
@@ -155,6 +190,60 @@ try:
 except (OSError, ValueError, KeyError):
     pass  # storage leg skipped (gqd binary missing)
 
+# Relation backends: per-backend wall/RSS on the medium grid, plus the
+# million-node record (sparse admitted, dense refused). The pinned factor
+# plays the role BASELINE_MS plays above: the dense matrix must cost at
+# least this many times the adaptive representation's bytes, else the
+# adaptive layer has regressed.
+RELATION_MIN_BYTES_FACTOR = 8.0
+sparse_relations = {}
+
+def check_side(path):
+    with open(path) as f:
+        d = json.load(f)
+    return {
+        "backend": d["relation"]["backend"],
+        "nnz": d["relation"]["nnz"],
+        "relation_bytes": d["relation"]["bytes"],
+        "wall_ms": d["wall_ms"],
+        "peak_rss_kb": d["peak_rss_kb"],
+        "verdicts": d["verdicts"],
+    }
+
+try:
+    mid = {b: check_side(f"{tmp_dir}/relation_{b}.json")
+           for b in ("dense", "sparse", "blocked")}
+    bytes_factor = (mid["dense"]["relation_bytes"]
+                    / max(mid["sparse"]["relation_bytes"], 1))
+    sparse_relations["medium_grid"] = {
+        **mid,
+        "dense_vs_sparse_bytes_factor": bytes_factor,
+        "dense_vs_sparse_wall_factor": (
+            mid["dense"]["wall_ms"] / max(mid["sparse"]["wall_ms"], 1e-9)),
+        "min_bytes_factor": RELATION_MIN_BYTES_FACTOR,
+        "meets_pin": bytes_factor >= RELATION_MIN_BYTES_FACTOR,
+        "verdicts_identical": len({json.dumps(s["verdicts"], sort_keys=True)
+                                   for s in mid.values()}) == 1,
+    }
+except (OSError, ValueError, KeyError):
+    pass  # relation leg skipped (gqd binary missing)
+
+try:
+    import re
+    million = {"sparse": check_side(f"{tmp_dir}/relation_million.json")}
+    with open(f"{tmp_dir}/relation_million_dense.rc") as f:
+        million["dense_refusal_exit"] = int(f.read().strip())
+    with open(f"{tmp_dir}/relation_million_dense.err") as f:
+        m = re.search(r"estimated at (\d+) bytes", f.read())
+    if m:
+        million["dense_estimate_bytes"] = int(m.group(1))
+        million["admitted_vs_refused_bytes_factor"] = (
+            million["dense_estimate_bytes"]
+            / max(million["sparse"]["relation_bytes"], 1))
+    sparse_relations["million_grid"] = million
+except (OSError, ValueError, KeyError):
+    pass  # million-node leg skipped (storage leg disabled or check failed)
+
 with open(out_path, "w") as f:
     json.dump(
         {
@@ -163,6 +252,7 @@ with open(out_path, "w") as f:
             "medium_configs": medium,
             "plan_dispatch": plan_dispatch,
             "storage": storage,
+            "sparse_relations": sparse_relations,
             "benchmarks": results,
             "trace_stage_totals": stage_totals,
         },
@@ -184,5 +274,19 @@ if storage:
           f"({storage['load_speedup']:.1f}x), "
           f"peak RSS {storage['text']['peak_rss_kb']} kB vs "
           f"{storage['mmap']['peak_rss_kb']} kB")
+if "medium_grid" in sparse_relations:
+    mg = sparse_relations["medium_grid"]
+    print(f"relations (medium grid): dense {mg['dense']['relation_bytes']} B "
+          f"vs sparse {mg['sparse']['relation_bytes']} B "
+          f"({mg['dense_vs_sparse_bytes_factor']:.1f}x, pin "
+          f"{mg['min_bytes_factor']}x, "
+          f"{'ok' if mg['meets_pin'] else 'REGRESSED'}), "
+          f"verdicts identical: {mg['verdicts_identical']}")
+if "million_grid" in sparse_relations:
+    ml = sparse_relations["million_grid"]
+    print(f"relations (million grid): sparse admitted "
+          f"({ml['sparse']['wall_ms']:.0f} ms, "
+          f"peak RSS {ml['sparse']['peak_rss_kb']} kB), dense refused "
+          f"(exit {ml['dense_refusal_exit']})")
 print(f"wrote {out_path}")
 EOF

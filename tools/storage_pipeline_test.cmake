@@ -30,6 +30,24 @@ if(NOT same EQUAL 0)
   message(FATAL_ERROR "text -> container -> text round-trip changed bytes")
 endif()
 
+# Relation containers: generate a sparse relation over the grid, round-trip
+# it through the pair text format, and read it back through `info`.
+run(${GQD} gen relation --graph ${WORK}/grid.gqdg --out ${WORK}/grid.gqdr
+    --density 2 --seed 5)
+run(${GQD} gen relation --graph ${WORK}/grid.gqdg --out ${WORK}/grid_ab.gqdr
+    --word a.b)
+run(${GQD} info ${WORK}/grid.gqdr)
+run(${GQD} convert relation ${WORK}/grid.gqdg ${WORK}/grid.gqdr
+    ${WORK}/grid.pairs)
+run(${GQD} convert relation ${WORK}/grid.gqdg ${WORK}/grid.pairs
+    ${WORK}/grid2.gqdr)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/grid.gqdr ${WORK}/grid2.gqdr
+                RESULT_VARIABLE rel_same)
+if(NOT rel_same EQUAL 0)
+  message(FATAL_ERROR "relation container -> text -> container changed bytes")
+endif()
+
 # Same query, both backends, identical results.
 run(${GQD} eval ${WORK}/grid.graph regex "a b")
 execute_process(COMMAND ${GQD} eval ${WORK}/grid.graph regex "a b"
