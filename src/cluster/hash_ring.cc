@@ -1,0 +1,62 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+#include <string>
+
+namespace gqd {
+
+std::uint64_t HashRing::Hash(std::string_view key) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  // Raw FNV-1a mixes its high bits poorly on short, similar strings —
+  // unfinalized, the vnode points cluster and one worker can own half the
+  // ring. The murmur3 finalizer gives the full-width avalanche the ring
+  // ordering needs.
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+void HashRing::AddWorker(std::size_t index, std::size_t vnodes) {
+  for (std::size_t v = 0; v < vnodes; v++) {
+    std::string point_key =
+        "worker/" + std::to_string(index) + "/" + std::to_string(v);
+    points_.emplace_back(Hash(point_key), index);
+  }
+  std::sort(points_.begin(), points_.end());
+  worker_count_++;
+}
+
+std::vector<std::size_t> HashRing::Owners(std::string_view key,
+                                          std::size_t replicas) const {
+  std::vector<std::size_t> owners;
+  if (points_.empty() || replicas == 0) {
+    return owners;
+  }
+  replicas = std::min(replicas, worker_count_);
+  std::uint64_t h = Hash(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(h, std::size_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t step = 0; step < points_.size() && owners.size() < replicas;
+       step++) {
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    std::size_t worker = it->second;
+    if (std::find(owners.begin(), owners.end(), worker) == owners.end()) {
+      owners.push_back(worker);
+    }
+    ++it;
+  }
+  return owners;
+}
+
+}  // namespace gqd

@@ -1,0 +1,53 @@
+// Consistent-hash ring placing graph fingerprints on cluster workers.
+//
+// Each worker contributes `vnodes` virtual points (FNV-1a of
+// "worker/<index>/<vnode>") to a sorted ring; a key (the 16-hex-digit
+// graph fingerprint from GraphRegistry) hashes to a point and its owners
+// are the first R *distinct* workers clockwise from there. Placement is a
+// pure function of the static fleet — dead workers are skipped at request
+// time rather than removed from the ring, so keys never migrate when a
+// worker flaps and a rejoining worker still owns exactly what it owned
+// before the crash (which is what makes warm replay well-defined).
+
+#ifndef GQD_CLUSTER_HASH_RING_H_
+#define GQD_CLUSTER_HASH_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gqd {
+
+class HashRing {
+ public:
+  /// 64 points per worker keeps the max/mean ownership skew under ~15%
+  /// for small fleets without measurable lookup cost.
+  static constexpr std::size_t kDefaultVnodes = 64;
+
+  /// Adds worker `index` with `vnodes` virtual points. Workers are added
+  /// once, at fleet construction.
+  void AddWorker(std::size_t index, std::size_t vnodes = kDefaultVnodes);
+
+  std::size_t worker_count() const { return worker_count_; }
+
+  /// The first `replicas` distinct workers clockwise from Hash(key), in
+  /// preference order (primary first). Returns every worker when
+  /// `replicas` >= fleet size. Deterministic for a given fleet and key.
+  std::vector<std::size_t> Owners(std::string_view key,
+                                  std::size_t replicas) const;
+
+  /// FNV-1a 64-bit (the hash family GraphRegistry uses for graph
+  /// fingerprints) with a murmur3 finalizer for full-width avalanche,
+  /// applied here to the fingerprint string itself.
+  static std::uint64_t Hash(std::string_view key);
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::size_t>> points_;  ///< sorted
+  std::size_t worker_count_ = 0;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_CLUSTER_HASH_RING_H_

@@ -1,0 +1,591 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gqd {
+
+namespace {
+
+/// Mirrors QueryService's error envelope so clients cannot tell a
+/// router-originated error from a worker one.
+JsonValue ErrorBody(const JsonValue* id, const Status& status,
+                    std::int64_t retry_after_ms) {
+  JsonValue::Object error;
+  error.emplace_back("code", std::string(StatusCodeToString(status.code())));
+  error.emplace_back("message", status.message());
+  if (retry_after_ms >= 0) {
+    error.emplace_back("retry_after_ms", static_cast<double>(retry_after_ms));
+  }
+  JsonValue::Object response;
+  if (id != nullptr) {
+    response.emplace_back("id", *id);
+  }
+  response.emplace_back("ok", false);
+  response.emplace_back("error", JsonValue(std::move(error)));
+  return JsonValue(std::move(response));
+}
+
+/// Classifies a worker response line without re-serializing it. A shed is
+/// ok:false + code Unavailable (hint extracted when present); state loss
+/// is ok:false + code NotFound on a graph the routing table says this
+/// worker owns.
+struct ResponseClass {
+  bool shed = false;
+  bool not_found = false;
+  std::int64_t retry_after_ms = -1;
+};
+
+ResponseClass ClassifyWorkerResponse(const std::string& response) {
+  ResponseClass out;
+  // Fast path: successful responses skip the parse.
+  if (response.find("\"ok\":false") == std::string::npos) {
+    return out;
+  }
+  auto parsed = JsonValue::Parse(response);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    return out;
+  }
+  const JsonValue* error = parsed.value().Find("error");
+  if (error == nullptr || !error->is_object()) {
+    return out;
+  }
+  auto code = error->GetStringOr("code", "");
+  if (!code.ok()) {
+    return out;
+  }
+  if (code.value() == "Unavailable") {
+    out.shed = true;
+    auto hint = error->GetIntOr("retry_after_ms", -1);
+    out.retry_after_ms = hint.ok() ? hint.value() : -1;
+  } else if (code.value() == "NotFound") {
+    out.not_found = true;
+  }
+  return out;
+}
+
+std::string WorkerLabel(std::size_t index) { return std::to_string(index); }
+
+/// Wraps a handler body in the ok envelope, echoing the request id.
+std::string OkLine(const JsonValue* id, JsonValue inner) {
+  JsonValue::Object body;
+  if (id != nullptr) {
+    body.emplace_back("id", *id);
+  }
+  body.emplace_back("ok", true);
+  for (const auto& [key, value] : inner.AsObject()) {
+    body.emplace_back(key, value);
+  }
+  return JsonValue(std::move(body)).Serialize();
+}
+
+}  // namespace
+
+Router::Router(const RouterOptions& options) : options_(options) {
+  for (std::size_t i = 0; i < options_.worker_ports.size(); i++) {
+    WorkerLinkOptions link;
+    link.port = options_.worker_ports[i];
+    link.pool_size = std::max<std::size_t>(1, options_.pool_size);
+    link.suspect_threshold = std::max(1, options_.suspect_threshold);
+    workers_.push_back(std::make_unique<WorkerLink>(i, link));
+    ring_.AddWorker(i);
+  }
+  requests_total_ = metrics_.GetCounter("gqd_cluster_requests_total");
+  failovers_total_ = metrics_.GetCounter("gqd_cluster_failovers_total");
+  sheds_total_ = metrics_.GetCounter("gqd_cluster_sheds_total");
+  all_down_total_ =
+      metrics_.GetCounter("gqd_cluster_all_replicas_down_total");
+  probes_ok_ =
+      metrics_.GetCounter("gqd_cluster_probes_total", {{"result", "ok"}});
+  probes_failed_ =
+      metrics_.GetCounter("gqd_cluster_probes_total", {{"result", "fail"}});
+  warm_replays_total_ = metrics_.GetCounter("gqd_cluster_warm_replays_total");
+  warm_lines_total_ = metrics_.GetCounter("gqd_cluster_warm_lines_total");
+  graph_loads_total_ = metrics_.GetCounter("gqd_cluster_graph_loads_total");
+  replicated_loads_total_ =
+      metrics_.GetCounter("gqd_cluster_replicated_loads_total");
+  request_latency_us_ =
+      metrics_.GetHistogram("gqd_cluster_request_latency_us");
+  UpdateStateGauges();
+}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start() {
+  if (workers_.empty()) {
+    return Status::InvalidArgument("router needs at least one worker port");
+  }
+  health_thread_ = std::thread([this] { HealthLoop(); });
+  return Status::OK();
+}
+
+void Router::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  health_cv_.notify_all();
+  if (health_thread_.joinable()) {
+    health_thread_.join();
+  }
+}
+
+std::string Router::ErrorLine(const JsonValue* id, const Status& status,
+                              std::int64_t retry_after_ms) const {
+  return ErrorBody(id, status, retry_after_ms).Serialize();
+}
+
+std::string Router::HandleLine(const std::string& line, bool* shutdown) {
+  auto start = std::chrono::steady_clock::now();
+  auto parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) {
+    return ErrorLine(nullptr, parsed.status());
+  }
+  if (!parsed.value().is_object()) {
+    return ErrorLine(nullptr,
+                     Status::InvalidArgument("request must be a JSON object"));
+  }
+  const JsonValue& request = parsed.value();
+  const JsonValue* id = request.Find("id");
+  auto cmd = request.GetString("cmd");
+  if (!cmd.ok()) {
+    return ErrorLine(id, cmd.status());
+  }
+  std::string response;
+  if (cmd.value() == "ping") {
+    response = OkLine(id, HandlePing());
+  } else if (cmd.value() == "stats") {
+    response = OkLine(id, HandleStats());
+  } else if (cmd.value() == "metrics") {
+    response = OkLine(id, HandleMetricsCmd());
+  } else if (cmd.value() == "shutdown") {
+    *shutdown = true;
+    response = HandleShutdown(id);
+  } else if (cmd.value() == "load") {
+    response = HandleLoad(request, id, line);
+  } else {
+    response = RouteGraphCommand(cmd.value(), request, id, line);
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  request_latency_us_->Observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count()));
+  return response;
+}
+
+JsonValue Router::HandlePing() const {
+  JsonValue::Object body;
+  body.emplace_back("pong", true);
+  body.emplace_back("role", "router");
+  body.emplace_back("workers", static_cast<double>(workers_.size()));
+  std::size_t routable = 0;
+  for (const auto& worker : workers_) {
+    if (worker->Routable()) {
+      routable++;
+    }
+  }
+  body.emplace_back("routable_workers", static_cast<double>(routable));
+  return JsonValue(std::move(body));
+}
+
+JsonValue Router::HandleStats() {
+  JsonValue::Array worker_array;
+  for (const auto& worker : workers_) {
+    JsonValue::Object entry;
+    entry.emplace_back("worker", static_cast<double>(worker->index()));
+    entry.emplace_back("port", static_cast<double>(worker->port()));
+    entry.emplace_back("state", WorkerStateName(worker->state()));
+    entry.emplace_back("requests", static_cast<double>(worker->requests()));
+    entry.emplace_back("failures", static_cast<double>(worker->failures()));
+    if (worker->Routable()) {
+      // The worker's own stats body, embedded verbatim so a fleet scrape
+      // is one round trip to the router.
+      auto stats = worker->Roundtrip("{\"cmd\":\"stats\"}");
+      if (stats.ok()) {
+        auto parsed = JsonValue::Parse(stats.value());
+        if (parsed.ok() && parsed.value().is_object()) {
+          if (const JsonValue* inner = parsed.value().Find("stats")) {
+            entry.emplace_back("stats", *inner);
+          }
+        }
+      }
+    }
+    worker_array.emplace_back(JsonValue(std::move(entry)));
+  }
+  Snapshot snap = GetSnapshot();
+  JsonValue::Object cluster;
+  cluster.emplace_back("requests", static_cast<double>(snap.requests));
+  cluster.emplace_back("failovers", static_cast<double>(snap.failovers));
+  cluster.emplace_back("sheds_returned",
+                       static_cast<double>(snap.sheds_returned));
+  cluster.emplace_back("all_down_returned",
+                       static_cast<double>(snap.all_down_returned));
+  cluster.emplace_back("warm_replays",
+                       static_cast<double>(snap.warm_replays));
+  cluster.emplace_back("warm_lines", static_cast<double>(snap.warm_lines));
+  JsonValue::Object body;
+  body.emplace_back("role", "router");
+  body.emplace_back("cluster", JsonValue(std::move(cluster)));
+  body.emplace_back("workers", JsonValue(std::move(worker_array)));
+  return JsonValue(std::move(body));
+}
+
+JsonValue Router::HandleMetricsCmd() {
+  // Aggregate fleet-reported totals into gauges at scrape time, then
+  // render everything as one gqd_cluster_* exposition.
+  for (const auto& worker : workers_) {
+    Gauge* reported = metrics_.GetGauge(
+        "gqd_cluster_worker_reported_requests",
+        {{"worker", WorkerLabel(worker->index())}});
+    if (!worker->Routable()) {
+      continue;
+    }
+    auto stats = worker->Roundtrip("{\"cmd\":\"stats\"}");
+    if (!stats.ok()) {
+      continue;
+    }
+    auto parsed = JsonValue::Parse(stats.value());
+    if (!parsed.ok() || !parsed.value().is_object()) {
+      continue;
+    }
+    const JsonValue* inner = parsed.value().Find("stats");
+    if (inner == nullptr || !inner->is_object()) {
+      continue;
+    }
+    auto total = inner->GetIntOr("total_requests", 0);
+    if (total.ok()) {
+      reported->Set(static_cast<double>(total.value()));
+    }
+  }
+  UpdateStateGauges();
+  JsonValue::Object body;
+  body.emplace_back("metrics", metrics_.RenderPrometheus());
+  return JsonValue(std::move(body));
+}
+
+std::string Router::HandleShutdown(const JsonValue* id) {
+  // Best-effort fleet shutdown before the front goes down; a dead worker
+  // is already stopped, so failures here are expected and ignored.
+  for (const auto& worker : workers_) {
+    if (worker->Routable()) {
+      (void)worker->Roundtrip("{\"cmd\":\"shutdown\"}");
+    }
+  }
+  Stop();
+  JsonValue::Object body;
+  if (id != nullptr) {
+    body.emplace_back("id", *id);
+  }
+  body.emplace_back("ok", true);
+  body.emplace_back("stopping", true);
+  body.emplace_back("role", "router");
+  return JsonValue(std::move(body)).Serialize();
+}
+
+std::string Router::HandleLoad(const JsonValue& request, const JsonValue* id,
+                               const std::string& line) {
+  auto name = request.GetString("name");
+  if (!name.ok()) {
+    return ErrorLine(id, name.status());
+  }
+  // Seed order: ring owners of the *name* (fingerprint is unknown until a
+  // worker has loaded the graph). Any live worker will do.
+  std::vector<std::size_t> seeds = ring_.Owners(name.value(), workers_.size());
+  std::string seed_response;
+  bool loaded = false;
+  for (std::size_t seed : seeds) {
+    WorkerLink& worker = *workers_[seed];
+    if (!worker.Routable()) {
+      continue;
+    }
+    requests_total_->Inc();
+    auto response = worker.Roundtrip(line);
+    if (!response.ok()) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      failovers_total_->Inc();
+      continue;
+    }
+    seed_response = response.value();
+    loaded = true;
+    break;
+  }
+  if (!loaded) {
+    all_down_returned_.fetch_add(1, std::memory_order_relaxed);
+    all_down_total_->Inc();
+    return ErrorLine(id,
+                     Status::Unavailable("no live worker accepted the load"),
+                     options_.retry_after_ms);
+  }
+  graph_loads_total_->Inc();
+  // A worker-side load error (bad graph text, missing file) is final —
+  // relay it without recording a route.
+  auto parsed = JsonValue::Parse(seed_response);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    return seed_response;
+  }
+  const JsonValue* ok_field = parsed.value().Find("ok");
+  if (ok_field == nullptr || !ok_field->is_bool() || !ok_field->AsBool()) {
+    return seed_response;
+  }
+  auto fingerprint = parsed.value().GetStringOr("fingerprint", "");
+  if (!fingerprint.ok() || fingerprint.value().empty()) {
+    return seed_response;
+  }
+  // Place on the ring by fingerprint and replicate to the R owners. The
+  // seed may not be an owner; the extra copy it holds is harmless.
+  std::vector<std::size_t> owners =
+      ring_.Owners(fingerprint.value(), options_.replication);
+  for (std::size_t owner : owners) {
+    WorkerLink& worker = *workers_[owner];
+    if (!worker.Routable()) {
+      continue;  // warm replay loads it when the worker rejoins
+    }
+    requests_total_->Inc();
+    if (worker.Roundtrip(line).ok()) {
+      replicated_loads_total_->Inc();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    table_[name.value()] =
+        RouteEntry{fingerprint.value(), line, std::move(owners)};
+  }
+  return seed_response;
+}
+
+std::vector<std::size_t> Router::OwnersFor(const std::string& graph) {
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    auto it = table_.find(graph);
+    if (it != table_.end()) {
+      return it->second.owners;
+    }
+  }
+  // Unknown to the router (e.g. identically pre-loaded workers): place by
+  // name so routing is still deterministic.
+  return ring_.Owners(graph, options_.replication);
+}
+
+std::string Router::RouteGraphCommand(const std::string& cmd,
+                                      const JsonValue& request,
+                                      const JsonValue* id,
+                                      const std::string& line) {
+  std::string graph;
+  if (const JsonValue* g = request.Find("graph");
+      g != nullptr && g->is_string()) {
+    graph = g->AsString();
+  }
+  std::vector<std::size_t> owners =
+      graph.empty() ? ring_.Owners(cmd, options_.replication)
+                    : OwnersFor(graph);
+  // Every routed command is a pure read, so any owner serves it with a
+  // bit-identical response. Prefer the least-loaded owner (in-flight
+  // count, i.e. pool pressure), breaking ties round-robin so an idle
+  // fleet still spreads; the rest of the list is the failover order.
+  if (owners.size() > 1) {
+    std::size_t shift =
+        read_rotation_.fetch_add(1, std::memory_order_relaxed) %
+        owners.size();
+    std::rotate(owners.begin(),
+                owners.begin() + static_cast<std::ptrdiff_t>(shift),
+                owners.end());
+    std::stable_sort(owners.begin(), owners.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return workers_[a]->in_flight() <
+                              workers_[b]->in_flight();
+                     });
+  }
+  bool table_routed = false;
+  if (!graph.empty()) {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    table_routed = table_.find(graph) != table_.end();
+  }
+  std::int64_t min_retry_hint = std::numeric_limits<std::int64_t>::max();
+  bool any_shed = false;
+  bool any_attempt = false;
+  for (std::size_t attempt = 0; attempt < owners.size(); attempt++) {
+    WorkerLink& worker = *workers_[owners[attempt]];
+    if (!worker.Routable()) {
+      continue;
+    }
+    if (any_attempt) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      failovers_total_->Inc();
+    }
+    any_attempt = true;
+    requests_total_->Inc();
+    auto response = worker.Roundtrip(line);
+    if (!response.ok()) {
+      continue;  // transport failure (possibly mid-request): next replica
+    }
+    ResponseClass cls = ClassifyWorkerResponse(response.value());
+    if (cls.shed) {
+      any_shed = true;
+      if (cls.retry_after_ms >= 0) {
+        min_retry_hint = std::min(min_retry_hint, cls.retry_after_ms);
+      }
+      continue;  // an overloaded replica is not the only replica
+    }
+    if (cls.not_found && table_routed) {
+      // The routing table says this owner holds the graph but the worker
+      // does not know it — it restarted and lost its registry. Flag it so
+      // the health loop re-warms it, and serve from a replica meanwhile.
+      worker.RecordFailure();
+      continue;
+    }
+    if (cmd == "eval" || cmd == "check") {
+      RecordEvalForWarmup(graph, line);
+    }
+    return response.value();
+  }
+  if (any_shed) {
+    sheds_returned_.fetch_add(1, std::memory_order_relaxed);
+    sheds_total_->Inc();
+    std::int64_t hint =
+        min_retry_hint == std::numeric_limits<std::int64_t>::max()
+            ? options_.retry_after_ms
+            : min_retry_hint;
+    return ErrorLine(id, Status::Unavailable("all replicas shed the request"),
+                     hint);
+  }
+  all_down_returned_.fetch_add(1, std::memory_order_relaxed);
+  all_down_total_->Inc();
+  return ErrorLine(
+      id, Status::Unavailable("all replicas for this shard are down"),
+      options_.retry_after_ms);
+}
+
+void Router::RecordEvalForWarmup(const std::string& graph,
+                                 const std::string& line) {
+  if (graph.empty() || options_.warm_log_capacity == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  warm_log_.push_back(WarmEntry{graph, line});
+  while (warm_log_.size() > options_.warm_log_capacity) {
+    warm_log_.pop_front();
+  }
+}
+
+void Router::HealthLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    for (auto& worker : workers_) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        return;
+      }
+      bool alive = worker->Probe();
+      if (alive) {
+        probes_ok_->Inc();
+      } else {
+        probes_failed_->Inc();
+      }
+      WorkerState state = worker->state();
+      if (!alive) {
+        if (state != WorkerState::kRejoining) {
+          worker->RecordFailure();
+        }
+        continue;
+      }
+      if (state == WorkerState::kHealthy) {
+        worker->RecordSuccess();
+        continue;
+      }
+      // suspect or dead and answering probes again: warm before serving.
+      // (A transient blip passes through the same path; the replay is a
+      // handful of idempotent loads, so correctness never depends on
+      // guessing whether state was really lost.)
+      if (worker->BeginRejoin()) {
+        if (WarmWorker(*worker)) {
+          worker->CompleteRejoin();
+          warm_replays_.fetch_add(1, std::memory_order_relaxed);
+          warm_replays_total_->Inc();
+        } else {
+          worker->AbortRejoin();
+        }
+      }
+    }
+    UpdateStateGauges();
+    std::unique_lock<std::mutex> lock(health_mutex_);
+    health_cv_.wait_for(lock,
+                        std::chrono::milliseconds(options_.probe_interval_ms),
+                        [this] { return stopping_.load(); });
+  }
+}
+
+bool Router::WarmWorker(WorkerLink& worker) {
+  // Snapshot the shards this worker owns and the recent eval traffic for
+  // them, then replay: loads first (registry state), evals after (result
+  // cache). Replays bypass the state machine's Routable() gate because
+  // the worker is deliberately kRejoining while we feed it.
+  std::vector<std::string> lines;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    for (const auto& [name, entry] : table_) {
+      if (std::find(entry.owners.begin(), entry.owners.end(),
+                    worker.index()) != entry.owners.end()) {
+        lines.push_back(entry.load_line);
+      }
+    }
+    for (const WarmEntry& entry : warm_log_) {
+      auto it = table_.find(entry.graph);
+      if (it == table_.end()) {
+        continue;
+      }
+      const auto& owners = it->second.owners;
+      if (std::find(owners.begin(), owners.end(), worker.index()) !=
+          owners.end()) {
+        lines.push_back(entry.line);
+      }
+    }
+  }
+  for (const std::string& line : lines) {
+    auto response = worker.Roundtrip(line);
+    if (!response.ok()) {
+      return false;
+    }
+    warm_lines_.fetch_add(1, std::memory_order_relaxed);
+    warm_lines_total_->Inc();
+  }
+  return true;
+}
+
+void Router::UpdateStateGauges() {
+  std::size_t counts[4] = {0, 0, 0, 0};
+  for (const auto& worker : workers_) {
+    counts[static_cast<int>(worker->state())]++;
+    metrics_
+        .GetGauge("gqd_cluster_worker_up",
+                  {{"worker", WorkerLabel(worker->index())}})
+        ->Set(worker->Routable() ? 1.0 : 0.0);
+    metrics_
+        .GetGauge("gqd_cluster_worker_requests",
+                  {{"worker", WorkerLabel(worker->index())}})
+        ->Set(static_cast<double>(worker->requests()));
+  }
+  const char* names[4] = {"healthy", "suspect", "dead", "rejoining"};
+  for (int s = 0; s < 4; s++) {
+    metrics_.GetGauge("gqd_cluster_workers", {{"state", names[s]}})
+        ->Set(static_cast<double>(counts[s]));
+  }
+}
+
+Router::Snapshot Router::GetSnapshot() const {
+  Snapshot snap;
+  for (const auto& worker : workers_) {
+    snap.requests += worker->requests();
+    snap.worker_states.push_back(worker->state());
+    snap.worker_requests.push_back(worker->requests());
+  }
+  snap.failovers = failovers_.load(std::memory_order_relaxed);
+  snap.sheds_returned = sheds_returned_.load(std::memory_order_relaxed);
+  snap.all_down_returned = all_down_returned_.load(std::memory_order_relaxed);
+  snap.warm_replays = warm_replays_.load(std::memory_order_relaxed);
+  snap.warm_lines = warm_lines_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace gqd

@@ -1,0 +1,184 @@
+// The cluster routing front: a LineHandler that consistent-hashes
+// requests on graph fingerprint across a fleet of `gqd serve` workers.
+//
+// Topology (docs/runtime.md): clients speak the ordinary newline-JSON
+// protocol to a front Server hosting a Router; the Router forwards each
+// request to a backend worker chosen by HashRing::Owners(fingerprint, R)
+// and relays the response verbatim. Because every worker computes
+// deterministic verdicts, a response is bit-identical no matter which
+// replica served it — failover is invisible to clients.
+//
+// Placement: `load` is forwarded to a seed worker to learn the graph's
+// fingerprint (GraphRegistry computes it), then replayed to the R ring
+// owners and recorded in the routing table (name → fingerprint, owners,
+// load line). Graph commands rotate round-robin across the R owners —
+// every routed command is a pure read, so spreading across replicas is
+// free capacity — and fail over through the rest of the owner list.
+// Unknown graph names fall back to hashing the name itself, which keeps
+// identically pre-loaded fleets routable.
+//
+// Failover: a transport error (worker died, possibly mid-request) records
+// a health failure and retries the next replica — queries are pure, so
+// re-execution is safe. A shed (Unavailable) tries the next replica
+// immediately and only returns Unavailable to the client when every
+// routable replica shed, with the smallest per-worker retry_after_ms
+// hint. When all replicas are down the client sees Unavailable with a
+// retry hint, never a hang.
+//
+// Health: a background loop probes every worker each probe_interval_ms
+// (ping bypasses worker admission, so saturation is not death). Probe
+// failures drive healthy → suspect → dead; a probe success from suspect
+// or dead claims rejoining, replays the router's load log and recent eval
+// log for the shards the worker owns (cache warming), then restores
+// healthy. Rejoining workers take no traffic.
+
+#ifndef GQD_CLUSTER_ROUTER_H_
+#define GQD_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "cluster/worker_link.h"
+#include "obs/metrics.h"
+#include "runtime/json.h"
+#include "runtime/line_handler.h"
+
+namespace gqd {
+
+struct RouterOptions {
+  /// Backend worker ports (127.0.0.1). Fleet membership is fixed for the
+  /// router's lifetime; crashes are handled by health state, not removal.
+  std::vector<std::uint16_t> worker_ports;
+  /// Replication factor R: each graph is loaded on R ring owners. Clamped
+  /// to the fleet size.
+  std::size_t replication = 2;
+  /// Pooled connections per worker (= per-worker in-flight cap).
+  std::size_t pool_size = 4;
+  /// Health-probe period.
+  int probe_interval_ms = 50;
+  /// Consecutive failures before a suspect worker is declared dead.
+  int suspect_threshold = 3;
+  /// Recent eval/check lines kept for cache warming on rejoin.
+  std::size_t warm_log_capacity = 128;
+  /// Fallback retry hint when the fleet is down and no worker supplied
+  /// one.
+  int retry_after_ms = 50;
+};
+
+class Router : public LineHandler {
+ public:
+  explicit Router(const RouterOptions& options);
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Starts the health loop. Workers need not be up yet — they enter
+  /// through the probe/rejoin path as they come online.
+  Status Start();
+  /// Stops the health loop. Idempotent.
+  void Stop();
+
+  std::string HandleLine(const std::string& line, bool* shutdown) override;
+
+  /// Point-in-time cluster counters (also exported as gqd_cluster_*).
+  struct Snapshot {
+    std::uint64_t requests = 0;        ///< lines routed to workers
+    std::uint64_t failovers = 0;       ///< replica-to-replica retries
+    std::uint64_t sheds_returned = 0;  ///< all replicas shed → client
+    std::uint64_t all_down_returned = 0;
+    std::uint64_t warm_replays = 0;    ///< rejoin warm cycles completed
+    std::uint64_t warm_lines = 0;      ///< lines replayed while warming
+    std::vector<WorkerState> worker_states;
+    std::vector<std::uint64_t> worker_requests;
+  };
+  Snapshot GetSnapshot() const;
+
+  WorkerState worker_state(std::size_t i) const {
+    return workers_[i]->state();
+  }
+  std::size_t worker_count() const { return workers_.size(); }
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct RouteEntry {
+    std::string fingerprint;
+    std::string load_line;  ///< replayed to warm a rejoining owner
+    std::vector<std::size_t> owners;
+  };
+  struct WarmEntry {
+    std::string graph;
+    std::string line;
+  };
+
+  JsonValue HandlePing() const;
+  JsonValue HandleStats();
+  JsonValue HandleMetricsCmd();
+  std::string HandleShutdown(const JsonValue* id);
+  std::string HandleLoad(const JsonValue& request, const JsonValue* id,
+                         const std::string& line);
+  std::string RouteGraphCommand(const std::string& cmd,
+                                const JsonValue& request, const JsonValue* id,
+                                const std::string& line);
+
+  /// Owners for `graph` from the routing table, or the name-hash fallback.
+  std::vector<std::size_t> OwnersFor(const std::string& graph);
+  std::string ErrorLine(const JsonValue* id, const Status& status,
+                        std::int64_t retry_after_ms = -1) const;
+
+  void HealthLoop();
+  /// Replays load lines + the recent eval log for shards `worker` owns.
+  /// True when every line round-tripped.
+  bool WarmWorker(WorkerLink& worker);
+  void RecordEvalForWarmup(const std::string& graph, const std::string& line);
+  void UpdateStateGauges();
+
+  const RouterOptions options_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<WorkerLink>> workers_;
+
+  mutable std::mutex table_mutex_;
+  std::unordered_map<std::string, RouteEntry> table_;
+  std::deque<WarmEntry> warm_log_;
+
+  /// Round-robin cursor spreading reads across each shard's R owners.
+  std::atomic<std::uint64_t> read_rotation_{0};
+
+  std::atomic<bool> stopping_{false};
+  std::mutex health_mutex_;
+  std::condition_variable health_cv_;
+  std::thread health_thread_;
+
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> sheds_returned_{0};
+  std::atomic<std::uint64_t> all_down_returned_{0};
+  std::atomic<std::uint64_t> warm_replays_{0};
+  std::atomic<std::uint64_t> warm_lines_{0};
+
+  MetricsRegistry metrics_;
+  Counter* requests_total_;
+  Counter* failovers_total_;
+  Counter* sheds_total_;
+  Counter* all_down_total_;
+  Counter* probes_ok_;
+  Counter* probes_failed_;
+  Counter* warm_replays_total_;
+  Counter* warm_lines_total_;
+  Counter* graph_loads_total_;
+  Counter* replicated_loads_total_;
+  Histogram* request_latency_us_;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_CLUSTER_ROUTER_H_

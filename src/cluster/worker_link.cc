@@ -1,0 +1,167 @@
+#include "cluster/worker_link.h"
+
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace gqd {
+
+namespace {
+
+// Router-side fault sites. Like the client.* sites these are
+// connection-local: a fired site fails one round trip (closing the pooled
+// connection so the next checkout reconnects fresh) and the router fails
+// the request over to a replica. cluster.read models a mid-request worker
+// kill — the request may have executed on the worker, so failover
+// re-executes it on a replica; queries are pure, so that is safe.
+GQD_FAILPOINT_DEFINE(fp_cluster_connect, "cluster.connect");
+GQD_FAILPOINT_DEFINE(fp_cluster_write, "cluster.write");
+GQD_FAILPOINT_DEFINE(fp_cluster_read, "cluster.read");
+// Health-probe loss: a fired probe reports failure even if the worker is
+// up, driving the healthy → suspect → dead path without killing anything.
+GQD_FAILPOINT_DEFINE(fp_cluster_probe, "cluster.probe");
+
+}  // namespace
+
+const char* WorkerStateName(WorkerState state) {
+  switch (state) {
+    case WorkerState::kHealthy:
+      return "healthy";
+    case WorkerState::kSuspect:
+      return "suspect";
+    case WorkerState::kDead:
+      return "dead";
+    case WorkerState::kRejoining:
+      return "rejoining";
+  }
+  return "unknown";
+}
+
+WorkerLink::WorkerLink(std::size_t index, const WorkerLinkOptions& options)
+    : index_(index), options_(options) {
+  for (std::size_t i = 0; i < options_.pool_size; i++) {
+    pool_.push_back(std::make_unique<LineClient>());
+  }
+}
+
+std::unique_ptr<LineClient> WorkerLink::Checkout() {
+  std::unique_lock<std::mutex> lock(pool_mutex_);
+  pool_available_.wait(lock, [this] { return !pool_.empty(); });
+  std::unique_ptr<LineClient> client = std::move(pool_.back());
+  pool_.pop_back();
+  return client;
+}
+
+void WorkerLink::Checkin(std::unique_ptr<LineClient> client) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_.push_back(std::move(client));
+  }
+  pool_available_.notify_one();
+}
+
+/// Decrements the in-flight gauge on every Roundtrip exit path.
+struct InFlightGuard {
+  explicit InFlightGuard(std::atomic<int>* gauge) : gauge(gauge) {
+    gauge->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InFlightGuard() { gauge->fetch_sub(1, std::memory_order_relaxed); }
+  std::atomic<int>* gauge;
+};
+
+Result<std::string> WorkerLink::Roundtrip(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  InFlightGuard in_flight(&in_flight_);
+  std::unique_ptr<LineClient> client = Checkout();
+  auto fail = [this, &client](Status status) -> Result<std::string> {
+    client->Close();
+    Checkin(std::move(client));
+    RecordFailure();
+    return status;
+  };
+  if (GQD_FAILPOINT_FIRED(fp_cluster_connect)) {
+    return fail(Status::IOError(
+        "injected worker connect failure (failpoint cluster.connect)"));
+  }
+  if (!client->connected()) {
+    Status status = client->Connect(options_.port);
+    if (!status.ok()) {
+      return fail(std::move(status));
+    }
+  }
+  if (GQD_FAILPOINT_FIRED(fp_cluster_write)) {
+    return fail(Status::IOError(
+        "injected worker write failure (failpoint cluster.write)"));
+  }
+  Result<std::string> response = client->Call(line);
+  if (response.ok() && GQD_FAILPOINT_FIRED(fp_cluster_read)) {
+    response = Result<std::string>(Status::IOError(
+        "injected worker read failure (failpoint cluster.read)"));
+  }
+  if (!response.ok()) {
+    return fail(response.status());
+  }
+  Checkin(std::move(client));
+  RecordSuccess();
+  return response;
+}
+
+bool WorkerLink::Probe() {
+  if (GQD_FAILPOINT_FIRED(fp_cluster_probe)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  if (!probe_client_.connected()) {
+    if (!probe_client_.Connect(options_.port).ok()) {
+      return false;
+    }
+  }
+  Result<std::string> pong = probe_client_.Call("{\"cmd\":\"ping\"}");
+  if (!pong.ok()) {
+    probe_client_.Close();
+    return false;
+  }
+  return pong.value().find("\"pong\":true") != std::string::npos;
+}
+
+void WorkerLink::RecordFailure() {
+  failures_total_.fetch_add(1, std::memory_order_relaxed);
+  int failures = consecutive_failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  int healthy = static_cast<int>(WorkerState::kHealthy);
+  state_.compare_exchange_strong(healthy,
+                                 static_cast<int>(WorkerState::kSuspect),
+                                 std::memory_order_acq_rel);
+  if (failures >= options_.suspect_threshold) {
+    int suspect = static_cast<int>(WorkerState::kSuspect);
+    state_.compare_exchange_strong(suspect,
+                                   static_cast<int>(WorkerState::kDead),
+                                   std::memory_order_acq_rel);
+  }
+}
+
+void WorkerLink::RecordSuccess() {
+  consecutive_failures_.store(0, std::memory_order_release);
+}
+
+bool WorkerLink::BeginRejoin() {
+  int suspect = static_cast<int>(WorkerState::kSuspect);
+  int dead = static_cast<int>(WorkerState::kDead);
+  int rejoining = static_cast<int>(WorkerState::kRejoining);
+  return state_.compare_exchange_strong(suspect, rejoining,
+                                        std::memory_order_acq_rel) ||
+         state_.compare_exchange_strong(dead, rejoining,
+                                        std::memory_order_acq_rel);
+}
+
+void WorkerLink::CompleteRejoin() {
+  consecutive_failures_.store(0, std::memory_order_release);
+  state_.store(static_cast<int>(WorkerState::kHealthy),
+               std::memory_order_release);
+}
+
+void WorkerLink::AbortRejoin() {
+  state_.store(static_cast<int>(WorkerState::kDead),
+               std::memory_order_release);
+}
+
+}  // namespace gqd

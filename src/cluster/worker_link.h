@@ -1,0 +1,134 @@
+// The router's view of one backend `gqd serve` worker: a fixed-size
+// connection pool plus the health state machine.
+//
+// Connections: LineClient is single-threaded, so the link owns `pool_size`
+// clients behind a checkout/checkin gate. The fixed pool doubles as the
+// per-worker concurrency model — at most `pool_size` requests are in
+// flight against a worker, and callers beyond that queue at the router
+// rather than piling onto a backend that is already saturated.
+//
+// Health states (docs/robustness.md):
+//
+//   healthy ──failure──▶ suspect ──N consecutive failures──▶ dead
+//      ▲                    │                                  │
+//      └── warm replay ── rejoining ◀──── probe succeeds ──────┘
+//
+// Any failure (failed probe or a transport error on a routed request)
+// moves healthy → suspect immediately; `suspect_threshold` consecutive
+// failures latch dead. A successful probe from suspect or dead always
+// passes through rejoining — the router replays its load/eval log before
+// the worker takes traffic again, so a worker that restarted with an
+// empty registry can never serve "unknown graph" to a client. Requests
+// route to healthy and suspect workers only.
+
+#ifndef GQD_CLUSTER_WORKER_LINK_H_
+#define GQD_CLUSTER_WORKER_LINK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/client.h"
+
+namespace gqd {
+
+enum class WorkerState : int { kHealthy = 0, kSuspect, kDead, kRejoining };
+
+const char* WorkerStateName(WorkerState state);
+
+struct WorkerLinkOptions {
+  std::uint16_t port = 0;
+  /// Pooled connections == max in-flight requests against this worker.
+  std::size_t pool_size = 4;
+  /// Consecutive failures before suspect latches dead.
+  int suspect_threshold = 3;
+};
+
+class WorkerLink {
+ public:
+  WorkerLink(std::size_t index, const WorkerLinkOptions& options);
+
+  WorkerLink(const WorkerLink&) = delete;
+  WorkerLink& operator=(const WorkerLink&) = delete;
+
+  std::size_t index() const { return index_; }
+  std::uint16_t port() const { return options_.port; }
+
+  /// One request/response round trip on a pooled connection (connecting
+  /// lazily). Blocks while all pooled connections are in flight. Any
+  /// transport failure closes the connection, records a health failure
+  /// and returns the error — the caller fails over to a replica.
+  Result<std::string> Roundtrip(const std::string& line);
+
+  /// Health probe on a dedicated (non-pooled) connection so probes are
+  /// never starved by a saturated pool: sends {"cmd":"ping"}, which
+  /// bypasses worker admission, so an overloaded-but-alive worker still
+  /// probes healthy. Returns true on a pong. Does NOT record failures —
+  /// the health loop owns that policy.
+  bool Probe();
+
+  WorkerState state() const {
+    return static_cast<WorkerState>(state_.load(std::memory_order_acquire));
+  }
+  /// Healthy or suspect: may take routed traffic.
+  bool Routable() const {
+    WorkerState s = state();
+    return s == WorkerState::kHealthy || s == WorkerState::kSuspect;
+  }
+
+  /// healthy → suspect; suspect/rejoining stay but count; the
+  /// `suspect_threshold`-th consecutive failure latches dead.
+  void RecordFailure();
+  /// Resets the consecutive-failure count (request succeeded).
+  void RecordSuccess();
+  /// suspect/dead → rejoining. Returns false if the state changed under
+  /// us (another thread already claimed the rejoin).
+  bool BeginRejoin();
+  /// rejoining → healthy (warm replay done).
+  void CompleteRejoin();
+  /// rejoining → dead (warm replay failed; wait for the next probe).
+  void AbortRejoin();
+
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  /// Requests currently inside Roundtrip (in flight or waiting for a
+  /// pooled connection) — the router's load-balancing signal.
+  int in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t failures() const {
+    return failures_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class PooledConnection;
+
+  std::unique_ptr<LineClient> Checkout();
+  void Checkin(std::unique_ptr<LineClient> client);
+
+  const std::size_t index_;
+  const WorkerLinkOptions options_;
+
+  std::mutex pool_mutex_;
+  std::condition_variable pool_available_;
+  std::vector<std::unique_ptr<LineClient>> pool_;
+
+  std::mutex probe_mutex_;
+  LineClient probe_client_;
+
+  std::atomic<int> state_{static_cast<int>(WorkerState::kHealthy)};
+  std::atomic<int> consecutive_failures_{0};
+  std::atomic<int> in_flight_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> failures_total_{0};
+};
+
+}  // namespace gqd
+
+#endif  // GQD_CLUSTER_WORKER_LINK_H_

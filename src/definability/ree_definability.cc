@@ -53,8 +53,9 @@ struct BigRelationOps {
   bool Subset(const Rel& a, const Rel& b) const { return a.IsSubsetOf(b); }
   void UnionInto(Rel* a, const Rel& b) const { a->UnionWith(b); }
   bool Equal(const Rel& a, const Rel& b) const { return a == b; }
-  /// Approximate bytes one materialized relation costs (budget accounting).
-  std::size_t RelBytes() const {
+  /// Actual bytes one materialized relation costs (budget accounting):
+  /// dense rows are fixed-size, so the n²-bit matrix is exact.
+  std::size_t ElementBytes(const Rel& /*rel*/) const {
     std::size_t n = graph->NumNodes();
     return sizeof(Rel) + n * ((n + 63) / 64) * sizeof(std::uint64_t);
   }
@@ -88,13 +89,13 @@ struct BlockedRelationOps {
   bool Subset(const Rel& a, const Rel& b) const { return a.IsSubsetOf(b); }
   void UnionInto(Rel* a, const Rel& b) const { a->UnionWith(b); }
   bool Equal(const Rel& a, const Rel& b) const { return a == b; }
-  /// Nominal per-element budget charge. Blocked rows size with content —
-  /// the array floor (8 entries/row) plus container bookkeeping stands in
-  /// for the typical sparse monoid element; byte-budget trip points are
-  /// therefore representation-specific, like the k-REM tuple stores.
-  std::size_t RelBytes() const {
-    std::size_t n = graph->NumNodes();
-    return sizeof(Rel) + n * (8 * sizeof(NodeId) + 2 * sizeof(void*));
+  /// Actual per-element budget charge: blocked rows size with content, so
+  /// the container's own heap accounting is the honest cost — a
+  /// near-empty relation charges a few rows, a dense-ish one its bitmap
+  /// blocks. Byte-budget trip points are therefore representation-exact,
+  /// not a nominal per-element constant.
+  std::size_t ElementBytes(const Rel& rel) const {
+    return sizeof(Rel) + rel.ByteSize();
   }
 };
 
@@ -115,7 +116,7 @@ struct SmallRelationOps {
   bool Subset(Rel a, Rel b) const { return space->IsSubsetOf(a, b); }
   void UnionInto(Rel* a, Rel b) const { *a |= b; }
   bool Equal(Rel a, Rel b) const { return a == b; }
-  std::size_t RelBytes() const { return sizeof(Rel); }
+  std::size_t ElementBytes(Rel /*rel*/) const { return sizeof(Rel); }
 };
 
 /// How a monoid element was derived. The closure attempts |M|·|gens|
@@ -161,10 +162,16 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
   std::vector<bool> is_gen;
   std::vector<std::size_t> applied;
 
-  // Per-element budget charge: the relation itself plus the interner's
-  // per-element bookkeeping (hash, slot, derivation, flags).
-  const std::size_t element_bytes =
-      ops.RelBytes() + 3 * sizeof(std::size_t) + sizeof(Derivation);
+  // The monoid cap reuses ResourceBudget accounting: the bytes axis caps
+  // the *actual* representation size of the interned elements (exact for
+  // dense, the container's heap footprint for blocked), the tuples axis
+  // keeps the legacy element-count cap. Tripping either stops the closure
+  // with a partial-progress verdict, exactly like an options.budget trip.
+  const ResourceBudget monoid_budget(options.max_monoid_bytes,
+                                     options.max_monoid_size);
+  // Interner bookkeeping per element (hash, slot, derivation, flags).
+  const std::size_t bookkeeping_bytes =
+      3 * sizeof(std::size_t) + sizeof(Derivation);
 
   auto add_element = [&](Rel rel, Derivation derivation) -> std::size_t {
     std::size_t hash = typename Ops::Hash{}(rel);
@@ -184,6 +191,10 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
     applied.push_back(0);
     is_gen.push_back(false);
     slots[pos] = index + 1;
+    const std::size_t element_bytes =
+        ops.ElementBytes(elements.back()) + bookkeeping_bytes;
+    monoid_budget.ChargeBytes(static_cast<std::int64_t>(element_bytes));
+    monoid_budget.ChargeTuples(1);
     if (options.budget != nullptr) {
       options.budget->ChargeBytes(static_cast<std::int64_t>(element_bytes));
       options.budget->ChargeTuples(1);
@@ -221,6 +232,7 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
   bool expired = false;
   bool injected = false;
   bool budget_tripped = false;
+  bool monoid_tripped = false;
   auto close = [&]() -> bool {
     GQD_TRACE_SPAN(round_span, "ree.closure_round");
     GQD_TRACE_SPAN_ATTR(round_span, "elements_before", elements.size());
@@ -250,7 +262,8 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
           if (elements.size() > before) {
             progress = true;
           }
-          if (elements.size() > options.max_monoid_size) {
+          if (elements.size() > before && monoid_budget.Exhausted()) {
+            monoid_tripped = true;
             return false;
           }
         }
@@ -260,8 +273,8 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
   };
 
   // Maps a failed close() to the corresponding outcome: cancellation,
-  // injected fault, ResourceBudget trip (with partial progress), or the
-  // legacy max_monoid_size cap.
+  // injected fault, ResourceBudget trip, or the monoid byte/count cap —
+  // both budget paths report partial progress.
   auto closure_failure = [&]() -> Result<ReeDefinabilityResult> {
     if (expired) {
       return options.cancel->Check();
@@ -277,6 +290,10 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
       result.partial =
           PartialProgress{elements.size(), result.levels_used,
                           options.budget->bytes_peak(), "ree-closure"};
+    } else if (monoid_tripped || monoid_budget.Exhausted()) {
+      result.partial =
+          PartialProgress{elements.size(), result.levels_used,
+                          monoid_budget.bytes_peak(), "ree-monoid"};
     }
     return result;
   };
@@ -302,10 +319,9 @@ Result<ReeDefinabilityResult> RunLevelAlgorithm(
         budget_tripped = true;
         return closure_failure();
       }
-      if (elements.size() > options.max_monoid_size) {
-        result.verdict = DefinabilityVerdict::kBudgetExhausted;
-        result.monoid_size = elements.size();
-        return result;
+      if (monoid_budget.Exhausted()) {
+        monoid_tripped = true;
+        return closure_failure();
       }
     }
     if (elements.size() == before) {

@@ -53,8 +53,18 @@ enum class ReeEngine {
 };
 
 struct ReeDefinabilityOptions {
-  /// Maximum number of distinct relations to materialize in the monoid.
+  /// Maximum number of distinct relations to materialize in the monoid
+  /// (0 = unlimited). A secondary cap; max_monoid_bytes is the primary
+  /// guard because blocked-relation elements vary in size by orders of
+  /// magnitude, so a count bounds memory only for dense backends.
   std::size_t max_monoid_size = 200'000;
+  /// Maximum bytes of monoid storage (0 = unlimited), accounted by each
+  /// element's *actual* representation size (BlockedBinaryRelation's
+  /// heap footprint for sparse backends, the n²-bit matrix for dense)
+  /// through an internal ResourceBudget. Tripping either monoid cap stops
+  /// the closure cleanly with verdict kBudgetExhausted and a populated
+  /// `partial` report (stage "ree-monoid").
+  std::size_t max_monoid_bytes = std::size_t{1} << 30;
   /// Maximum restriction levels; 0 means the paper's bound n².
   std::size_t max_levels = 0;
   /// Relation machinery; kPlanned unless you are cross-checking.
@@ -76,8 +86,9 @@ struct ReeDefinabilityResult {
   std::size_t monoid_size = 0;
   /// A defining REE (populated iff verdict == kDefinable and S non-empty).
   ReePtr defining_expression;
-  /// Set iff an options.budget trip stopped the closure: how far it got.
-  /// (The legacy max_monoid_size cap reports kBudgetExhausted without this.)
+  /// Set iff a budget trip stopped the closure: how far it got. Stage
+  /// "ree-closure" marks an options.budget trip, "ree-monoid" a
+  /// max_monoid_bytes / max_monoid_size trip.
   std::optional<PartialProgress> partial;
 };
 

@@ -106,10 +106,16 @@
 #include "runtime/client.h"          // IWYU pragma: export
 #include "runtime/graph_registry.h"  // IWYU pragma: export
 #include "runtime/json.h"            // IWYU pragma: export
+#include "runtime/line_handler.h"    // IWYU pragma: export
 #include "runtime/result_cache.h"    // IWYU pragma: export
 #include "runtime/server.h"          // IWYU pragma: export
 #include "runtime/service.h"         // IWYU pragma: export
 #include "runtime/stats.h"           // IWYU pragma: export
 #include "common/thread_pool.h"      // IWYU pragma: export
+
+// Cluster serving (gqd route).
+#include "cluster/hash_ring.h"    // IWYU pragma: export
+#include "cluster/router.h"       // IWYU pragma: export
+#include "cluster/worker_link.h"  // IWYU pragma: export
 
 #endif  // GQD_GQD_H_

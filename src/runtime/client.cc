@@ -98,8 +98,10 @@ Result<std::string> LineClient::Call(const std::string& line) {
   framed += '\n';
   std::size_t written = 0;
   while (written < framed.size()) {
-    ssize_t w = ::write(fd_, framed.data() + written,
-                        framed.size() - written);
+    // MSG_NOSIGNAL: a worker killed mid-conversation must surface as an
+    // IOError the caller can fail over from, not a process-wide SIGPIPE.
+    ssize_t w = ::send(fd_, framed.data() + written,
+                       framed.size() - written, MSG_NOSIGNAL);
     if (w <= 0) {
       return Status::IOError(std::string("write: ") + std::strerror(errno));
     }
@@ -151,14 +153,21 @@ Result<std::string> LineClient::CallWithRetry(const std::string& line,
     if (attempt + 1 == attempts) {
       break;
     }
-    auto backoff = policy.initial_backoff * (std::int64_t{1} << attempt);
-    backoff = std::min<std::chrono::milliseconds>(backoff, policy.max_backoff);
+    std::chrono::milliseconds backoff{};
+    if (retry_after_ms >= 0) {
+      // The server told us when it expects capacity; honour that schedule
+      // (it may be shorter than the exponential one — an overloaded server
+      // draining a burst wants the retry soon, not in 2^i * initial).
+      // Keep up to 50% jitter so a shed burst does not retry in lockstep.
+      backoff = std::chrono::milliseconds(retry_after_ms);
+    } else {
+      backoff = policy.initial_backoff * (std::int64_t{1} << attempt);
+      backoff =
+          std::min<std::chrono::milliseconds>(backoff, policy.max_backoff);
+    }
     if (backoff.count() > 0) {
       backoff += std::chrono::milliseconds(static_cast<std::int64_t>(
           rng() % static_cast<std::uint64_t>(backoff.count() / 2 + 1)));
-    }
-    if (retry_after_ms > backoff.count()) {
-      backoff = std::chrono::milliseconds(retry_after_ms);
     }
     if (backoff.count() > 0) {
       std::this_thread::sleep_for(backoff);

@@ -21,8 +21,10 @@
 namespace gqd {
 
 /// Backoff schedule for CallWithRetry. Attempt i sleeps
-/// min(initial_backoff * 2^i, max_backoff) plus up to 50% seeded jitter;
-/// a server retry_after_ms hint raises (never lowers) the sleep.
+/// min(initial_backoff * 2^i, max_backoff) plus up to 50% seeded jitter.
+/// When a shed response carries a retry_after_ms hint, the hint (plus the
+/// same jitter) replaces the exponential sleep entirely — the server knows
+/// when it expects capacity better than a client-side schedule does.
 struct RetryPolicy {
   int max_attempts = 5;
   std::chrono::milliseconds initial_backoff{10};

@@ -1,0 +1,30 @@
+// The protocol-handler seam between the TCP server and whatever speaks
+// the newline-delimited JSON protocol behind it.
+//
+// `Server` owns sockets and framing only; each complete request line is
+// handed to a `LineHandler` which returns the response line (without the
+// trailing newline). `QueryService` is the single-process handler; the
+// cluster `Router` implements the same interface so a front process can
+// proxy lines to a worker fleet without the server knowing the difference.
+
+#ifndef GQD_RUNTIME_LINE_HANDLER_H_
+#define GQD_RUNTIME_LINE_HANDLER_H_
+
+#include <string>
+
+namespace gqd {
+
+class LineHandler {
+ public:
+  virtual ~LineHandler() = default;
+
+  /// Handles one complete request line and returns the response line.
+  /// Sets `*shutdown` to true when the request asks the hosting server to
+  /// stop after the response is flushed. Must be safe to call from many
+  /// connection threads concurrently.
+  virtual std::string HandleLine(const std::string& line, bool* shutdown) = 0;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_RUNTIME_LINE_HANDLER_H_

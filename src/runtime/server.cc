@@ -107,7 +107,10 @@ void Server::ServeConnection(int fd) {
     }
     std::size_t written = 0;
     while (written < data.size()) {
-      ssize_t w = ::write(fd, data.data() + written, data.size() - written);
+      // MSG_NOSIGNAL: a client that vanished mid-response is this
+      // connection's problem, not a process-wide SIGPIPE.
+      ssize_t w = ::send(fd, data.data() + written, data.size() - written,
+                         MSG_NOSIGNAL);
       if (w <= 0) {
         return false;
       }
@@ -132,7 +135,7 @@ void Server::ServeConnection(int fd) {
         continue;  // tolerate blank lines (e.g. \r\n keepalives)
       }
       bool shutdown = false;
-      std::string response = service_->HandleLine(line, &shutdown);
+      std::string response = handler_->HandleLine(line, &shutdown);
       response += '\n';
       if (!write_all(response)) {
         open = false;

@@ -1,4 +1,4 @@
-// A newline-delimited JSON TCP server wrapping QueryService.
+// A newline-delimited JSON TCP server wrapping a LineHandler.
 //
 // Plain POSIX sockets, one thread per connection: the protocol work is
 // query evaluation (milliseconds and up), so connection-handling overhead
@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "runtime/service.h"
+#include "runtime/line_handler.h"
 
 namespace gqd {
 
@@ -35,9 +35,11 @@ struct ServerOptions {
 
 class Server {
  public:
-  /// The service must outlive the server.
-  explicit Server(QueryService* service, const ServerOptions& options = {})
-      : service_(service), options_(options) {}
+  /// The handler must outlive the server. Any LineHandler works here:
+  /// QueryService for a single-process worker, cluster::Router for a
+  /// routing front.
+  explicit Server(LineHandler* handler, const ServerOptions& options = {})
+      : handler_(handler), options_(options) {}
   ~Server();
 
   Server(const Server&) = delete;
@@ -60,7 +62,7 @@ class Server {
   void AcceptLoop();
   void ServeConnection(int fd);
 
-  QueryService* service_;
+  LineHandler* handler_;
   ServerOptions options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -52,6 +52,7 @@
 #include "runtime/admission.h"
 #include "runtime/graph_registry.h"
 #include "runtime/json.h"
+#include "runtime/line_handler.h"
 #include "runtime/result_cache.h"
 #include "runtime/stats.h"
 
@@ -66,7 +67,7 @@ struct ServiceOptions {
   AdmissionOptions admission;
 };
 
-class QueryService {
+class QueryService : public LineHandler {
  public:
   explicit QueryService(const ServiceOptions& options = {});
 
@@ -75,7 +76,7 @@ class QueryService {
 
   /// Handles one request line; returns the one-line response JSON (without
   /// a trailing newline) and sets *shutdown on a shutdown request.
-  std::string HandleLine(const std::string& line, bool* shutdown);
+  std::string HandleLine(const std::string& line, bool* shutdown) override;
 
   /// Direct registry access for in-process embedding (tests, bench).
   GraphRegistry& registry() { return registry_; }

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/router.h"
 #include "common/budget.h"
 #include "common/cancel.h"
 #include "common/failpoint.h"
@@ -52,12 +53,13 @@ namespace {
 const std::vector<std::string>& KnownSites() {
   static const std::vector<std::string> sites = {
       "assignment_graph.build", "client.connect",   "client.read",
-      "client.write",           "csp.search",       "krem.arena.grow",
-      "ree.closure",            "relation.open",    "relation.write",
-      "result_cache.put",       "server.accept",    "server.read",
-      "server.write",           "storage.mmap",     "storage.open",
-      "storage.truncate",       "storage.write",    "thread_pool.dispatch",
-      "ucrdpq.search",
+      "client.write",           "cluster.connect",  "cluster.probe",
+      "cluster.read",           "cluster.write",    "csp.search",
+      "krem.arena.grow",        "ree.closure",      "relation.open",
+      "relation.write",         "result_cache.put", "server.accept",
+      "server.read",            "server.write",     "storage.mmap",
+      "storage.open",           "storage.truncate", "storage.write",
+      "thread_pool.dispatch",   "ucrdpq.search",
   };
   return sites;
 }
@@ -614,6 +616,137 @@ TEST_F(SocketChaosTest, CheckerFaultsSurfaceAsErrorResponsesUnderServe) {
   }
 }
 
+// --- Cluster failpoints: router-side faults fail over to a replica ------
+
+/// Two workers behind a router with replication 2 — every graph lives on
+/// both, so any single injected fault has a live replica to fail over to.
+class ClusterChaosTest : public ChaosTest {
+ protected:
+  void SetUp() override {
+    ChaosTest::SetUp();
+    if (IsSkipped()) {
+      return;
+    }
+    RouterOptions options;
+    for (int i = 0; i < 2; i++) {
+      auto service = std::make_unique<QueryService>();
+      auto server = std::make_unique<Server>(service.get());
+      ASSERT_TRUE(server->Start(0).ok());
+      options.worker_ports.push_back(server->port());
+      services_.push_back(std::move(service));
+      servers_.push_back(std::move(server));
+    }
+    options.replication = 2;
+    options.pool_size = 2;
+    options.probe_interval_ms = 10;
+    options.suspect_threshold = 2;
+    router_ = std::make_unique<Router>(options);
+    ASSERT_TRUE(router_->Start().ok());
+
+    JsonValue::Object load;
+    load.emplace_back("cmd", "load");
+    load.emplace_back("name", "fig1");
+    load.emplace_back("text", WriteGraphText(Figure1Graph()));
+    std::string loaded = Route(JsonValue(std::move(load)).Serialize());
+    ASSERT_NE(loaded.find("\"ok\":true"), std::string::npos) << loaded;
+  }
+
+  void TearDown() override {
+    FailpointRegistry::Instance().Reset();
+    if (router_ != nullptr) {
+      router_->Stop();
+    }
+    for (auto& server : servers_) {
+      server->Stop();
+      server->Wait();
+    }
+  }
+
+  std::string Route(const std::string& line) {
+    bool shutdown = false;
+    return router_->HandleLine(line, &shutdown);
+  }
+
+  static std::string EvalLine() {
+    return R"({"cmd":"eval","graph":"fig1","language":"rpq",)"
+           R"("query":"a.a"})";
+  }
+
+  /// Polls until every worker probes healthy again (the armed fault has
+  /// burned out and any rejoin warm replay has completed).
+  bool WaitForFleetHealthy() {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      bool all_healthy = true;
+      for (std::size_t i = 0; i < router_->worker_count(); i++) {
+        all_healthy &= router_->worker_state(i) == WorkerState::kHealthy;
+      }
+      if (all_healthy) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  }
+
+  std::vector<std::unique_ptr<QueryService>> services_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::unique_ptr<Router> router_;
+};
+
+TEST_F(ClusterChaosTest, ConnectFaultFailsOverInvisibly) {
+  std::string canonical = Route(EvalLine());
+  ASSERT_NE(canonical.find("\"ok\":true"), std::string::npos) << canonical;
+  Arm("cluster.connect:fail-once");
+  std::string faulted = Route(EvalLine());
+  // The client sees the bit-identical response the replica computed, not
+  // the transport fault.
+  EXPECT_EQ(faulted, canonical);
+  EXPECT_GE(router_->GetSnapshot().failovers, 1u);
+  EXPECT_GE(FiredCount("cluster.connect"), 1u);
+  EXPECT_TRUE(WaitForFleetHealthy());
+}
+
+TEST_F(ClusterChaosTest, WriteFaultFailsOverInvisibly) {
+  std::string canonical = Route(EvalLine());
+  ASSERT_NE(canonical.find("\"ok\":true"), std::string::npos) << canonical;
+  Arm("cluster.write:fail-once");
+  std::string faulted = Route(EvalLine());
+  EXPECT_EQ(faulted, canonical);
+  EXPECT_GE(router_->GetSnapshot().failovers, 1u);
+  EXPECT_TRUE(WaitForFleetHealthy());
+}
+
+TEST_F(ClusterChaosTest, ReadFaultMidRequestReExecutesOnReplica) {
+  // cluster.read fires *after* the worker processed the request — the
+  // mid-request-kill model. Queries are pure, so re-execution on the
+  // replica returns the same bytes.
+  std::string canonical = Route(EvalLine());
+  ASSERT_NE(canonical.find("\"ok\":true"), std::string::npos) << canonical;
+  Arm("cluster.read:fail-once");
+  std::string faulted = Route(EvalLine());
+  EXPECT_EQ(faulted, canonical);
+  EXPECT_GE(router_->GetSnapshot().failovers, 1u);
+  EXPECT_TRUE(WaitForFleetHealthy());
+}
+
+TEST_F(ClusterChaosTest, ProbeLossMarksSuspectThenRecovers) {
+  Arm("cluster.probe:fail-once");
+  // The next probe of some worker is lost; the worker turns suspect, the
+  // probe after that succeeds and pulls it back through rejoining (with a
+  // warm replay) to healthy. Traffic keeps flowing the whole time.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (FiredCount("cluster.probe") == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(FiredCount("cluster.probe"), 1u);
+  std::string response = Route(EvalLine());
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+  EXPECT_TRUE(WaitForFleetHealthy());
+}
+
 // --- Resource governance --------------------------------------------------
 
 TEST(ResourceBudgetTest, ChargesPeaksAndLatches) {
@@ -720,6 +853,56 @@ TEST(ResourceBudgetTest, ReeClosureReportsPartialProgress) {
   EXPECT_EQ(result.value().verdict, DefinabilityVerdict::kBudgetExhausted);
   ASSERT_TRUE(result.value().partial.has_value());
   EXPECT_EQ(result.value().partial->stage, "ree-closure");
+}
+
+TEST(ResourceBudgetTest, ReeMonoidByteCapLatchesWithPartialProgress) {
+  // The monoid cap is byte-denominated: a cap far below one element's
+  // footprint latches on the first insertion and the checker reports how
+  // far it got, exactly like an options.budget trip but under its own
+  // stage name.
+  DataGraph g = Figure1Graph();
+  BinaryRelation s = Figure1S2(g);
+  ReeDefinabilityOptions options;
+  options.max_monoid_bytes = 1;
+  auto result = CheckReeDefinability(g, s, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().verdict, DefinabilityVerdict::kBudgetExhausted);
+  ASSERT_TRUE(result.value().partial.has_value());
+  const PartialProgress& partial = *result.value().partial;
+  EXPECT_EQ(partial.stage, "ree-monoid");
+  EXPECT_GE(partial.tuples_explored, 1u);
+  EXPECT_GT(partial.bytes_peak, 1u);
+  EXPECT_EQ(result.value().monoid_size, partial.tuples_explored);
+}
+
+TEST(ResourceBudgetTest, ReeMonoidCountCapReportsPartialProgress) {
+  // The legacy element-count cap rides the same internal budget now, so
+  // it produces the same structured partial report instead of a bare
+  // verdict.
+  DataGraph g = Figure1Graph();
+  BinaryRelation s = Figure1S2(g);
+  ReeDefinabilityOptions options;
+  options.max_monoid_size = 2;
+  auto result = CheckReeDefinability(g, s, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().verdict, DefinabilityVerdict::kBudgetExhausted);
+  ASSERT_TRUE(result.value().partial.has_value());
+  EXPECT_EQ(result.value().partial->stage, "ree-monoid");
+  EXPECT_GT(result.value().partial->tuples_explored, 2u);
+}
+
+TEST(ResourceBudgetTest, ReeMonoidCapsUnlimitedWhenZero) {
+  // 0 disables both monoid caps (ResourceBudget semantics): Figure 1's S2
+  // closure completes and returns a real verdict.
+  DataGraph g = Figure1Graph();
+  BinaryRelation s = Figure1S2(g);
+  ReeDefinabilityOptions options;
+  options.max_monoid_size = 0;
+  options.max_monoid_bytes = 0;
+  auto result = CheckReeDefinability(g, s, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result.value().verdict, DefinabilityVerdict::kBudgetExhausted);
+  EXPECT_FALSE(result.value().partial.has_value());
 }
 
 }  // namespace

@@ -543,7 +543,11 @@ TEST_F(ServeOverloadTest, CallWithRetryRidesOutTheOverload) {
   LineClient client;
   ASSERT_TRUE(client.Connect(server_->port()).ok());
   RetryPolicy policy;
-  policy.max_attempts = 10;
+  // Each shed carries the server's 25 ms retry hint, which the client
+  // honours instead of its exponential schedule — so riding out the
+  // 400 ms occupancy takes ~16 evenly-spaced polls, not a handful of
+  // doubling ones. 30 attempts leaves slack for jitter.
+  policy.max_attempts = 30;
   policy.initial_backoff = std::chrono::milliseconds(25);
   policy.jitter_seed = 42;
   auto response = client.CallWithRetry(

@@ -16,7 +16,10 @@
 //   gqd lint --suite <file> [--graph <file>] [--json]
 //   gqd info <graph|relation> [--dot|--json]
 //   gqd serve [--port N] [--threads N] [--cache N] [--graph <file>]...
+//   gqd route --worker PORT [--worker PORT]... [--port N] [--replication R]
 //   gqd bench-serve [--port N] [--clients C] [--requests R] [--json]
+//              [--workers N [--replication R] [--service-ms MS]
+//               [--chaos-kill]]
 //
 // Graph files use the `node`/`edge` text format or the binary .gqdg
 // container; relation files the `pair` text format or the binary .gqdr
@@ -25,10 +28,14 @@
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -99,8 +106,24 @@ int Usage() {
       "            [--max-concurrent N] [--max-queue N] [--retry-after-ms N]"
       "\n"
       "            [--max-line-bytes N]\n"
+      "  gqd route --worker PORT [--worker PORT]... [--port N]\n"
+      "            [--replication R] [--pool N] [--probe-interval-ms N]\n"
+      "            [--suspect-threshold N] [--retry-after-ms N]\n"
+      "            [--warm-log N] [--max-line-bytes N] [--graph <file>]...\n"
       "  gqd bench-serve [--port N] [--clients C] [--requests R] [--json]\n"
       "                  [--max-concurrent N] [--max-queue N] [--retry]\n"
+      "                  [--workers N] [--replication R] [--pool N]\n"
+      "                  [--service-ms MS] [--chaos-kill]\n"
+      "\n"
+      "cluster serving:\n"
+      "  `gqd route` fronts a fleet of `gqd serve` workers: requests are\n"
+      "  consistent-hashed on graph fingerprint, each graph is loaded on R\n"
+      "  replicas, health probes drive a healthy/suspect/dead/rejoining\n"
+      "  state machine, and failed or shed requests fail over to replicas\n"
+      "  (docs/runtime.md). `bench-serve --workers N` self-hosts a fleet\n"
+      "  plus router; --chaos-kill kills and restarts the busiest worker\n"
+      "  mid-run and reports failovers, warm replays and verdict\n"
+      "  mismatches.\n"
       "\n"
       "storage:\n"
       "  every <graph> argument accepts either the node/edge text format or\n"
@@ -1375,7 +1398,470 @@ int CmdServe(int argc, char** argv) {
   return 0;
 }
 
+int CmdRoute(int argc, char** argv) {
+  RouterOptions options;
+  for (int i = 0; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], "--worker") == 0) {
+      options.worker_ports.push_back(
+          static_cast<std::uint16_t>(std::strtoul(argv[i + 1], nullptr, 10)));
+    }
+  }
+  if (options.worker_ports.empty()) {
+    return Usage();
+  }
+  if (const char* flag = FlagValue(argc, argv, "--replication")) {
+    options.replication = std::strtoul(flag, nullptr, 10);
+  }
+  if (const char* flag = FlagValue(argc, argv, "--pool")) {
+    options.pool_size = std::strtoul(flag, nullptr, 10);
+  }
+  if (const char* flag = FlagValue(argc, argv, "--probe-interval-ms")) {
+    options.probe_interval_ms =
+        static_cast<int>(std::strtoul(flag, nullptr, 10));
+  }
+  if (const char* flag = FlagValue(argc, argv, "--suspect-threshold")) {
+    options.suspect_threshold =
+        static_cast<int>(std::strtoul(flag, nullptr, 10));
+  }
+  if (const char* flag = FlagValue(argc, argv, "--retry-after-ms")) {
+    options.retry_after_ms = static_cast<int>(std::strtoul(flag, nullptr, 10));
+  }
+  if (const char* flag = FlagValue(argc, argv, "--warm-log")) {
+    options.warm_log_capacity = std::strtoul(flag, nullptr, 10);
+  }
+  ServerOptions server_options;
+  if (const char* flag = FlagValue(argc, argv, "--max-line-bytes")) {
+    server_options.max_line_bytes = std::strtoul(flag, nullptr, 10);
+  }
+  Router router(options);
+  Status started_router = router.Start();
+  if (!started_router.ok()) {
+    return Fail(started_router);
+  }
+  // Preload every --graph through the router itself so placement and
+  // replication are recorded exactly as a client load would be.
+  for (int i = 0; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], "--graph") != 0) {
+      continue;
+    }
+    std::string name = GraphNameFromPath(argv[i + 1]);
+    JsonValue::Object load;
+    load.emplace_back("cmd", "load");
+    load.emplace_back("name", name);
+    load.emplace_back("path", argv[i + 1]);
+    bool ignored = false;
+    std::string response =
+        router.HandleLine(JsonValue(std::move(load)).Serialize(), &ignored);
+    if (response.find("\"ok\":true") == std::string::npos) {
+      std::fprintf(stderr, "error: load of '%s' failed: %s\n", argv[i + 1],
+                   response.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "routed graph '%s' across the fleet\n", name.c_str());
+  }
+  std::uint16_t port =
+      FlagValue(argc, argv, "--port") != nullptr
+          ? static_cast<std::uint16_t>(
+                std::strtoul(FlagValue(argc, argv, "--port"), nullptr, 10))
+          : 7879;
+  Server front(&router, server_options);
+  Status started = front.Start(port);
+  if (!started.ok()) {
+    return Fail(started);
+  }
+  std::fprintf(stderr, "routing to %zu workers (replication %zu)\n",
+               options.worker_ports.size(),
+               std::min(options.replication, options.worker_ports.size()));
+  // Same machine-readable line as `gqd serve` so wrappers work unchanged.
+  std::printf("listening 127.0.0.1:%u\n", front.port());
+  std::fflush(stdout);
+  front.Wait();
+  router.Stop();
+  return 0;
+}
+
+/// Wraps a worker's QueryService with a fixed per-request service time on
+/// the data plane (eval/check). On a single benchmark machine the real
+/// per-query compute is microseconds, so fleet scaling would measure the
+/// router's socket loop rather than capacity; the delay models a worker
+/// whose capacity is its connection pool, which is what a multi-host
+/// fleet looks like. Control-plane commands (ping/stats/load/...) are
+/// never delayed, so health probes and warm replay behave normally.
+class BenchWorkerHandler : public LineHandler {
+ public:
+  BenchWorkerHandler(QueryService* service, int service_ms)
+      : service_(service), service_ms_(service_ms) {}
+
+  void Reset(QueryService* service) { service_ = service; }
+
+  std::string HandleLine(const std::string& line, bool* shutdown) override {
+    std::string response = service_->HandleLine(line, shutdown);
+    if (service_ms_ > 0 && (line.find("\"cmd\":\"eval\"") != std::string::npos ||
+                            line.find("\"cmd\":\"check\"") !=
+                                std::string::npos)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(service_ms_));
+    }
+    return response;
+  }
+
+ private:
+  QueryService* service_;
+  const int service_ms_;
+};
+
+/// bench-serve --workers N: self-hosts N workers plus a routing front and
+/// drives the mixed workload through the router. --chaos-kill stops the
+/// busiest worker once a third of the requests are done, restarts it with
+/// an EMPTY registry at two thirds (so recovery genuinely depends on the
+/// router's warm replay), and the exit code demands zero client-visible
+/// errors and bit-identical verdicts across replicas and the failover.
+int CmdBenchServeCluster(int argc, char** argv) {
+  std::size_t num_workers =
+      std::strtoul(FlagValue(argc, argv, "--workers"), nullptr, 10);
+  if (num_workers == 0) {
+    return Usage();
+  }
+  bool json = HasFlag(argc, argv, "--json");
+  bool chaos_kill = HasFlag(argc, argv, "--chaos-kill");
+  const char* clients_flag = FlagValue(argc, argv, "--clients");
+  const char* requests_flag = FlagValue(argc, argv, "--requests");
+  std::size_t num_clients = clients_flag != nullptr
+                                ? std::strtoul(clients_flag, nullptr, 10)
+                                : 4 * num_workers;
+  std::size_t requests_per_client =
+      requests_flag != nullptr ? std::strtoul(requests_flag, nullptr, 10)
+                               : 100;
+  if (num_clients == 0 || requests_per_client == 0) {
+    return Usage();
+  }
+  int service_ms = 4;
+  if (const char* flag = FlagValue(argc, argv, "--service-ms")) {
+    service_ms = static_cast<int>(std::strtoul(flag, nullptr, 10));
+  }
+
+  // Workers: plain QueryServices behind the service-time wrapper.
+  std::vector<std::unique_ptr<QueryService>> services;
+  std::vector<std::unique_ptr<BenchWorkerHandler>> handlers;
+  std::vector<std::unique_ptr<Server>> workers;
+  for (std::size_t i = 0; i < num_workers; i++) {
+    services.push_back(std::make_unique<QueryService>());
+    handlers.push_back(
+        std::make_unique<BenchWorkerHandler>(services.back().get(),
+                                             service_ms));
+    workers.push_back(std::make_unique<Server>(handlers.back().get()));
+    Status started = workers.back()->Start(0);
+    if (!started.ok()) {
+      return Fail(started);
+    }
+  }
+
+  RouterOptions router_options;
+  for (const auto& worker : workers) {
+    router_options.worker_ports.push_back(worker->port());
+  }
+  router_options.replication = std::min<std::size_t>(2, num_workers);
+  if (const char* flag = FlagValue(argc, argv, "--replication")) {
+    router_options.replication = std::strtoul(flag, nullptr, 10);
+  }
+  router_options.pool_size = 2;
+  if (const char* flag = FlagValue(argc, argv, "--pool")) {
+    router_options.pool_size = std::strtoul(flag, nullptr, 10);
+  }
+  // Fast failure detection so the kill window stays small relative to the
+  // run: dead after 2 failed probes, 25 ms apart.
+  router_options.probe_interval_ms = 25;
+  router_options.suspect_threshold = 2;
+  Router router(router_options);
+  Status started_router = router.Start();
+  if (!started_router.ok()) {
+    return Fail(started_router);
+  }
+  Server front(&router);
+  Status started_front = front.Start(0);
+  if (!started_front.ok()) {
+    return Fail(started_front);
+  }
+  std::uint16_t port = front.port();
+
+  // The workload is sharded over several distinct graphs: consistent
+  // hashing places each fingerprint on its own R owners, so a multi-shard
+  // workload spreads across the whole fleet (a single graph would pin all
+  // traffic on one primary, and a cluster scales by sharding).
+  const std::size_t num_graphs = std::max<std::size_t>(8, 4 * num_workers);
+  {
+    LineClient setup;
+    Status connected = setup.Connect(port);
+    if (!connected.ok()) {
+      return Fail(connected);
+    }
+    for (std::size_t g = 0; g < num_graphs; g++) {
+      RandomGraphOptions graph_options;
+      graph_options.num_nodes = 10;
+      graph_options.num_labels = 2;
+      graph_options.num_data_values = 4;
+      graph_options.edge_percent = 20;
+      graph_options.seed = 100 + g;  // distinct content => distinct shard
+      JsonValue::Object load;
+      load.emplace_back("cmd", "load");
+      load.emplace_back("name", "bench" + std::to_string(g));
+      load.emplace_back("text",
+                        WriteGraphText(RandomDataGraph(graph_options)));
+      auto response = setup.Call(JsonValue(std::move(load)).Serialize());
+      if (!response.ok()) {
+        return Fail(response.status());
+      }
+      if (response.value().find("\"ok\":true") == std::string::npos) {
+        std::fprintf(stderr, "error: cluster load failed: %s\n",
+                     response.value().c_str());
+        return 1;
+      }
+    }
+  }
+
+  struct BenchQuery {
+    const char* language;
+    const char* text;
+  };
+  const BenchQuery kQueries[] = {
+      {"rpq", "a+"},
+      {"rpq", "a.a"},
+      {"rem", "$r1. a+ [r1=]"},
+      {"ree", "(a.a)="},
+  };
+  constexpr std::size_t kNumQueries = sizeof(kQueries) / sizeof(kQueries[0]);
+
+  // Bit-identity across replicas and failover: the first ok response per
+  // (shard, query template) is canonical; every later ok response must
+  // match it byte for byte (verdicts are deterministic, so which replica
+  // served is invisible).
+  std::mutex canonical_mutex;
+  std::vector<std::string> canonical(num_graphs * kNumQueries);
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> completed{0};
+
+  std::vector<std::vector<std::uint64_t>> latencies_us(num_clients);
+  std::vector<std::size_t> errors(num_clients, 0);
+  std::vector<std::size_t> shed(num_clients, 0);
+  std::vector<std::uint64_t> retries(num_clients, 0);
+  std::vector<std::thread> clients;
+  auto bench_start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < num_clients; c++) {
+    clients.emplace_back([&, c] {
+      LineClient client;
+      if (!client.Connect(port).ok()) {
+        errors[c] = requests_per_client;
+        return;
+      }
+      RetryPolicy policy;
+      policy.max_attempts = 8;
+      policy.jitter_seed = c;
+      latencies_us[c].reserve(requests_per_client);
+      for (std::size_t i = 0; i < requests_per_client; i++) {
+        std::size_t graph_index = (c + i) % num_graphs;
+        std::size_t query_index = i % kNumQueries;
+        const BenchQuery& query = kQueries[query_index];
+        JsonValue::Object request;
+        request.emplace_back("cmd", "eval");
+        request.emplace_back("graph", "bench" + std::to_string(graph_index));
+        request.emplace_back("language", query.language);
+        request.emplace_back("query", query.text);
+        std::string line = JsonValue(std::move(request)).Serialize();
+        auto start = std::chrono::steady_clock::now();
+        auto response = client.CallWithRetry(line, policy);
+        auto elapsed = std::chrono::steady_clock::now() - start;
+        latencies_us[c].push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count()));
+        completed.fetch_add(1, std::memory_order_relaxed);
+        if (!response.ok()) {
+          if (response.status().code() == StatusCode::kUnavailable) {
+            shed[c]++;
+          } else {
+            errors[c]++;
+          }
+          continue;
+        }
+        if (response.value().find("\"ok\":true") == std::string::npos) {
+          errors[c]++;
+          continue;
+        }
+        std::size_t key = graph_index * kNumQueries + query_index;
+        std::lock_guard<std::mutex> lock(canonical_mutex);
+        if (canonical[key].empty()) {
+          canonical[key] = response.value();
+        } else if (canonical[key] != response.value()) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      retries[c] = client.retries();
+    });
+  }
+
+  // Chaos choreography, run from the main thread against request
+  // progress: kill the busiest worker at 1/3, restart it (empty registry)
+  // at 2/3, then let the router's probe → rejoin → warm replay path bring
+  // it back into rotation before the run ends.
+  std::size_t killed_index = 0;
+  bool killed = false;
+  bool restarted = false;
+  std::size_t total_requests = num_clients * requests_per_client;
+  if (chaos_kill) {
+    auto wait_progress = [&](std::size_t target) {
+      while (completed.load(std::memory_order_relaxed) < target) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    };
+    wait_progress(total_requests / 3);
+    Router::Snapshot snap = router.GetSnapshot();
+    for (std::size_t i = 1; i < num_workers; i++) {
+      if (snap.worker_requests[i] > snap.worker_requests[killed_index]) {
+        killed_index = i;
+      }
+    }
+    std::uint16_t killed_port = workers[killed_index]->port();
+    workers[killed_index]->Stop();
+    workers[killed_index]->Wait();
+    killed = true;
+    wait_progress(2 * total_requests / 3);
+    // Fresh service: the restarted worker remembers nothing; only the
+    // router's warm replay can make it serve its shards again.
+    services[killed_index] = std::make_unique<QueryService>();
+    handlers[killed_index]->Reset(services[killed_index].get());
+    workers[killed_index] =
+        std::make_unique<Server>(handlers[killed_index].get());
+    Status restart = workers[killed_index]->Start(killed_port);
+    restarted = restart.ok();
+    if (!restarted) {
+      std::fprintf(stderr, "warning: worker restart failed: %s\n",
+                   restart.ToString().c_str());
+    }
+  }
+
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  auto wall = std::chrono::steady_clock::now() - bench_start;
+  double wall_ms = std::chrono::duration<double, std::milli>(wall).count();
+
+  // In a chaos run, give the rejoin path a moment to complete so the
+  // reported fleet state reflects recovery, not the middle of it.
+  if (chaos_kill && restarted) {
+    for (int i = 0; i < 200; i++) {
+      if (router.worker_state(killed_index) == WorkerState::kHealthy) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  Router::Snapshot snap = router.GetSnapshot();
+
+  std::vector<std::uint64_t> all;
+  std::size_t total_errors = 0;
+  std::size_t total_shed = 0;
+  std::uint64_t total_retries = 0;
+  for (std::size_t c = 0; c < num_clients; c++) {
+    all.insert(all.end(), latencies_us[c].begin(), latencies_us[c].end());
+    total_errors += errors[c];
+    total_shed += shed[c];
+    total_retries += retries[c];
+  }
+  std::sort(all.begin(), all.end());
+  auto percentile = [&](double p) -> std::uint64_t {
+    if (all.empty()) {
+      return 0;
+    }
+    std::size_t index =
+        static_cast<std::size_t>(p * static_cast<double>(all.size() - 1));
+    return all[index];
+  };
+  double throughput =
+      wall_ms > 0 ? static_cast<double>(all.size()) / (wall_ms / 1000.0)
+                  : 0.0;
+
+  // Shut the fleet down through the router (it broadcasts to workers).
+  {
+    LineClient stop;
+    if (stop.Connect(port).ok()) {
+      (void)stop.Call("{\"cmd\":\"shutdown\"}");
+    }
+    front.Wait();
+    for (auto& worker : workers) {
+      worker->Stop();
+      worker->Wait();
+    }
+  }
+
+  std::size_t healthy_workers = 0;
+  for (const WorkerState state : snap.worker_states) {
+    if (state == WorkerState::kHealthy) {
+      healthy_workers++;
+    }
+  }
+  if (json) {
+    std::string worker_requests;
+    for (std::size_t i = 0; i < snap.worker_requests.size(); i++) {
+      if (i > 0) {
+        worker_requests += ",";
+      }
+      worker_requests += std::to_string(snap.worker_requests[i]);
+    }
+    std::printf(
+        "{\"workers\":%zu,\"clients\":%zu,\"requests\":%zu,\"errors\":%zu,"
+        "\"shed\":%zu,\"retries\":%llu,\"mismatches\":%zu,"
+        "\"wall_ms\":%.3f,\"throughput_rps\":%.1f,"
+        "\"latency_us\":{\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,"
+        "\"max\":%llu},"
+        "\"cluster\":{\"failovers\":%llu,\"sheds_returned\":%llu,"
+        "\"all_down_returned\":%llu,\"warm_replays\":%llu,"
+        "\"warm_lines\":%llu,\"healthy_workers\":%zu,"
+        "\"killed_worker\":%d,\"worker_requests\":[%s]}}\n",
+        num_workers, num_clients, all.size(), total_errors, total_shed,
+        static_cast<unsigned long long>(total_retries),
+        mismatches.load(), wall_ms, throughput,
+        static_cast<unsigned long long>(percentile(0.50)),
+        static_cast<unsigned long long>(percentile(0.90)),
+        static_cast<unsigned long long>(percentile(0.99)),
+        static_cast<unsigned long long>(all.empty() ? 0 : all.back()),
+        static_cast<unsigned long long>(snap.failovers),
+        static_cast<unsigned long long>(snap.sheds_returned),
+        static_cast<unsigned long long>(snap.all_down_returned),
+        static_cast<unsigned long long>(snap.warm_replays),
+        static_cast<unsigned long long>(snap.warm_lines), healthy_workers,
+        killed ? static_cast<int>(killed_index) : -1,
+        worker_requests.c_str());
+  } else {
+    std::printf("workers:     %zu (replication %zu, pool %zu)\n", num_workers,
+                std::min(router_options.replication, num_workers),
+                router_options.pool_size);
+    std::printf("clients:     %zu\n", num_clients);
+    std::printf("requests:    %zu (%zu errors, %zu shed, %llu retries, "
+                "%zu mismatches)\n",
+                all.size(), total_errors, total_shed,
+                static_cast<unsigned long long>(total_retries),
+                mismatches.load());
+    std::printf("wall time:   %.1f ms\n", wall_ms);
+    std::printf("throughput:  %.1f req/s\n", throughput);
+    std::printf("latency p50: %llu us   p99: %llu us\n",
+                static_cast<unsigned long long>(percentile(0.50)),
+                static_cast<unsigned long long>(percentile(0.99)));
+    std::printf("cluster:     %llu failovers, %llu warm replays "
+                "(%llu lines), %zu/%zu workers healthy\n",
+                static_cast<unsigned long long>(snap.failovers),
+                static_cast<unsigned long long>(snap.warm_replays),
+                static_cast<unsigned long long>(snap.warm_lines),
+                healthy_workers, num_workers);
+    if (killed) {
+      std::printf("chaos:       killed and restarted worker %zu\n",
+                  killed_index);
+    }
+  }
+  return (total_errors == 0 && mismatches.load() == 0) ? 0 : 1;
+}
+
 int CmdBenchServe(int argc, char** argv) {
+  if (FlagValue(argc, argv, "--workers") != nullptr) {
+    return CmdBenchServeCluster(argc, argv);
+  }
   const char* port_flag = FlagValue(argc, argv, "--port");
   const char* clients_flag = FlagValue(argc, argv, "--clients");
   const char* requests_flag = FlagValue(argc, argv, "--requests");
@@ -1598,6 +2084,9 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") {
     return CmdServe(argc - 2, argv + 2);
+  }
+  if (command == "route") {
+    return CmdRoute(argc - 2, argv + 2);
   }
   if (command == "bench-serve") {
     return CmdBenchServe(argc - 2, argv + 2);

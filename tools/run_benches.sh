@@ -86,6 +86,20 @@ if [[ -x "${GQD_BIN}" ]]; then
   fi
 fi
 
+# Cluster serving: the same client workload against a 1-worker and a
+# 4-worker fleet behind the router. Workers model a fixed service time per
+# query, so fleet throughput scales with worker count even on a single-core
+# host; the pin below guards the router's sharded placement + replica
+# read-spreading from regressing to a single hot primary.
+if [[ -x "${GQD_BIN}" ]]; then
+  "${GQD_BIN}" bench-serve --workers 1 --clients 16 --requests 200 --json \
+    > "${TMP_DIR}/cluster_w1.json" \
+    || echo "warning: 1-worker cluster bench failed" >&2
+  "${GQD_BIN}" bench-serve --workers 4 --clients 16 --requests 200 --json \
+    > "${TMP_DIR}/cluster_w4.json" \
+    || echo "warning: 4-worker cluster bench failed" >&2
+fi
+
 python3 - "${TMP_DIR}" "${OUT}" <<'EOF'
 import json
 import sys
@@ -244,6 +258,36 @@ try:
 except (OSError, ValueError, KeyError):
     pass  # million-node leg skipped (storage leg disabled or check failed)
 
+# Cluster scaling: 4 workers vs 1 on the identical sharded workload. Like
+# RELATION_MIN_BYTES_FACTOR this is a pinned floor, not a measurement — if
+# the router stops spreading reads across replicas or the bench collapses
+# onto one primary, the speedup drops toward 1x and meets_pin flips.
+CLUSTER_MIN_SPEEDUP = 2.5
+cluster = {}
+try:
+    with open(f"{tmp_dir}/cluster_w1.json") as f:
+        w1 = json.load(f)
+    with open(f"{tmp_dir}/cluster_w4.json") as f:
+        w4 = json.load(f)
+    speedup = w4["throughput_rps"] / max(w1["throughput_rps"], 1e-9)
+    cluster = {
+        "workload": (f"{w4['clients']} clients x "
+                     f"{w4['requests'] // max(w4['clients'], 1)} requests, "
+                     "sharded rpq/check mix"),
+        "workers_1_rps": w1["throughput_rps"],
+        "workers_4_rps": w4["throughput_rps"],
+        "speedup": speedup,
+        "min_speedup": CLUSTER_MIN_SPEEDUP,
+        "meets_pin": speedup >= CLUSTER_MIN_SPEEDUP,
+        "errors": w1["errors"] + w4["errors"],
+        "mismatches": w1["mismatches"] + w4["mismatches"],
+        "worker_requests_4": w4["cluster"]["worker_requests"],
+        "latency_p50_us_4": w4["latency_us"]["p50"],
+        "latency_p99_us_4": w4["latency_us"]["p99"],
+    }
+except (OSError, ValueError, KeyError):
+    pass  # cluster leg skipped (gqd binary missing or bench failed)
+
 with open(out_path, "w") as f:
     json.dump(
         {
@@ -253,6 +297,7 @@ with open(out_path, "w") as f:
             "plan_dispatch": plan_dispatch,
             "storage": storage,
             "sparse_relations": sparse_relations,
+            "cluster": cluster,
             "benchmarks": results,
             "trace_stage_totals": stage_totals,
         },
@@ -288,5 +333,12 @@ if "million_grid" in sparse_relations:
           f"({ml['sparse']['wall_ms']:.0f} ms, "
           f"peak RSS {ml['sparse']['peak_rss_kb']} kB), dense refused "
           f"(exit {ml['dense_refusal_exit']})")
+if cluster:
+    print(f"cluster ({cluster['workload']}): "
+          f"1 worker {cluster['workers_1_rps']:.0f} rps vs "
+          f"4 workers {cluster['workers_4_rps']:.0f} rps "
+          f"({cluster['speedup']:.2f}x, pin {cluster['min_speedup']}x, "
+          f"{'ok' if cluster['meets_pin'] else 'REGRESSED'}), "
+          f"errors {cluster['errors']}, mismatches {cluster['mismatches']}")
 print(f"wrote {out_path}")
 EOF
