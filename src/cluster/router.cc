@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <limits>
 #include <utility>
 
 #include "common/status.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace gqd {
 
@@ -70,6 +73,48 @@ ResponseClass ClassifyWorkerResponse(const std::string& response) {
 
 std::string WorkerLabel(std::size_t index) { return std::to_string(index); }
 
+/// The request line re-serialized with its `trace` field replaced by (or
+/// set to) `traceparent`, so the worker records spans under our trace id
+/// instead of seeing the client's `"trace": true`.
+std::string LineWithTrace(const JsonValue& request,
+                          const std::string& traceparent) {
+  JsonValue::Object body;
+  bool replaced = false;
+  for (const auto& [key, value] : request.AsObject()) {
+    if (key == "trace") {
+      body.emplace_back("trace", traceparent);
+      replaced = true;
+    } else {
+      body.emplace_back(key, value);
+    }
+  }
+  if (!replaced) {
+    body.emplace_back("trace", traceparent);
+  }
+  return JsonValue(std::move(body)).Serialize();
+}
+
+/// Bounds per-command metric label cardinality against garbage `cmd`
+/// strings from misbehaving clients.
+std::string CommandLabel(const std::string& cmd) {
+  static constexpr const char* kKnown[] = {
+      "ping", "stats", "metrics", "log",  "shutdown", "load",
+      "eval", "check", "lint",    "info", "spans"};
+  for (const char* known : kKnown) {
+    if (cmd == known) {
+      return cmd;
+    }
+  }
+  return "other";
+}
+
+std::int64_t WallMsNow() {
+  return static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Wraps a handler body in the ok envelope, echoing the request id.
 std::string OkLine(const JsonValue* id, JsonValue inner) {
   JsonValue::Object body;
@@ -108,8 +153,13 @@ Router::Router(const RouterOptions& options) : options_(options) {
   graph_loads_total_ = metrics_.GetCounter("gqd_cluster_graph_loads_total");
   replicated_loads_total_ =
       metrics_.GetCounter("gqd_cluster_replicated_loads_total");
+  traces_collected_total_ =
+      metrics_.GetCounter("gqd_cluster_traces_collected_total");
   request_latency_us_ =
       metrics_.GetHistogram("gqd_cluster_request_latency_us");
+  for (const auto& worker : workers_) {
+    logged_states_.push_back(worker->state());
+  }
   UpdateStateGauges();
 }
 
@@ -131,6 +181,15 @@ void Router::Stop() {
   health_cv_.notify_all();
   if (health_thread_.joinable()) {
     health_thread_.join();
+  }
+  if (!options_.trace_out.empty()) {
+    std::lock_guard<std::mutex> lock(sink_mutex_);
+    if (!trace_sink_.empty()) {
+      std::ofstream out(options_.trace_out);
+      if (out) {
+        out << MergedTraceToChromeJson(trace_sink_) << '\n';
+      }
+    }
   }
 }
 
@@ -162,6 +221,8 @@ std::string Router::HandleLine(const std::string& line, bool* shutdown) {
     response = OkLine(id, HandleStats());
   } else if (cmd.value() == "metrics") {
     response = OkLine(id, HandleMetricsCmd());
+  } else if (cmd.value() == "log") {
+    response = OkLine(id, HandleLogCmd(request));
   } else if (cmd.value() == "shutdown") {
     *shutdown = true;
     response = HandleShutdown(id);
@@ -171,10 +232,24 @@ std::string Router::HandleLine(const std::string& line, bool* shutdown) {
     response = RouteGraphCommand(cmd.value(), request, id, line);
   }
   auto elapsed = std::chrono::steady_clock::now() - start;
-  request_latency_us_->Observe(static_cast<std::uint64_t>(
+  auto elapsed_us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-          .count()));
+          .count());
+  request_latency_us_->Observe(elapsed_us);
+  CommandLatency(CommandLabel(cmd.value()))->Observe(elapsed_us);
   return response;
+}
+
+Histogram* Router::CommandLatency(const std::string& cmd) {
+  std::lock_guard<std::mutex> lock(command_mutex_);
+  auto it = command_latency_.find(cmd);
+  if (it != command_latency_.end()) {
+    return it->second;
+  }
+  Histogram* hist = metrics_.GetHistogram("gqd_cluster_command_latency_us",
+                                          {{"command", cmd}});
+  command_latency_.emplace(cmd, hist);
+  return hist;
 }
 
 JsonValue Router::HandlePing() const {
@@ -227,10 +302,65 @@ JsonValue Router::HandleStats() {
   cluster.emplace_back("warm_replays",
                        static_cast<double>(snap.warm_replays));
   cluster.emplace_back("warm_lines", static_cast<double>(snap.warm_lines));
+  // Same shape as the worker-side ServerStats block, so one dashboard
+  // query template covers both tiers.
+  JsonValue::Object per_command;
+  {
+    std::lock_guard<std::mutex> lock(command_mutex_);
+    for (const auto& [name, hist] : command_latency_) {
+      JsonValue::Object entry;
+      entry.emplace_back("count", static_cast<double>(hist->count()));
+      entry.emplace_back("p50",
+                         static_cast<double>(hist->QuantileUpperBound(0.50)));
+      entry.emplace_back("p99",
+                         static_cast<double>(hist->QuantileUpperBound(0.99)));
+      per_command.emplace_back(name, JsonValue(std::move(entry)));
+    }
+  }
+  cluster.emplace_back("per_command_latency_us",
+                       JsonValue(std::move(per_command)));
+  // Tail-sampled slow-trace exemplars, slowest first per command.
+  JsonValue::Object exemplars;
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    for (const auto& [name, slot] : exemplars_) {
+      JsonValue::Array entries;
+      for (const Exemplar& exemplar : slot) {
+        JsonValue::Object entry;
+        entry.emplace_back("trace_id", exemplar.trace_id);
+        entry.emplace_back("latency_us",
+                           static_cast<double>(exemplar.latency_us));
+        entry.emplace_back("ts_ms", static_cast<double>(exemplar.ts_ms));
+        auto tree = JsonValue::Parse(exemplar.tree_json);
+        if (tree.ok()) {
+          entry.emplace_back("trace", std::move(tree).value());
+        }
+        entries.emplace_back(JsonValue(std::move(entry)));
+      }
+      exemplars.emplace_back(name, JsonValue(std::move(entries)));
+    }
+  }
   JsonValue::Object body;
   body.emplace_back("role", "router");
   body.emplace_back("cluster", JsonValue(std::move(cluster)));
+  body.emplace_back("exemplars", JsonValue(std::move(exemplars)));
   body.emplace_back("workers", JsonValue(std::move(worker_array)));
+  return JsonValue(std::move(body));
+}
+
+JsonValue Router::HandleLogCmd(const JsonValue& request) const {
+  LogLevel min_level = LogLevel::kDebug;
+  if (const JsonValue* level_field = request.Find("min_level")) {
+    if (level_field->is_string()) {
+      (void)ParseLogLevel(level_field->AsString(), &min_level);
+    }
+  }
+  const EventLog& log = EventLog::Global();
+  JsonValue::Object body;
+  body.emplace_back("events",
+                    JsonValue::Parse(log.ToJsonArray(min_level)).ValueOrDie());
+  body.emplace_back("emitted", static_cast<double>(log.emitted()));
+  body.emplace_back("dropped", static_cast<double>(log.dropped()));
   return JsonValue(std::move(body));
 }
 
@@ -349,6 +479,10 @@ std::string Router::HandleLoad(const JsonValue& request, const JsonValue* id,
       replicated_loads_total_->Inc();
     }
   }
+  EventLog::Global().Emit(LogLevel::kInfo, "cluster", "graph_load",
+                          {{"graph", name.value()},
+                           {"fingerprint", fingerprint.value()},
+                           {"owners", std::to_string(owners.size())}});
   {
     std::lock_guard<std::mutex> lock(table_mutex_);
     table_[name.value()] =
@@ -374,6 +508,65 @@ std::string Router::RouteGraphCommand(const std::string& cmd,
                                       const JsonValue& request,
                                       const JsonValue* id,
                                       const std::string& line) {
+  const JsonValue* trace_field = request.Find("trace");
+  bool client_wants_trace = trace_field != nullptr &&
+                            trace_field->is_bool() && trace_field->AsBool();
+  // eval/check always carry a trace context: workers record spans into
+  // their collector cheaply, and the collect decision happens after the
+  // response, once the latency is known (tail sampling). Other commands
+  // are traced only on request.
+  bool traced = client_wants_trace || cmd == "eval" || cmd == "check";
+  if (!traced) {
+    AttemptOutcome out = AttemptReplicas(cmd, request, id, line, nullptr);
+    if (!out.success) {
+      return out.response;
+    }
+    return WithRoutingFields(out, nullptr);
+  }
+  TraceContext context = TraceContext::Mint();
+  auto start = std::chrono::steady_clock::now();
+  AttemptOutcome out;
+  {
+    Tracer::Scope scope(collector_.tracer());
+    TraceBindingScope binding(context.binding());
+    GQD_TRACE_SPAN(span, "route.request");
+    out = AttemptReplicas(cmd, request, id, line, &context);
+  }
+  auto latency_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  bool collect = client_wants_trace || !options_.trace_out.empty() ||
+                 QualifiesForCollection(cmd, latency_us);
+  if (!collect || !out.success) {
+    // Undrained spans (ours and the workers') age out of the collectors.
+    if (!out.success) {
+      return out.response;
+    }
+    return WithRoutingFields(out, nullptr);
+  }
+  std::vector<OwnedSpan> merged = CollectTrace(context, out.participants);
+  traces_collected_total_->Inc();
+  std::string tree = MergedSpanTreeToJson(merged);
+  if (options_.exemplar_capacity > 0) {
+    Exemplar exemplar;
+    exemplar.trace_id = context.TraceIdHex();
+    exemplar.latency_us = latency_us;
+    exemplar.ts_ms = WallMsNow();
+    exemplar.tree_json = tree;
+    RecordExemplar(cmd, std::move(exemplar));
+  }
+  if (!options_.trace_out.empty()) {
+    AppendTraceSink(merged);
+  }
+  return WithRoutingFields(out, client_wants_trace ? &tree : nullptr);
+}
+
+Router::AttemptOutcome Router::AttemptReplicas(const std::string& cmd,
+                                               const JsonValue& request,
+                                               const JsonValue* id,
+                                               const std::string& line,
+                                               const TraceContext* context) {
   std::string graph;
   if (const JsonValue* g = request.Find("graph");
       g != nullptr && g->is_string()) {
@@ -382,45 +575,75 @@ std::string Router::RouteGraphCommand(const std::string& cmd,
   std::vector<std::size_t> owners =
       graph.empty() ? ring_.Owners(cmd, options_.replication)
                     : OwnersFor(graph);
-  // Every routed command is a pure read, so any owner serves it with a
-  // bit-identical response. Prefer the least-loaded owner (in-flight
-  // count, i.e. pool pressure), breaking ties round-robin so an idle
-  // fleet still spreads; the rest of the list is the failover order.
-  if (owners.size() > 1) {
-    std::size_t shift =
-        read_rotation_.fetch_add(1, std::memory_order_relaxed) %
-        owners.size();
-    std::rotate(owners.begin(),
-                owners.begin() + static_cast<std::ptrdiff_t>(shift),
-                owners.end());
-    std::stable_sort(owners.begin(), owners.end(),
-                     [this](std::size_t a, std::size_t b) {
-                       return workers_[a]->in_flight() <
-                              workers_[b]->in_flight();
-                     });
+  {
+    // Every routed command is a pure read, so any owner serves it with a
+    // bit-identical response. Prefer the least-loaded owner (in-flight
+    // count, i.e. pool pressure), breaking ties round-robin so an idle
+    // fleet still spreads; the rest of the list is the failover order.
+    GQD_TRACE_SPAN(pick_span, "route.replica_pick");
+    GQD_TRACE_SPAN_ATTR(pick_span, "owners", owners.size());
+    if (owners.size() > 1) {
+      std::size_t shift =
+          read_rotation_.fetch_add(1, std::memory_order_relaxed) %
+          owners.size();
+      std::rotate(owners.begin(),
+                  owners.begin() + static_cast<std::ptrdiff_t>(shift),
+                  owners.end());
+      std::stable_sort(owners.begin(), owners.end(),
+                       [this](std::size_t a, std::size_t b) {
+                         return workers_[a]->in_flight() <
+                                workers_[b]->in_flight();
+                       });
+    }
   }
   bool table_routed = false;
   if (!graph.empty()) {
     std::lock_guard<std::mutex> lock(table_mutex_);
     table_routed = table_.find(graph) != table_.end();
   }
+  AttemptOutcome out;
   std::int64_t min_retry_hint = std::numeric_limits<std::int64_t>::max();
   bool any_shed = false;
   bool any_attempt = false;
   for (std::size_t attempt = 0; attempt < owners.size(); attempt++) {
-    WorkerLink& worker = *workers_[owners[attempt]];
+    std::size_t index = owners[attempt];
+    WorkerLink& worker = *workers_[index];
     if (!worker.Routable()) {
       continue;
     }
     if (any_attempt) {
       failovers_.fetch_add(1, std::memory_order_relaxed);
       failovers_total_->Inc();
+      out.failovers++;
+      // Emitted under the request's trace binding (when traced), so the
+      // event joins the merged trace by trace_id.
+      EventLog::Global().Emit(LogLevel::kWarn, "cluster", "failover",
+                              {{"cmd", cmd},
+                               {"graph", graph},
+                               {"to_worker", std::to_string(index)}});
     }
     any_attempt = true;
     requests_total_->Inc();
-    auto response = worker.Roundtrip(line);
+    auto response = [&] {
+      // One transport span per attempt; the forwarded context parents the
+      // worker's spans under it, so each failover leg nests separately.
+      GQD_TRACE_SPAN(transport_span, "route.transport");
+      GQD_TRACE_SPAN_ATTR(transport_span, "worker", index);
+      if (context == nullptr) {
+        return worker.Roundtrip(line);
+      }
+      TraceContext attempt_context = *context;
+      if (transport_span.span_id() != 0) {
+        attempt_context.parent_span = transport_span.span_id();
+      }
+      return worker.Roundtrip(
+          LineWithTrace(request, attempt_context.ToTraceparent()));
+    }();
     if (!response.ok()) {
       continue;  // transport failure (possibly mid-request): next replica
+    }
+    if (context != nullptr) {
+      out.participants.push_back(index);
     }
     ResponseClass cls = ClassifyWorkerResponse(response.value());
     if (cls.shed) {
@@ -440,23 +663,144 @@ std::string Router::RouteGraphCommand(const std::string& cmd,
     if (cmd == "eval" || cmd == "check") {
       RecordEvalForWarmup(graph, line);
     }
-    return response.value();
+    out.response = std::move(response).value();
+    out.success = true;
+    out.served_by = static_cast<int>(index);
+    return out;
   }
   if (any_shed) {
     sheds_returned_.fetch_add(1, std::memory_order_relaxed);
     sheds_total_->Inc();
+    EventLog::Global().Emit(LogLevel::kWarn, "cluster", "shed_returned",
+                            {{"cmd", cmd}, {"graph", graph}});
     std::int64_t hint =
         min_retry_hint == std::numeric_limits<std::int64_t>::max()
             ? options_.retry_after_ms
             : min_retry_hint;
-    return ErrorLine(id, Status::Unavailable("all replicas shed the request"),
-                     hint);
+    out.response = ErrorLine(
+        id, Status::Unavailable("all replicas shed the request"), hint);
+    return out;
   }
   all_down_returned_.fetch_add(1, std::memory_order_relaxed);
   all_down_total_->Inc();
-  return ErrorLine(
+  EventLog::Global().Emit(LogLevel::kError, "cluster", "all_replicas_down",
+                          {{"cmd", cmd}, {"graph", graph}});
+  out.response = ErrorLine(
       id, Status::Unavailable("all replicas for this shard are down"),
       options_.retry_after_ms);
+  return out;
+}
+
+std::string Router::WithRoutingFields(const AttemptOutcome& out,
+                                      const std::string* tree_json) {
+  auto parsed = JsonValue::Parse(out.response);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    return out.response;  // never ours; relay verbatim
+  }
+  JsonValue::Object body = parsed.value().AsObject();
+  body.emplace_back("served_by", static_cast<double>(out.served_by));
+  body.emplace_back("failovers", static_cast<double>(out.failovers));
+  if (tree_json != nullptr) {
+    const JsonValue* ok_field = parsed.value().Find("ok");
+    if (ok_field != nullptr && ok_field->is_bool() && ok_field->AsBool()) {
+      auto tree = JsonValue::Parse(*tree_json);
+      if (tree.ok()) {
+        body.emplace_back("trace", std::move(tree).value());
+      }
+    }
+  }
+  return JsonValue(std::move(body)).Serialize();
+}
+
+bool Router::QualifiesForCollection(const std::string& cmd,
+                                    std::uint64_t latency_us) {
+  if (options_.exemplar_capacity == 0) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    auto it = exemplars_.find(cmd);
+    if (it == exemplars_.end() ||
+        it->second.size() < options_.exemplar_capacity) {
+      return true;  // room in the store: deterministic early coverage
+    }
+  }
+  // Rolling tail threshold: the command's latency histogram p99 as of the
+  // requests routed so far (this one is observed after the decision).
+  std::uint64_t p99 = CommandLatency(cmd)->QuantileUpperBound(0.99);
+  return p99 != 0 && latency_us >= p99;
+}
+
+std::vector<OwnedSpan> Router::CollectTrace(
+    const TraceContext& context,
+    const std::vector<std::size_t>& participants) {
+  std::vector<OwnedSpan> merged = OwnSpans(
+      collector_.Take(context.trace_hi, context.trace_lo), "router", 1);
+  const std::string drain_line =
+      "{\"cmd\":\"spans\",\"trace\":\"" + context.ToTraceparent() + "\"}";
+  std::vector<bool> drained(workers_.size(), false);
+  for (std::size_t index : participants) {
+    if (drained[index]) {
+      continue;  // one worker can serve several failover legs
+    }
+    drained[index] = true;
+    WorkerLink& worker = *workers_[index];
+    std::uint64_t before = Tracer::NowNs();
+    auto response = worker.Roundtrip(drain_line);
+    std::uint64_t after = Tracer::NowNs();
+    if (!response.ok()) {
+      continue;  // died since serving; its spans are lost, the rest render
+    }
+    auto parsed = JsonValue::Parse(response.value());
+    if (!parsed.ok() || !parsed.value().is_object()) {
+      continue;
+    }
+    const JsonValue* spans = parsed.value().Find("spans");
+    if (spans == nullptr || !spans->is_array()) {
+      continue;
+    }
+    // Midpoint alignment: assume the worker sampled now_ns halfway
+    // through the drain roundtrip and shift its monotonic epoch onto
+    // ours. Error is bounded by half the (local-loopback) roundtrip.
+    std::int64_t offset = 0;
+    auto worker_now = parsed.value().GetIntOr("now_ns", 0);
+    if (worker_now.ok() && worker_now.value() > 0) {
+      offset = static_cast<std::int64_t>(before / 2 + after / 2) -
+               worker_now.value();
+    }
+    std::vector<OwnedSpan> batch =
+        ParseSpanBatch(spans->Serialize(), "worker " + std::to_string(index),
+                       static_cast<std::uint32_t>(index + 2));
+    for (OwnedSpan& span : batch) {
+      auto shifted = static_cast<std::int64_t>(span.start_ns) + offset;
+      span.start_ns = shifted > 0 ? static_cast<std::uint64_t>(shifted) : 0;
+      merged.push_back(std::move(span));
+    }
+  }
+  return merged;
+}
+
+void Router::RecordExemplar(const std::string& cmd, Exemplar exemplar) {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  std::vector<Exemplar>& slot = exemplars_[cmd];
+  slot.push_back(std::move(exemplar));
+  std::stable_sort(slot.begin(), slot.end(),
+                   [](const Exemplar& a, const Exemplar& b) {
+                     return a.latency_us > b.latency_us;
+                   });
+  if (slot.size() > options_.exemplar_capacity) {
+    slot.resize(options_.exemplar_capacity);
+  }
+}
+
+void Router::AppendTraceSink(const std::vector<OwnedSpan>& spans) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  for (const OwnedSpan& span : spans) {
+    if (trace_sink_.size() >= kTraceSinkCapacity) {
+      return;
+    }
+    trace_sink_.push_back(span);
+  }
 }
 
 void Router::RecordEvalForWarmup(const std::string& graph,
@@ -503,10 +847,33 @@ void Router::HealthLoop() {
           worker->CompleteRejoin();
           warm_replays_.fetch_add(1, std::memory_order_relaxed);
           warm_replays_total_->Inc();
+          EventLog::Global().Emit(
+              LogLevel::kInfo, "cluster", "warm_replay",
+              {{"worker", std::to_string(worker->index())}});
         } else {
           worker->AbortRejoin();
         }
       }
+    }
+    // State transitions become structured events here, one per edge. The
+    // probe loop sees every worker each period, so an edge taken on the
+    // request path (e.g. RecordFailure on registry loss) surfaces within
+    // one probe interval.
+    for (auto& worker : workers_) {
+      WorkerState now_state = worker->state();
+      WorkerState& last = logged_states_[worker->index()];
+      if (now_state == last) {
+        continue;
+      }
+      LogLevel level = now_state == WorkerState::kDead ? LogLevel::kError
+                       : now_state == WorkerState::kSuspect
+                           ? LogLevel::kWarn
+                           : LogLevel::kInfo;
+      EventLog::Global().Emit(level, "cluster", "worker_state",
+                              {{"worker", std::to_string(worker->index())},
+                               {"from", WorkerStateName(last)},
+                               {"to", WorkerStateName(now_state)}});
+      last = now_state;
     }
     UpdateStateGauges();
     std::unique_lock<std::mutex> lock(health_mutex_);

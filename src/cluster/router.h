@@ -31,6 +31,24 @@
 // or dead claims rejoining, replays the router's load log and recent eval
 // log for the shards the worker owns (cache warming), then restores
 // healthy. Rejoining workers take no traffic.
+//
+// Tracing (docs/observability.md): every routed eval/check — and any
+// routed command the client sends with `"trace": true` — gets a minted
+// TraceContext. Router-side spans (route.request, route.replica_pick,
+// route.transport) record into a SpanCollector; each forwarded line
+// carries the context as a `"trace"` traceparent string with the
+// transport span as parent, so worker spans nest under the attempt that
+// carried them. After the response, tail sampling decides whether to pay
+// for collection: the client asked, the latency reached the command's
+// rolling p99, the exemplar store has room, or --trace-out is recording.
+// Collection drains the router's own spans plus each participating
+// worker's (`spans` roundtrip, clock-offset aligned) and merges them into
+// one cross-process tree keyed by the trace id. The slowest traces per
+// command are retained as exemplars, surfaced by `stats`; every routed
+// response gains `served_by` (worker index) and `failovers` (replica
+// retries this request). Operational events (failovers, sheds,
+// worker-state transitions, warm replays) go to the structured EventLog,
+// drained by the `log` command.
 
 #ifndef GQD_CLUSTER_ROUTER_H_
 #define GQD_CLUSTER_ROUTER_H_
@@ -39,6 +57,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -49,6 +68,7 @@
 #include "cluster/hash_ring.h"
 #include "cluster/worker_link.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "runtime/json.h"
 #include "runtime/line_handler.h"
 
@@ -72,6 +92,14 @@ struct RouterOptions {
   /// Fallback retry hint when the fleet is down and no worker supplied
   /// one.
   int retry_after_ms = 50;
+  /// Tail-sampled slow-trace exemplars retained per command (0 disables
+  /// the exemplar store, not tracing itself).
+  std::size_t exemplar_capacity = 4;
+  /// When non-empty, Stop() writes every merged trace collected over the
+  /// router's lifetime to this path as one Chrome trace-event JSON file
+  /// (one process track per participant). Forces collection on every
+  /// traced request.
+  std::string trace_out;
 };
 
 class Router : public LineHandler {
@@ -120,16 +148,55 @@ class Router : public LineHandler {
     std::string graph;
     std::string line;
   };
+  /// One replica-failover pass over a shard's owners.
+  struct AttemptOutcome {
+    std::string response;  ///< the line to relay (success or error)
+    bool success = false;  ///< response came from a worker, not ErrorLine
+    int served_by = -1;    ///< worker index that produced the response
+    std::uint64_t failovers = 0;  ///< replica retries within this request
+    /// Workers that answered a traced roundtrip (may hold spans to drain).
+    std::vector<std::size_t> participants;
+  };
+  /// A retained slow-request trace.
+  struct Exemplar {
+    std::string trace_id;
+    std::uint64_t latency_us = 0;
+    std::int64_t ts_ms = 0;  ///< wall clock at retention
+    std::string tree_json;   ///< MergedSpanTreeToJson output
+  };
 
   JsonValue HandlePing() const;
   JsonValue HandleStats();
   JsonValue HandleMetricsCmd();
+  JsonValue HandleLogCmd(const JsonValue& request) const;
   std::string HandleShutdown(const JsonValue* id);
   std::string HandleLoad(const JsonValue& request, const JsonValue* id,
                          const std::string& line);
   std::string RouteGraphCommand(const std::string& cmd,
                                 const JsonValue& request, const JsonValue* id,
                                 const std::string& line);
+  /// The replica-failover loop. With `context`, each attempt opens a
+  /// route.transport span and forwards the line rewritten to carry the
+  /// context (parented under that span) instead of `line` verbatim.
+  AttemptOutcome AttemptReplicas(const std::string& cmd,
+                                 const JsonValue& request, const JsonValue* id,
+                                 const std::string& line,
+                                 const TraceContext* context);
+  /// Injects served_by/failovers — plus the merged trace tree when
+  /// `tree_json` is given and the response is ok — into a relayed line.
+  std::string WithRoutingFields(const AttemptOutcome& out,
+                                const std::string* tree_json);
+
+  /// Post-hoc tail-sampling decision for a completed traced request.
+  bool QualifiesForCollection(const std::string& cmd,
+                              std::uint64_t latency_us);
+  /// Drains the router's own spans plus each participant worker's
+  /// (`spans` roundtrip, clock-offset aligned) into one merged span set.
+  std::vector<OwnedSpan> CollectTrace(
+      const TraceContext& context,
+      const std::vector<std::size_t>& participants);
+  void RecordExemplar(const std::string& cmd, Exemplar exemplar);
+  void AppendTraceSink(const std::vector<OwnedSpan>& spans);
 
   /// Owners for `graph` from the routing table, or the name-hash fallback.
   std::vector<std::size_t> OwnersFor(const std::string& graph);
@@ -150,6 +217,19 @@ class Router : public LineHandler {
   mutable std::mutex table_mutex_;
   std::unordered_map<std::string, RouteEntry> table_;
   std::deque<WarmEntry> warm_log_;
+
+  /// Router-side spans for in-flight traced requests (shared across
+  /// server threads; Take extracts one trace's spans by id).
+  SpanCollector collector_;
+  /// Tail-sampled exemplars, slowest-first per command.
+  mutable std::mutex exemplar_mutex_;
+  std::unordered_map<std::string, std::vector<Exemplar>> exemplars_;
+  /// Spans destined for the --trace-out Chrome trace, bounded.
+  static constexpr std::size_t kTraceSinkCapacity = 64 * 1024;
+  mutable std::mutex sink_mutex_;
+  std::vector<OwnedSpan> trace_sink_;
+  /// Last observed worker states, for state-transition log events.
+  std::vector<WorkerState> logged_states_;
 
   /// Round-robin cursor spreading reads across each shard's R owners.
   std::atomic<std::uint64_t> read_rotation_{0};
@@ -176,7 +256,15 @@ class Router : public LineHandler {
   Counter* warm_lines_total_;
   Counter* graph_loads_total_;
   Counter* replicated_loads_total_;
+  Counter* traces_collected_total_;
   Histogram* request_latency_us_;
+
+  /// Per-command latency histograms (also rendered by `metrics` as
+  /// gqd_cluster_command_latency_us{command=...}); the map lets `stats`
+  /// enumerate the commands seen so far for its quantile block.
+  Histogram* CommandLatency(const std::string& cmd);
+  mutable std::mutex command_mutex_;
+  std::map<std::string, Histogram*> command_latency_;
 };
 
 }  // namespace gqd

@@ -1,4 +1,4 @@
-#include "runtime/json.h"
+#include "common/json.h"
 
 #include <cctype>
 #include <cmath>

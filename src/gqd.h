@@ -18,9 +18,11 @@
 #include "common/status.h"     // IWYU pragma: export
 
 // Observability: span tracing and metrics.
-#include "obs/export.h"   // IWYU pragma: export
-#include "obs/metrics.h"  // IWYU pragma: export
-#include "obs/trace.h"    // IWYU pragma: export
+#include "obs/export.h"         // IWYU pragma: export
+#include "obs/log.h"            // IWYU pragma: export
+#include "obs/metrics.h"        // IWYU pragma: export
+#include "obs/trace.h"          // IWYU pragma: export
+#include "obs/trace_context.h"  // IWYU pragma: export
 
 // Data graphs and relations.
 #include "graph/data_graph.h"     // IWYU pragma: export

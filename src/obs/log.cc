@@ -1,0 +1,185 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/json_util.h"
+#include "obs/trace.h"
+
+namespace gqd {
+
+namespace {
+
+std::string TraceIdFromBinding() {
+  Tracer::Binding binding = Tracer::CurrentBinding();
+  if ((binding.trace_hi | binding.trace_lo) == 0) {
+    return std::string();
+  }
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64 "%016" PRIx64,
+                binding.trace_hi, binding.trace_lo);
+  return buf;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string LogEvent::ToJson() const {
+  std::string out = "{\"seq\":" + std::to_string(seq);
+  out += ",\"ts_ms\":" + std::to_string(wall_ms);
+  out += ",\"mono_ns\":" + std::to_string(mono_ns);
+  out += ",\"level\":\"";
+  out += LogLevelName(level);
+  out += "\",\"component\":" + JsonQuote(component);
+  out += ",\"event\":" + JsonQuote(event);
+  if (!trace_id.empty()) {
+    out += ",\"trace_id\":" + JsonQuote(trace_id);
+  }
+  for (const auto& [key, value] : fields) {
+    out += "," + JsonQuote(key) + ":" + JsonQuote(value);
+  }
+  out.push_back('}');
+  return out;
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+EventLog::~EventLog() = default;
+
+Status EventLog::OpenSink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_.close();
+  sink_.clear();
+  sink_.open(path, std::ios::app);
+  if (!sink_) {
+    return Status::InvalidArgument("cannot open log sink '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void EventLog::Emit(LogLevel level, const std::string& component,
+                    const std::string& event, std::vector<Field> fields) {
+  if (static_cast<int>(level) <
+      min_level_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  LogEvent entry;
+  entry.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  entry.wall_ms = static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  entry.mono_ns = Tracer::NowNs();
+  entry.level = level;
+  entry.component = component;
+  entry.event = event;
+  entry.trace_id = TraceIdFromBinding();
+  entry.fields = std::move(fields);
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_.is_open()) {
+    sink_ << entry.ToJson() << '\n';
+    sink_.flush();
+  }
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<LogEvent> EventLog::Snapshot(LogLevel min_level) const {
+  std::vector<LogEvent> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const LogEvent& event : ring_) {
+    if (static_cast<int>(event.level) >= static_cast<int>(min_level)) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::string EventLog::ToJsonArray(LogLevel min_level) const {
+  std::string out = "[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const LogEvent& event : ring_) {
+    if (static_cast<int>(event.level) < static_cast<int>(min_level)) {
+      continue;
+    }
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += event.ToJson();
+  }
+  out.push_back(']');
+  return out;
+}
+
+EventLog& EventLog::Global() {
+  // Leaked on purpose: emitters (router health thread, server threads) may
+  // outlive static destruction order.
+  static EventLog* global = [] {
+    auto* log = new EventLog();
+    const char* spec = std::getenv("GQD_LOG");
+    if (spec != nullptr && *spec != '\0') {
+      std::string text(spec);
+      std::string level_text = text;
+      std::string path;
+      if (std::size_t colon = text.find(':'); colon != std::string::npos) {
+        level_text = text.substr(0, colon);
+        path = text.substr(colon + 1);
+      }
+      LogLevel level;
+      if (ParseLogLevel(level_text, &level)) {
+        log->SetMinLevel(level);
+      } else {
+        std::fprintf(stderr, "gqd: ignoring bad GQD_LOG level '%s'\n",
+                     level_text.c_str());
+      }
+      if (!path.empty()) {
+        Status opened = log->OpenSink(path);
+        if (!opened.ok()) {
+          std::fprintf(stderr, "gqd: %s\n",
+                       std::string(opened.message()).c_str());
+        }
+      }
+    }
+    return log;
+  }();
+  return *global;
+}
+
+}  // namespace gqd

@@ -1,0 +1,123 @@
+// Structured JSON event log.
+//
+// EventLog records discrete operational events — router worker-state
+// transitions, failovers, admission sheds, storage loads, budget
+// exhaustion — as one-line JSON objects with a level, both clocks
+// (monotonic trace-epoch nanoseconds + wall milliseconds), a component,
+// an event name, free-form string fields, and automatic trace-id
+// correlation: an event emitted while a TraceBindingScope is live carries
+// that trace's 32-hex id, so slow-request forensics can join the log
+// against a merged trace.
+//
+// Storage is a bounded in-memory ring (drained over the wire by the
+// serve/route `log` command) plus an optional append-only file sink. The
+// process-wide instance (EventLog::Global()) is configured by
+// GQD_LOG=level[:path], e.g. GQD_LOG=debug or GQD_LOG=info:/tmp/gqd.log;
+// unset defaults to level info with no file sink. Emit below the minimum
+// level costs one atomic load.
+//
+//   EventLog::Global().Emit(LogLevel::kWarn, "cluster", "failover",
+//                           {{"worker", "2"}, {"cmd", "eval"}});
+//
+// Event JSON shape (docs/observability.md):
+//   {"seq":N,"ts_ms":...,"mono_ns":...,"level":"warn","component":"...",
+//    "event":"...","trace_id":"<32 hex>",...fields}
+
+#ifndef GQD_OBS_LOG_H_
+#define GQD_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gqd {
+
+enum class LogLevel : int { kDebug = 0, kInfo, kWarn, kError };
+
+const char* LogLevelName(LogLevel level);
+/// Accepts "debug", "info", "warn", "error".
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+/// One recorded event. Fields are string key/value pairs; numeric values
+/// are rendered by the caller (keeps the schema trivial to consume).
+struct LogEvent {
+  std::uint64_t seq = 0;       ///< process-wide emission order
+  std::int64_t wall_ms = 0;    ///< system_clock milliseconds since epoch
+  std::uint64_t mono_ns = 0;   ///< Tracer::NowNs (trace-epoch aligned)
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string event;
+  std::string trace_id;        ///< 32 hex chars, empty when uncorrelated
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  std::string ToJson() const;
+};
+
+class EventLog {
+ public:
+  using Field = std::pair<std::string, std::string>;
+
+  explicit EventLog(std::size_t capacity = kDefaultCapacity);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Events below `level` are dropped at the Emit call site.
+  void SetMinLevel(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+
+  /// Opens (appends to) a file sink; every retained event is also written
+  /// as one JSON line. Replaces any previous sink.
+  Status OpenSink(const std::string& path);
+
+  /// Records one event. The trace id is captured from the calling
+  /// thread's current trace binding when one is installed.
+  void Emit(LogLevel level, const std::string& component,
+            const std::string& event, std::vector<Field> fields = {});
+
+  /// Retained events at or above `min_level`, oldest first.
+  std::vector<LogEvent> Snapshot(LogLevel min_level = LogLevel::kDebug) const;
+
+  /// Snapshot rendered as a JSON array of event objects.
+  std::string ToJsonArray(LogLevel min_level = LogLevel::kDebug) const;
+
+  std::uint64_t emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  /// Ring evictions (events emitted but no longer retained).
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// The process-wide log, configured once from GQD_LOG=level[:path].
+  static EventLog& Global();
+
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> next_seq_{1};
+
+  mutable std::mutex mutex_;  ///< guards ring_ and sink_
+  std::deque<LogEvent> ring_;
+  std::ofstream sink_;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_OBS_LOG_H_

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -24,7 +26,23 @@ std::chrono::steady_clock::time_point TraceEpoch() {
 // first traced span does not pay for it and timestamps start near zero.
 const std::chrono::steady_clock::time_point g_epoch_anchor = TraceEpoch();
 
-std::atomic<std::uint64_t> g_next_span_id{1};
+/// Span ids must stay unique across every process contributing to one
+/// merged cluster trace, so the counter starts at a per-process random
+/// base (splitmix64 over pid + wall clock) with the low 32 bits left free
+/// to count. Never 0 (0 marks "no parent").
+std::uint64_t SpanIdSeed() {
+  std::uint64_t x = static_cast<std::uint64_t>(::getpid());
+  x ^= static_cast<std::uint64_t>(
+           std::chrono::system_clock::now().time_since_epoch().count())
+       << 16;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return (x & ~0xffffffffULL) | 1;
+}
+
+std::atomic<std::uint64_t> g_next_span_id{SpanIdSeed()};
 std::atomic<std::uint64_t> g_next_tracer_id{1};
 
 thread_local Tracer* tl_current_tracer = nullptr;
@@ -35,6 +53,10 @@ thread_local Tracer* tl_current_tracer = nullptr;
 // parent simply fails to resolve there and renders as a root.
 thread_local std::uint64_t tl_current_span = 0;
 thread_local std::uint32_t tl_current_depth = 0;
+// Distributed-trace binding (TraceBindingScope): the trace id stamped on
+// every span this thread records. Zero outside any bound context.
+thread_local std::uint64_t tl_trace_hi = 0;
+thread_local std::uint64_t tl_trace_lo = 0;
 #endif  // GQD_DISABLE_TRACING
 
 // Ring lookup cache. Validated against the tracer's process-unique id so a
@@ -190,7 +212,28 @@ std::uint64_t Tracer::NextSpanId() {
   return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
 }
 
+Tracer::Binding Tracer::CurrentBinding() {
 #ifndef GQD_DISABLE_TRACING
+  return Binding{tl_trace_hi, tl_trace_lo, tl_current_span};
+#else
+  return Binding{};
+#endif
+}
+
+#ifndef GQD_DISABLE_TRACING
+
+TraceBindingScope::TraceBindingScope(const Tracer::Binding& binding)
+    : saved_{tl_trace_hi, tl_trace_lo, tl_current_span} {
+  tl_trace_hi = binding.trace_hi;
+  tl_trace_lo = binding.trace_lo;
+  tl_current_span = binding.parent_span;
+}
+
+TraceBindingScope::~TraceBindingScope() {
+  tl_trace_hi = saved_.trace_hi;
+  tl_trace_lo = saved_.trace_lo;
+  tl_current_span = saved_.parent_span;
+}
 
 Span::Span(const char* name) : tracer_(tl_current_tracer) {
   if (tracer_ == nullptr) {
@@ -200,6 +243,8 @@ Span::Span(const char* name) : tracer_(tl_current_tracer) {
   record_.start_ns = Tracer::NowNs();
   record_.span_id = Tracer::NextSpanId();
   record_.parent_id = tl_current_span;
+  record_.trace_hi = tl_trace_hi;
+  record_.trace_lo = tl_trace_lo;
   record_.depth = tl_current_depth;
   saved_parent_ = tl_current_span;
   saved_depth_ = tl_current_depth;

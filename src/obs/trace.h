@@ -49,6 +49,8 @@ struct SpanRecord {
   std::uint64_t dur_ns = 0;
   std::uint64_t span_id = 0;
   std::uint64_t parent_id = 0;  ///< 0 when the span is a root
+  std::uint64_t trace_hi = 0;   ///< 128-bit distributed trace id, or 0/0
+  std::uint64_t trace_lo = 0;   ///< when no trace context was bound
   std::uint32_t tid = 0;        ///< small per-process thread index
   std::uint32_t depth = 0;      ///< nesting depth on its thread (root = 0)
   struct Attr {
@@ -114,8 +116,20 @@ class Tracer {
   /// Nanoseconds since the process trace epoch (monotonic clock).
   static std::uint64_t NowNs();
 
-  /// Allocates a process-unique span id (never 0).
+  /// Allocates a process-unique span id (never 0). Seeded per process from
+  /// pid + clock so ids from different processes in one merged cluster
+  /// trace cannot collide.
   static std::uint64_t NextSpanId();
+
+  /// The calling thread's distributed-trace binding: the 128-bit trace id
+  /// every recorded span is stamped with, and the span id new roots parent
+  /// under. All-zero when no context is bound (the default).
+  struct Binding {
+    std::uint64_t trace_hi = 0;
+    std::uint64_t trace_lo = 0;
+    std::uint64_t parent_span = 0;
+  };
+  static Binding CurrentBinding();
 
   static constexpr std::size_t kDefaultRingCapacity = 64 * 1024;
 
@@ -148,11 +162,33 @@ class Span {
 
   bool active() const { return tracer_ != nullptr; }
 
+  /// The span's process-unique id (0 while inactive). Used by the router
+  /// to parent remote worker spans under its transport span.
+  std::uint64_t span_id() const { return record_.span_id; }
+
  private:
   Tracer* tracer_;
   SpanRecord record_;
   std::uint64_t saved_parent_ = 0;
   std::uint32_t saved_depth_ = 0;
+};
+
+/// RAII distributed-trace binding: stamps the given 128-bit trace id on
+/// every span the calling thread records while the scope is live, and
+/// reparents new root spans under `binding.parent_span` (a span id from
+/// another thread or another process). Restores the previous binding on
+/// destruction. Used to propagate a TraceContext received over the wire
+/// into the tracer, and to carry the submitting thread's context into
+/// pool tasks (alongside Tracer::Scope).
+class TraceBindingScope {
+ public:
+  explicit TraceBindingScope(const Tracer::Binding& binding);
+  ~TraceBindingScope();
+  TraceBindingScope(const TraceBindingScope&) = delete;
+  TraceBindingScope& operator=(const TraceBindingScope&) = delete;
+
+ private:
+  Tracer::Binding saved_;
 };
 
 #else  // GQD_DISABLE_TRACING
@@ -165,6 +201,12 @@ class Span {
   explicit Span(const char*) {}
   void AddAttr(const char*, std::uint64_t) {}
   bool active() const { return false; }
+  std::uint64_t span_id() const { return 0; }
+};
+
+class TraceBindingScope {
+ public:
+  explicit TraceBindingScope(const Tracer::Binding&) {}
 };
 
 #endif  // GQD_DISABLE_TRACING

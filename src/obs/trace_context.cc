@@ -1,0 +1,392 @@
+#include "obs/trace_context.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "common/json.h"
+#include "common/json_util.h"
+
+namespace gqd {
+
+namespace {
+
+std::string HexU64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+  return buf;
+}
+
+bool ParseHexU64(const std::string& text, std::size_t offset,
+                 std::uint64_t* out) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 16; i++) {
+    char c = text[offset + i];
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+/// splitmix64 over a per-call seed: good-enough unpredictability for trace
+/// ids without dragging in <random> state management.
+std::uint64_t MixedRandom() {
+  static std::atomic<std::uint64_t> counter{
+      static_cast<std::uint64_t>(::getpid()) ^
+      (static_cast<std::uint64_t>(
+           std::chrono::system_clock::now().time_since_epoch().count())
+       << 17)};
+  std::uint64_t x =
+      counter.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Nanoseconds rendered as decimal microseconds ("12.345"), matching the
+/// per-process exporters so merged and local trees read identically.
+std::string NsToUsString(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  return buf;
+}
+
+void AppendOwnedArgs(const OwnedSpan& span, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : span.args) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    *out += JsonQuote(key);
+    out->push_back(':');
+    *out += std::to_string(value);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string TraceContext::TraceIdHex() const {
+  return HexU64(trace_hi) + HexU64(trace_lo);
+}
+
+std::string TraceContext::ToTraceparent() const {
+  return "00-" + TraceIdHex() + "-" + HexU64(parent_span) + "-01";
+}
+
+bool TraceContext::FromTraceparent(const std::string& text,
+                                   TraceContext* out) {
+  // 00-<32 hex>-<16 hex>-01 → 2 + 1 + 32 + 1 + 16 + 1 + 2 = 55 chars.
+  if (text.size() != 55 || text[0] != '0' || text[1] != '0' ||
+      text[2] != '-' || text[35] != '-' || text[52] != '-' ||
+      text[53] != '0' || text[54] != '1') {
+    return false;
+  }
+  TraceContext parsed;
+  if (!ParseHexU64(text, 3, &parsed.trace_hi) ||
+      !ParseHexU64(text, 19, &parsed.trace_lo) ||
+      !ParseHexU64(text, 36, &parsed.parent_span)) {
+    return false;
+  }
+  if (!parsed.valid()) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+TraceContext TraceContext::Mint() {
+  TraceContext ctx;
+  // Retry the improbable all-zero draw: zero means "untraced" everywhere.
+  do {
+    ctx.trace_hi = MixedRandom();
+    ctx.trace_lo = MixedRandom();
+  } while (!ctx.valid());
+  ctx.parent_span = 0;
+  return ctx;
+}
+
+std::string SerializeSpanBatch(const std::vector<SpanRecord>& spans) {
+  std::string out = "[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += "{\"name\":";
+    out += JsonQuote(span.name);
+    out += ",\"start_ns\":";
+    out += std::to_string(span.start_ns);
+    out += ",\"dur_ns\":";
+    out += std::to_string(span.dur_ns);
+    out += ",\"span_id\":\"";
+    out += HexU64(span.span_id);
+    out += "\",\"parent_id\":\"";
+    out += HexU64(span.parent_id);
+    out += "\",\"tid\":";
+    out += std::to_string(span.tid);
+    out += ",\"args\":{";
+    for (std::uint32_t a = 0; a < span.num_attrs; a++) {
+      if (a > 0) {
+        out.push_back(',');
+      }
+      out += JsonQuote(span.attrs[a].key);
+      out.push_back(':');
+      out += std::to_string(span.attrs[a].value);
+    }
+    out += "}}";
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::vector<OwnedSpan> ParseSpanBatch(const std::string& json,
+                                      const std::string& source,
+                                      std::uint32_t pid) {
+  std::vector<OwnedSpan> out;
+  auto parsed = JsonValue::Parse(json);
+  if (!parsed.ok() || !parsed.value().is_array()) {
+    return out;
+  }
+  for (const JsonValue& entry : parsed.value().AsArray()) {
+    if (!entry.is_object()) {
+      continue;
+    }
+    OwnedSpan span;
+    auto name = entry.GetStringOr("name", "");
+    if (!name.ok() || name.value().empty()) {
+      continue;
+    }
+    span.name = name.value();
+    auto span_id = entry.GetStringOr("span_id", "");
+    auto parent_id = entry.GetStringOr("parent_id", "");
+    if (!span_id.ok() || span_id.value().size() != 16 ||
+        !ParseHexU64(span_id.value(), 0, &span.span_id)) {
+      continue;
+    }
+    if (parent_id.ok() && parent_id.value().size() == 16) {
+      (void)ParseHexU64(parent_id.value(), 0, &span.parent_id);
+    }
+    auto start_ns = entry.GetIntOr("start_ns", 0);
+    auto dur_ns = entry.GetIntOr("dur_ns", 0);
+    auto tid = entry.GetIntOr("tid", 0);
+    span.start_ns =
+        start_ns.ok() ? static_cast<std::uint64_t>(start_ns.value()) : 0;
+    span.dur_ns = dur_ns.ok() ? static_cast<std::uint64_t>(dur_ns.value()) : 0;
+    span.tid = tid.ok() ? static_cast<std::uint32_t>(tid.value()) : 0;
+    span.pid = pid;
+    span.source = source;
+    if (const JsonValue* args = entry.Find("args");
+        args != nullptr && args->is_object()) {
+      for (const auto& [key, value] : args->AsObject()) {
+        if (value.is_number()) {
+          span.args.emplace_back(key,
+                                 static_cast<std::uint64_t>(value.AsNumber()));
+        }
+      }
+    }
+    out.push_back(std::move(span));
+  }
+  return out;
+}
+
+std::vector<OwnedSpan> OwnSpans(const std::vector<SpanRecord>& spans,
+                                const std::string& source,
+                                std::uint32_t pid) {
+  std::vector<OwnedSpan> out;
+  out.reserve(spans.size());
+  for (const SpanRecord& record : spans) {
+    OwnedSpan span;
+    span.name = record.name;
+    span.start_ns = record.start_ns;
+    span.dur_ns = record.dur_ns;
+    span.span_id = record.span_id;
+    span.parent_id = record.parent_id;
+    span.tid = record.tid;
+    span.pid = pid;
+    span.source = source;
+    for (std::uint32_t a = 0; a < record.num_attrs; a++) {
+      span.args.emplace_back(record.attrs[a].key, record.attrs[a].value);
+    }
+    out.push_back(std::move(span));
+  }
+  return out;
+}
+
+namespace {
+
+void AppendMergedNode(
+    const OwnedSpan& span,
+    const std::map<std::uint64_t, std::vector<std::size_t>>& children_of,
+    const std::vector<OwnedSpan>& spans, std::string* out) {
+  *out += "{\"name\":";
+  *out += JsonQuote(span.name);
+  *out += ",\"start_us\":";
+  *out += NsToUsString(span.start_ns);
+  *out += ",\"dur_us\":";
+  *out += NsToUsString(span.dur_ns);
+  *out += ",\"tid\":";
+  *out += std::to_string(span.tid);
+  *out += ",\"source\":";
+  *out += JsonQuote(span.source);
+  *out += ",\"args\":";
+  AppendOwnedArgs(span, out);
+  *out += ",\"children\":[";
+  auto it = children_of.find(span.span_id);
+  if (it != children_of.end()) {
+    bool first = true;
+    for (std::size_t child : it->second) {
+      if (!first) {
+        out->push_back(',');
+      }
+      first = false;
+      AppendMergedNode(spans[child], children_of, spans, out);
+    }
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string MergedSpanTreeToJson(const std::vector<OwnedSpan>& spans) {
+  // Stable render order regardless of collection order: by start time,
+  // span id breaking ties (same ordering the per-process Drain uses).
+  std::vector<std::size_t> order(spans.size());
+  for (std::size_t i = 0; i < spans.size(); i++) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&spans](std::size_t a, std::size_t b) {
+    return spans[a].start_ns != spans[b].start_ns
+               ? spans[a].start_ns < spans[b].start_ns
+               : spans[a].span_id < spans[b].span_id;
+  });
+  std::map<std::uint64_t, bool> present;
+  for (const OwnedSpan& span : spans) {
+    present[span.span_id] = true;
+  }
+  std::map<std::uint64_t, std::vector<std::size_t>> children_of;
+  std::vector<std::size_t> roots;
+  for (std::size_t i : order) {
+    const OwnedSpan& span = spans[i];
+    if (span.parent_id != 0 && present.count(span.parent_id) > 0) {
+      children_of[span.parent_id].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::string out = "[";
+  bool first = true;
+  for (std::size_t root : roots) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    AppendMergedNode(spans[root], children_of, spans, &out);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string MergedTraceToChromeJson(const std::vector<OwnedSpan>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // Name each process track once so chrome://tracing shows "router" /
+  // "worker N" instead of bare pids.
+  std::map<std::uint32_t, std::string> track_names;
+  for (const OwnedSpan& span : spans) {
+    auto [it, inserted] = track_names.emplace(span.pid, span.source);
+    (void)it;
+    (void)inserted;
+  }
+  for (const auto& [pid, name] : track_names) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"args\":{\"name\":";
+    out += JsonQuote(name);
+    out += "}}";
+  }
+  for (const OwnedSpan& span : spans) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += "{\"name\":";
+    out += JsonQuote(span.name);
+    out += ",\"cat\":\"gqd\",\"ph\":\"X\",\"ts\":";
+    out += NsToUsString(span.start_ns);
+    out += ",\"dur\":";
+    out += NsToUsString(span.dur_ns);
+    out += ",\"pid\":";
+    out += std::to_string(span.pid);
+    out += ",\"tid\":";
+    out += std::to_string(span.tid);
+    out += ",\"args\":";
+    AppendOwnedArgs(span, &out);
+    out.push_back('}');
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+SpanCollector::SpanCollector(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::vector<SpanRecord> SpanCollector::Take(std::uint64_t trace_hi,
+                                            std::uint64_t trace_lo) {
+  Tracer::DrainResult drained = tracer_.Drain();
+  std::vector<SpanRecord> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const SpanRecord& record : drained.spans) {
+    held_.push_back(record);
+  }
+  // Extract the requested trace, keep the rest held.
+  std::deque<SpanRecord> keep;
+  for (const SpanRecord& record : held_) {
+    if (record.trace_hi == trace_hi && record.trace_lo == trace_lo) {
+      out.push_back(record);
+    } else {
+      keep.push_back(record);
+    }
+  }
+  held_ = std::move(keep);
+  while (held_.size() > capacity_) {
+    held_.pop_front();
+    evicted_++;
+  }
+  // Drain() sorted its batch, but held spans from earlier drains precede
+  // newer ones only per batch; re-sort the extraction.
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.span_id < b.span_id;
+            });
+  return out;
+}
+
+std::uint64_t SpanCollector::evicted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_;
+}
+
+}  // namespace gqd

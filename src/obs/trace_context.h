@@ -1,0 +1,141 @@
+// Cross-process trace propagation for the cluster serving topology.
+//
+// A TraceContext is a 128-bit trace id plus the span id to parent under,
+// rendered on the wire in the W3C traceparent shape
+// (`00-<32 hex trace id>-<16 hex parent span id>-01`). The router mints
+// one per routed request (TraceContext::Mint), rewrites the request line
+// with a `"trace": "<traceparent>"` field, and the worker installs it via
+// TraceBindingScope so every span it records carries the trace id and its
+// root parents under the router's transport span.
+//
+// Workers keep traced spans in a SpanCollector — one shared Tracer plus a
+// bounded holding area — until the router drains them with the `spans`
+// protocol command. The batch crosses the wire as JSON (span ids as hex
+// strings: JSON numbers are doubles and 64-bit ids do not survive them),
+// is parsed into OwnedSpans (owning copies of the POD SpanRecords, tagged
+// with a source label and process track), aligned onto the router's clock
+// and merged with the router's own spans into one tree / one Chrome
+// trace. docs/observability.md documents the formats.
+
+#ifndef GQD_OBS_TRACE_CONTEXT_H_
+#define GQD_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace gqd {
+
+/// A distributed trace identity: 128-bit trace id + parent span id.
+struct TraceContext {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t parent_span = 0;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+
+  /// Lower 32 hex chars of the trace id (no parent), for log correlation
+  /// and response `trace_id` fields.
+  std::string TraceIdHex() const;
+
+  /// `00-<32 hex trace id>-<16 hex parent span>-01`.
+  std::string ToTraceparent() const;
+
+  /// Parses a traceparent produced by ToTraceparent. Returns false (and
+  /// leaves *out untouched) on any malformed input or an all-zero trace
+  /// id, so callers can treat garbage as "not traced".
+  static bool FromTraceparent(const std::string& text, TraceContext* out);
+
+  /// A fresh random 128-bit trace id with no parent.
+  static TraceContext Mint();
+
+  Tracer::Binding binding() const {
+    return Tracer::Binding{trace_hi, trace_lo, parent_span};
+  }
+};
+
+/// A span that owns its strings: the parsed form of a SpanRecord that
+/// crossed a process boundary, tagged with where it came from.
+struct OwnedSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;  ///< origin-process epoch until aligned
+  std::uint64_t dur_ns = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t pid = 1;  ///< process track in merged Chrome traces
+  std::string source;     ///< "router", "worker 0", ...
+  std::vector<std::pair<std::string, std::uint64_t>> args;
+};
+
+/// Serializes records as the `spans` command's batch payload: a JSON array
+/// of {"name","start_ns","dur_ns","span_id","parent_id","tid","args"}
+/// objects with span ids as 16-hex strings.
+std::string SerializeSpanBatch(const std::vector<SpanRecord>& spans);
+
+/// Parses a SerializeSpanBatch payload. `source` and `pid` tag every
+/// parsed span. Malformed entries are skipped, not fatal: a trace is a
+/// diagnostic artifact and a partial one still renders.
+std::vector<OwnedSpan> ParseSpanBatch(const std::string& json,
+                                      const std::string& source,
+                                      std::uint32_t pid);
+
+/// Copies drained local records into OwnedSpans under a source tag.
+std::vector<OwnedSpan> OwnSpans(const std::vector<SpanRecord>& spans,
+                                const std::string& source, std::uint32_t pid);
+
+/// Renders merged cross-process spans as a nested span tree — the same
+/// node shape the per-process SpanTreeToJson emits plus a "source" field:
+///   [{"name","start_us","dur_us","tid","source","args":{...},
+///     "children":[...]}, ...]
+/// Parent links resolve across sources (worker roots nest under the
+/// router's transport span); spans whose parent is absent become roots.
+std::string MergedSpanTreeToJson(const std::vector<OwnedSpan>& spans);
+
+/// Renders merged cross-process spans as Chrome trace-event JSON: one
+/// process track per distinct `pid`, named by `source` via metadata
+/// events, plus the same complete-event schema the per-process exporter
+/// uses.
+std::string MergedTraceToChromeJson(const std::vector<OwnedSpan>& spans);
+
+/// A Tracer plus a bounded holding area, shared by every traced request a
+/// process serves. Take() drains the tracer into the holding area and
+/// extracts the spans stamped with one trace id, leaving other in-flight
+/// traces' spans held for their own Take. The holding area is bounded:
+/// spans of traces nobody ever drains (tail-sampling leaves most behind)
+/// age out oldest-first.
+class SpanCollector {
+ public:
+  explicit SpanCollector(std::size_t capacity = kDefaultCapacity);
+
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Install with Tracer::Scope (plus a TraceBindingScope) for the
+  /// duration of a traced request.
+  Tracer* tracer() { return &tracer_; }
+
+  /// All held spans stamped (trace_hi, trace_lo), ordered by start time.
+  std::vector<SpanRecord> Take(std::uint64_t trace_hi, std::uint64_t trace_lo);
+
+  /// Held spans evicted before anyone took them.
+  std::uint64_t evicted() const;
+
+  static constexpr std::size_t kDefaultCapacity = 16 * 1024;
+
+ private:
+  Tracer tracer_;
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> held_;
+  const std::size_t capacity_;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace gqd
+
+#endif  // GQD_OBS_TRACE_CONTEXT_H_

@@ -1,87 +1,11 @@
-// A minimal JSON document model for the query service protocol.
-//
-// The `gqd serve` wire format is newline-delimited JSON (docs/runtime.md).
-// The library carries no third-party dependencies, so this module provides
-// the small slice of JSON the protocol needs: a recursive-descent parser
-// into an immutable JsonValue tree, typed accessors with Status-reporting
-// lookups, and serialization (via common/json_util.h escaping).
-//
-// Intentional simplifications: numbers are stored as double (the protocol
-// only uses small integers), object keys keep insertion order and duplicate
-// keys resolve to the first occurrence, and input must be valid UTF-8
-// already (escapes \uXXXX outside the BMP are not combined into surrogate
-// pairs).
+// Forwarding shim: the JSON document model moved to common/json.h so the
+// observability layer (span-batch parsing in obs/trace_context.cc) can use
+// it without a runtime → obs → runtime cycle. Existing includers keep
+// working; new code should include "common/json.h" directly.
 
 #ifndef GQD_RUNTIME_JSON_H_
 #define GQD_RUNTIME_JSON_H_
 
-#include <cstdint>
-#include <map>
-#include <string>
-#include <string_view>
-#include <utility>
-#include <variant>
-#include <vector>
-
-#include "common/status.h"
-
-namespace gqd {
-
-/// One JSON value: null, bool, number, string, array or object.
-class JsonValue {
- public:
-  using Array = std::vector<JsonValue>;
-  using Object = std::vector<std::pair<std::string, JsonValue>>;
-
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  JsonValue() : data_(nullptr) {}
-  JsonValue(bool b) : data_(b) {}                    // NOLINT
-  JsonValue(double n) : data_(n) {}                  // NOLINT
-  JsonValue(std::string s) : data_(std::move(s)) {}  // NOLINT
-  JsonValue(const char* s) : data_(std::string(s)) {}  // NOLINT (not bool!)
-  JsonValue(Array a) : data_(std::move(a)) {}        // NOLINT
-  JsonValue(Object o) : data_(std::move(o)) {}       // NOLINT
-
-  /// Parses one JSON document; trailing non-whitespace is an error.
-  static Result<JsonValue> Parse(std::string_view text);
-
-  Kind kind() const { return static_cast<Kind>(data_.index()); }
-  bool is_null() const { return kind() == Kind::kNull; }
-  bool is_bool() const { return kind() == Kind::kBool; }
-  bool is_number() const { return kind() == Kind::kNumber; }
-  bool is_string() const { return kind() == Kind::kString; }
-  bool is_array() const { return kind() == Kind::kArray; }
-  bool is_object() const { return kind() == Kind::kObject; }
-
-  bool AsBool() const { return std::get<bool>(data_); }
-  double AsNumber() const { return std::get<double>(data_); }
-  const std::string& AsString() const { return std::get<std::string>(data_); }
-  const Array& AsArray() const { return std::get<Array>(data_); }
-  const Object& AsObject() const { return std::get<Object>(data_); }
-
-  /// Object lookup; nullptr when absent or this is not an object.
-  const JsonValue* Find(std::string_view key) const;
-
-  /// Typed object accessors used by the request dispatcher. The Status
-  /// message names the key, so protocol errors are actionable remotely.
-  Result<std::string> GetString(std::string_view key) const;
-  Result<std::int64_t> GetInt(std::string_view key) const;
-  /// Missing key yields `fallback`; a present key of the wrong type is
-  /// still an error.
-  Result<std::int64_t> GetIntOr(std::string_view key,
-                                std::int64_t fallback) const;
-  Result<std::string> GetStringOr(std::string_view key,
-                                  std::string fallback) const;
-
-  /// Compact serialization (no whitespace), suitable for one-line framing.
-  std::string Serialize() const;
-
- private:
-  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
-      data_;
-};
-
-}  // namespace gqd
+#include "common/json.h"  // IWYU pragma: export
 
 #endif  // GQD_RUNTIME_JSON_H_

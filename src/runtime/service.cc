@@ -21,6 +21,7 @@
 #include "graph/serialization.h"
 #include "graph/sparse_relation.h"
 #include "obs/export.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "storage/metrics.h"
 #include "ree/parser.h"
@@ -130,7 +131,12 @@ class BudgetAxisRecorder {
       : stats_(stats), budget_(budget) {}
   ~BudgetAxisRecorder() {
     if (budget_->has_value()) {
-      stats_->RecordBudgetAxis((*budget_)->TrippedAxis());
+      BudgetAxis axis = (*budget_)->TrippedAxis();
+      stats_->RecordBudgetAxis(axis);
+      if (axis != BudgetAxis::kNone) {
+        EventLog::Global().Emit(LogLevel::kWarn, "serve", "budget_exhausted",
+                               {{"axis", BudgetAxisName(axis)}});
+      }
     }
   }
   BudgetAxisRecorder(const BudgetAxisRecorder&) = delete;
@@ -200,18 +206,48 @@ Result<JsonValue> QueryService::Dispatch(const JsonValue& request,
                                          bool* shutdown) {
   GQD_ASSIGN_OR_RETURN(std::string cmd, request.GetString("cmd"));
   const JsonValue* trace_field = request.Find("trace");
+  // A string "trace" is a propagated TraceContext from an upstream router
+  // ("spans" excepted: there the field names which trace to drain). Spans
+  // are recorded into the process-wide collector, stamped with the remote
+  // trace id and parented under the remote span, and held until the
+  // router's `spans` drain. Garbage contexts degrade to untraced —
+  // diagnostics must never fail a request.
+  if (trace_field != nullptr && trace_field->is_string() && cmd != "spans") {
+    TraceContext context;
+    if (!TraceContext::FromTraceparent(trace_field->AsString(), &context)) {
+      return DispatchCommand(cmd, request, shutdown);
+    }
+    Result<JsonValue> result = JsonValue();
+    {
+      Tracer::Scope scope(collector_.tracer());
+      TraceBindingScope binding(context.binding());
+      GQD_TRACE_SPAN(span, "serve.request");
+      result = DispatchCommand(cmd, request, shutdown);
+    }
+    if (!result.ok()) {
+      return result;
+    }
+    JsonValue::Object body = result.value().AsObject();
+    body.emplace_back("trace_id", context.TraceIdHex());
+    return JsonValue(std::move(body));
+  }
   bool want_trace = trace_field != nullptr && trace_field->is_bool() &&
                     trace_field->AsBool();
   if (!want_trace) {
     return DispatchCommand(cmd, request, shutdown);
   }
+  // `"trace": true` — a direct client asking for the span tree inline.
   // Per-request tracer, installed before the admission gate so the wait
   // for a slot shows up in the trace. Drained after the handler returns;
-  // the span tree rides back on the success response.
+  // the span tree rides back on the success response. A minted context
+  // gives the request a trace id so log events emitted while serving it
+  // correlate even without a router upstream.
+  TraceContext context = TraceContext::Mint();
   Tracer tracer;
   Result<JsonValue> result = JsonValue();
   {
     Tracer::Scope scope(&tracer);
+    TraceBindingScope binding(context.binding());
     GQD_TRACE_SPAN(span, "serve.request");
     result = DispatchCommand(cmd, request, shutdown);
   }
@@ -220,6 +256,7 @@ Result<JsonValue> QueryService::Dispatch(const JsonValue& request,
   }
   JsonValue::Object body = result.value().AsObject();
   body.emplace_back("trace", EmbedJson(SpanTreeToJson(tracer.Drain().spans)));
+  body.emplace_back("trace_id", context.TraceIdHex());
   return JsonValue(std::move(body));
 }
 
@@ -233,7 +270,13 @@ Result<JsonValue> QueryService::DispatchCommand(const std::string& cmd,
     std::optional<AdmissionController::Ticket> ticket;
     {
       GQD_TRACE_SPAN(span, "serve.admission");
-      GQD_ASSIGN_OR_RETURN(ticket, admission_.Admit());
+      auto admitted = admission_.Admit();
+      if (!admitted.ok()) {
+        EventLog::Global().Emit(LogLevel::kWarn, "serve", "admission_shed",
+                                {{"cmd", cmd}});
+        return admitted.status();
+      }
+      ticket.emplace(std::move(admitted).value());
     }
     GQD_TRACE_SPAN(span, "serve.handler");
     if (cmd == "load") {
@@ -261,6 +304,12 @@ Result<JsonValue> QueryService::DispatchCommand(const std::string& cmd,
   if (cmd == "metrics") {
     return HandleMetrics();
   }
+  if (cmd == "spans") {
+    return HandleSpans(request);
+  }
+  if (cmd == "log") {
+    return HandleLog(request);
+  }
   if (cmd == "shutdown") {
     if (shutdown != nullptr) {
       *shutdown = true;
@@ -271,8 +320,8 @@ Result<JsonValue> QueryService::DispatchCommand(const std::string& cmd,
   }
   return Status::InvalidArgument(
       "unknown command '" + cmd +
-      "' (expected load, eval, check, lint, info, ping, stats, metrics or "
-      "shutdown)");
+      "' (expected load, eval, check, lint, info, ping, stats, metrics, "
+      "spans, log or shutdown)");
 }
 
 Result<JsonValue> QueryService::HandleLoad(const JsonValue& request) {
@@ -298,6 +347,12 @@ Result<JsonValue> QueryService::HandleLoad(const JsonValue& request) {
     // not megabytes of graph text, and a container attaches zero-copy.
     GQD_ASSIGN_OR_RETURN(entry, registry_.LoadFile(name, path->AsString()));
   }
+  EventLog::Global().Emit(
+      LogLevel::kInfo, "serve", "graph_load",
+      {{"graph", name},
+       {"fingerprint", entry.fingerprint},
+       {"backend", GraphBackendName(entry.info.backend)},
+       {"load_micros", std::to_string(entry.info.load_micros)}});
   JsonValue::Object body;
   body.emplace_back("name", name);
   body.emplace_back("fingerprint", entry.fingerprint);
@@ -451,15 +506,21 @@ Result<JsonValue> QueryService::HandleEval(const JsonValue& request) {
   std::mutex done_mutex;
   std::condition_variable done_cv;
   std::size_t remaining = texts.size();
-  // Pool workers do not inherit this thread's tracer installation; each
-  // task re-installs it so per-query spans land on the worker's track.
+  // Pool workers do not inherit this thread's tracer installation or trace
+  // binding; each task re-installs both so per-query spans land on the
+  // worker's track and still carry the request's trace id.
   Tracer* tracer = Tracer::Current();
   GQD_TRACE_SPAN(dispatch_span, "serve.pool_dispatch");
   GQD_TRACE_SPAN_ATTR(dispatch_span, "queries", texts.size());
+  // Captured inside the dispatch span, so re-bound task spans parent
+  // under serve.pool_dispatch.
+  Tracer::Binding trace_binding = Tracer::CurrentBinding();
   for (std::size_t i = 0; i < texts.size(); i++) {
     pool_.Submit([this, &entry, &language, &texts, &outcomes, &done_mutex,
-                  &done_cv, &remaining, cancel, budget, tracer, i] {
+                  &done_cv, &remaining, cancel, budget, tracer,
+                  trace_binding, i] {
       Tracer::Scope scope(tracer);
+      TraceBindingScope binding(trace_binding);
       Result<JsonValue> outcome = Status::Internal("not run");
       {
         GQD_TRACE_SPAN(task_span, "serve.eval_task");
@@ -718,6 +779,41 @@ Result<JsonValue> QueryService::HandleMetrics() {
                     stats_.RenderPrometheus(pool_.GetStats(),
                                             cache_.GetStats(),
                                             admission_.GetStats()));
+  return JsonValue(std::move(body));
+}
+
+Result<JsonValue> QueryService::HandleSpans(const JsonValue& request) {
+  GQD_ASSIGN_OR_RETURN(std::string traceparent, request.GetString("trace"));
+  TraceContext context;
+  if (!TraceContext::FromTraceparent(traceparent, &context)) {
+    return Status::InvalidArgument(
+        "field 'trace' must be a traceparent (00-<32 hex>-<16 hex>-01)");
+  }
+  std::vector<SpanRecord> spans =
+      collector_.Take(context.trace_hi, context.trace_lo);
+  JsonValue::Object body;
+  body.emplace_back("trace_id", context.TraceIdHex());
+  body.emplace_back("spans", EmbedJson(SerializeSpanBatch(spans)));
+  // The drainer aligns this process's monotonic epoch with its own by
+  // bracketing the roundtrip and assuming now_ns was sampled mid-flight.
+  body.emplace_back("now_ns", static_cast<double>(Tracer::NowNs()));
+  return JsonValue(std::move(body));
+}
+
+Result<JsonValue> QueryService::HandleLog(const JsonValue& request) {
+  LogLevel min_level = LogLevel::kDebug;
+  if (const JsonValue* level_field = request.Find("min_level")) {
+    if (!level_field->is_string() ||
+        !ParseLogLevel(level_field->AsString(), &min_level)) {
+      return Status::InvalidArgument(
+          "field 'min_level' must be debug, info, warn or error");
+    }
+  }
+  const EventLog& log = EventLog::Global();
+  JsonValue::Object body;
+  body.emplace_back("events", EmbedJson(log.ToJsonArray(min_level)));
+  body.emplace_back("emitted", static_cast<double>(log.emitted()));
+  body.emplace_back("dropped", static_cast<double>(log.dropped()));
   return JsonValue(std::move(body));
 }
 

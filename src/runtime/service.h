@@ -16,7 +16,8 @@
 //   {"cmd":"lint","language":"ree","query":"(a)=","graph":"g"}
 //   {"cmd":"info","graph":"g"}    {"cmd":"info"}
 //   {"cmd":"stats"}               {"cmd":"ping"}    {"cmd":"shutdown"}
-//   {"cmd":"metrics"}
+//   {"cmd":"metrics"}             {"cmd":"log"}
+//   {"cmd":"spans","trace":"00-<32 hex>-<16 hex>-01"}
 // Every response carries "ok"; errors carry {"error":{"code","message"}}.
 // An "id" field, when present, is echoed back verbatim.
 //
@@ -26,7 +27,13 @@
 // string field; it bypasses admission like the other introspection
 // commands. Any request may add `"trace": true` to get a "trace" field on
 // its success response — the span tree (admission wait, cache lookup,
-// handler, checker stages) recorded while serving that request.
+// handler, checker stages) recorded while serving that request — plus a
+// "trace_id". A string "trace" field instead carries a propagated
+// TraceContext (W3C-traceparent shape) minted upstream by the router: the
+// request's spans are recorded under that trace id into a process-wide
+// SpanCollector and held for the router's `spans` drain, and the success
+// response carries only the "trace_id". `log` returns the structured
+// event-log ring (obs/log.h).
 //
 // Robustness (docs/robustness.md): eval and check accept per-request
 // resource budgets ("max_bytes", "max_tuples"; 0 = unlimited) alongside
@@ -48,6 +55,7 @@
 #include "common/budget.h"
 #include "common/cancel.h"
 #include "common/thread_pool.h"
+#include "obs/trace_context.h"
 #include "rem/ast.h"
 #include "runtime/admission.h"
 #include "runtime/graph_registry.h"
@@ -99,6 +107,13 @@ class QueryService : public LineHandler {
   Result<JsonValue> HandleInfo(const JsonValue& request);
   Result<JsonValue> HandleStats();
   Result<JsonValue> HandleMetrics();
+  /// Drains this process's span collector for one propagated trace
+  /// (request: {"cmd":"spans","trace":"<traceparent>"}); the router's
+  /// trace-collect path. Responds with the span batch plus "now_ns" so the
+  /// collector can align this process's monotonic clock with its own.
+  Result<JsonValue> HandleSpans(const JsonValue& request);
+  /// Returns the process event-log ring ({"cmd":"log","min_level":...}).
+  Result<JsonValue> HandleLog(const JsonValue& request);
 
   /// Evaluates one query (cache-aware); used by single and batched eval.
   Result<JsonValue> EvalOne(const RegisteredGraph& entry,
@@ -120,6 +135,10 @@ class QueryService : public LineHandler {
   ResultCache cache_;
   ServerStats stats_;
   AdmissionController admission_;
+  /// Holds spans recorded under a propagated TraceContext (a string
+  /// "trace" field) until the router drains them via `spans`. Bounded;
+  /// traces nobody collects age out.
+  SpanCollector collector_;
 
   /// Plan cache (separate from the result cache: plans are graph-alphabet-
   /// dependent compilation artifacts, not result payloads). Bounded by

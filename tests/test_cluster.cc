@@ -9,10 +9,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cluster/hash_ring.h"
@@ -30,6 +32,25 @@
 
 namespace gqd {
 namespace {
+
+/// Routed responses carry per-request routing metadata — served_by,
+/// failovers, trace_id — that legitimately differs between replicas and
+/// requests. The bit-identity invariant covers the query payload, so
+/// comparisons strip the metadata first.
+std::string PayloadOnly(const std::string& line) {
+  auto parsed = JsonValue::Parse(line);
+  if (!parsed.ok() || !parsed.value().is_object()) {
+    return line;
+  }
+  JsonValue::Object body;
+  for (const auto& [key, value] : parsed.value().AsObject()) {
+    if (key == "served_by" || key == "failovers" || key == "trace_id") {
+      continue;
+    }
+    body.emplace_back(key, value);
+  }
+  return JsonValue(std::move(body)).Serialize();
+}
 
 // --- Hash ring ----------------------------------------------------------
 
@@ -258,6 +279,184 @@ TEST_F(ClusterTest, StatsAndMetricsAggregateAcrossTheFleet) {
       << metrics;
 }
 
+// --- Distributed tracing ------------------------------------------------
+
+TEST_F(ClusterTest, RoutedResponsesCarryServedByAndFailovers) {
+  ASSERT_NE(LoadFig1().find("\"ok\":true"), std::string::npos);
+  auto parsed = JsonValue::Parse(Route(EvalLine("a.a")));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.value().Find("ok")->AsBool());
+  std::int64_t served_by = parsed.value().GetInt("served_by").ValueOrDie();
+  EXPECT_GE(served_by, 0);
+  EXPECT_LT(served_by, static_cast<std::int64_t>(kWorkers));
+  EXPECT_EQ(parsed.value().GetInt("failovers").ValueOrDie(), 0);
+}
+
+#ifndef GQD_DISABLE_TRACING
+
+/// Recursively checks the merged-tree node schema and collects
+/// (name, source) pairs plus the parent name of every node.
+void WalkMergedTree(const JsonValue::Array& nodes, const std::string& parent,
+                    std::set<std::pair<std::string, std::string>>* seen,
+                    std::map<std::string, std::string>* parent_of) {
+  for (const JsonValue& node : nodes) {
+    ASSERT_TRUE(node.is_object());
+    // Golden schema: exactly these keys, pinned so external consumers of
+    // routed "trace":true responses can rely on them.
+    for (const char* key :
+         {"name", "start_us", "dur_us", "tid", "source", "args",
+          "children"}) {
+      ASSERT_NE(node.Find(key), nullptr) << key;
+    }
+    std::string name = node.GetString("name").ValueOrDie();
+    std::string source = node.GetString("source").ValueOrDie();
+    seen->insert({name, source});
+    parent_of->emplace(name, parent);
+    const JsonValue* children = node.Find("children");
+    ASSERT_TRUE(children->is_array());
+    WalkMergedTree(children->AsArray(), name, seen, parent_of);
+  }
+}
+
+TEST_F(ClusterTest, TracedRoutedEvalReturnsOneMergedSpanTree) {
+  ASSERT_NE(LoadFig1().find("\"ok\":true"), std::string::npos);
+  std::string response = Route(
+      R"({"cmd":"eval","graph":"fig1","language":"rpq","query":"a.a",)"
+      R"("trace":true})");
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  ASSERT_TRUE(parsed.value().Find("ok")->AsBool()) << response;
+  EXPECT_EQ(parsed.value().GetString("trace_id").ValueOrDie().size(), 32u);
+  const JsonValue* trace = parsed.value().Find("trace");
+  ASSERT_NE(trace, nullptr) << response;
+  ASSERT_TRUE(trace->is_array()) << response;
+
+  std::set<std::pair<std::string, std::string>> seen;
+  std::map<std::string, std::string> parent_of;
+  WalkMergedTree(trace->AsArray(), "", &seen, &parent_of);
+
+  // Router spans: the request root, the replica pick, and the transport.
+  EXPECT_TRUE(seen.count({"route.request", "router"})) << response;
+  EXPECT_TRUE(seen.count({"route.replica_pick", "router"})) << response;
+  EXPECT_TRUE(seen.count({"route.transport", "router"})) << response;
+  // Worker spans arrive from a "worker N" source and share the tree.
+  bool worker_request = false;
+  bool worker_handler = false;
+  bool worker_cache = false;
+  for (const auto& [name, source] : seen) {
+    if (source.rfind("worker ", 0) != 0) {
+      continue;
+    }
+    worker_request |= name == "serve.request";
+    worker_handler |= name == "serve.handler";
+    worker_cache |= name == "serve.cache_lookup";
+  }
+  EXPECT_TRUE(worker_request) << response;
+  EXPECT_TRUE(worker_handler) << response;
+  EXPECT_TRUE(worker_cache) << response;
+  // Cross-process nesting: the worker's request root sits under the
+  // router transport span that carried it, which sits under the request.
+  EXPECT_EQ(parent_of["serve.request"], "route.transport") << response;
+  EXPECT_EQ(parent_of["route.transport"], "route.request") << response;
+
+  // Without "trace":true the routed response embeds no tree.
+  std::string untraced = Route(EvalLine("a.a"));
+  EXPECT_NE(untraced.find("\"ok\":true"), std::string::npos) << untraced;
+  EXPECT_EQ(untraced.find("\"trace\":["), std::string::npos) << untraced;
+}
+
+TEST_F(ClusterTest, FailoverEmitsAStructuredLogEventCorrelatedToTheTrace) {
+  ASSERT_NE(LoadFig1().find("\"ok\":true"), std::string::npos);
+  std::vector<std::uint64_t> before =
+      router_->GetSnapshot().worker_requests;
+  ASSERT_NE(Route(EvalLine("a.a")).find("\"ok\":true"), std::string::npos);
+  std::vector<int> served = WorkersServing(before);
+  ASSERT_EQ(served.size(), 1u);
+  const int primary = served[0];
+  servers_[primary]->Stop();
+  servers_[primary]->Wait();
+
+  // Two requests cover both rotation slots; at least one fails over. The
+  // client sees zero errors either way.
+  std::set<std::string> trace_ids;
+  for (int i = 0; i < 2; i++) {
+    auto parsed = JsonValue::Parse(Route(EvalLine("a.a")));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.value().Find("ok")->AsBool());
+    trace_ids.insert(parsed.value().GetString("trace_id").ValueOrDie());
+  }
+  ASSERT_GE(router_->GetSnapshot().failovers, 1u);
+
+  std::string log = Route(R"({"cmd":"log"})");
+  auto parsed = JsonValue::Parse(log);
+  ASSERT_TRUE(parsed.ok()) << log;
+  EXPECT_TRUE(parsed.value().Find("ok")->AsBool()) << log;
+  const JsonValue* events = parsed.value().Find("events");
+  ASSERT_NE(events, nullptr) << log;
+  ASSERT_TRUE(events->is_array()) << log;
+  bool found = false;
+  for (const JsonValue& event : events->AsArray()) {
+    if (event.GetStringOr("event", "").ValueOrDie() != "failover") {
+      continue;
+    }
+    // The event joins the merged trace through the request's trace id.
+    if (trace_ids.count(event.GetStringOr("trace_id", "").ValueOrDie()) ==
+        0) {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(event.GetStringOr("component", "").ValueOrDie(), "cluster");
+    EXPECT_EQ(event.GetStringOr("level", "").ValueOrDie(), "warn");
+    EXPECT_EQ(event.GetStringOr("cmd", "").ValueOrDie(), "eval");
+    EXPECT_EQ(event.GetStringOr("graph", "").ValueOrDie(), "fig1");
+    EXPECT_FALSE(event.GetStringOr("to_worker", "").ValueOrDie().empty());
+  }
+  EXPECT_TRUE(found) << log;
+}
+
+TEST_F(ClusterTest, RouterStatsReportPerCommandQuantilesAndExemplars) {
+  ASSERT_NE(LoadFig1().find("\"ok\":true"), std::string::npos);
+  for (int i = 0; i < 3; i++) {
+    ASSERT_NE(Route(EvalLine("a.a")).find("\"ok\":true"),
+              std::string::npos);
+  }
+  std::string stats = Route(R"({"cmd":"stats"})");
+  auto parsed = JsonValue::Parse(stats);
+  ASSERT_TRUE(parsed.ok()) << stats;
+  const JsonValue* cluster = parsed.value().Find("cluster");
+  ASSERT_NE(cluster, nullptr) << stats;
+  // Same {count, p50, p99} shape the worker-side stats block uses.
+  const JsonValue* per_command = cluster->Find("per_command_latency_us");
+  ASSERT_NE(per_command, nullptr) << stats;
+  const JsonValue* eval_latency = per_command->Find("eval");
+  ASSERT_NE(eval_latency, nullptr) << stats;
+  EXPECT_GE(eval_latency->GetInt("count").ValueOrDie(), 3);
+  EXPECT_GE(eval_latency->GetInt("p99").ValueOrDie(),
+            eval_latency->GetInt("p50").ValueOrDie());
+  // Every eval is traced, so the exemplar store (below capacity) kept
+  // them: each entry carries the retained merged tree.
+  const JsonValue* exemplars = parsed.value().Find("exemplars");
+  ASSERT_NE(exemplars, nullptr) << stats;
+  const JsonValue* eval_exemplars = exemplars->Find("eval");
+  ASSERT_NE(eval_exemplars, nullptr) << stats;
+  ASSERT_TRUE(eval_exemplars->is_array()) << stats;
+  ASSERT_FALSE(eval_exemplars->AsArray().empty()) << stats;
+  std::uint64_t previous = ~std::uint64_t{0};
+  for (const JsonValue& exemplar : eval_exemplars->AsArray()) {
+    EXPECT_EQ(exemplar.GetString("trace_id").ValueOrDie().size(), 32u);
+    auto latency =
+        static_cast<std::uint64_t>(exemplar.GetInt("latency_us").ValueOrDie());
+    EXPECT_LE(latency, previous);  // slowest first
+    previous = latency;
+    EXPECT_GT(exemplar.GetInt("ts_ms").ValueOrDie(), 0);
+    const JsonValue* tree = exemplar.Find("trace");
+    ASSERT_NE(tree, nullptr) << stats;
+    EXPECT_TRUE(tree->is_array()) << stats;
+  }
+}
+
+#endif  // GQD_DISABLE_TRACING
+
 // --- Failover -----------------------------------------------------------
 
 TEST_F(ClusterTest, WorkerDeathFailsOverWithBitIdenticalResponse) {
@@ -277,10 +476,10 @@ TEST_F(ClusterTest, WorkerDeathFailsOverWithBitIdenticalResponse) {
 
   // Reads rotate across the two owners, so two back-to-back requests hit
   // both rotation slots: one lands on the dead worker first and fails
-  // over. Either way the client sees the bit-identical response — no
+  // over. Either way the client sees the bit-identical payload — no
   // error, no retry needed.
-  EXPECT_EQ(Route(EvalLine("a.a")), canonical);
-  EXPECT_EQ(Route(EvalLine("a.a")), canonical);
+  EXPECT_EQ(PayloadOnly(Route(EvalLine("a.a"))), PayloadOnly(canonical));
+  EXPECT_EQ(PayloadOnly(Route(EvalLine("a.a"))), PayloadOnly(canonical));
   EXPECT_GE(router_->GetSnapshot().failovers, 1u);
 }
 

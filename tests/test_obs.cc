@@ -7,19 +7,25 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <new>
+#include <regex>
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "definability/krem_definability.h"
 #include "graph/examples.h"
 #include "obs/export.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 // Global allocation counter so the no-tracer-installed path can be shown
 // allocation-free. Counting is binary-wide but only read as a delta around
@@ -383,6 +389,460 @@ TEST(Export, ChromeJsonCarriesStageTotalsAndDrops) {
       rendered.find("\"krem.bfs\":{\"count\":1,\"total_ns\":503500}"),
       std::string::npos)
       << rendered;
+}
+
+// --- TraceContext ---------------------------------------------------------
+
+TEST(TraceContext, MintedContextRoundTripsThroughTraceparent) {
+  TraceContext minted = TraceContext::Mint();
+  EXPECT_TRUE(minted.valid());
+  EXPECT_EQ(minted.parent_span, 0u);
+  minted.parent_span = 0x1234abcd5678ef01ULL;
+  std::string wire = minted.ToTraceparent();
+  ASSERT_EQ(wire.size(), 55u);
+  EXPECT_EQ(wire.substr(0, 3), "00-");
+  EXPECT_EQ(wire.substr(53), "01");
+  TraceContext parsed;
+  ASSERT_TRUE(TraceContext::FromTraceparent(wire, &parsed));
+  EXPECT_EQ(parsed.trace_hi, minted.trace_hi);
+  EXPECT_EQ(parsed.trace_lo, minted.trace_lo);
+  EXPECT_EQ(parsed.parent_span, minted.parent_span);
+  EXPECT_EQ(parsed.TraceIdHex().size(), 32u);
+  EXPECT_EQ(parsed.TraceIdHex(), minted.TraceIdHex());
+}
+
+TEST(TraceContext, MintedTraceIdsAreDistinct) {
+  EXPECT_NE(TraceContext::Mint().TraceIdHex(),
+            TraceContext::Mint().TraceIdHex());
+}
+
+TEST(TraceContext, RejectsMalformedTraceparentsWithoutTouchingOutput) {
+  const char* bad[] = {
+      "",
+      "00-0123",
+      // Version must be 00, flags 01, separators '-' in the fixed slots.
+      "01-00000000000000000000000000000001-0000000000000001-01",
+      "00-00000000000000000000000000000001-0000000000000001-00",
+      "00x00000000000000000000000000000001-0000000000000001-01",
+      "00-00000000000000000000000000000001x0000000000000001-01",
+      "00-00000000000000000000000000000001-0000000000000001x01",
+      // Hex is lowercase-only (the format we emit); 'g' is not hex at all.
+      "00-0000000000000000000000000000000G-0000000000000001-01",
+      "00-0000000000000000000000000000000g-0000000000000001-01",
+      // An all-zero trace id means "untraced" and must not parse.
+      "00-00000000000000000000000000000000-0000000000000001-01",
+      // One char too long / too short around the right separators.
+      "00-000000000000000000000000000000001-0000000000000001-01",
+      "00-0000000000000000000000000000001-0000000000000001-01",
+  };
+  TraceContext out;
+  out.trace_hi = 7;
+  out.trace_lo = 9;
+  for (const char* text : bad) {
+    EXPECT_FALSE(TraceContext::FromTraceparent(text, &out)) << text;
+  }
+  EXPECT_EQ(out.trace_hi, 7u);
+  EXPECT_EQ(out.trace_lo, 9u);
+}
+
+// --- Span batches (the `spans` drain wire format) -------------------------
+
+TEST(SpanBatch, SerializeParseRoundTripPreserves64BitIds) {
+  SpanRecord span;
+  span.name = "route.transport";
+  span.start_ns = 1234567;
+  span.dur_ns = 890;
+  // Both ids would lose low bits if they crossed the wire as JSON doubles.
+  span.span_id = 0xfedcba9876543210ULL;
+  span.parent_id = 0x0123456789abcdefULL;
+  span.tid = 3;
+  span.attrs[0] = {"worker", 2};
+  span.num_attrs = 1;
+  std::string wire = SerializeSpanBatch({span});
+  EXPECT_NE(wire.find("\"span_id\":\"fedcba9876543210\""), std::string::npos)
+      << wire;
+  EXPECT_NE(wire.find("\"parent_id\":\"0123456789abcdef\""), std::string::npos)
+      << wire;
+  std::vector<OwnedSpan> parsed = ParseSpanBatch(wire, "worker 2", 4);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "route.transport");
+  EXPECT_EQ(parsed[0].span_id, span.span_id);
+  EXPECT_EQ(parsed[0].parent_id, span.parent_id);
+  EXPECT_EQ(parsed[0].start_ns, span.start_ns);
+  EXPECT_EQ(parsed[0].dur_ns, span.dur_ns);
+  EXPECT_EQ(parsed[0].tid, 3u);
+  EXPECT_EQ(parsed[0].pid, 4u);
+  EXPECT_EQ(parsed[0].source, "worker 2");
+  ASSERT_EQ(parsed[0].args.size(), 1u);
+  EXPECT_EQ(parsed[0].args[0].first, "worker");
+  EXPECT_EQ(parsed[0].args[0].second, 2u);
+}
+
+TEST(SpanBatch, MalformedEntriesAreSkippedNotFatal) {
+  EXPECT_TRUE(ParseSpanBatch("not json", "w", 2).empty());
+  EXPECT_TRUE(ParseSpanBatch("{\"x\":1}", "w", 2).empty());
+  std::string mixed =
+      "[{\"name\":\"\",\"span_id\":\"0000000000000001\"},"
+      "{\"name\":\"bad_id\",\"span_id\":\"zz\"},"
+      "{\"name\":\"good\",\"span_id\":\"0000000000000005\","
+      "\"parent_id\":\"0000000000000004\","
+      "\"start_ns\":10,\"dur_ns\":2,\"tid\":1,\"args\":{\"k\":3}},"
+      "42]";
+  std::vector<OwnedSpan> parsed = ParseSpanBatch(mixed, "w", 2);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "good");
+  EXPECT_EQ(parsed[0].span_id, 5u);
+  EXPECT_EQ(parsed[0].parent_id, 4u);
+  ASSERT_EQ(parsed[0].args.size(), 1u);
+  EXPECT_EQ(parsed[0].args[0].second, 3u);
+}
+
+// --- SpanCollector --------------------------------------------------------
+
+SpanRecord StampedSpan(const char* name, std::uint64_t trace_hi,
+                       std::uint64_t trace_lo, std::uint64_t span_id,
+                       std::uint64_t start_ns) {
+  SpanRecord span;
+  span.name = name;
+  span.trace_hi = trace_hi;
+  span.trace_lo = trace_lo;
+  span.span_id = span_id;
+  span.start_ns = start_ns;
+  return span;
+}
+
+TEST(SpanCollector, TakeExtractsOneTraceAndHoldsTheRest) {
+  SpanCollector collector;
+  collector.tracer()->Record(StampedSpan("a", 1, 1, 10, 5));
+  collector.tracer()->Record(StampedSpan("b", 2, 2, 11, 6));
+  collector.tracer()->Record(StampedSpan("c", 1, 1, 12, 1));
+  std::vector<SpanRecord> first = collector.Take(1, 1);
+  ASSERT_EQ(first.size(), 2u);
+  // Ordered by start time regardless of record order.
+  EXPECT_STREQ(first[0].name, "c");
+  EXPECT_STREQ(first[1].name, "a");
+  // The other trace's span stayed held across the first Take.
+  std::vector<SpanRecord> second = collector.Take(2, 2);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_STREQ(second[0].name, "b");
+  EXPECT_TRUE(collector.Take(1, 1).empty());
+  EXPECT_EQ(collector.evicted(), 0u);
+}
+
+TEST(SpanCollector, BoundedHoldingAreaEvictsOldestUndrained) {
+  SpanCollector collector(/*capacity=*/4);
+  for (std::uint64_t i = 0; i < 10; i++) {
+    collector.tracer()->Record(StampedSpan("s", 9, 9, 100 + i, i));
+  }
+  // Taking an absent trace still runs the eviction sweep.
+  EXPECT_TRUE(collector.Take(3, 3).empty());
+  EXPECT_EQ(collector.evicted(), 6u);
+  std::vector<SpanRecord> rest = collector.Take(9, 9);
+  ASSERT_EQ(rest.size(), 4u);
+  EXPECT_EQ(rest.front().span_id, 106u);  // the newest four survived
+  EXPECT_EQ(rest.back().span_id, 109u);
+}
+
+#ifndef GQD_DISABLE_TRACING
+
+TEST(TraceBinding, StampsTraceIdAndReparentsRoots) {
+  Tracer tracer;
+  {
+    Tracer::Scope scope(&tracer);
+    TraceBindingScope binding(Tracer::Binding{0xaa, 0xbb, 77});
+    GQD_TRACE_SPAN(root, "root");
+    { GQD_TRACE_SPAN(child, "child"); }
+  }
+  Tracer::Binding after = Tracer::CurrentBinding();
+  EXPECT_EQ(after.trace_hi, 0u);
+  EXPECT_EQ(after.parent_span, 0u);
+  Tracer::DrainResult out = tracer.Drain();
+  ASSERT_EQ(out.spans.size(), 2u);
+  const SpanRecord& root = out.spans[0];
+  const SpanRecord& child = out.spans[1];
+  EXPECT_STREQ(root.name, "root");
+  // The root parents under the remote span id carried by the binding; the
+  // child still parents locally.
+  EXPECT_EQ(root.parent_id, 77u);
+  EXPECT_EQ(child.parent_id, root.span_id);
+  for (const SpanRecord& span : out.spans) {
+    EXPECT_EQ(span.trace_hi, 0xaau);
+    EXPECT_EQ(span.trace_lo, 0xbbu);
+  }
+}
+
+#endif  // GQD_DISABLE_TRACING
+
+// --- Merged cross-process traces ------------------------------------------
+
+std::vector<OwnedSpan> FixedMergedSpans() {
+  OwnedSpan transport;
+  transport.name = "route.transport";
+  transport.start_ns = 1000;
+  transport.dur_ns = 5000;
+  transport.span_id = 1;
+  transport.parent_id = 0;
+  transport.tid = 0;
+  transport.pid = 1;
+  transport.source = "router";
+  transport.args = {{"worker", 0}};
+  OwnedSpan request;
+  request.name = "serve.request";
+  request.start_ns = 2000;
+  request.dur_ns = 3000;
+  request.span_id = 2;
+  request.parent_id = 1;  // resolves across sources to the router span
+  request.tid = 0;
+  request.pid = 2;
+  request.source = "worker 0";
+  OwnedSpan handler;
+  handler.name = "serve.handler";
+  handler.start_ns = 2100;
+  handler.dur_ns = 2000;
+  handler.span_id = 3;
+  handler.parent_id = 2;
+  handler.tid = 0;
+  handler.pid = 2;
+  handler.source = "worker 0";
+  OwnedSpan orphan;
+  orphan.name = "orphan";
+  orphan.start_ns = 9000;
+  orphan.dur_ns = 0;
+  orphan.span_id = 4;
+  orphan.parent_id = 999;  // absent parent → becomes a root
+  orphan.tid = 1;
+  orphan.pid = 2;
+  orphan.source = "worker 0";
+  // Deliberately out of start order: the renderer must sort.
+  return {orphan, handler, transport, request};
+}
+
+// The merged-tree schema is what routed `"trace":true` responses embed;
+// pin the exact serialization.
+TEST(MergedTrace, SpanTreeResolvesParentsAcrossSources) {
+  std::string rendered = MergedSpanTreeToJson(FixedMergedSpans());
+  EXPECT_EQ(rendered,
+            "[{\"name\":\"route.transport\",\"start_us\":1.000,"
+            "\"dur_us\":5.000,\"tid\":0,\"source\":\"router\","
+            "\"args\":{\"worker\":0},\"children\":["
+            "{\"name\":\"serve.request\",\"start_us\":2.000,"
+            "\"dur_us\":3.000,\"tid\":0,\"source\":\"worker 0\","
+            "\"args\":{},\"children\":["
+            "{\"name\":\"serve.handler\",\"start_us\":2.100,"
+            "\"dur_us\":2.000,\"tid\":0,\"source\":\"worker 0\","
+            "\"args\":{},\"children\":[]}]}]},"
+            "{\"name\":\"orphan\",\"start_us\":9.000,\"dur_us\":0.000,"
+            "\"tid\":1,\"source\":\"worker 0\",\"args\":{},"
+            "\"children\":[]}]");
+}
+
+TEST(MergedTrace, ChromeJsonNamesOneProcessTrackPerSource) {
+  std::string rendered = MergedTraceToChromeJson(FixedMergedSpans());
+  // One metadata event per pid, named by source.
+  EXPECT_NE(rendered.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                          "\"tid\":0,\"args\":{\"name\":\"router\"}}"),
+            std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+                          "\"tid\":0,\"args\":{\"name\":\"worker 0\"}}"),
+            std::string::npos)
+      << rendered;
+  // Spans keep their process track and the complete-event schema.
+  EXPECT_NE(rendered.find("{\"name\":\"serve.handler\",\"cat\":\"gqd\","
+                          "\"ph\":\"X\",\"ts\":2.100,\"dur\":2.000,"
+                          "\"pid\":2,\"tid\":0,\"args\":{}}"),
+            std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+// --- EventLog -------------------------------------------------------------
+
+TEST(EventLog, RingBoundDropsOldestAndCountsDrops) {
+  EventLog log(/*capacity=*/3);
+  for (int i = 0; i < 5; i++) {
+    log.Emit(LogLevel::kInfo, "test", "e" + std::to_string(i));
+  }
+  EXPECT_EQ(log.emitted(), 5u);
+  EXPECT_EQ(log.dropped(), 2u);
+  std::vector<LogEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().event, "e2");
+  EXPECT_EQ(events.back().event, "e4");
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+}
+
+TEST(EventLog, MinLevelFiltersAtEmitAndAtSnapshot) {
+  EventLog log;
+  log.SetMinLevel(LogLevel::kWarn);
+  log.Emit(LogLevel::kInfo, "test", "suppressed");
+  log.Emit(LogLevel::kError, "test", "kept");
+  EXPECT_EQ(log.emitted(), 1u);
+  ASSERT_EQ(log.Snapshot().size(), 1u);
+  EXPECT_EQ(log.Snapshot()[0].event, "kept");
+  log.SetMinLevel(LogLevel::kDebug);
+  log.Emit(LogLevel::kInfo, "test", "now_kept");
+  EXPECT_EQ(log.Snapshot().size(), 2u);
+  // Snapshot-side filter is independent of the emit-side gate.
+  ASSERT_EQ(log.Snapshot(LogLevel::kWarn).size(), 1u);
+  EXPECT_EQ(log.Snapshot(LogLevel::kWarn)[0].event, "kept");
+}
+
+TEST(EventLog, EventJsonShapeParsesAndEscapesFields) {
+  EventLog log;
+  log.Emit(LogLevel::kWarn, "cluster", "failover",
+           {{"cmd", "eval"}, {"note", "a\"b\nc"}});
+  std::vector<LogEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  auto parsed = JsonValue::Parse(events[0].ToJson());
+  ASSERT_TRUE(parsed.ok()) << events[0].ToJson();
+  const JsonValue& event = parsed.value();
+  EXPECT_EQ(event.GetStringOr("level", "").value(), "warn");
+  EXPECT_EQ(event.GetStringOr("component", "").value(), "cluster");
+  EXPECT_EQ(event.GetStringOr("event", "").value(), "failover");
+  EXPECT_EQ(event.GetStringOr("cmd", "").value(), "eval");
+  EXPECT_EQ(event.GetStringOr("note", "").value(), "a\"b\nc");
+  EXPECT_GT(event.GetIntOr("seq", 0).value(), 0);
+  EXPECT_GT(event.GetIntOr("ts_ms", 0).value(), 0);
+  // Uncorrelated events carry no trace_id key at all.
+  EXPECT_EQ(event.Find("trace_id"), nullptr);
+}
+
+#ifndef GQD_DISABLE_TRACING
+
+TEST(EventLog, CorrelatesWithTheCurrentTraceBinding) {
+  EventLog log;
+  {
+    TraceBindingScope binding(Tracer::Binding{0xaa, 0xbb, 0});
+    log.Emit(LogLevel::kInfo, "test", "bound");
+  }
+  log.Emit(LogLevel::kInfo, "test", "unbound");
+  std::vector<LogEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, "00000000000000aa00000000000000bb");
+  EXPECT_TRUE(events[1].trace_id.empty());
+  EXPECT_NE(events[0].ToJson().find(
+                "\"trace_id\":\"00000000000000aa00000000000000bb\""),
+            std::string::npos);
+  EXPECT_EQ(events[1].ToJson().find("trace_id"), std::string::npos);
+}
+
+#endif  // GQD_DISABLE_TRACING
+
+TEST(EventLog, FileSinkAppendsOneJsonLinePerEvent) {
+  std::string path = testing::TempDir() + "gqd_eventlog_sink_test.jsonl";
+  std::remove(path.c_str());
+  {
+    EventLog log;
+    ASSERT_TRUE(log.OpenSink(path).ok());
+    log.Emit(LogLevel::kInfo, "test", "one");
+    log.Emit(LogLevel::kWarn, "test", "two");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonValue::Parse(line).ok()) << line;
+    lines++;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, ParseLogLevelAcceptsTheFourNames) {
+  LogLevel level = LogLevel::kError;
+  ASSERT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  ASSERT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  ASSERT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  ASSERT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+}
+
+// --- Prometheus exposition edge cases -------------------------------------
+
+TEST(Metrics, HistogramBucketsAreCumulativeAndMonotonic) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("gqd_mono_us");
+  const std::uint64_t values[] = {0, 1, 2, 3, 64, 127, 128, 1000000,
+                                  ~std::uint64_t{0}};
+  for (std::uint64_t value : values) {
+    histogram->Observe(value);
+  }
+  std::string text = registry.RenderPrometheus();
+  std::istringstream stream(text);
+  std::string line;
+  std::uint64_t previous = 0;
+  std::uint64_t inf_count = 0;
+  double previous_le = -1.0;
+  int bucket_lines = 0;
+  while (std::getline(stream, line)) {
+    if (line.rfind("gqd_mono_us_bucket{le=\"", 0) != 0) {
+      continue;
+    }
+    bucket_lines++;
+    std::size_t close = line.find('"', 23);
+    ASSERT_NE(close, std::string::npos) << line;
+    std::string le = line.substr(23, close - 23);
+    std::uint64_t count = std::stoull(line.substr(close + 2));
+    // Cumulative counts never decrease as le grows.
+    EXPECT_GE(count, previous) << line;
+    previous = count;
+    if (le == "+Inf") {
+      inf_count = count;
+    } else {
+      // Bucket bounds are strictly increasing.
+      double bound = std::stod(le);
+      EXPECT_GT(bound, previous_le) << line;
+      previous_le = bound;
+    }
+  }
+  EXPECT_GE(bucket_lines, 2);
+  // +Inf closes the family at the total observation count.
+  EXPECT_EQ(inf_count, static_cast<std::uint64_t>(std::size(values)));
+}
+
+// Mirrors the line validator tools/check_observability.sh runs against a
+// live scrape, so escaping bugs fail here before they fail in CI.
+TEST(Metrics, ExpositionSurvivesTheScrapeFormatValidator) {
+  MetricsRegistry registry;
+  registry.GetCounter("gqd_esc_total", {{"q", "line1\nline2\"quoted\"\\s"}})
+      ->Inc();
+  registry.GetGauge("gqd_negative")->Set(-5);
+  Histogram* histogram = registry.GetHistogram("gqd_h_us");
+  histogram->Observe(10);
+  std::string text = registry.RenderPrometheus();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  const std::regex sample_re(
+      "^[a-zA-Z_:][a-zA-Z0-9_:]*"
+      "(\\{[a-zA-Z_][a-zA-Z0-9_]*=\"(\\\\.|[^\"\\\\])*\""
+      "(,[a-zA-Z_][a-zA-Z0-9_]*=\"(\\\\.|[^\"\\\\])*\")*\\})? "
+      "-?[0-9]+(\\.[0-9]+)?([eE][+-]?[0-9]+)?$");
+  const std::regex type_re(
+      "^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$");
+  std::istringstream stream(text);
+  std::string line;
+  bool saw_escaped = false;
+  while (std::getline(stream, line)) {
+    if (line.rfind("# TYPE", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, type_re)) << line;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample_re)) << line;
+    }
+    if (line.rfind("gqd_esc_total", 0) == 0) {
+      saw_escaped = true;
+      // The newline stayed escaped: the sample is still one line.
+      EXPECT_NE(line.find("\\n"), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(saw_escaped);
 }
 
 TEST(Export, SpanTreeNestsChildrenAndOrphansBecomeRoots) {

@@ -22,6 +22,7 @@
 #include "graph/examples.h"
 #include "graph/generators.h"
 #include "graph/serialization.h"
+#include "obs/trace_context.h"
 #include "ree/parser.h"
 #include "regex/parser.h"
 #include "rem/parser.h"
@@ -311,6 +312,113 @@ TEST_F(ServeTest, TracedEvalReturnsSpanTreeInline) {
   std::string untraced = Call(
       R"({"cmd":"eval","graph":"fig1","language":"rpq","query":"a.a"})");
   EXPECT_EQ(untraced.find("\"trace\""), std::string::npos) << untraced;
+}
+
+#ifndef GQD_DISABLE_TRACING
+
+// The distributed-tracing path: a request carrying a traceparent string
+// records spans quietly; the router (here: the test) drains them later
+// with the `spans` command.
+TEST_F(ServeTest, StringTraceContextRecordsSpansForTheSpansDrain) {
+  service_.registry().Register("fig1", Figure1Graph());
+  TraceContext context = TraceContext::Mint();
+  context.parent_span = 42;  // plays the router's transport span
+
+  JsonValue::Object request;
+  request.emplace_back("cmd", "eval");
+  request.emplace_back("graph", "fig1");
+  request.emplace_back("language", "rpq");
+  request.emplace_back("query", "a+");
+  request.emplace_back("trace", context.ToTraceparent());
+  std::string response = Call(JsonValue(std::move(request)).Serialize());
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_TRUE(parsed.value().Find("ok")->AsBool()) << response;
+  // The response echoes the trace id but embeds no inline tree — the
+  // spans wait server-side for the drain.
+  EXPECT_EQ(parsed.value().GetString("trace_id").ValueOrDie(),
+            context.TraceIdHex());
+  EXPECT_EQ(response.find("\"serve.request\""), std::string::npos)
+      << response;
+
+  JsonValue::Object drain;
+  drain.emplace_back("cmd", "spans");
+  drain.emplace_back("trace", context.ToTraceparent());
+  std::string drain_line = JsonValue(std::move(drain)).Serialize();
+  std::string drained = Call(drain_line);
+  auto drain_parsed = JsonValue::Parse(drained);
+  ASSERT_TRUE(drain_parsed.ok()) << drained;
+  EXPECT_TRUE(drain_parsed.value().Find("ok")->AsBool()) << drained;
+  EXPECT_EQ(drain_parsed.value().GetString("trace_id").ValueOrDie(),
+            context.TraceIdHex());
+  ASSERT_NE(drain_parsed.value().Find("now_ns"), nullptr) << drained;
+  EXPECT_GT(drain_parsed.value().Find("now_ns")->AsNumber(), 0) << drained;
+  const JsonValue* spans = drain_parsed.value().Find("spans");
+  ASSERT_NE(spans, nullptr) << drained;
+  ASSERT_TRUE(spans->is_array()) << drained;
+  std::vector<OwnedSpan> batch =
+      ParseSpanBatch(spans->Serialize(), "worker 0", 2);
+  ASSERT_FALSE(batch.empty()) << drained;
+  bool found_request = false;
+  for (const OwnedSpan& span : batch) {
+    if (span.name == "serve.request") {
+      found_request = true;
+      // The request root parented under the caller's span id.
+      EXPECT_EQ(span.parent_id, 42u);
+    }
+  }
+  EXPECT_TRUE(found_request) << drained;
+
+  // Take is destructive: a second drain of the same trace is empty.
+  std::string again = Call(drain_line);
+  EXPECT_NE(again.find("\"spans\":[]"), std::string::npos) << again;
+}
+
+#endif  // GQD_DISABLE_TRACING
+
+TEST_F(ServeTest, SpansCommandRejectsMissingOrMalformedTrace) {
+  EXPECT_NE(Call(R"({"cmd":"spans"})").find("\"ok\":false"),
+            std::string::npos);
+  std::string bad = Call(R"({"cmd":"spans","trace":"garbage"})");
+  EXPECT_NE(bad.find("\"ok\":false"), std::string::npos) << bad;
+  EXPECT_NE(bad.find("traceparent"), std::string::npos) << bad;
+}
+
+TEST_F(ServeTest, LogCommandReturnsStructuredEvents) {
+  JsonValue::Object load;
+  load.emplace_back("cmd", "load");
+  load.emplace_back("name", "fig1");
+  load.emplace_back("text", WriteGraphText(Figure1Graph()));
+  std::string loaded = Call(JsonValue(std::move(load)).Serialize());
+  EXPECT_NE(loaded.find("\"ok\":true"), std::string::npos) << loaded;
+
+  std::string response = Call(R"({"cmd":"log"})");
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_TRUE(parsed.value().Find("ok")->AsBool()) << response;
+  EXPECT_GE(parsed.value().GetInt("emitted").ValueOrDie(), 1);
+  const JsonValue* events = parsed.value().Find("events");
+  ASSERT_NE(events, nullptr) << response;
+  ASSERT_TRUE(events->is_array()) << response;
+  bool found_load = false;
+  for (const JsonValue& event : events->AsArray()) {
+    if (event.GetStringOr("event", "").ValueOrDie() == "graph_load" &&
+        event.GetStringOr("graph", "").ValueOrDie() == "fig1") {
+      found_load = true;
+      EXPECT_EQ(event.GetStringOr("component", "").ValueOrDie(), "serve");
+      EXPECT_EQ(event.GetStringOr("level", "").ValueOrDie(), "info");
+    }
+  }
+  EXPECT_TRUE(found_load) << response;
+
+  // The min_level filter narrows the snapshot; garbage is rejected.
+  std::string errors_only = Call(R"({"cmd":"log","min_level":"error"})");
+  EXPECT_NE(errors_only.find("\"ok\":true"), std::string::npos)
+      << errors_only;
+  EXPECT_EQ(errors_only.find("graph_load"), std::string::npos)
+      << errors_only;
+  EXPECT_NE(Call(R"({"cmd":"log","min_level":"loud"})").find("\"ok\":false"),
+            std::string::npos);
 }
 
 TEST_F(ServeTest, MetricsCommandRendersPrometheusText) {

@@ -12,8 +12,15 @@
 # 2. Starts `gqd serve`, exercises a trace:true eval and the `metrics`
 #    command over a real socket, and validates the Prometheus text
 #    exposition line-by-line (scrape format).
+# 3. Starts a two-worker `gqd route` cluster, validates that a traced
+#    routed eval returns ONE merged span tree (router + worker spans under
+#    one trace id), that router stats carry per-command quantiles and
+#    tail-sampled exemplars, that SIGKILLing the serving worker yields a
+#    failover with zero client-visible errors plus a trace-correlated
+#    structured log event, and that --trace-out writes a merged Chrome
+#    trace with one process track per participant.
 #
-# Artifacts (trace JSON + metrics text) land in the output directory.
+# Artifacts (trace JSONs + metrics text) land in the output directory.
 
 set -euo pipefail
 
@@ -180,4 +187,168 @@ EOF
 
 wait "${SERVE_PID}" || true
 trap - EXIT
+
+echo "== gqd route: merged cluster trace, stats, failover log event =="
+W1_LOG="${OUT_DIR}/worker1.log"
+W2_LOG="${OUT_DIR}/worker2.log"
+ROUTE_LOG="${OUT_DIR}/route.log"
+CLUSTER_TRACE="${OUT_DIR}/cluster_trace.json"
+
+port_from_log() {
+  local log="$1" port=""
+  for _ in $(seq 1 50); do
+    port="$(sed -n 's/^listening 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "${log}" 2>/dev/null || true)"
+    [[ -n "${port}" ]] && break
+    sleep 0.1
+  done
+  echo "${port}"
+}
+
+# disown keeps bash from reporting the deliberate SIGKILL mid-check.
+"${GQD}" serve --port 0 > "${W1_LOG}" 2>/dev/null &
+W1_PID=$!
+disown "${W1_PID}"
+"${GQD}" serve --port 0 > "${W2_LOG}" 2>/dev/null &
+W2_PID=$!
+disown "${W2_PID}"
+trap 'kill "${W1_PID}" "${W2_PID}" "${ROUTE_PID:-}" 2>/dev/null || true' EXIT
+
+W1_PORT="$(port_from_log "${W1_LOG}")"
+W2_PORT="$(port_from_log "${W2_LOG}")"
+if [[ -z "${W1_PORT}" || -z "${W2_PORT}" ]]; then
+  echo "error: workers did not report ports" >&2
+  exit 1
+fi
+
+"${GQD}" route --worker "${W1_PORT}" --worker "${W2_PORT}" --replication 2 \
+  --graph "${GRAPH}" --port 0 --trace-out "${CLUSTER_TRACE}" \
+  > "${ROUTE_LOG}" 2>/dev/null &
+ROUTE_PID=$!
+ROUTE_PORT="$(port_from_log "${ROUTE_LOG}")"
+if [[ -z "${ROUTE_PORT}" ]]; then
+  echo "error: router did not report a port" >&2
+  exit 1
+fi
+
+python3 - "${ROUTE_PORT}" "${W1_PID}" "${W2_PID}" <<'EOF'
+import json
+import os
+import re
+import signal
+import socket
+import sys
+import time
+
+port = int(sys.argv[1])
+worker_pids = [int(sys.argv[2]), int(sys.argv[3])]
+
+
+def call(request):
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall((json.dumps(request) + "\n").encode())
+        data = b""
+        while not data.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    return json.loads(data.decode())
+
+# A traced routed eval returns one merged cross-process span tree.
+traced = call({"cmd": "eval", "graph": "social_network", "language": "rpq",
+               "query": "follows+", "trace": True})
+assert traced["ok"], traced
+assert re.fullmatch(r"[0-9a-f]{32}", traced["trace_id"]), traced
+assert traced["served_by"] in (0, 1), traced
+assert traced["failovers"] == 0, traced
+tree = traced["trace"]
+assert isinstance(tree, list) and tree, traced
+
+names, sources = set(), set()
+
+
+def walk(nodes):
+    for node in nodes:
+        for key in ("name", "start_us", "dur_us", "tid", "source", "args",
+                    "children"):
+            assert key in node, node
+        names.add(node["name"])
+        sources.add(node["source"])
+        walk(node["children"])
+
+
+walk(tree)
+for required in ("route.request", "route.replica_pick", "route.transport",
+                 "serve.request", "serve.handler"):
+    assert required in names, f"missing span {required}: {sorted(names)}"
+assert "router" in sources, sources
+assert any(s.startswith("worker ") for s in sources), sources
+print("merged trace OK: router + worker spans under one trace id,",
+      "sources:", ", ".join(sorted(sources)))
+
+# Router stats: per-command latency quantiles + tail-sampled exemplars.
+stats = call({"cmd": "stats"})
+assert stats["ok"], stats
+eval_latency = stats["cluster"]["per_command_latency_us"]["eval"]
+assert eval_latency["count"] >= 1, stats
+assert eval_latency["p99"] >= eval_latency["p50"], stats
+exemplars = stats["exemplars"]["eval"]
+assert exemplars and re.fullmatch(r"[0-9a-f]{32}",
+                                  exemplars[0]["trace_id"]), stats
+assert isinstance(exemplars[0]["trace"], list), stats
+print("router stats OK: per-command quantiles + exemplars")
+
+# SIGKILL the worker that served the traced request. Failover must be
+# invisible to the client and logged as a structured, trace-correlated
+# event.
+os.kill(worker_pids[traced["served_by"]], signal.SIGKILL)
+failover_trace = None
+for _ in range(20):
+    response = call({"cmd": "eval", "graph": "social_network",
+                     "language": "rpq", "query": "follows+"})
+    assert response["ok"], response  # zero client-visible errors
+    if response.get("failovers", 0) >= 1:
+        failover_trace = response["trace_id"]
+        break
+    time.sleep(0.02)
+assert failover_trace, "no request failed over after the worker kill"
+
+log = call({"cmd": "log"})
+assert log["ok"], log
+correlated = [e for e in log["events"]
+              if e["event"] == "failover"
+              and e.get("trace_id") == failover_trace]
+assert correlated, (failover_trace, log["events"])
+event = correlated[0]
+assert event["level"] == "warn" and event["component"] == "cluster", event
+assert event["cmd"] == "eval" and "to_worker" in event, event
+print("failover OK: zero client errors, structured event correlated to",
+      failover_trace)
+
+call({"cmd": "shutdown"})
+EOF
+
+wait "${ROUTE_PID}" || true
+kill "${W1_PID}" "${W2_PID}" 2>/dev/null || true
+trap - EXIT
+
+python3 - "${CLUSTER_TRACE}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+
+events = trace["traceEvents"]
+pids = {e["pid"] for e in events if e.get("ph") == "X"}
+assert len(pids) >= 2, f"expected router + worker tracks, got pids {pids}"
+tracks = {e["pid"]: e["args"]["name"] for e in events
+          if e.get("ph") == "M" and e.get("name") == "process_name"}
+assert tracks.get(1) == "router", tracks
+assert any(name.startswith("worker ") for name in tracks.values()), tracks
+print(f"cluster trace-out OK: {len(events)} events"
+      f" across {len(pids)} process tracks")
+EOF
+
 echo "observability check passed; artifacts in ${OUT_DIR}/"

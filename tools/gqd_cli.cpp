@@ -110,6 +110,7 @@ int Usage() {
       "            [--replication R] [--pool N] [--probe-interval-ms N]\n"
       "            [--suspect-threshold N] [--retry-after-ms N]\n"
       "            [--warm-log N] [--max-line-bytes N] [--graph <file>]...\n"
+      "            [--exemplars N] [--trace-out FILE]\n"
       "  gqd bench-serve [--port N] [--clients C] [--requests R] [--json]\n"
       "                  [--max-concurrent N] [--max-queue N] [--retry]\n"
       "                  [--workers N] [--replication R] [--pool N]\n"
@@ -149,7 +150,15 @@ int Usage() {
       "observability:\n"
       "  --trace-out FILE writes a Chrome trace-event JSON of the stage\n"
       "  spans recorded during the command (open in chrome://tracing or\n"
-      "  Perfetto); see docs/observability.md.\n"
+      "  Perfetto); on `gqd route` the file holds *merged* cluster traces\n"
+      "  (router + worker spans per sampled request, one process track\n"
+      "  each), written at shutdown. routed eval/check responses carry\n"
+      "  served_by and failovers; `\"trace\":true` on a routed request\n"
+      "  returns the merged cross-process span tree. serve and route both\n"
+      "  answer `log` (structured JSON event ring; configure with\n"
+      "  GQD_LOG=level[:path]) and route keeps the slowest traces per\n"
+      "  command (--exemplars N) in `stats`. workers answer `spans` — the\n"
+      "  router's trace-drain command. see docs/observability.md.\n"
       "\n"
       "query compilation:\n"
       "  `gqd compile` runs the plan pass on a REM query: automaton\n"
@@ -1429,6 +1438,12 @@ int CmdRoute(int argc, char** argv) {
   if (const char* flag = FlagValue(argc, argv, "--warm-log")) {
     options.warm_log_capacity = std::strtoul(flag, nullptr, 10);
   }
+  if (const char* flag = FlagValue(argc, argv, "--exemplars")) {
+    options.exemplar_capacity = std::strtoul(flag, nullptr, 10);
+  }
+  // Router --trace-out collects *merged* cluster traces (router + worker
+  // spans per sampled request), written when the router shuts down.
+  options.trace_out = TraceOutPath(argc, argv);
   ServerOptions server_options;
   if (const char* flag = FlagValue(argc, argv, "--max-line-bytes")) {
     server_options.max_line_bytes = std::strtoul(flag, nullptr, 10);
